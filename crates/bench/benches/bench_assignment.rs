@@ -1,0 +1,84 @@
+//! Micro-bench: the assignment step — the paper's target bottleneck.
+//!
+//! Compares one item's full `k`-way search against the shortlisted search,
+//! which is the entire source of MH-K-Modes' speedup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lshclust_bench::scale::{Settings, SHAPE_FIG2};
+use lshclust_bench::synthetic::dataset_for;
+use lshclust_categorical::ClusterId;
+use lshclust_kmodes::assign::{best_cluster_among, best_cluster_full};
+use lshclust_kmodes::init::{initial_modes, InitMethod};
+use lshclust_kmodes::modes::Modes;
+use lshclust_minhash::index::LshIndexBuilder;
+use std::hint::black_box;
+
+fn fixtures(scale: f64) -> (lshclust_categorical::Dataset, Modes, Vec<ClusterId>) {
+    let settings = Settings { scale, seed: 42, out_dir: None };
+    let shape = SHAPE_FIG2.scaled(scale);
+    let dataset = dataset_for(shape, &settings);
+    let initial: Vec<ClusterId> =
+        dataset.labels().unwrap().iter().map(|&l| ClusterId(l)).collect();
+    let mut modes = initial_modes(&dataset, shape.n_clusters, InitMethod::RandomItems, 42);
+    modes.recompute(&dataset, &initial);
+    (dataset, modes, initial)
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let (dataset, modes, initial) = fixtures(0.01); // 900 items, 200 clusters
+
+    let mut group = c.benchmark_group("single_item_assignment");
+    group.bench_function("full_search_k200", |b| {
+        let mut item = 0usize;
+        b.iter(|| {
+            let r = best_cluster_full(black_box(dataset.row(item)), &modes);
+            item = (item + 1) % dataset.n_items();
+            black_box(r)
+        });
+    });
+
+    for label in ["1b1r", "20b5r"] {
+        let banding = lshclust_bench::scale::banding_by_label(label).unwrap();
+        let index = LshIndexBuilder::new(banding).seed(42).build(&dataset, &initial);
+        let mut scratch = index.make_scratch(modes.k());
+        group.bench_with_input(
+            BenchmarkId::new("shortlist_search", label),
+            &banding,
+            |b, _| {
+                let mut item = 0u32;
+                b.iter(|| {
+                    index.shortlist(item, &mut scratch, false);
+                    let r = best_cluster_among(
+                        dataset.row(item as usize),
+                        &modes,
+                        &scratch.clusters,
+                    );
+                    item = (item + 1) % dataset.n_items() as u32;
+                    black_box(r)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // Distance kernels on paper-width rows.
+    let mut group = c.benchmark_group("distance_kernel");
+    let x = dataset.row(0);
+    let y = dataset.row(1);
+    group.bench_function("matching_m100", |b| {
+        b.iter(|| black_box(lshclust_categorical::dissimilarity::matching(black_box(x), black_box(y))))
+    });
+    group.bench_function("matching_bounded_m100_tight", |b| {
+        b.iter(|| {
+            black_box(lshclust_categorical::dissimilarity::matching_bounded(
+                black_box(x),
+                black_box(y),
+                8,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! End-to-end bench: full K-Modes vs MH-K-Modes runs on a miniature of the
+//! paper's Fig. 2 dataset, plus ablations (batch vs online updates,
+//! serial vs parallel assignment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lshclust_bench::scale::{Settings, SHAPE_FIG2};
+use lshclust_bench::synthetic::dataset_for;
+use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+use lshclust_kmodes::{KModes, KModesConfig, UpdateRule};
+use lshclust_minhash::Banding;
+use std::hint::black_box;
+
+fn bench_clustering(c: &mut Criterion) {
+    let settings = Settings { scale: 0.005, seed: 42, out_dir: None };
+    let shape = SHAPE_FIG2.scaled(settings.scale); // 450 items, 100 clusters
+    let dataset = dataset_for(shape, &settings);
+    let k = shape.n_clusters;
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("kmodes_full", |b| {
+        b.iter(|| {
+            black_box(
+                KModes::new(KModesConfig::new(k).seed(42).max_iterations(20)).fit(&dataset),
+            )
+            .summary
+            .n_iterations()
+        });
+    });
+
+    for label in ["1b1r", "20b2r", "20b5r", "50b5r"] {
+        let banding = lshclust_bench::scale::banding_by_label(label).unwrap();
+        group.bench_with_input(BenchmarkId::new("mh_kmodes", label), &banding, |b, &banding| {
+            b.iter(|| {
+                black_box(
+                    MhKModes::new(
+                        MhKModesConfig::new(k, banding).seed(42).max_iterations(20),
+                    )
+                    .fit(&dataset),
+                )
+                .summary
+                .n_iterations()
+            });
+        });
+    }
+
+    // Ablation: online (Huang) vs batch (Lloyd) mode updates, baseline side.
+    group.bench_function("kmodes_online_updates", |b| {
+        b.iter(|| {
+            black_box(
+                KModes::new(
+                    KModesConfig::new(k)
+                        .seed(42)
+                        .max_iterations(20)
+                        .update(UpdateRule::Online),
+                )
+                .fit(&dataset),
+            )
+            .summary
+            .n_iterations()
+        });
+    });
+
+    // Ablation: parallel assignment (2 threads).
+    group.bench_function("mh_kmodes_20b5r_2threads", |b| {
+        b.iter(|| {
+            black_box(
+                MhKModes::new(
+                    MhKModesConfig::new(k, Banding::new(20, 5))
+                        .seed(42)
+                        .max_iterations(20)
+                        .threads(2),
+                )
+                .fit(&dataset),
+            )
+            .summary
+            .n_iterations()
+        });
+    });
+
+    // Extension: streaming insert throughput (per 450-item stream).
+    group.bench_function("streaming_one_pass", |b| {
+        use lshclust_core::streaming::{StreamingConfig, StreamingMhKModes};
+        let mut config =
+            StreamingConfig::new(Banding::new(16, 2), dataset.n_attrs());
+        config.distance_threshold = (dataset.n_attrs() as u32) * 7 / 10;
+        b.iter(|| {
+            let mut s = StreamingMhKModes::new(config.clone(), dataset.schema().clone());
+            for i in 0..dataset.n_items() {
+                s.insert(dataset.row(i));
+            }
+            black_box(s.n_clusters())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-bench: MinHash signature generation (Algorithm 1).
+//!
+//! Ablation axes: hash family (mix vs tabulation) and signature length
+//! (the paper's 1b1r / 20b2r / 20b5r / 50b5r correspond to n = 1 / 40 /
+//! 100 / 250 hash functions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lshclust_minhash::signature::SignatureGenerator;
+use lshclust_minhash::{HashFamily, MixHashFamily, TabulationHashFamily};
+use std::hint::black_box;
+
+fn elements(m: usize) -> Vec<u64> {
+    // One present element per attribute, as in the synthetic datasets.
+    (0..m as u64).map(|a| (a << 32) | (a * 2_654_435_761 % 40_000)).collect()
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature_generation");
+    let items = elements(100);
+    for n in [1usize, 40, 100, 250] {
+        group.bench_with_input(BenchmarkId::new("mix_m100", n), &n, |b, &n| {
+            let generator = SignatureGenerator::new(MixHashFamily::new(n, 42));
+            let mut out = Vec::new();
+            b.iter(|| {
+                generator.signature_into(black_box(items.iter().copied()), &mut out);
+                black_box(out.last().copied())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tabulation_m100", n), &n, |b, &n| {
+            let generator = SignatureGenerator::new(TabulationHashFamily::new(n, 42));
+            let mut out = Vec::new();
+            b.iter(|| {
+                generator.signature_into(black_box(items.iter().copied()), &mut out);
+                black_box(out.last().copied())
+            });
+        });
+    }
+    group.finish();
+
+    // Direct family evaluation cost (one hash application).
+    let mut group = c.benchmark_group("hash_family_eval");
+    let mix = MixHashFamily::new(8, 1);
+    let tab = TabulationHashFamily::new(8, 1);
+    group.bench_function("mix", |b| b.iter(|| black_box(mix.eval(3, black_box(0xdead_beef)))));
+    group.bench_function("tabulation", |b| {
+        b.iter(|| black_box(tab.eval(3, black_box(0xdead_beef))))
+    });
+    group.finish();
+}
+
+fn bench_numeric_families(c: &mut Criterion) {
+    use lshclust_minhash::pstable::PStableHash;
+    use lshclust_minhash::simhash::SimHash;
+
+    let dim = 16;
+    let v: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+    let mut group = c.benchmark_group("numeric_lsh_signature");
+    let sim = SimHash::new(128, dim, 42);
+    group.bench_function("simhash_128bit_d16", |b| {
+        b.iter(|| black_box(sim.signature(black_box(&v))))
+    });
+    let pst = PStableHash::new(128, dim, 4.0, 42);
+    group.bench_function("pstable_128hash_d16", |b| {
+        b.iter(|| black_box(pst.signature(black_box(&v))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_signature, bench_numeric_families);
+criterion_main!(benches);

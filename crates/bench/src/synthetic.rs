@@ -1,0 +1,202 @@
+//! Paired baseline / MH-K-Modes runs on datgen-style synthetic data —
+//! the engine behind Figs. 2–8.
+
+use crate::scale::{Settings, SyntheticShape};
+use lshclust_categorical::Dataset;
+use lshclust_core::error_bound::{audit, BoundReport};
+use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::init::{initial_modes, InitMethod};
+use lshclust_kmodes::{KModes, KModesConfig, KModesResult};
+use lshclust_metrics::{adjusted_rand_index, normalized_mutual_information, purity};
+use lshclust_minhash::index::LshIndexBuilder;
+use lshclust_minhash::Banding;
+use std::time::Instant;
+
+/// Quality metrics of one clustering against the generator's ground truth.
+#[derive(Clone, Copy, Debug)]
+pub struct Quality {
+    /// Cluster purity (the paper's metric).
+    pub purity: f64,
+    /// Normalised mutual information (extended analysis).
+    pub nmi: f64,
+    /// Adjusted Rand index (extended analysis).
+    pub ari: f64,
+}
+
+/// One MH-K-Modes run tagged with its banding.
+#[derive(Clone, Debug)]
+pub struct MhRun {
+    /// The banding label (e.g. `20b5r`).
+    pub banding: Banding,
+    /// The run result.
+    pub result: lshclust_core::mhkmodes::MhKModesResult,
+    /// Quality vs ground truth.
+    pub quality: Quality,
+}
+
+/// A complete experiment on one synthetic dataset: the baseline plus one MH
+/// run per banding, all from identical initial centroids.
+pub struct RunSet {
+    /// The scaled shape that was actually run.
+    pub shape: SyntheticShape,
+    /// Baseline K-Modes result.
+    pub baseline: KModesResult,
+    /// Baseline quality.
+    pub baseline_quality: Quality,
+    /// Accelerated runs.
+    pub mh_runs: Vec<MhRun>,
+}
+
+/// Computes all three quality metrics of an assignment against labels.
+pub fn quality_of(assignments: &[lshclust_categorical::ClusterId], labels: &[u32]) -> Quality {
+    let predicted: Vec<u32> = assignments.iter().map(|c| c.0).collect();
+    Quality {
+        purity: purity(&predicted, labels),
+        nmi: normalized_mutual_information(&predicted, labels),
+        ari: adjusted_rand_index(&predicted, labels),
+    }
+}
+
+/// Generates the scaled dataset for `shape`.
+pub fn dataset_for(shape: SyntheticShape, settings: &Settings) -> Dataset {
+    generate(&DatgenConfig::new(shape.n_items, shape.n_clusters, shape.n_attrs).seed(settings.seed))
+}
+
+/// Runs the baseline and every requested banding on `shape`'s dataset.
+///
+/// All runs share the same randomly selected initial centroids (paper §IV-A:
+/// "the same initial centroid points were selected"), and the baseline's
+/// iteration cap applies to all.
+pub fn run_experiment(
+    shape: SyntheticShape,
+    bandings: &[Banding],
+    settings: &Settings,
+    max_iterations: usize,
+) -> RunSet {
+    let shape = shape.scaled(settings.scale);
+    let dataset = dataset_for(shape, settings);
+    let labels = dataset.labels().expect("datgen datasets are labelled").to_vec();
+
+    let init_start = Instant::now();
+    let modes = initial_modes(&dataset, shape.n_clusters, InitMethod::RandomItems, settings.seed);
+    let init_time = init_start.elapsed();
+
+    let baseline = KModes::new(
+        KModesConfig::new(shape.n_clusters).seed(settings.seed).max_iterations(max_iterations),
+    )
+    .fit_from(&dataset, modes.clone(), init_time);
+    let baseline_quality = quality_of(&baseline.assignments, &labels);
+
+    let mh_runs = bandings
+        .iter()
+        .map(|&banding| {
+            let start = Instant::now();
+            let result = MhKModes::new(
+                MhKModesConfig::new(shape.n_clusters, banding)
+                    .seed(settings.seed)
+                    .max_iterations(max_iterations),
+            )
+            .fit_from(&dataset, modes.clone(), start);
+            let quality = quality_of(&result.assignments, &labels);
+            MhRun { banding, result, quality }
+        })
+        .collect();
+
+    RunSet { shape, baseline, baseline_quality, mh_runs }
+}
+
+/// Runs the §III-C error-bound audit on `shape`'s dataset: builds an index
+/// over ground-truth assignments and measures the shortlist miss rate
+/// against the analytic bound, for each banding.
+pub fn run_bound_audit(
+    shape: SyntheticShape,
+    bandings: &[Banding],
+    settings: &Settings,
+) -> Vec<(Banding, BoundReport)> {
+    let shape = shape.scaled(settings.scale);
+    let dataset = dataset_for(shape, settings);
+    let labels = dataset.labels().unwrap();
+    let assignments: Vec<lshclust_categorical::ClusterId> =
+        labels.iter().map(|&l| lshclust_categorical::ClusterId(l)).collect();
+    let mut modes =
+        initial_modes(&dataset, shape.n_clusters, InitMethod::RandomItems, settings.seed);
+    modes.recompute(&dataset, &assignments);
+    bandings
+        .iter()
+        .map(|&banding| {
+            let index =
+                LshIndexBuilder::new(banding).seed(settings.seed).build(&dataset, &assignments);
+            (banding, audit(&dataset, &modes, &index, &assignments))
+        })
+        .collect()
+}
+
+/// The headline number: baseline total time divided by MH total time.
+pub fn speedup(set: &RunSet, run: &MhRun) -> f64 {
+    set.baseline.summary.total_time().as_secs_f64() / run.result.summary.total_time().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::SHAPE_FIG2;
+
+    fn tiny_settings() -> Settings {
+        Settings { scale: 0.002, seed: 7, out_dir: None }
+    }
+
+    #[test]
+    fn paired_runs_complete_and_report() {
+        let set = run_experiment(
+            SHAPE_FIG2,
+            &[Banding::new(20, 5), Banding::new(1, 1)],
+            &tiny_settings(),
+            30,
+        );
+        assert_eq!(set.mh_runs.len(), 2);
+        assert!(set.baseline.summary.n_iterations() >= 1);
+        for run in &set.mh_runs {
+            assert!(run.result.summary.n_iterations() >= 1);
+            assert!(run.quality.purity > 0.0 && run.quality.purity <= 1.0);
+        }
+        assert!(set.baseline_quality.purity > 0.0);
+    }
+
+    #[test]
+    fn shortlist_stays_below_k() {
+        let set = run_experiment(SHAPE_FIG2, &[Banding::new(20, 5)], &tiny_settings(), 30);
+        let k = set.shape.n_clusters as f64;
+        for s in &set.mh_runs[0].result.summary.iterations {
+            assert!(s.avg_candidates <= k);
+        }
+    }
+
+    #[test]
+    fn mh_purity_comparable_to_baseline() {
+        let set = run_experiment(SHAPE_FIG2, &[Banding::new(20, 5)], &tiny_settings(), 30);
+        let diff = set.baseline_quality.purity - set.mh_runs[0].quality.purity;
+        // Paper claim: comparable purity. Allow a loose margin at tiny scale.
+        assert!(diff < 0.15, "purity dropped by {diff}");
+    }
+
+    #[test]
+    fn bound_audit_reports_every_banding() {
+        let reports = run_bound_audit(
+            SHAPE_FIG2,
+            &[Banding::new(20, 5), Banding::new(1, 1)],
+            &tiny_settings(),
+        );
+        assert_eq!(reports.len(), 2);
+        for (_, r) in &reports {
+            assert!(r.n_items > 0);
+            assert!(r.miss_rate <= 1.0);
+        }
+    }
+
+    #[test]
+    fn speedup_is_positive() {
+        let set = run_experiment(SHAPE_FIG2, &[Banding::new(20, 5)], &tiny_settings(), 30);
+        assert!(speedup(&set, &set.mh_runs[0]) > 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The real-data pipeline of §IV-B on the synthetic Yahoo!-Answers-like
+//! corpus: corpus → TF-IDF → vocabulary → binary items → clustering —
+//! the engine behind Figs. 9–10.
+
+use crate::scale::Settings;
+use crate::synthetic::{quality_of, MhRun, Quality};
+use lshclust_categorical::Dataset;
+use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+use lshclust_datagen::corpus::{CorpusConfig, SyntheticCorpus};
+use lshclust_kmodes::init::{initial_modes, InitMethod};
+use lshclust_kmodes::{KModes, KModesConfig, KModesResult};
+use lshclust_minhash::Banding;
+use lshclust_text::{vectorize, TfIdf, Vocabulary};
+use std::time::Instant;
+
+/// Parameters of a text experiment (Fig. 9 uses threshold 0.7, Fig. 10 uses
+/// 0.3 and caps iterations at 10).
+#[derive(Clone, Debug)]
+pub struct TextExperiment {
+    /// TF-IDF selection threshold.
+    pub tfidf_threshold: f64,
+    /// "Up to 10000 words from each topic" (paper).
+    pub max_words_per_topic: usize,
+    /// Iteration cap (paper: unlimited for 0.7, 10 for 0.3).
+    pub max_iterations: usize,
+    /// Bandings to run.
+    pub bandings: Vec<Banding>,
+}
+
+/// Result bundle of one text experiment.
+pub struct TextRunSet {
+    /// Items actually clustered.
+    pub n_items: usize,
+    /// Vocabulary size (= attributes).
+    pub n_attrs: usize,
+    /// Topics (= k).
+    pub n_topics: usize,
+    /// Baseline result.
+    pub baseline: KModesResult,
+    /// Baseline quality.
+    pub baseline_quality: Quality,
+    /// Accelerated runs.
+    pub mh_runs: Vec<MhRun>,
+}
+
+/// Scales the paper's corpus parameters (2 916 topics × ≤100 questions).
+pub fn corpus_for(settings: &Settings) -> SyntheticCorpus {
+    let n_topics = ((2_916.0 * settings.scale).round() as usize).max(4);
+    // Questions per topic stay at the paper's 100 — scaling only the topic
+    // count keeps items-per-cluster (the error bound's |C_n|) faithful.
+    SyntheticCorpus::generate(&CorpusConfig::new(n_topics, 100).seed(settings.seed))
+}
+
+/// Rescales the paper's TF-IDF threshold to a smaller topic count.
+///
+/// TF-IDF scores are bounded by `idf_max = log10(N)`; the paper's absolute
+/// thresholds (0.7, 0.3) assume N = 2 916 topics (`idf_max ≈ 3.46`). At a
+/// scaled-down N the same *selectivity* corresponds to a proportionally
+/// smaller absolute threshold, so we scale by `log10(N) / log10(2916)`.
+pub fn scaled_threshold(paper_threshold: f64, n_topics: usize) -> f64 {
+    paper_threshold * (n_topics as f64).log10() / 2916f64.log10()
+}
+
+/// Runs the full §IV-B pipeline on a generated corpus. `threshold` is the
+/// *paper* threshold; it is rescaled to the corpus's topic count via
+/// [`scaled_threshold`].
+pub fn build_text_dataset(
+    corpus: &SyntheticCorpus,
+    threshold: f64,
+    max_words_per_topic: usize,
+) -> Dataset {
+    let mut tfidf = TfIdf::new(corpus.n_topics);
+    for (text, topic) in corpus.labelled_texts() {
+        tfidf.add_document(topic, text);
+    }
+    let effective = scaled_threshold(threshold, corpus.n_topics);
+    let vocab = Vocabulary::select(&tfidf, effective, max_words_per_topic);
+    assert!(
+        !vocab.is_empty(),
+        "threshold {threshold} (effective {effective:.3}) selected no vocabulary"
+    );
+    vectorize(&vocab, corpus.labelled_texts())
+}
+
+/// Runs the baseline and each banding on the text dataset (shared init).
+pub fn run_text_experiment(exp: &TextExperiment, settings: &Settings) -> TextRunSet {
+    let corpus = corpus_for(settings);
+    let dataset = build_text_dataset(&corpus, exp.tfidf_threshold, exp.max_words_per_topic);
+    let labels = dataset.labels().expect("vectorize attaches topics").to_vec();
+    let k = corpus.n_topics;
+
+    let init_start = Instant::now();
+    let modes = initial_modes(&dataset, k, InitMethod::RandomItems, settings.seed);
+    let init_time = init_start.elapsed();
+
+    let baseline =
+        KModes::new(KModesConfig::new(k).seed(settings.seed).max_iterations(exp.max_iterations))
+            .fit_from(&dataset, modes.clone(), init_time);
+    let baseline_quality = quality_of(&baseline.assignments, &labels);
+
+    let mh_runs = exp
+        .bandings
+        .iter()
+        .map(|&banding| {
+            let start = Instant::now();
+            let result = MhKModes::new(
+                MhKModesConfig::new(k, banding)
+                    .seed(settings.seed)
+                    .max_iterations(exp.max_iterations),
+            )
+            .fit_from(&dataset, modes.clone(), start);
+            let quality = quality_of(&result.assignments, &labels);
+            MhRun { banding, result, quality }
+        })
+        .collect();
+
+    TextRunSet {
+        n_items: dataset.n_items(),
+        n_attrs: dataset.n_attrs(),
+        n_topics: k,
+        baseline,
+        baseline_quality,
+        mh_runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_settings() -> Settings {
+        Settings { scale: 0.003, seed: 3, out_dir: None } // ~9 topics
+    }
+
+    fn tiny_experiment() -> TextExperiment {
+        TextExperiment {
+            tfidf_threshold: 0.7,
+            max_words_per_topic: 10_000,
+            max_iterations: 15,
+            bandings: vec![Banding::new(1, 1)],
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_sparse_binary_dataset() {
+        let settings = tiny_settings();
+        let corpus = corpus_for(&settings);
+        let ds = build_text_dataset(&corpus, 0.7, 10_000);
+        assert_eq!(ds.n_items(), corpus.len());
+        assert!(ds.n_attrs() > 0);
+        // Sparse: far fewer present features than attributes on average.
+        let avg_present: f64 =
+            (0..ds.n_items()).map(|i| ds.present_count(i) as f64).sum::<f64>()
+                / ds.n_items() as f64;
+        assert!(avg_present < ds.n_attrs() as f64 / 2.0);
+    }
+
+    #[test]
+    fn lower_threshold_grows_vocabulary() {
+        let settings = tiny_settings();
+        let corpus = corpus_for(&settings);
+        let hi = build_text_dataset(&corpus, 0.7, 10_000);
+        let lo = build_text_dataset(&corpus, 0.3, 10_000);
+        assert!(
+            lo.n_attrs() >= hi.n_attrs(),
+            "0.3-threshold vocab {} smaller than 0.7-threshold {}",
+            lo.n_attrs(),
+            hi.n_attrs()
+        );
+    }
+
+    #[test]
+    fn text_experiment_runs_end_to_end() {
+        let set = run_text_experiment(&tiny_experiment(), &tiny_settings());
+        assert_eq!(set.mh_runs.len(), 1);
+        assert!(set.baseline_quality.purity > 0.0);
+        assert!(set.mh_runs[0].quality.purity > 0.0);
+        assert!(set.n_items > 0 && set.n_attrs > 0 && set.n_topics >= 4);
+    }
+
+    #[test]
+    fn shortlists_shrink_search_space() {
+        let set = run_text_experiment(&tiny_experiment(), &tiny_settings());
+        let k = set.n_topics as f64;
+        let last = set.mh_runs[0].result.summary.iterations.last().unwrap();
+        assert!(last.avg_candidates <= k);
+    }
+}

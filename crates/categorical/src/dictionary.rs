@@ -1,0 +1,220 @@
+//! Per-attribute string interning.
+//!
+//! Categorical comparisons in the hot clustering loops must be integer
+//! comparisons, so every attribute owns a [`Dictionary`] mapping category
+//! strings (e.g. `"blue"`, `"zoo-1"`) to dense [`ValueId`]s. A [`Schema`]
+//! bundles one dictionary per attribute together with attribute names.
+
+use crate::types::{AttrId, ValueId, NOT_PRESENT};
+use std::collections::HashMap;
+
+/// Interner for one attribute's category values.
+///
+/// Values are assigned dense ids in first-seen order, so a dictionary built
+/// from the same value stream is always identical — important for the
+/// workspace-wide determinism policy (DESIGN.md §7).
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    by_name: HashMap<String, ValueId>,
+    names: Vec<String>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its existing or freshly assigned id.
+    pub fn intern(&mut self, name: &str) -> ValueId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = ValueId(u32::try_from(self.names.len()).expect("dictionary overflows u32"));
+        self.by_name.insert(name.to_owned(), id);
+        self.names.push(name.to_owned());
+        id
+    }
+
+    /// Looks up a value id without interning.
+    pub fn get(&self, name: &str) -> Option<ValueId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the string for `id`, or `None` for out-of-range or
+    /// [`NOT_PRESENT`] ids.
+    pub fn name(&self, id: ValueId) -> Option<&str> {
+        if id == NOT_PRESENT {
+            return None;
+        }
+        self.names.get(id.idx()).map(String::as_str)
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no value has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ValueId(i as u32), n.as_str()))
+    }
+}
+
+/// Attribute names plus one [`Dictionary`] per attribute.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    attr_names: Vec<String>,
+    dictionaries: Vec<Dictionary>,
+    /// Per-attribute value that encodes "feature absent", if any.
+    absent_values: Vec<Option<ValueId>>,
+}
+
+impl Schema {
+    /// Creates a schema with the given attribute names and empty dictionaries.
+    pub fn new(attr_names: Vec<String>) -> Self {
+        let n = attr_names.len();
+        Self {
+            attr_names,
+            dictionaries: vec![Dictionary::new(); n],
+            absent_values: vec![None; n],
+        }
+    }
+
+    /// Creates an anonymous schema with `n` attributes named `a0..a{n-1}`.
+    pub fn anonymous(n: usize) -> Self {
+        Self::new((0..n).map(|i| format!("a{i}")).collect())
+    }
+
+    /// Number of attributes.
+    pub fn n_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Name of attribute `attr`.
+    pub fn attr_name(&self, attr: AttrId) -> &str {
+        &self.attr_names[attr.idx()]
+    }
+
+    /// Immutable access to the dictionary of attribute `attr`.
+    pub fn dictionary(&self, attr: AttrId) -> &Dictionary {
+        &self.dictionaries[attr.idx()]
+    }
+
+    /// Mutable access to the dictionary of attribute `attr`.
+    pub fn dictionary_mut(&mut self, attr: AttrId) -> &mut Dictionary {
+        &mut self.dictionaries[attr.idx()]
+    }
+
+    /// Marks `value` as the "absent" encoding for attribute `attr`.
+    ///
+    /// Items holding this value (or [`NOT_PRESENT`]) in that column are
+    /// skipped by [`crate::PresentElements`], mirroring the paper's filtering
+    /// of `No` word-presence indicators before MinHash.
+    pub fn set_absent_value(&mut self, attr: AttrId, value: ValueId) {
+        self.absent_values[attr.idx()] = Some(value);
+    }
+
+    /// The "absent" value for attribute `attr`, if one was registered.
+    pub fn absent_value(&self, attr: AttrId) -> Option<ValueId> {
+        self.absent_values[attr.idx()]
+    }
+
+    /// Whether `value` in column `attr` means "feature absent".
+    #[inline]
+    pub fn is_absent(&self, attr: AttrId, value: ValueId) -> bool {
+        value == NOT_PRESENT || self.absent_values[attr.idx()] == Some(value)
+    }
+
+    /// Size of the largest attribute domain.
+    pub fn max_domain(&self) -> usize {
+        self.dictionaries.iter().map(Dictionary::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("blue");
+        let b = d.intern("green");
+        let a2 = d.intern("blue");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_first_seen_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("x"), ValueId(0));
+        assert_eq!(d.intern("y"), ValueId(1));
+        assert_eq!(d.intern("z"), ValueId(2));
+        assert_eq!(d.name(ValueId(1)), Some("y"));
+    }
+
+    #[test]
+    fn name_of_not_present_is_none() {
+        let mut d = Dictionary::new();
+        d.intern("x");
+        assert_eq!(d.name(NOT_PRESENT), None);
+        assert_eq!(d.name(ValueId(99)), None);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.get("a"), None);
+        d.intern("a");
+        assert_eq!(d.get("a"), Some(ValueId(0)));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern("p");
+        d.intern("q");
+        let v: Vec<_> = d.iter().map(|(i, n)| (i.0, n.to_owned())).collect();
+        assert_eq!(v, vec![(0, "p".to_owned()), (1, "q".to_owned())]);
+    }
+
+    #[test]
+    fn schema_absent_values() {
+        let mut s = Schema::anonymous(2);
+        let v = s.dictionary_mut(AttrId(0)).intern("word-0");
+        s.set_absent_value(AttrId(0), v);
+        assert!(s.is_absent(AttrId(0), v));
+        assert!(!s.is_absent(AttrId(1), v));
+        assert!(s.is_absent(AttrId(1), NOT_PRESENT));
+        assert_eq!(s.absent_value(AttrId(0)), Some(v));
+        assert_eq!(s.absent_value(AttrId(1)), None);
+    }
+
+    #[test]
+    fn anonymous_schema_names() {
+        let s = Schema::anonymous(3);
+        assert_eq!(s.n_attrs(), 3);
+        assert_eq!(s.attr_name(AttrId(2)), "a2");
+    }
+
+    #[test]
+    fn max_domain_tracks_largest_dictionary() {
+        let mut s = Schema::anonymous(2);
+        s.dictionary_mut(AttrId(0)).intern("a");
+        s.dictionary_mut(AttrId(1)).intern("a");
+        s.dictionary_mut(AttrId(1)).intern("b");
+        assert_eq!(s.max_domain(), 2);
+    }
+}

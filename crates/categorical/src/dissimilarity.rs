@@ -1,0 +1,220 @@
+//! Dissimilarity and similarity measures between categorical items.
+//!
+//! * [`matching`] is the K-Modes simple matching dissimilarity of Eq. 1–2:
+//!   the count of attributes on which two items disagree.
+//! * [`jaccard`] is Eq. 6 over the items' *present element sets*
+//!   (attribute–value pairs), the quantity MinHash approximates.
+//! * [`matching_bounded`] is an early-exit variant for the assignment hot
+//!   loop: once the running mismatch count reaches the best distance found so
+//!   far the comparison can stop.
+
+use crate::dictionary::Schema;
+use crate::types::{AttrId, ValueId};
+
+/// Simple matching dissimilarity `d(X, Y) = Σ_j δ(x_j, y_j)` (paper Eq. 1–2).
+///
+/// Both slices must have the same length (one value per attribute).
+#[inline]
+pub fn matching(x: &[ValueId], y: &[ValueId]) -> u32 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut d = 0u32;
+    // Paired iteration lets LLVM drop the bounds checks and vectorise.
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        d += u32::from(a != b);
+    }
+    d
+}
+
+/// [`matching`] with an early exit once the distance reaches `bound`.
+///
+/// Returns `None` if `d(x, y) >= bound`, otherwise `Some(d)`. In the
+/// assignment step the bound is the best distance seen so far, which skips
+/// most of the per-attribute work for clearly-worse centroids — an
+/// optimisation the paper's framework is *orthogonal* to (it reduces how many
+/// centroids are compared, this reduces the cost of one comparison).
+#[inline]
+pub fn matching_bounded(x: &[ValueId], y: &[ValueId], bound: u32) -> Option<u32> {
+    debug_assert_eq!(x.len(), y.len());
+    let mut d = 0u32;
+    // Chunked scan: check the bound every 16 attributes instead of every one,
+    // keeping the inner loop branch-light.
+    const CHUNK: usize = 16;
+    let mut xi = x.chunks_exact(CHUNK);
+    let mut yi = y.chunks_exact(CHUNK);
+    for (cx, cy) in (&mut xi).zip(&mut yi) {
+        for (&a, &b) in cx.iter().zip(cy.iter()) {
+            d += u32::from(a != b);
+        }
+        if d >= bound {
+            return None;
+        }
+    }
+    for (&a, &b) in xi.remainder().iter().zip(yi.remainder().iter()) {
+        d += u32::from(a != b);
+    }
+    if d >= bound {
+        None
+    } else {
+        Some(d)
+    }
+}
+
+/// Jaccard similarity `|X ∩ Y| / |X ∪ Y|` (paper Eq. 6) over present
+/// attribute–value pairs.
+///
+/// Because both items are aligned on the same attributes, an element
+/// `(attr, value)` is shared iff both items hold the identical *present*
+/// value in that column; absent cells contribute to neither set.
+pub fn jaccard(schema: &Schema, x: &[ValueId], y: &[ValueId]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    let mut intersection = 0usize;
+    let mut union = 0usize;
+    for (a, (&vx, &vy)) in x.iter().zip(y.iter()).enumerate() {
+        let attr = AttrId(a as u32);
+        let px = !schema.is_absent(attr, vx);
+        let py = !schema.is_absent(attr, vy);
+        match (px, py) {
+            (true, true) => {
+                union += if vx == vy { 1 } else { 2 };
+                intersection += usize::from(vx == vy);
+            }
+            (true, false) | (false, true) => union += 1,
+            (false, false) => {}
+        }
+    }
+    if union == 0 {
+        // Two fully-absent items: conventionally identical.
+        1.0
+    } else {
+        intersection as f64 / union as f64
+    }
+}
+
+/// The paper's §III-C lower bound on the Jaccard similarity of an item and
+/// *some* member of its best cluster: if they share at least one of `m`
+/// attribute values, `s ≥ 1 / (2m − 1)`.
+#[inline]
+pub fn jaccard_lower_bound(n_attrs: usize) -> f64 {
+    assert!(n_attrs > 0);
+    1.0 / (2.0 * n_attrs as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::Schema;
+    use crate::types::NOT_PRESENT;
+
+    fn v(xs: &[u32]) -> Vec<ValueId> {
+        xs.iter().map(|&x| ValueId(x)).collect()
+    }
+
+    #[test]
+    fn matching_counts_mismatches() {
+        assert_eq!(matching(&v(&[1, 2, 3]), &v(&[1, 9, 3])), 1);
+        assert_eq!(matching(&v(&[1, 2, 3]), &v(&[1, 2, 3])), 0);
+        assert_eq!(matching(&v(&[1, 2, 3]), &v(&[4, 5, 6])), 3);
+    }
+
+    #[test]
+    fn matching_empty_rows() {
+        assert_eq!(matching(&[], &[]), 0);
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact_below_bound() {
+        let x = v(&(0..100).collect::<Vec<_>>());
+        let mut y = x.clone();
+        for i in (0..100).step_by(7) {
+            y[i] = ValueId(1000 + i as u32);
+        }
+        let exact = matching(&x, &y);
+        assert_eq!(matching_bounded(&x, &y, exact + 1), Some(exact));
+        assert_eq!(matching_bounded(&x, &y, exact), None);
+        assert_eq!(matching_bounded(&x, &y, 1), None);
+    }
+
+    #[test]
+    fn bounded_zero_bound_always_none() {
+        let x = v(&[1, 2]);
+        assert_eq!(matching_bounded(&x, &x, 0), None);
+    }
+
+    #[test]
+    fn bounded_handles_short_rows() {
+        // Shorter than one chunk: remainder path only.
+        let x = v(&[1, 2, 3]);
+        let y = v(&[1, 9, 3]);
+        assert_eq!(matching_bounded(&x, &y, 10), Some(1));
+    }
+
+    #[test]
+    fn jaccard_identical_items() {
+        let s = Schema::anonymous(3);
+        let x = v(&[1, 2, 3]);
+        assert!((jaccard(&s, &x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_disjoint_items() {
+        let s = Schema::anonymous(2);
+        assert_eq!(jaccard(&s, &v(&[1, 2]), &v(&[3, 4])), 0.0);
+    }
+
+    #[test]
+    fn jaccard_half_overlap() {
+        let s = Schema::anonymous(2);
+        // Shared element + one mismatch pair: |∩|=1, |∪|=3.
+        let got = jaccard(&s, &v(&[7, 1]), &v(&[7, 2]));
+        assert!((got - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_skips_absent_cells() {
+        let mut s = Schema::anonymous(3);
+        let no = s.dictionary_mut(AttrId(1)).intern("w-0");
+        s.set_absent_value(AttrId(1), no);
+        // Column 1 absent in both items: contributes nothing.
+        let x = vec![ValueId(5), no, ValueId(9)];
+        let y = vec![ValueId(5), no, ValueId(9)];
+        assert_eq!(jaccard(&s, &x, &y), 1.0);
+        // Absent vs present counts only in the union.
+        let z = vec![ValueId(5), ValueId(3), ValueId(9)];
+        let got = jaccard(&s, &x, &z);
+        assert!((got - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_not_present_sentinel() {
+        let s = Schema::anonymous(2);
+        let x = vec![ValueId(1), NOT_PRESENT];
+        let y = vec![ValueId(1), NOT_PRESENT];
+        assert_eq!(jaccard(&s, &x, &y), 1.0);
+    }
+
+    #[test]
+    fn jaccard_all_absent_convention() {
+        let s = Schema::anonymous(2);
+        let x = vec![NOT_PRESENT, NOT_PRESENT];
+        assert_eq!(jaccard(&s, &x, &x), 1.0);
+    }
+
+    #[test]
+    fn lower_bound_matches_paper_example() {
+        // m = 100 → s ≥ 1/199 (paper §III-C).
+        assert!((jaccard_lower_bound(100) - 1.0 / 199.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lower_bound_is_attained() {
+        // Two items over m attributes sharing exactly one value have
+        // similarity exactly 1/(2m-1).
+        let m = 10;
+        let s = Schema::anonymous(m);
+        let x: Vec<ValueId> = (0..m as u32).map(ValueId).collect();
+        let mut y: Vec<ValueId> = (100..100 + m as u32).map(ValueId).collect();
+        y[0] = x[0];
+        let sim = jaccard(&s, &x, &y);
+        assert!((sim - jaccard_lower_bound(m)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,146 @@
+//! The "present element set" view of an item.
+//!
+//! MinHash treats an item as a *set*. For categorical data the natural set is
+//! the collection of attribute–value pairs, with absent features filtered out
+//! (Algorithm 2, lines 2–4 of the paper). This module packs each pair into a
+//! single `u64` key — `(attr << 32) | value` — so hash functions consume one
+//! integer per element.
+
+use crate::dataset::Dataset;
+use crate::dictionary::Schema;
+use crate::types::{AttrId, ValueId};
+
+/// Packs an attribute–value pair into one `u64` element key.
+#[inline(always)]
+pub fn element_key(attr: AttrId, value: ValueId) -> u64 {
+    (u64::from(attr.0) << 32) | u64::from(value.0)
+}
+
+/// Splits an element key back into its attribute–value pair.
+#[inline(always)]
+pub fn split_element_key(key: u64) -> (AttrId, ValueId) {
+    (AttrId((key >> 32) as u32), ValueId(key as u32))
+}
+
+/// Iterator over the present element keys of one item row.
+///
+/// ```
+/// use lshclust_categorical::{PresentElements, Schema, ValueId, NOT_PRESENT};
+///
+/// let schema = Schema::anonymous(3);
+/// let row = [ValueId(5), NOT_PRESENT, ValueId(7)];
+/// let keys: Vec<u64> = PresentElements::new(&schema, &row).collect();
+/// assert_eq!(keys.len(), 2); // the NOT_PRESENT cell is filtered out
+/// ```
+pub struct PresentElements<'a> {
+    schema: &'a Schema,
+    row: &'a [ValueId],
+    next_attr: usize,
+}
+
+impl<'a> PresentElements<'a> {
+    /// Creates the iterator for `row` under `schema`'s absence rules.
+    pub fn new(schema: &'a Schema, row: &'a [ValueId]) -> Self {
+        debug_assert_eq!(schema.n_attrs(), row.len());
+        Self { schema, row, next_attr: 0 }
+    }
+
+    /// Convenience constructor for dataset rows.
+    pub fn of_item(dataset: &'a Dataset, item: usize) -> Self {
+        Self::new(dataset.schema(), dataset.row(item))
+    }
+}
+
+impl Iterator for PresentElements<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        while self.next_attr < self.row.len() {
+            let a = self.next_attr;
+            let v = self.row[a];
+            self.next_attr += 1;
+            let attr = AttrId(a as u32);
+            if !self.schema.is_absent(attr, v) {
+                return Some(element_key(attr, v));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, Some(self.row.len() - self.next_attr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::NOT_PRESENT;
+
+    #[test]
+    fn key_round_trips() {
+        let k = element_key(AttrId(42), ValueId(7));
+        assert_eq!(split_element_key(k), (AttrId(42), ValueId(7)));
+    }
+
+    #[test]
+    fn keys_are_distinct_across_attributes() {
+        // Same value in different columns must be a different set element —
+        // this is what makes the padded `zoo-0`/`zoo-1` trick unnecessary at
+        // the encoded level.
+        assert_ne!(element_key(AttrId(0), ValueId(3)), element_key(AttrId(1), ValueId(3)));
+    }
+
+    #[test]
+    fn extreme_ids_round_trip() {
+        let k = element_key(AttrId(u32::MAX), ValueId(u32::MAX - 1));
+        assert_eq!(split_element_key(k), (AttrId(u32::MAX), ValueId(u32::MAX - 1)));
+    }
+
+    #[test]
+    fn iterator_yields_all_when_everything_present() {
+        let schema = Schema::anonymous(3);
+        let row = [ValueId(1), ValueId(2), ValueId(3)];
+        let keys: Vec<u64> = PresentElements::new(&schema, &row).collect();
+        assert_eq!(keys.len(), 3);
+        assert_eq!(split_element_key(keys[1]), (AttrId(1), ValueId(2)));
+    }
+
+    #[test]
+    fn iterator_skips_not_present_sentinel() {
+        let schema = Schema::anonymous(3);
+        let row = [NOT_PRESENT, ValueId(2), NOT_PRESENT];
+        let keys: Vec<u64> = PresentElements::new(&schema, &row).collect();
+        assert_eq!(keys, vec![element_key(AttrId(1), ValueId(2))]);
+    }
+
+    #[test]
+    fn iterator_skips_registered_absent_values() {
+        let mut schema = Schema::anonymous(2);
+        let no = schema.dictionary_mut(AttrId(0)).intern("word-0");
+        let yes = schema.dictionary_mut(AttrId(0)).intern("word-1");
+        schema.set_absent_value(AttrId(0), no);
+        let row = [no, ValueId(9)];
+        let keys: Vec<u64> = PresentElements::new(&schema, &row).collect();
+        assert_eq!(keys, vec![element_key(AttrId(1), ValueId(9))]);
+        let row2 = [yes, ValueId(9)];
+        assert_eq!(PresentElements::new(&schema, &row2).count(), 2);
+    }
+
+    #[test]
+    fn empty_row_yields_nothing() {
+        let schema = Schema::anonymous(0);
+        assert_eq!(PresentElements::new(&schema, &[]).count(), 0);
+    }
+
+    #[test]
+    fn size_hint_upper_bound_holds() {
+        let schema = Schema::anonymous(4);
+        let row = [ValueId(1), NOT_PRESENT, ValueId(3), ValueId(4)];
+        let it = PresentElements::new(&schema, &row);
+        let (_, hi) = it.size_hint();
+        assert_eq!(hi, Some(4));
+        assert!(it.count() <= 4);
+    }
+}

@@ -1,0 +1,182 @@
+//! Minimal CSV interchange for categorical datasets.
+//!
+//! Format: first line is a header of attribute names; an optional final
+//! column named `__label` carries the ground-truth class as an integer.
+//! Values are unquoted and must not contain commas or newlines — sufficient
+//! for the workspace's synthetic data and keeps the substrate dependency-free.
+
+use crate::dataset::{Dataset, DatasetBuilder};
+use std::io::{self, BufRead, BufWriter, Write};
+
+/// Column name that marks the ground-truth label column.
+pub const LABEL_COLUMN: &str = "__label";
+
+/// Errors from [`read_csv`].
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem with the CSV content.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads a dataset from CSV text.
+pub fn read_csv<R: BufRead>(reader: R) -> Result<Dataset, CsvError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or(CsvError::Malformed { line: 1, reason: "empty input".into() })??;
+    let mut cols: Vec<String> = header.split(',').map(str::trim).map(String::from).collect();
+    let has_label = cols.last().map(String::as_str) == Some(LABEL_COLUMN);
+    if has_label {
+        cols.pop();
+    }
+    if cols.is_empty() {
+        return Err(CsvError::Malformed { line: 1, reason: "no attribute columns".into() });
+    }
+    let n_attrs = cols.len();
+    let mut builder = DatasetBuilder::new(cols);
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields: Vec<&str> = line.split(',').collect();
+        let expected = n_attrs + usize::from(has_label);
+        if fields.len() != expected {
+            return Err(CsvError::Malformed {
+                line: lineno + 2,
+                reason: format!("expected {expected} fields, got {}", fields.len()),
+            });
+        }
+        let label = if has_label {
+            let raw = fields.pop().unwrap();
+            Some(raw.trim().parse::<u32>().map_err(|_| CsvError::Malformed {
+                line: lineno + 2,
+                reason: format!("label {raw:?} is not a u32"),
+            })?)
+        } else {
+            None
+        };
+        builder
+            .push_str_row(&fields, label)
+            .map_err(|e| CsvError::Malformed { line: lineno + 2, reason: e.to_string() })?;
+    }
+    Ok(builder.finish())
+}
+
+/// Writes a dataset as CSV (decoding value ids back to strings).
+pub fn write_csv<W: Write>(dataset: &Dataset, writer: W) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    let schema = dataset.schema();
+    for a in 0..dataset.n_attrs() {
+        if a > 0 {
+            out.write_all(b",")?;
+        }
+        out.write_all(schema.attr_name(crate::AttrId(a as u32)).as_bytes())?;
+    }
+    if dataset.labels().is_some() {
+        write!(out, ",{LABEL_COLUMN}")?;
+    }
+    out.write_all(b"\n")?;
+    for i in 0..dataset.n_items() {
+        let decoded = dataset.decode_row(i);
+        out.write_all(decoded.join(",").as_bytes())?;
+        if let Some(labels) = dataset.labels() {
+            write!(out, ",{}", labels[i])?;
+        }
+        out.write_all(b"\n")?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "colour,shape,__label\nred,square,0\nred,circle,0\nblue,circle,1\n";
+
+    #[test]
+    fn read_labelled_csv() {
+        let ds = read_csv(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(ds.n_items(), 3);
+        assert_eq!(ds.n_attrs(), 2);
+        assert_eq!(ds.labels(), Some(&[0, 0, 1][..]));
+        assert_eq!(ds.decode_row(0), vec!["red".to_owned(), "square".to_owned()]);
+    }
+
+    #[test]
+    fn read_unlabelled_csv() {
+        let ds = read_csv(Cursor::new("a,b\nx,y\n")).unwrap();
+        assert_eq!(ds.n_items(), 1);
+        assert!(ds.labels().is_none());
+    }
+
+    #[test]
+    fn round_trip_preserves_content() {
+        let ds = read_csv(Cursor::new(SAMPLE)).unwrap();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let again = read_csv(Cursor::new(buf)).unwrap();
+        assert_eq!(again.n_items(), ds.n_items());
+        for i in 0..ds.n_items() {
+            assert_eq!(again.decode_row(i), ds.decode_row(i));
+        }
+        assert_eq!(again.labels(), ds.labels());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let ds = read_csv(Cursor::new("a\nx\n\ny\n")).unwrap();
+        assert_eq!(ds.n_items(), 2);
+    }
+
+    #[test]
+    fn field_count_mismatch_is_reported_with_line() {
+        let err = read_csv(Cursor::new("a,b\nx\n")).unwrap_err();
+        match err {
+            CsvError::Malformed { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_label_is_reported() {
+        let err = read_csv(Cursor::new("a,__label\nx,notanumber\n")).unwrap_err();
+        assert!(err.to_string().contains("not a u32"));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(read_csv(Cursor::new("")).is_err());
+    }
+
+    #[test]
+    fn header_only_gives_empty_dataset() {
+        let ds = read_csv(Cursor::new("a,b\n")).unwrap();
+        assert_eq!(ds.n_items(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Dictionary-encoded categorical datasets and the dissimilarity measures used
+//! by K-Modes and MinHash.
+//!
+//! This crate is the data substrate beneath the whole `lshclust` workspace.
+//! It provides:
+//!
+//! * [`Dataset`] — a dense, row-major matrix of dictionary-encoded categorical
+//!   values with an optional ground-truth label column,
+//! * [`Schema`] / [`Dictionary`] — per-attribute string interning so that
+//!   values compare as `u32`s rather than strings,
+//! * [`dissimilarity`] — the simple matching dissimilarity of Eq. 1–2 of the
+//!   paper and the Jaccard similarity of Eq. 6,
+//! * [`elements`] — the "present feature value" set view of an item that
+//!   MinHash consumes (Algorithm 2, lines 2–4 filter out absent features),
+//! * [`io`] — a small CSV reader/writer for interoperability.
+//!
+//! # Example
+//!
+//! ```
+//! use lshclust_categorical::{DatasetBuilder, dissimilarity::matching};
+//!
+//! let mut b = DatasetBuilder::new(vec!["colour".into(), "shape".into()]);
+//! b.push_str_row(&["red", "square"], None).unwrap();
+//! b.push_str_row(&["red", "circle"], None).unwrap();
+//! let ds = b.finish();
+//!
+//! assert_eq!(ds.n_items(), 2);
+//! assert_eq!(matching(ds.row(0), ds.row(1)), 1); // shapes differ
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dictionary;
+pub mod dissimilarity;
+pub mod elements;
+pub mod io;
+pub mod types;
+
+pub use dataset::{Dataset, DatasetBuilder};
+pub use dictionary::{Dictionary, Schema};
+pub use elements::{element_key, split_element_key, PresentElements};
+pub use types::{AttrId, ClusterId, ItemId, ValueId, NOT_PRESENT};

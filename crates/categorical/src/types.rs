@@ -1,0 +1,92 @@
+//! Small index newtypes shared across the workspace.
+//!
+//! Everything is deliberately a `u32` wrapper: the paper's largest dataset is
+//! 250 000 items × 400 attributes with a 40 000-value domain, all comfortably
+//! inside `u32`, and halving index width keeps the hot assignment loop's
+//! working set small (see the type-size advice in the Rust perf guide).
+
+use std::fmt;
+
+/// Index of an item (row) in a [`crate::Dataset`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ItemId(pub u32);
+
+/// Index of an attribute (column) in a [`crate::Dataset`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct AttrId(pub u32);
+
+/// Dictionary-encoded categorical value within one attribute's domain.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ValueId(pub u32);
+
+/// Index of a cluster (centroid).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ClusterId(pub u32);
+
+/// Sentinel [`ValueId`] meaning "this feature is not present in this item".
+///
+/// The text pipeline encodes word absence with this value so that the MinHash
+/// element iterator can skip it (the paper filters absent features before
+/// signature generation — Algorithm 2 lines 2–4). `u32::MAX` can never be a
+/// legitimate dictionary code because dictionaries grow from zero.
+pub const NOT_PRESENT: ValueId = ValueId(u32::MAX);
+
+macro_rules! impl_idx {
+    ($t:ty) => {
+        impl $t {
+            /// Widen to `usize` for slice indexing.
+            #[inline(always)]
+            pub fn idx(self) -> usize {
+                self.0 as usize
+            }
+        }
+        impl From<u32> for $t {
+            #[inline]
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+        impl From<usize> for $t {
+            #[inline]
+            fn from(v: usize) -> Self {
+                debug_assert!(v <= u32::MAX as usize, "index overflows u32");
+                Self(v as u32)
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+impl_idx!(ItemId);
+impl_idx!(AttrId);
+impl_idx!(ValueId);
+impl_idx!(ClusterId);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_round_trips() {
+        assert_eq!(ItemId::from(7usize).idx(), 7);
+        assert_eq!(AttrId::from(3u32).0, 3);
+        assert_eq!(ValueId::from(0usize), ValueId(0));
+        assert_eq!(ClusterId(9).to_string(), "9");
+    }
+
+    #[test]
+    fn not_present_is_max() {
+        assert_eq!(NOT_PRESENT.0, u32::MAX);
+        assert_ne!(NOT_PRESENT, ValueId(0));
+    }
+
+    #[test]
+    fn ordering_follows_inner_value() {
+        assert!(ClusterId(1) < ClusterId(2));
+        assert!(ItemId(0) < ItemId(10));
+    }
+}

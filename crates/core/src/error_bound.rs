@@ -1,0 +1,226 @@
+//! Empirical verification of the §III-C error bound.
+//!
+//! The paper proves: when clustering an item `X` with `m` attributes, if
+//! `C_n` is the cluster whose mode is nearest to `X`, then the probability
+//! that the LSH index fails to put `C_n` on `X`'s shortlist is at most
+//! `(1 − (1/(2m−1))^r)^{b·|C_n|}`. This module measures the *actual* miss
+//! rate of an index against the modes it would be queried with, so the
+//! experiments can print "paper bound vs measured" rows.
+
+use crate::mhkmodes::KModesModel;
+use lshclust_categorical::{ClusterId, Dataset};
+use lshclust_kmodes::modes::{group_by_cluster, Modes};
+use lshclust_minhash::index::LshIndex;
+use lshclust_minhash::probability;
+
+/// Outcome of an error-bound audit.
+#[derive(Clone, Debug)]
+pub struct BoundReport {
+    /// Items audited.
+    pub n_items: usize,
+    /// Items whose true best cluster was absent from their shortlist.
+    pub misses: usize,
+    /// `misses / n_items`.
+    pub miss_rate: f64,
+    /// Misses when the item's own index entry is ignored — the quantity the
+    /// §III-C argument actually bounds (it requires a collision with some
+    /// *other* member `Y` of the best cluster). Self-collision only helps,
+    /// so `misses <= misses_excl_self` always.
+    pub misses_excl_self: usize,
+    /// `misses_excl_self / n_items`.
+    pub miss_rate_excl_self: f64,
+    /// Mean of the per-item analytic bounds `(1−(1/(2m−1))^r)^{b·|C_n|}`
+    /// (using each item's actual best-cluster population).
+    pub mean_analytic_bound: f64,
+    /// Worst-case analytic bound over audited items.
+    pub max_analytic_bound: f64,
+    /// Mean shortlist length observed.
+    pub avg_shortlist: f64,
+    /// Items whose best cluster shares no attribute value with them — the
+    /// bound's precondition fails for these (they are still audited; misses
+    /// among them are counted).
+    pub unbounded_items: usize,
+}
+
+/// Audits `index` against `modes`: for every item, compares the full-search
+/// best cluster with the shortlist the index produces.
+///
+/// `assignments` must be the cluster references currently stored in the index
+/// (used to size cluster populations for the per-item bound).
+pub fn audit(
+    dataset: &Dataset,
+    modes: &Modes,
+    index: &LshIndex,
+    assignments: &[ClusterId],
+) -> BoundReport {
+    assert_eq!(assignments.len(), dataset.n_items());
+    let n = dataset.n_items();
+    let k = modes.k();
+    let model = KModesModel::new(dataset, modes.clone());
+    let groups = group_by_cluster(assignments, k);
+    let banding = index.banding();
+    let m = dataset.n_attrs();
+
+    let mut scratch = index.make_scratch(k);
+    let mut misses = 0usize;
+    let mut misses_excl_self = 0usize;
+    let mut shortlist_total = 0usize;
+    let mut bound_sum = 0.0f64;
+    let mut bound_max = 0.0f64;
+    let mut unbounded = 0usize;
+
+    for item in 0..n as u32 {
+        use crate::framework::CentroidModel;
+        let (best, best_d) = model.best_full(item);
+        index.shortlist(item, &mut scratch, true);
+        if !scratch.clusters.contains(&best) {
+            misses_excl_self += 1;
+        }
+        index.shortlist(item, &mut scratch, false);
+        shortlist_total += scratch.clusters.len();
+        if !scratch.clusters.contains(&best) {
+            misses += 1;
+        }
+        // Per-item analytic bound: |C_n| counts the best cluster's members
+        // other than the item itself.
+        let mut population = groups.len(best.idx());
+        if assignments[item as usize] == best {
+            population = population.saturating_sub(1);
+        }
+        if best_d as usize >= m || population == 0 {
+            // Precondition of §III-C fails: no member shares a value (or the
+            // cluster is otherwise empty); the bound degenerates to 1.
+            unbounded += 1;
+            bound_sum += 1.0;
+            bound_max = 1.0f64.max(bound_max);
+        } else {
+            let b = probability::error_bound(m, banding.rows(), banding.bands(), population as u32);
+            bound_sum += b;
+            bound_max = bound_max.max(b);
+        }
+    }
+
+    BoundReport {
+        n_items: n,
+        misses,
+        miss_rate: if n == 0 { 0.0 } else { misses as f64 / n as f64 },
+        misses_excl_self,
+        miss_rate_excl_self: if n == 0 { 0.0 } else { misses_excl_self as f64 / n as f64 },
+        mean_analytic_bound: if n == 0 { 0.0 } else { bound_sum / n as f64 },
+        max_analytic_bound: bound_max,
+        avg_shortlist: if n == 0 { 0.0 } else { shortlist_total as f64 / n as f64 },
+        unbounded_items: unbounded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshclust_categorical::DatasetBuilder;
+    use lshclust_kmodes::init::{initial_modes, InitMethod};
+    use lshclust_minhash::index::LshIndexBuilder;
+    use lshclust_minhash::Banding;
+
+    fn blob_dataset(groups: usize, per_group: usize, n_attrs: usize) -> Dataset {
+        let mut b = DatasetBuilder::anonymous(n_attrs);
+        for g in 0..groups {
+            for i in 0..per_group {
+                let row: Vec<String> = (0..n_attrs)
+                    .map(|a| {
+                        if a == 0 {
+                            format!("g{g}-n{i}")
+                        } else {
+                            format!("g{g}-a{a}")
+                        }
+                    })
+                    .collect();
+                let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+                b.push_str_row(&refs, Some(g as u32)).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    fn ground_truth_assignments(ds: &Dataset, per_group: usize) -> Vec<ClusterId> {
+        (0..ds.n_items()).map(|i| ClusterId((i / per_group) as u32)).collect()
+    }
+
+    #[test]
+    fn aggressive_banding_has_zero_misses() {
+        let ds = blob_dataset(4, 5, 8);
+        let assignments = ground_truth_assignments(&ds, 5);
+        let mut modes = initial_modes(&ds, 4, InitMethod::RandomItems, 1);
+        modes.recompute(&ds, &assignments);
+        // 64 bands of 1 row: candidate probability ≈ 1 even for s = 1/(2m−1).
+        let index = LshIndexBuilder::new(Banding::new(64, 1)).seed(1).build(&ds, &assignments);
+        let report = audit(&ds, &modes, &index, &assignments);
+        assert_eq!(report.misses, 0, "{report:?}");
+        assert!(report.miss_rate <= report.mean_analytic_bound + 1e-9);
+    }
+
+    #[test]
+    fn strict_banding_misses_more_but_bound_holds_loosely() {
+        let ds = blob_dataset(6, 4, 6);
+        let assignments = ground_truth_assignments(&ds, 4);
+        let mut modes = initial_modes(&ds, 6, InitMethod::RandomItems, 2);
+        modes.recompute(&ds, &assignments);
+        // 2 bands of 8 rows: collisions need near-identical items.
+        let index = LshIndexBuilder::new(Banding::new(2, 8)).seed(2).build(&ds, &assignments);
+        let report = audit(&ds, &modes, &index, &assignments);
+        // The bound with such strict banding is close to 1 — it must still
+        // dominate the measured rate.
+        assert!(report.miss_rate <= report.mean_analytic_bound + 0.05, "{report:?}");
+    }
+
+    #[test]
+    fn self_collision_only_reduces_misses() {
+        let ds = blob_dataset(5, 4, 6);
+        let assignments = ground_truth_assignments(&ds, 4);
+        let mut modes = initial_modes(&ds, 5, InitMethod::RandomItems, 7);
+        modes.recompute(&ds, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(4, 4)).seed(7).build(&ds, &assignments);
+        let report = audit(&ds, &modes, &index, &assignments);
+        assert!(report.misses <= report.misses_excl_self, "{report:?}");
+        assert!(report.miss_rate <= report.miss_rate_excl_self + 1e-12);
+    }
+
+    #[test]
+    fn excl_self_miss_rate_respects_bound_for_r1() {
+        // r = 1 is where the §III-C bound is informative; verify on a
+        // balanced dataset with the paper-style 25b1r parameters.
+        let ds = blob_dataset(8, 6, 10);
+        let assignments = ground_truth_assignments(&ds, 6);
+        let mut modes = initial_modes(&ds, 8, InitMethod::RandomItems, 9);
+        modes.recompute(&ds, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(25, 1)).seed(9).build(&ds, &assignments);
+        let report = audit(&ds, &modes, &index, &assignments);
+        assert!(
+            report.miss_rate_excl_self <= report.mean_analytic_bound + 0.05,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let ds = blob_dataset(3, 4, 5);
+        let assignments = ground_truth_assignments(&ds, 4);
+        let mut modes = initial_modes(&ds, 3, InitMethod::RandomItems, 3);
+        modes.recompute(&ds, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(8, 2)).seed(3).build(&ds, &assignments);
+        let report = audit(&ds, &modes, &index, &assignments);
+        assert_eq!(report.n_items, 12);
+        assert!(report.avg_shortlist >= 1.0);
+        assert!(report.miss_rate >= 0.0 && report.miss_rate <= 1.0);
+        assert!(report.mean_analytic_bound <= report.max_analytic_bound + 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_report() {
+        let ds = DatasetBuilder::anonymous(2).finish();
+        let modes = initial_modes(&blob_dataset(1, 1, 2), 1, InitMethod::RandomItems, 0);
+        let index = LshIndexBuilder::new(Banding::new(2, 1)).build(&ds, &[]);
+        let report = audit(&ds, &modes, &index, &[]);
+        assert_eq!(report.n_items, 0);
+        assert_eq!(report.miss_rate, 0.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! The algorithm-agnostic acceleration framework.
+//!
+//! The paper presents its idea as "a general framework to accelerate existing
+//! clustering algorithms … applied to a set of centroid-based clustering
+//! algorithms that assign an object to the most similar cluster". This module
+//! is that framework, reduced to two traits and one driver:
+//!
+//! * a [`CentroidModel`] owns the centroids and knows how to (a) find the
+//!   best centroid for an item among a candidate set, and (b) refresh the
+//!   centroids from assignments;
+//! * a [`ShortlistProvider`] owns the LSH index and knows how to (a) produce
+//!   the candidate-cluster shortlist for an item and (b) record assignment
+//!   changes (Algorithm 2's cluster-reference update);
+//! * [`fit`] alternates shortlisted assignment passes with centroid updates
+//!   until convergence, instrumenting every pass.
+//!
+//! `MH-K-Modes` is `fit` applied to a K-Modes model and a MinHash provider;
+//! the K-Means/SimHash extension reuses the identical driver, demonstrating
+//! the framework's generality.
+
+use lshclust_categorical::ClusterId;
+use lshclust_kmodes::stats::{IterationStats, RunSummary};
+use std::time::Instant;
+
+/// A centroid-based clustering algorithm, abstracted to what the framework
+/// needs. Distances are surfaced as `f64` so categorical (integer mismatch
+/// counts) and numeric (squared Euclidean) models fit the same interface.
+pub trait CentroidModel {
+    /// Number of clusters `k`.
+    fn k(&self) -> usize;
+
+    /// Number of items.
+    fn n_items(&self) -> usize;
+
+    /// Full search: the best cluster for `item` over all `k` centroids.
+    fn best_full(&self, item: u32) -> (ClusterId, f64);
+
+    /// Restricted search over `candidates`; `None` iff the slice is empty.
+    fn best_among(&self, item: u32, candidates: &[ClusterId]) -> Option<(ClusterId, f64)>;
+
+    /// Recomputes all centroids from `assignments`.
+    fn update_centroids(&mut self, assignments: &[ClusterId]);
+
+    /// Total cost of `assignments` under the current centroids.
+    fn total_cost(&self, assignments: &[ClusterId]) -> f64;
+}
+
+/// The cluster search-space reducer (the LSH index of the paper).
+pub trait ShortlistProvider {
+    /// Writes the candidate clusters for `item` into `out` (cleared first).
+    ///
+    /// Implementations should include the item's *current* cluster whenever
+    /// the item is indexed (self-collision) — the framework falls back to
+    /// "stay put" if the shortlist comes back empty.
+    fn shortlist(&mut self, item: u32, out: &mut Vec<ClusterId>);
+
+    /// Records that `item` is now assigned to `cluster` (Algorithm 2's
+    /// reference update, performed after every move).
+    fn record_assignment(&mut self, item: u32, cluster: ClusterId);
+}
+
+/// Convergence controls for [`fit`].
+#[derive(Clone, Debug)]
+pub struct FitConfig {
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Stop when an iteration makes no moves.
+    pub stop_on_no_moves: bool,
+    /// Stop when the cost fails to decrease (the paper's "cost has
+    /// minimised" criterion). Shortlisted assignment is not guaranteed
+    /// monotone, so this also guards against oscillation.
+    pub stop_on_cost_increase: bool,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self { max_iterations: 100, stop_on_no_moves: true, stop_on_cost_increase: true }
+    }
+}
+
+/// Outcome of an accelerated run.
+#[derive(Clone, Debug)]
+pub struct AcceleratedRun {
+    /// Final cluster per item.
+    pub assignments: Vec<ClusterId>,
+    /// Instrumentation (per-iteration time, moves, avg shortlist, cost).
+    pub summary: RunSummary,
+}
+
+/// Drives shortlisted assignment / centroid update rounds to convergence.
+///
+/// `assignments` supplies the starting state (for MH-K-Modes, the result of
+/// the initial full assignment pass); `setup` is the time already spent
+/// producing it (initial assignment + index build), carried into the summary
+/// so total-time comparisons include it, as the paper requires.
+pub fn fit<M: CentroidModel, P: ShortlistProvider>(
+    model: &mut M,
+    provider: &mut P,
+    mut assignments: Vec<ClusterId>,
+    setup: std::time::Duration,
+    config: &FitConfig,
+) -> AcceleratedRun {
+    assert_eq!(assignments.len(), model.n_items(), "one starting assignment per item");
+    let n = model.n_items();
+    let mut iterations = Vec::new();
+    let mut converged = false;
+    let mut prev_cost = f64::INFINITY;
+    let mut shortlist = Vec::new();
+    for iteration in 1..=config.max_iterations {
+        let t = Instant::now();
+        let mut moves = 0usize;
+        let mut shortlist_total = 0usize;
+        for item in 0..n as u32 {
+            provider.shortlist(item, &mut shortlist);
+            shortlist_total += shortlist.len();
+            let current = assignments[item as usize];
+            let chosen = match model.best_among(item, &shortlist) {
+                Some((c, _)) => c,
+                // Empty shortlist (only possible when self-collision is
+                // disabled): keep the current assignment.
+                None => current,
+            };
+            if chosen != current {
+                assignments[item as usize] = chosen;
+                moves += 1;
+                provider.record_assignment(item, chosen);
+            }
+        }
+        model.update_centroids(&assignments);
+        let cost = model.total_cost(&assignments);
+        iterations.push(IterationStats {
+            iteration,
+            duration: t.elapsed(),
+            moves,
+            avg_candidates: if n == 0 { 0.0 } else { shortlist_total as f64 / n as f64 },
+            cost: cost as u64,
+        });
+        if config.stop_on_no_moves && moves == 0 {
+            converged = true;
+            break;
+        }
+        if config.stop_on_cost_increase && cost >= prev_cost {
+            converged = true;
+            break;
+        }
+        prev_cost = cost;
+    }
+    AcceleratedRun { assignments, summary: RunSummary { iterations, converged, setup } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A 1-D toy model: items and centroids are integers, distance is |a−b|.
+    /// Centroid update moves each centroid to the rounded mean of its items.
+    struct LineModel {
+        items: Vec<i64>,
+        centroids: Vec<i64>,
+    }
+
+    impl CentroidModel for LineModel {
+        fn k(&self) -> usize {
+            self.centroids.len()
+        }
+        fn n_items(&self) -> usize {
+            self.items.len()
+        }
+        fn best_full(&self, item: u32) -> (ClusterId, f64) {
+            let x = self.items[item as usize];
+            let (c, d) = self
+                .centroids
+                .iter()
+                .enumerate()
+                .map(|(c, &v)| (c, (x - v).abs()))
+                .min_by_key(|&(c, d)| (d, c))
+                .unwrap();
+            (ClusterId(c as u32), d as f64)
+        }
+        fn best_among(&self, item: u32, candidates: &[ClusterId]) -> Option<(ClusterId, f64)> {
+            let x = self.items[item as usize];
+            candidates
+                .iter()
+                .map(|&c| (c, (x - self.centroids[c.idx()]).abs()))
+                .min_by_key(|&(c, d)| (d, c))
+                .map(|(c, d)| (c, d as f64))
+        }
+        fn update_centroids(&mut self, assignments: &[ClusterId]) {
+            let k = self.k();
+            let mut sums = vec![0i64; k];
+            let mut counts = vec![0i64; k];
+            for (i, &c) in assignments.iter().enumerate() {
+                sums[c.idx()] += self.items[i];
+                counts[c.idx()] += 1;
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    self.centroids[c] = sums[c] / counts[c];
+                }
+            }
+        }
+        fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
+            assignments
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (self.items[i] - self.centroids[c.idx()]).abs() as f64)
+                .sum()
+        }
+    }
+
+    /// A provider that always offers every cluster (degenerate but exact).
+    struct FullProvider {
+        k: usize,
+    }
+
+    impl ShortlistProvider for FullProvider {
+        fn shortlist(&mut self, _item: u32, out: &mut Vec<ClusterId>) {
+            out.clear();
+            out.extend((0..self.k as u32).map(ClusterId));
+        }
+        fn record_assignment(&mut self, _item: u32, _cluster: ClusterId) {}
+    }
+
+    /// A provider that only ever offers the item's current cluster — the
+    /// pathological lower bound (no exploration at all).
+    struct FrozenProvider {
+        current: Vec<ClusterId>,
+    }
+
+    impl ShortlistProvider for FrozenProvider {
+        fn shortlist(&mut self, item: u32, out: &mut Vec<ClusterId>) {
+            out.clear();
+            out.push(self.current[item as usize]);
+        }
+        fn record_assignment(&mut self, item: u32, cluster: ClusterId) {
+            self.current[item as usize] = cluster;
+        }
+    }
+
+    fn line_model() -> LineModel {
+        LineModel { items: vec![0, 1, 2, 100, 101, 102], centroids: vec![2, 100] }
+    }
+
+    #[test]
+    fn full_provider_reaches_exact_clustering() {
+        let mut model = line_model();
+        let mut provider = FullProvider { k: 2 };
+        let start = vec![ClusterId(0); 6];
+        let run = fit(&mut model, &mut provider, start, Duration::ZERO, &FitConfig::default());
+        assert!(run.summary.converged);
+        assert_eq!(run.assignments[..3], [ClusterId(0); 3]);
+        assert_eq!(run.assignments[3..], [ClusterId(1); 3]);
+        assert_eq!(model.centroids, vec![1, 101]);
+    }
+
+    #[test]
+    fn frozen_provider_never_moves_anything() {
+        let mut model = line_model();
+        let start = vec![ClusterId(0); 6];
+        let mut provider = FrozenProvider { current: start.clone() };
+        let run = fit(&mut model, &mut provider, start.clone(), Duration::ZERO, &FitConfig::default());
+        assert_eq!(run.assignments, start);
+        assert_eq!(run.summary.n_iterations(), 1); // 0 moves → immediate stop
+        assert!(run.summary.converged);
+    }
+
+    #[test]
+    fn avg_candidates_is_recorded() {
+        let mut model = line_model();
+        let mut provider = FullProvider { k: 2 };
+        let run = fit(
+            &mut model,
+            &mut provider,
+            vec![ClusterId(0); 6],
+            Duration::ZERO,
+            &FitConfig::default(),
+        );
+        for s in &run.summary.iterations {
+            assert_eq!(s.avg_candidates, 2.0);
+        }
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let mut model = line_model();
+        let mut provider = FullProvider { k: 2 };
+        let cfg = FitConfig { max_iterations: 1, ..FitConfig::default() };
+        let run = fit(&mut model, &mut provider, vec![ClusterId(0); 6], Duration::ZERO, &cfg);
+        assert_eq!(run.summary.n_iterations(), 1);
+        assert!(!run.summary.converged);
+    }
+
+    #[test]
+    fn setup_time_propagates_to_summary() {
+        let mut model = line_model();
+        let mut provider = FullProvider { k: 2 };
+        let setup = Duration::from_millis(123);
+        let run =
+            fit(&mut model, &mut provider, vec![ClusterId(0); 6], setup, &FitConfig::default());
+        assert!(run.summary.total_time() >= setup);
+        assert_eq!(run.summary.setup, setup);
+    }
+
+    #[test]
+    fn empty_shortlist_keeps_current_assignment() {
+        struct EmptyProvider;
+        impl ShortlistProvider for EmptyProvider {
+            fn shortlist(&mut self, _item: u32, out: &mut Vec<ClusterId>) {
+                out.clear();
+            }
+            fn record_assignment(&mut self, _item: u32, _cluster: ClusterId) {}
+        }
+        let mut model = line_model();
+        let start: Vec<ClusterId> = vec![ClusterId(1); 6];
+        let run =
+            fit(&mut model, &mut EmptyProvider, start.clone(), Duration::ZERO, &FitConfig::default());
+        assert_eq!(run.assignments, start);
+    }
+
+    #[test]
+    fn record_assignment_sees_every_move() {
+        struct CountingProvider {
+            k: usize,
+            records: usize,
+        }
+        impl ShortlistProvider for CountingProvider {
+            fn shortlist(&mut self, _item: u32, out: &mut Vec<ClusterId>) {
+                out.clear();
+                out.extend((0..self.k as u32).map(ClusterId));
+            }
+            fn record_assignment(&mut self, _item: u32, _cluster: ClusterId) {
+                self.records += 1;
+            }
+        }
+        let mut model = line_model();
+        let mut provider = CountingProvider { k: 2, records: 0 };
+        let run = fit(
+            &mut model,
+            &mut provider,
+            vec![ClusterId(0); 6],
+            Duration::ZERO,
+            &FitConfig::default(),
+        );
+        let total_moves: usize = run.summary.iterations.iter().map(|s| s.moves).sum();
+        assert_eq!(provider.records, total_moves);
+        assert!(total_moves >= 3); // the three far items had to move
+    }
+
+    #[test]
+    #[should_panic(expected = "one starting assignment per item")]
+    fn fit_validates_assignment_length() {
+        let mut model = line_model();
+        let mut provider = FullProvider { k: 2 };
+        let _ = fit(&mut model, &mut provider, vec![], Duration::ZERO, &FitConfig::default());
+    }
+}

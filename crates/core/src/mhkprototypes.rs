@@ -1,0 +1,335 @@
+//! Mixed-data extension: **MH-K-Prototypes** — LSH-accelerated K-Prototypes.
+//!
+//! The paper's further work asks for "combinations of both" categorical and
+//! numeric data. The framework makes this a composition exercise:
+//!
+//! * the [`CentroidModel`] is K-Prototypes (mixed distance
+//!   `matching + γ·euclidean²`, mode+mean prototypes),
+//! * the [`ShortlistProvider`] is the **union** of a MinHash index over the
+//!   categorical part and a SimHash index over the numeric part
+//!   ([`UnionProvider`]) — an item collides if *either* modality finds it
+//!   similar, so the shortlist covers clusters that are close in either
+//!   space.
+//!
+//! The driver is the unchanged [`crate::framework::fit`].
+
+use crate::framework::{self, CentroidModel, FitConfig, ShortlistProvider};
+use crate::mhkmeans::{SimHashIndex, SimHashProvider};
+use crate::mhkmodes::MinHashProvider;
+use lshclust_categorical::ClusterId;
+use lshclust_kmodes::kprototypes::{MixedDataset, Prototypes};
+use lshclust_kmodes::stats::RunSummary;
+use lshclust_minhash::index::LshIndexBuilder;
+use lshclust_minhash::Banding;
+use std::time::Instant;
+
+/// The K-Prototypes instantiation of [`CentroidModel`].
+pub struct KPrototypesModel<'a> {
+    data: &'a MixedDataset<'a>,
+    prototypes: Prototypes,
+    gamma: f64,
+}
+
+impl<'a> KPrototypesModel<'a> {
+    /// Wraps mixed data with initial prototypes and a mixing weight.
+    pub fn new(data: &'a MixedDataset<'a>, prototypes: Prototypes, gamma: f64) -> Self {
+        Self { data, prototypes, gamma }
+    }
+
+    /// The current prototypes.
+    pub fn prototypes(&self) -> &Prototypes {
+        &self.prototypes
+    }
+}
+
+impl CentroidModel for KPrototypesModel<'_> {
+    fn k(&self) -> usize {
+        self.prototypes.k()
+    }
+
+    fn n_items(&self) -> usize {
+        self.data.n_items()
+    }
+
+    fn best_full(&self, item: u32) -> (ClusterId, f64) {
+        let mut best = ClusterId(0);
+        let mut best_d = f64::INFINITY;
+        for c in 0..self.k() {
+            let d = self.prototypes.distance(self.data, item as usize, c, self.gamma);
+            if d < best_d {
+                best_d = d;
+                best = ClusterId(c as u32);
+            }
+        }
+        (best, best_d)
+    }
+
+    fn best_among(&self, item: u32, candidates: &[ClusterId]) -> Option<(ClusterId, f64)> {
+        let mut best: Option<(ClusterId, f64)> = None;
+        for &c in candidates {
+            let d = self.prototypes.distance(self.data, item as usize, c.idx(), self.gamma);
+            let replace = match best {
+                None => true,
+                Some((bc, bd)) => d < bd || (d == bd && c < bc),
+            };
+            if replace {
+                best = Some((c, d));
+            }
+        }
+        best
+    }
+
+    fn update_centroids(&mut self, assignments: &[ClusterId]) {
+        self.prototypes.recompute(self.data, assignments);
+    }
+
+    fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
+        assignments
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.prototypes.distance(self.data, i, c.idx(), self.gamma))
+            .sum()
+    }
+}
+
+/// Union of two shortlist providers: candidates from either, deduplicated.
+///
+/// Both providers receive every `record_assignment` so their cluster
+/// references stay in lock-step.
+pub struct UnionProvider<A: ShortlistProvider, B: ShortlistProvider> {
+    first: A,
+    second: B,
+    buf: Vec<ClusterId>,
+}
+
+impl<A: ShortlistProvider, B: ShortlistProvider> UnionProvider<A, B> {
+    /// Combines two providers.
+    pub fn new(first: A, second: B) -> Self {
+        Self { first, second, buf: Vec::new() }
+    }
+}
+
+impl<A: ShortlistProvider, B: ShortlistProvider> ShortlistProvider for UnionProvider<A, B> {
+    fn shortlist(&mut self, item: u32, out: &mut Vec<ClusterId>) {
+        self.first.shortlist(item, out);
+        self.second.shortlist(item, &mut self.buf);
+        for &c in &self.buf {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+
+    fn record_assignment(&mut self, item: u32, cluster: ClusterId) {
+        self.first.record_assignment(item, cluster);
+        self.second.record_assignment(item, cluster);
+    }
+}
+
+/// Configuration for MH-K-Prototypes.
+#[derive(Clone, Debug)]
+pub struct MhKPrototypesConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Mixing weight γ.
+    pub gamma: f64,
+    /// MinHash banding for the categorical part.
+    pub banding: Banding,
+    /// SimHash bands × rows for the numeric part.
+    pub sim_bands: u32,
+    /// SimHash bits per band.
+    pub sim_rows: u32,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl MhKPrototypesConfig {
+    /// Defaults: 20b5r MinHash, 8 bands × 16 bits SimHash (high-rows SimHash
+    /// keeps angular wedges narrow; see `bench_index`), 100-iteration cap.
+    pub fn new(k: usize, gamma: f64) -> Self {
+        Self {
+            k,
+            gamma,
+            banding: Banding::new(20, 5),
+            sim_bands: 8,
+            sim_rows: 16,
+            max_iterations: 100,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of an MH-K-Prototypes run.
+pub struct MhKPrototypesResult {
+    /// Final cluster per item.
+    pub assignments: Vec<ClusterId>,
+    /// Final prototypes.
+    pub prototypes: Prototypes,
+    /// Instrumentation.
+    pub summary: RunSummary,
+}
+
+/// Runs LSH-accelerated K-Prototypes on mixed data.
+pub fn mh_kprototypes(
+    data: &MixedDataset<'_>,
+    config: &MhKPrototypesConfig,
+) -> MhKPrototypesResult {
+    let setup_start = Instant::now();
+    let picks =
+        lshclust_kmodes::init::sample_distinct_items(data.n_items(), config.k, config.seed);
+    let prototypes = Prototypes::from_items(data, &picks);
+    let mut model = KPrototypesModel::new(data, prototypes, config.gamma);
+
+    // Initial full assignment.
+    let n = data.n_items();
+    let mut assignments = vec![ClusterId(0); n];
+    for (item, slot) in assignments.iter_mut().enumerate() {
+        *slot = model.best_full(item as u32).0;
+    }
+    model.update_centroids(&assignments);
+
+    // One index per modality, sharing cluster references through the union.
+    let minhash_index = LshIndexBuilder::new(config.banding)
+        .seed(config.seed ^ 0x6d68_6b70)
+        .build(data.categorical, &assignments);
+    let simhash_index = SimHashIndex::build(
+        data.numeric,
+        config.sim_bands,
+        config.sim_rows,
+        config.seed ^ 0x7368_6b70,
+        &assignments,
+    );
+    let mut provider = UnionProvider::new(
+        MinHashProvider::new(minhash_index, config.k, true),
+        SimHashProvider::new(simhash_index),
+    );
+    let setup = setup_start.elapsed();
+
+    let run = framework::fit(
+        &mut model,
+        &mut provider,
+        assignments,
+        setup,
+        &FitConfig { max_iterations: config.max_iterations, ..FitConfig::default() },
+    );
+    MhKPrototypesResult {
+        assignments: run.assignments,
+        prototypes: model.prototypes,
+        summary: run.summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshclust_categorical::{Dataset, DatasetBuilder};
+    use lshclust_kmodes::kmeans::NumericDataset;
+    use lshclust_kmodes::kprototypes::{kprototypes, suggest_gamma, KPrototypesConfig};
+
+    /// Groups separated in both modalities.
+    fn fixture(groups: usize, per_group: usize) -> (Dataset, NumericDataset) {
+        let mut b = DatasetBuilder::anonymous(4);
+        let mut numeric = Vec::new();
+        for g in 0..groups {
+            for i in 0..per_group {
+                let cat: Vec<String> = (0..4)
+                    .map(|a| if a == 3 { format!("g{g}n{i}") } else { format!("g{g}a{a}") })
+                    .collect();
+                let refs: Vec<&str> = cat.iter().map(String::as_str).collect();
+                b.push_str_row(&refs, Some(g as u32)).unwrap();
+                let base = g as f64 * 8.0;
+                numeric.extend_from_slice(&[base + 0.05 * i as f64, base - 0.05 * i as f64]);
+            }
+        }
+        (b.finish(), NumericDataset::new(2, numeric))
+    }
+
+    #[test]
+    fn recovers_mixed_blobs() {
+        let (cat, num) = fixture(4, 6);
+        let data = MixedDataset::new(&cat, &num);
+        let result = mh_kprototypes(&data, &MhKPrototypesConfig::new(4, suggest_gamma(&num)));
+        assert!(result.summary.converged);
+        for g in 0..4 {
+            let first = result.assignments[g * 6];
+            for i in 0..6 {
+                assert_eq!(result.assignments[g * 6 + i], first, "group {g} split");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_full_search_kprototypes_on_separated_data() {
+        let (cat, num) = fixture(3, 5);
+        let data = MixedDataset::new(&cat, &num);
+        let gamma = suggest_gamma(&num);
+        let full = kprototypes(&data, &KPrototypesConfig::new(3, gamma));
+        let accel = mh_kprototypes(&data, &MhKPrototypesConfig::new(3, gamma));
+        for i in 0..data.n_items() {
+            for j in (i + 1)..data.n_items() {
+                assert_eq!(
+                    full.assignments[i] == full.assignments[j],
+                    accel.assignments[i] == accel.assignments[j],
+                    "items {i},{j} co-membership differs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn union_provider_unions_and_dedups() {
+        struct Fixed(Vec<ClusterId>);
+        impl ShortlistProvider for Fixed {
+            fn shortlist(&mut self, _item: u32, out: &mut Vec<ClusterId>) {
+                out.clear();
+                out.extend_from_slice(&self.0);
+            }
+            fn record_assignment(&mut self, _item: u32, _cluster: ClusterId) {}
+        }
+        let mut union =
+            UnionProvider::new(Fixed(vec![ClusterId(1), ClusterId(2)]), Fixed(vec![ClusterId(2), ClusterId(3)]));
+        let mut out = Vec::new();
+        union.shortlist(0, &mut out);
+        let mut sorted = out.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![ClusterId(1), ClusterId(2), ClusterId(3)]);
+    }
+
+    #[test]
+    fn union_provider_propagates_assignments() {
+        struct Recording(Vec<(u32, ClusterId)>);
+        impl ShortlistProvider for Recording {
+            fn shortlist(&mut self, _item: u32, out: &mut Vec<ClusterId>) {
+                out.clear();
+            }
+            fn record_assignment(&mut self, item: u32, cluster: ClusterId) {
+                self.0.push((item, cluster));
+            }
+        }
+        let mut union = UnionProvider::new(Recording(Vec::new()), Recording(Vec::new()));
+        union.record_assignment(7, ClusterId(3));
+        assert_eq!(union.first.0, vec![(7, ClusterId(3))]);
+        assert_eq!(union.second.0, vec![(7, ClusterId(3))]);
+    }
+
+    #[test]
+    fn shortlist_smaller_than_k() {
+        let (cat, num) = fixture(8, 5);
+        let data = MixedDataset::new(&cat, &num);
+        let result = mh_kprototypes(&data, &MhKPrototypesConfig::new(8, suggest_gamma(&num)));
+        let last = result.summary.iterations.last().unwrap();
+        assert!(last.avg_candidates < 8.0, "avg shortlist {}", last.avg_candidates);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (cat, num) = fixture(3, 4);
+        let data = MixedDataset::new(&cat, &num);
+        let cfg = MhKPrototypesConfig::new(3, 1.0);
+        let a = mh_kprototypes(&data, &cfg);
+        let b = mh_kprototypes(&data, &cfg);
+        assert_eq!(a.assignments, b.assignments);
+    }
+}

@@ -1,0 +1,490 @@
+//! Streaming extension: one-pass, LSH-routed online clustering.
+//!
+//! The paper closes with: "adapting our algorithm to develop an online
+//! streaming clustering framework would be another exciting future research
+//! topic". This module is that adaptation. Items arrive one at a time and
+//! are never revisited unless a refinement pass is requested:
+//!
+//! 1. the arriving item is MinHashed and its band buckets are probed for
+//!    colliding earlier items, whose clusters form the shortlist (exactly
+//!    Algorithm 2's query, but against a *growing* index);
+//! 2. the item joins the shortlisted cluster with the smallest matching
+//!    dissimilarity to that cluster's (incrementally maintained) mode — or
+//!    founds a new cluster when nothing is within `distance_threshold`
+//!    (leader-style clustering) or the shortlist is empty;
+//! 3. the item is appended to its band buckets carrying its cluster
+//!    reference, and the cluster's per-attribute frequency tables (and the
+//!    cached mode) are updated in `O(m)`.
+//!
+//! Because the search space is a shortlist rather than all clusters, the
+//! per-item cost is independent of the total cluster count — the streaming
+//! analogue of the paper's core claim. [`StreamingMhKModes::refine_pass`]
+//! optionally re-runs assignment over everything seen so far, converging
+//! toward the batch MH-K-Modes result.
+
+use lshclust_categorical::{ClusterId, Schema, ValueId};
+use lshclust_categorical::dissimilarity::matching;
+use lshclust_categorical::elements::PresentElements;
+use lshclust_minhash::hashfn::{FastMap, FastSet, MixHashFamily};
+use lshclust_minhash::signature::SignatureGenerator;
+use lshclust_minhash::Banding;
+
+/// Configuration for the streaming clusterer.
+#[derive(Clone, Debug)]
+pub struct StreamingConfig {
+    /// LSH banding for the growing index.
+    pub banding: Banding,
+    /// Found a new cluster when the best shortlisted mode differs from the
+    /// item in more than this many attributes. `n_attrs` (the maximum
+    /// distance) means "never found except on empty shortlists".
+    pub distance_threshold: u32,
+    /// Hard cap on clusters; when reached, items always join the best
+    /// shortlisted cluster (or cluster 0 if the shortlist is empty).
+    pub max_clusters: Option<usize>,
+    /// Seed for the hash family.
+    pub seed: u64,
+}
+
+impl StreamingConfig {
+    /// Defaults: found on anything farther than half the attributes.
+    pub fn new(banding: Banding, n_attrs: usize) -> Self {
+        Self {
+            banding,
+            distance_threshold: (n_attrs as u32) / 2,
+            max_clusters: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of inserting one item.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InsertOutcome {
+    /// The id assigned to the item (insertion order).
+    pub item: u32,
+    /// The cluster it joined.
+    pub cluster: ClusterId,
+    /// Whether the item founded a new cluster.
+    pub founded_new_cluster: bool,
+    /// Size of the shortlist that was searched.
+    pub shortlist_len: usize,
+}
+
+/// One cluster's incremental state: per-attribute frequency tables plus the
+/// cached mode (value and its count).
+struct ClusterState {
+    freqs: Vec<FastMap<u32, u32>>,
+    mode: Vec<ValueId>,
+    mode_count: Vec<u32>,
+    size: u32,
+}
+
+impl ClusterState {
+    fn founded_by(row: &[ValueId]) -> Self {
+        let m = row.len();
+        let mut freqs: Vec<FastMap<u32, u32>> = (0..m).map(|_| FastMap::default()).collect();
+        for (a, v) in row.iter().enumerate() {
+            freqs[a].insert(v.0, 1);
+        }
+        Self { freqs, mode: row.to_vec(), mode_count: vec![1; m], size: 1 }
+    }
+
+    /// Adds a member; `O(m)` expected.
+    fn add(&mut self, row: &[ValueId]) {
+        self.size += 1;
+        for (a, &v) in row.iter().enumerate() {
+            let count = self.freqs[a].entry(v.0).or_insert(0);
+            *count += 1;
+            if v == self.mode[a] {
+                self.mode_count[a] = *count;
+            } else if *count > self.mode_count[a] {
+                // Strictly greater: ties keep the incumbent mode, which is
+                // deterministic under insertion order.
+                self.mode[a] = v;
+                self.mode_count[a] = *count;
+            }
+        }
+    }
+
+    /// Removes a member (used by refinement); recomputes the affected
+    /// attribute modes by a scan when the cached mode loses its majority.
+    fn remove(&mut self, row: &[ValueId]) {
+        debug_assert!(self.size > 0);
+        self.size -= 1;
+        for (a, &v) in row.iter().enumerate() {
+            let count = self.freqs[a].get_mut(&v.0).expect("removing unseen value");
+            *count -= 1;
+            let new_count = *count;
+            if new_count == 0 {
+                self.freqs[a].remove(&v.0);
+            }
+            if v == self.mode[a] {
+                // The cached mode shrank: rescan this attribute's table.
+                // Deterministic tie-break: highest count, then smallest value.
+                let best = self.freqs[a]
+                    .iter()
+                    .map(|(&val, &c)| (c, std::cmp::Reverse(val)))
+                    .max()
+                    .map(|(c, std::cmp::Reverse(val))| (ValueId(val), c));
+                match best {
+                    Some((val, c)) => {
+                        self.mode[a] = val;
+                        self.mode_count[a] = c;
+                    }
+                    None => {
+                        // Cluster emptied on this attribute; keep the stale
+                        // mode (empty clusters keep their centroid).
+                        self.mode_count[a] = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The streaming MH-K-Modes clusterer.
+pub struct StreamingMhKModes {
+    config: StreamingConfig,
+    schema: Schema,
+    n_attrs: usize,
+    generator: SignatureGenerator<MixHashFamily>,
+    /// One bucket map per band (growing).
+    buckets: Vec<FastMap<u64, Vec<u32>>>,
+    /// Band keys per item, item-major.
+    band_keys: Vec<u64>,
+    /// Stored rows (needed for refinement and distance updates).
+    rows: Vec<ValueId>,
+    cluster_of: Vec<ClusterId>,
+    clusters: Vec<ClusterState>,
+    // reusable scratch
+    sig_buf: Vec<u64>,
+    key_buf: Vec<u64>,
+    seen_items: FastSet<u32>,
+    seen_clusters: FastSet<u32>,
+    shortlist: Vec<ClusterId>,
+}
+
+impl StreamingMhKModes {
+    /// Creates an empty streaming clusterer for items under `schema`.
+    pub fn new(config: StreamingConfig, schema: Schema) -> Self {
+        let family = MixHashFamily::new(config.banding.signature_len(), config.seed);
+        let n_bands = config.banding.bands() as usize;
+        Self {
+            config,
+            n_attrs: schema.n_attrs(),
+            schema,
+            generator: SignatureGenerator::new(family),
+            buckets: (0..n_bands).map(|_| FastMap::default()).collect(),
+            band_keys: Vec::new(),
+            rows: Vec::new(),
+            cluster_of: Vec::new(),
+            clusters: Vec::new(),
+            sig_buf: Vec::new(),
+            key_buf: Vec::new(),
+            seen_items: FastSet::default(),
+            seen_clusters: FastSet::default(),
+            shortlist: Vec::new(),
+        }
+    }
+
+    /// Items inserted so far.
+    pub fn n_items(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// Clusters founded so far.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Current assignment of every inserted item.
+    pub fn assignments(&self) -> &[ClusterId] {
+        &self.cluster_of
+    }
+
+    /// Current mode of cluster `c`.
+    pub fn mode(&self, c: ClusterId) -> &[ValueId] {
+        &self.clusters[c.idx()].mode
+    }
+
+    /// Current size of cluster `c`.
+    pub fn cluster_size(&self, c: ClusterId) -> u32 {
+        self.clusters[c.idx()].size
+    }
+
+    fn compute_band_keys(&mut self, row: &[ValueId]) {
+        self.generator
+            .signature_into(PresentElements::new(&self.schema, row), &mut self.sig_buf);
+        self.config.banding.band_keys_into(&self.sig_buf, &mut self.key_buf);
+    }
+
+    /// Collects the candidate clusters for the band keys in `key_buf`.
+    fn shortlist_from_keys(&mut self) {
+        self.shortlist.clear();
+        self.seen_items.clear();
+        self.seen_clusters.clear();
+        for (band, key) in self.key_buf.iter().enumerate() {
+            if let Some(members) = self.buckets[band].get(key) {
+                for &other in members {
+                    if self.seen_items.insert(other) {
+                        let c = self.cluster_of[other as usize];
+                        if self.seen_clusters.insert(c.0) {
+                            self.shortlist.push(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn best_in_shortlist(&self, row: &[ValueId]) -> Option<(ClusterId, u32)> {
+        let mut best: Option<(ClusterId, u32)> = None;
+        for &c in &self.shortlist {
+            let d = matching(row, &self.clusters[c.idx()].mode);
+            let replace = match best {
+                None => true,
+                Some((bc, bd)) => d < bd || (d == bd && c < bc),
+            };
+            if replace {
+                best = Some((c, d));
+            }
+        }
+        best
+    }
+
+    /// Inserts one item, returning where it went.
+    ///
+    /// Panics if the row arity disagrees with the schema.
+    pub fn insert(&mut self, row: &[ValueId]) -> InsertOutcome {
+        assert_eq!(row.len(), self.n_attrs, "row arity mismatch");
+        let item = u32::try_from(self.n_items()).expect("stream exceeds u32 items");
+        self.compute_band_keys(row);
+        self.shortlist_from_keys();
+        let shortlist_len = self.shortlist.len();
+
+        let best = self.best_in_shortlist(row);
+        let can_found = self
+            .config
+            .max_clusters
+            .is_none_or(|cap| self.clusters.len() < cap);
+        let (cluster, founded) = match best {
+            Some((c, d)) if d <= self.config.distance_threshold || !can_found => (c, false),
+            Some(_) | None if can_found && !self.clusters.is_empty() => {
+                (ClusterId(self.clusters.len() as u32), true)
+            }
+            None if self.clusters.is_empty() => (ClusterId(0), true),
+            Some((c, _)) => (c, false),
+            None => (ClusterId(0), false), // cap reached, nothing similar: join cluster 0
+        };
+
+        if founded {
+            self.clusters.push(ClusterState::founded_by(row));
+        } else {
+            self.clusters[cluster.idx()].add(row);
+        }
+        self.cluster_of.push(cluster);
+        self.rows.extend_from_slice(row);
+        // Append to the growing index.
+        for (band, &key) in self.key_buf.iter().enumerate() {
+            self.buckets[band].entry(key).or_default().push(item);
+        }
+        self.band_keys.extend_from_slice(&self.key_buf);
+
+        InsertOutcome { item, cluster, founded_new_cluster: founded, shortlist_len }
+    }
+
+    fn row_of(&self, item: u32) -> &[ValueId] {
+        let s = item as usize * self.n_attrs;
+        &self.rows[s..s + self.n_attrs]
+    }
+
+    /// One refinement pass over all inserted items: each is re-shortlisted
+    /// (using its stored band keys) and moved to the best candidate cluster,
+    /// with both clusters' frequency tables updated incrementally. Returns
+    /// the number of moves; call until 0 to converge toward the batch result.
+    pub fn refine_pass(&mut self) -> usize {
+        let n_bands = self.config.banding.bands() as usize;
+        let mut moves = 0usize;
+        for item in 0..self.n_items() as u32 {
+            // Reuse the stored band keys (signatures never change).
+            self.key_buf.clear();
+            let s = item as usize * n_bands;
+            self.key_buf.extend_from_slice(&self.band_keys[s..s + n_bands]);
+            self.shortlist_from_keys();
+            let row_start = item as usize * self.n_attrs;
+            let row_end = row_start + self.n_attrs;
+            let best = {
+                let row = &self.rows[row_start..row_end];
+                self.best_in_shortlist(row)
+            };
+            let Some((best_c, _)) = best else { continue };
+            let current = self.cluster_of[item as usize];
+            if best_c != current {
+                let row: Vec<ValueId> = self.row_of(item).to_vec();
+                self.clusters[current.idx()].remove(&row);
+                self.clusters[best_c.idx()].add(&row);
+                self.cluster_of[item as usize] = best_c;
+                moves += 1;
+            }
+        }
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshclust_categorical::Dataset;
+    use lshclust_datagen::datgen::{generate, DatgenConfig};
+
+    fn config(n_attrs: usize) -> StreamingConfig {
+        StreamingConfig::new(Banding::new(16, 2), n_attrs)
+    }
+
+    fn rule_dataset() -> Dataset {
+        generate(&DatgenConfig::new(200, 10, 20).seed(5))
+    }
+
+    #[test]
+    fn first_item_founds_cluster_zero() {
+        let mut s = StreamingMhKModes::new(config(3), Schema::anonymous(3));
+        let out = s.insert(&[ValueId(1), ValueId(2), ValueId(3)]);
+        assert_eq!(out.cluster, ClusterId(0));
+        assert!(out.founded_new_cluster);
+        assert_eq!(out.shortlist_len, 0);
+        assert_eq!(s.n_clusters(), 1);
+    }
+
+    #[test]
+    fn identical_items_share_a_cluster() {
+        let mut s = StreamingMhKModes::new(config(3), Schema::anonymous(3));
+        let row = [ValueId(1), ValueId(2), ValueId(3)];
+        s.insert(&row);
+        let out = s.insert(&row);
+        assert_eq!(out.cluster, ClusterId(0));
+        assert!(!out.founded_new_cluster);
+        assert_eq!(s.cluster_size(ClusterId(0)), 2);
+    }
+
+    #[test]
+    fn dissimilar_items_found_new_clusters() {
+        let mut s = StreamingMhKModes::new(config(3), Schema::anonymous(3));
+        s.insert(&[ValueId(1), ValueId(2), ValueId(3)]);
+        let out = s.insert(&[ValueId(10), ValueId(20), ValueId(30)]);
+        assert!(out.founded_new_cluster);
+        assert_eq!(s.n_clusters(), 2);
+    }
+
+    #[test]
+    fn max_clusters_cap_is_enforced() {
+        let mut cfg = config(2);
+        cfg.max_clusters = Some(2);
+        cfg.distance_threshold = 0; // always prefer founding
+        let mut s = StreamingMhKModes::new(cfg, Schema::anonymous(2));
+        for i in 0..10u32 {
+            s.insert(&[ValueId(i * 7), ValueId(i * 13)]);
+        }
+        assert!(s.n_clusters() <= 2);
+        assert_eq!(s.n_items(), 10);
+    }
+
+    #[test]
+    fn streaming_recovers_rule_clusters() {
+        let ds = rule_dataset();
+        let mut s = StreamingMhKModes::new(
+            StreamingConfig::new(Banding::new(16, 2), ds.n_attrs()),
+            ds.schema().clone(),
+        );
+        for i in 0..ds.n_items() {
+            s.insert(ds.row(i));
+        }
+        // Same-label items should overwhelmingly share clusters.
+        let labels = ds.labels().unwrap();
+        let pred: Vec<u32> = s.assignments().iter().map(|c| c.0).collect();
+        let purity = lshclust_metrics::purity(&pred, labels);
+        assert!(purity > 0.8, "streaming purity {purity}");
+        // And without a cap, the cluster count should be in the right ballpark
+        // (not one-per-item, not a single blob).
+        assert!(s.n_clusters() >= 10 && s.n_clusters() < 100, "{} clusters", s.n_clusters());
+    }
+
+    #[test]
+    fn per_item_shortlist_stays_small() {
+        let ds = rule_dataset();
+        let mut s = StreamingMhKModes::new(
+            StreamingConfig::new(Banding::new(16, 2), ds.n_attrs()),
+            ds.schema().clone(),
+        );
+        let mut total = 0usize;
+        for i in 0..ds.n_items() {
+            total += s.insert(ds.row(i)).shortlist_len;
+        }
+        let avg = total as f64 / ds.n_items() as f64;
+        assert!(avg < 5.0, "avg streaming shortlist {avg}");
+    }
+
+    #[test]
+    fn modes_track_majorities_incrementally() {
+        let mut s = StreamingMhKModes::new(config(2), Schema::anonymous(2));
+        s.insert(&[ValueId(1), ValueId(5)]);
+        s.insert(&[ValueId(1), ValueId(6)]);
+        s.insert(&[ValueId(1), ValueId(6)]);
+        assert_eq!(s.n_clusters(), 1);
+        assert_eq!(s.mode(ClusterId(0)), &[ValueId(1), ValueId(6)]);
+    }
+
+    #[test]
+    fn refine_pass_reaches_fixpoint() {
+        let ds = rule_dataset();
+        let mut s = StreamingMhKModes::new(
+            StreamingConfig::new(Banding::new(16, 2), ds.n_attrs()),
+            ds.schema().clone(),
+        );
+        for i in 0..ds.n_items() {
+            s.insert(ds.row(i));
+        }
+        let mut last = usize::MAX;
+        for _ in 0..10 {
+            let moves = s.refine_pass();
+            assert!(moves <= ds.n_items());
+            last = moves;
+            if moves == 0 {
+                break;
+            }
+        }
+        assert_eq!(last, 0, "refinement did not converge");
+        // Cluster sizes still sum to n.
+        let total: u32 = (0..s.n_clusters()).map(|c| s.cluster_size(ClusterId(c as u32))).sum();
+        assert_eq!(total as usize, ds.n_items());
+    }
+
+    #[test]
+    fn refine_improves_or_maintains_purity() {
+        let ds = rule_dataset();
+        let labels = ds.labels().unwrap();
+        let mut s = StreamingMhKModes::new(
+            StreamingConfig::new(Banding::new(8, 2), ds.n_attrs()),
+            ds.schema().clone(),
+        );
+        for i in 0..ds.n_items() {
+            s.insert(ds.row(i));
+        }
+        let before: Vec<u32> = s.assignments().iter().map(|c| c.0).collect();
+        let p_before = lshclust_metrics::purity(&before, labels);
+        for _ in 0..5 {
+            if s.refine_pass() == 0 {
+                break;
+            }
+        }
+        let after: Vec<u32> = s.assignments().iter().map(|c| c.0).collect();
+        let p_after = lshclust_metrics::purity(&after, labels);
+        assert!(p_after >= p_before - 0.05, "purity degraded: {p_before} -> {p_after}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut s = StreamingMhKModes::new(config(3), Schema::anonymous(3));
+        s.insert(&[ValueId(1)]);
+    }
+}

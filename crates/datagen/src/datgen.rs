@@ -1,0 +1,280 @@
+//! The conjunctive-rule synthetic generator of §IV-A (a faithful
+//! re-implementation of the defunct `datgen` tool's process as the paper
+//! describes it).
+//!
+//! > "For all experiments we used a domain size of 40000 categorical values
+//! > which can be used by each attribute … Each item will be associated with
+//! > one of the k clusters. This association is decided in the form of
+//! > conjunctive rules formed from the attributes … For our base experiments
+//! > consisting of 100 attributes each item used a conjunctive rule involving
+//! > between 40 and 80 attributes … In experiments where the number of
+//! > attributes were increased, these values were scaled in proportion."
+//!
+//! Generated datasets are *pre-encoded*: values are raw [`ValueId`]s in
+//! `0..domain_size` under an anonymous schema (no string interning — at
+//! paper scale that would be 9 million pointless strings). The ground-truth
+//! cluster of each item is attached as its label.
+
+use lshclust_categorical::{Dataset, Schema, ValueId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the generator. Defaults reproduce the paper's base setup
+/// (apart from the row counts, which each experiment sets).
+#[derive(Clone, Debug)]
+pub struct DatgenConfig {
+    /// Number of items to generate.
+    pub n_items: usize,
+    /// Number of ground-truth clusters (= conjunctive rules).
+    pub n_clusters: usize,
+    /// Attributes per item.
+    pub n_attrs: usize,
+    /// Category domain size per attribute (paper: 40 000).
+    pub domain_size: u32,
+    /// Minimum fraction of attributes bound by a rule (paper: 40/100).
+    pub rule_min_frac: f64,
+    /// Maximum fraction of attributes bound by a rule (paper: 80/100).
+    pub rule_max_frac: f64,
+    /// `true` assigns items to clusters round-robin (near-equal populations);
+    /// `false` assigns uniformly at random.
+    pub balanced: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DatgenConfig {
+    /// Paper-faithful defaults for the given shape.
+    pub fn new(n_items: usize, n_clusters: usize, n_attrs: usize) -> Self {
+        Self {
+            n_items,
+            n_clusters,
+            n_attrs,
+            domain_size: 40_000,
+            rule_min_frac: 0.4,
+            rule_max_frac: 0.8,
+            balanced: false,
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches to round-robin cluster populations.
+    pub fn balanced(mut self, yes: bool) -> Self {
+        self.balanced = yes;
+        self
+    }
+}
+
+/// One cluster's conjunctive rule: `(attribute, value)` bindings.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Bound attribute indices (sorted) and their required values.
+    pub bindings: Vec<(u32, ValueId)>,
+}
+
+/// Draws the per-cluster rules.
+fn make_rules(cfg: &DatgenConfig, rng: &mut StdRng) -> Vec<Rule> {
+    let m = cfg.n_attrs;
+    let lo = ((m as f64 * cfg.rule_min_frac).round() as usize).clamp(1, m);
+    let hi = ((m as f64 * cfg.rule_max_frac).round() as usize).clamp(lo, m);
+    let mut attrs: Vec<u32> = (0..m as u32).collect();
+    (0..cfg.n_clusters)
+        .map(|_| {
+            let len = rng.random_range(lo..=hi);
+            // Partial Fisher–Yates for a random attribute subset.
+            for i in 0..len {
+                let j = rng.random_range(i..m);
+                attrs.swap(i, j);
+            }
+            let mut bindings: Vec<(u32, ValueId)> = attrs[..len]
+                .iter()
+                .map(|&a| (a, ValueId(rng.random_range(0..cfg.domain_size))))
+                .collect();
+            bindings.sort_unstable_by_key(|&(a, _)| a);
+            Rule { bindings }
+        })
+        .collect()
+}
+
+/// Generates a labelled dataset according to `cfg`.
+pub fn generate(cfg: &DatgenConfig) -> Dataset {
+    let (dataset, _) = generate_with_rules(cfg);
+    dataset
+}
+
+/// Like [`generate`], also returning the rules (useful for tests that verify
+/// the generator's contract).
+pub fn generate_with_rules(cfg: &DatgenConfig) -> (Dataset, Vec<Rule>) {
+    assert!(cfg.n_items > 0 && cfg.n_clusters > 0 && cfg.n_attrs > 0);
+    assert!(cfg.domain_size >= 2, "domain must allow free values");
+    assert!(
+        cfg.rule_min_frac > 0.0 && cfg.rule_min_frac <= cfg.rule_max_frac && cfg.rule_max_frac <= 1.0,
+        "rule fractions must satisfy 0 < min ≤ max ≤ 1"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0064_6174_6765_6e00); // "datgen"
+    let rules = make_rules(cfg, &mut rng);
+
+    let m = cfg.n_attrs;
+    let mut values: Vec<ValueId> = Vec::with_capacity(cfg.n_items * m);
+    let mut labels: Vec<u32> = Vec::with_capacity(cfg.n_items);
+    let mut row = vec![ValueId(0); m];
+    for item in 0..cfg.n_items {
+        let cluster = if cfg.balanced {
+            (item % cfg.n_clusters) as u32
+        } else {
+            rng.random_range(0..cfg.n_clusters as u32)
+        };
+        // Free attributes first…
+        for slot in row.iter_mut() {
+            *slot = ValueId(rng.random_range(0..cfg.domain_size));
+        }
+        // …then the rule bindings overwrite their attributes.
+        for &(a, v) in &rules[cluster as usize].bindings {
+            row[a as usize] = v;
+        }
+        values.extend_from_slice(&row);
+        labels.push(cluster);
+    }
+    (Dataset::from_parts(Schema::anonymous(m), values, Some(labels)), rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> DatgenConfig {
+        DatgenConfig { domain_size: 1000, ..DatgenConfig::new(200, 10, 20) }.seed(42)
+    }
+
+    #[test]
+    fn shape_matches_config() {
+        let ds = generate(&small_cfg());
+        assert_eq!(ds.n_items(), 200);
+        assert_eq!(ds.n_attrs(), 20);
+        assert_eq!(ds.labels().map(<[u32]>::len), Some(200));
+        assert!(ds.labels().unwrap().iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn items_satisfy_their_cluster_rule() {
+        let (ds, rules) = generate_with_rules(&small_cfg());
+        let labels = ds.labels().unwrap();
+        for i in 0..ds.n_items() {
+            let rule = &rules[labels[i] as usize];
+            for &(a, v) in &rule.bindings {
+                assert_eq!(ds.row(i)[a as usize], v, "item {i} violates binding on attr {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn rule_lengths_respect_fractions() {
+        let (_, rules) = generate_with_rules(&small_cfg());
+        for rule in &rules {
+            let len = rule.bindings.len();
+            assert!((8..=16).contains(&len), "rule length {len} outside 40–80% of 20");
+        }
+    }
+
+    #[test]
+    fn rule_attributes_are_distinct_and_sorted() {
+        let (_, rules) = generate_with_rules(&small_cfg());
+        for rule in &rules {
+            for w in rule.bindings.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn same_cluster_items_are_similar_across_clusters_dissimilar() {
+        use lshclust_categorical::dissimilarity::matching;
+        let ds = generate(&small_cfg());
+        let labels = ds.labels().unwrap();
+        // Find two same-cluster items and two cross-cluster items.
+        let mut same = None;
+        let mut diff = None;
+        'outer: for i in 0..ds.n_items() {
+            for j in (i + 1)..ds.n_items() {
+                if labels[i] == labels[j] && same.is_none() {
+                    same = Some((i, j));
+                }
+                if labels[i] != labels[j] && diff.is_none() {
+                    diff = Some((i, j));
+                }
+                if same.is_some() && diff.is_some() {
+                    break 'outer;
+                }
+            }
+        }
+        let (si, sj) = same.expect("some cluster has two items");
+        let (di, dj) = diff.unwrap();
+        let d_same = matching(ds.row(si), ds.row(sj));
+        let d_diff = matching(ds.row(di), ds.row(dj));
+        // Same-cluster: only free attrs differ (≤ 60% of 20 = 12).
+        assert!(d_same <= 12, "same-cluster distance {d_same}");
+        // Cross-cluster with a 1000-value domain: nearly all attrs differ.
+        assert!(d_diff > 12, "cross-cluster distance {d_diff}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&small_cfg());
+        let b = generate(&small_cfg());
+        assert_eq!(a.n_items(), b.n_items());
+        for i in 0..a.n_items() {
+            assert_eq!(a.row(i), b.row(i));
+        }
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let a = generate(&small_cfg());
+        let b = generate(&small_cfg().seed(43));
+        assert!((0..a.n_items()).any(|i| a.row(i) != b.row(i)));
+    }
+
+    #[test]
+    fn balanced_mode_equalises_populations() {
+        let cfg = small_cfg().balanced(true);
+        let ds = generate(&cfg);
+        let mut counts = vec![0usize; 10];
+        for &l in ds.labels().unwrap() {
+            counts[l as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20), "{counts:?}");
+    }
+
+    #[test]
+    fn values_within_domain() {
+        let ds = generate(&small_cfg());
+        for i in 0..ds.n_items() {
+            assert!(ds.row(i).iter().all(|v| v.0 < 1000));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rule fractions")]
+    fn bad_fractions_rejected() {
+        let mut cfg = small_cfg();
+        cfg.rule_min_frac = 0.9;
+        cfg.rule_max_frac = 0.5;
+        let _ = generate(&cfg);
+    }
+
+    #[test]
+    fn paper_shape_smoke_test() {
+        // A miniature of the paper's base dataset: ratios preserved.
+        let cfg = DatgenConfig::new(900, 200, 100).seed(7);
+        let ds = generate(&cfg);
+        assert_eq!(ds.n_items(), 900);
+        assert_eq!(ds.n_attrs(), 100);
+        assert_eq!(ds.n_classes(), 200);
+    }
+}

@@ -1,0 +1,1 @@
+//! Carrier package for the workspace-root integration test suite; see `tests/` at the repository root.

@@ -1,0 +1,190 @@
+//! The assignment step: find the closest mode for an item.
+//!
+//! [`best_cluster_full`] searches all `k` modes — the baseline behaviour
+//! whose cost the paper attacks. [`best_cluster_among`] searches only a
+//! shortlist of candidate clusters — the primitive `lshclust-core` builds
+//! MH-K-Modes on. Both use the same bounded distance kernel and the same
+//! deterministic tie-break (lowest cluster id), so the two algorithms differ
+//! *only* in which clusters they examine.
+
+use crate::modes::Modes;
+use lshclust_categorical::dissimilarity::{matching, matching_bounded};
+use lshclust_categorical::{ClusterId, ValueId};
+
+/// Searches all `k` modes for the closest one.
+///
+/// Returns `(cluster, distance)`. Ties break to the lowest cluster id because
+/// iteration is in id order and only strictly better distances replace the
+/// incumbent.
+pub fn best_cluster_full(item: &[ValueId], modes: &Modes) -> (ClusterId, u32) {
+    debug_assert!(modes.k() > 0, "cannot assign with zero clusters");
+    let mut best_c = 0u32;
+    let mut best_d = matching(item, modes.mode(0));
+    for c in 1..modes.k() {
+        if best_d == 0 {
+            break; // cannot improve on a perfect match
+        }
+        if let Some(d) = matching_bounded(item, modes.mode(c), best_d) {
+            best_d = d;
+            best_c = c as u32;
+        }
+    }
+    (ClusterId(best_c), best_d)
+}
+
+/// Searches only the clusters in `shortlist` (Algorithm 2's modified
+/// assignment). Returns `None` on an empty shortlist — the caller decides the
+/// fallback policy (MH-K-Modes keeps the current assignment; with
+/// self-collision enabled the shortlist is never empty).
+pub fn best_cluster_among(
+    item: &[ValueId],
+    modes: &Modes,
+    shortlist: &[ClusterId],
+) -> Option<(ClusterId, u32)> {
+    let (&first, rest) = shortlist.split_first()?;
+    let mut best_c = first;
+    let mut best_d = matching(item, modes.of(first));
+    for &c in rest {
+        if best_d == 0 && c >= best_c {
+            continue; // only a lower id could still displace a perfect match
+        }
+        // The shortlist arrives in collision order, not id order, so a
+        // lower-id candidate may appear *after* the incumbent; allow distance
+        // equality for those to keep the lowest-id tie-break exact.
+        let bound = if c < best_c { best_d + 1 } else { best_d };
+        if let Some(d) = matching_bounded(item, modes.of(c), bound) {
+            debug_assert!(d < best_d || (d == best_d && c < best_c));
+            best_d = d;
+            best_c = c;
+        }
+    }
+    Some((best_c, best_d))
+}
+
+/// Assigns every item to its closest mode by full search, writing into
+/// `assignments` and returning the number of items that changed cluster.
+pub fn assign_all_full(
+    dataset: &lshclust_categorical::Dataset,
+    modes: &Modes,
+    assignments: &mut [ClusterId],
+) -> usize {
+    assert_eq!(assignments.len(), dataset.n_items());
+    let mut moves = 0;
+    for (item, slot) in assignments.iter_mut().enumerate() {
+        let (c, _) = best_cluster_full(dataset.row(item), modes);
+        if c != *slot {
+            moves += 1;
+            *slot = c;
+        }
+    }
+    moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshclust_categorical::{Dataset, DatasetBuilder};
+
+    fn dataset(rows: &[&[&str]]) -> Dataset {
+        let mut b = DatasetBuilder::anonymous(rows[0].len());
+        for r in rows {
+            b.push_str_row(r, None).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn full_search_finds_nearest() {
+        let ds = dataset(&[
+            &["a", "b", "c"], // mode 0
+            &["x", "y", "z"], // mode 1
+            &["a", "b", "z"], // item: distance 1 to mode 0, 2 to mode 1
+        ]);
+        let modes = Modes::from_items(&ds, &[0, 1]);
+        let (c, d) = best_cluster_full(ds.row(2), &modes);
+        assert_eq!((c, d), (ClusterId(0), 1));
+    }
+
+    #[test]
+    fn full_search_tie_breaks_low_id() {
+        let ds = dataset(&[&["a", "b"], &["a", "c"], &["a", "d"]]);
+        let modes = Modes::from_items(&ds, &[0, 1]);
+        // Item 2 is distance 1 from both modes → cluster 0 wins.
+        let (c, d) = best_cluster_full(ds.row(2), &modes);
+        assert_eq!((c, d), (ClusterId(0), 1));
+    }
+
+    #[test]
+    fn full_search_early_exits_on_zero() {
+        let ds = dataset(&[&["a"], &["b"]]);
+        let modes = Modes::from_items(&ds, &[0, 1]);
+        let (c, d) = best_cluster_full(ds.row(0), &modes);
+        assert_eq!((c, d), (ClusterId(0), 0));
+    }
+
+    #[test]
+    fn shortlist_search_respects_shortlist() {
+        let ds = dataset(&[
+            &["a", "b", "c"],
+            &["x", "y", "z"],
+            &["a", "b", "z"],
+        ]);
+        let modes = Modes::from_items(&ds, &[0, 1]);
+        // Shortlist containing only the worse cluster: it must win anyway.
+        let got = best_cluster_among(ds.row(2), &modes, &[ClusterId(1)]);
+        assert_eq!(got, Some((ClusterId(1), 2)));
+    }
+
+    #[test]
+    fn shortlist_search_matches_full_when_complete() {
+        let ds = dataset(&[
+            &["a", "b", "c", "d"],
+            &["a", "x", "c", "d"],
+            &["p", "q", "r", "s"],
+            &["a", "b", "c", "s"],
+        ]);
+        let modes = Modes::from_items(&ds, &[0, 1, 2]);
+        let all: Vec<ClusterId> = (0..3).map(ClusterId).collect();
+        for i in 0..ds.n_items() {
+            let full = best_cluster_full(ds.row(i), &modes);
+            let among = best_cluster_among(ds.row(i), &modes, &all).unwrap();
+            assert_eq!(full, among, "item {i}");
+        }
+    }
+
+    #[test]
+    fn shortlist_order_does_not_change_result() {
+        let ds = dataset(&[&["a", "b"], &["a", "c"], &["a", "d"]]);
+        let modes = Modes::from_items(&ds, &[0, 1]);
+        let fwd = best_cluster_among(ds.row(2), &modes, &[ClusterId(0), ClusterId(1)]);
+        let rev = best_cluster_among(ds.row(2), &modes, &[ClusterId(1), ClusterId(0)]);
+        // Tie on distance: lowest id must win regardless of shortlist order.
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, Some((ClusterId(0), 1)));
+    }
+
+    #[test]
+    fn empty_shortlist_returns_none() {
+        let ds = dataset(&[&["a"]]);
+        let modes = Modes::from_items(&ds, &[0]);
+        assert_eq!(best_cluster_among(ds.row(0), &modes, &[]), None);
+    }
+
+    #[test]
+    fn assign_all_counts_moves() {
+        let ds = dataset(&[&["a", "b"], &["a", "b"], &["x", "y"]]);
+        let modes = Modes::from_items(&ds, &[0, 2]);
+        let mut assignments = vec![ClusterId(1); 3];
+        let moves = assign_all_full(&ds, &modes, &mut assignments);
+        assert_eq!(assignments, vec![ClusterId(0), ClusterId(0), ClusterId(1)]);
+        assert_eq!(moves, 2); // item 2 already in cluster 1
+    }
+
+    #[test]
+    fn assign_all_is_stable_at_fixpoint() {
+        let ds = dataset(&[&["a"], &["b"]]);
+        let modes = Modes::from_items(&ds, &[0, 1]);
+        let mut assignments = vec![ClusterId(0), ClusterId(1)];
+        assert_eq!(assign_all_full(&ds, &modes, &mut assignments), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! The K-Modes objective: `P(W, Q) = Σ_l Σ_i w_il · d(X_i, Q_l)` (Eq. 4).
+//!
+//! With hard assignments the membership matrix `W` collapses to a cluster id
+//! per item, so the cost is the sum of each item's distance to its assigned
+//! mode.
+
+use crate::modes::Modes;
+use lshclust_categorical::dissimilarity::matching;
+use lshclust_categorical::{ClusterId, Dataset};
+
+/// Computes the clustering cost `P(W, Q)`.
+pub fn total_cost(dataset: &Dataset, modes: &Modes, assignments: &[ClusterId]) -> u64 {
+    assert_eq!(assignments.len(), dataset.n_items());
+    let mut cost = 0u64;
+    for (item, &c) in assignments.iter().enumerate() {
+        cost += u64::from(matching(dataset.row(item), modes.of(c)));
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshclust_categorical::DatasetBuilder;
+
+    fn setup() -> (Dataset, Modes) {
+        let mut b = DatasetBuilder::anonymous(2);
+        b.push_str_row(&["a", "b"], None).unwrap();
+        b.push_str_row(&["a", "c"], None).unwrap();
+        b.push_str_row(&["x", "y"], None).unwrap();
+        let ds = b.finish();
+        let modes = Modes::from_items(&ds, &[0, 2]);
+        (ds, modes)
+    }
+
+    #[test]
+    fn perfect_assignment_costs_zero() {
+        let (ds, modes) = setup();
+        let a = vec![ClusterId(0), ClusterId(0), ClusterId(1)];
+        // Item 1 differs from mode 0 in one attribute.
+        assert_eq!(total_cost(&ds, &modes, &a), 1);
+    }
+
+    #[test]
+    fn worse_assignment_costs_more() {
+        let (ds, modes) = setup();
+        let good = vec![ClusterId(0), ClusterId(0), ClusterId(1)];
+        let bad = vec![ClusterId(1), ClusterId(1), ClusterId(0)];
+        assert!(total_cost(&ds, &modes, &bad) > total_cost(&ds, &modes, &good));
+    }
+
+    #[test]
+    fn empty_dataset_costs_zero() {
+        let b = DatasetBuilder::anonymous(1);
+        let ds = b.finish();
+        let modes = Modes::from_parts(1, 1, vec![lshclust_categorical::ValueId(0)]);
+        assert_eq!(total_cost(&ds, &modes, &[]), 0);
+    }
+
+    #[test]
+    fn cost_decreases_after_mode_recompute() {
+        // Recomputing modes for fixed assignments can never increase cost
+        // (Eq. 3 optimality) — spot-check the mechanism.
+        let mut b = DatasetBuilder::anonymous(1);
+        for s in ["a", "a", "b"] {
+            b.push_str_row(&[s], None).unwrap();
+        }
+        let ds = b.finish();
+        let mut modes = Modes::from_items(&ds, &[2]); // mode "b"
+        let a = vec![ClusterId(0); 3];
+        let before = total_cost(&ds, &modes, &a); // 2 mismatches
+        modes.recompute(&ds, &a); // majority "a"
+        let after = total_cost(&ds, &modes, &a); // 1 mismatch
+        assert!(after <= before);
+        assert_eq!(after, 1);
+    }
+}

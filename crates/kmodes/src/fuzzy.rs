@@ -1,0 +1,342 @@
+//! Fuzzy K-Modes (Huang & Ng 1999 — the paper's reference \[21\], the same
+//! work it cites for the formal K-Modes definition).
+//!
+//! Instead of hard assignments, each item carries a membership degree
+//! `w_il ∈ [0, 1]` to every cluster with `Σ_l w_il = 1`, controlled by the
+//! fuzziness exponent `α > 1`:
+//!
+//! * membership update: `w_il = 1 / Σ_h (d(X_i, Q_l) / d(X_i, Q_h))^{1/(α−1)}`
+//!   (items at distance 0 from a mode get crisp membership there);
+//! * mode update: `q_lj = argmax_c Σ_{i : x_ij = c} w_il^α` — the
+//!   membership-weighted majority value;
+//! * objective: `P(W, Q) = Σ_l Σ_i w_il^α · d(X_i, Q_l)`, non-increasing
+//!   under both updates.
+//!
+//! As `α → 1⁺` the algorithm approaches crisp K-Modes. Provided as a
+//! baseline-family member; the LSH framework applies to its *crisp
+//! decoding* but not to the membership update itself (every `w_il` touches
+//! every cluster), which is exactly why the paper targets crisp
+//! centroid-based algorithms.
+
+use crate::init::{initial_modes, InitMethod};
+use crate::modes::Modes;
+use lshclust_categorical::dissimilarity::matching;
+use lshclust_categorical::{ClusterId, Dataset, ValueId};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Configuration for fuzzy K-Modes.
+#[derive(Clone, Debug)]
+pub struct FuzzyKModesConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Fuzziness exponent `α > 1` (typical: 1.1–2.0).
+    pub alpha: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+    /// Stop when the cost improves by less than this fraction.
+    pub tolerance: f64,
+    /// Initialisation method.
+    pub init: InitMethod,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl FuzzyKModesConfig {
+    /// Defaults: α = 1.5, 100 iterations, 1e-6 relative tolerance.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            alpha: 1.5,
+            max_iterations: 100,
+            tolerance: 1e-6,
+            init: InitMethod::RandomItems,
+            seed: 0,
+        }
+    }
+
+    /// Sets the fuzziness exponent (must be > 1).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 1.0, "alpha must exceed 1");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the iteration cap.
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.max_iterations = n;
+        self
+    }
+}
+
+/// Result of a fuzzy K-Modes run.
+#[derive(Clone, Debug)]
+pub struct FuzzyKModesResult {
+    /// `n × k` membership matrix, row-major.
+    pub memberships: Vec<f64>,
+    /// Final modes.
+    pub modes: Modes,
+    /// Crisp decoding: argmax membership per item (ties to lowest id).
+    pub assignments: Vec<ClusterId>,
+    /// Iterations executed.
+    pub n_iterations: usize,
+    /// Whether the tolerance was reached before the cap.
+    pub converged: bool,
+    /// Final fuzzy objective.
+    pub cost: f64,
+    /// Wall-clock time.
+    pub elapsed: std::time::Duration,
+}
+
+impl FuzzyKModesResult {
+    /// Membership row of `item`.
+    pub fn membership(&self, item: usize) -> &[f64] {
+        let k = self.modes.k();
+        &self.memberships[item * k..(item + 1) * k]
+    }
+}
+
+/// Runs fuzzy K-Modes.
+pub fn fuzzy_kmodes(dataset: &Dataset, config: &FuzzyKModesConfig) -> FuzzyKModesResult {
+    assert!(config.alpha > 1.0, "alpha must exceed 1");
+    assert!(config.k > 0 && config.k <= dataset.n_items());
+    let start = Instant::now();
+    let (n, m, k) = (dataset.n_items(), dataset.n_attrs(), config.k);
+    let mut modes = initial_modes(dataset, k, config.init, config.seed);
+    let mut memberships = vec![0.0f64; n * k];
+    let exponent = 1.0 / (config.alpha - 1.0);
+
+    let mut prev_cost = f64::INFINITY;
+    let mut converged = false;
+    let mut n_iterations = 0;
+    let mut distances = vec![0.0f64; k];
+    for _ in 0..config.max_iterations {
+        n_iterations += 1;
+        // --- membership update -----------------------------------------
+        for i in 0..n {
+            let row = dataset.row(i);
+            let mut zero_at = None;
+            for (c, slot) in distances.iter_mut().enumerate() {
+                let d = f64::from(matching(row, modes.mode(c)));
+                if d == 0.0 && zero_at.is_none() {
+                    zero_at = Some(c);
+                }
+                *slot = d;
+            }
+            let w = &mut memberships[i * k..(i + 1) * k];
+            if let Some(c0) = zero_at {
+                // Crisp membership on exact mode matches.
+                w.fill(0.0);
+                w[c0] = 1.0;
+                continue;
+            }
+            // w_il ∝ d_il^{-1/(α-1)}, normalised.
+            let mut total = 0.0;
+            for (slot, &d) in w.iter_mut().zip(distances.iter()) {
+                let v = d.powf(-exponent);
+                *slot = v;
+                total += v;
+            }
+            for slot in w.iter_mut() {
+                *slot /= total;
+            }
+        }
+        // --- mode update -------------------------------------------------
+        // Weighted majority per (cluster, attribute); ties to smallest value.
+        let mut weights: Vec<HashMap<u32, f64>> = vec![HashMap::new(); k * m];
+        for i in 0..n {
+            let row = dataset.row(i);
+            let w = &memberships[i * k..(i + 1) * k];
+            for (c, &wic) in w.iter().enumerate() {
+                if wic == 0.0 {
+                    continue;
+                }
+                let wa = wic.powf(config.alpha);
+                for (a, &v) in row.iter().enumerate() {
+                    *weights[c * m + a].entry(v.0).or_insert(0.0) += wa;
+                }
+            }
+        }
+        let mut new_mode = vec![ValueId(0); m];
+        for c in 0..k {
+            let mut any = false;
+            for a in 0..m {
+                let table = &weights[c * m + a];
+                if let Some((&val, _)) = table
+                    .iter()
+                    .max_by(|(va, wa), (vb, wb)| {
+                        wa.partial_cmp(wb).unwrap().then(vb.cmp(va))
+                    })
+                {
+                    new_mode[a] = ValueId(val);
+                    any = true;
+                } else {
+                    new_mode[a] = modes.mode(c)[a];
+                }
+            }
+            if any {
+                modes.set_mode(ClusterId(c as u32), &new_mode);
+            }
+        }
+        // --- cost & convergence -------------------------------------------
+        let mut cost = 0.0;
+        for i in 0..n {
+            let row = dataset.row(i);
+            let w = &memberships[i * k..(i + 1) * k];
+            for (c, &wic) in w.iter().enumerate() {
+                if wic > 0.0 {
+                    cost += wic.powf(config.alpha) * f64::from(matching(row, modes.mode(c)));
+                }
+            }
+        }
+        if prev_cost.is_finite() && (prev_cost - cost).abs() <= config.tolerance * prev_cost.max(1.0)
+        {
+            converged = true;
+            prev_cost = cost;
+            break;
+        }
+        prev_cost = cost;
+    }
+
+    // Crisp decoding.
+    let assignments = (0..n)
+        .map(|i| {
+            let w = &memberships[i * k..(i + 1) * k];
+            let mut best = 0usize;
+            for (c, &x) in w.iter().enumerate() {
+                if x > w[best] {
+                    best = c;
+                }
+            }
+            ClusterId(best as u32)
+        })
+        .collect();
+
+    FuzzyKModesResult {
+        memberships,
+        modes,
+        assignments,
+        n_iterations,
+        converged,
+        cost: prev_cost,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshclust_categorical::DatasetBuilder;
+
+    fn blob_dataset(groups: usize, per_group: usize, n_attrs: usize) -> Dataset {
+        let mut b = DatasetBuilder::anonymous(n_attrs);
+        for g in 0..groups {
+            for i in 0..per_group {
+                let row: Vec<String> = (0..n_attrs)
+                    .map(|a| if a == 0 { format!("g{g}n{i}") } else { format!("g{g}a{a}") })
+                    .collect();
+                let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+                b.push_str_row(&refs, Some(g as u32)).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn memberships_are_a_distribution() {
+        let ds = blob_dataset(3, 6, 5);
+        let result = fuzzy_kmodes(&ds, &FuzzyKModesConfig::new(3).seed(1));
+        for i in 0..ds.n_items() {
+            let row = result.membership(i);
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "item {i} memberships sum to {sum}");
+            assert!(row.iter().all(|&w| (0.0..=1.0 + 1e-12).contains(&w)));
+        }
+    }
+
+    #[test]
+    fn crisp_decoding_separates_blobs() {
+        let ds = blob_dataset(3, 8, 6);
+        // Cao init spreads the centres across blobs deterministically;
+        // random init can seed two modes in one blob and stick there (fuzzy
+        // updates are more local-optimum-prone than crisp ones).
+        let mut config = FuzzyKModesConfig::new(3).seed(2);
+        config.init = InitMethod::Cao;
+        let result = fuzzy_kmodes(&ds, &config);
+        for g in 0..3 {
+            let first = result.assignments[g * 8];
+            for i in 0..8 {
+                assert_eq!(result.assignments[g * 8 + i], first, "blob {g} split");
+            }
+        }
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn exact_mode_match_gets_crisp_membership() {
+        let ds = blob_dataset(2, 4, 4);
+        let result = fuzzy_kmodes(&ds, &FuzzyKModesConfig::new(2).seed(3));
+        // Random-item init: the picked items match a mode exactly at first;
+        // after convergence at least the items equal to a mode stay crisp.
+        for i in 0..ds.n_items() {
+            for c in 0..2 {
+                if ds.row(i) == result.modes.mode(c) {
+                    assert_eq!(result.membership(i)[c], 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_alpha_is_crisper() {
+        let ds = blob_dataset(2, 6, 5);
+        let soft = fuzzy_kmodes(&ds, &FuzzyKModesConfig::new(2).alpha(3.0).seed(4));
+        let crisp = fuzzy_kmodes(&ds, &FuzzyKModesConfig::new(2).alpha(1.1).seed(4));
+        let entropy = |r: &FuzzyKModesResult| -> f64 {
+            (0..ds.n_items())
+                .map(|i| {
+                    r.membership(i)
+                        .iter()
+                        .filter(|&&w| w > 0.0)
+                        .map(|&w| -w * w.ln())
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        assert!(
+            entropy(&crisp) <= entropy(&soft) + 1e-9,
+            "alpha 1.1 entropy {} > alpha 3.0 entropy {}",
+            entropy(&crisp),
+            entropy(&soft)
+        );
+    }
+
+    #[test]
+    fn cost_is_finite_and_nonnegative() {
+        let ds = blob_dataset(4, 5, 6);
+        let result = fuzzy_kmodes(&ds, &FuzzyKModesConfig::new(4).seed(5));
+        assert!(result.cost.is_finite());
+        assert!(result.cost >= 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = blob_dataset(3, 5, 4);
+        let a = fuzzy_kmodes(&ds, &FuzzyKModesConfig::new(3).seed(6));
+        let b = fuzzy_kmodes(&ds, &FuzzyKModesConfig::new(3).seed(6));
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.memberships, b.memberships);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must exceed 1")]
+    fn alpha_validated() {
+        let _ = FuzzyKModesConfig::new(2).alpha(1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Per-iteration instrumentation shared by the baseline and the accelerated
+//! algorithm — exactly the series the paper plots (time per iteration,
+//! moves, average number of clusters searched).
+
+use std::time::Duration;
+
+/// Measurements of one clustering iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterationStats {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Wall-clock time of the iteration (assignment + mode update).
+    pub duration: Duration,
+    /// Items that changed cluster this iteration (Figs. 2c, 3d, 4b, 9c, 10d).
+    pub moves: usize,
+    /// Mean number of candidate clusters searched per item (Figs. 2b, 3c,
+    /// 4a, 5b, 9b, 10c). Equals `k` for the full-search baseline.
+    pub avg_candidates: f64,
+    /// Objective `P(W, Q)` after the iteration.
+    pub cost: u64,
+}
+
+/// Summary of a finished clustering run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Per-iteration measurements in order.
+    pub iterations: Vec<IterationStats>,
+    /// Whether the run stopped because no item moved (vs hitting the cap or
+    /// a cost increase).
+    pub converged: bool,
+    /// One-off setup time before the first iteration (for MH-K-Modes this is
+    /// the initial assignment pass plus index construction; the paper counts
+    /// it in the total, Fig. 7).
+    pub setup: Duration,
+}
+
+impl RunSummary {
+    /// Number of iterations executed.
+    pub fn n_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Total wall-clock time including setup (the paper's Fig. 7/9d/10b).
+    pub fn total_time(&self) -> Duration {
+        self.setup + self.iterations.iter().map(|s| s.duration).sum::<Duration>()
+    }
+
+    /// Final cost, or `None` before any iteration ran.
+    pub fn final_cost(&self) -> Option<u64> {
+        self.iterations.last().map(|s| s.cost)
+    }
+
+    /// Mean per-iteration duration.
+    pub fn mean_iteration_time(&self) -> Duration {
+        if self.iterations.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.iterations.iter().map(|s| s.duration).sum();
+        total / self.iterations.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iter(i: usize, ms: u64, moves: usize, cost: u64) -> IterationStats {
+        IterationStats {
+            iteration: i,
+            duration: Duration::from_millis(ms),
+            moves,
+            avg_candidates: 10.0,
+            cost,
+        }
+    }
+
+    #[test]
+    fn totals_include_setup() {
+        let run = RunSummary {
+            iterations: vec![iter(1, 100, 5, 50), iter(2, 80, 0, 40)],
+            converged: true,
+            setup: Duration::from_millis(20),
+        };
+        assert_eq!(run.n_iterations(), 2);
+        assert_eq!(run.total_time(), Duration::from_millis(200));
+        assert_eq!(run.final_cost(), Some(40));
+        assert_eq!(run.mean_iteration_time(), Duration::from_millis(90));
+    }
+
+    #[test]
+    fn empty_run() {
+        let run = RunSummary { iterations: vec![], converged: false, setup: Duration::ZERO };
+        assert_eq!(run.total_time(), Duration::ZERO);
+        assert_eq!(run.final_cost(), None);
+        assert_eq!(run.mean_iteration_time(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,93 @@
+//! Adjusted Rand index (Hubert & Arabie).
+//!
+//! Chance-corrected pair-counting agreement between two partitions:
+//! `ARI = (Index − E[Index]) / (Max − E[Index])` over item pairs. 1.0 for
+//! identical partitions, ~0 for random ones, negative for adversarial ones.
+
+use crate::contingency::Contingency;
+
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Computes the adjusted Rand index between predictions and labels.
+pub fn adjusted_rand_index(predicted: &[u32], truth: &[u32]) -> f64 {
+    if predicted.len() < 2 {
+        return 1.0; // degenerate: no pairs to disagree on
+    }
+    let table = Contingency::new(predicted, truth);
+    let sum_cells: f64 = table.cells().map(|(_, _, c)| choose2(c)).sum();
+    let sum_clusters: f64 = table.cluster_totals().map(|(_, c)| choose2(c)).sum();
+    let sum_classes: f64 = table.class_totals().map(|(_, c)| choose2(c)).sum();
+    let total_pairs = choose2(table.n());
+    let expected = sum_clusters * sum_classes / total_pairs;
+    let max_index = 0.5 * (sum_clusters + sum_classes);
+    if (max_index - expected).abs() < 1e-15 {
+        // Both partitions trivial (all-singletons vs all-singletons etc.).
+        return if (sum_cells - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let p = [0, 0, 1, 1, 2, 2];
+        assert!((adjusted_rand_index(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabelling_scores_one() {
+        assert!((adjusted_rand_index(&[0, 0, 1, 1], &[9, 9, 4, 4]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        let p = [0, 0, 1, 1, 0, 0, 1, 1];
+        let t = [0, 1, 0, 1, 0, 1, 0, 1];
+        let ari = adjusted_rand_index(&p, &t);
+        assert!(ari.abs() < 0.2, "ari {ari}");
+    }
+
+    #[test]
+    fn worse_than_chance_is_negative() {
+        // Anti-correlated partition on 4 items: each cluster contains one
+        // item of each class.
+        let p = [0, 0, 1, 1];
+        let t = [0, 1, 0, 1];
+        let ari = adjusted_rand_index(&p, &t);
+        assert!(ari < 0.0 || ari.abs() < 1e-12, "ari {ari}");
+    }
+
+    #[test]
+    fn partial_agreement_between_zero_and_one() {
+        // One item of class 0 strays into cluster 1: (4−2.8)/(6.5−2.8) ≈ 0.324.
+        let p = [0, 0, 0, 1, 1, 1];
+        let t = [0, 0, 0, 1, 1, 0];
+        let ari = adjusted_rand_index(&p, &t);
+        assert!(ari > 0.0 && ari < 1.0, "ari {ari}");
+        assert!((ari - 1.2 / 3.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_value_sklearn_example() {
+        // sklearn docs: ARI([0,0,1,1],[0,0,1,2]) ≈ 0.5714285714.
+        let ari = adjusted_rand_index(&[0, 0, 1, 1], &[0, 0, 1, 2]);
+        assert!((ari - 0.571_428_571_4).abs() < 1e-9, "ari {ari}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(adjusted_rand_index(&[], &[]), 1.0);
+        assert_eq!(adjusted_rand_index(&[0], &[3]), 1.0);
+    }
+
+    #[test]
+    fn all_singletons_vs_all_singletons() {
+        let p = [0, 1, 2, 3];
+        assert!((adjusted_rand_index(&p, &p) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cluster × class contingency table — the shared basis of all metrics.
+
+use std::collections::HashMap;
+
+/// Sparse contingency counts between predicted clusters and true classes.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    /// `(cluster, class) → count`, sparse (most pairs are empty when k is
+    /// large, as in the paper's 20 000-cluster experiments).
+    counts: HashMap<(u32, u32), u64>,
+    /// Per-cluster totals.
+    cluster_totals: HashMap<u32, u64>,
+    /// Per-class totals.
+    class_totals: HashMap<u32, u64>,
+    /// Number of items.
+    n: u64,
+}
+
+impl Contingency {
+    /// Builds the table from aligned prediction/label slices.
+    ///
+    /// Panics if lengths differ.
+    pub fn new(predicted: &[u32], truth: &[u32]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "prediction/label length mismatch");
+        let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut cluster_totals: HashMap<u32, u64> = HashMap::new();
+        let mut class_totals: HashMap<u32, u64> = HashMap::new();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            *counts.entry((p, t)).or_insert(0) += 1;
+            *cluster_totals.entry(p).or_insert(0) += 1;
+            *class_totals.entry(t).or_insert(0) += 1;
+        }
+        Self { counts, cluster_totals, class_totals, n: predicted.len() as u64 }
+    }
+
+    /// Total items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Number of non-empty clusters.
+    pub fn n_clusters(&self) -> usize {
+        self.cluster_totals.len()
+    }
+
+    /// Number of observed classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_totals.len()
+    }
+
+    /// Iterates `(cluster, class, count)` cells.
+    pub fn cells(&self) -> impl Iterator<Item = (u32, u32, u64)> + '_ {
+        self.counts.iter().map(|(&(p, t), &c)| (p, t, c))
+    }
+
+    /// Per-cluster totals.
+    pub fn cluster_totals(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.cluster_totals.iter().map(|(&p, &c)| (p, c))
+    }
+
+    /// Per-class totals.
+    pub fn class_totals(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.class_totals.iter().map(|(&t, &c)| (t, c))
+    }
+
+    /// For each cluster, the count of its most frequent class (the numerator
+    /// of purity).
+    pub fn majority_sum(&self) -> u64 {
+        let mut best: HashMap<u32, u64> = HashMap::new();
+        for (&(p, _), &c) in &self.counts {
+            let slot = best.entry(p).or_insert(0);
+            *slot = (*slot).max(c);
+        }
+        best.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_shape() {
+        let c = Contingency::new(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 2]);
+        assert_eq!(c.n(), 5);
+        assert_eq!(c.n_clusters(), 2);
+        assert_eq!(c.n_classes(), 3);
+        let cluster: HashMap<u32, u64> = c.cluster_totals().collect();
+        assert_eq!(cluster[&0], 2);
+        assert_eq!(cluster[&1], 3);
+        let class: HashMap<u32, u64> = c.class_totals().collect();
+        assert_eq!(class[&1], 3);
+    }
+
+    #[test]
+    fn majority_sum_picks_per_cluster_max() {
+        // Cluster 0: classes {0:1, 1:1} → max 1; cluster 1: {1:2, 2:1} → 2.
+        let c = Contingency::new(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 2]);
+        assert_eq!(c.majority_sum(), 3);
+    }
+
+    #[test]
+    fn cells_cover_all_items() {
+        let c = Contingency::new(&[0, 1, 0], &[2, 2, 2]);
+        let total: u64 = c.cells().map(|(_, _, n)| n).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = Contingency::new(&[], &[]);
+        assert_eq!(c.n(), 0);
+        assert_eq!(c.majority_sum(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Contingency::new(&[0], &[]);
+    }
+}

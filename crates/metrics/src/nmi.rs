@@ -1,0 +1,105 @@
+//! Normalised mutual information (arithmetic-mean normalisation).
+//!
+//! `NMI = 2·I(P; T) / (H(P) + H(T))` with natural-log entropies. Supplement
+//! to the paper's purity metric: unlike purity it does not trivially reward
+//! many small clusters.
+
+use crate::contingency::Contingency;
+
+/// Computes NMI between predictions and labels. Returns 1.0 when both
+/// partitions are identical-up-to-relabelling, and 0.0 when independent (or
+/// when either partition is constant, by convention).
+pub fn normalized_mutual_information(predicted: &[u32], truth: &[u32]) -> f64 {
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let table = Contingency::new(predicted, truth);
+    let n = table.n() as f64;
+
+    let h_pred = entropy(table.cluster_totals().map(|(_, c)| c), n);
+    let h_true = entropy(table.class_totals().map(|(_, c)| c), n);
+    if h_pred == 0.0 || h_true == 0.0 {
+        // A constant partition carries no information.
+        return 0.0;
+    }
+
+    let cluster_totals: std::collections::HashMap<u32, u64> = table.cluster_totals().collect();
+    let class_totals: std::collections::HashMap<u32, u64> = table.class_totals().collect();
+    let mut mi = 0.0;
+    for (p, t, c) in table.cells() {
+        let pij = c as f64 / n;
+        let pi = cluster_totals[&p] as f64 / n;
+        let pj = class_totals[&t] as f64 / n;
+        mi += pij * (pij / (pi * pj)).ln();
+    }
+    (2.0 * mi / (h_pred + h_true)).clamp(0.0, 1.0)
+}
+
+fn entropy<I: Iterator<Item = u64>>(counts: I, n: f64) -> f64 {
+    counts
+        .map(|c| {
+            let p = c as f64 / n;
+            if p > 0.0 {
+                -p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let p = [0, 0, 1, 1, 2, 2];
+        assert!((normalized_mutual_information(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabelled_partitions_score_one() {
+        let p = [0, 0, 1, 1];
+        let t = [7, 7, 3, 3];
+        assert!((normalized_mutual_information(&p, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_partition_scores_zero() {
+        assert_eq!(normalized_mutual_information(&[0, 0, 0], &[0, 1, 2]), 0.0);
+        assert_eq!(normalized_mutual_information(&[0, 1, 2], &[5, 5, 5]), 0.0);
+    }
+
+    #[test]
+    fn independent_partitions_score_near_zero() {
+        // Balanced 2×2 independence.
+        let p = [0, 0, 1, 1, 0, 0, 1, 1];
+        let t = [0, 1, 0, 1, 0, 1, 0, 1];
+        let nmi = normalized_mutual_information(&p, &t);
+        assert!(nmi < 1e-9, "nmi {nmi}");
+    }
+
+    #[test]
+    fn partial_agreement_is_between_zero_and_one() {
+        let p = [0, 0, 0, 1, 1, 1];
+        let t = [0, 0, 1, 1, 1, 0];
+        let nmi = normalized_mutual_information(&p, &t);
+        assert!(nmi > 0.0 && nmi < 1.0, "nmi {nmi}");
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(normalized_mutual_information(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn finer_clustering_keeps_full_information() {
+        // Splitting each true class into two clusters: MI equals H(T), and
+        // NMI = 2·H(T)/(H(P)+H(T)) < 1 — penalised, unlike purity.
+        let p = [0, 1, 2, 3];
+        let t = [0, 0, 1, 1];
+        let nmi = normalized_mutual_information(&p, &t);
+        assert!(nmi > 0.5 && nmi < 1.0, "nmi {nmi}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Cluster purity — the paper's quality metric (Figs. 8 and 9e).
+//!
+//! `purity = (1/n) Σ_clusters max_class |cluster ∩ class|`: each cluster
+//! votes for its majority class and purity is the fraction of items covered
+//! by those votes. Ranges over `(0, 1]`; trivially 1 when every item has its
+//! own cluster, which is why the paper pairs it with fixed `k`.
+
+use crate::contingency::Contingency;
+
+/// Computes purity from aligned predictions and ground-truth labels.
+pub fn purity(predicted: &[u32], truth: &[u32]) -> f64 {
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let c = Contingency::new(predicted, truth);
+    c.majority_sum() as f64 / c.n() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering() {
+        assert_eq!(purity(&[0, 0, 1, 1], &[5, 5, 9, 9]), 1.0);
+    }
+
+    #[test]
+    fn label_permutation_is_irrelevant() {
+        assert_eq!(purity(&[1, 1, 0, 0], &[5, 5, 9, 9]), 1.0);
+    }
+
+    #[test]
+    fn single_cluster_purity_is_majority_fraction() {
+        let got = purity(&[0, 0, 0, 0], &[1, 1, 1, 2]);
+        assert!((got - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn each_item_own_cluster_is_trivially_pure() {
+        assert_eq!(purity(&[0, 1, 2, 3], &[0, 0, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn known_textbook_example() {
+        // Three clusters of mixed classes; majority counts 3 + 2 + 2 = 7/10.
+        let predicted = [0, 0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let truth = [0, 0, 0, 1, 1, 1, 0, 2, 2, 1];
+        assert!((purity(&predicted, &truth) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(purity(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn bounded_by_one() {
+        let predicted: Vec<u32> = (0..100).map(|i| i % 7).collect();
+        let truth: Vec<u32> = (0..100).map(|i| i % 3).collect();
+        let p = purity(&predicted, &truth);
+        assert!(p > 0.0 && p <= 1.0);
+    }
+}

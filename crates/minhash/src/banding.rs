@@ -1,0 +1,177 @@
+//! The banding scheme: a signature of `n = b·r` values is split into `b`
+//! bands of `r` rows; each band is hashed into its own bucket universe
+//! (§III-A2: "there will be b sets of buckets to map to, one set for each
+//! band so no overlapping between bands can occur").
+
+use crate::hashfn::mix64;
+
+/// Banding parameters `b` (bands) × `r` (rows per band).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Banding {
+    bands: u32,
+    rows: u32,
+}
+
+impl Banding {
+    /// Creates a banding scheme. Panics if either dimension is zero.
+    pub fn new(bands: u32, rows: u32) -> Self {
+        assert!(bands > 0, "bands must be positive");
+        assert!(rows > 0, "rows must be positive");
+        Self { bands, rows }
+    }
+
+    /// Number of bands `b`.
+    #[inline]
+    pub fn bands(&self) -> u32 {
+        self.bands
+    }
+
+    /// Rows per band `r`.
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Required signature length `n = b·r`.
+    #[inline]
+    pub fn signature_len(&self) -> usize {
+        self.bands as usize * self.rows as usize
+    }
+
+    /// The similarity at which the candidate-pair probability curve is
+    /// steepest, `(1/b)^{1/r}` (§III-A2).
+    pub fn threshold(&self) -> f64 {
+        (1.0 / f64::from(self.bands)).powf(1.0 / f64::from(self.rows))
+    }
+
+    /// Hashes band `band` of `signature` into a 64-bit bucket key.
+    ///
+    /// The band index is folded into the key so the same `r` minima hash to
+    /// *different* buckets in different bands (per-band bucket universes).
+    #[inline]
+    pub fn band_key(&self, signature: &[u64], band: u32) -> u64 {
+        debug_assert_eq!(signature.len(), self.signature_len());
+        debug_assert!(band < self.bands);
+        let r = self.rows as usize;
+        let start = band as usize * r;
+        let mut acc = mix64(u64::from(band) ^ 0x00b4_11d5_u64);
+        for &v in &signature[start..start + r] {
+            // Sequential mixing: order-sensitive combination of the r minima.
+            acc = mix64(acc ^ v);
+        }
+        acc
+    }
+
+    /// Computes all `b` band keys of a signature into `out`.
+    pub fn band_keys_into(&self, signature: &[u64], out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.bands as usize);
+        for band in 0..self.bands {
+            out.push(self.band_key(signature, band));
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Self::band_keys_into`].
+    pub fn band_keys(&self, signature: &[u64]) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.band_keys_into(signature, &mut out);
+        out
+    }
+
+    /// Probability that two items with Jaccard similarity `s` share at least
+    /// one band bucket: `1 − (1 − s^r)^b`.
+    pub fn candidate_probability(&self, s: f64) -> f64 {
+        crate::probability::candidate_probability(s, self.rows, self.bands)
+    }
+}
+
+impl std::fmt::Display for Banding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}b{}r", self.bands, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions() {
+        let b = Banding::new(20, 5);
+        assert_eq!(b.bands(), 20);
+        assert_eq!(b.rows(), 5);
+        assert_eq!(b.signature_len(), 100);
+        assert_eq!(b.to_string(), "20b5r");
+    }
+
+    #[test]
+    #[should_panic(expected = "bands must be positive")]
+    fn zero_bands_rejected() {
+        let _ = Banding::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows must be positive")]
+    fn zero_rows_rejected() {
+        let _ = Banding::new(1, 0);
+    }
+
+    #[test]
+    fn threshold_matches_formula() {
+        let b = Banding::new(20, 5);
+        assert!((b.threshold() - (1.0f64 / 20.0).powf(0.2)).abs() < 1e-12);
+        // 1 band 1 row: threshold 1.0 (everything below certainty).
+        assert_eq!(Banding::new(1, 1).threshold(), 1.0);
+    }
+
+    #[test]
+    fn identical_bands_share_keys() {
+        let b = Banding::new(4, 3);
+        let sig: Vec<u64> = (0..12).collect();
+        assert_eq!(b.band_key(&sig, 2), b.band_key(&sig, 2));
+        assert_eq!(b.band_keys(&sig), b.band_keys(&sig));
+    }
+
+    #[test]
+    fn same_rows_different_band_different_key() {
+        // Two bands with identical r-row content must land in different
+        // bucket universes.
+        let b = Banding::new(2, 2);
+        let sig = vec![7u64, 8, 7, 8];
+        assert_ne!(b.band_key(&sig, 0), b.band_key(&sig, 1));
+    }
+
+    #[test]
+    fn partial_signature_difference_changes_only_that_band() {
+        let b = Banding::new(3, 2);
+        let sig1: Vec<u64> = vec![1, 2, 3, 4, 5, 6];
+        let mut sig2 = sig1.clone();
+        sig2[2] = 99; // inside band 1
+        assert_eq!(b.band_key(&sig1, 0), b.band_key(&sig2, 0));
+        assert_ne!(b.band_key(&sig1, 1), b.band_key(&sig2, 1));
+        assert_eq!(b.band_key(&sig1, 2), b.band_key(&sig2, 2));
+    }
+
+    #[test]
+    fn band_key_is_order_sensitive_within_band() {
+        let b = Banding::new(1, 2);
+        let k1 = b.band_key(&[1, 2], 0);
+        let k2 = b.band_key(&[2, 1], 0);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn band_keys_into_reuses_buffer() {
+        let b = Banding::new(5, 1);
+        let sig: Vec<u64> = (0..5).collect();
+        let mut buf = vec![0u64; 32];
+        b.band_keys_into(&sig, &mut buf);
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn candidate_probability_delegates() {
+        let b = Banding::new(10, 1);
+        assert!((b.candidate_probability(0.01) - 0.0956).abs() < 0.001);
+    }
+}

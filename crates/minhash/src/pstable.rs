@@ -1,0 +1,259 @@
+//! p-stable LSH for Euclidean distance (Datar–Immorlica–Indyk–Mirrokni
+//! E2LSH scheme).
+//!
+//! Completes the numeric LSH toolbox next to [`crate::simhash`]: SimHash is
+//! angle-sensitive (cosine), this family is *magnitude*-sensitive
+//! (ℓ₂ distance). Each hash is `h(v) = ⌊(a·v + b) / w⌋` with `a` a standard
+//! Gaussian vector (2-stable) and `b ~ U[0, w)`; nearby vectors land in the
+//! same width-`w` slot with probability decreasing in `‖u − v‖₂ / w`. Hashes
+//! are grouped into the usual `b` bands × `r` rows for candidate generation,
+//! so the whole `1 − (1 − p^r)^b` analysis of [`crate::probability`] carries
+//! over with `p = P[slot collision]`.
+
+use crate::hashfn::mix64;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A family of `n` p-stable hash functions over `dim`-dimensional vectors.
+#[derive(Clone, Debug)]
+pub struct PStableHash {
+    /// `n × dim` Gaussian projection vectors, row-major.
+    projections: Vec<f64>,
+    /// `n` offsets in `[0, w)`.
+    offsets: Vec<f64>,
+    /// Slot width.
+    width: f64,
+    dim: usize,
+}
+
+/// Standard-normal sampling via Box–Muller (keeps the dependency list to
+/// plain `rand`; see DESIGN.md §3).
+fn gaussian(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.random_range(0.0..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        if u1 > f64::EPSILON {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+impl PStableHash {
+    /// Creates `n` hash functions with slot width `w`.
+    ///
+    /// Pick `w` around the distance scale you want to treat as "near":
+    /// `P[collision]` at distance `d` is ≈ 1 for `d ≪ w` and decays like
+    /// `w/d` beyond it.
+    pub fn new(n: usize, dim: usize, width: f64, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(width > 0.0 && width.is_finite(), "width must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0070_7374_6162_6c65); // "pstable"
+        let projections = (0..n * dim).map(|_| gaussian(&mut rng)).collect();
+        let offsets = (0..n).map(|_| rng.random_range(0.0..width)).collect();
+        Self { projections, offsets, width, dim }
+    }
+
+    /// Number of hash functions.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the family is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The slot width `w`.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Evaluates hash `i` on `v`: the integer slot index.
+    pub fn slot(&self, i: usize, v: &[f64]) -> i64 {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let proj = &self.projections[i * self.dim..(i + 1) * self.dim];
+        let dot: f64 = proj.iter().zip(v).map(|(a, x)| a * x).sum();
+        ((dot + self.offsets[i]) / self.width).floor() as i64
+    }
+
+    /// Computes the full slot signature of `v`.
+    pub fn signature(&self, v: &[f64]) -> Vec<i64> {
+        (0..self.len()).map(|i| self.slot(i, v)).collect()
+    }
+
+    /// Folds a slot signature into `bands` 64-bit band keys of `rows` slots
+    /// each (requires `bands × rows ≤ len()`).
+    pub fn band_keys(&self, signature: &[i64], bands: u32, rows: u32) -> Vec<u64> {
+        let needed = bands as usize * rows as usize;
+        assert!(
+            needed <= signature.len(),
+            "banding needs {needed} hashes, have {}",
+            signature.len()
+        );
+        (0..bands)
+            .map(|band| {
+                let mut acc = mix64(u64::from(band) ^ 0xe2e2);
+                for row in 0..rows {
+                    let slot = signature[(band * rows + row) as usize];
+                    acc = mix64(acc ^ (slot as u64));
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Analytic slot-collision probability for two vectors at ℓ₂ distance
+    /// `d` (Datar et al., Eq. for the Gaussian case):
+    ///
+    /// `p(d) = 1 − 2Φ(−w/d) − (2d / (√(2π) w)) (1 − e^{−w²/(2d²)})`
+    pub fn collision_probability(&self, d: f64) -> f64 {
+        assert!(d >= 0.0);
+        if d == 0.0 {
+            return 1.0;
+        }
+        let c = self.width / d;
+        let phi_neg = 0.5 * erfc(c / std::f64::consts::SQRT_2);
+        1.0 - 2.0 * phi_neg
+            - (2.0 / (std::f64::consts::TAU.sqrt() * c)) * (1.0 - (-c * c / 2.0).exp())
+    }
+}
+
+/// Complementary error function (Abramowitz–Stegun 7.1.26 rational
+/// approximation, |error| ≤ 1.5e-7 — ample for parameter planning).
+fn erfc(x: f64) -> f64 {
+    let sign_negative = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let result = poly * (-x * x).exp();
+    if sign_negative {
+        2.0 - result
+    } else {
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_vectors_share_all_slots() {
+        let h = PStableHash::new(32, 4, 1.0, 1);
+        let v = vec![0.3, -1.2, 4.5, 0.0];
+        assert_eq!(h.signature(&v), h.signature(&v));
+    }
+
+    #[test]
+    fn near_vectors_share_most_slots() {
+        let h = PStableHash::new(256, 4, 4.0, 2);
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![1.05, 2.0, 3.0, 3.95]; // distance ≈ 0.07 « w
+        let sa = h.signature(&a);
+        let sb = h.signature(&b);
+        let agree = sa.iter().zip(&sb).filter(|(x, y)| x == y).count();
+        assert!(agree > 240, "only {agree}/256 slots agree");
+    }
+
+    #[test]
+    fn far_vectors_rarely_share_slots() {
+        let h = PStableHash::new(256, 4, 0.5, 3);
+        let a = vec![0.0; 4];
+        let b = vec![10.0, -10.0, 10.0, -10.0]; // distance 20 » w
+        let sa = h.signature(&a);
+        let sb = h.signature(&b);
+        let agree = sa.iter().zip(&sb).filter(|(x, y)| x == y).count();
+        assert!(agree < 30, "{agree}/256 slots agree for far vectors");
+    }
+
+    #[test]
+    fn collision_rate_tracks_analytic_probability() {
+        let h = PStableHash::new(2048, 3, 2.0, 4);
+        let a = vec![0.0, 0.0, 0.0];
+        let b = vec![2.0, 0.0, 0.0]; // d = w
+        let sa = h.signature(&a);
+        let sb = h.signature(&b);
+        let measured =
+            sa.iter().zip(&sb).filter(|(x, y)| x == y).count() as f64 / 2048.0;
+        let analytic = h.collision_probability(2.0);
+        assert!(
+            (measured - analytic).abs() < 0.05,
+            "measured {measured} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn collision_probability_monotone_in_distance() {
+        let h = PStableHash::new(1, 2, 1.0, 5);
+        let mut last = 1.0;
+        for d in [0.0, 0.1, 0.5, 1.0, 2.0, 10.0] {
+            let p = h.collision_probability(d);
+            assert!(p <= last + 1e-12, "p({d}) = {p} not monotone");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn wider_slots_collide_more() {
+        let narrow = PStableHash::new(1, 2, 0.5, 6);
+        let wide = PStableHash::new(1, 2, 5.0, 6);
+        assert!(wide.collision_probability(1.0) > narrow.collision_probability(1.0));
+    }
+
+    #[test]
+    fn band_keys_deterministic_and_shaped() {
+        let h = PStableHash::new(12, 3, 1.0, 7);
+        let sig = h.signature(&[1.0, 2.0, 3.0]);
+        let keys = h.band_keys(&sig, 4, 3);
+        assert_eq!(keys.len(), 4);
+        assert_eq!(keys, h.band_keys(&sig, 4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "banding needs")]
+    fn band_keys_validate_length() {
+        let h = PStableHash::new(4, 2, 1.0, 8);
+        let sig = h.signature(&[0.0, 0.0]);
+        let _ = h.band_keys(&sig, 4, 3);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        // erfc(0) = 1, erfc(1) ≈ 0.1573, erfc(-1) ≈ 1.8427.
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-5);
+        assert!(erfc(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn translation_changes_slots_scaling_width_compensates() {
+        // Doubling all coordinates at doubled width yields the same relative
+        // geometry: collision probability at distance d under width w equals
+        // that at 2d under 2w.
+        let h1 = PStableHash::new(1, 2, 1.0, 10);
+        let h2 = PStableHash::new(1, 2, 2.0, 10);
+        let p1 = h1.collision_probability(0.7);
+        let p2 = h2.collision_probability(1.4);
+        assert!((p1 - p2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! MinHash signature generation — Algorithm 1 (`SIGGEN`) of the paper.
+//!
+//! A signature is a vector of `n = b·r` minima: entry `i` is the minimum of
+//! hash function `h_i` over the item's *present* element keys. Two items'
+//! signatures agree at position `i` with probability equal to their Jaccard
+//! similarity, which [`estimate_jaccard`] exploits.
+
+use crate::hashfn::HashFamily;
+use lshclust_categorical::{Dataset, PresentElements};
+
+/// Generates MinHash signatures with a fixed hash family.
+#[derive(Clone, Debug)]
+pub struct SignatureGenerator<F: HashFamily> {
+    family: F,
+}
+
+impl<F: HashFamily> SignatureGenerator<F> {
+    /// Wraps a hash family. The family's length is the signature length.
+    pub fn new(family: F) -> Self {
+        Self { family }
+    }
+
+    /// Signature length `n` (= number of hash functions).
+    pub fn signature_len(&self) -> usize {
+        self.family.len()
+    }
+
+    /// Computes the signature of an element-key iterator into `out`
+    /// (Algorithm 1). `out` is overwritten and resized to `n`.
+    ///
+    /// An empty element set (an item with no present features) yields the
+    /// all-`u64::MAX` signature — such items collide only with each other,
+    /// which is the sensible degenerate behaviour.
+    pub fn signature_into<I: IntoIterator<Item = u64>>(&self, elements: I, out: &mut Vec<u64>) {
+        let n = self.family.len();
+        out.clear();
+        out.resize(n, u64::MAX);
+        // Loop order follows Algorithm 1: for each element, for each hash
+        // function, keep the minimum.
+        for e in elements {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let h = self.family.eval(i, e);
+                if h < *slot {
+                    *slot = h;
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Self::signature_into`].
+    pub fn signature<I: IntoIterator<Item = u64>>(&self, elements: I) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.signature_into(elements, &mut out);
+        out
+    }
+
+    /// Computes signatures for every item of a dataset, flattened row-major
+    /// into one buffer (`n_items × n` values).
+    ///
+    /// Present-feature filtering (Algorithm 2 lines 2–4) is applied via
+    /// [`PresentElements`].
+    pub fn dataset_signatures(&self, dataset: &Dataset) -> SignatureMatrix {
+        let n = self.family.len();
+        let mut data = Vec::with_capacity(dataset.n_items() * n);
+        let mut row = Vec::with_capacity(n);
+        for item in 0..dataset.n_items() {
+            self.signature_into(PresentElements::of_item(dataset, item), &mut row);
+            data.extend_from_slice(&row);
+        }
+        SignatureMatrix { signature_len: n, data }
+    }
+}
+
+/// Row-major matrix of per-item signatures.
+#[derive(Clone, Debug)]
+pub struct SignatureMatrix {
+    signature_len: usize,
+    data: Vec<u64>,
+}
+
+impl SignatureMatrix {
+    /// Signature length `n`.
+    pub fn signature_len(&self) -> usize {
+        self.signature_len
+    }
+
+    /// Number of item signatures stored.
+    pub fn n_items(&self) -> usize {
+        self.data.len().checked_div(self.signature_len).unwrap_or(0)
+    }
+
+    /// Signature of item `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        let s = i * self.signature_len;
+        &self.data[s..s + self.signature_len]
+    }
+}
+
+/// Estimates Jaccard similarity as the fraction of agreeing signature
+/// positions.
+///
+/// The estimator is unbiased with standard error `O(1/√n)`.
+pub fn estimate_jaccard(sig_a: &[u64], sig_b: &[u64]) -> f64 {
+    assert_eq!(sig_a.len(), sig_b.len(), "signatures must have equal length");
+    if sig_a.is_empty() {
+        return 0.0;
+    }
+    let agree = sig_a.iter().zip(sig_b.iter()).filter(|(a, b)| a == b).count();
+    agree as f64 / sig_a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hashfn::MixHashFamily;
+    use lshclust_categorical::DatasetBuilder;
+
+    fn generator(n: usize) -> SignatureGenerator<MixHashFamily> {
+        SignatureGenerator::new(MixHashFamily::new(n, 42))
+    }
+
+    #[test]
+    fn identical_sets_have_identical_signatures() {
+        let g = generator(16);
+        let a = g.signature([1u64, 2, 3]);
+        let b = g.signature([3u64, 2, 1]); // order must not matter
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_agree() {
+        let g = generator(64);
+        let a = g.signature(0u64..8);
+        let b = g.signature(100u64..108);
+        let est = estimate_jaccard(&a, &b);
+        assert!(est < 0.1, "disjoint sets estimated at {est}");
+    }
+
+    #[test]
+    fn empty_set_signature_is_all_max() {
+        let g = generator(4);
+        assert_eq!(g.signature(std::iter::empty()), vec![u64::MAX; 4]);
+    }
+
+    #[test]
+    fn signature_len_matches_family() {
+        let g = generator(7);
+        assert_eq!(g.signature_len(), 7);
+        assert_eq!(g.signature([5u64]).len(), 7);
+    }
+
+    #[test]
+    fn singleton_signature_is_elementwise_hash() {
+        let fam = MixHashFamily::new(3, 9);
+        let g = SignatureGenerator::new(fam.clone());
+        let sig = g.signature([77u64]);
+        for (i, &s) in sig.iter().enumerate() {
+            assert_eq!(s, fam.eval(i, 77));
+        }
+    }
+
+    #[test]
+    fn estimator_tracks_true_jaccard() {
+        // Sets with known overlap: |∩| = 50, |∪| = 150 → s = 1/3.
+        let g = generator(512);
+        let a = g.signature(0u64..100);
+        let b = g.signature(50u64..150);
+        let est = estimate_jaccard(&a, &b);
+        assert!((est - 1.0 / 3.0).abs() < 0.08, "estimate {est} far from 1/3");
+    }
+
+    #[test]
+    fn signature_into_reuses_buffer() {
+        let g = generator(8);
+        let mut buf = vec![0u64; 100];
+        g.signature_into([1u64, 2], &mut buf);
+        assert_eq!(buf.len(), 8);
+        let first = buf.clone();
+        g.signature_into([1u64, 2], &mut buf);
+        assert_eq!(buf, first);
+    }
+
+    #[test]
+    fn dataset_signatures_align_with_manual() {
+        let mut b = DatasetBuilder::anonymous(2);
+        b.push_str_row(&["x", "y"], None).unwrap();
+        b.push_str_row(&["x", "z"], None).unwrap();
+        let ds = b.finish();
+        let g = generator(10);
+        let m = g.dataset_signatures(&ds);
+        assert_eq!(m.n_items(), 2);
+        assert_eq!(m.signature_len(), 10);
+        let manual = g.signature(PresentElements::of_item(&ds, 1));
+        assert_eq!(m.row(1), manual.as_slice());
+    }
+
+    #[test]
+    fn estimate_jaccard_of_identical() {
+        let g = generator(32);
+        let s = g.signature(10u64..30);
+        assert_eq!(estimate_jaccard(&s, &s), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn estimate_jaccard_rejects_mismatched_lengths() {
+        let _ = estimate_jaccard(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn estimate_jaccard_empty_is_zero() {
+        assert_eq!(estimate_jaccard(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! The text-to-categorical pipeline of §IV-B.
+//!
+//! The paper clusters Yahoo! Answers questions by (1) extracting "meaningful
+//! words" per topic with TF-IDF, (2) keeping words whose score exceeds a
+//! threshold (0.7 and 0.3 in the experiments) as the vocabulary, and
+//! (3) representing each question as a binary word-presence feature vector,
+//! with the feature name folded into the value (`zoo-0`/`zoo-1`) so that
+//! MinHash — which sees a *set* of attribute–value elements — can filter the
+//! absent side out.
+//!
+//! Pipeline stages:
+//!
+//! * [`tokenize()`] — lowercasing, punctuation-stripping whitespace tokeniser,
+//! * [`tfidf`] — per-topic term scoring (`tf · log10(N/df)`, Eq. 7),
+//! * [`vocab`] — threshold selection into an ordered [`vocab::Vocabulary`],
+//! * [`vectorize()`] — questions → [`lshclust_categorical::Dataset`] rows with
+//!   a registered absent value per attribute.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod tfidf;
+pub mod tokenize;
+pub mod vectorize;
+pub mod vocab;
+
+pub use tfidf::{TfIdf, TopicScores};
+pub use tokenize::tokenize;
+pub use vectorize::vectorize;
+pub use vocab::Vocabulary;

@@ -1,0 +1,74 @@
+//! Tokenisation: lowercase, strip non-alphanumerics, split on whitespace.
+//!
+//! Deliberately simple — the paper gives no tokenizer details beyond "using
+//! the words of each question", and the synthetic corpus emits clean tokens;
+//! real text still comes out reasonably (e.g. `"Does zoologist work?"` →
+//! `["does", "zoologist", "work"]`).
+
+/// Splits `text` into lowercase alphanumeric tokens.
+///
+/// A token is a maximal run of alphanumeric characters; everything else is a
+/// separator. Tokens keep intra-run digits (`"42nd"` survives) but lose
+/// punctuation (`"do.Does"` → `["do", "does"]`, mirroring the paper's real
+/// example text).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            current.extend(ch.to_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace() {
+        assert_eq!(tokenize("hello world"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(tokenize("HeLLo"), vec!["hello"]);
+    }
+
+    #[test]
+    fn strips_punctuation() {
+        assert_eq!(
+            tokenize("im interested, in being a zoologist!"),
+            vec!["im", "interested", "in", "being", "a", "zoologist"]
+        );
+    }
+
+    #[test]
+    fn paper_example_fragment() {
+        // From the paper's real Yahoo! Answers question: missing space after
+        // the period still separates tokens.
+        assert_eq!(tokenize("really do.Does zoologist"), vec!["really", "do", "does", "zoologist"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(tokenize("42nd question q2"), vec!["42nd", "question", "q2"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("?!... --").is_empty());
+    }
+
+    #[test]
+    fn unicode_letters_survive() {
+        assert_eq!(tokenize("Café au lait"), vec!["café", "au", "lait"]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Question → categorical item conversion (§IV-B).
+//!
+//! Each vocabulary word becomes one attribute whose domain is
+//! `{"<word>-0", "<word>-1"}` — the paper's name-augmented binary indicators
+//! ("the value for the feature 'zoo' will become either 'zoo-0' or 'zoo-1'").
+//! The `-0` value is registered as the attribute's *absent* value so that
+//! [`lshclust_categorical::PresentElements`] filters it before MinHash
+//! (Algorithm 2 lines 2–4): shared negatives carry no similarity information.
+
+use crate::tokenize::tokenize;
+use crate::vocab::Vocabulary;
+use lshclust_categorical::{AttrId, Dataset, DatasetBuilder, ValueId};
+
+/// Converts labelled texts into a binary-presence categorical dataset.
+///
+/// Attributes follow the vocabulary order; rows follow input order; labels
+/// carry the recorded topics.
+pub fn vectorize<'a, I>(vocab: &Vocabulary, labelled_texts: I) -> Dataset
+where
+    I: IntoIterator<Item = (&'a str, u32)>,
+{
+    assert!(!vocab.is_empty(), "cannot vectorise with an empty vocabulary");
+    let n_attrs = vocab.len();
+    let mut builder =
+        DatasetBuilder::new(vocab.iter().map(String::from).collect::<Vec<_>>());
+    // Pre-intern "<word>-0"/"<word>-1" per attribute, registering absence.
+    let mut absent = Vec::with_capacity(n_attrs);
+    let mut present = Vec::with_capacity(n_attrs);
+    for a in 0..n_attrs as u32 {
+        let word = vocab.word(a).to_owned();
+        let dict = builder.schema_mut().dictionary_mut(AttrId(a));
+        let v0 = dict.intern(&format!("{word}-0"));
+        let v1 = dict.intern(&format!("{word}-1"));
+        builder.schema_mut().set_absent_value(AttrId(a), v0);
+        absent.push(v0);
+        present.push(v1);
+    }
+
+    let mut row: Vec<ValueId> = Vec::with_capacity(n_attrs);
+    for (text, topic) in labelled_texts {
+        row.clear();
+        row.extend_from_slice(&absent);
+        for token in tokenize(text) {
+            if let Some(a) = vocab.position(&token) {
+                row[a as usize] = present[a as usize];
+            }
+        }
+        builder.push_encoded_row(&row, Some(topic)).expect("row arity fixed by vocabulary");
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshclust_categorical::PresentElements;
+
+    fn vocab() -> Vocabulary {
+        Vocabulary::from_words(["zoo", "stock", "guitar"].into_iter().map(String::from))
+    }
+
+    fn sample() -> Dataset {
+        vectorize(
+            &vocab(),
+            [
+                ("i love the zoo and the zoo loves me", 0u32),
+                ("stock market stock tips", 1),
+                ("guitar and zoo", 2),
+                ("nothing relevant here", 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_labels() {
+        let ds = sample();
+        assert_eq!(ds.n_items(), 4);
+        assert_eq!(ds.n_attrs(), 3);
+        assert_eq!(ds.labels(), Some(&[0, 1, 2, 0][..]));
+    }
+
+    #[test]
+    fn presence_is_encoded_with_augmented_names() {
+        let ds = sample();
+        assert_eq!(ds.decode_row(0), vec!["zoo-1", "stock-0", "guitar-0"]);
+        assert_eq!(ds.decode_row(2), vec!["zoo-1", "stock-0", "guitar-1"]);
+    }
+
+    #[test]
+    fn absent_values_are_filtered_from_minhash_elements() {
+        let ds = sample();
+        // Row 3 has no vocabulary word: zero present elements.
+        assert_eq!(PresentElements::of_item(&ds, 3).count(), 0);
+        // Row 0 has exactly one present element (zoo).
+        assert_eq!(PresentElements::of_item(&ds, 0).count(), 1);
+        // Row 2 has two (zoo, guitar).
+        assert_eq!(PresentElements::of_item(&ds, 2).count(), 2);
+    }
+
+    #[test]
+    fn repeated_words_count_once() {
+        let ds = sample();
+        // "zoo" twice in row 0 still yields a single presence flag.
+        assert_eq!(ds.present_count(0), 1);
+    }
+
+    #[test]
+    fn tokenisation_applies_before_matching() {
+        let ds = vectorize(&vocab(), [("ZOO!", 0u32)]);
+        assert_eq!(ds.decode_row(0)[0], "zoo-1");
+    }
+
+    #[test]
+    fn shared_absence_is_not_similarity() {
+        use lshclust_categorical::dissimilarity::jaccard;
+        let ds = sample();
+        // Rows 1 and 3 share only absences → Jaccard 0 over present elements.
+        let sim = jaccard(ds.schema(), ds.row(1), ds.row(3));
+        assert_eq!(sim, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vocabulary")]
+    fn empty_vocabulary_rejected() {
+        let _ = vectorize(&Vocabulary::default(), [("text", 0u32)]);
+    }
+
+    #[test]
+    fn matching_distance_counts_flag_disagreements() {
+        use lshclust_categorical::dissimilarity::matching;
+        let ds = sample();
+        // Row 0 {zoo} vs row 2 {zoo, guitar}: differ on guitar only.
+        assert_eq!(matching(ds.row(0), ds.row(2)), 1);
+        // Row 0 {zoo} vs row 1 {stock}: differ on zoo and stock.
+        assert_eq!(matching(ds.row(0), ds.row(1)), 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Vocabulary selection by TF-IDF threshold (§IV-B1).
+//!
+//! "TF-IDF was used to extract the meaningful words from each topic, using
+//! up to 10000 words from each topic, and any word with a score over 0.7 was
+//! chosen to be included in the vocabulary." Lowering the threshold to 0.3
+//! grows the vocabulary (the paper: 382 → 2 881 attributes).
+
+use crate::tfidf::TfIdf;
+use std::collections::HashMap;
+
+/// The ordered clustering vocabulary: one attribute per selected word.
+#[derive(Clone, Debug, Default)]
+pub struct Vocabulary {
+    words: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Vocabulary {
+    /// Selects every word scoring above `threshold` in at least one topic,
+    /// considering at most `max_words_per_topic` top words per topic.
+    ///
+    /// Word order is deterministic: topics in id order, words by descending
+    /// score within each topic, duplicates kept on first appearance.
+    pub fn select(tfidf: &TfIdf, threshold: f64, max_words_per_topic: usize) -> Self {
+        let mut vocab = Self::default();
+        for topic in 0..tfidf.n_topics() as u32 {
+            let scores = tfidf.topic_scores(topic, max_words_per_topic);
+            for (word, score) in scores.scores {
+                if score > threshold {
+                    vocab.insert(word);
+                }
+            }
+        }
+        vocab
+    }
+
+    /// Builds a vocabulary from an explicit word list (dedup, order kept).
+    pub fn from_words<I: IntoIterator<Item = String>>(words: I) -> Self {
+        let mut vocab = Self::default();
+        for w in words {
+            vocab.insert(w);
+        }
+        vocab
+    }
+
+    fn insert(&mut self, word: String) {
+        if !self.index.contains_key(&word) {
+            self.index.insert(word.clone(), self.words.len() as u32);
+            self.words.push(word);
+        }
+    }
+
+    /// Number of words (= number of attributes downstream).
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no word was selected.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Attribute index of `word`, if selected.
+    pub fn position(&self, word: &str) -> Option<u32> {
+        self.index.get(word).copied()
+    }
+
+    /// Word at attribute index `i`.
+    pub fn word(&self, i: u32) -> &str {
+        &self.words[i as usize]
+    }
+
+    /// Iterates words in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.words.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tfidf_fixture() -> TfIdf {
+        let mut t = TfIdf::new(3);
+        t.add_document(0, "zoo zoo zoologist the of a");
+        t.add_document(1, "stock stock market the of a");
+        t.add_document(2, "guitar guitar chord the of a");
+        t
+    }
+
+    #[test]
+    fn selects_topic_words_not_stopwords() {
+        let v = Vocabulary::select(&tfidf_fixture(), 0.2, 100);
+        assert!(v.position("zoo").is_some());
+        assert!(v.position("stock").is_some());
+        assert!(v.position("guitar").is_some());
+        assert!(v.position("the").is_none());
+        assert!(v.position("of").is_none());
+    }
+
+    #[test]
+    fn higher_threshold_selects_fewer_words() {
+        let lo = Vocabulary::select(&tfidf_fixture(), 0.1, 100);
+        let hi = Vocabulary::select(&tfidf_fixture(), 0.45, 100);
+        assert!(hi.len() < lo.len(), "hi={} lo={}", hi.len(), lo.len());
+        assert!(hi.len() >= 3); // the three dominant topic words survive
+    }
+
+    #[test]
+    fn max_words_per_topic_caps_selection() {
+        let v = Vocabulary::select(&tfidf_fixture(), 0.0, 1);
+        // One word per topic at most (scores > 0 only for topic words).
+        assert!(v.len() <= 3);
+    }
+
+    #[test]
+    fn positions_are_dense_and_stable() {
+        let v = Vocabulary::select(&tfidf_fixture(), 0.2, 100);
+        for i in 0..v.len() as u32 {
+            assert_eq!(v.position(v.word(i)), Some(i));
+        }
+    }
+
+    #[test]
+    fn from_words_dedups() {
+        let v = Vocabulary::from_words(
+            ["a", "b", "a", "c"].into_iter().map(String::from),
+        );
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.position("a"), Some(0));
+        assert_eq!(v.position("c"), Some(2));
+    }
+
+    #[test]
+    fn iter_matches_word_accessor() {
+        let v = Vocabulary::from_words(["x", "y"].into_iter().map(String::from));
+        let collected: Vec<&str> = v.iter().collect();
+        assert_eq!(collected, vec!["x", "y"]);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let a = Vocabulary::select(&tfidf_fixture(), 0.2, 100);
+        let b = Vocabulary::select(&tfidf_fixture(), 0.2, 100);
+        let wa: Vec<&str> = a.iter().collect();
+        let wb: Vec<&str> = b.iter().collect();
+        assert_eq!(wa, wb);
+    }
+}

@@ -1,0 +1,69 @@
+//! Choosing `(r, b)` from the paper's probability model (§III-D) before
+//! touching any data.
+//!
+//! Walks through the reasoning of Tables I/II: what is the probability of
+//! shortlisting the right *cluster* (not just a pair), how the error bound
+//! of §III-C behaves, and what the parameter advisor recommends.
+//!
+//! ```text
+//! cargo run --release -p lshclust-core --example parameter_tuning
+//! ```
+
+use lshclust_minhash::probability::{
+    candidate_probability, cluster_hit_probability, error_bound, LshParams,
+};
+use lshclust_minhash::Banding;
+
+fn main() {
+    println!("=== The S-curve: P[candidate pair] = 1 - (1 - s^r)^b ===\n");
+    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "banding", "s=0.05", "s=0.1", "s=0.3", "s=0.5");
+    for (b, r) in [(1u32, 1u32), (20, 2), (20, 5), (50, 5)] {
+        let banding = Banding::new(b, r);
+        println!(
+            "{:<10} {:>8.3} {:>8.3} {:>8.3} {:>8.3}   (threshold {:.3})",
+            banding.to_string(),
+            candidate_probability(0.05, r, b),
+            candidate_probability(0.1, r, b),
+            candidate_probability(0.3, r, b),
+            candidate_probability(0.5, r, b),
+            banding.threshold(),
+        );
+    }
+
+    println!("\n=== Cluster hit probability with c similar items (paper's key relaxation) ===\n");
+    println!("With s = 0.1 and 20b5r, a single pair almost never collides:");
+    println!("  P[pair]            = {:.5}", candidate_probability(0.1, 5, 20));
+    println!("but a cluster holding c similar items only needs one collision:");
+    for c in [5u32, 10, 20, 50] {
+        println!("  P[cluster | c={c:>2}] = {:.5}", cluster_hit_probability(0.1, 5, 20, c));
+    }
+
+    println!("\n=== The §III-C error bound ===\n");
+    println!("For an item with m attributes, some member of its best cluster");
+    println!("shares >=1 value, so its similarity is >= 1/(2m-1). The miss");
+    println!("probability is bounded by (1 - (1/(2m-1))^r)^(b*|Cn|):\n");
+    println!("paper's worked example (m=100, r=1, b=25, |Cn|=20):");
+    println!("  bound = {:.3}  (paper: 0.08)", error_bound(100, 1, 25, 20));
+    println!("\nhow the bound moves:");
+    for (m, r, b, c) in [(100, 1, 25, 20), (100, 1, 50, 20), (100, 2, 25, 20), (400, 1, 25, 20)] {
+        println!("  m={m:<4} r={r} b={b:<3} |Cn|={c:<3} -> bound {:.4}", error_bound(m, r, b, c));
+    }
+
+    println!("\n=== The parameter advisor ===\n");
+    for (s, p) in [(0.3, 0.95), (0.1, 0.9), (0.05, 0.9)] {
+        let pair = LshParams::for_threshold(s, p, 8);
+        let cluster = LshParams::for_cluster_threshold(s, p, 8, 10);
+        println!(
+            "catch s={s} with P>={p}:  per-pair -> r={}, b={} ({} hashes);  \
+             per-cluster (c=10) -> r={}, b={} ({} hashes)",
+            pair.rows,
+            pair.bands,
+            pair.rows * pair.bands,
+            cluster.rows,
+            cluster.bands,
+            cluster.rows * cluster.bands,
+        );
+    }
+    println!("\nThe cluster-level target is why the paper can use tiny parameter");
+    println!("sets like 1b1r and still find the right cluster (Fig. 9).");
+}

@@ -1,0 +1,107 @@
+//! Cross-crate end-to-end tests: datgen → K-Modes / MH-K-Modes → metrics.
+
+use lshclust_core::mhkmodes::{paired_run, MhKModes, MhKModesConfig};
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_metrics::purity;
+use lshclust_minhash::Banding;
+
+fn predictions(assignments: &[lshclust_categorical::ClusterId]) -> Vec<u32> {
+    assignments.iter().map(|c| c.0).collect()
+}
+
+#[test]
+fn mh_kmodes_recovers_rule_clusters_with_high_purity() {
+    let config = DatgenConfig::new(600, 60, 40).seed(11);
+    let dataset = generate(&config);
+    let labels = dataset.labels().unwrap().to_vec();
+    let result = MhKModes::new(
+        MhKModesConfig::new(60, Banding::new(20, 5)).seed(11).max_iterations(30),
+    )
+    .fit(&dataset);
+    let p = purity(&predictions(&result.assignments), &labels);
+    // Rule-generated clusters are extremely separable; random init costs some
+    // purity but the bulk must be recovered.
+    assert!(p > 0.7, "purity {p}");
+}
+
+#[test]
+fn paired_run_speedup_and_quality() {
+    let dataset = generate(&DatgenConfig::new(900, 150, 60).seed(3));
+    let labels = dataset.labels().unwrap().to_vec();
+    let (baseline, mh) = paired_run(&dataset, 150, Banding::new(20, 5), 3, 30);
+
+    // Purity comparable (within a few points, paper Fig. 8).
+    let bp = purity(&predictions(&baseline.assignments), &labels);
+    let mp = purity(&predictions(&mh.assignments), &labels);
+    assert!(bp - mp < 0.1, "baseline purity {bp} vs MH {mp}");
+
+    // The shortlist is orders of magnitude below k (paper Fig. 2b).
+    let avg = mh.summary.iterations.last().unwrap().avg_candidates;
+    assert!(avg < 15.0, "avg shortlist {avg} not << k=150");
+
+    // MH converges in no more iterations than the cap and actually stops.
+    assert!(mh.summary.converged);
+}
+
+#[test]
+fn mh_kmodes_total_cost_decreases_monotonically_until_stop() {
+    let dataset = generate(&DatgenConfig::new(400, 40, 30).seed(5));
+    let result = MhKModes::new(
+        MhKModesConfig::new(40, Banding::new(10, 2)).seed(5).max_iterations(30),
+    )
+    .fit(&dataset);
+    let costs: Vec<u64> = result.summary.iterations.iter().map(|s| s.cost).collect();
+    // Up to the stopping iteration the cost must not increase (the driver
+    // stops as soon as it would).
+    for w in costs.windows(2) {
+        assert!(w[1] <= w[0], "cost increased mid-run: {costs:?}");
+    }
+}
+
+#[test]
+fn all_paper_bandings_run_to_convergence() {
+    let dataset = generate(&DatgenConfig::new(300, 30, 50).seed(9));
+    for (b, r) in [(1u32, 1u32), (20, 2), (20, 5), (50, 5)] {
+        let result = MhKModes::new(
+            MhKModesConfig::new(30, Banding::new(b, r)).seed(9).max_iterations(40),
+        )
+        .fit(&dataset);
+        assert!(
+            result.summary.converged,
+            "{b}b{r}r failed to converge in 40 iterations"
+        );
+        // Every iteration's shortlist average stays within [0, k].
+        for s in &result.summary.iterations {
+            assert!(s.avg_candidates >= 0.0 && s.avg_candidates <= 30.0);
+        }
+    }
+}
+
+#[test]
+fn empty_clusters_are_tolerated() {
+    // k close to n forces many empty/singleton clusters through the run.
+    let dataset = generate(&DatgenConfig::new(80, 40, 20).seed(2));
+    let result = MhKModes::new(
+        MhKModesConfig::new(70, Banding::new(8, 2)).seed(2).max_iterations(20),
+    )
+    .fit(&dataset);
+    assert_eq!(result.assignments.len(), 80);
+    assert!(result.modes.k() == 70);
+}
+
+#[test]
+fn parallel_threads_match_serial_quality() {
+    let dataset = generate(&DatgenConfig::new(500, 50, 40).seed(13));
+    let labels = dataset.labels().unwrap().to_vec();
+    let serial = MhKModes::new(
+        MhKModesConfig::new(50, Banding::new(16, 3)).seed(13).max_iterations(30),
+    )
+    .fit(&dataset);
+    let parallel = MhKModes::new(
+        MhKModesConfig::new(50, Banding::new(16, 3)).seed(13).max_iterations(30).threads(4),
+    )
+    .fit(&dataset);
+    let sp = purity(&predictions(&serial.assignments), &labels);
+    let pp = purity(&predictions(&parallel.assignments), &labels);
+    assert!((sp - pp).abs() < 0.1, "serial purity {sp} vs parallel {pp}");
+}

@@ -1,0 +1,99 @@
+//! Integration test of the §III-C error bound: measured shortlist miss rates
+//! must respect the analytic bound across banding regimes and dataset shapes.
+
+use lshclust_categorical::ClusterId;
+use lshclust_core::error_bound::audit;
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::init::{initial_modes, InitMethod};
+use lshclust_minhash::index::LshIndexBuilder;
+use lshclust_minhash::probability::error_bound;
+use lshclust_minhash::Banding;
+
+fn setup(
+    n: usize,
+    k: usize,
+    m: usize,
+    seed: u64,
+) -> (lshclust_categorical::Dataset, Vec<ClusterId>, lshclust_kmodes::Modes) {
+    let dataset = generate(&DatgenConfig::new(n, k, m).seed(seed).balanced(true));
+    let assignments: Vec<ClusterId> =
+        dataset.labels().unwrap().iter().map(|&l| ClusterId(l)).collect();
+    let mut modes = initial_modes(&dataset, k, InitMethod::RandomItems, seed);
+    modes.recompute(&dataset, &assignments);
+    (dataset, assignments, modes)
+}
+
+#[test]
+fn measured_miss_rate_respects_mean_bound() {
+    let (dataset, assignments, modes) = setup(600, 30, 40, 17);
+    for (b, r) in [(1u32, 1u32), (20, 2), (20, 5), (50, 5)] {
+        let index =
+            LshIndexBuilder::new(Banding::new(b, r)).seed(17).build(&dataset, &assignments);
+        let report = audit(&dataset, &modes, &index, &assignments);
+        assert!(
+            report.miss_rate <= report.mean_analytic_bound + 0.02,
+            "{b}b{r}r: measured {} vs bound {}",
+            report.miss_rate,
+            report.mean_analytic_bound
+        );
+    }
+}
+
+#[test]
+fn generous_banding_never_misses_on_balanced_clusters() {
+    let (dataset, assignments, modes) = setup(400, 20, 30, 23);
+    let index = LshIndexBuilder::new(Banding::new(100, 1)).seed(23).build(&dataset, &assignments);
+    let report = audit(&dataset, &modes, &index, &assignments);
+    assert_eq!(report.misses, 0, "{report:?}");
+}
+
+#[test]
+fn bound_tightens_with_more_bands() {
+    // Purely analytic monotonicity at the paper's worked-example scale.
+    let with_10 = error_bound(100, 1, 10, 20);
+    let with_25 = error_bound(100, 1, 25, 20);
+    let with_100 = error_bound(100, 1, 100, 20);
+    assert!(with_25 < with_10);
+    assert!(with_100 < with_25);
+    // And the worked example itself.
+    assert!((with_25 - 0.0805).abs() < 0.01);
+}
+
+#[test]
+fn miss_rate_increases_with_stricter_banding() {
+    let (dataset, assignments, modes) = setup(500, 25, 30, 29);
+    let loose = audit(
+        &dataset,
+        &modes,
+        &LshIndexBuilder::new(Banding::new(50, 1)).seed(29).build(&dataset, &assignments),
+        &assignments,
+    );
+    let strict = audit(
+        &dataset,
+        &modes,
+        &LshIndexBuilder::new(Banding::new(2, 10)).seed(29).build(&dataset, &assignments),
+        &assignments,
+    );
+    assert!(
+        strict.miss_rate >= loose.miss_rate,
+        "strict {} < loose {}",
+        strict.miss_rate,
+        loose.miss_rate
+    );
+    // Stricter banding also shrinks the shortlist.
+    assert!(strict.avg_shortlist <= loose.avg_shortlist);
+}
+
+#[test]
+fn audit_avg_shortlist_matches_run_observations() {
+    use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+    let (dataset, _, _) = setup(300, 15, 25, 31);
+    let banding = Banding::new(10, 2);
+    let result = MhKModes::new(MhKModesConfig::new(15, banding).seed(31).max_iterations(20))
+        .fit(&dataset);
+    // The run's observed average shortlist (over moves and reference updates)
+    // must stay within [1, k].
+    for s in &result.summary.iterations {
+        assert!(s.avg_candidates >= 1.0 && s.avg_candidates <= 15.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests (proptest) on the LSH index and the streaming
+//! clusterer — the structures whose invariants the whole framework rests on.
+
+use lshclust_categorical::{ClusterId, Dataset, Schema, ValueId};
+use lshclust_core::streaming::{StreamingConfig, StreamingMhKModes};
+use lshclust_minhash::index::{ItemScratch, LshIndexBuilder};
+use lshclust_minhash::{Banding, QueryMode};
+use proptest::prelude::*;
+
+/// A random small dataset: `n` rows over `m` attributes with `domain` values.
+fn dataset_strategy(
+    max_items: usize,
+    m: usize,
+    domain: u32,
+) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(0..domain, m), 2..max_items).prop_map(
+        move |rows| {
+            let values: Vec<ValueId> =
+                rows.iter().flatten().map(|&v| ValueId(v)).collect();
+            Dataset::from_parts(Schema::anonymous(m), values, None)
+        },
+    )
+}
+
+fn arbitrary_assignments(n: usize, k: u32, salt: u32) -> Vec<ClusterId> {
+    (0..n).map(|i| ClusterId((i as u32).wrapping_mul(salt.max(1)) % k)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Self-collision: with self included, every item's shortlist contains
+    /// its own current cluster, for any dataset, banding and assignment.
+    #[test]
+    fn shortlist_always_contains_own_cluster(
+        ds in dataset_strategy(30, 6, 5),
+        bands in 1u32..12,
+        rows in 1u32..4,
+        salt in 1u32..50,
+    ) {
+        let k = 7;
+        let assignments = arbitrary_assignments(ds.n_items(), k, salt);
+        let index = LshIndexBuilder::new(Banding::new(bands, rows))
+            .seed(1)
+            .build(&ds, &assignments);
+        let mut scratch = index.make_scratch(k as usize);
+        for item in 0..ds.n_items() as u32 {
+            index.shortlist(item, &mut scratch, false);
+            prop_assert!(
+                scratch.clusters.contains(&assignments[item as usize]),
+                "item {} missing own cluster", item
+            );
+            // No duplicates in the shortlist.
+            let mut sorted = scratch.clusters.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), scratch.clusters.len());
+        }
+    }
+
+    /// Scan-mode and precomputed-mode queries return identical shortlists.
+    #[test]
+    fn query_modes_agree(
+        ds in dataset_strategy(25, 5, 4),
+        bands in 1u32..10,
+        salt in 1u32..50,
+    ) {
+        let k = 5;
+        let assignments = arbitrary_assignments(ds.n_items(), k, salt);
+        let scan = LshIndexBuilder::new(Banding::new(bands, 2))
+            .seed(3)
+            .mode(QueryMode::ScanBuckets)
+            .build(&ds, &assignments);
+        let pre = LshIndexBuilder::new(Banding::new(bands, 2))
+            .seed(3)
+            .mode(QueryMode::Precomputed)
+            .build(&ds, &assignments);
+        let mut s1 = scan.make_scratch(k as usize);
+        let mut s2 = pre.make_scratch(k as usize);
+        for item in 0..ds.n_items() as u32 {
+            scan.shortlist(item, &mut s1, false);
+            pre.shortlist(item, &mut s2, false);
+            let mut a = s1.clusters.clone();
+            let mut b = s2.clusters.clone();
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b, "item {} disagrees", item);
+        }
+    }
+
+    /// Candidate relation is symmetric: if `j` is among `i`'s candidates,
+    /// `i` is among `j`'s (they share a bucket).
+    #[test]
+    fn candidate_relation_is_symmetric(
+        ds in dataset_strategy(20, 5, 3),
+        bands in 1u32..8,
+    ) {
+        let n = ds.n_items();
+        let assignments = vec![ClusterId(0); n];
+        let index = LshIndexBuilder::new(Banding::new(bands, 2))
+            .seed(5)
+            .build(&ds, &assignments);
+        let mut scratch = ItemScratch::new(n);
+        let mut candidates: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for item in 0..n as u32 {
+            let mut list = Vec::new();
+            index.for_each_candidate_item(item, &mut scratch, |o| list.push(o));
+            candidates.push(list);
+        }
+        for i in 0..n {
+            for &j in &candidates[i] {
+                prop_assert!(
+                    candidates[j as usize].contains(&(i as u32)),
+                    "candidate relation asymmetric: {} -> {}", i, j
+                );
+            }
+        }
+    }
+
+    /// Identical rows always collide (identical signatures in every band).
+    #[test]
+    fn duplicate_items_always_collide(
+        row in prop::collection::vec(0u32..6, 5),
+        bands in 1u32..10,
+        rows in 1u32..5,
+    ) {
+        let values: Vec<ValueId> =
+            row.iter().chain(row.iter()).map(|&v| ValueId(v)).collect();
+        let ds = Dataset::from_parts(Schema::anonymous(5), values, None);
+        let assignments = vec![ClusterId(0), ClusterId(1)];
+        let index = LshIndexBuilder::new(Banding::new(bands, rows))
+            .seed(7)
+            .build(&ds, &assignments);
+        let mut scratch = index.make_scratch(2);
+        index.shortlist(0, &mut scratch, true); // exclude self
+        prop_assert!(
+            scratch.clusters.contains(&ClusterId(1)),
+            "identical twin not shortlisted"
+        );
+    }
+
+    /// Streaming invariants hold for arbitrary insertion streams: cluster
+    /// sizes sum to n, assignments are in range, outcome reports match state.
+    #[test]
+    fn streaming_bookkeeping_is_consistent(
+        rows in prop::collection::vec(prop::collection::vec(0u32..4, 4), 1..40),
+        threshold in 0u32..5,
+    ) {
+        let mut config = StreamingConfig::new(Banding::new(6, 2), 4);
+        config.distance_threshold = threshold;
+        let mut s = StreamingMhKModes::new(config, Schema::anonymous(4));
+        for (i, row) in rows.iter().enumerate() {
+            let encoded: Vec<ValueId> = row.iter().map(|&v| ValueId(v)).collect();
+            let out = s.insert(&encoded);
+            prop_assert_eq!(out.item as usize, i);
+            prop_assert!(out.cluster.idx() < s.n_clusters());
+            prop_assert_eq!(s.assignments()[i], out.cluster);
+        }
+        let total: u32 =
+            (0..s.n_clusters()).map(|c| s.cluster_size(ClusterId(c as u32))).sum();
+        prop_assert_eq!(total as usize, rows.len());
+        // Refinement never breaks the size bookkeeping.
+        s.refine_pass();
+        let total: u32 =
+            (0..s.n_clusters()).map(|c| s.cluster_size(ClusterId(c as u32))).sum();
+        prop_assert_eq!(total as usize, rows.len());
+    }
+
+    /// With a zero distance threshold and no cap, identical rows share a
+    /// cluster and distinct rows are split apart.
+    #[test]
+    fn streaming_zero_threshold_groups_exact_duplicates(
+        rows in prop::collection::vec(prop::collection::vec(0u32..3, 3), 2..30),
+    ) {
+        let mut config = StreamingConfig::new(Banding::new(24, 1), 3);
+        config.distance_threshold = 0;
+        let mut s = StreamingMhKModes::new(config, Schema::anonymous(3));
+        let mut outcomes = Vec::new();
+        for row in &rows {
+            let encoded: Vec<ValueId> = row.iter().map(|&v| ValueId(v)).collect();
+            outcomes.push(s.insert(&encoded).cluster);
+        }
+        for i in 0..rows.len() {
+            for j in (i + 1)..rows.len() {
+                if outcomes[i] == outcomes[j] {
+                    // Same cluster at threshold 0 means the later item was at
+                    // distance 0 from the cluster mode at its insertion time;
+                    // with identical-only merging the rows must be equal...
+                    // unless the mode drifted — which cannot happen because
+                    // every member is identical to the founding row.
+                    prop_assert_eq!(&rows[i], &rows[j]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use lshclust_categorical::dissimilarity::{jaccard, matching, matching_bounded};
+use lshclust_categorical::{ClusterId, Dataset, Schema, ValueId};
+use lshclust_kmodes::modes::{group_by_cluster, Modes};
+use lshclust_metrics::{adjusted_rand_index, normalized_mutual_information, purity};
+use lshclust_minhash::probability::{candidate_probability, cluster_hit_probability};
+use lshclust_minhash::signature::{estimate_jaccard, SignatureGenerator};
+use lshclust_minhash::{Banding, MixHashFamily};
+use proptest::prelude::*;
+
+fn row_strategy(m: usize, domain: u32) -> impl Strategy<Value = Vec<ValueId>> {
+    prop::collection::vec((0..domain).prop_map(ValueId), m)
+}
+
+proptest! {
+    /// The matching dissimilarity is a metric on fixed-arity rows.
+    #[test]
+    fn matching_is_a_metric(
+        x in row_strategy(12, 6),
+        y in row_strategy(12, 6),
+        z in row_strategy(12, 6),
+    ) {
+        prop_assert_eq!(matching(&x, &x), 0);
+        prop_assert_eq!(matching(&x, &y), matching(&y, &x));
+        prop_assert!(matching(&x, &z) <= matching(&x, &y) + matching(&y, &z));
+        prop_assert!(matching(&x, &y) <= 12);
+    }
+
+    /// The bounded kernel agrees with the exact kernel wherever it answers.
+    #[test]
+    fn bounded_matching_is_consistent(
+        x in row_strategy(40, 4),
+        y in row_strategy(40, 4),
+        bound in 0u32..45,
+    ) {
+        let exact = matching(&x, &y);
+        match matching_bounded(&x, &y, bound) {
+            Some(d) => {
+                prop_assert_eq!(d, exact);
+                prop_assert!(d < bound);
+            }
+            None => prop_assert!(exact >= bound),
+        }
+    }
+
+    /// Jaccard similarity is symmetric and within [0, 1].
+    #[test]
+    fn jaccard_is_symmetric_and_bounded(
+        x in row_strategy(10, 5),
+        y in row_strategy(10, 5),
+    ) {
+        let schema = Schema::anonymous(10);
+        let a = jaccard(&schema, &x, &y);
+        let b = jaccard(&schema, &y, &x);
+        prop_assert!((a - b).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!((jaccard(&schema, &x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    /// MinHash signature agreement estimates Jaccard within sampling error.
+    #[test]
+    fn minhash_estimates_jaccard(
+        seed in 0u64..1000,
+        shared in 1usize..30,
+        only_x in 0usize..30,
+        only_y in 0usize..30,
+    ) {
+        let x: Vec<u64> = (0..(shared + only_x) as u64).collect();
+        let y: Vec<u64> = (0..shared as u64)
+            .chain(10_000..(10_000 + only_y as u64))
+            .collect();
+        let truth = shared as f64 / (shared + only_x + only_y) as f64;
+        let generator = SignatureGenerator::new(MixHashFamily::new(256, seed));
+        let est = estimate_jaccard(
+            &generator.signature(x.iter().copied()),
+            &generator.signature(y.iter().copied()),
+        );
+        // 256 hashes → σ ≈ √(s(1−s)/256) ≤ 0.032; allow 5σ.
+        prop_assert!((est - truth).abs() < 0.16, "est {} truth {}", est, truth);
+    }
+
+    /// The S-curve is a probability, monotone in s and in b.
+    #[test]
+    fn candidate_probability_is_monotone(
+        s1 in 0.0f64..1.0,
+        s2 in 0.0f64..1.0,
+        rows in 1u32..8,
+        bands in 1u32..64,
+    ) {
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let p_lo = candidate_probability(lo, rows, bands);
+        let p_hi = candidate_probability(hi, rows, bands);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!(p_lo <= p_hi + 1e-12);
+        // More bands never hurt.
+        prop_assert!(p_hi <= candidate_probability(hi, rows, bands + 1) + 1e-12);
+        // Cluster-hit dominates pairwise.
+        prop_assert!(cluster_hit_probability(hi, rows, bands, 3) >= p_hi - 1e-12);
+    }
+
+    /// Mode recomputation never increases the clustering cost.
+    #[test]
+    fn mode_update_is_non_increasing(
+        values in prop::collection::vec((0u32..4).prop_map(ValueId), 60),
+        assignment_bits in prop::collection::vec(0u32..3, 20),
+    ) {
+        let dataset = Dataset::from_parts(Schema::anonymous(3), values, None);
+        let assignments: Vec<ClusterId> =
+            assignment_bits.iter().map(|&b| ClusterId(b)).collect();
+        let mut modes = Modes::from_items(&dataset, &[0, 1, 2]);
+        let before = lshclust_kmodes::cost::total_cost(&dataset, &modes, &assignments);
+        modes.recompute(&dataset, &assignments);
+        let after = lshclust_kmodes::cost::total_cost(&dataset, &modes, &assignments);
+        prop_assert!(after <= before);
+    }
+
+    /// Grouping by cluster partitions the items exactly.
+    #[test]
+    fn grouping_is_a_partition(assignment_bits in prop::collection::vec(0u32..7, 1..100)) {
+        let assignments: Vec<ClusterId> =
+            assignment_bits.iter().map(|&b| ClusterId(b)).collect();
+        let groups = group_by_cluster(&assignments, 7);
+        let mut seen = vec![false; assignments.len()];
+        for c in 0..7 {
+            for &item in groups.members(c) {
+                prop_assert_eq!(assignments[item as usize], ClusterId(c as u32));
+                prop_assert!(!seen[item as usize], "item listed twice");
+                seen[item as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Metrics agree on their extremes: a perfect clustering scores 1 across
+    /// purity, NMI and ARI (for non-degenerate label sets).
+    #[test]
+    fn metrics_agree_on_perfect_clusterings(labels in prop::collection::vec(0u32..4, 8..50)) {
+        prop_assume!(labels.iter().collect::<std::collections::HashSet<_>>().len() >= 2);
+        let p = purity(&labels, &labels);
+        let nmi = normalized_mutual_information(&labels, &labels);
+        let ari = adjusted_rand_index(&labels, &labels);
+        prop_assert!((p - 1.0).abs() < 1e-12);
+        prop_assert!((nmi - 1.0).abs() < 1e-9);
+        prop_assert!((ari - 1.0).abs() < 1e-9);
+    }
+
+    /// Band keys are a pure function of the banded signature rows: equal
+    /// bands collide, and (with overwhelming probability) unequal bands
+    /// do not.
+    #[test]
+    fn band_keys_partition_signatures(
+        sig_a in prop::collection::vec(0u64..1000, 12),
+        sig_b in prop::collection::vec(0u64..1000, 12),
+    ) {
+        let banding = Banding::new(4, 3);
+        let ka = banding.band_keys(&sig_a);
+        let kb = banding.band_keys(&sig_b);
+        for band in 0..4usize {
+            let rows_equal = sig_a[band * 3..(band + 1) * 3] == sig_b[band * 3..(band + 1) * 3];
+            if rows_equal {
+                prop_assert_eq!(ka[band], kb[band]);
+            } else {
+                // 64-bit keys: collision probability ~2^-64.
+                prop_assert_ne!(ka[band], kb[band]);
+            }
+        }
+    }
+}

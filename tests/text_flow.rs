@@ -1,0 +1,135 @@
+//! Integration of the §IV-B text pipeline: corpus → TF-IDF → vocabulary →
+//! binary items → clustering, across the datagen, text, core and metrics
+//! crates.
+
+use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+use lshclust_datagen::corpus::{CorpusConfig, SyntheticCorpus};
+use lshclust_kmodes::{KModes, KModesConfig};
+use lshclust_metrics::purity;
+use lshclust_minhash::Banding;
+use lshclust_text::{vectorize, TfIdf, Vocabulary};
+
+/// TF-IDF scores are bounded by `log10(n_topics)`; the paper's absolute
+/// thresholds assume 2 916 topics, so tests at small topic counts rescale
+/// them (same rule as `lshclust-bench::textexp::scaled_threshold`).
+fn scaled_threshold(paper_threshold: f64, n_topics: usize) -> f64 {
+    paper_threshold * (n_topics as f64).log10() / 2916f64.log10()
+}
+
+fn pipeline(n_topics: usize, per_topic: usize, threshold: f64, seed: u64)
+    -> (lshclust_categorical::Dataset, usize)
+{
+    let corpus = SyntheticCorpus::generate(
+        &CorpusConfig::new(n_topics, per_topic).seed(seed),
+    );
+    let mut tfidf = TfIdf::new(corpus.n_topics);
+    for (text, topic) in corpus.labelled_texts() {
+        tfidf.add_document(topic, text);
+    }
+    let vocab = Vocabulary::select(&tfidf, scaled_threshold(threshold, n_topics), 10_000);
+    (vectorize(&vocab, corpus.labelled_texts()), corpus.n_topics)
+}
+
+#[test]
+fn tfidf_vocabulary_is_dominated_by_topic_keywords() {
+    let corpus = SyntheticCorpus::generate(&CorpusConfig::new(12, 60).seed(1));
+    let mut tfidf = TfIdf::new(corpus.n_topics);
+    for (text, topic) in corpus.labelled_texts() {
+        tfidf.add_document(topic, text);
+    }
+    let vocab = Vocabulary::select(&tfidf, scaled_threshold(0.7, 12), 10_000);
+    assert!(!vocab.is_empty());
+    let keyword_like = vocab.iter().filter(|w| w.starts_with('t') && w.contains('k')).count();
+    assert!(
+        keyword_like * 10 >= vocab.len() * 8,
+        "only {keyword_like}/{} vocabulary words look like topic keywords",
+        vocab.len()
+    );
+}
+
+#[test]
+fn clustering_text_recovers_topics_better_than_chance() {
+    let (dataset, k) = pipeline(15, 40, 0.7, 2);
+    let labels = dataset.labels().unwrap().to_vec();
+    let result = MhKModes::new(
+        MhKModesConfig::new(k, Banding::new(1, 1)).seed(2).max_iterations(20),
+    )
+    .fit(&dataset);
+    let pred: Vec<u32> = result.assignments.iter().map(|c| c.0).collect();
+    let p = purity(&pred, &labels);
+    // Chance purity ~ 1/k plus majority slack; topic keywords make the
+    // problem much easier than that.
+    assert!(p > 0.3, "purity {p} barely above chance");
+}
+
+#[test]
+fn mh_and_baseline_have_comparable_purity_on_text() {
+    let (dataset, k) = pipeline(10, 50, 0.7, 3);
+    let labels = dataset.labels().unwrap().to_vec();
+    let baseline =
+        KModes::new(KModesConfig::new(k).seed(3).max_iterations(20)).fit(&dataset);
+    let mh = MhKModes::new(
+        MhKModesConfig::new(k, Banding::new(1, 1)).seed(3).max_iterations(20),
+    )
+    .fit(&dataset);
+    let bp: Vec<u32> = baseline.assignments.iter().map(|c| c.0).collect();
+    let mp: Vec<u32> = mh.assignments.iter().map(|c| c.0).collect();
+    let (b, m) = (purity(&bp, &labels), purity(&mp, &labels));
+    assert!(b - m < 0.12, "baseline {b} vs MH {m}");
+}
+
+#[test]
+fn lower_threshold_means_more_attributes_and_items_still_cluster() {
+    let (hi, _) = pipeline(8, 30, 0.7, 4);
+    let (lo, k) = pipeline(8, 30, 0.3, 4);
+    assert!(lo.n_attrs() >= hi.n_attrs(), "0.3 vocab not larger");
+    // Fig. 10 setting: 10-iteration cap still produces a usable clustering.
+    let result = MhKModes::new(
+        MhKModesConfig::new(k, Banding::new(20, 5)).seed(4).max_iterations(10),
+    )
+    .fit(&lo);
+    assert!(result.summary.n_iterations() <= 10);
+}
+
+#[test]
+fn mislabelled_questions_cap_achievable_purity() {
+    // With 30% mislabels even a perfect clustering of the *text* cannot
+    // exceed ~70% purity against recorded labels — the paper's explanation
+    // for its low absolute purity, reproduced synthetically.
+    let corpus = SyntheticCorpus::generate(
+        &CorpusConfig::new(8, 60).mislabel_rate(0.3).seed(5),
+    );
+    // At 30% mislabels over just 8 topics, keyword leakage flattens idf and
+    // TF-IDF selection is not meaningful; vectorise over all tokens instead
+    // (the purity ceiling, not the vocabulary, is under test here).
+    let all_tokens = corpus
+        .questions
+        .iter()
+        .flat_map(|q| q.text.split(' ').map(String::from))
+        .collect::<std::collections::BTreeSet<_>>();
+    let vocab = Vocabulary::from_words(all_tokens);
+    let dataset = vectorize(&vocab, corpus.labelled_texts());
+    // Cluster by *true* topic (the oracle clustering).
+    let oracle: Vec<u32> = corpus.questions.iter().map(|q| q.true_topic).collect();
+    let recorded: Vec<u32> = corpus.questions.iter().map(|q| q.topic).collect();
+    let oracle_purity = purity(&oracle, &recorded);
+    assert!(
+        oracle_purity < 0.85,
+        "oracle purity {oracle_purity} unexpectedly high despite 30% mislabels"
+    );
+    assert!(dataset.n_items() == corpus.len());
+}
+
+#[test]
+fn sparse_items_have_few_present_elements() {
+    let (dataset, _) = pipeline(10, 40, 0.7, 6);
+    let avg: f64 = (0..dataset.n_items())
+        .map(|i| dataset.present_count(i) as f64)
+        .sum::<f64>()
+        / dataset.n_items() as f64;
+    assert!(
+        avg < dataset.n_attrs() as f64 * 0.5,
+        "items not sparse: avg {avg} of {} attrs present",
+        dataset.n_attrs()
+    );
+}
