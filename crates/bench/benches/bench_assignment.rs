@@ -14,11 +14,19 @@ use lshclust_minhash::index::LshIndexBuilder;
 use std::hint::black_box;
 
 fn fixtures(scale: f64) -> (lshclust_categorical::Dataset, Modes, Vec<ClusterId>) {
-    let settings = Settings { scale, seed: 42, out_dir: None };
+    let settings = Settings {
+        scale,
+        seed: 42,
+        out_dir: None,
+    };
     let shape = SHAPE_FIG2.scaled(scale);
     let dataset = dataset_for(shape, &settings);
-    let initial: Vec<ClusterId> =
-        dataset.labels().unwrap().iter().map(|&l| ClusterId(l)).collect();
+    let initial: Vec<ClusterId> = dataset
+        .labels()
+        .unwrap()
+        .iter()
+        .map(|&l| ClusterId(l))
+        .collect();
     let mut modes = initial_modes(&dataset, shape.n_clusters, InitMethod::RandomItems, 42);
     modes.recompute(&dataset, &initial);
     (dataset, modes, initial)
@@ -39,7 +47,9 @@ fn bench_assignment(c: &mut Criterion) {
 
     for label in ["1b1r", "20b5r"] {
         let banding = lshclust_bench::scale::banding_by_label(label).unwrap();
-        let index = LshIndexBuilder::new(banding).seed(42).build(&dataset, &initial);
+        let index = LshIndexBuilder::new(banding)
+            .seed(42)
+            .build(&dataset, &initial);
         let mut scratch = index.make_scratch(modes.k());
         group.bench_with_input(
             BenchmarkId::new("shortlist_search", label),
@@ -48,11 +58,8 @@ fn bench_assignment(c: &mut Criterion) {
                 let mut item = 0u32;
                 b.iter(|| {
                     index.shortlist(item, &mut scratch, false);
-                    let r = best_cluster_among(
-                        dataset.row(item as usize),
-                        &modes,
-                        &scratch.clusters,
-                    );
+                    let r =
+                        best_cluster_among(dataset.row(item as usize), &modes, &scratch.clusters);
                     item = (item + 1) % dataset.n_items() as u32;
                     black_box(r)
                 });
@@ -66,7 +73,12 @@ fn bench_assignment(c: &mut Criterion) {
     let x = dataset.row(0);
     let y = dataset.row(1);
     group.bench_function("matching_m100", |b| {
-        b.iter(|| black_box(lshclust_categorical::dissimilarity::matching(black_box(x), black_box(y))))
+        b.iter(|| {
+            black_box(lshclust_categorical::dissimilarity::matching(
+                black_box(x),
+                black_box(y),
+            ))
+        })
     });
     group.bench_function("matching_bounded_m100_tight", |b| {
         b.iter(|| {

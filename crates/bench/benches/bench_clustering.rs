@@ -11,7 +11,11 @@ use lshclust_minhash::Banding;
 use std::hint::black_box;
 
 fn bench_clustering(c: &mut Criterion) {
-    let settings = Settings { scale: 0.005, seed: 42, out_dir: None };
+    let settings = Settings {
+        scale: 0.005,
+        seed: 42,
+        out_dir: None,
+    };
     let shape = SHAPE_FIG2.scaled(settings.scale); // 450 items, 100 clusters
     let dataset = dataset_for(shape, &settings);
     let k = shape.n_clusters;
@@ -21,28 +25,28 @@ fn bench_clustering(c: &mut Criterion) {
 
     group.bench_function("kmodes_full", |b| {
         b.iter(|| {
-            black_box(
-                KModes::new(KModesConfig::new(k).seed(42).max_iterations(20)).fit(&dataset),
-            )
-            .summary
-            .n_iterations()
+            black_box(KModes::new(KModesConfig::new(k).seed(42).max_iterations(20)).fit(&dataset))
+                .summary
+                .n_iterations()
         });
     });
 
     for label in ["1b1r", "20b2r", "20b5r", "50b5r"] {
         let banding = lshclust_bench::scale::banding_by_label(label).unwrap();
-        group.bench_with_input(BenchmarkId::new("mh_kmodes", label), &banding, |b, &banding| {
-            b.iter(|| {
-                black_box(
-                    MhKModes::new(
-                        MhKModesConfig::new(k, banding).seed(42).max_iterations(20),
+        group.bench_with_input(
+            BenchmarkId::new("mh_kmodes", label),
+            &banding,
+            |b, &banding| {
+                b.iter(|| {
+                    black_box(
+                        MhKModes::new(MhKModesConfig::new(k, banding).seed(42).max_iterations(20))
+                            .fit(&dataset),
                     )
-                    .fit(&dataset),
-                )
-                .summary
-                .n_iterations()
-            });
-        });
+                    .summary
+                    .n_iterations()
+                });
+            },
+        );
     }
 
     // Ablation: online (Huang) vs batch (Lloyd) mode updates, baseline side.
@@ -82,8 +86,7 @@ fn bench_clustering(c: &mut Criterion) {
     // Extension: streaming insert throughput (per 450-item stream).
     group.bench_function("streaming_one_pass", |b| {
         use lshclust_core::streaming::{StreamingConfig, StreamingMhKModes};
-        let mut config =
-            StreamingConfig::new(Banding::new(16, 2), dataset.n_attrs());
+        let mut config = StreamingConfig::new(Banding::new(16, 2), dataset.n_attrs());
         config.distance_threshold = (dataset.n_attrs() as u32) * 7 / 10;
         b.iter(|| {
             let mut s = StreamingMhKModes::new(config.clone(), dataset.schema().clone());

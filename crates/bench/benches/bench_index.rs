@@ -6,37 +6,54 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lshclust_bench::scale::Settings;
-use lshclust_bench::synthetic::dataset_for;
 use lshclust_bench::scale::SHAPE_FIG2;
+use lshclust_bench::synthetic::dataset_for;
 use lshclust_categorical::ClusterId;
 use lshclust_minhash::index::LshIndexBuilder;
 use lshclust_minhash::{Banding, QueryMode};
 use std::hint::black_box;
 
 fn bench_index(c: &mut Criterion) {
-    let settings = Settings { scale: 0.01, seed: 42, out_dir: None };
+    let settings = Settings {
+        scale: 0.01,
+        seed: 42,
+        out_dir: None,
+    };
     let shape = SHAPE_FIG2.scaled(settings.scale); // 900 items, 200 clusters
     let dataset = dataset_for(shape, &settings);
-    let initial: Vec<ClusterId> =
-        dataset.labels().unwrap().iter().map(|&l| ClusterId(l)).collect();
+    let initial: Vec<ClusterId> = dataset
+        .labels()
+        .unwrap()
+        .iter()
+        .map(|&l| ClusterId(l))
+        .collect();
 
     let mut group = c.benchmark_group("index_build");
     group.sample_size(10);
     for label in ["1b1r", "20b2r", "20b5r", "50b5r"] {
         let banding = lshclust_bench::scale::banding_by_label(label).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(label), &banding, |b, &banding| {
-            b.iter(|| {
-                black_box(
-                    LshIndexBuilder::new(banding).seed(42).build(&dataset, &initial).stats(),
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &banding,
+            |b, &banding| {
+                b.iter(|| {
+                    black_box(
+                        LshIndexBuilder::new(banding)
+                            .seed(42)
+                            .build(&dataset, &initial)
+                            .stats(),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 
     let mut group = c.benchmark_group("shortlist_query");
-    for (mode, name) in [(QueryMode::ScanBuckets, "scan"), (QueryMode::Precomputed, "precomputed")]
-    {
+    for (mode, name) in [
+        (QueryMode::ScanBuckets, "scan"),
+        (QueryMode::Precomputed, "precomputed"),
+    ] {
         let index = LshIndexBuilder::new(Banding::new(20, 5))
             .seed(42)
             .mode(mode)

@@ -11,7 +11,9 @@ use std::hint::black_box;
 
 fn elements(m: usize) -> Vec<u64> {
     // One present element per attribute, as in the synthetic datasets.
-    (0..m as u64).map(|a| (a << 32) | (a * 2_654_435_761 % 40_000)).collect()
+    (0..m as u64)
+        .map(|a| (a << 32) | (a * 2_654_435_761 % 40_000))
+        .collect()
 }
 
 fn bench_signature(c: &mut Criterion) {
@@ -41,7 +43,9 @@ fn bench_signature(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash_family_eval");
     let mix = MixHashFamily::new(8, 1);
     let tab = TabulationHashFamily::new(8, 1);
-    group.bench_function("mix", |b| b.iter(|| black_box(mix.eval(3, black_box(0xdead_beef)))));
+    group.bench_function("mix", |b| {
+        b.iter(|| black_box(mix.eval(3, black_box(0xdead_beef))))
+    });
     group.bench_function("tabulation", |b| {
         b.iter(|| black_box(tab.eval(3, black_box(0xdead_beef))))
     });

@@ -10,7 +10,7 @@ use crate::synthetic::{dataset_for, quality_of};
 use crate::table::{f3, secs, TextTable};
 use lshclust_categorical::ClusterId;
 use lshclust_core::canopy::{Canopies, CanopyConfig, CanopyProvider};
-use lshclust_core::framework::{fit, CentroidModel, FitConfig};
+use lshclust_core::framework::{fit, CentroidModel, StopPolicy};
 use lshclust_core::mhkmodes::{KModesModel, MhKModes, MhKModesConfig};
 use lshclust_kmodes::assign::assign_all_full;
 use lshclust_kmodes::init::{initial_modes, InitMethod};
@@ -41,9 +41,11 @@ fn mh_row(
         name: name.to_owned(),
         total_s: result.summary.total_time().as_secs_f64(),
         iterations: result.summary.n_iterations().to_string(),
-        avg_shortlist: f3(
-            result.summary.iterations.last().map_or(0.0, |s| s.avg_candidates),
-        ),
+        avg_shortlist: f3(result
+            .summary
+            .iterations
+            .last()
+            .map_or(0.0, |s| s.avg_candidates)),
         purity: quality_of(&result.assignments, labels).purity,
     }
 }
@@ -59,8 +61,7 @@ pub fn run(settings: &Settings) -> crate::figures::Report {
     let mut rows: Vec<Row> = Vec::new();
 
     // --- reference points ------------------------------------------------
-    let baseline =
-        KModes::new(KModesConfig::new(k).seed(seed).max_iterations(30)).fit(&dataset);
+    let baseline = KModes::new(KModesConfig::new(k).seed(seed).max_iterations(30)).fit(&dataset);
     rows.push(Row {
         name: "K-Modes (full search)".into(),
         total_s: baseline.summary.total_time().as_secs_f64(),
@@ -68,7 +69,13 @@ pub fn run(settings: &Settings) -> crate::figures::Report {
         avg_shortlist: k.to_string(),
         purity: quality_of(&baseline.assignments, &labels).purity,
     });
-    rows.push(mh_row("MH-K-Modes 20b5r (paper)", &dataset, &labels, k, |c| c.seed(seed)));
+    rows.push(mh_row(
+        "MH-K-Modes 20b5r (paper)",
+        &dataset,
+        &labels,
+        k,
+        |c| c.seed(seed),
+    ));
 
     // --- shortlist structure: canopies instead of LSH buckets -------------
     {
@@ -87,15 +94,17 @@ pub fn run(settings: &Settings) -> crate::figures::Report {
             &mut provider,
             assignments,
             setup,
-            &FitConfig { max_iterations: 30, ..FitConfig::default() },
+            &StopPolicy::max_iterations(30),
         );
         rows.push(Row {
             name: format!("Canopy shortlists (T1=0.3, {mean_memberships:.1} canopies/item)"),
             total_s: run.summary.total_time().as_secs_f64(),
             iterations: run.summary.n_iterations().to_string(),
-            avg_shortlist: f3(
-                run.summary.iterations.last().map_or(0.0, |s| s.avg_candidates),
-            ),
+            avg_shortlist: f3(run
+                .summary
+                .iterations
+                .last()
+                .map_or(0.0, |s| s.avg_candidates)),
             purity: quality_of(&run.assignments, &labels).purity,
         });
     }
@@ -104,7 +113,10 @@ pub fn run(settings: &Settings) -> crate::figures::Report {
     {
         let result = minibatch_kmodes(
             &dataset,
-            &MiniBatchConfig::new(k).batch_size(256).n_steps(40).seed(seed),
+            &MiniBatchConfig::new(k)
+                .batch_size(256)
+                .n_steps(40)
+                .seed(seed),
         );
         rows.push(Row {
             name: "Mini-batch K-Modes (Sculley-style, 40x256)".into(),
@@ -116,20 +128,35 @@ pub fn run(settings: &Settings) -> crate::figures::Report {
     }
 
     // --- design toggles on MH-K-Modes -------------------------------------
-    rows.push(mh_row("MH 20b5r, precomputed candidates", &dataset, &labels, k, |c| {
-        c.seed(seed).query_mode(QueryMode::Precomputed)
-    }));
-    rows.push(mh_row("MH 20b5r, self-collision disabled", &dataset, &labels, k, |c| {
-        c.seed(seed).include_self(false)
-    }));
-    rows.push(mh_row("MH 20b5r, 2 assignment threads", &dataset, &labels, k, |c| {
-        c.seed(seed).threads(2)
-    }));
+    rows.push(mh_row(
+        "MH 20b5r, precomputed candidates",
+        &dataset,
+        &labels,
+        k,
+        |c| c.seed(seed).query_mode(QueryMode::Precomputed),
+    ));
+    rows.push(mh_row(
+        "MH 20b5r, self-collision disabled",
+        &dataset,
+        &labels,
+        k,
+        |c| c.seed(seed).include_self(false),
+    ));
+    rows.push(mh_row(
+        "MH 20b5r, 2 assignment threads",
+        &dataset,
+        &labels,
+        k,
+        |c| c.seed(seed).threads(2),
+    ));
 
     // --- baseline update-rule ablation -------------------------------------
     {
         let online = KModes::new(
-            KModesConfig::new(k).seed(seed).max_iterations(30).update(UpdateRule::Online),
+            KModesConfig::new(k)
+                .seed(seed)
+                .max_iterations(30)
+                .update(UpdateRule::Online),
         )
         .fit(&dataset);
         rows.push(Row {
@@ -145,7 +172,13 @@ pub fn run(settings: &Settings) -> crate::figures::Report {
         "Ablations — {} items x {} attrs x {} clusters",
         shape.n_items, shape.n_attrs, shape.n_clusters
     ));
-    let mut t = TextTable::new(["strategy", "total_s", "iterations", "avg_shortlist", "purity"]);
+    let mut t = TextTable::new([
+        "strategy",
+        "total_s",
+        "iterations",
+        "avg_shortlist",
+        "purity",
+    ]);
     for r in &rows {
         t.row([
             r.name.clone(),
@@ -157,7 +190,10 @@ pub fn run(settings: &Settings) -> crate::figures::Report {
     }
     report.section("ablations", t);
     report.note("canopy row: quadratic-in-n canopy construction is included in its total");
-    report.note(format!("baseline setup {}s is initialisation only", secs(baseline.summary.setup)));
+    report.note(format!(
+        "baseline setup {}s is initialisation only",
+        secs(baseline.summary.setup)
+    ));
     report
 }
 
@@ -167,7 +203,11 @@ mod tests {
 
     #[test]
     fn ablation_suite_runs_and_reports_all_strategies() {
-        let settings = Settings { scale: 0.002, seed: 3, out_dir: None };
+        let settings = Settings {
+            scale: 0.002,
+            seed: 3,
+            out_dir: None,
+        };
         let report = run(&settings);
         let text = report.render();
         assert!(text.contains("K-Modes (full search)"));
@@ -189,8 +229,7 @@ pub fn sweep(settings: &Settings) -> crate::figures::Report {
     let k = shape.n_clusters;
     let seed = settings.seed;
 
-    let baseline =
-        KModes::new(KModesConfig::new(k).seed(seed).max_iterations(30)).fit(&dataset);
+    let baseline = KModes::new(KModesConfig::new(k).seed(seed).max_iterations(30)).fit(&dataset);
     let baseline_total = baseline.summary.total_time().as_secs_f64();
     let baseline_purity = quality_of(&baseline.assignments, &labels).purity;
 
@@ -208,12 +247,22 @@ pub fn sweep(settings: &Settings) -> crate::figures::Report {
         "avg_shortlist",
         "purity",
     ]);
-    for (bands, rows) in
-        [(1u32, 1u32), (5, 1), (25, 1), (10, 2), (20, 2), (10, 5), (20, 5), (50, 5), (20, 8)]
-    {
+    for (bands, rows) in [
+        (1u32, 1u32),
+        (5, 1),
+        (25, 1),
+        (10, 2),
+        (20, 2),
+        (10, 5),
+        (20, 5),
+        (50, 5),
+        (20, 8),
+    ] {
         let banding = Banding::new(bands, rows);
         let result = MhKModes::new(
-            MhKModesConfig::new(k, banding).seed(seed).max_iterations(30),
+            MhKModesConfig::new(k, banding)
+                .seed(seed)
+                .max_iterations(30),
         )
         .fit(&dataset);
         let total = result.summary.total_time().as_secs_f64();
@@ -224,7 +273,11 @@ pub fn sweep(settings: &Settings) -> crate::figures::Report {
             f3(total),
             f3(baseline_total / total),
             result.summary.n_iterations().to_string(),
-            f3(result.summary.iterations.last().map_or(0.0, |s| s.avg_candidates)),
+            f3(result
+                .summary
+                .iterations
+                .last()
+                .map_or(0.0, |s| s.avg_candidates)),
             f3(quality_of(&result.assignments, &labels).purity),
         ]);
     }
@@ -243,7 +296,11 @@ mod sweep_tests {
 
     #[test]
     fn sweep_covers_the_grid() {
-        let settings = Settings { scale: 0.002, seed: 3, out_dir: None };
+        let settings = Settings {
+            scale: 0.002,
+            seed: 3,
+            out_dir: None,
+        };
         let report = sweep(&settings);
         assert_eq!(report.sections[0].1.len(), 9);
         assert!(report.render().contains("20b5r"));

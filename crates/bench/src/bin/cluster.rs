@@ -1,4 +1,5 @@
-//! `cluster` — command-line MH-K-Modes over CSV files.
+//! `cluster` — command-line clustering over CSV files, through the unified
+//! `lshclust` facade.
 //!
 //! The adoption path for a downstream user: put categorical data in a CSV
 //! (header row; optional `__label` column for purity reporting), pick `k`,
@@ -9,77 +10,125 @@
 //!
 //!   --input FILE      input CSV (header; optional trailing __label column)
 //!   --output FILE     write per-item cluster ids as CSV (default: stdout summary only)
-//!   --k N             number of clusters (required)
-//!   --bands B         LSH bands (default 20; 0 = run plain K-Modes)
+//!   --k N             number of clusters (required unless --spec sets it)
+//!   --bands B         LSH bands (default 20; 0 = run the exact baseline)
 //!   --rows R          LSH rows per band (default 5)
 //!   --max-iter N      iteration cap (default 100)
 //!   --seed N          random seed (default 0)
 //!   --threads N       assignment threads (default 1 = paper-faithful)
+//!   --spec FILE       read a full ClusterSpec as JSON (overrides the flags above)
+//!   --dump-spec       print the effective spec as JSON and exit
+//!   --json FILE       write the run report (RunReport) as JSON
 //!   --quiet           suppress per-iteration progress
 //! ```
 
+use lshclust::{ClusterSpec, Clusterer, Lsh, RunSummary};
 use lshclust_categorical::io::read_csv;
-use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
-use lshclust_kmodes::{KModes, KModesConfig};
-use lshclust_kmodes::stats::RunSummary;
 use lshclust_metrics::{normalized_mutual_information, purity};
-use lshclust_minhash::Banding;
 use std::io::Write;
 use std::process::ExitCode;
 
 struct Args {
     input: String,
     output: Option<String>,
-    k: usize,
+    k: Option<usize>,
     bands: u32,
     rows: u32,
     max_iter: usize,
     seed: u64,
     threads: usize,
+    spec_file: Option<String>,
+    dump_spec: bool,
+    json: Option<String>,
     quiet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: String::new(),
+        output: None,
+        k: None,
+        bands: 20,
+        rows: 5,
+        max_iter: 100,
+        seed: 0,
+        threads: 1,
+        spec_file: None,
+        dump_spec: false,
+        json: None,
+        quiet: false,
+    };
     let mut input = None;
-    let mut output = None;
-    let mut k = None;
-    let mut bands = 20u32;
-    let mut rows = 5u32;
-    let mut max_iter = 100usize;
-    let mut seed = 0u64;
-    let mut threads = 1usize;
-    let mut quiet = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--input" => input = Some(value("--input")?),
-            "--output" => output = Some(value("--output")?),
-            "--k" => k = Some(value("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
-            "--bands" => bands = value("--bands")?.parse().map_err(|e| format!("--bands: {e}"))?,
-            "--rows" => rows = value("--rows")?.parse().map_err(|e| format!("--rows: {e}"))?,
+            "--output" => args.output = Some(value("--output")?),
+            "--k" => args.k = Some(value("--k")?.parse().map_err(|e| format!("--k: {e}"))?),
+            "--bands" => {
+                args.bands = value("--bands")?
+                    .parse()
+                    .map_err(|e| format!("--bands: {e}"))?
+            }
+            "--rows" => {
+                args.rows = value("--rows")?
+                    .parse()
+                    .map_err(|e| format!("--rows: {e}"))?
+            }
             "--max-iter" => {
-                max_iter = value("--max-iter")?.parse().map_err(|e| format!("--max-iter: {e}"))?
+                args.max_iter = value("--max-iter")?
+                    .parse()
+                    .map_err(|e| format!("--max-iter: {e}"))?
             }
-            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--threads" => {
-                threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
-            "--quiet" => quiet = true,
+            "--spec" => args.spec_file = Some(value("--spec")?),
+            "--dump-spec" => args.dump_spec = true,
+            "--json" => args.json = Some(value("--json")?),
+            "--quiet" => args.quiet = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    Ok(Args {
-        input: input.ok_or("--input is required")?,
-        output,
-        k: k.ok_or("--k is required")?,
-        bands,
-        rows,
-        max_iter,
-        seed,
-        threads: threads.max(1),
-        quiet,
-    })
+    // `--dump-spec` never touches the input, so only require it otherwise.
+    if let Some(input) = input {
+        args.input = input;
+    } else if !args.dump_spec {
+        return Err("--input is required".to_owned());
+    }
+    args.threads = args.threads.max(1);
+    Ok(args)
+}
+
+/// The effective spec: either `--spec FILE` JSON verbatim, or assembled from
+/// the individual flags (`--bands 0` selects the exact baseline).
+fn build_spec(args: &Args) -> Result<ClusterSpec, String> {
+    if let Some(path) = &args.spec_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"));
+    }
+    let k = args.k.ok_or("--k is required (or provide --spec)")?;
+    let lsh = if args.bands == 0 {
+        Lsh::None
+    } else {
+        Lsh::MinHash {
+            bands: args.bands,
+            rows: args.rows,
+        }
+    };
+    Ok(ClusterSpec::new(k)
+        .lsh(lsh)
+        .seed(args.seed)
+        .threads(args.threads)
+        .max_iterations(args.max_iter))
 }
 
 fn report(summary: &RunSummary, quiet: bool) {
@@ -112,6 +161,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let spec = match build_spec(&args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.dump_spec {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&spec).expect("spec serializes")
+        );
+        return ExitCode::SUCCESS;
+    }
 
     let file = match std::fs::File::open(&args.input) {
         Ok(f) => f,
@@ -127,43 +190,37 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if args.k == 0 || args.k > dataset.n_items() {
-        eprintln!("error: --k must be in 1..={}", dataset.n_items());
-        return ExitCode::FAILURE;
-    }
     eprintln!(
         "{}: {} items x {} attrs{}",
         args.input,
         dataset.n_items(),
         dataset.n_attrs(),
-        if dataset.labels().is_some() { " (labelled)" } else { "" }
+        if dataset.labels().is_some() {
+            " (labelled)"
+        } else {
+            ""
+        }
+    );
+    eprintln!(
+        "running {} (k={}, seed={}) ...",
+        match spec.lsh {
+            Lsh::None => "K-Modes (full search)".to_owned(),
+            Lsh::MinHash { bands, rows } => format!("MH-K-Modes ({bands}b{rows}r)"),
+            other => format!("Lsh::{}", other.name()),
+        },
+        spec.k,
+        spec.seed
     );
 
-    let assignments: Vec<u32> = if args.bands == 0 {
-        eprintln!("running K-Modes (full search, k={}) ...", args.k);
-        let result = KModes::new(
-            KModesConfig::new(args.k).seed(args.seed).max_iterations(args.max_iter),
-        )
-        .fit(&dataset);
-        report(&result.summary, args.quiet);
-        result.assignments.iter().map(|c| c.0).collect()
-    } else {
-        let banding = Banding::new(args.bands, args.rows);
-        eprintln!(
-            "running MH-K-Modes ({banding}, threshold similarity {:.3}, k={}) ...",
-            banding.threshold(),
-            args.k
-        );
-        let result = MhKModes::new(
-            MhKModesConfig::new(args.k, banding)
-                .seed(args.seed)
-                .max_iterations(args.max_iter)
-                .threads(args.threads),
-        )
-        .fit(&dataset);
-        report(&result.summary, args.quiet);
-        result.assignments.iter().map(|c| c.0).collect()
+    let run = match Clusterer::new(spec).fit(&dataset) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
     };
+    report(&run.summary, args.quiet);
+    let assignments = run.labels();
 
     if let Some(labels) = dataset.labels() {
         eprintln!(
@@ -171,6 +228,15 @@ fn main() -> ExitCode {
             purity(&assignments, labels),
             normalized_mutual_information(&assignments, labels)
         );
+    }
+
+    if let Some(path) = &args.json {
+        let text = serde_json::to_string_pretty(&run.report()).expect("report serializes");
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote run report to {path}");
     }
 
     if let Some(path) = &args.output {

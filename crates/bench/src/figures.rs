@@ -34,7 +34,11 @@ pub struct Report {
 impl Report {
     /// Starts an empty report.
     pub fn new(title: impl Into<String>) -> Self {
-        Self { title: title.into(), sections: Vec::new(), notes: Vec::new() }
+        Self {
+            title: title.into(),
+            sections: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Appends a named table.
@@ -67,7 +71,13 @@ impl Report {
         for (name, table) in &self.sections {
             let slug: String = name
                 .chars()
-                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .map(|c| {
+                    if c.is_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '_'
+                    }
+                })
                 .collect();
             std::fs::write(dir.join(format!("{prefix}_{slug}.csv")), table.to_csv())?;
         }
@@ -85,7 +95,10 @@ pub struct Suite {
 impl Suite {
     /// Creates an empty suite.
     pub fn new(settings: Settings) -> Self {
-        Self { settings, cache: HashMap::new() }
+        Self {
+            settings,
+            cache: HashMap::new(),
+        }
     }
 
     /// Returns (running on first use) the named run set.
@@ -102,7 +115,12 @@ impl Suite {
             "fig6b_40k" => (SHAPE_250K_40K, paper_bandings(&["20b5r"])),
             other => panic!("unknown run set {other}"),
         };
-        let set = Rc::new(run_experiment(shape, &bandings, &self.settings, SYNTHETIC_MAX_ITER));
+        let set = Rc::new(run_experiment(
+            shape,
+            &bandings,
+            &self.settings,
+            SYNTHETIC_MAX_ITER,
+        ));
         self.cache.insert(key, Rc::clone(&set));
         set
     }
@@ -120,7 +138,12 @@ fn paper_bandings(labels: &[&str]) -> Vec<Banding> {
 /// Empirically measures the candidate probability with real MinHash on real
 /// sets. Returns `None` when the similarity is too small to represent with a
 /// tractable universe.
-fn empirical_candidate_probability(s: f64, banding: Banding, seed: u64, trials: usize) -> Option<f64> {
+fn empirical_candidate_probability(
+    s: f64,
+    banding: Banding,
+    seed: u64,
+    trials: usize,
+) -> Option<f64> {
     // Two sets with |A| = |B| and overlap chosen so Jaccard = s:
     // shared = s/(1+s) * union ... use union U and shared = round(s*U).
     let union = if s >= 0.01 { 400 } else { return None };
@@ -196,8 +219,10 @@ pub fn table1(settings: &Settings) -> Report {
         "paper's printed rows (b=100, s=0.001) and (b=100, s=0.01) disagree with its \
          own formula 1-(1-s^r)^b; this table follows the formula (see EXPERIMENTS.md)",
     );
-    report.note("measured column: 200 MinHash trials on 400-element universes; '-' where \
-                 the similarity is unrepresentable at that size");
+    report.note(
+        "measured column: 200 MinHash trials on 400-element universes; '-' where \
+                 the similarity is unrepresentable at that size",
+    );
     report
 }
 
@@ -310,22 +335,38 @@ fn synthetic_figure(suite: &mut Suite, key: &'static str, title: &str) -> Report
 /// Fig. 2: 90 000 × 100 × 20 000 (a: time/iter, b: shortlist, c: moves;
 /// d–e are zoom-ins of the same series).
 pub fn fig2(suite: &mut Suite) -> Report {
-    synthetic_figure(suite, "fig2", "Figure 2 — 90k items, 100 attrs, 20k clusters")
+    synthetic_figure(
+        suite,
+        "fig2",
+        "Figure 2 — 90k items, 100 attrs, 20k clusters",
+    )
 }
 
 /// Fig. 3: 40 000 clusters.
 pub fn fig3(suite: &mut Suite) -> Report {
-    synthetic_figure(suite, "fig3", "Figure 3 — 90k items, 100 attrs, 40k clusters")
+    synthetic_figure(
+        suite,
+        "fig3",
+        "Figure 3 — 90k items, 100 attrs, 40k clusters",
+    )
 }
 
 /// Fig. 4: 250 000 items.
 pub fn fig4(suite: &mut Suite) -> Report {
-    synthetic_figure(suite, "fig4", "Figure 4 — 250k items, 100 attrs, 20k clusters")
+    synthetic_figure(
+        suite,
+        "fig4",
+        "Figure 4 — 250k items, 100 attrs, 20k clusters",
+    )
 }
 
 /// Fig. 5: 200 attributes.
 pub fn fig5(suite: &mut Suite) -> Report {
-    synthetic_figure(suite, "fig5", "Figure 5 — 90k items, 200 attrs, 20k clusters")
+    synthetic_figure(
+        suite,
+        "fig5",
+        "Figure 5 — 90k items, 200 attrs, 20k clusters",
+    )
 }
 
 // ---------------------------------------------------------------- Figs. 6–8
@@ -355,8 +396,11 @@ pub fn fig6(suite: &mut Suite) -> Report {
     report.section("a_scaling_items", items);
 
     let fig6b = suite.runset("fig6b_40k");
-    let mut clusters =
-        TextTable::new(["n_clusters_at_250k_items", "K-Modes_total_s", "MH-K-Modes_20b5r_total_s"]);
+    let mut clusters = TextTable::new([
+        "n_clusters_at_250k_items",
+        "K-Modes_total_s",
+        "MH-K-Modes_20b5r_total_s",
+    ]);
     for set in [&fig4, &fig6b] {
         clusters.row([
             set.shape.n_clusters.to_string(),
@@ -377,13 +421,19 @@ pub fn fig6(suite: &mut Suite) -> Report {
         ]);
     }
     report.section("c_scaling_attributes", attrs);
-    report.note("expected shape: MH-K-Modes growth flatter than K-Modes on every axis (paper Fig. 6)");
+    report.note(
+        "expected shape: MH-K-Modes growth flatter than K-Modes on every axis (paper Fig. 6)",
+    );
     report
 }
 
 fn totals_for(report: &mut Report, name: &str, set: &RunSet) {
     let mut t = TextTable::new(["series", "total_s", "speedup"]);
-    t.row(["K-Modes".to_owned(), secs(set.baseline.summary.total_time()), "1.000".to_owned()]);
+    t.row([
+        "K-Modes".to_owned(),
+        secs(set.baseline.summary.total_time()),
+        "1.000".to_owned(),
+    ]);
     for run in &set.mh_runs {
         t.row([
             format!("MH-K-Modes {}", run.banding),
@@ -448,8 +498,13 @@ pub fn fig8(suite: &mut Suite) -> Report {
 // ---------------------------------------------------------------- Figs. 9–10
 
 fn text_series_tables(report: &mut Report, set: &TextRunSet) {
-    let mut per_iter =
-        TextTable::new(["series", "iteration", "time_s", "avg_clusters_searched", "moves"]);
+    let mut per_iter = TextTable::new([
+        "series",
+        "iteration",
+        "time_s",
+        "avg_clusters_searched",
+        "moves",
+    ]);
     for s in &set.baseline.summary.iterations {
         per_iter.row([
             "K-Modes".to_owned(),
@@ -592,7 +647,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> Settings {
-        Settings { scale: 0.002, seed: 5, out_dir: None }
+        Settings {
+            scale: 0.002,
+            seed: 5,
+            out_dir: None,
+        }
     }
 
     #[test]
@@ -609,7 +668,10 @@ mod tests {
         let banding = Banding::new(10, 1);
         let p = empirical_candidate_probability(0.5, banding, 1, 300).unwrap();
         let analytic = candidate_probability(0.5, 1, 10);
-        assert!((p - analytic).abs() < 0.12, "measured {p} vs analytic {analytic}");
+        assert!(
+            (p - analytic).abs() < 0.12,
+            "measured {p} vs analytic {analytic}"
+        );
     }
 
     #[test]

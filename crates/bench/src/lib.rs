@@ -11,6 +11,14 @@
 //! * [`figures`] — rendering each table/figure as aligned text + CSV,
 //! * [`ablate`] -- design-choice ablations and the LSH-vs-canopy-vs-mini-batch comparison,
 //! * [`table`] — a tiny fixed-width table printer.
+//!
+//! The experiment modules drive the *internal* per-algorithm configs
+//! (`MhKModesConfig`, `KModesConfig`, …) rather than the `lshclust` facade
+//! on purpose: the paper's controlled comparisons share one set of initial
+//! modes across baseline and accelerated runs (`fit_from`), which the facade
+//! deliberately does not expose. The user-facing `cluster` binary goes
+//! through the facade (`ClusterSpec` / `Clusterer`), including JSON spec
+//! input (`--spec`) and JSON run reports (`--json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -27,28 +27,50 @@ impl SyntheticShape {
         assert!(factor > 0.0 && factor <= 1.0, "scale must be in (0, 1]");
         let n_clusters = ((self.n_clusters as f64 * factor).round() as usize).max(2);
         let n_items = ((self.n_items as f64 * factor).round() as usize).max(n_clusters * 2);
-        SyntheticShape { n_items, n_clusters, n_attrs: self.n_attrs }
+        SyntheticShape {
+            n_items,
+            n_clusters,
+            n_attrs: self.n_attrs,
+        }
     }
 }
 
 /// Fig. 2: 90 000 items × 100 attrs × 20 000 clusters.
-pub const SHAPE_FIG2: SyntheticShape =
-    SyntheticShape { n_items: 90_000, n_clusters: 20_000, n_attrs: 100 };
+pub const SHAPE_FIG2: SyntheticShape = SyntheticShape {
+    n_items: 90_000,
+    n_clusters: 20_000,
+    n_attrs: 100,
+};
 /// Fig. 3: 40 000 clusters.
-pub const SHAPE_FIG3: SyntheticShape =
-    SyntheticShape { n_items: 90_000, n_clusters: 40_000, n_attrs: 100 };
+pub const SHAPE_FIG3: SyntheticShape = SyntheticShape {
+    n_items: 90_000,
+    n_clusters: 40_000,
+    n_attrs: 100,
+};
 /// Fig. 4: 250 000 items.
-pub const SHAPE_FIG4: SyntheticShape =
-    SyntheticShape { n_items: 250_000, n_clusters: 20_000, n_attrs: 100 };
+pub const SHAPE_FIG4: SyntheticShape = SyntheticShape {
+    n_items: 250_000,
+    n_clusters: 20_000,
+    n_attrs: 100,
+};
 /// Fig. 5: 200 attributes.
-pub const SHAPE_FIG5: SyntheticShape =
-    SyntheticShape { n_items: 90_000, n_clusters: 20_000, n_attrs: 200 };
+pub const SHAPE_FIG5: SyntheticShape = SyntheticShape {
+    n_items: 90_000,
+    n_clusters: 20_000,
+    n_attrs: 200,
+};
 /// Fig. 6c's widest point: 400 attributes.
-pub const SHAPE_400ATTR: SyntheticShape =
-    SyntheticShape { n_items: 90_000, n_clusters: 20_000, n_attrs: 400 };
+pub const SHAPE_400ATTR: SyntheticShape = SyntheticShape {
+    n_items: 90_000,
+    n_clusters: 20_000,
+    n_attrs: 400,
+};
 /// Fig. 6b's second point: 250 000 items × 40 000 clusters.
-pub const SHAPE_250K_40K: SyntheticShape =
-    SyntheticShape { n_items: 250_000, n_clusters: 40_000, n_attrs: 100 };
+pub const SHAPE_250K_40K: SyntheticShape = SyntheticShape {
+    n_items: 250_000,
+    n_clusters: 40_000,
+    n_attrs: 100,
+};
 
 /// The banding parameter sets the paper sweeps, by label.
 pub fn banding_by_label(label: &str) -> Option<Banding> {
@@ -74,7 +96,11 @@ pub struct Settings {
 
 impl Default for Settings {
     fn default() -> Self {
-        Self { scale: 0.05, seed: 42, out_dir: None }
+        Self {
+            scale: 0.05,
+            seed: 42,
+            out_dir: None,
+        }
     }
 }
 

@@ -76,14 +76,24 @@ pub fn run_experiment(
 ) -> RunSet {
     let shape = shape.scaled(settings.scale);
     let dataset = dataset_for(shape, settings);
-    let labels = dataset.labels().expect("datgen datasets are labelled").to_vec();
+    let labels = dataset
+        .labels()
+        .expect("datgen datasets are labelled")
+        .to_vec();
 
     let init_start = Instant::now();
-    let modes = initial_modes(&dataset, shape.n_clusters, InitMethod::RandomItems, settings.seed);
+    let modes = initial_modes(
+        &dataset,
+        shape.n_clusters,
+        InitMethod::RandomItems,
+        settings.seed,
+    );
     let init_time = init_start.elapsed();
 
     let baseline = KModes::new(
-        KModesConfig::new(shape.n_clusters).seed(settings.seed).max_iterations(max_iterations),
+        KModesConfig::new(shape.n_clusters)
+            .seed(settings.seed)
+            .max_iterations(max_iterations),
     )
     .fit_from(&dataset, modes.clone(), init_time);
     let baseline_quality = quality_of(&baseline.assignments, &labels);
@@ -99,11 +109,20 @@ pub fn run_experiment(
             )
             .fit_from(&dataset, modes.clone(), start);
             let quality = quality_of(&result.assignments, &labels);
-            MhRun { banding, result, quality }
+            MhRun {
+                banding,
+                result,
+                quality,
+            }
         })
         .collect();
 
-    RunSet { shape, baseline, baseline_quality, mh_runs }
+    RunSet {
+        shape,
+        baseline,
+        baseline_quality,
+        mh_runs,
+    }
 }
 
 /// Runs the §III-C error-bound audit on `shape`'s dataset: builds an index
@@ -117,16 +136,23 @@ pub fn run_bound_audit(
     let shape = shape.scaled(settings.scale);
     let dataset = dataset_for(shape, settings);
     let labels = dataset.labels().unwrap();
-    let assignments: Vec<lshclust_categorical::ClusterId> =
-        labels.iter().map(|&l| lshclust_categorical::ClusterId(l)).collect();
-    let mut modes =
-        initial_modes(&dataset, shape.n_clusters, InitMethod::RandomItems, settings.seed);
+    let assignments: Vec<lshclust_categorical::ClusterId> = labels
+        .iter()
+        .map(|&l| lshclust_categorical::ClusterId(l))
+        .collect();
+    let mut modes = initial_modes(
+        &dataset,
+        shape.n_clusters,
+        InitMethod::RandomItems,
+        settings.seed,
+    );
     modes.recompute(&dataset, &assignments);
     bandings
         .iter()
         .map(|&banding| {
-            let index =
-                LshIndexBuilder::new(banding).seed(settings.seed).build(&dataset, &assignments);
+            let index = LshIndexBuilder::new(banding)
+                .seed(settings.seed)
+                .build(&dataset, &assignments);
             (banding, audit(&dataset, &modes, &index, &assignments))
         })
         .collect()
@@ -143,7 +169,11 @@ mod tests {
     use crate::scale::SHAPE_FIG2;
 
     fn tiny_settings() -> Settings {
-        Settings { scale: 0.002, seed: 7, out_dir: None }
+        Settings {
+            scale: 0.002,
+            seed: 7,
+            out_dir: None,
+        }
     }
 
     #[test]

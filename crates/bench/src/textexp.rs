@@ -86,16 +86,22 @@ pub fn build_text_dataset(
 pub fn run_text_experiment(exp: &TextExperiment, settings: &Settings) -> TextRunSet {
     let corpus = corpus_for(settings);
     let dataset = build_text_dataset(&corpus, exp.tfidf_threshold, exp.max_words_per_topic);
-    let labels = dataset.labels().expect("vectorize attaches topics").to_vec();
+    let labels = dataset
+        .labels()
+        .expect("vectorize attaches topics")
+        .to_vec();
     let k = corpus.n_topics;
 
     let init_start = Instant::now();
     let modes = initial_modes(&dataset, k, InitMethod::RandomItems, settings.seed);
     let init_time = init_start.elapsed();
 
-    let baseline =
-        KModes::new(KModesConfig::new(k).seed(settings.seed).max_iterations(exp.max_iterations))
-            .fit_from(&dataset, modes.clone(), init_time);
+    let baseline = KModes::new(
+        KModesConfig::new(k)
+            .seed(settings.seed)
+            .max_iterations(exp.max_iterations),
+    )
+    .fit_from(&dataset, modes.clone(), init_time);
     let baseline_quality = quality_of(&baseline.assignments, &labels);
 
     let mh_runs = exp
@@ -110,7 +116,11 @@ pub fn run_text_experiment(exp: &TextExperiment, settings: &Settings) -> TextRun
             )
             .fit_from(&dataset, modes.clone(), start);
             let quality = quality_of(&result.assignments, &labels);
-            MhRun { banding, result, quality }
+            MhRun {
+                banding,
+                result,
+                quality,
+            }
         })
         .collect();
 
@@ -129,7 +139,11 @@ mod tests {
     use super::*;
 
     fn tiny_settings() -> Settings {
-        Settings { scale: 0.003, seed: 3, out_dir: None } // ~9 topics
+        Settings {
+            scale: 0.003,
+            seed: 3,
+            out_dir: None,
+        } // ~9 topics
     }
 
     fn tiny_experiment() -> TextExperiment {
@@ -149,9 +163,10 @@ mod tests {
         assert_eq!(ds.n_items(), corpus.len());
         assert!(ds.n_attrs() > 0);
         // Sparse: far fewer present features than attributes on average.
-        let avg_present: f64 =
-            (0..ds.n_items()).map(|i| ds.present_count(i) as f64).sum::<f64>()
-                / ds.n_items() as f64;
+        let avg_present: f64 = (0..ds.n_items())
+            .map(|i| ds.present_count(i) as f64)
+            .sum::<f64>()
+            / ds.n_items() as f64;
         assert!(avg_present < ds.n_attrs() as f64 / 2.0);
     }
 

@@ -19,7 +19,11 @@ pub struct ArityError {
 
 impl std::fmt::Display for ArityError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "row has {} values but schema has {} attributes", self.got, self.expected)
+        write!(
+            f,
+            "row has {} values but schema has {} attributes",
+            self.got, self.expected
+        )
     }
 }
 
@@ -55,7 +59,13 @@ impl Dataset {
         if let Some(l) = &labels {
             assert_eq!(l.len(), n_items, "labels length must equal n_items");
         }
-        Self { schema, n_items, n_attrs, values, labels }
+        Self {
+            schema,
+            n_items,
+            n_attrs,
+            values,
+            labels,
+        }
     }
 
     /// Number of items (rows).
@@ -190,7 +200,10 @@ impl DatasetBuilder {
     /// Appends a row of raw string values, interning each one.
     pub fn push_str_row(&mut self, row: &[&str], label: Option<u32>) -> Result<ItemId, ArityError> {
         if row.len() != self.schema.n_attrs() {
-            return Err(ArityError { expected: self.schema.n_attrs(), got: row.len() });
+            return Err(ArityError {
+                expected: self.schema.n_attrs(),
+                got: row.len(),
+            });
         }
         let id = ItemId::from(self.len());
         for (a, s) in row.iter().enumerate() {
@@ -208,7 +221,10 @@ impl DatasetBuilder {
         label: Option<u32>,
     ) -> Result<ItemId, ArityError> {
         if row.len() != self.schema.n_attrs() {
-            return Err(ArityError { expected: self.schema.n_attrs(), got: row.len() });
+            return Err(ArityError {
+                expected: self.schema.n_attrs(),
+                got: row.len(),
+            });
         }
         let id = ItemId::from(self.len());
         self.values.extend_from_slice(row);
@@ -230,7 +246,11 @@ impl DatasetBuilder {
 
     /// Finalises into an immutable [`Dataset`].
     pub fn finish(self) -> Dataset {
-        let labels = if self.any_label { Some(self.labels) } else { None };
+        let labels = if self.any_label {
+            Some(self.labels)
+        } else {
+            None
+        };
         Dataset::from_parts(self.schema, self.values, labels)
     }
 }
@@ -296,14 +316,23 @@ mod tests {
     fn arity_error() {
         let mut b = DatasetBuilder::anonymous(2);
         let err = b.push_str_row(&["only-one"], None).unwrap_err();
-        assert_eq!(err, ArityError { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            ArityError {
+                expected: 2,
+                got: 1
+            }
+        );
         assert!(err.to_string().contains("2 attributes"));
     }
 
     #[test]
     fn decode_row_recovers_strings() {
         let ds = small();
-        assert_eq!(ds.decode_row(2), vec!["blue".to_owned(), "circle".to_owned()]);
+        assert_eq!(
+            ds.decode_row(2),
+            vec!["blue".to_owned(), "circle".to_owned()]
+        );
     }
 
     #[test]

@@ -136,7 +136,11 @@ impl Schema {
 
     /// Size of the largest attribute domain.
     pub fn max_domain(&self) -> usize {
-        self.dictionaries.iter().map(Dictionary::len).max().unwrap_or(0)
+        self.dictionaries
+            .iter()
+            .map(Dictionary::len)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -42,7 +42,11 @@ impl<'a> PresentElements<'a> {
     /// Creates the iterator for `row` under `schema`'s absence rules.
     pub fn new(schema: &'a Schema, row: &'a [ValueId]) -> Self {
         debug_assert_eq!(schema.n_attrs(), row.len());
-        Self { schema, row, next_attr: 0 }
+        Self {
+            schema,
+            row,
+            next_attr: 0,
+        }
     }
 
     /// Convenience constructor for dataset rows.
@@ -89,13 +93,19 @@ mod tests {
         // Same value in different columns must be a different set element —
         // this is what makes the padded `zoo-0`/`zoo-1` trick unnecessary at
         // the encoded level.
-        assert_ne!(element_key(AttrId(0), ValueId(3)), element_key(AttrId(1), ValueId(3)));
+        assert_ne!(
+            element_key(AttrId(0), ValueId(3)),
+            element_key(AttrId(1), ValueId(3))
+        );
     }
 
     #[test]
     fn extreme_ids_round_trip() {
         let k = element_key(AttrId(u32::MAX), ValueId(u32::MAX - 1));
-        assert_eq!(split_element_key(k), (AttrId(u32::MAX), ValueId(u32::MAX - 1)));
+        assert_eq!(
+            split_element_key(k),
+            (AttrId(u32::MAX), ValueId(u32::MAX - 1))
+        );
     }
 
     #[test]

@@ -45,16 +45,20 @@ impl From<io::Error> for CsvError {
 /// Reads a dataset from CSV text.
 pub fn read_csv<R: BufRead>(reader: R) -> Result<Dataset, CsvError> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or(CsvError::Malformed { line: 1, reason: "empty input".into() })??;
+    let header = lines.next().ok_or(CsvError::Malformed {
+        line: 1,
+        reason: "empty input".into(),
+    })??;
     let mut cols: Vec<String> = header.split(',').map(str::trim).map(String::from).collect();
     let has_label = cols.last().map(String::as_str) == Some(LABEL_COLUMN);
     if has_label {
         cols.pop();
     }
     if cols.is_empty() {
-        return Err(CsvError::Malformed { line: 1, reason: "no attribute columns".into() });
+        return Err(CsvError::Malformed {
+            line: 1,
+            reason: "no attribute columns".into(),
+        });
     }
     let n_attrs = cols.len();
     let mut builder = DatasetBuilder::new(cols);
@@ -82,7 +86,10 @@ pub fn read_csv<R: BufRead>(reader: R) -> Result<Dataset, CsvError> {
         };
         builder
             .push_str_row(&fields, label)
-            .map_err(|e| CsvError::Malformed { line: lineno + 2, reason: e.to_string() })?;
+            .map_err(|e| CsvError::Malformed {
+                line: lineno + 2,
+                reason: e.to_string(),
+            })?;
     }
     Ok(builder.finish())
 }
@@ -125,7 +132,10 @@ mod tests {
         assert_eq!(ds.n_items(), 3);
         assert_eq!(ds.n_attrs(), 2);
         assert_eq!(ds.labels(), Some(&[0, 0, 1][..]));
-        assert_eq!(ds.decode_row(0), vec!["red".to_owned(), "square".to_owned()]);
+        assert_eq!(
+            ds.decode_row(0),
+            vec!["red".to_owned(), "square".to_owned()]
+        );
     }
 
     #[test]

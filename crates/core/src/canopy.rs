@@ -41,7 +41,12 @@ pub struct CanopyConfig {
 impl CanopyConfig {
     /// Defaults: join at 0.3, absorb at 0.6, 32-hash sketches.
     pub fn new() -> Self {
-        Self { t1_sim: 0.3, t2_sim: 0.6, sketch_len: 32, seed: 0 }
+        Self {
+            t1_sim: 0.3,
+            t2_sim: 0.6,
+            sketch_len: 32,
+            seed: 0,
+        }
     }
 }
 
@@ -73,8 +78,7 @@ impl Canopies {
             "tight similarity threshold must be >= loose threshold"
         );
         let n = dataset.n_items();
-        let generator =
-            SignatureGenerator::new(MixHashFamily::new(config.sketch_len, config.seed));
+        let generator = SignatureGenerator::new(MixHashFamily::new(config.sketch_len, config.seed));
         let sketches: SignatureMatrix = generator.dataset_signatures(dataset);
 
         let mut in_pool = vec![true; n];
@@ -109,7 +113,11 @@ impl Canopies {
             item_canopies.extend_from_slice(list);
             item_offsets.push(item_canopies.len());
         }
-        Self { item_canopies, item_offsets, members }
+        Self {
+            item_canopies,
+            item_offsets,
+            members,
+        }
     }
 
     /// Number of canopies.
@@ -192,7 +200,13 @@ mod tests {
         for g in 0..groups {
             for i in 0..per_group {
                 let row: Vec<String> = (0..n_attrs)
-                    .map(|a| if a == 0 { format!("g{g}n{i}") } else { format!("g{g}a{a}") })
+                    .map(|a| {
+                        if a == 0 {
+                            format!("g{g}n{i}")
+                        } else {
+                            format!("g{g}a{a}")
+                        }
+                    })
                     .collect();
                 let refs: Vec<&str> = row.iter().map(String::as_str).collect();
                 b.push_str_row(&refs, Some(g as u32)).unwrap();
@@ -228,7 +242,11 @@ mod tests {
     fn distinct_blobs_get_distinct_canopies() {
         let ds = blob_dataset(3, 5, 8);
         let canopies = Canopies::build(&ds, &CanopyConfig::new());
-        assert!(canopies.n_canopies() >= 3, "only {} canopies", canopies.n_canopies());
+        assert!(
+            canopies.n_canopies() >= 3,
+            "only {} canopies",
+            canopies.n_canopies()
+        );
         // Items of different blobs (Jaccard 0) never share a canopy.
         let a = canopies.canopies_of(0);
         let b = canopies.canopies_of(5);
@@ -244,7 +262,10 @@ mod tests {
         let mut out = Vec::new();
         provider.shortlist(0, &mut out);
         assert!(out.contains(&ClusterId(0)));
-        assert!(!out.contains(&ClusterId(1)), "cross-blob cluster leaked: {out:?}");
+        assert!(
+            !out.contains(&ClusterId(1)),
+            "cross-blob cluster leaked: {out:?}"
+        );
     }
 
     #[test]
@@ -261,7 +282,7 @@ mod tests {
 
     #[test]
     fn canopy_accelerated_clustering_works_end_to_end() {
-        use crate::framework::{fit, CentroidModel, FitConfig};
+        use crate::framework::{fit, CentroidModel, StopPolicy};
         use crate::mhkmodes::KModesModel;
         use lshclust_kmodes::assign::assign_all_full;
         use lshclust_kmodes::init::{initial_modes, InitMethod};
@@ -280,7 +301,7 @@ mod tests {
             &mut provider,
             assignments,
             std::time::Duration::ZERO,
-            &FitConfig::default(),
+            &StopPolicy::default(),
         );
         assert!(run.summary.converged);
         // Blob purity: same-blob items share clusters.

@@ -103,12 +103,24 @@ pub fn audit(
     BoundReport {
         n_items: n,
         misses,
-        miss_rate: if n == 0 { 0.0 } else { misses as f64 / n as f64 },
+        miss_rate: if n == 0 {
+            0.0
+        } else {
+            misses as f64 / n as f64
+        },
         misses_excl_self,
-        miss_rate_excl_self: if n == 0 { 0.0 } else { misses_excl_self as f64 / n as f64 },
+        miss_rate_excl_self: if n == 0 {
+            0.0
+        } else {
+            misses_excl_self as f64 / n as f64
+        },
         mean_analytic_bound: if n == 0 { 0.0 } else { bound_sum / n as f64 },
         max_analytic_bound: bound_max,
-        avg_shortlist: if n == 0 { 0.0 } else { shortlist_total as f64 / n as f64 },
+        avg_shortlist: if n == 0 {
+            0.0
+        } else {
+            shortlist_total as f64 / n as f64
+        },
         unbounded_items: unbounded,
     }
 }
@@ -142,7 +154,9 @@ mod tests {
     }
 
     fn ground_truth_assignments(ds: &Dataset, per_group: usize) -> Vec<ClusterId> {
-        (0..ds.n_items()).map(|i| ClusterId((i / per_group) as u32)).collect()
+        (0..ds.n_items())
+            .map(|i| ClusterId((i / per_group) as u32))
+            .collect()
     }
 
     #[test]
@@ -152,7 +166,9 @@ mod tests {
         let mut modes = initial_modes(&ds, 4, InitMethod::RandomItems, 1);
         modes.recompute(&ds, &assignments);
         // 64 bands of 1 row: candidate probability ≈ 1 even for s = 1/(2m−1).
-        let index = LshIndexBuilder::new(Banding::new(64, 1)).seed(1).build(&ds, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(64, 1))
+            .seed(1)
+            .build(&ds, &assignments);
         let report = audit(&ds, &modes, &index, &assignments);
         assert_eq!(report.misses, 0, "{report:?}");
         assert!(report.miss_rate <= report.mean_analytic_bound + 1e-9);
@@ -165,11 +181,16 @@ mod tests {
         let mut modes = initial_modes(&ds, 6, InitMethod::RandomItems, 2);
         modes.recompute(&ds, &assignments);
         // 2 bands of 8 rows: collisions need near-identical items.
-        let index = LshIndexBuilder::new(Banding::new(2, 8)).seed(2).build(&ds, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(2, 8))
+            .seed(2)
+            .build(&ds, &assignments);
         let report = audit(&ds, &modes, &index, &assignments);
         // The bound with such strict banding is close to 1 — it must still
         // dominate the measured rate.
-        assert!(report.miss_rate <= report.mean_analytic_bound + 0.05, "{report:?}");
+        assert!(
+            report.miss_rate <= report.mean_analytic_bound + 0.05,
+            "{report:?}"
+        );
     }
 
     #[test]
@@ -178,7 +199,9 @@ mod tests {
         let assignments = ground_truth_assignments(&ds, 4);
         let mut modes = initial_modes(&ds, 5, InitMethod::RandomItems, 7);
         modes.recompute(&ds, &assignments);
-        let index = LshIndexBuilder::new(Banding::new(4, 4)).seed(7).build(&ds, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(4, 4))
+            .seed(7)
+            .build(&ds, &assignments);
         let report = audit(&ds, &modes, &index, &assignments);
         assert!(report.misses <= report.misses_excl_self, "{report:?}");
         assert!(report.miss_rate <= report.miss_rate_excl_self + 1e-12);
@@ -192,7 +215,9 @@ mod tests {
         let assignments = ground_truth_assignments(&ds, 6);
         let mut modes = initial_modes(&ds, 8, InitMethod::RandomItems, 9);
         modes.recompute(&ds, &assignments);
-        let index = LshIndexBuilder::new(Banding::new(25, 1)).seed(9).build(&ds, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(25, 1))
+            .seed(9)
+            .build(&ds, &assignments);
         let report = audit(&ds, &modes, &index, &assignments);
         assert!(
             report.miss_rate_excl_self <= report.mean_analytic_bound + 0.05,
@@ -206,7 +231,9 @@ mod tests {
         let assignments = ground_truth_assignments(&ds, 4);
         let mut modes = initial_modes(&ds, 3, InitMethod::RandomItems, 3);
         modes.recompute(&ds, &assignments);
-        let index = LshIndexBuilder::new(Banding::new(8, 2)).seed(3).build(&ds, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(8, 2))
+            .seed(3)
+            .build(&ds, &assignments);
         let report = audit(&ds, &modes, &index, &assignments);
         assert_eq!(report.n_items, 12);
         assert!(report.avg_shortlist >= 1.0);

@@ -59,9 +59,11 @@ pub trait ShortlistProvider {
     fn record_assignment(&mut self, item: u32, cluster: ClusterId);
 }
 
-/// Convergence controls for [`fit`].
-#[derive(Clone, Debug)]
-pub struct FitConfig {
+/// Convergence controls for [`fit`] — the single iteration policy shared by
+/// every algorithm family (the per-config `max_iterations` fields this
+/// replaces now live here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StopPolicy {
     /// Iteration cap.
     pub max_iterations: usize,
     /// Stop when an iteration makes no moves.
@@ -72,11 +74,35 @@ pub struct FitConfig {
     pub stop_on_cost_increase: bool,
 }
 
-impl Default for FitConfig {
+impl Default for StopPolicy {
     fn default() -> Self {
-        Self { max_iterations: 100, stop_on_no_moves: true, stop_on_cost_increase: true }
+        Self {
+            max_iterations: 100,
+            stop_on_no_moves: true,
+            stop_on_cost_increase: true,
+        }
     }
 }
+
+impl StopPolicy {
+    /// The default policy with an explicit iteration cap — the common case.
+    pub fn max_iterations(n: usize) -> Self {
+        Self {
+            max_iterations: n,
+            ..Self::default()
+        }
+    }
+}
+
+serde::impl_serde_struct!(StopPolicy {
+    max_iterations,
+    stop_on_no_moves,
+    stop_on_cost_increase
+});
+
+/// Former name of [`StopPolicy`].
+#[deprecated(note = "renamed to StopPolicy; configure stops through lshclust::ClusterSpec")]
+pub type FitConfig = StopPolicy;
 
 /// Outcome of an accelerated run.
 #[derive(Clone, Debug)]
@@ -98,9 +124,13 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
     provider: &mut P,
     mut assignments: Vec<ClusterId>,
     setup: std::time::Duration,
-    config: &FitConfig,
+    config: &StopPolicy,
 ) -> AcceleratedRun {
-    assert_eq!(assignments.len(), model.n_items(), "one starting assignment per item");
+    assert_eq!(
+        assignments.len(),
+        model.n_items(),
+        "one starting assignment per item"
+    );
     let n = model.n_items();
     let mut iterations = Vec::new();
     let mut converged = false;
@@ -132,7 +162,11 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
             iteration,
             duration: t.elapsed(),
             moves,
-            avg_candidates: if n == 0 { 0.0 } else { shortlist_total as f64 / n as f64 },
+            avg_candidates: if n == 0 {
+                0.0
+            } else {
+                shortlist_total as f64 / n as f64
+            },
             cost: cost as u64,
         });
         if config.stop_on_no_moves && moves == 0 {
@@ -145,7 +179,14 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
         }
         prev_cost = cost;
     }
-    AcceleratedRun { assignments, summary: RunSummary { iterations, converged, setup } }
+    AcceleratedRun {
+        assignments,
+        summary: RunSummary {
+            iterations,
+            converged,
+            setup,
+        },
+    }
 }
 
 #[cfg(test)]
@@ -239,7 +280,10 @@ mod tests {
     }
 
     fn line_model() -> LineModel {
-        LineModel { items: vec![0, 1, 2, 100, 101, 102], centroids: vec![2, 100] }
+        LineModel {
+            items: vec![0, 1, 2, 100, 101, 102],
+            centroids: vec![2, 100],
+        }
     }
 
     #[test]
@@ -247,7 +291,13 @@ mod tests {
         let mut model = line_model();
         let mut provider = FullProvider { k: 2 };
         let start = vec![ClusterId(0); 6];
-        let run = fit(&mut model, &mut provider, start, Duration::ZERO, &FitConfig::default());
+        let run = fit(
+            &mut model,
+            &mut provider,
+            start,
+            Duration::ZERO,
+            &StopPolicy::default(),
+        );
         assert!(run.summary.converged);
         assert_eq!(run.assignments[..3], [ClusterId(0); 3]);
         assert_eq!(run.assignments[3..], [ClusterId(1); 3]);
@@ -258,8 +308,16 @@ mod tests {
     fn frozen_provider_never_moves_anything() {
         let mut model = line_model();
         let start = vec![ClusterId(0); 6];
-        let mut provider = FrozenProvider { current: start.clone() };
-        let run = fit(&mut model, &mut provider, start.clone(), Duration::ZERO, &FitConfig::default());
+        let mut provider = FrozenProvider {
+            current: start.clone(),
+        };
+        let run = fit(
+            &mut model,
+            &mut provider,
+            start.clone(),
+            Duration::ZERO,
+            &StopPolicy::default(),
+        );
         assert_eq!(run.assignments, start);
         assert_eq!(run.summary.n_iterations(), 1); // 0 moves → immediate stop
         assert!(run.summary.converged);
@@ -274,7 +332,7 @@ mod tests {
             &mut provider,
             vec![ClusterId(0); 6],
             Duration::ZERO,
-            &FitConfig::default(),
+            &StopPolicy::default(),
         );
         for s in &run.summary.iterations {
             assert_eq!(s.avg_candidates, 2.0);
@@ -285,8 +343,14 @@ mod tests {
     fn iteration_cap_respected() {
         let mut model = line_model();
         let mut provider = FullProvider { k: 2 };
-        let cfg = FitConfig { max_iterations: 1, ..FitConfig::default() };
-        let run = fit(&mut model, &mut provider, vec![ClusterId(0); 6], Duration::ZERO, &cfg);
+        let cfg = StopPolicy::max_iterations(1);
+        let run = fit(
+            &mut model,
+            &mut provider,
+            vec![ClusterId(0); 6],
+            Duration::ZERO,
+            &cfg,
+        );
         assert_eq!(run.summary.n_iterations(), 1);
         assert!(!run.summary.converged);
     }
@@ -296,8 +360,13 @@ mod tests {
         let mut model = line_model();
         let mut provider = FullProvider { k: 2 };
         let setup = Duration::from_millis(123);
-        let run =
-            fit(&mut model, &mut provider, vec![ClusterId(0); 6], setup, &FitConfig::default());
+        let run = fit(
+            &mut model,
+            &mut provider,
+            vec![ClusterId(0); 6],
+            setup,
+            &StopPolicy::default(),
+        );
         assert!(run.summary.total_time() >= setup);
         assert_eq!(run.summary.setup, setup);
     }
@@ -313,8 +382,13 @@ mod tests {
         }
         let mut model = line_model();
         let start: Vec<ClusterId> = vec![ClusterId(1); 6];
-        let run =
-            fit(&mut model, &mut EmptyProvider, start.clone(), Duration::ZERO, &FitConfig::default());
+        let run = fit(
+            &mut model,
+            &mut EmptyProvider,
+            start.clone(),
+            Duration::ZERO,
+            &StopPolicy::default(),
+        );
         assert_eq!(run.assignments, start);
     }
 
@@ -340,7 +414,7 @@ mod tests {
             &mut provider,
             vec![ClusterId(0); 6],
             Duration::ZERO,
-            &FitConfig::default(),
+            &StopPolicy::default(),
         );
         let total_moves: usize = run.summary.iterations.iter().map(|s| s.moves).sum();
         assert_eq!(provider.records, total_moves);
@@ -352,6 +426,12 @@ mod tests {
     fn fit_validates_assignment_length() {
         let mut model = line_model();
         let mut provider = FullProvider { k: 2 };
-        let _ = fit(&mut model, &mut provider, vec![], Duration::ZERO, &FitConfig::default());
+        let _ = fit(
+            &mut model,
+            &mut provider,
+            vec![],
+            Duration::ZERO,
+            &StopPolicy::default(),
+        );
     }
 }

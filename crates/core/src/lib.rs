@@ -25,12 +25,29 @@
 //!
 //! # Quickstart
 //!
+//! **Start with the `lshclust` facade crate** — one `ClusterSpec`, one
+//! `Clusterer`, one `ClusterRun` across all four algorithm families:
+//!
+//! ```text
+//! use lshclust::{ClusterSpec, Clusterer, Lsh};
+//!
+//! let spec = ClusterSpec::new(2).lsh(Lsh::MinHash { bands: 8, rows: 2 }).seed(1);
+//! let run = Clusterer::new(spec).fit(&dataset)?;
+//! ```
+//!
+//! The per-algorithm configs below (`MhKModesConfig`, `MhKMeansConfig`,
+//! `MhKPrototypesConfig`) are the thin internals the facade lowers onto.
+//! They remain public for controlled experiments that need capabilities the
+//! facade deliberately does not expose (e.g. `fit_from` with explicitly
+//! shared initial modes, as the bench harness uses), but new code should go
+//! through the facade; expect these types to narrow over time.
+//!
 //! ```
 //! use lshclust_categorical::DatasetBuilder;
 //! use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
 //! use lshclust_minhash::Banding;
 //!
-//! // Six items, two obvious groups.
+//! // Six items, two obvious groups — driven through the internal layer.
 //! let mut b = DatasetBuilder::anonymous(3);
 //! for row in [["a", "b", "c"], ["a", "b", "d"], ["a", "b", "e"],
 //!             ["x", "y", "z"], ["x", "y", "w"], ["x", "y", "v"]] {
@@ -56,5 +73,5 @@ pub mod mhkprototypes;
 pub mod parallel;
 pub mod streaming;
 
-pub use framework::{AcceleratedRun, CentroidModel, FitConfig, ShortlistProvider};
+pub use framework::{AcceleratedRun, CentroidModel, ShortlistProvider, StopPolicy};
 pub use mhkmodes::{MhKModes, MhKModesConfig, MhKModesResult};

@@ -12,7 +12,7 @@
 //! The driver, instrumentation, and convergence logic are *identical* to
 //! MH-K-Modes, which is the point: the framework is algorithm-agnostic.
 
-use crate::framework::{self, CentroidModel, FitConfig, ShortlistProvider};
+use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
 use lshclust_categorical::ClusterId;
 use lshclust_kmodes::kmeans::{kmeans_initial_centroids, sq_euclidean, KMeansInit, NumericDataset};
 use lshclust_kmodes::stats::RunSummary;
@@ -90,7 +90,10 @@ impl CentroidModel for KMeansModel<'_> {
         let mut counts = vec![0u32; self.k];
         for (i, &c) in assignments.iter().enumerate() {
             counts[c.idx()] += 1;
-            for (s, &x) in sums[c.idx() * dim..(c.idx() + 1) * dim].iter_mut().zip(self.data.row(i)) {
+            for (s, &x) in sums[c.idx() * dim..(c.idx() + 1) * dim]
+                .iter_mut()
+                .zip(self.data.row(i))
+            {
                 *s += x;
             }
         }
@@ -170,7 +173,12 @@ impl SimHashIndex {
             }
             band_keys.extend_from_slice(&keys);
         }
-        Self { band_keys, buckets, cluster_of: initial.to_vec(), bands }
+        Self {
+            band_keys,
+            buckets,
+            cluster_of: initial.to_vec(),
+            bands,
+        }
     }
 
     /// Current cluster reference of `item`.
@@ -206,21 +214,23 @@ impl SimHashIndex {
 pub struct SimHashProvider {
     index: SimHashIndex,
     seen: FastSet<u32>,
-    buf: Vec<ClusterId>,
 }
 
 impl SimHashProvider {
     /// Wraps a built index.
     pub fn new(index: SimHashIndex) -> Self {
-        Self { index, seen: FastSet::default(), buf: Vec::new() }
+        Self {
+            index,
+            seen: FastSet::default(),
+        }
     }
 }
 
 impl ShortlistProvider for SimHashProvider {
     fn shortlist(&mut self, item: u32, out: &mut Vec<ClusterId>) {
-        self.index.shortlist_into(item, &mut self.buf, &mut self.seen);
-        out.clear();
-        out.extend_from_slice(&self.buf);
+        // `shortlist_into` clears `out` itself, so the candidates land in the
+        // caller's buffer directly — no intermediate copy.
+        self.index.shortlist_into(item, out, &mut self.seen);
     }
 
     fn record_assignment(&mut self, item: u32, cluster: ClusterId) {
@@ -237,8 +247,8 @@ pub struct MhKMeansConfig {
     pub bands: u32,
     /// Bits per band.
     pub rows: u32,
-    /// Iteration cap.
-    pub max_iterations: usize,
+    /// Iteration policy (cap + stop criteria).
+    pub stop: StopPolicy,
     /// Seeding strategy.
     pub init: KMeansInit,
     /// RNG seed (centroids and hyperplanes).
@@ -248,7 +258,14 @@ pub struct MhKMeansConfig {
 impl MhKMeansConfig {
     /// Defaults: 100-iteration cap, random-item init.
     pub fn new(k: usize, bands: u32, rows: u32) -> Self {
-        Self { k, bands, rows, max_iterations: 100, init: KMeansInit::RandomItems, seed: 0 }
+        Self {
+            k,
+            bands,
+            rows,
+            stop: StopPolicy::default(),
+            init: KMeansInit::RandomItems,
+            seed: 0,
+        }
     }
 }
 
@@ -278,13 +295,7 @@ pub fn mh_kmeans(data: &NumericDataset, config: &MhKMeansConfig) -> MhKMeansResu
     let index = SimHashIndex::build(data, config.bands, config.rows, config.seed, &assignments);
     let mut provider = SimHashProvider::new(index);
     let setup = setup_start.elapsed();
-    let run = framework::fit(
-        &mut model,
-        &mut provider,
-        assignments,
-        setup,
-        &FitConfig { max_iterations: config.max_iterations, ..FitConfig::default() },
-    );
+    let run = framework::fit(&mut model, &mut provider, assignments, setup, &config.stop);
     MhKMeansResult {
         assignments: run.assignments,
         centroids: model.centroids.clone(),
@@ -364,7 +375,10 @@ mod tests {
         let mut seen = FastSet::default();
         for item in 0..8u32 {
             index.shortlist_into(item, &mut out, &mut seen);
-            assert!(out.contains(&index.cluster_of(item)), "item {item}: {out:?}");
+            assert!(
+                out.contains(&index.cluster_of(item)),
+                "item {item}: {out:?}"
+            );
         }
     }
 

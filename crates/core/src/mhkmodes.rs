@@ -12,7 +12,7 @@
 //!    every move → mode recomputation, until no item moves or the cost stops
 //!    improving.
 
-use crate::framework::{self, CentroidModel, FitConfig, ShortlistProvider};
+use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
 use lshclust_categorical::{ClusterId, Dataset};
 use lshclust_kmodes::assign::{assign_all_full, best_cluster_among, best_cluster_full};
 use lshclust_kmodes::cost::total_cost;
@@ -31,8 +31,8 @@ pub struct MhKModesConfig {
     /// LSH banding scheme (`b` bands × `r` rows; the paper sweeps
     /// 1b1r / 20b2r / 20b5r / 50b5r).
     pub banding: Banding,
-    /// Iteration cap for the shortlisted phase.
-    pub max_iterations: usize,
+    /// Iteration policy for the shortlisted phase (cap + stop criteria).
+    pub stop: StopPolicy,
     /// Centroid initialisation (defaults to the paper's random selection).
     pub init: InitMethod,
     /// Seed driving initialisation *and* the MinHash family.
@@ -54,7 +54,7 @@ impl MhKModesConfig {
         Self {
             k,
             banding,
-            max_iterations: 100,
+            stop: StopPolicy::default(),
             init: InitMethod::RandomItems,
             seed: 0,
             query_mode: QueryMode::ScanBuckets,
@@ -63,9 +63,15 @@ impl MhKModesConfig {
         }
     }
 
-    /// Sets the iteration cap.
+    /// Sets the iteration cap (shorthand for adjusting [`Self::stop`]).
     pub fn max_iterations(mut self, n: usize) -> Self {
-        self.max_iterations = n;
+        self.stop.max_iterations = n;
+        self
+    }
+
+    /// Sets the full iteration policy.
+    pub fn stop(mut self, stop: StopPolicy) -> Self {
+        self.stop = stop;
         self
     }
 
@@ -168,7 +174,11 @@ impl MinHashProvider {
     /// Wraps a built index. `n_clusters` sizes the dedup scratch.
     pub fn new(index: LshIndex, n_clusters: usize, include_self: bool) -> Self {
         let scratch = index.make_scratch(n_clusters);
-        Self { index, scratch, include_self }
+        Self {
+            index,
+            scratch,
+            include_self,
+        }
     }
 
     /// Read access to the wrapped index.
@@ -184,7 +194,8 @@ impl MinHashProvider {
 
 impl ShortlistProvider for MinHashProvider {
     fn shortlist(&mut self, item: u32, out: &mut Vec<ClusterId>) {
-        self.index.shortlist(item, &mut self.scratch, !self.include_self);
+        self.index
+            .shortlist(item, &mut self.scratch, !self.include_self);
         out.clear();
         out.extend_from_slice(&self.scratch.clusters);
     }
@@ -235,7 +246,12 @@ impl MhKModes {
 
     /// Runs MH-K-Modes from explicit initial modes. `setup_start` should be
     /// the instant initialisation began, so that setup time is complete.
-    pub fn fit_from(&self, dataset: &Dataset, modes: Modes, setup_start: Instant) -> MhKModesResult {
+    pub fn fit_from(
+        &self,
+        dataset: &Dataset,
+        modes: Modes,
+        setup_start: Instant,
+    ) -> MhKModesResult {
         let cfg = &self.config;
         assert_eq!(modes.k(), cfg.k, "initial modes disagree with configured k");
         let n = dataset.n_items();
@@ -260,20 +276,15 @@ impl MhKModes {
         let setup = setup_start.elapsed();
 
         // Step 4+: shortlisted iterations.
-        let fit_config = FitConfig {
-            max_iterations: cfg.max_iterations,
-            stop_on_no_moves: true,
-            stop_on_cost_increase: true,
-        };
         let run = if cfg.threads <= 1 {
-            framework::fit(&mut model, &mut provider, assignments, setup, &fit_config)
+            framework::fit(&mut model, &mut provider, assignments, setup, &cfg.stop)
         } else {
             crate::parallel::parallel_fit(
                 &mut model,
                 &mut provider,
                 assignments,
                 setup,
-                &fit_config,
+                &cfg.stop,
                 cfg.threads,
             )
         };
@@ -301,13 +312,17 @@ pub fn paired_run(
     let init_time = init_start.elapsed();
 
     let baseline = lshclust_kmodes::KModes::new(
-        lshclust_kmodes::KModesConfig::new(k).seed(seed).max_iterations(max_iterations),
+        lshclust_kmodes::KModesConfig::new(k)
+            .seed(seed)
+            .max_iterations(max_iterations),
     )
     .fit_from(dataset, modes.clone(), init_time);
 
     let mh_start = Instant::now();
     let mh = MhKModes::new(
-        MhKModesConfig::new(k, banding).seed(seed).max_iterations(max_iterations),
+        MhKModesConfig::new(k, banding)
+            .seed(seed)
+            .max_iterations(max_iterations),
     )
     .fit_from(dataset, modes, mh_start);
 
@@ -392,14 +407,20 @@ mod tests {
         let cfg = MhKModesConfig::new(3, Banding::new(4, 2)).seed(5);
         let result = MhKModes::new(cfg).fit(&ds);
         for s in &result.summary.iterations {
-            assert!(s.avg_candidates >= 1.0, "shortlist dipped below 1: {}", s.avg_candidates);
+            assert!(
+                s.avg_candidates >= 1.0,
+                "shortlist dipped below 1: {}",
+                s.avg_candidates
+            );
         }
     }
 
     #[test]
     fn exclude_self_ablation_still_runs() {
         let ds = blob_dataset(3, 4, 6);
-        let cfg = MhKModesConfig::new(3, Banding::new(4, 2)).seed(5).include_self(false);
+        let cfg = MhKModesConfig::new(3, Banding::new(4, 2))
+            .seed(5)
+            .include_self(false);
         let result = MhKModes::new(cfg).fit(&ds);
         assert!(result.summary.n_iterations() >= 1);
     }
@@ -408,11 +429,15 @@ mod tests {
     fn query_modes_produce_identical_clusterings() {
         let ds = blob_dataset(4, 5, 8);
         let scan = MhKModes::new(
-            MhKModesConfig::new(4, Banding::new(8, 2)).seed(2).query_mode(QueryMode::ScanBuckets),
+            MhKModesConfig::new(4, Banding::new(8, 2))
+                .seed(2)
+                .query_mode(QueryMode::ScanBuckets),
         )
         .fit(&ds);
         let pre = MhKModes::new(
-            MhKModesConfig::new(4, Banding::new(8, 2)).seed(2).query_mode(QueryMode::Precomputed),
+            MhKModesConfig::new(4, Banding::new(8, 2))
+                .seed(2)
+                .query_mode(QueryMode::Precomputed),
         )
         .fit(&ds);
         assert_eq!(scan.assignments, pre.assignments);
@@ -452,7 +477,9 @@ mod tests {
     #[test]
     fn max_iterations_zero_shortlist_phase() {
         let ds = blob_dataset(2, 3, 5);
-        let cfg = MhKModesConfig::new(2, Banding::new(4, 1)).max_iterations(1).seed(1);
+        let cfg = MhKModesConfig::new(2, Banding::new(4, 1))
+            .max_iterations(1)
+            .seed(1);
         let result = MhKModes::new(cfg).fit(&ds);
         assert_eq!(result.summary.n_iterations(), 1);
     }

@@ -13,7 +13,7 @@
 //!
 //! The driver is the unchanged [`crate::framework::fit`].
 
-use crate::framework::{self, CentroidModel, FitConfig, ShortlistProvider};
+use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
 use crate::mhkmeans::{SimHashIndex, SimHashProvider};
 use crate::mhkmodes::MinHashProvider;
 use lshclust_categorical::ClusterId;
@@ -33,7 +33,11 @@ pub struct KPrototypesModel<'a> {
 impl<'a> KPrototypesModel<'a> {
     /// Wraps mixed data with initial prototypes and a mixing weight.
     pub fn new(data: &'a MixedDataset<'a>, prototypes: Prototypes, gamma: f64) -> Self {
-        Self { data, prototypes, gamma }
+        Self {
+            data,
+            prototypes,
+            gamma,
+        }
     }
 
     /// The current prototypes.
@@ -55,7 +59,9 @@ impl CentroidModel for KPrototypesModel<'_> {
         let mut best = ClusterId(0);
         let mut best_d = f64::INFINITY;
         for c in 0..self.k() {
-            let d = self.prototypes.distance(self.data, item as usize, c, self.gamma);
+            let d = self
+                .prototypes
+                .distance(self.data, item as usize, c, self.gamma);
             if d < best_d {
                 best_d = d;
                 best = ClusterId(c as u32);
@@ -67,7 +73,9 @@ impl CentroidModel for KPrototypesModel<'_> {
     fn best_among(&self, item: u32, candidates: &[ClusterId]) -> Option<(ClusterId, f64)> {
         let mut best: Option<(ClusterId, f64)> = None;
         for &c in candidates {
-            let d = self.prototypes.distance(self.data, item as usize, c.idx(), self.gamma);
+            let d = self
+                .prototypes
+                .distance(self.data, item as usize, c.idx(), self.gamma);
             let replace = match best {
                 None => true,
                 Some((bc, bd)) => d < bd || (d == bd && c < bc),
@@ -105,7 +113,11 @@ pub struct UnionProvider<A: ShortlistProvider, B: ShortlistProvider> {
 impl<A: ShortlistProvider, B: ShortlistProvider> UnionProvider<A, B> {
     /// Combines two providers.
     pub fn new(first: A, second: B) -> Self {
-        Self { first, second, buf: Vec::new() }
+        Self {
+            first,
+            second,
+            buf: Vec::new(),
+        }
     }
 }
 
@@ -139,8 +151,8 @@ pub struct MhKPrototypesConfig {
     pub sim_bands: u32,
     /// SimHash bits per band.
     pub sim_rows: u32,
-    /// Iteration cap.
-    pub max_iterations: usize,
+    /// Iteration policy (cap + stop criteria).
+    pub stop: StopPolicy,
     /// Seed.
     pub seed: u64,
 }
@@ -155,7 +167,7 @@ impl MhKPrototypesConfig {
             banding: Banding::new(20, 5),
             sim_bands: 8,
             sim_rows: 16,
-            max_iterations: 100,
+            stop: StopPolicy::default(),
             seed: 0,
         }
     }
@@ -177,8 +189,7 @@ pub fn mh_kprototypes(
     config: &MhKPrototypesConfig,
 ) -> MhKPrototypesResult {
     let setup_start = Instant::now();
-    let picks =
-        lshclust_kmodes::init::sample_distinct_items(data.n_items(), config.k, config.seed);
+    let picks = lshclust_kmodes::init::sample_distinct_items(data.n_items(), config.k, config.seed);
     let prototypes = Prototypes::from_items(data, &picks);
     let mut model = KPrototypesModel::new(data, prototypes, config.gamma);
 
@@ -207,13 +218,7 @@ pub fn mh_kprototypes(
     );
     let setup = setup_start.elapsed();
 
-    let run = framework::fit(
-        &mut model,
-        &mut provider,
-        assignments,
-        setup,
-        &FitConfig { max_iterations: config.max_iterations, ..FitConfig::default() },
-    );
+    let run = framework::fit(&mut model, &mut provider, assignments, setup, &config.stop);
     MhKPrototypesResult {
         assignments: run.assignments,
         prototypes: model.prototypes,
@@ -235,7 +240,13 @@ mod tests {
         for g in 0..groups {
             for i in 0..per_group {
                 let cat: Vec<String> = (0..4)
-                    .map(|a| if a == 3 { format!("g{g}n{i}") } else { format!("g{g}a{a}") })
+                    .map(|a| {
+                        if a == 3 {
+                            format!("g{g}n{i}")
+                        } else {
+                            format!("g{g}a{a}")
+                        }
+                    })
                     .collect();
                 let refs: Vec<&str> = cat.iter().map(String::as_str).collect();
                 b.push_str_row(&refs, Some(g as u32)).unwrap();
@@ -250,7 +261,12 @@ mod tests {
     fn recovers_mixed_blobs() {
         let (cat, num) = fixture(4, 6);
         let data = MixedDataset::new(&cat, &num);
-        let result = mh_kprototypes(&data, &MhKPrototypesConfig::new(4, suggest_gamma(&num)));
+        // Seed 1 spreads the 4 random initial prototypes across all 4
+        // groups; k-prototypes has no empty-cluster reseeding, so an init
+        // that doubles up inside one group can never recover the partition.
+        let mut config = MhKPrototypesConfig::new(4, suggest_gamma(&num));
+        config.seed = 1;
+        let result = mh_kprototypes(&data, &config);
         assert!(result.summary.converged);
         for g in 0..4 {
             let first = result.assignments[g * 6];
@@ -288,8 +304,10 @@ mod tests {
             }
             fn record_assignment(&mut self, _item: u32, _cluster: ClusterId) {}
         }
-        let mut union =
-            UnionProvider::new(Fixed(vec![ClusterId(1), ClusterId(2)]), Fixed(vec![ClusterId(2), ClusterId(3)]));
+        let mut union = UnionProvider::new(
+            Fixed(vec![ClusterId(1), ClusterId(2)]),
+            Fixed(vec![ClusterId(2), ClusterId(3)]),
+        );
         let mut out = Vec::new();
         union.shortlist(0, &mut out);
         let mut sorted = out.clone();
@@ -320,7 +338,11 @@ mod tests {
         let data = MixedDataset::new(&cat, &num);
         let result = mh_kprototypes(&data, &MhKPrototypesConfig::new(8, suggest_gamma(&num)));
         let last = result.summary.iterations.last().unwrap();
-        assert!(last.avg_candidates < 8.0, "avg shortlist {}", last.avg_candidates);
+        assert!(
+            last.avg_candidates < 8.0,
+            "avg shortlist {}",
+            last.avg_candidates
+        );
     }
 
     #[test]

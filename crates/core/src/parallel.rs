@@ -12,7 +12,7 @@
 //! the pass, then moves are applied at once). Both converge on the paper's
 //! workloads; convergence behaviour may differ by an iteration or two.
 
-use crate::framework::{AcceleratedRun, CentroidModel, FitConfig, ShortlistProvider};
+use crate::framework::{AcceleratedRun, CentroidModel, ShortlistProvider, StopPolicy};
 use crate::mhkmodes::MinHashProvider;
 use lshclust_categorical::ClusterId;
 use lshclust_kmodes::stats::{IterationStats, RunSummary};
@@ -28,7 +28,7 @@ pub fn parallel_fit<M: CentroidModel + Sync>(
     provider: &mut MinHashProvider,
     mut assignments: Vec<ClusterId>,
     setup: std::time::Duration,
-    config: &FitConfig,
+    config: &StopPolicy,
     threads: usize,
 ) -> AcceleratedRun {
     assert!(threads >= 1);
@@ -56,7 +56,11 @@ pub fn parallel_fit<M: CentroidModel + Sync>(
             iteration,
             duration: t.elapsed(),
             moves,
-            avg_candidates: if n == 0 { 0.0 } else { shortlist_total as f64 / n as f64 },
+            avg_candidates: if n == 0 {
+                0.0
+            } else {
+                shortlist_total as f64 / n as f64
+            },
             cost: cost as u64,
         });
         if config.stop_on_no_moves && moves == 0 {
@@ -69,7 +73,14 @@ pub fn parallel_fit<M: CentroidModel + Sync>(
         }
         prev_cost = cost;
     }
-    AcceleratedRun { assignments, summary: RunSummary { iterations, converged, setup } }
+    AcceleratedRun {
+        assignments,
+        summary: RunSummary {
+            iterations,
+            converged,
+            setup,
+        },
+    }
 }
 
 /// One Jacobi-style pass: shortlists and best-cluster searches run in
@@ -147,8 +158,12 @@ mod tests {
     fn parallel_matches_serial_partition() {
         let ds = blob_dataset(4, 6, 8);
         let serial = MhKModes::new(MhKModesConfig::new(4, Banding::new(16, 2)).seed(3)).fit(&ds);
-        let parallel =
-            MhKModes::new(MhKModesConfig::new(4, Banding::new(16, 2)).seed(3).threads(4)).fit(&ds);
+        let parallel = MhKModes::new(
+            MhKModesConfig::new(4, Banding::new(16, 2))
+                .seed(3)
+                .threads(4),
+        )
+        .fit(&ds);
         // Co-membership must agree on clearly separated data.
         for i in 0..ds.n_items() {
             for j in (i + 1)..ds.n_items() {
@@ -165,8 +180,12 @@ mod tests {
     fn parallel_with_one_thread_matches_framework_results() {
         let ds = blob_dataset(3, 5, 8);
         let a = MhKModes::new(MhKModesConfig::new(3, Banding::new(12, 2)).seed(1)).fit(&ds);
-        let b =
-            MhKModes::new(MhKModesConfig::new(3, Banding::new(12, 2)).seed(1).threads(2)).fit(&ds);
+        let b = MhKModes::new(
+            MhKModesConfig::new(3, Banding::new(12, 2))
+                .seed(1)
+                .threads(2),
+        )
+        .fit(&ds);
         // Jacobi vs Gauss–Seidel may differ mid-run but the final partitions
         // on separated blobs must coincide.
         for i in 0..ds.n_items() {
@@ -182,16 +201,24 @@ mod tests {
     #[test]
     fn thread_count_larger_than_items_is_fine() {
         let ds = blob_dataset(2, 3, 5);
-        let result =
-            MhKModes::new(MhKModesConfig::new(2, Banding::new(8, 1)).seed(2).threads(64)).fit(&ds);
+        let result = MhKModes::new(
+            MhKModesConfig::new(2, Banding::new(8, 1))
+                .seed(2)
+                .threads(64),
+        )
+        .fit(&ds);
         assert_eq!(result.assignments.len(), 6);
     }
 
     #[test]
     fn parallel_converges() {
         let ds = blob_dataset(5, 4, 10);
-        let result =
-            MhKModes::new(MhKModesConfig::new(5, Banding::new(10, 2)).seed(4).threads(3)).fit(&ds);
+        let result = MhKModes::new(
+            MhKModesConfig::new(5, Banding::new(10, 2))
+                .seed(4)
+                .threads(3),
+        )
+        .fit(&ds);
         assert!(result.summary.converged);
         assert_eq!(result.summary.iterations.last().unwrap().moves, 0);
     }

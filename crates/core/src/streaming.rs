@@ -22,9 +22,9 @@
 //! optionally re-runs assignment over everything seen so far, converging
 //! toward the batch MH-K-Modes result.
 
-use lshclust_categorical::{ClusterId, Schema, ValueId};
 use lshclust_categorical::dissimilarity::matching;
 use lshclust_categorical::elements::PresentElements;
+use lshclust_categorical::{ClusterId, Schema, ValueId};
 use lshclust_minhash::hashfn::{FastMap, FastSet, MixHashFamily};
 use lshclust_minhash::signature::SignatureGenerator;
 use lshclust_minhash::Banding;
@@ -86,7 +86,12 @@ impl ClusterState {
         for (a, v) in row.iter().enumerate() {
             freqs[a].insert(v.0, 1);
         }
-        Self { freqs, mode: row.to_vec(), mode_count: vec![1; m], size: 1 }
+        Self {
+            freqs,
+            mode: row.to_vec(),
+            mode_count: vec![1; m],
+            size: 1,
+        }
     }
 
     /// Adds a member; `O(m)` expected.
@@ -215,7 +220,9 @@ impl StreamingMhKModes {
     fn compute_band_keys(&mut self, row: &[ValueId]) {
         self.generator
             .signature_into(PresentElements::new(&self.schema, row), &mut self.sig_buf);
-        self.config.banding.band_keys_into(&self.sig_buf, &mut self.key_buf);
+        self.config
+            .banding
+            .band_keys_into(&self.sig_buf, &mut self.key_buf);
     }
 
     /// Collects the candidate clusters for the band keys in `key_buf`.
@@ -290,7 +297,12 @@ impl StreamingMhKModes {
         }
         self.band_keys.extend_from_slice(&self.key_buf);
 
-        InsertOutcome { item, cluster, founded_new_cluster: founded, shortlist_len }
+        InsertOutcome {
+            item,
+            cluster,
+            founded_new_cluster: founded,
+            shortlist_len,
+        }
     }
 
     fn row_of(&self, item: u32) -> &[ValueId] {
@@ -309,7 +321,8 @@ impl StreamingMhKModes {
             // Reuse the stored band keys (signatures never change).
             self.key_buf.clear();
             let s = item as usize * n_bands;
-            self.key_buf.extend_from_slice(&self.band_keys[s..s + n_bands]);
+            self.key_buf
+                .extend_from_slice(&self.band_keys[s..s + n_bands]);
             self.shortlist_from_keys();
             let row_start = item as usize * self.n_attrs;
             let row_end = row_start + self.n_attrs;
@@ -405,7 +418,11 @@ mod tests {
         assert!(purity > 0.8, "streaming purity {purity}");
         // And without a cap, the cluster count should be in the right ballpark
         // (not one-per-item, not a single blob).
-        assert!(s.n_clusters() >= 10 && s.n_clusters() < 100, "{} clusters", s.n_clusters());
+        assert!(
+            s.n_clusters() >= 10 && s.n_clusters() < 100,
+            "{} clusters",
+            s.n_clusters()
+        );
     }
 
     #[test]
@@ -454,7 +471,9 @@ mod tests {
         }
         assert_eq!(last, 0, "refinement did not converge");
         // Cluster sizes still sum to n.
-        let total: u32 = (0..s.n_clusters()).map(|c| s.cluster_size(ClusterId(c as u32))).sum();
+        let total: u32 = (0..s.n_clusters())
+            .map(|c| s.cluster_size(ClusterId(c as u32)))
+            .sum();
         assert_eq!(total as usize, ds.n_items());
     }
 
@@ -478,7 +497,10 @@ mod tests {
         }
         let after: Vec<u32> = s.assignments().iter().map(|c| c.0).collect();
         let p_after = lshclust_metrics::purity(&after, labels);
-        assert!(p_after >= p_before - 0.05, "purity degraded: {p_before} -> {p_after}");
+        assert!(
+            p_after >= p_before - 0.05,
+            "purity degraded: {p_before} -> {p_after}"
+        );
     }
 
     #[test]

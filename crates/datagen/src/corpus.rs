@@ -104,8 +104,7 @@ impl SyntheticCorpus {
         let keyword_zipf = Zipf::new(config.keywords_per_topic, config.zipf_exponent);
         let background_zipf = Zipf::new(config.background_vocab, config.zipf_exponent);
 
-        let mut questions =
-            Vec::with_capacity(config.n_topics * config.questions_per_topic);
+        let mut questions = Vec::with_capacity(config.n_topics * config.questions_per_topic);
         let mut text = String::new();
         for topic in 0..config.n_topics as u32 {
             for _ in 0..config.questions_per_topic {
@@ -123,22 +122,28 @@ impl SyntheticCorpus {
                         text.push_str(&format!("w{rank}"));
                     }
                 }
-                let recorded = if config.n_topics > 1
-                    && rng.random_range(0.0..1.0) < config.mislabel_rate
-                {
-                    // Uniform wrong topic.
-                    let mut other = rng.random_range(0..config.n_topics as u32 - 1);
-                    if other >= topic {
-                        other += 1;
-                    }
-                    other
-                } else {
-                    topic
-                };
-                questions.push(Question { text: text.clone(), topic: recorded, true_topic: topic });
+                let recorded =
+                    if config.n_topics > 1 && rng.random_range(0.0..1.0) < config.mislabel_rate {
+                        // Uniform wrong topic.
+                        let mut other = rng.random_range(0..config.n_topics as u32 - 1);
+                        if other >= topic {
+                            other += 1;
+                        }
+                        other
+                    } else {
+                        topic
+                    };
+                questions.push(Question {
+                    text: text.clone(),
+                    topic: recorded,
+                    true_topic: topic,
+                });
             }
         }
-        Self { questions, n_topics: config.n_topics }
+        Self {
+            questions,
+            n_topics: config.n_topics,
+        }
     }
 
     /// Total question count.
@@ -162,7 +167,11 @@ impl SyntheticCorpus {
         if self.questions.is_empty() {
             return 0.0;
         }
-        let wrong = self.questions.iter().filter(|q| q.topic != q.true_topic).count();
+        let wrong = self
+            .questions
+            .iter()
+            .filter(|q| q.topic != q.true_topic)
+            .count();
         wrong as f64 / self.questions.len() as f64
     }
 }
@@ -229,14 +238,16 @@ mod tests {
             .filter(|q| q.text.split(' ').any(|t| t.starts_with('t')))
             .count();
         // keyword_frac 0.35 over ≥8 tokens: nearly every question has one.
-        assert!(with_kw > c.len() * 9 / 10, "only {with_kw}/{} have keywords", c.len());
+        assert!(
+            with_kw > c.len() * 9 / 10,
+            "only {with_kw}/{} have keywords",
+            c.len()
+        );
     }
 
     #[test]
     fn mislabel_rate_close_to_config() {
-        let c = SyntheticCorpus::generate(
-            &CorpusConfig::new(20, 100).mislabel_rate(0.2).seed(3),
-        );
+        let c = SyntheticCorpus::generate(&CorpusConfig::new(20, 100).mislabel_rate(0.2).seed(3));
         let observed = c.observed_mislabel_rate();
         assert!((observed - 0.2).abs() < 0.05, "observed {observed}");
         // Mislabelled questions keep their true topic's text.

@@ -113,7 +113,9 @@ pub fn generate_with_rules(cfg: &DatgenConfig) -> (Dataset, Vec<Rule>) {
     assert!(cfg.n_items > 0 && cfg.n_clusters > 0 && cfg.n_attrs > 0);
     assert!(cfg.domain_size >= 2, "domain must allow free values");
     assert!(
-        cfg.rule_min_frac > 0.0 && cfg.rule_min_frac <= cfg.rule_max_frac && cfg.rule_max_frac <= 1.0,
+        cfg.rule_min_frac > 0.0
+            && cfg.rule_min_frac <= cfg.rule_max_frac
+            && cfg.rule_max_frac <= 1.0,
         "rule fractions must satisfy 0 < min ≤ max ≤ 1"
     );
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x0064_6174_6765_6e00); // "datgen"
@@ -140,7 +142,10 @@ pub fn generate_with_rules(cfg: &DatgenConfig) -> (Dataset, Vec<Rule>) {
         values.extend_from_slice(&row);
         labels.push(cluster);
     }
-    (Dataset::from_parts(Schema::anonymous(m), values, Some(labels)), rules)
+    (
+        Dataset::from_parts(Schema::anonymous(m), values, Some(labels)),
+        rules,
+    )
 }
 
 #[cfg(test)]
@@ -148,7 +153,11 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> DatgenConfig {
-        DatgenConfig { domain_size: 1000, ..DatgenConfig::new(200, 10, 20) }.seed(42)
+        DatgenConfig {
+            domain_size: 1000,
+            ..DatgenConfig::new(200, 10, 20)
+        }
+        .seed(42)
     }
 
     #[test]
@@ -167,7 +176,11 @@ mod tests {
         for i in 0..ds.n_items() {
             let rule = &rules[labels[i] as usize];
             for &(a, v) in &rule.bindings {
-                assert_eq!(ds.row(i)[a as usize], v, "item {i} violates binding on attr {a}");
+                assert_eq!(
+                    ds.row(i)[a as usize],
+                    v,
+                    "item {i} violates binding on attr {a}"
+                );
             }
         }
     }
@@ -177,7 +190,10 @@ mod tests {
         let (_, rules) = generate_with_rules(&small_cfg());
         for rule in &rules {
             let len = rule.bindings.len();
-            assert!((8..=16).contains(&len), "rule length {len} outside 40–80% of 20");
+            assert!(
+                (8..=16).contains(&len),
+                "rule length {len} outside 40–80% of 20"
+            );
         }
     }
 

@@ -22,4 +22,4 @@ pub mod datgen;
 pub mod zipf;
 
 pub use corpus::{CorpusConfig, Question, SyntheticCorpus};
-pub use datgen::{DatgenConfig, generate};
+pub use datgen::{generate, DatgenConfig};

@@ -53,7 +53,9 @@ impl Zipf {
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.random_range(0.0..1.0);
         // partition_point returns the first index whose cumulative ≥ u.
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -79,7 +81,10 @@ mod tests {
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[1], "rank 0 not most frequent: {counts:?}");
+        assert!(
+            counts[0] > counts[1],
+            "rank 0 not most frequent: {counts:?}"
+        );
         assert!(counts[1] > counts[10], "frequency not decaying");
         // Rough shape: with exponent 1.2 rank 0 should take > 15% of mass.
         assert!(counts[0] > 3000);
@@ -94,7 +99,10 @@ mod tests {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 10_000.0).abs() < 600.0, "not uniform: {counts:?}");
+            assert!(
+                (c as f64 - 10_000.0).abs() < 600.0,
+                "not uniform: {counts:?}"
+            );
         }
     }
 
@@ -116,10 +124,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let z = Zipf::new(20, 1.0);
-        let a: Vec<usize> =
-            (0..10).scan(StdRng::seed_from_u64(7), |rng, _| Some(z.sample(rng))).collect();
-        let b: Vec<usize> =
-            (0..10).scan(StdRng::seed_from_u64(7), |rng, _| Some(z.sample(rng))).collect();
+        let a: Vec<usize> = (0..10)
+            .scan(StdRng::seed_from_u64(7), |rng, _| Some(z.sample(rng)))
+            .collect();
+        let b: Vec<usize> = (0..10)
+            .scan(StdRng::seed_from_u64(7), |rng, _| Some(z.sample(rng)))
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -124,11 +124,7 @@ mod tests {
 
     #[test]
     fn shortlist_search_respects_shortlist() {
-        let ds = dataset(&[
-            &["a", "b", "c"],
-            &["x", "y", "z"],
-            &["a", "b", "z"],
-        ]);
+        let ds = dataset(&[&["a", "b", "c"], &["x", "y", "z"], &["a", "b", "z"]]);
         let modes = Modes::from_items(&ds, &[0, 1]);
         // Shortlist containing only the worse cluster: it must win anyway.
         let got = best_cluster_among(ds.row(2), &modes, &[ClusterId(1)]);

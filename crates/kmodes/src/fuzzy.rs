@@ -170,9 +170,7 @@ pub fn fuzzy_kmodes(dataset: &Dataset, config: &FuzzyKModesConfig) -> FuzzyKMode
                 let table = &weights[c * m + a];
                 if let Some((&val, _)) = table
                     .iter()
-                    .max_by(|(va, wa), (vb, wb)| {
-                        wa.partial_cmp(wb).unwrap().then(vb.cmp(va))
-                    })
+                    .max_by(|(va, wa), (vb, wb)| wa.partial_cmp(wb).unwrap().then(vb.cmp(va)))
                 {
                     new_mode[a] = ValueId(val);
                     any = true;
@@ -195,7 +193,8 @@ pub fn fuzzy_kmodes(dataset: &Dataset, config: &FuzzyKModesConfig) -> FuzzyKMode
                 }
             }
         }
-        if prev_cost.is_finite() && (prev_cost - cost).abs() <= config.tolerance * prev_cost.max(1.0)
+        if prev_cost.is_finite()
+            && (prev_cost - cost).abs() <= config.tolerance * prev_cost.max(1.0)
         {
             converged = true;
             prev_cost = cost;
@@ -239,7 +238,13 @@ mod tests {
         for g in 0..groups {
             for i in 0..per_group {
                 let row: Vec<String> = (0..n_attrs)
-                    .map(|a| if a == 0 { format!("g{g}n{i}") } else { format!("g{g}a{a}") })
+                    .map(|a| {
+                        if a == 0 {
+                            format!("g{g}n{i}")
+                        } else {
+                            format!("g{g}a{a}")
+                        }
+                    })
                     .collect();
                 let refs: Vec<&str> = row.iter().map(String::as_str).collect();
                 b.push_str_row(&refs, Some(g as u32)).unwrap();
@@ -255,7 +260,10 @@ mod tests {
         for i in 0..ds.n_items() {
             let row = result.membership(i);
             let sum: f64 = row.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-9, "item {i} memberships sum to {sum}");
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "item {i} memberships sum to {sum}"
+            );
             assert!(row.iter().all(|&w| (0.0..=1.0 + 1e-12).contains(&w)));
         }
     }

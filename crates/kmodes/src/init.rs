@@ -150,7 +150,9 @@ fn cao(dataset: &Dataset, k: usize) -> Modes {
         .expect("non-empty dataset");
     picks.push(first);
     // min distance to any chosen centre, refreshed incrementally.
-    let mut min_dist: Vec<u32> = (0..n).map(|i| matching(dataset.row(i), dataset.row(first as usize))).collect();
+    let mut min_dist: Vec<u32> = (0..n)
+        .map(|i| matching(dataset.row(i), dataset.row(first as usize)))
+        .collect();
     while picks.len() < k {
         let next = (0..n)
             .filter(|&i| !picks.contains(&(i as u32)))

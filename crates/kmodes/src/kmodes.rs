@@ -39,7 +39,13 @@ pub struct KModesConfig {
 impl KModesConfig {
     /// Reasonable defaults: random init, batch updates, 100-iteration cap.
     pub fn new(k: usize) -> Self {
-        Self { k, max_iterations: 100, init: InitMethod::RandomItems, seed: 0, update: UpdateRule::Batch }
+        Self {
+            k,
+            max_iterations: 100,
+            init: InitMethod::RandomItems,
+            seed: 0,
+            update: UpdateRule::Batch,
+        }
     }
 
     /// Sets the iteration cap.
@@ -137,7 +143,9 @@ impl KModes {
                     modes.recompute(dataset, &assignments);
                     moves
                 }
-                UpdateRule::Online => online_pass(dataset, &mut modes, &mut assignments, iteration == 1),
+                UpdateRule::Online => {
+                    online_pass(dataset, &mut modes, &mut assignments, iteration == 1)
+                }
             };
             let cost = total_cost(dataset, &modes, &assignments);
             iterations.push(IterationStats {
@@ -160,7 +168,15 @@ impl KModes {
             }
             prev_cost = cost;
         }
-        KModesResult { assignments, modes, summary: RunSummary { iterations, converged, setup } }
+        KModesResult {
+            assignments,
+            modes,
+            summary: RunSummary {
+                iterations,
+                converged,
+                setup,
+            },
+        }
     }
 }
 
@@ -304,8 +320,7 @@ mod tests {
     fn fit_from_uses_supplied_modes() {
         let ds = two_blob_dataset();
         let modes = Modes::from_items(&ds, &[0, 3]);
-        let result =
-            KModes::with_k(2).fit_from(&ds, modes, std::time::Duration::ZERO);
+        let result = KModes::with_k(2).fit_from(&ds, modes, std::time::Duration::ZERO);
         assert!(result.summary.converged);
         assert_eq!(result.summary.n_iterations(), 2); // assign + verify pass
         assert_eq!(result.summary.final_cost(), Some(4));

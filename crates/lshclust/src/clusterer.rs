@@ -1,0 +1,276 @@
+//! The unified entry point: [`Clusterer`] dispatches a [`ClusterSpec`] over
+//! the input modality and lowers it onto the per-algorithm internals.
+//!
+//! Lowering is *exact*: at equal seeds, a facade run is byte-identical to
+//! the corresponding legacy entry point (`MhKModes::fit`, `KModes::fit`,
+//! `mh_kmeans`, `mh_kprototypes`, `kmeans`, `kprototypes`) — pinned by
+//! `tests/equivalence.rs`.
+
+use crate::run::{Centroids, ClusterRun};
+use crate::spec::{categorical_init, numeric_init, ClusterSpec, Lsh, SpecError};
+use lshclust_categorical::{ClusterId, Dataset, Schema};
+use lshclust_core::mhkmeans::{mh_kmeans, MhKMeansConfig};
+use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+use lshclust_core::mhkprototypes::{mh_kprototypes, MhKPrototypesConfig};
+use lshclust_core::streaming::{StreamingConfig, StreamingMhKModes};
+use lshclust_kmodes::kmeans::{kmeans, KMeansConfig, NumericDataset};
+use lshclust_kmodes::kprototypes::{kprototypes, suggest_gamma, KPrototypesConfig, MixedDataset};
+use lshclust_kmodes::stats::{IterationStats, RunSummary};
+use lshclust_kmodes::{KModes, KModesConfig, UpdateRule};
+use lshclust_minhash::Banding;
+use std::time::Duration;
+
+/// Runs a [`ClusterSpec`] against any supported input modality.
+#[derive(Clone, Debug)]
+pub struct Clusterer {
+    spec: ClusterSpec,
+}
+
+impl Clusterer {
+    /// Wraps a spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The spec in use.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Clusters `input` — a categorical [`Dataset`], a [`NumericDataset`],
+    /// or a [`MixedDataset`] — according to the spec.
+    pub fn fit<I: Input>(&self, input: I) -> Result<ClusterRun, SpecError> {
+        input.fit_spec(&self.spec)
+    }
+
+    /// Builds the streaming inserter for items under `schema`, configured
+    /// from the spec's [`Lsh::MinHash`] scheme, seed, and
+    /// [`crate::StreamOptions`]. `k` is ignored: the stream discovers its
+    /// cluster count.
+    pub fn streaming(&self, schema: Schema) -> Result<StreamingMhKModes, SpecError> {
+        let spec = &self.spec;
+        let Lsh::MinHash { bands, rows } = spec.lsh else {
+            return Err(SpecError::UnsupportedLsh {
+                modality: "streaming",
+                lsh: spec.lsh.name(),
+            });
+        };
+        let mut config = StreamingConfig::new(Banding::new(bands, rows), schema.n_attrs());
+        config.seed = spec.seed;
+        if let Some(threshold) = spec.stream.distance_threshold {
+            config.distance_threshold = threshold;
+        }
+        config.max_clusters = spec.stream.max_clusters;
+        Ok(StreamingMhKModes::new(config, schema))
+    }
+}
+
+/// An input modality the [`Clusterer`] can dispatch over. Implemented for
+/// `&Dataset` (categorical), `&NumericDataset`, and `&MixedDataset`.
+pub trait Input {
+    /// Runs `spec` on this input.
+    fn fit_spec(self, spec: &ClusterSpec) -> Result<ClusterRun, SpecError>;
+}
+
+fn check_k(k: usize, n_items: usize) -> Result<(), SpecError> {
+    if k == 0 || k > n_items {
+        return Err(SpecError::InvalidK { k, n_items });
+    }
+    Ok(())
+}
+
+impl Input for &Dataset {
+    fn fit_spec(self, spec: &ClusterSpec) -> Result<ClusterRun, SpecError> {
+        check_k(spec.k, self.n_items())?;
+        let init = categorical_init(spec.init, "categorical")?;
+        match spec.lsh {
+            Lsh::None => {
+                // The exact baseline honours the iteration cap; its loop has
+                // the no-move / cost-stagnation criteria built in.
+                let config = KModesConfig {
+                    k: spec.k,
+                    max_iterations: spec.stop.max_iterations,
+                    init,
+                    seed: spec.seed,
+                    update: UpdateRule::Batch,
+                };
+                let result = KModes::new(config).fit(self);
+                Ok(ClusterRun {
+                    assignments: result.assignments,
+                    centroids: Centroids::Modes(result.modes),
+                    summary: result.summary,
+                    index_stats: None,
+                })
+            }
+            Lsh::MinHash { bands, rows } => {
+                let config = MhKModesConfig {
+                    k: spec.k,
+                    banding: Banding::new(bands, rows),
+                    stop: spec.stop,
+                    init,
+                    seed: spec.seed,
+                    query_mode: spec.query_mode.into(),
+                    include_self: spec.include_self,
+                    threads: spec.threads,
+                };
+                let result = MhKModes::new(config).fit(self);
+                Ok(ClusterRun {
+                    assignments: result.assignments,
+                    centroids: Centroids::Modes(result.modes),
+                    summary: result.summary,
+                    index_stats: Some(result.index_stats),
+                })
+            }
+            other => Err(SpecError::UnsupportedLsh {
+                modality: "categorical",
+                lsh: other.name(),
+            }),
+        }
+    }
+}
+
+impl Input for &NumericDataset {
+    fn fit_spec(self, spec: &ClusterSpec) -> Result<ClusterRun, SpecError> {
+        check_k(spec.k, self.n_items())?;
+        let init = numeric_init(spec.init, "numeric")?;
+        match spec.lsh {
+            Lsh::None => {
+                let config = KMeansConfig {
+                    k: spec.k,
+                    max_iterations: spec.stop.max_iterations,
+                    init,
+                    seed: spec.seed,
+                    tolerance: 1e-9,
+                };
+                let result = kmeans(self, &config);
+                let dim = self.dim();
+                Ok(ClusterRun {
+                    assignments: result.assignments.into_iter().map(ClusterId).collect(),
+                    centroids: Centroids::Means {
+                        dim,
+                        values: result.centroids,
+                    },
+                    summary: aggregate_summary(
+                        result.n_iterations,
+                        result.converged,
+                        result.elapsed,
+                        spec.k,
+                        result.inertia,
+                    ),
+                    index_stats: None,
+                })
+            }
+            Lsh::SimHash { bands, rows } => {
+                let config = MhKMeansConfig {
+                    k: spec.k,
+                    bands,
+                    rows,
+                    stop: spec.stop,
+                    init,
+                    seed: spec.seed,
+                };
+                let result = mh_kmeans(self, &config);
+                Ok(ClusterRun {
+                    assignments: result.assignments,
+                    centroids: Centroids::Means {
+                        dim: self.dim(),
+                        values: result.centroids,
+                    },
+                    summary: result.summary,
+                    index_stats: None,
+                })
+            }
+            other => Err(SpecError::UnsupportedLsh {
+                modality: "numeric",
+                lsh: other.name(),
+            }),
+        }
+    }
+}
+
+impl Input for &MixedDataset<'_> {
+    fn fit_spec(self, spec: &ClusterSpec) -> Result<ClusterRun, SpecError> {
+        check_k(spec.k, self.n_items())?;
+        // Both K-Prototypes paths draw initial items directly; only the
+        // paper's random selection applies.
+        if spec.init != crate::spec::Init::RandomItems {
+            return Err(SpecError::UnsupportedInit {
+                modality: "mixed",
+                init: spec.init.name(),
+            });
+        }
+        let gamma = spec.gamma.unwrap_or_else(|| suggest_gamma(self.numeric));
+        match spec.lsh {
+            Lsh::None => {
+                let config = KPrototypesConfig {
+                    k: spec.k,
+                    gamma,
+                    max_iterations: spec.stop.max_iterations,
+                    seed: spec.seed,
+                };
+                let result = kprototypes(self, &config);
+                Ok(ClusterRun {
+                    assignments: result.assignments,
+                    centroids: Centroids::Prototypes(result.prototypes),
+                    summary: aggregate_summary(
+                        result.n_iterations,
+                        result.converged,
+                        result.elapsed,
+                        spec.k,
+                        result.cost,
+                    ),
+                    index_stats: None,
+                })
+            }
+            Lsh::Union {
+                bands,
+                rows,
+                sim_bands,
+                sim_rows,
+            } => {
+                let config = MhKPrototypesConfig {
+                    k: spec.k,
+                    gamma,
+                    banding: Banding::new(bands, rows),
+                    sim_bands,
+                    sim_rows,
+                    stop: spec.stop,
+                    seed: spec.seed,
+                };
+                let result = mh_kprototypes(self, &config);
+                Ok(ClusterRun {
+                    assignments: result.assignments,
+                    centroids: Centroids::Prototypes(result.prototypes),
+                    summary: result.summary,
+                    index_stats: None,
+                })
+            }
+            other => Err(SpecError::UnsupportedLsh {
+                modality: "mixed",
+                lsh: other.name(),
+            }),
+        }
+    }
+}
+
+/// Wraps a legacy totals-only result (`kmeans`, `kprototypes`) in the shared
+/// summary shape: one aggregate iteration row carrying the final cost.
+fn aggregate_summary(
+    n_iterations: usize,
+    converged: bool,
+    elapsed: Duration,
+    k: usize,
+    cost: f64,
+) -> RunSummary {
+    RunSummary {
+        iterations: vec![IterationStats {
+            iteration: n_iterations,
+            duration: elapsed,
+            moves: 0,
+            avg_candidates: k as f64,
+            cost: cost.round() as u64,
+        }],
+        converged,
+        setup: Duration::ZERO,
+    }
+}

@@ -1,0 +1,101 @@
+//! **lshclust** — the unified front door to the whole workspace.
+//!
+//! The paper presents LSH-shortlisted assignment as a *general framework*
+//! over centroid-based clustering. This crate makes that generality real at
+//! the API level: one [`ClusterSpec`] describes any run — `k`, the LSH scheme
+//! ([`Lsh`]), initialisation, seed, query mode, threading, and a
+//! [`StopPolicy`] — one [`Clusterer`] dispatches it over the input modality
+//! (categorical [`Dataset`], numeric [`NumericDataset`], mixed
+//! [`MixedDataset`], or a streaming inserter), and one [`ClusterRun`] carries
+//! every result (assignments, centroid views, [`RunSummary`], index stats).
+//!
+//! All spec and summary types serialize to JSON through `serde_json`, so
+//! configurations and run reports round-trip for the bench harness and any
+//! future service layer.
+//!
+//! # Categorical (MH-K-Modes)
+//!
+//! ```
+//! use lshclust::{ClusterSpec, Clusterer, DatasetBuilder, Lsh};
+//!
+//! let mut b = DatasetBuilder::anonymous(3);
+//! for row in [["a", "b", "c"], ["a", "b", "d"], ["a", "b", "e"],
+//!             ["x", "y", "z"], ["x", "y", "w"], ["x", "y", "v"]] {
+//!     b.push_str_row(&row, None).unwrap();
+//! }
+//! let dataset = b.finish();
+//!
+//! let spec = ClusterSpec::new(2).lsh(Lsh::MinHash { bands: 8, rows: 2 }).seed(1);
+//! let run = Clusterer::new(spec).fit(&dataset).unwrap();
+//! assert_eq!(run.assignments[0], run.assignments[1]);
+//! assert_ne!(run.assignments[0], run.assignments[3]);
+//! ```
+//!
+//! # Numeric (SimHash-accelerated K-Means)
+//!
+//! ```
+//! use lshclust::{ClusterSpec, Clusterer, Lsh, NumericDataset};
+//!
+//! let data = NumericDataset::new(1, vec![0.0, 0.1, 0.2, 9.0, 9.1, 9.2]);
+//! let spec = ClusterSpec::new(2).lsh(Lsh::SimHash { bands: 8, rows: 2 });
+//! let run = Clusterer::new(spec).fit(&data).unwrap();
+//! assert_eq!(run.assignments.len(), 6);
+//! ```
+//!
+//! # Exact baselines
+//!
+//! [`Lsh::None`] runs the full-search baseline of the same family — same
+//! seed, same initial centroids — so accelerated and exact runs compare
+//! apples to apples:
+//!
+//! ```
+//! use lshclust::{ClusterSpec, Clusterer, DatasetBuilder};
+//!
+//! let mut b = DatasetBuilder::anonymous(2);
+//! for row in [["a", "b"], ["a", "c"], ["x", "y"], ["x", "z"]] {
+//!     b.push_str_row(&row, None).unwrap();
+//! }
+//! let dataset = b.finish();
+//! let run = Clusterer::new(ClusterSpec::new(2).seed(7)).fit(&dataset).unwrap();
+//! assert!(run.summary.converged);
+//! ```
+//!
+//! # Specs round-trip as JSON
+//!
+//! ```
+//! use lshclust::{ClusterSpec, Lsh};
+//!
+//! let spec = ClusterSpec::new(100).lsh(Lsh::MinHash { bands: 20, rows: 5 }).seed(42);
+//! let json = serde_json::to_string(&spec).unwrap();
+//! let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+//! assert_eq!(back, spec);
+//! ```
+//!
+//! The per-algorithm configs in `lshclust-core` / `lshclust-kmodes`
+//! (`MhKModesConfig`, `KModesConfig`, `MhKMeansConfig`, …) remain available
+//! as thin internals that this facade lowers onto, but new code should start
+//! here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clusterer;
+mod run;
+mod spec;
+
+pub use clusterer::{Clusterer, Input};
+pub use run::{Centroids, ClusterRun, RunReport};
+pub use spec::{ClusterSpec, Init, Lsh, Query, SpecError, StreamOptions};
+
+// The one iteration policy shared by every family.
+pub use lshclust_core::framework::StopPolicy;
+
+// Streaming front door (configured through `Clusterer::streaming`).
+pub use lshclust_core::streaming::{InsertOutcome, StreamingMhKModes};
+
+// Data substrate re-exports so `use lshclust::*` is a complete toolkit.
+pub use lshclust_categorical::{ClusterId, Dataset, DatasetBuilder, Schema, ValueId};
+pub use lshclust_kmodes::kmeans::NumericDataset;
+pub use lshclust_kmodes::kprototypes::{suggest_gamma, MixedDataset};
+pub use lshclust_kmodes::stats::{IterationStats, RunSummary};
+pub use lshclust_minhash::index::IndexStats;

@@ -1,0 +1,134 @@
+//! The unified run result: [`ClusterRun`] and its parts.
+
+use lshclust_categorical::ClusterId;
+use lshclust_kmodes::kprototypes::Prototypes;
+use lshclust_kmodes::modes::Modes;
+use lshclust_kmodes::stats::RunSummary;
+use lshclust_minhash::index::IndexStats;
+
+/// Centroid views across the families. Exact/accelerated categorical runs
+/// carry [`Centroids::Modes`], numeric runs [`Centroids::Means`], mixed runs
+/// [`Centroids::Prototypes`]; the streaming inserter keeps its centroids
+/// inside the live clusterer, so a snapshot carries [`Centroids::None`].
+#[derive(Clone, Debug)]
+pub enum Centroids {
+    /// No centroid view available.
+    None,
+    /// Categorical modes (`k × n_attrs`).
+    Modes(Modes),
+    /// Numeric means, row-major `k × dim`.
+    Means {
+        /// Dimensionality of each centroid.
+        dim: usize,
+        /// The flattened `k × dim` centroid matrix.
+        values: Vec<f64>,
+    },
+    /// Mixed prototypes: modes for the categorical part, means for the
+    /// numeric part.
+    Prototypes(Prototypes),
+}
+
+impl Centroids {
+    /// The categorical modes, if this run produced them.
+    pub fn modes(&self) -> Option<&Modes> {
+        match self {
+            Centroids::Modes(m) => Some(m),
+            Centroids::Prototypes(p) => Some(&p.modes),
+            _ => None,
+        }
+    }
+
+    /// The numeric means as `(dim, values)`, if this run produced them.
+    pub fn means(&self) -> Option<(usize, &[f64])> {
+        match self {
+            Centroids::Means { dim, values } => Some((*dim, values)),
+            _ => None,
+        }
+    }
+
+    /// The mixed prototypes, if this run produced them.
+    pub fn prototypes(&self) -> Option<&Prototypes> {
+        match self {
+            Centroids::Prototypes(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// The one result type for every [`crate::Clusterer`] run — the union of the
+/// information the per-algorithm result structs used to carry.
+#[derive(Clone, Debug)]
+pub struct ClusterRun {
+    /// Final cluster per item.
+    pub assignments: Vec<ClusterId>,
+    /// Centroid views for the modality that ran.
+    pub centroids: Centroids,
+    /// Per-iteration instrumentation plus setup time. Exact numeric/mixed
+    /// baselines report a single aggregate iteration row (their legacy
+    /// results carry totals, not per-iteration series).
+    pub summary: RunSummary,
+    /// Bucket statistics of the LSH index, when one was built.
+    pub index_stats: Option<IndexStats>,
+}
+
+impl ClusterRun {
+    /// Assignments as plain `u32` labels (for the metrics crate).
+    pub fn labels(&self) -> Vec<u32> {
+        self.assignments.iter().map(|c| c.0).collect()
+    }
+
+    /// Iterations actually executed. Unlike `summary.n_iterations()` (which
+    /// counts series rows), this is correct for the exact numeric/mixed
+    /// baselines too, whose single aggregate row carries the true count in
+    /// its `iteration` field.
+    pub fn n_iterations(&self) -> usize {
+        self.summary.iterations.last().map_or(0, |s| s.iteration)
+    }
+
+    /// A flat, serializable report of this run for logs and the bench
+    /// harness: `serde_json::to_string(&run.report())`.
+    pub fn report(&self) -> RunReport {
+        RunReport {
+            n_items: self.assignments.len(),
+            n_iterations: self.n_iterations(),
+            converged: self.summary.converged,
+            setup_secs: self.summary.setup.as_secs_f64(),
+            total_secs: self.summary.total_time().as_secs_f64(),
+            final_cost: self.summary.final_cost(),
+            summary: self.summary.clone(),
+            index_stats: self.index_stats,
+        }
+    }
+}
+
+/// JSON-ready digest of a [`ClusterRun`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Items clustered.
+    pub n_items: usize,
+    /// Iterations executed.
+    pub n_iterations: usize,
+    /// Whether the run converged before the cap.
+    pub converged: bool,
+    /// Setup seconds (initial assignment + index build).
+    pub setup_secs: f64,
+    /// Total seconds including setup.
+    pub total_secs: f64,
+    /// Final objective value, if any iteration ran.
+    pub final_cost: Option<u64>,
+    /// The full per-iteration series.
+    pub summary: RunSummary,
+    /// Index bucket statistics, when an index was built.
+    pub index_stats: Option<IndexStats>,
+}
+
+serde::impl_serde_struct!(RunReport {
+    n_items,
+    n_iterations,
+    converged,
+    setup_secs,
+    total_secs,
+    final_cost,
+    summary,
+    index_stats,
+});

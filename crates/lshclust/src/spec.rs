@@ -1,0 +1,476 @@
+//! The unified run specification: [`ClusterSpec`] and its parts.
+
+use lshclust_core::framework::StopPolicy;
+use lshclust_kmodes::init::InitMethod;
+use lshclust_kmodes::kmeans::KMeansInit;
+use lshclust_minhash::QueryMode;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::fmt;
+
+/// The LSH scheme shortlisting candidate clusters — or [`Lsh::None`] for the
+/// full-search exact baseline of the same family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lsh {
+    /// No index: every assignment searches all `k` clusters (the paper's
+    /// baselines — K-Modes, K-Means, K-Prototypes).
+    None,
+    /// MinHash banding over categorical items (`b` bands × `r` rows); the
+    /// paper's MH-K-Modes and the streaming clusterer.
+    MinHash {
+        /// Number of bands `b`.
+        bands: u32,
+        /// Hashes per band `r`.
+        rows: u32,
+    },
+    /// Random-hyperplane (cosine) LSH over numeric items; MH-K-Means.
+    SimHash {
+        /// Number of bands.
+        bands: u32,
+        /// Bits per band.
+        rows: u32,
+    },
+    /// MinHash over the categorical part ∪ SimHash over the numeric part;
+    /// MH-K-Prototypes on mixed data.
+    Union {
+        /// MinHash bands for the categorical part.
+        bands: u32,
+        /// MinHash rows per band.
+        rows: u32,
+        /// SimHash bands for the numeric part.
+        sim_bands: u32,
+        /// SimHash bits per band.
+        sim_rows: u32,
+    },
+}
+
+impl Lsh {
+    /// Short scheme name (used in error messages and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Lsh::None => "None",
+            Lsh::MinHash { .. } => "MinHash",
+            Lsh::SimHash { .. } => "SimHash",
+            Lsh::Union { .. } => "Union",
+        }
+    }
+}
+
+// External tagging, serde-style: `"None"` for the unit variant, otherwise
+// `{"MinHash": {"bands": 20, "rows": 5}}`.
+impl Serialize for Lsh {
+    fn to_value(&self) -> Value {
+        let tagged = |tag: &str, fields: Vec<(String, Value)>| {
+            Value::Object(vec![(tag.to_owned(), Value::Object(fields))])
+        };
+        match *self {
+            Lsh::None => Value::String("None".to_owned()),
+            Lsh::MinHash { bands, rows } => tagged(
+                "MinHash",
+                vec![
+                    ("bands".to_owned(), bands.to_value()),
+                    ("rows".to_owned(), rows.to_value()),
+                ],
+            ),
+            Lsh::SimHash { bands, rows } => tagged(
+                "SimHash",
+                vec![
+                    ("bands".to_owned(), bands.to_value()),
+                    ("rows".to_owned(), rows.to_value()),
+                ],
+            ),
+            Lsh::Union {
+                bands,
+                rows,
+                sim_bands,
+                sim_rows,
+            } => tagged(
+                "Union",
+                vec![
+                    ("bands".to_owned(), bands.to_value()),
+                    ("rows".to_owned(), rows.to_value()),
+                    ("sim_bands".to_owned(), sim_bands.to_value()),
+                    ("sim_rows".to_owned(), sim_rows.to_value()),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for Lsh {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        if let Some("None") = v.as_str() {
+            return Ok(Lsh::None);
+        }
+        let entries = v
+            .as_object()
+            .ok_or_else(|| SerdeError::expected("object", "Lsh"))?;
+        let [(tag, body)] = entries else {
+            return Err(SerdeError::expected("single-variant object", "Lsh"));
+        };
+        let fields = body
+            .as_object()
+            .ok_or_else(|| SerdeError::expected("object", "Lsh body"))?;
+        match tag.as_str() {
+            "MinHash" => Ok(Lsh::MinHash {
+                bands: serde::field(fields, "bands", "Lsh::MinHash")?,
+                rows: serde::field(fields, "rows", "Lsh::MinHash")?,
+            }),
+            "SimHash" => Ok(Lsh::SimHash {
+                bands: serde::field(fields, "bands", "Lsh::SimHash")?,
+                rows: serde::field(fields, "rows", "Lsh::SimHash")?,
+            }),
+            "Union" => Ok(Lsh::Union {
+                bands: serde::field(fields, "bands", "Lsh::Union")?,
+                rows: serde::field(fields, "rows", "Lsh::Union")?,
+                sim_bands: serde::field(fields, "sim_bands", "Lsh::Union")?,
+                sim_rows: serde::field(fields, "sim_rows", "Lsh::Union")?,
+            }),
+            other => Err(SerdeError(format!("unknown Lsh variant `{other}`"))),
+        }
+    }
+}
+
+/// Centroid initialisation, across all families. Which strategies apply
+/// depends on the modality: `Huang`/`Cao` are categorical-only, `PlusPlus`
+/// is numeric-only, `RandomItems` works everywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Init {
+    /// `k` distinct items chosen uniformly at random (the paper's choice).
+    #[default]
+    RandomItems,
+    /// Huang's frequency-based synthesis (categorical only).
+    Huang,
+    /// Cao et al.'s density method (categorical only; deterministic).
+    Cao,
+    /// k-means++ D² seeding (numeric only).
+    PlusPlus,
+}
+
+serde::impl_serde_unit_enum!(Init {
+    RandomItems,
+    Huang,
+    Cao,
+    PlusPlus
+});
+
+impl Init {
+    /// Name for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Init::RandomItems => "RandomItems",
+            Init::Huang => "Huang",
+            Init::Cao => "Cao",
+            Init::PlusPlus => "PlusPlus",
+        }
+    }
+}
+
+/// How the MinHash index answers shortlist queries (identical results).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Query {
+    /// Walk the item's `b` buckets on every query (paper-faithful).
+    #[default]
+    ScanBuckets,
+    /// Per-item candidate lists precomputed at build time.
+    Precomputed,
+}
+
+serde::impl_serde_unit_enum!(Query {
+    ScanBuckets,
+    Precomputed
+});
+
+impl From<Query> for QueryMode {
+    fn from(q: Query) -> QueryMode {
+        match q {
+            Query::ScanBuckets => QueryMode::ScanBuckets,
+            Query::Precomputed => QueryMode::Precomputed,
+        }
+    }
+}
+
+/// Extra knobs for the streaming inserter (`Clusterer::streaming`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct StreamOptions {
+    /// Found a new cluster when the best shortlisted mode differs in more
+    /// than this many attributes; `None` defaults to half the attributes.
+    pub distance_threshold: Option<u32>,
+    /// Hard cap on clusters; `None` means unbounded.
+    pub max_clusters: Option<usize>,
+}
+
+serde::impl_serde_struct!(StreamOptions {
+    distance_threshold,
+    max_clusters
+});
+
+/// The one specification driving all four algorithm families.
+///
+/// Build with [`ClusterSpec::new`] and the chained setters; feed to a
+/// [`crate::Clusterer`]. Serializes to JSON via `serde_json`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of clusters `k` (ignored by the streaming inserter, which
+    /// discovers its cluster count).
+    pub k: usize,
+    /// The LSH scheme, or [`Lsh::None`] for the exact baseline.
+    pub lsh: Lsh,
+    /// Centroid initialisation.
+    pub init: Init,
+    /// Seed driving initialisation *and* the hash families.
+    pub seed: u64,
+    /// MinHash index query mode (categorical paths).
+    pub query_mode: Query,
+    /// Whether an item's own index entry may contribute its current cluster
+    /// to the shortlist (Algorithm 2 behaviour; `false` is the ablation).
+    pub include_self: bool,
+    /// Assignment-pass threads (`1` = the paper's single-threaded setup;
+    /// honoured by the categorical MinHash path, other paths run serially).
+    pub threads: usize,
+    /// Iteration policy: cap plus stop criteria.
+    ///
+    /// The accelerated paths honour all three fields. The exact baselines
+    /// (`Lsh::None`) honour `max_iterations` but always stop on a zero-move
+    /// or cost-stagnant pass — those criteria are built into the legacy
+    /// full-search loops, so disabling the flags only affects LSH runs.
+    pub stop: StopPolicy,
+    /// Mixing weight γ for mixed data; `None` uses Huang's variance
+    /// heuristic (`suggest_gamma`).
+    pub gamma: Option<f64>,
+    /// Streaming-only options.
+    pub stream: StreamOptions,
+}
+
+serde::impl_serde_struct!(ClusterSpec {
+    k,
+    lsh,
+    init,
+    seed,
+    query_mode,
+    include_self,
+    threads,
+    stop,
+    gamma,
+    stream,
+});
+
+impl ClusterSpec {
+    /// A spec with the workspace defaults: exact baseline (no LSH), random
+    /// init, seed 0, scan-bucket queries, self-collision on, one thread,
+    /// 100-iteration cap.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            lsh: Lsh::None,
+            init: Init::RandomItems,
+            seed: 0,
+            query_mode: Query::ScanBuckets,
+            include_self: true,
+            threads: 1,
+            stop: StopPolicy::default(),
+            gamma: None,
+            stream: StreamOptions::default(),
+        }
+    }
+
+    /// Sets the LSH scheme.
+    pub fn lsh(mut self, lsh: Lsh) -> Self {
+        self.lsh = lsh;
+        self
+    }
+
+    /// Sets the initialisation strategy.
+    pub fn init(mut self, init: Init) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the index query mode.
+    pub fn query_mode(mut self, query_mode: Query) -> Self {
+        self.query_mode = query_mode;
+        self
+    }
+
+    /// Enables/disables self-collision (ablation).
+    pub fn include_self(mut self, yes: bool) -> Self {
+        self.include_self = yes;
+        self
+    }
+
+    /// Sets the number of assignment threads.
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one thread");
+        self.threads = n;
+        self
+    }
+
+    /// Sets the full iteration policy.
+    pub fn stop(mut self, stop: StopPolicy) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Sets the iteration cap (shorthand for adjusting [`Self::stop`]).
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.stop.max_iterations = n;
+        self
+    }
+
+    /// Sets the K-Prototypes mixing weight γ.
+    pub fn gamma(mut self, gamma: f64) -> Self {
+        self.gamma = Some(gamma);
+        self
+    }
+
+    /// Sets the streaming options.
+    pub fn stream(mut self, stream: StreamOptions) -> Self {
+        self.stream = stream;
+        self
+    }
+}
+
+/// Why a spec cannot run on the given input modality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    /// The LSH scheme does not apply to this modality (e.g. SimHash on
+    /// categorical data).
+    UnsupportedLsh {
+        /// Input modality ("categorical", "numeric", "mixed", "streaming").
+        modality: &'static str,
+        /// The offending scheme's name.
+        lsh: &'static str,
+    },
+    /// The initialisation strategy does not apply to this modality.
+    UnsupportedInit {
+        /// Input modality.
+        modality: &'static str,
+        /// The offending strategy's name.
+        init: &'static str,
+    },
+    /// `k` is zero or exceeds the number of items.
+    InvalidK {
+        /// Requested cluster count.
+        k: usize,
+        /// Items available.
+        n_items: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnsupportedLsh { modality, lsh } => {
+                write!(f, "Lsh::{lsh} does not apply to {modality} data")
+            }
+            SpecError::UnsupportedInit { modality, init } => {
+                write!(f, "Init::{init} does not apply to {modality} data")
+            }
+            SpecError::InvalidK { k, n_items } => {
+                write!(f, "k={k} must be in 1..={n_items}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Maps [`Init`] to the categorical strategies; errors on numeric-only ones.
+pub(crate) fn categorical_init(
+    init: Init,
+    modality: &'static str,
+) -> Result<InitMethod, SpecError> {
+    match init {
+        Init::RandomItems => Ok(InitMethod::RandomItems),
+        Init::Huang => Ok(InitMethod::Huang),
+        Init::Cao => Ok(InitMethod::Cao),
+        Init::PlusPlus => Err(SpecError::UnsupportedInit {
+            modality,
+            init: init.name(),
+        }),
+    }
+}
+
+/// Maps [`Init`] to the numeric strategies; errors on categorical-only ones.
+pub(crate) fn numeric_init(init: Init, modality: &'static str) -> Result<KMeansInit, SpecError> {
+    match init {
+        Init::RandomItems => Ok(KMeansInit::RandomItems),
+        Init::PlusPlus => Ok(KMeansInit::PlusPlus),
+        Init::Huang | Init::Cao => Err(SpecError::UnsupportedInit {
+            modality,
+            init: init.name(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ClusterSpec::new(1000)
+            .lsh(Lsh::MinHash { bands: 20, rows: 5 })
+            .init(Init::Huang)
+            .seed(u64::MAX - 7)
+            .query_mode(Query::Precomputed)
+            .include_self(false)
+            .threads(4)
+            .max_iterations(30)
+            .gamma(0.125);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn every_lsh_variant_round_trips() {
+        for lsh in [
+            Lsh::None,
+            Lsh::MinHash { bands: 1, rows: 1 },
+            Lsh::SimHash { bands: 8, rows: 16 },
+            Lsh::Union {
+                bands: 20,
+                rows: 5,
+                sim_bands: 8,
+                sim_rows: 16,
+            },
+        ] {
+            let spec = ClusterSpec::new(5).lsh(lsh);
+            let json = serde_json::to_string_pretty(&spec).unwrap();
+            let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.lsh, lsh, "{json}");
+        }
+    }
+
+    #[test]
+    fn stop_policy_round_trips() {
+        let stop = StopPolicy {
+            max_iterations: 17,
+            stop_on_no_moves: false,
+            stop_on_cost_increase: true,
+        };
+        let json = serde_json::to_string(&stop).unwrap();
+        let back: StopPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stop);
+    }
+
+    #[test]
+    fn unknown_lsh_variant_is_rejected() {
+        assert!(serde_json::from_str::<Lsh>(r#"{"CosineTree":{"bands":1}}"#).is_err());
+        assert!(serde_json::from_str::<Lsh>(r#""None""#).is_ok());
+    }
+
+    #[test]
+    fn init_applicability_is_enforced() {
+        assert!(categorical_init(Init::PlusPlus, "categorical").is_err());
+        assert!(numeric_init(Init::Cao, "numeric").is_err());
+        assert!(categorical_init(Init::Cao, "categorical").is_ok());
+        assert!(numeric_init(Init::PlusPlus, "numeric").is_ok());
+    }
+}

@@ -24,7 +24,11 @@ pub fn adjusted_rand_index(predicted: &[u32], truth: &[u32]) -> f64 {
     let max_index = 0.5 * (sum_clusters + sum_classes);
     if (max_index - expected).abs() < 1e-15 {
         // Both partitions trivial (all-singletons vs all-singletons etc.).
-        return if (sum_cells - expected).abs() < 1e-15 { 1.0 } else { 0.0 };
+        return if (sum_cells - expected).abs() < 1e-15 {
+            1.0
+        } else {
+            0.0
+        };
     }
     (sum_cells - expected) / (max_index - expected)
 }

@@ -21,7 +21,11 @@ impl Contingency {
     ///
     /// Panics if lengths differ.
     pub fn new(predicted: &[u32], truth: &[u32]) -> Self {
-        assert_eq!(predicted.len(), truth.len(), "prediction/label length mismatch");
+        assert_eq!(
+            predicted.len(),
+            truth.len(),
+            "prediction/label length mismatch"
+        );
         let mut counts: HashMap<(u32, u32), u64> = HashMap::new();
         let mut cluster_totals: HashMap<u32, u64> = HashMap::new();
         let mut class_totals: HashMap<u32, u64> = HashMap::new();
@@ -30,7 +34,12 @@ impl Contingency {
             *cluster_totals.entry(p).or_insert(0) += 1;
             *class_totals.entry(t).or_insert(0) += 1;
         }
-        Self { counts, cluster_totals, class_totals, n: predicted.len() as u64 }
+        Self {
+            counts,
+            cluster_totals,
+            class_totals,
+            n: predicted.len() as u64,
+        }
     }
 
     /// Total items.

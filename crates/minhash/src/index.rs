@@ -42,7 +42,11 @@ pub struct LshIndexBuilder {
 impl LshIndexBuilder {
     /// Starts a builder for the given banding scheme.
     pub fn new(banding: Banding) -> Self {
-        Self { banding, seed: 0, mode: QueryMode::default() }
+        Self {
+            banding,
+            seed: 0,
+            mode: QueryMode::default(),
+        }
     }
 
     /// Sets the hash-family seed (default 0).
@@ -63,7 +67,11 @@ impl LshIndexBuilder {
     /// by K-Modes").
     pub fn build(&self, dataset: &Dataset, initial: &[ClusterId]) -> LshIndex {
         let n_items = dataset.n_items();
-        assert_eq!(initial.len(), n_items, "one initial cluster per item required");
+        assert_eq!(
+            initial.len(),
+            n_items,
+            "one initial cluster per item required"
+        );
         let banding = self.banding;
         let n_bands = banding.bands() as usize;
 
@@ -305,6 +313,14 @@ pub struct IndexStats {
     pub largest_bucket: usize,
 }
 
+serde::impl_serde_struct!(IndexStats {
+    n_items,
+    n_bands,
+    n_buckets,
+    total_entries,
+    largest_bucket
+});
+
 /// Generation-stamped "seen items" set; O(1) reset between queries.
 pub struct ItemScratch {
     stamps: Vec<u32>,
@@ -314,7 +330,10 @@ pub struct ItemScratch {
 impl ItemScratch {
     /// Creates scratch space for `n_items` items.
     pub fn new(n_items: usize) -> Self {
-        Self { stamps: vec![0; n_items], generation: 0 }
+        Self {
+            stamps: vec![0; n_items],
+            generation: 0,
+        }
     }
 
     /// Starts a new query (invalidates previous marks).
@@ -391,10 +410,14 @@ mod tests {
     /// Three near-duplicate items and one far item.
     fn dataset() -> Dataset {
         let mut b = DatasetBuilder::anonymous(8);
-        b.push_str_row(&["a", "b", "c", "d", "e", "f", "g", "h"], None).unwrap();
-        b.push_str_row(&["a", "b", "c", "d", "e", "f", "g", "X"], None).unwrap();
-        b.push_str_row(&["a", "b", "c", "d", "e", "f", "Y", "h"], None).unwrap();
-        b.push_str_row(&["p", "q", "r", "s", "t", "u", "v", "w"], None).unwrap();
+        b.push_str_row(&["a", "b", "c", "d", "e", "f", "g", "h"], None)
+            .unwrap();
+        b.push_str_row(&["a", "b", "c", "d", "e", "f", "g", "X"], None)
+            .unwrap();
+        b.push_str_row(&["a", "b", "c", "d", "e", "f", "Y", "h"], None)
+            .unwrap();
+        b.push_str_row(&["p", "q", "r", "s", "t", "u", "v", "w"], None)
+            .unwrap();
         b.finish()
     }
 

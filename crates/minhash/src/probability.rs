@@ -58,7 +58,10 @@ impl LshParams {
     /// `b ≥ ln(1 − p) / ln(1 − s^r)`.
     pub fn for_threshold(s_target: f64, p_target: f64, max_rows: u32) -> Self {
         assert!((0.0..1.0).contains(&p_target), "p_target must be in [0,1)");
-        assert!(s_target > 0.0 && s_target <= 1.0, "s_target must be in (0,1]");
+        assert!(
+            s_target > 0.0 && s_target <= 1.0,
+            "s_target must be in (0,1]"
+        );
         assert!(max_rows >= 1);
         let mut best: Option<(u64, LshParams)> = None;
         for rows in 1..=max_rows {
@@ -159,7 +162,10 @@ mod tests {
         for &(bands, s, p_pair, p_cluster) in TABLE1 {
             let got_pair = candidate_probability(s, 1, bands);
             let got_cluster = cluster_hit_probability(s, 1, bands, 10);
-            assert!(close(got_pair, p_pair), "b={bands} s={s}: pair {got_pair} vs {p_pair}");
+            assert!(
+                close(got_pair, p_pair),
+                "b={bands} s={s}: pair {got_pair} vs {p_pair}"
+            );
             assert!(
                 close(got_cluster, p_cluster),
                 "b={bands} s={s}: cluster {got_cluster} vs {p_cluster}"
@@ -172,7 +178,10 @@ mod tests {
         for &(bands, s, p_pair, p_cluster) in TABLE2 {
             let got_pair = candidate_probability(s, 5, bands);
             let got_cluster = cluster_hit_probability(s, 5, bands, 10);
-            assert!(close(got_pair, p_pair), "b={bands} s={s}: pair {got_pair} vs {p_pair}");
+            assert!(
+                close(got_pair, p_pair),
+                "b={bands} s={s}: pair {got_pair} vs {p_pair}"
+            );
             assert!(
                 close(got_cluster, p_cluster),
                 "b={bands} s={s}: cluster {got_cluster} vs {p_cluster}"

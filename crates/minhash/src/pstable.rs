@@ -50,7 +50,12 @@ impl PStableHash {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0070_7374_6162_6c65); // "pstable"
         let projections = (0..n * dim).map(|_| gaussian(&mut rng)).collect();
         let offsets = (0..n).map(|_| rng.random_range(0.0..width)).collect();
-        Self { projections, offsets, width, dim }
+        Self {
+            projections,
+            offsets,
+            width,
+            dim,
+        }
     }
 
     /// Number of hash functions.
@@ -131,7 +136,8 @@ fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let result = poly * (-x * x).exp();
     if sign_negative {
         2.0 - result
@@ -180,8 +186,7 @@ mod tests {
         let b = vec![2.0, 0.0, 0.0]; // d = w
         let sa = h.signature(&a);
         let sb = h.signature(&b);
-        let measured =
-            sa.iter().zip(&sb).filter(|(x, y)| x == y).count() as f64 / 2048.0;
+        let measured = sa.iter().zip(&sb).filter(|(x, y)| x == y).count() as f64 / 2048.0;
         let analytic = h.collision_probability(2.0);
         assert!(
             (measured - analytic).abs() < 0.05,

@@ -67,7 +67,10 @@ impl<F: HashFamily> SignatureGenerator<F> {
             self.signature_into(PresentElements::of_item(dataset, item), &mut row);
             data.extend_from_slice(&row);
         }
-        SignatureMatrix { signature_len: n, data }
+        SignatureMatrix {
+            signature_len: n,
+            data,
+        }
     }
 }
 
@@ -102,11 +105,19 @@ impl SignatureMatrix {
 ///
 /// The estimator is unbiased with standard error `O(1/√n)`.
 pub fn estimate_jaccard(sig_a: &[u64], sig_b: &[u64]) -> f64 {
-    assert_eq!(sig_a.len(), sig_b.len(), "signatures must have equal length");
+    assert_eq!(
+        sig_a.len(),
+        sig_b.len(),
+        "signatures must have equal length"
+    );
     if sig_a.is_empty() {
         return 0.0;
     }
-    let agree = sig_a.iter().zip(sig_b.iter()).filter(|(a, b)| a == b).count();
+    let agree = sig_a
+        .iter()
+        .zip(sig_b.iter())
+        .filter(|(a, b)| a == b)
+        .count();
     agree as f64 / sig_a.len() as f64
 }
 
@@ -167,7 +178,10 @@ mod tests {
         let a = g.signature(0u64..100);
         let b = g.signature(50u64..150);
         let est = estimate_jaccard(&a, &b);
-        assert!((est - 1.0 / 3.0).abs() < 0.08, "estimate {est} far from 1/3");
+        assert!(
+            (est - 1.0 / 3.0).abs() < 0.08,
+            "estimate {est} far from 1/3"
+        );
     }
 
     #[test]

@@ -29,8 +29,14 @@ impl SimHash {
     pub fn new(n_bits: usize, dim: usize, seed: u64) -> Self {
         assert!(dim > 0, "dimension must be positive");
         let mut rng = StdRng::seed_from_u64(seed ^ 0x73_69_6d_68_61_73_68); // "simhash"
-        let planes = (0..n_bits * dim).map(|_| rng.random_range(-1.0..1.0)).collect();
-        Self { planes, dim, n_bits }
+        let planes = (0..n_bits * dim)
+            .map(|_| rng.random_range(-1.0..1.0))
+            .collect();
+        Self {
+            planes,
+            dim,
+            n_bits,
+        }
     }
 
     /// Number of signature bits.
@@ -66,7 +72,11 @@ impl SimHash {
         let mut total = 0u32;
         for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
             let bits_here = (self.n_bits - i * 64).min(64) as u32;
-            let mask = if bits_here == 64 { u64::MAX } else { (1u64 << bits_here) - 1 };
+            let mask = if bits_here == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits_here) - 1
+            };
             agree += (!(x ^ y) & mask).count_ones();
             total += bits_here;
         }
@@ -77,7 +87,11 @@ impl SimHash {
     /// LSH banding. Requires `bands × rows ≤ n_bits`.
     pub fn band_keys(&self, signature: &[u64], bands: u32, rows: u32) -> Vec<u64> {
         let needed = bands as usize * rows as usize;
-        assert!(needed <= self.n_bits, "banding needs {needed} bits, have {}", self.n_bits);
+        assert!(
+            needed <= self.n_bits,
+            "banding needs {needed} bits, have {}",
+            self.n_bits
+        );
         let mut keys = Vec::with_capacity(bands as usize);
         for band in 0..bands {
             let mut key = 0u64;
@@ -192,6 +206,9 @@ mod tests {
         let ka = sh.band_keys(&sh.signature(&a), 16, 4);
         let kb = sh.band_keys(&sh.signature(&b), 16, 4);
         let shared = ka.iter().filter(|k| kb.contains(k)).count();
-        assert!(shared >= 12, "only {shared}/16 bands shared for near-identical vectors");
+        assert!(
+            shared >= 12,
+            "only {shared}/16 bands shared for near-identical vectors"
+        );
     }
 }

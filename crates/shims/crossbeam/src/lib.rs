@@ -1,0 +1,75 @@
+//! Workspace-local stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided — the one API the workspace uses — and
+//! it is implemented directly on `std::thread::scope`, which has offered the
+//! same structured-concurrency guarantee since Rust 1.63.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle mirroring `crossbeam::thread::Scope`: `spawn` hands the
+    /// closure a scope reference so spawned threads can spawn more.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; it is joined when the scope ends.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads borrowing from the environment
+    /// can be spawned; all are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic at join time
+    /// (std semantics) instead of surfacing it through the `Err` arm, so the
+    /// `Err` variant exists only for signature compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_can_borrow_and_mutate_disjoint_chunks() {
+        let mut data = vec![0u64; 8];
+        super::thread::scope(|scope| {
+            for (i, chunk) in data.chunks_mut(2).enumerate() {
+                scope.spawn(move |_| {
+                    for slot in chunk {
+                        *slot = i as u64 + 1;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![1, 1, 2, 2, 3, 3, 4, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_argument() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| flag.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,436 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! value-tree serialization framework with the same *spelling* at use sites
+//! (`use serde::{Serialize, Deserialize}`, `serde_json::to_string`,
+//! `serde_json::from_str`) but a much smaller core: types convert to and from
+//! a [`Value`] tree, and `serde_json` (the sibling shim) renders that tree as
+//! JSON. Derive macros are replaced by the declarative
+//! [`impl_serde_struct!`] / [`impl_serde_unit_enum!`] macros; enums with data
+//! carry hand-written impls using serde's external tagging convention.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::Duration;
+
+/// A JSON-shaped value tree — the interchange format between [`Serialize`]
+/// implementations and the `serde_json` shim.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object; insertion order is preserved when rendering.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number, kept wide enough to round-trip `u64` seeds exactly.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n),
+            Value::Number(Number::NegInt(n)) => u64::try_from(*n).ok(),
+            Value::Number(Number::Float(f))
+                if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 =>
+            {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, when exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => i64::try_from(*n).ok(),
+            Value::Number(Number::NegInt(n)) => Some(*n),
+            Value::Number(Number::Float(f)) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (integers widen losslessly where possible).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::PosInt(n)) => Some(*n as f64),
+            Value::Number(Number::NegInt(n)) => Some(*n as f64),
+            Value::Number(Number::Float(f)) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Serialization / deserialization failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// "expected X while reading Y" constructor.
+    pub fn expected(what: &str, context: &str) -> Self {
+        Error(format!("expected {what} while reading {context}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Conversion into the [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Conversion out of the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Reads a required object field (helper used by [`impl_serde_struct!`]).
+pub fn field<T: Deserialize>(
+    entries: &[(String, Value)],
+    key: &str,
+    context: &str,
+) -> Result<T, Error> {
+    let v = entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error(format!("missing field `{key}` in {context}")))?;
+    T::from_value(v).map_err(|e| Error(format!("field `{key}` of {context}: {}", e.0)))
+}
+
+// --- primitive impls -------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", "bool"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::expected("unsigned integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::Number(Number::PosInt(n as u64))
+                } else {
+                    Value::Number(Number::NegInt(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::expected("integer", stringify!($t)))?;
+                <$t>::try_from(n).map_err(|_| Error(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::expected("number", "f32"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_owned(), self.as_secs().to_value()),
+            ("nanos".to_owned(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| Error::expected("object", "Duration"))?;
+        let secs: u64 = field(entries, "secs", "Duration")?;
+        let nanos: u32 = field(entries, "nanos", "Duration")?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+// --- impl macros (the shim's replacement for `#[derive(...)]`) -------------
+
+/// Implements [`Serialize`] and [`Deserialize`] for a plain struct by listing
+/// its fields: `impl_serde_struct!(StopPolicy { max_iterations, ... });`.
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::Object(vec![
+                    $((stringify!($field).to_owned(), $crate::Serialize::to_value(&self.$field))),+
+                ])
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                let entries = v
+                    .as_object()
+                    .ok_or_else(|| $crate::Error::expected("object", stringify!($ty)))?;
+                Ok(Self {
+                    $($field: $crate::field(entries, stringify!($field), stringify!($ty))?),+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`Serialize`] and [`Deserialize`] for a fieldless enum as a
+/// JSON string of the variant name (serde's unit-variant convention).
+#[macro_export]
+macro_rules! impl_serde_unit_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                $crate::Value::String(
+                    match self { $($ty::$variant => stringify!($variant)),+ }.to_owned(),
+                )
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> Result<Self, $crate::Error> {
+                match v.as_str() {
+                    $(Some(stringify!($variant)) => Ok($ty::$variant),)+
+                    Some(other) => Err($crate::Error(format!(
+                        "unknown {} variant `{other}`", stringify!($ty),
+                    ))),
+                    None => Err($crate::Error::expected("string", stringify!($ty))),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: u64,
+        b: f64,
+        c: Option<u32>,
+        d: Vec<bool>,
+    }
+    impl_serde_struct!(Demo { a, b, c, d });
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+    impl_serde_unit_enum!(Mode { Fast, Slow });
+
+    #[test]
+    fn struct_round_trip() {
+        let demo = Demo {
+            a: u64::MAX,
+            b: -1.25,
+            c: None,
+            d: vec![true, false],
+        };
+        let v = demo.to_value();
+        assert_eq!(Demo::from_value(&v).unwrap(), demo);
+    }
+
+    #[test]
+    fn unit_enum_round_trip() {
+        let v = Mode::Slow.to_value();
+        assert_eq!(v, Value::String("Slow".to_owned()));
+        assert_eq!(Mode::from_value(&v).unwrap(), Mode::Slow);
+        assert!(Mode::from_value(&Value::String("Other".into())).is_err());
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let v = Value::Object(vec![("a".into(), 1u64.to_value())]);
+        let err = Demo::from_value(&v).unwrap_err();
+        assert!(err.0.contains('b'), "{err}");
+    }
+
+    #[test]
+    fn duration_round_trip() {
+        let d = Duration::new(3, 456_789);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+    }
+}

@@ -34,7 +34,10 @@ pub struct TopicScores {
 impl TfIdf {
     /// Creates an accumulator for `n_topics` topics.
     pub fn new(n_topics: usize) -> Self {
-        Self { topic_counts: vec![HashMap::new(); n_topics], doc_freq: HashMap::new() }
+        Self {
+            topic_counts: vec![HashMap::new(); n_topics],
+            doc_freq: HashMap::new(),
+        }
     }
 
     /// Number of topics.
@@ -74,13 +77,15 @@ impl TfIdf {
         let mut scores: Vec<(String, f64)> = counts
             .iter()
             .map(|(token, &c)| {
-                let tf = if max_count == 0 { 0.0 } else { f64::from(c) / f64::from(max_count) };
+                let tf = if max_count == 0 {
+                    0.0
+                } else {
+                    f64::from(c) / f64::from(max_count)
+                };
                 (token.clone(), tf * self.idf(token))
             })
             .collect();
-        scores.sort_by(|(ta, sa), (tb, sb)| {
-            sb.partial_cmp(sa).unwrap().then_with(|| ta.cmp(tb))
-        });
+        scores.sort_by(|(ta, sa), (tb, sb)| sb.partial_cmp(sa).unwrap().then_with(|| ta.cmp(tb)));
         scores.truncate(max_words);
         TopicScores { topic, scores }
     }
@@ -124,7 +129,12 @@ mod tests {
         );
         let scores = t.topic_scores(0, 100);
         assert_eq!(scores.topic, 0);
-        let top: Vec<&str> = scores.scores.iter().take(2).map(|(w, _)| w.as_str()).collect();
+        let top: Vec<&str> = scores
+            .scores
+            .iter()
+            .take(2)
+            .map(|(w, _)| w.as_str())
+            .collect();
         assert!(top.contains(&"zoo"));
         assert!(top.contains(&"zoologist"));
         // Shared stop-words score zero.

@@ -53,7 +53,10 @@ mod tests {
     fn paper_example_fragment() {
         // From the paper's real Yahoo! Answers question: missing space after
         // the period still separates tokens.
-        assert_eq!(tokenize("really do.Does zoologist"), vec!["really", "do", "does", "zoologist"]);
+        assert_eq!(
+            tokenize("really do.Does zoologist"),
+            vec!["really", "do", "does", "zoologist"]
+        );
     }
 
     #[test]

@@ -19,10 +19,12 @@ pub fn vectorize<'a, I>(vocab: &Vocabulary, labelled_texts: I) -> Dataset
 where
     I: IntoIterator<Item = (&'a str, u32)>,
 {
-    assert!(!vocab.is_empty(), "cannot vectorise with an empty vocabulary");
+    assert!(
+        !vocab.is_empty(),
+        "cannot vectorise with an empty vocabulary"
+    );
     let n_attrs = vocab.len();
-    let mut builder =
-        DatasetBuilder::new(vocab.iter().map(String::from).collect::<Vec<_>>());
+    let mut builder = DatasetBuilder::new(vocab.iter().map(String::from).collect::<Vec<_>>());
     // Pre-intern "<word>-0"/"<word>-1" per attribute, registering absence.
     let mut absent = Vec::with_capacity(n_attrs);
     let mut present = Vec::with_capacity(n_attrs);
@@ -45,7 +47,9 @@ where
                 row[a as usize] = present[a as usize];
             }
         }
-        builder.push_encoded_row(&row, Some(topic)).expect("row arity fixed by vocabulary");
+        builder
+            .push_encoded_row(&row, Some(topic))
+            .expect("row arity fixed by vocabulary");
     }
     builder.finish()
 }

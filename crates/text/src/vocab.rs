@@ -123,9 +123,7 @@ mod tests {
 
     #[test]
     fn from_words_dedups() {
-        let v = Vocabulary::from_words(
-            ["a", "b", "a", "c"].into_iter().map(String::from),
-        );
+        let v = Vocabulary::from_words(["a", "b", "a", "c"].into_iter().map(String::from));
         assert_eq!(v.len(), 3);
         assert_eq!(v.position("a"), Some(0));
         assert_eq!(v.position("c"), Some(2));

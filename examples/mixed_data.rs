@@ -1,29 +1,27 @@
 //! Mixed categorical + numeric clustering — the paper's "combinations of
-//! both" further-work item. K-Prototypes (full search) vs MH-K-Prototypes
-//! (MinHash index over the categorical part ∪ SimHash index over the numeric
-//! part feeding the same framework driver).
+//! both" further-work item, through the unified facade: `Lsh::None` runs
+//! full-search K-Prototypes, `Lsh::Union` runs MH-K-Prototypes (MinHash over
+//! the categorical part ∪ SimHash over the numeric part feeding the same
+//! framework driver).
 //!
 //! ```text
-//! cargo run --release -p lshclust-core --example mixed_data
+//! cargo run --release -p lshclust --example mixed_data
 //! ```
 
-use lshclust_core::mhkprototypes::{mh_kprototypes, MhKPrototypesConfig};
+use lshclust::{ClusterSpec, Clusterer, Lsh, MixedDataset, NumericDataset};
 use lshclust_datagen::datgen::{generate, DatgenConfig};
-use lshclust_kmodes::kmeans::NumericDataset;
-use lshclust_kmodes::kprototypes::{
-    kprototypes, suggest_gamma, KPrototypesConfig, MixedDataset,
-};
 use lshclust_metrics::purity;
 
 fn main() {
-    // Categorical part: rule-generated, 2 000 items over 200 clusters.
+    // Categorical part: rule-generated, 10 000 items over 1 000 clusters.
     let cat_config = DatgenConfig::new(10_000, 1_000, 30).seed(21);
     let categorical = generate(&cat_config);
     let labels = categorical.labels().unwrap().to_vec();
 
     // Numeric part: each latent cluster sits at its own pseudo-random point
     // in 16-D (angle-based LSH needs dimensionality: random directions in
-    // high-D are near-orthogonal, so distinct clusters rarely collide), with deterministic jitter per item.
+    // high-D are near-orthogonal, so distinct clusters rarely collide), with
+    // deterministic jitter per item.
     const DIM: usize = 16;
     let numeric_data: Vec<f64> = labels
         .iter()
@@ -39,37 +37,50 @@ fn main() {
         .collect();
     let numeric = NumericDataset::new(DIM, numeric_data);
     let data = MixedDataset::new(&categorical, &numeric);
-    let gamma = suggest_gamma(&numeric);
+    let k = cat_config.n_clusters;
     println!(
-        "{} items: {} categorical attrs + {} numeric dims, k = {}, gamma = {gamma:.4}\n",
+        "{} items: {} categorical attrs + {} numeric dims, k = {k}\n",
         data.n_items(),
         categorical.n_attrs(),
         numeric.dim(),
-        cat_config.n_clusters
     );
 
-    println!("K-Prototypes (full search over k=1000)...");
-    let full = kprototypes(&data, &KPrototypesConfig::new(1_000, gamma));
-    let fp: Vec<u32> = full.assignments.iter().map(|c| c.0).collect();
+    // γ is left unset: the facade fills in Huang's variance heuristic
+    // (`suggest_gamma`) for both runs.
+    println!("K-Prototypes (full search over k={k})...");
+    let full = Clusterer::new(ClusterSpec::new(k).seed(21))
+        .fit(&data)
+        .unwrap();
     println!(
         "  {} iterations, {:.2}s, purity {:.3}",
-        full.n_iterations,
-        full.elapsed.as_secs_f64(),
-        purity(&fp, &labels)
+        full.n_iterations(),
+        full.summary.total_time().as_secs_f64(),
+        purity(&full.labels(), &labels)
     );
 
     println!("MH-K-Prototypes (MinHash ∪ SimHash shortlists)...");
-    let accel = mh_kprototypes(&data, &MhKPrototypesConfig::new(1_000, gamma));
-    let ap: Vec<u32> = accel.assignments.iter().map(|c| c.0).collect();
+    let lsh = Lsh::Union {
+        bands: 20,
+        rows: 5,
+        sim_bands: 8,
+        sim_rows: 16,
+    };
+    let accel = Clusterer::new(ClusterSpec::new(k).lsh(lsh).seed(21))
+        .fit(&data)
+        .unwrap();
     println!(
-        "  {} iterations, {:.2}s, purity {:.3}, avg shortlist {:.1} of 1000",
+        "  {} iterations, {:.2}s, purity {:.3}, avg shortlist {:.1} of {k}",
         accel.summary.n_iterations(),
         accel.summary.total_time().as_secs_f64(),
-        purity(&ap, &labels),
-        accel.summary.iterations.last().map_or(0.0, |s| s.avg_candidates)
+        purity(&accel.labels(), &labels),
+        accel
+            .summary
+            .iterations
+            .last()
+            .map_or(0.0, |s| s.avg_candidates)
     );
 
     let speedup =
-        full.elapsed.as_secs_f64() / accel.summary.total_time().as_secs_f64();
+        full.summary.total_time().as_secs_f64() / accel.summary.total_time().as_secs_f64();
     println!("\nspeedup: {speedup:.2}x — the unchanged framework driver, two indexes");
 }

@@ -6,7 +6,7 @@
 //! of §III-C behaves, and what the parameter advisor recommends.
 //!
 //! ```text
-//! cargo run --release -p lshclust-core --example parameter_tuning
+//! cargo run --release -p lshclust --example parameter_tuning
 //! ```
 
 use lshclust_minhash::probability::{
@@ -16,7 +16,10 @@ use lshclust_minhash::Banding;
 
 fn main() {
     println!("=== The S-curve: P[candidate pair] = 1 - (1 - s^r)^b ===\n");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "banding", "s=0.05", "s=0.1", "s=0.3", "s=0.5");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "banding", "s=0.05", "s=0.1", "s=0.3", "s=0.5"
+    );
     for (b, r) in [(1u32, 1u32), (20, 2), (20, 5), (50, 5)] {
         let banding = Banding::new(b, r);
         println!(
@@ -32,10 +35,16 @@ fn main() {
 
     println!("\n=== Cluster hit probability with c similar items (paper's key relaxation) ===\n");
     println!("With s = 0.1 and 20b5r, a single pair almost never collides:");
-    println!("  P[pair]            = {:.5}", candidate_probability(0.1, 5, 20));
+    println!(
+        "  P[pair]            = {:.5}",
+        candidate_probability(0.1, 5, 20)
+    );
     println!("but a cluster holding c similar items only needs one collision:");
     for c in [5u32, 10, 20, 50] {
-        println!("  P[cluster | c={c:>2}] = {:.5}", cluster_hit_probability(0.1, 5, 20, c));
+        println!(
+            "  P[cluster | c={c:>2}] = {:.5}",
+            cluster_hit_probability(0.1, 5, 20, c)
+        );
     }
 
     println!("\n=== The §III-C error bound ===\n");
@@ -43,10 +52,21 @@ fn main() {
     println!("shares >=1 value, so its similarity is >= 1/(2m-1). The miss");
     println!("probability is bounded by (1 - (1/(2m-1))^r)^(b*|Cn|):\n");
     println!("paper's worked example (m=100, r=1, b=25, |Cn|=20):");
-    println!("  bound = {:.3}  (paper: 0.08)", error_bound(100, 1, 25, 20));
+    println!(
+        "  bound = {:.3}  (paper: 0.08)",
+        error_bound(100, 1, 25, 20)
+    );
     println!("\nhow the bound moves:");
-    for (m, r, b, c) in [(100, 1, 25, 20), (100, 1, 50, 20), (100, 2, 25, 20), (400, 1, 25, 20)] {
-        println!("  m={m:<4} r={r} b={b:<3} |Cn|={c:<3} -> bound {:.4}", error_bound(m, r, b, c));
+    for (m, r, b, c) in [
+        (100, 1, 25, 20),
+        (100, 1, 50, 20),
+        (100, 2, 25, 20),
+        (400, 1, 25, 20),
+    ] {
+        println!(
+            "  m={m:<4} r={r} b={b:<3} |Cn|={c:<3} -> bound {:.4}",
+            error_bound(m, r, b, c)
+        );
     }
 
     println!("\n=== The parameter advisor ===\n");

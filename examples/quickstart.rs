@@ -1,15 +1,15 @@
-//! Quickstart: cluster a synthetic categorical dataset with plain K-Modes
-//! and with MH-K-Modes, and compare time, iterations and purity.
+//! Quickstart: cluster a synthetic categorical dataset with the exact
+//! baseline (`Lsh::None` → full-search K-Modes) and with MH-K-Modes
+//! (`Lsh::MinHash`), comparing time, iterations and purity — one spec type,
+//! one entry point, one result type.
 //!
 //! ```text
-//! cargo run --release -p lshclust-core --example quickstart
+//! cargo run --release -p lshclust --example quickstart
 //! ```
 
-use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+use lshclust::{ClusterSpec, Clusterer, Lsh};
 use lshclust_datagen::datgen::{generate, DatgenConfig};
-use lshclust_kmodes::{KModes, KModesConfig};
 use lshclust_metrics::purity;
-use lshclust_minhash::Banding;
 
 fn main() {
     // A miniature of the paper's base dataset, ratios preserved:
@@ -17,36 +17,39 @@ fn main() {
     // domain, conjunctive rules over 40–80 attributes.
     let seed = 42;
     let config = DatgenConfig::new(4_500, 1_000, 100).seed(seed);
-    println!("generating {} items x {} attrs, {} rule clusters ...",
-             config.n_items, config.n_attrs, config.n_clusters);
+    println!(
+        "generating {} items x {} attrs, {} rule clusters ...",
+        config.n_items, config.n_attrs, config.n_clusters
+    );
     let dataset = generate(&config);
     let labels = dataset.labels().unwrap().to_vec();
     let k = config.n_clusters;
 
-    // --- baseline: full-search K-Modes -----------------------------------
+    // --- baseline: full-search K-Modes (Lsh::None) ------------------------
     println!("\nrunning K-Modes (full search over k={k}) ...");
-    let baseline = KModes::new(KModesConfig::new(k).seed(seed).max_iterations(30)).fit(&dataset);
-    let baseline_pred: Vec<u32> = baseline.assignments.iter().map(|c| c.0).collect();
+    let spec = ClusterSpec::new(k).seed(seed).max_iterations(30);
+    let baseline = Clusterer::new(spec).fit(&dataset).unwrap();
     println!(
         "  {} iterations, converged: {}, total {:.2}s, purity {:.3}",
         baseline.summary.n_iterations(),
         baseline.summary.converged,
         baseline.summary.total_time().as_secs_f64(),
-        purity(&baseline_pred, &labels),
+        purity(&baseline.labels(), &labels),
     );
 
-    // --- accelerated: MH-K-Modes with the paper's best parameters --------
-    let banding = Banding::new(20, 5);
-    println!("\nrunning MH-K-Modes ({banding}: threshold similarity {:.3}) ...", banding.threshold());
-    let mh = MhKModes::new(MhKModesConfig::new(k, banding).seed(seed).max_iterations(30))
-        .fit(&dataset);
-    let mh_pred: Vec<u32> = mh.assignments.iter().map(|c| c.0).collect();
+    // --- accelerated: MH-K-Modes with the paper's best parameters ---------
+    // Same seed ⇒ same initial modes as the baseline (the paper's
+    // controlled-comparison requirement).
+    let lsh = Lsh::MinHash { bands: 20, rows: 5 };
+    println!("\nrunning MH-K-Modes (20b5r) ...");
+    let spec = ClusterSpec::new(k).lsh(lsh).seed(seed).max_iterations(30);
+    let mh = Clusterer::new(spec).fit(&dataset).unwrap();
     println!(
         "  {} iterations, converged: {}, total {:.2}s, purity {:.3}",
         mh.summary.n_iterations(),
         mh.summary.converged,
         mh.summary.total_time().as_secs_f64(),
-        purity(&mh_pred, &labels),
+        purity(&mh.labels(), &labels),
     );
     for s in &mh.summary.iterations {
         println!(
@@ -57,8 +60,14 @@ fn main() {
             s.moves
         );
     }
+    if let Some(stats) = mh.index_stats {
+        println!(
+            "  index: {} buckets over {} bands, largest bucket {}",
+            stats.n_buckets, stats.n_bands, stats.largest_bucket
+        );
+    }
 
-    let speedup = baseline.summary.total_time().as_secs_f64()
-        / mh.summary.total_time().as_secs_f64();
+    let speedup =
+        baseline.summary.total_time().as_secs_f64() / mh.summary.total_time().as_secs_f64();
     println!("\nspeedup (total time): {speedup:.2}x  (paper reports 2x-6x at full scale)");
 }

@@ -1,18 +1,21 @@
 //! A miniature of the paper's Fig. 6 scaling study: how total clustering
-//! time grows with items, clusters, and attributes — for full-search K-Modes
-//! vs MH-K-Modes (20b5r), at laptop-friendly sizes.
+//! time grows with items, clusters, and attributes — exact baseline vs
+//! MH-K-Modes (20b5r) at laptop-friendly sizes, both driven by the same
+//! [`ClusterSpec`] at the same seed (⇒ identical initial modes).
 //!
 //! ```text
-//! cargo run --release -p lshclust-core --example scaling_study
+//! cargo run --release -p lshclust --example scaling_study
 //! ```
 
-use lshclust_core::mhkmodes::paired_run;
+use lshclust::{ClusterSpec, Clusterer, Lsh};
 use lshclust_datagen::datgen::{generate, DatgenConfig};
-use lshclust_minhash::Banding;
 
 fn run(n_items: usize, n_clusters: usize, n_attrs: usize) -> (f64, f64) {
     let dataset = generate(&DatgenConfig::new(n_items, n_clusters, n_attrs).seed(42));
-    let (baseline, mh) = paired_run(&dataset, n_clusters, Banding::new(20, 5), 42, 25);
+    let base_spec = ClusterSpec::new(n_clusters).seed(42).max_iterations(25);
+    let mh_spec = base_spec.clone().lsh(Lsh::MinHash { bands: 20, rows: 5 });
+    let baseline = Clusterer::new(base_spec).fit(&dataset).unwrap();
+    let mh = Clusterer::new(mh_spec).fit(&dataset).unwrap();
     (
         baseline.summary.total_time().as_secs_f64(),
         mh.summary.total_time().as_secs_f64(),
@@ -21,21 +24,30 @@ fn run(n_items: usize, n_clusters: usize, n_attrs: usize) -> (f64, f64) {
 
 fn main() {
     println!("(a) scaling items  [k=1000, m=100]");
-    println!("{:>8}  {:>12}  {:>14}  {:>8}", "items", "K-Modes (s)", "MH 20b5r (s)", "speedup");
+    println!(
+        "{:>8}  {:>12}  {:>14}  {:>8}",
+        "items", "K-Modes (s)", "MH 20b5r (s)", "speedup"
+    );
     for n in [2_250usize, 4_500, 9_000] {
         let (base, mh) = run(n, 1_000, 100);
         println!("{n:>8}  {base:>12.2}  {mh:>14.2}  {:>8.2}x", base / mh);
     }
 
     println!("\n(b) scaling clusters  [n=9000, m=100]");
-    println!("{:>8}  {:>12}  {:>14}  {:>8}", "clusters", "K-Modes (s)", "MH 20b5r (s)", "speedup");
+    println!(
+        "{:>8}  {:>12}  {:>14}  {:>8}",
+        "clusters", "K-Modes (s)", "MH 20b5r (s)", "speedup"
+    );
     for k in [500usize, 1_000, 2_000] {
         let (base, mh) = run(9_000, k, 100);
         println!("{k:>8}  {base:>12.2}  {mh:>14.2}  {:>8.2}x", base / mh);
     }
 
     println!("\n(c) scaling attributes  [n=4500, k=1000]");
-    println!("{:>8}  {:>12}  {:>14}  {:>8}", "attrs", "K-Modes (s)", "MH 20b5r (s)", "speedup");
+    println!(
+        "{:>8}  {:>12}  {:>14}  {:>8}",
+        "attrs", "K-Modes (s)", "MH 20b5r (s)", "speedup"
+    );
     for m in [100usize, 200, 400] {
         let (base, mh) = run(4_500, 1_000, m);
         println!("{m:>8}  {base:>12.2}  {mh:>14.2}  {:>8.2}x", base / mh);

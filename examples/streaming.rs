@@ -1,16 +1,16 @@
 //! The further-work extension in action: one-pass streaming clustering over
-//! a growing LSH index. Items arrive one at a time; each is routed by its
-//! MinHash collisions to a shortlist of existing clusters, joining the best
-//! or founding a new one — per-item cost independent of the cluster count.
+//! a growing LSH index, configured through the same [`ClusterSpec`] as every
+//! batch run. Items arrive one at a time; each is routed by its MinHash
+//! collisions to a shortlist of existing clusters, joining the best or
+//! founding a new one — per-item cost independent of the cluster count.
 //!
 //! ```text
-//! cargo run --release -p lshclust-core --example streaming
+//! cargo run --release -p lshclust --example streaming
 //! ```
 
-use lshclust_core::streaming::{StreamingConfig, StreamingMhKModes};
+use lshclust::{ClusterSpec, Clusterer, Lsh, StreamOptions};
 use lshclust_datagen::datgen::{generate, DatgenConfig};
 use lshclust_metrics::{normalized_mutual_information, purity};
-use lshclust_minhash::Banding;
 
 fn main() {
     // A shuffled stream of rule-generated items: 4 000 items from 400
@@ -28,9 +28,15 @@ fn main() {
     // Rule-generated items of the same latent cluster agree on 40–80% of
     // attributes, so two members are at most ~0.6·m apart while members of
     // different clusters sit near m; found a new cluster beyond 0.7·m.
-    let mut config = StreamingConfig::new(Banding::new(16, 2), dataset.n_attrs());
-    config.distance_threshold = (dataset.n_attrs() as u32) * 7 / 10;
-    let mut clusterer = StreamingMhKModes::new(config, dataset.schema().clone());
+    let spec = ClusterSpec::new(0) // k is discovered by the stream
+        .lsh(Lsh::MinHash { bands: 16, rows: 2 })
+        .stream(StreamOptions {
+            distance_threshold: Some((dataset.n_attrs() as u32) * 7 / 10),
+            max_clusters: None,
+        });
+    let mut clusterer = Clusterer::new(spec)
+        .streaming(dataset.schema().clone())
+        .unwrap();
 
     let start = std::time::Instant::now();
     let mut shortlist_total = 0usize;

@@ -1,16 +1,15 @@
 //! The §IV-B real-data flow end to end: a Yahoo!-Answers-like corpus is
 //! generated, TF-IDF selects the vocabulary, questions become sparse binary
-//! categorical items, and MH-K-Modes clusters them back into topics.
+//! categorical items, and the unified facade clusters them back into topics —
+//! exact baseline and MH-K-Modes from the same [`ClusterSpec`] shape.
 //!
 //! ```text
-//! cargo run --release -p lshclust-core --example text_pipeline
+//! cargo run --release -p lshclust --example text_pipeline
 //! ```
 
-use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+use lshclust::{ClusterSpec, Clusterer, Lsh};
 use lshclust_datagen::corpus::{CorpusConfig, SyntheticCorpus};
-use lshclust_kmodes::{KModes, KModesConfig};
 use lshclust_metrics::{normalized_mutual_information, purity};
-use lshclust_minhash::Banding;
 use lshclust_text::{vectorize, TfIdf, Vocabulary};
 
 fn main() {
@@ -57,31 +56,34 @@ fn main() {
     let k = corpus.n_topics;
 
     println!("\nK-Modes (full search) ...");
-    let baseline = KModes::new(KModesConfig::new(k).seed(seed).max_iterations(20)).fit(&dataset);
-    let bp: Vec<u32> = baseline.assignments.iter().map(|c| c.0).collect();
+    let spec = ClusterSpec::new(k).seed(seed).max_iterations(20);
+    let baseline = Clusterer::new(spec).fit(&dataset).unwrap();
     println!(
         "  {} iters, {:.2}s, purity {:.3}, nmi {:.3}",
         baseline.summary.n_iterations(),
         baseline.summary.total_time().as_secs_f64(),
-        purity(&bp, &labels),
-        normalized_mutual_information(&bp, &labels)
+        purity(&baseline.labels(), &labels),
+        normalized_mutual_information(&baseline.labels(), &labels)
     );
 
     // Fig. 9 uses 1 band x 1 row: one hash, eliminating only clusters with
     // no similarity at all — cheap and surprisingly effective on sparse text.
     println!("MH-K-Modes 1b1r ...");
-    let mh = MhKModes::new(
-        MhKModesConfig::new(k, Banding::new(1, 1)).seed(seed).max_iterations(20),
-    )
-    .fit(&dataset);
-    let mp: Vec<u32> = mh.assignments.iter().map(|c| c.0).collect();
+    let spec = ClusterSpec::new(k)
+        .lsh(Lsh::MinHash { bands: 1, rows: 1 })
+        .seed(seed)
+        .max_iterations(20);
+    let mh = Clusterer::new(spec).fit(&dataset).unwrap();
     println!(
         "  {} iters, {:.2}s, purity {:.3}, nmi {:.3}, avg shortlist {:.1} of {k}",
         mh.summary.n_iterations(),
         mh.summary.total_time().as_secs_f64(),
-        purity(&mp, &labels),
-        normalized_mutual_information(&mp, &labels),
-        mh.summary.iterations.last().map_or(0.0, |s| s.avg_candidates),
+        purity(&mh.labels(), &labels),
+        normalized_mutual_information(&mh.labels(), &labels),
+        mh.summary
+            .iterations
+            .last()
+            .map_or(0.0, |s| s.avg_candidates),
     );
 
     let speedup =

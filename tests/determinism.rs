@@ -16,7 +16,9 @@ fn full_synthetic_pipeline_is_reproducible() {
     let run = || {
         let dataset = generate(&DatgenConfig::new(300, 30, 25).seed(99));
         let result = MhKModes::new(
-            MhKModesConfig::new(30, Banding::new(12, 2)).seed(99).max_iterations(25),
+            MhKModesConfig::new(30, Banding::new(12, 2))
+                .seed(99)
+                .max_iterations(25),
         )
         .fit(&dataset);
         (result.assignments, result.summary.n_iterations())
@@ -37,8 +39,7 @@ fn full_text_pipeline_is_reproducible() {
         }
         let vocab = Vocabulary::select(&tfidf, 0.5, 1_000);
         let dataset = vectorize(&vocab, corpus.labelled_texts());
-        let result =
-            KModes::new(KModesConfig::new(8).seed(5).max_iterations(15)).fit(&dataset);
+        let result = KModes::new(KModesConfig::new(8).seed(5).max_iterations(15)).fit(&dataset);
         (vocab.len(), result.assignments)
     };
     let (v1, a1) = run();
@@ -70,8 +71,9 @@ fn index_construction_is_deterministic() {
         .map(|&l| lshclust_categorical::ClusterId(l))
         .collect();
     let build = || {
-        let index =
-            LshIndexBuilder::new(Banding::new(8, 2)).seed(77).build(&dataset, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(8, 2))
+            .seed(77)
+            .build(&dataset, &assignments);
         let mut scratch = index.make_scratch(15);
         let mut shortlists = Vec::new();
         for item in 0..dataset.n_items() as u32 {

@@ -11,11 +11,13 @@ fn predictions(assignments: &[lshclust_categorical::ClusterId]) -> Vec<u32> {
 
 #[test]
 fn mh_kmodes_recovers_rule_clusters_with_high_purity() {
-    let config = DatgenConfig::new(600, 60, 40).seed(11);
+    let config = DatgenConfig::new(600, 60, 40).seed(1);
     let dataset = generate(&config);
     let labels = dataset.labels().unwrap().to_vec();
     let result = MhKModes::new(
-        MhKModesConfig::new(60, Banding::new(20, 5)).seed(11).max_iterations(30),
+        MhKModesConfig::new(60, Banding::new(20, 5))
+            .seed(1)
+            .max_iterations(30),
     )
     .fit(&dataset);
     let p = purity(&predictions(&result.assignments), &labels);
@@ -47,7 +49,9 @@ fn paired_run_speedup_and_quality() {
 fn mh_kmodes_total_cost_decreases_monotonically_until_stop() {
     let dataset = generate(&DatgenConfig::new(400, 40, 30).seed(5));
     let result = MhKModes::new(
-        MhKModesConfig::new(40, Banding::new(10, 2)).seed(5).max_iterations(30),
+        MhKModesConfig::new(40, Banding::new(10, 2))
+            .seed(5)
+            .max_iterations(30),
     )
     .fit(&dataset);
     let costs: Vec<u64> = result.summary.iterations.iter().map(|s| s.cost).collect();
@@ -63,7 +67,9 @@ fn all_paper_bandings_run_to_convergence() {
     let dataset = generate(&DatgenConfig::new(300, 30, 50).seed(9));
     for (b, r) in [(1u32, 1u32), (20, 2), (20, 5), (50, 5)] {
         let result = MhKModes::new(
-            MhKModesConfig::new(30, Banding::new(b, r)).seed(9).max_iterations(40),
+            MhKModesConfig::new(30, Banding::new(b, r))
+                .seed(9)
+                .max_iterations(40),
         )
         .fit(&dataset);
         assert!(
@@ -82,7 +88,9 @@ fn empty_clusters_are_tolerated() {
     // k close to n forces many empty/singleton clusters through the run.
     let dataset = generate(&DatgenConfig::new(80, 40, 20).seed(2));
     let result = MhKModes::new(
-        MhKModesConfig::new(70, Banding::new(8, 2)).seed(2).max_iterations(20),
+        MhKModesConfig::new(70, Banding::new(8, 2))
+            .seed(2)
+            .max_iterations(20),
     )
     .fit(&dataset);
     assert_eq!(result.assignments.len(), 80);
@@ -94,11 +102,16 @@ fn parallel_threads_match_serial_quality() {
     let dataset = generate(&DatgenConfig::new(500, 50, 40).seed(13));
     let labels = dataset.labels().unwrap().to_vec();
     let serial = MhKModes::new(
-        MhKModesConfig::new(50, Banding::new(16, 3)).seed(13).max_iterations(30),
+        MhKModesConfig::new(50, Banding::new(16, 3))
+            .seed(13)
+            .max_iterations(30),
     )
     .fit(&dataset);
     let parallel = MhKModes::new(
-        MhKModesConfig::new(50, Banding::new(16, 3)).seed(13).max_iterations(30).threads(4),
+        MhKModesConfig::new(50, Banding::new(16, 3))
+            .seed(13)
+            .max_iterations(30)
+            .threads(4),
     )
     .fit(&dataset);
     let sp = purity(&predictions(&serial.assignments), &labels);

@@ -3,6 +3,7 @@
 //! the index". These tests verify exact equivalence whenever the shortlist
 //! provably contains the true best cluster, and bounded divergence otherwise.
 
+use lshclust::{ClusterSpec, Clusterer, Lsh, MixedDataset, NumericDataset};
 use lshclust_categorical::ClusterId;
 use lshclust_core::framework::CentroidModel;
 use lshclust_core::mhkmodes::{paired_run, KModesModel};
@@ -24,8 +25,15 @@ fn saturating_banding_replays_baseline_exactly() {
     let mh_costs: Vec<u64> = mh.summary.iterations.iter().map(|s| s.cost).collect();
     // MH setup absorbs the baseline's first full pass; iteration i of MH
     // corresponds to iteration i+1 of the baseline.
-    assert_eq!(&base_costs[1..], &mh_costs[..], "cost trajectories diverged");
-    assert_eq!(baseline.summary.n_iterations(), mh.summary.n_iterations() + 1);
+    assert_eq!(
+        &base_costs[1..],
+        &mh_costs[..],
+        "cost trajectories diverged"
+    );
+    assert_eq!(
+        baseline.summary.n_iterations(),
+        mh.summary.n_iterations() + 1
+    );
 }
 
 /// Restricted search over the exact full cluster set equals full search,
@@ -34,8 +42,12 @@ fn saturating_banding_replays_baseline_exactly() {
 fn best_among_full_candidate_set_equals_best_full() {
     let dataset = generate(&DatgenConfig::new(200, 25, 20).seed(8));
     let mut modes = initial_modes(&dataset, 25, InitMethod::RandomItems, 8);
-    let assignments: Vec<ClusterId> =
-        dataset.labels().unwrap().iter().map(|&l| ClusterId(l % 25)).collect();
+    let assignments: Vec<ClusterId> = dataset
+        .labels()
+        .unwrap()
+        .iter()
+        .map(|&l| ClusterId(l % 25))
+        .collect();
     modes.recompute(&dataset, &assignments);
     let model = KModesModel::new(&dataset, modes.clone());
     let all: Vec<ClusterId> = (0..25).map(ClusterId).collect();
@@ -59,7 +71,9 @@ fn shortlisted_pass_equals_full_pass_when_no_misses() {
     let assignments: Vec<ClusterId> = labels.iter().map(|&l| ClusterId(l)).collect();
     let mut modes = initial_modes(&dataset, 25, InitMethod::RandomItems, 4);
     modes.recompute(&dataset, &assignments);
-    let index = LshIndexBuilder::new(Banding::new(64, 1)).seed(4).build(&dataset, &assignments);
+    let index = LshIndexBuilder::new(Banding::new(64, 1))
+        .seed(4)
+        .build(&dataset, &assignments);
     let model = KModesModel::new(&dataset, modes);
     let mut scratch = index.make_scratch(25);
 
@@ -80,16 +94,23 @@ fn shortlisted_pass_equals_full_pass_when_no_misses() {
 #[test]
 fn shortlisted_choice_is_never_better_than_full_search() {
     let dataset = generate(&DatgenConfig::new(300, 40, 25).seed(6));
-    let good: Vec<ClusterId> =
-        dataset.labels().unwrap().iter().map(|&l| ClusterId(l)).collect();
+    let good: Vec<ClusterId> = dataset
+        .labels()
+        .unwrap()
+        .iter()
+        .map(|&l| ClusterId(l))
+        .collect();
     let mut modes = initial_modes(&dataset, 40, InitMethod::RandomItems, 6);
     modes.recompute(&dataset, &good);
     // Scrambled cluster references + strict banding: the true best cluster
     // can only reach the shortlist via a genuine cross-item collision, so
     // misses are guaranteed to occur and the miss path is exercised.
-    let scrambled: Vec<ClusterId> =
-        (0..dataset.n_items()).map(|i| ClusterId(((i * 7 + 3) % 40) as u32)).collect();
-    let index = LshIndexBuilder::new(Banding::new(2, 6)).seed(6).build(&dataset, &scrambled);
+    let scrambled: Vec<ClusterId> = (0..dataset.n_items())
+        .map(|i| ClusterId(((i * 7 + 3) % 40) as u32))
+        .collect();
+    let index = LshIndexBuilder::new(Banding::new(2, 6))
+        .seed(6)
+        .build(&dataset, &scrambled);
     let model = KModesModel::new(&dataset, modes);
     let mut scratch = index.make_scratch(40);
     let mut misses = 0;
@@ -106,4 +127,214 @@ fn shortlisted_choice_is_never_better_than_full_search() {
     // Sanity: this banding is strict enough that some misses occurred,
     // i.e. the assertion above was actually exercised on the miss path.
     assert!(misses > 0, "test banding unexpectedly saturated");
+}
+
+// ---------------------------------------------------------------------------
+// Facade equivalence: the unified `lshclust` front door must be a zero-cost
+// veneer — at equal seeds, facade runs are byte-identical to the legacy
+// per-algorithm entry points, and `Lsh::None` reproduces the exact baseline
+// of every modality.
+// ---------------------------------------------------------------------------
+
+/// Numeric columns derived deterministically from labels (blobs per label).
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+/// Categorical + MinHash: facade run vs `MhKModes::fit`, field for field.
+#[test]
+fn facade_minhash_is_byte_identical_to_legacy_mh_kmodes() {
+    use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+    let dataset = generate(&DatgenConfig::new(300, 30, 25).seed(17));
+    let spec = ClusterSpec::new(30)
+        .lsh(Lsh::MinHash { bands: 12, rows: 2 })
+        .seed(17)
+        .max_iterations(25);
+    let facade = Clusterer::new(spec)
+        .fit(&dataset)
+        .expect("categorical + MinHash is supported");
+
+    let legacy = MhKModes::new(
+        MhKModesConfig::new(30, Banding::new(12, 2))
+            .seed(17)
+            .max_iterations(25),
+    )
+    .fit(&dataset);
+
+    assert_eq!(facade.assignments, legacy.assignments);
+    assert_eq!(facade.centroids.modes(), Some(&legacy.modes));
+    assert_eq!(facade.summary.n_iterations(), legacy.summary.n_iterations());
+    assert_eq!(facade.summary.final_cost(), legacy.summary.final_cost());
+    assert_eq!(facade.index_stats, Some(legacy.index_stats));
+}
+
+/// Categorical + `Lsh::None`: facade run vs full-search `KModes::fit`.
+#[test]
+fn facade_none_reproduces_exact_kmodes_baseline() {
+    use lshclust_kmodes::{KModes, KModesConfig};
+    let dataset = generate(&DatgenConfig::new(250, 25, 20).seed(29));
+    let facade = Clusterer::new(ClusterSpec::new(25).seed(29).max_iterations(40))
+        .fit(&dataset)
+        .expect("categorical baseline is supported");
+    let legacy = KModes::new(KModesConfig::new(25).seed(29).max_iterations(40)).fit(&dataset);
+    assert_eq!(facade.assignments, legacy.assignments);
+    assert_eq!(facade.centroids.modes(), Some(&legacy.modes));
+    assert_eq!(facade.summary.final_cost(), legacy.summary.final_cost());
+    assert!(
+        facade.index_stats.is_none(),
+        "no index is built for the exact baseline"
+    );
+}
+
+/// Numeric + SimHash vs `mh_kmeans`, and numeric + `Lsh::None` vs `kmeans`.
+#[test]
+fn facade_matches_legacy_numeric_entry_points() {
+    use lshclust_core::mhkmeans::{mh_kmeans, MhKMeansConfig};
+    use lshclust_kmodes::kmeans::{kmeans, KMeansConfig};
+    let labels: Vec<u32> = (0..300).map(|i| (i % 20) as u32).collect();
+    let data = numeric_blobs(&labels, 6);
+
+    let facade = Clusterer::new(
+        ClusterSpec::new(20)
+            .lsh(Lsh::SimHash { bands: 8, rows: 8 })
+            .seed(5),
+    )
+    .fit(&data)
+    .expect("numeric + SimHash is supported");
+    let legacy = mh_kmeans(&data, &{
+        let mut config = MhKMeansConfig::new(20, 8, 8);
+        config.seed = 5;
+        config
+    });
+    assert_eq!(facade.assignments, legacy.assignments);
+    assert_eq!(
+        facade.centroids.means().map(|(_, v)| v.to_vec()),
+        Some(legacy.centroids)
+    );
+
+    let exact_facade = Clusterer::new(ClusterSpec::new(20).seed(5))
+        .fit(&data)
+        .expect("numeric baseline is supported");
+    let exact_legacy = kmeans(&data, &{
+        let mut config = KMeansConfig::new(20);
+        config.seed = 5;
+        config
+    });
+    let exact_ids: Vec<ClusterId> = exact_legacy
+        .assignments
+        .iter()
+        .map(|&c| ClusterId(c))
+        .collect();
+    assert_eq!(exact_facade.assignments, exact_ids);
+    assert_eq!(
+        exact_facade.centroids.means().map(|(_, v)| v.to_vec()),
+        Some(exact_legacy.centroids)
+    );
+}
+
+/// Mixed + Union vs `mh_kprototypes`, and mixed + `Lsh::None` vs
+/// `kprototypes`, at the facade's default γ (the `suggest_gamma` heuristic).
+#[test]
+fn facade_matches_legacy_mixed_entry_points() {
+    use lshclust_core::mhkprototypes::{mh_kprototypes, MhKPrototypesConfig};
+    use lshclust_kmodes::kprototypes::{kprototypes, suggest_gamma, KPrototypesConfig};
+    let categorical = generate(&DatgenConfig::new(300, 30, 15).seed(31));
+    let labels = categorical.labels().unwrap().to_vec();
+    let numeric = numeric_blobs(&labels, 6);
+    let data = MixedDataset::new(&categorical, &numeric);
+    let gamma = suggest_gamma(&numeric);
+
+    let union = Lsh::Union {
+        bands: 20,
+        rows: 5,
+        sim_bands: 8,
+        sim_rows: 16,
+    };
+    let facade = Clusterer::new(ClusterSpec::new(30).lsh(union).seed(31))
+        .fit(&data)
+        .expect("mixed + Union is supported");
+    let legacy = mh_kprototypes(&data, &{
+        let mut config = MhKPrototypesConfig::new(30, gamma);
+        config.seed = 31;
+        config
+    });
+    assert_eq!(facade.assignments, legacy.assignments);
+
+    let exact_facade = Clusterer::new(ClusterSpec::new(30).seed(31))
+        .fit(&data)
+        .expect("mixed baseline is supported");
+    let exact_legacy = kprototypes(&data, &{
+        let mut config = KPrototypesConfig::new(30, gamma);
+        config.seed = 31;
+        config
+    });
+    assert_eq!(exact_facade.assignments, exact_legacy.assignments);
+}
+
+/// The facade refuses specs that cannot run on the given modality instead
+/// of silently substituting something: SimHash on categorical data, MinHash
+/// on numeric data, and out-of-range `k` all surface a typed `SpecError`.
+#[test]
+fn facade_rejects_mismatched_schemes() {
+    use lshclust::SpecError;
+    let dataset = generate(&DatgenConfig::new(50, 5, 8).seed(1));
+    let labels = dataset.labels().unwrap().to_vec();
+    let numeric = numeric_blobs(&labels, 4);
+
+    let simhash = ClusterSpec::new(5).lsh(Lsh::SimHash { bands: 4, rows: 4 });
+    assert!(matches!(
+        Clusterer::new(simhash).fit(&dataset),
+        Err(SpecError::UnsupportedLsh {
+            modality: "categorical",
+            ..
+        })
+    ));
+    let minhash = ClusterSpec::new(5).lsh(Lsh::MinHash { bands: 4, rows: 2 });
+    assert!(matches!(
+        Clusterer::new(minhash).fit(&numeric),
+        Err(SpecError::UnsupportedLsh {
+            modality: "numeric",
+            ..
+        })
+    ));
+    let oversized = ClusterSpec::new(51);
+    assert!(matches!(
+        Clusterer::new(oversized).fit(&dataset),
+        Err(SpecError::InvalidK { k: 51, n_items: 50 })
+    ));
+}
+
+/// The acceptance-criteria round trip: a real run's `ClusterSpec` and
+/// `RunSummary` survive `serde_json` byte-exactly.
+#[test]
+fn spec_and_summary_round_trip_as_json() {
+    use lshclust::RunSummary;
+    let dataset = generate(&DatgenConfig::new(200, 20, 15).seed(3));
+    let spec = ClusterSpec::new(20)
+        .lsh(Lsh::MinHash { bands: 10, rows: 2 })
+        .seed(3)
+        .max_iterations(20);
+
+    let spec_json = serde_json::to_string(&spec).unwrap();
+    let spec_back: ClusterSpec = serde_json::from_str(&spec_json).unwrap();
+    assert_eq!(spec_back, spec);
+
+    let run = Clusterer::new(spec_back).fit(&dataset).unwrap();
+    let summary_json = serde_json::to_string(&run.summary).unwrap();
+    let summary_back: RunSummary = serde_json::from_str(&summary_json).unwrap();
+    assert_eq!(summary_back, run.summary);
+
+    let report_json = serde_json::to_string_pretty(&run.report()).unwrap();
+    let report_back: lshclust::RunReport = serde_json::from_str(&report_json).unwrap();
+    assert_eq!(report_back, run.report());
 }

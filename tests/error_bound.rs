@@ -14,10 +14,18 @@ fn setup(
     k: usize,
     m: usize,
     seed: u64,
-) -> (lshclust_categorical::Dataset, Vec<ClusterId>, lshclust_kmodes::Modes) {
+) -> (
+    lshclust_categorical::Dataset,
+    Vec<ClusterId>,
+    lshclust_kmodes::Modes,
+) {
     let dataset = generate(&DatgenConfig::new(n, k, m).seed(seed).balanced(true));
-    let assignments: Vec<ClusterId> =
-        dataset.labels().unwrap().iter().map(|&l| ClusterId(l)).collect();
+    let assignments: Vec<ClusterId> = dataset
+        .labels()
+        .unwrap()
+        .iter()
+        .map(|&l| ClusterId(l))
+        .collect();
     let mut modes = initial_modes(&dataset, k, InitMethod::RandomItems, seed);
     modes.recompute(&dataset, &assignments);
     (dataset, assignments, modes)
@@ -27,8 +35,9 @@ fn setup(
 fn measured_miss_rate_respects_mean_bound() {
     let (dataset, assignments, modes) = setup(600, 30, 40, 17);
     for (b, r) in [(1u32, 1u32), (20, 2), (20, 5), (50, 5)] {
-        let index =
-            LshIndexBuilder::new(Banding::new(b, r)).seed(17).build(&dataset, &assignments);
+        let index = LshIndexBuilder::new(Banding::new(b, r))
+            .seed(17)
+            .build(&dataset, &assignments);
         let report = audit(&dataset, &modes, &index, &assignments);
         assert!(
             report.miss_rate <= report.mean_analytic_bound + 0.02,
@@ -42,7 +51,9 @@ fn measured_miss_rate_respects_mean_bound() {
 #[test]
 fn generous_banding_never_misses_on_balanced_clusters() {
     let (dataset, assignments, modes) = setup(400, 20, 30, 23);
-    let index = LshIndexBuilder::new(Banding::new(100, 1)).seed(23).build(&dataset, &assignments);
+    let index = LshIndexBuilder::new(Banding::new(100, 1))
+        .seed(23)
+        .build(&dataset, &assignments);
     let report = audit(&dataset, &modes, &index, &assignments);
     assert_eq!(report.misses, 0, "{report:?}");
 }
@@ -65,13 +76,17 @@ fn miss_rate_increases_with_stricter_banding() {
     let loose = audit(
         &dataset,
         &modes,
-        &LshIndexBuilder::new(Banding::new(50, 1)).seed(29).build(&dataset, &assignments),
+        &LshIndexBuilder::new(Banding::new(50, 1))
+            .seed(29)
+            .build(&dataset, &assignments),
         &assignments,
     );
     let strict = audit(
         &dataset,
         &modes,
-        &LshIndexBuilder::new(Banding::new(2, 10)).seed(29).build(&dataset, &assignments),
+        &LshIndexBuilder::new(Banding::new(2, 10))
+            .seed(29)
+            .build(&dataset, &assignments),
         &assignments,
     );
     assert!(
@@ -89,8 +104,8 @@ fn audit_avg_shortlist_matches_run_observations() {
     use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
     let (dataset, _, _) = setup(300, 15, 25, 31);
     let banding = Banding::new(10, 2);
-    let result = MhKModes::new(MhKModesConfig::new(15, banding).seed(31).max_iterations(20))
-        .fit(&dataset);
+    let result =
+        MhKModes::new(MhKModesConfig::new(15, banding).seed(31).max_iterations(20)).fit(&dataset);
     // The run's observed average shortlist (over moves and reference updates)
     // must stay within [1, k].
     for s in &result.summary.iterations {

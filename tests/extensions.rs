@@ -54,7 +54,11 @@ fn streaming_matches_batch_quality_on_rule_data() {
     assert!(nmi > 0.9, "streaming nmi {nmi}");
     // Cluster count in the right order of magnitude (not n, not 1).
     assert!(clusterer.n_clusters() >= 80);
-    assert!(clusterer.n_clusters() <= 3 * 80, "{} clusters", clusterer.n_clusters());
+    assert!(
+        clusterer.n_clusters() <= 3 * 80,
+        "{} clusters",
+        clusterer.n_clusters()
+    );
 }
 
 #[test]
@@ -129,7 +133,10 @@ fn canopy_provider_clusters_comparable_to_lsh_provider() {
         &mut provider,
         assignments,
         std::time::Duration::ZERO,
-        &FitConfig { max_iterations: 30, ..FitConfig::default() },
+        &FitConfig {
+            max_iterations: 30,
+            ..FitConfig::default()
+        },
     );
     let canopy_purity = purity(&predictions(&run.assignments), &labels);
 
@@ -146,12 +153,17 @@ fn minibatch_quality_close_to_full_batch() {
     let dataset = generate(&DatgenConfig::new(600, 60, 30).seed(59));
     let labels = dataset.labels().unwrap().to_vec();
     let full = lshclust_kmodes::KModes::new(
-        lshclust_kmodes::KModesConfig::new(60).seed(59).max_iterations(30),
+        lshclust_kmodes::KModesConfig::new(60)
+            .seed(59)
+            .max_iterations(30),
     )
     .fit(&dataset);
     let mini = minibatch_kmodes(
         &dataset,
-        &MiniBatchConfig::new(60).batch_size(128).n_steps(40).seed(59),
+        &MiniBatchConfig::new(60)
+            .batch_size(128)
+            .n_steps(40)
+            .seed(59),
     );
     let fp = purity(&predictions(&full.assignments), &labels);
     let mp = purity(&predictions(&mini.assignments), &labels);

@@ -8,22 +8,17 @@ use lshclust_minhash::{Banding, QueryMode};
 use proptest::prelude::*;
 
 /// A random small dataset: `n` rows over `m` attributes with `domain` values.
-fn dataset_strategy(
-    max_items: usize,
-    m: usize,
-    domain: u32,
-) -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(prop::collection::vec(0..domain, m), 2..max_items).prop_map(
-        move |rows| {
-            let values: Vec<ValueId> =
-                rows.iter().flatten().map(|&v| ValueId(v)).collect();
-            Dataset::from_parts(Schema::anonymous(m), values, None)
-        },
-    )
+fn dataset_strategy(max_items: usize, m: usize, domain: u32) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(0..domain, m), 2..max_items).prop_map(move |rows| {
+        let values: Vec<ValueId> = rows.iter().flatten().map(|&v| ValueId(v)).collect();
+        Dataset::from_parts(Schema::anonymous(m), values, None)
+    })
 }
 
 fn arbitrary_assignments(n: usize, k: u32, salt: u32) -> Vec<ClusterId> {
-    (0..n).map(|i| ClusterId((i as u32).wrapping_mul(salt.max(1)) % k)).collect()
+    (0..n)
+        .map(|i| ClusterId((i as u32).wrapping_mul(salt.max(1)) % k))
+        .collect()
 }
 
 proptest! {

@@ -16,12 +16,13 @@ fn scaled_threshold(paper_threshold: f64, n_topics: usize) -> f64 {
     paper_threshold * (n_topics as f64).log10() / 2916f64.log10()
 }
 
-fn pipeline(n_topics: usize, per_topic: usize, threshold: f64, seed: u64)
-    -> (lshclust_categorical::Dataset, usize)
-{
-    let corpus = SyntheticCorpus::generate(
-        &CorpusConfig::new(n_topics, per_topic).seed(seed),
-    );
+fn pipeline(
+    n_topics: usize,
+    per_topic: usize,
+    threshold: f64,
+    seed: u64,
+) -> (lshclust_categorical::Dataset, usize) {
+    let corpus = SyntheticCorpus::generate(&CorpusConfig::new(n_topics, per_topic).seed(seed));
     let mut tfidf = TfIdf::new(corpus.n_topics);
     for (text, topic) in corpus.labelled_texts() {
         tfidf.add_document(topic, text);
@@ -39,7 +40,10 @@ fn tfidf_vocabulary_is_dominated_by_topic_keywords() {
     }
     let vocab = Vocabulary::select(&tfidf, scaled_threshold(0.7, 12), 10_000);
     assert!(!vocab.is_empty());
-    let keyword_like = vocab.iter().filter(|w| w.starts_with('t') && w.contains('k')).count();
+    let keyword_like = vocab
+        .iter()
+        .filter(|w| w.starts_with('t') && w.contains('k'))
+        .count();
     assert!(
         keyword_like * 10 >= vocab.len() * 8,
         "only {keyword_like}/{} vocabulary words look like topic keywords",
@@ -52,7 +56,9 @@ fn clustering_text_recovers_topics_better_than_chance() {
     let (dataset, k) = pipeline(15, 40, 0.7, 2);
     let labels = dataset.labels().unwrap().to_vec();
     let result = MhKModes::new(
-        MhKModesConfig::new(k, Banding::new(1, 1)).seed(2).max_iterations(20),
+        MhKModesConfig::new(k, Banding::new(1, 1))
+            .seed(2)
+            .max_iterations(20),
     )
     .fit(&dataset);
     let pred: Vec<u32> = result.assignments.iter().map(|c| c.0).collect();
@@ -66,10 +72,11 @@ fn clustering_text_recovers_topics_better_than_chance() {
 fn mh_and_baseline_have_comparable_purity_on_text() {
     let (dataset, k) = pipeline(10, 50, 0.7, 3);
     let labels = dataset.labels().unwrap().to_vec();
-    let baseline =
-        KModes::new(KModesConfig::new(k).seed(3).max_iterations(20)).fit(&dataset);
+    let baseline = KModes::new(KModesConfig::new(k).seed(3).max_iterations(20)).fit(&dataset);
     let mh = MhKModes::new(
-        MhKModesConfig::new(k, Banding::new(1, 1)).seed(3).max_iterations(20),
+        MhKModesConfig::new(k, Banding::new(1, 1))
+            .seed(3)
+            .max_iterations(20),
     )
     .fit(&dataset);
     let bp: Vec<u32> = baseline.assignments.iter().map(|c| c.0).collect();
@@ -85,7 +92,9 @@ fn lower_threshold_means_more_attributes_and_items_still_cluster() {
     assert!(lo.n_attrs() >= hi.n_attrs(), "0.3 vocab not larger");
     // Fig. 10 setting: 10-iteration cap still produces a usable clustering.
     let result = MhKModes::new(
-        MhKModesConfig::new(k, Banding::new(20, 5)).seed(4).max_iterations(10),
+        MhKModesConfig::new(k, Banding::new(20, 5))
+            .seed(4)
+            .max_iterations(10),
     )
     .fit(&lo);
     assert!(result.summary.n_iterations() <= 10);
@@ -96,9 +105,7 @@ fn mislabelled_questions_cap_achievable_purity() {
     // With 30% mislabels even a perfect clustering of the *text* cannot
     // exceed ~70% purity against recorded labels — the paper's explanation
     // for its low absolute purity, reproduced synthetically.
-    let corpus = SyntheticCorpus::generate(
-        &CorpusConfig::new(8, 60).mislabel_rate(0.3).seed(5),
-    );
+    let corpus = SyntheticCorpus::generate(&CorpusConfig::new(8, 60).mislabel_rate(0.3).seed(5));
     // At 30% mislabels over just 8 topics, keyword leakage flattens idf and
     // TF-IDF selection is not meaningful; vectorise over all tokens instead
     // (the purity ceiling, not the vocabulary, is under test here).
