@@ -1,13 +1,21 @@
 //! `cluster` — command-line clustering over CSV files, through the unified
-//! `lshclust` facade.
-//!
-//! The adoption path for a downstream user: put categorical data in a CSV
-//! (header row; optional `__label` column for purity reporting), pick `k`,
-//! and go.
+//! `lshclust` facade, with a train/serve split:
 //!
 //! ```text
-//! cluster --input data.csv --k 1000 [options]
+//! cluster fit      --input data.csv --k 1000 --model model.json [options]
+//! cluster predict  --model model.json --input new.csv [--output out.csv]
+//! cluster inspect  --model model.json
+//! ```
 //!
+//! `fit` trains and (optionally) saves a `FittedModel` artifact; `predict`
+//! loads one and assigns unseen rows — values are re-encoded under the
+//! model's training schema, so the CSV needs the same columns but may
+//! contain new category values (they match nothing); `inspect` summarises a
+//! saved artifact without touching any data.
+//!
+//! Shared `fit` options:
+//!
+//! ```text
 //!   --input FILE      input CSV (header; optional trailing __label column)
 //!   --output FILE     write per-item cluster ids as CSV (default: stdout summary only)
 //!   --k N             number of clusters (required unless --spec sets it)
@@ -17,18 +25,24 @@
 //!   --seed N          random seed (default 0)
 //!   --threads N       assignment threads (default 1 = paper-faithful)
 //!   --spec FILE       read a full ClusterSpec as JSON (overrides the flags above)
+//!   --warm-start FILE resume fitting from a saved model's centroids
+//!   --model FILE      save the trained model artifact as JSON
 //!   --dump-spec       print the effective spec as JSON and exit
 //!   --json FILE       write the run report (RunReport) as JSON
 //!   --quiet           suppress per-iteration progress
 //! ```
+//!
+//! Invoking with flags directly (`cluster --input … --k …`) still works and
+//! behaves as `fit`.
 
-use lshclust::{ClusterSpec, Clusterer, Lsh, RunSummary};
+use lshclust::{ClusterSpec, Clusterer, FittedModel, Lsh, RunSummary};
 use lshclust_categorical::io::read_csv;
+use lshclust_categorical::{AttrId, Dataset, ValueId, NOT_PRESENT};
 use lshclust_metrics::{normalized_mutual_information, purity};
 use std::io::Write;
 use std::process::ExitCode;
 
-struct Args {
+struct FitArgs {
     input: String,
     output: Option<String>,
     k: Option<usize>,
@@ -38,13 +52,83 @@ struct Args {
     seed: u64,
     threads: usize,
     spec_file: Option<String>,
+    warm_start: Option<String>,
+    model: Option<String>,
     dump_spec: bool,
     json: Option<String>,
     quiet: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
+struct PredictArgs {
+    model: String,
+    input: String,
+    output: Option<String>,
+    quiet: bool,
+}
+
+enum Command {
+    Fit(FitArgs),
+    Predict(PredictArgs),
+    Inspect { model: String },
+}
+
+const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv]\n  cluster inspect --model model.json";
+
+fn parse_predict(argv: &mut std::env::Args) -> Result<PredictArgs, String> {
+    let mut model = None;
+    let mut input = None;
+    let mut output = None;
+    let mut quiet = false;
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--model" => model = Some(value("--model")?),
+            "--input" => input = Some(value("--input")?),
+            "--output" => output = Some(value("--output")?),
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(PredictArgs {
+        model: model.ok_or("--model is required")?,
+        input: input.ok_or("--input is required")?,
+        output,
+        quiet,
+    })
+}
+
+fn parse_command() -> Result<Command, String> {
+    let mut argv = std::env::args();
+    let _ = argv.next(); // program name
+    match argv.next().as_deref() {
+        Some("fit") => Ok(Command::Fit(parse_fit(argv)?)),
+        Some("predict") => Ok(Command::Predict(parse_predict(&mut argv)?)),
+        Some("inspect") => {
+            let mut model = None;
+            while let Some(arg) = argv.next() {
+                match arg.as_str() {
+                    "--model" => model = argv.next(),
+                    other => return Err(format!("unknown argument {other}")),
+                }
+            }
+            Ok(Command::Inspect {
+                model: model.ok_or("--model is required")?,
+            })
+        }
+        // Legacy invocation: bare flags behave as `fit`.
+        Some(flag) if flag.starts_with("--") => {
+            let flags = std::iter::once(flag.to_owned()).chain(argv);
+            parse_fit(flags).map(Command::Fit)
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given".to_owned()),
+    }
+}
+
+/// Parses the `fit` grammar over any flag stream (subcommand or legacy).
+fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String> {
+    let mut it = flags.into_iter();
+    let mut args = FitArgs {
         input: String::new(),
         output: None,
         k: None,
@@ -54,14 +138,15 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         threads: 1,
         spec_file: None,
+        warm_start: None,
+        model: None,
         dump_spec: false,
         json: None,
         quiet: false,
     };
     let mut input = None;
-    let mut argv = std::env::args().skip(1);
-    while let Some(arg) = argv.next() {
-        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
             "--input" => input = Some(value("--input")?),
             "--output" => args.output = Some(value("--output")?),
@@ -92,13 +177,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--threads: {e}"))?
             }
             "--spec" => args.spec_file = Some(value("--spec")?),
+            "--warm-start" => args.warm_start = Some(value("--warm-start")?),
+            "--model" => args.model = Some(value("--model")?),
             "--dump-spec" => args.dump_spec = true,
             "--json" => args.json = Some(value("--json")?),
             "--quiet" => args.quiet = true,
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    // `--dump-spec` never touches the input, so only require it otherwise.
     if let Some(input) = input {
         args.input = input;
     } else if !args.dump_spec {
@@ -110,7 +196,7 @@ fn parse_args() -> Result<Args, String> {
 
 /// The effective spec: either `--spec FILE` JSON verbatim, or assembled from
 /// the individual flags (`--bands 0` selects the exact baseline).
-fn build_spec(args: &Args) -> Result<ClusterSpec, String> {
+fn build_spec(args: &FitArgs) -> Result<ClusterSpec, String> {
     if let Some(path) = &args.spec_file {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         return serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"));
@@ -153,43 +239,44 @@ fn report(summary: &RunSummary, quiet: bool) {
     );
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}\nrun with: cluster --input data.csv --k N [options]");
-            return ExitCode::FAILURE;
-        }
-    };
-    let spec = match build_spec(&args) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn load_csv(path: &str) -> Result<Dataset, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_csv(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn write_assignments(path: &str, assignments: &[u32]) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut out = std::io::BufWriter::new(file);
+    let io = |e: std::io::Error| format!("cannot write {path}: {e}");
+    writeln!(out, "item,cluster").map_err(io)?;
+    for (i, c) in assignments.iter().enumerate() {
+        writeln!(out, "{i},{c}").map_err(io)?;
+    }
+    out.flush().map_err(io)?;
+    eprintln!("wrote {} assignments to {path}", assignments.len());
+    Ok(())
+}
+
+fn score_against_labels(assignments: &[u32], dataset: &Dataset) {
+    if let Some(labels) = dataset.labels() {
+        eprintln!(
+            "purity {:.4}  nmi {:.4}  (against the __label column)",
+            purity(assignments, labels),
+            normalized_mutual_information(assignments, labels)
+        );
+    }
+}
+
+fn run_fit(args: FitArgs) -> Result<(), String> {
+    let spec = build_spec(&args)?;
     if args.dump_spec {
         println!(
             "{}",
             serde_json::to_string_pretty(&spec).expect("spec serializes")
         );
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
-
-    let file = match std::fs::File::open(&args.input) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("error: cannot open {}: {e}", args.input);
-            return ExitCode::FAILURE;
-        }
-    };
-    let dataset = match read_csv(std::io::BufReader::new(file)) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: {}: {e}", args.input);
-            return ExitCode::FAILURE;
-        }
-    };
+    let dataset = load_csv(&args.input)?;
     eprintln!(
         "{}: {} items x {} attrs{}",
         args.input,
@@ -202,56 +289,187 @@ fn main() -> ExitCode {
         }
     );
     eprintln!(
-        "running {} (k={}, seed={}) ...",
+        "running {} (k={}, seed={}{}) ...",
         match spec.lsh {
             Lsh::None => "K-Modes (full search)".to_owned(),
             Lsh::MinHash { bands, rows } => format!("MH-K-Modes ({bands}b{rows}r)"),
             other => format!("Lsh::{}", other.name()),
         },
         spec.k,
-        spec.seed
+        spec.seed,
+        if args.warm_start.is_some() {
+            ", warm start"
+        } else {
+            ""
+        },
     );
 
-    let run = match Clusterer::new(spec).fit(&dataset) {
-        Ok(run) => run,
+    let clusterer = match &args.warm_start {
+        Some(path) => {
+            let model = FittedModel::load(path).map_err(|e| format!("{path}: {e}"))?;
+            spec.warm_start(&model)
+        }
+        None => Clusterer::new(spec),
+    };
+    let run = clusterer.fit(&dataset).map_err(|e| e.to_string())?;
+    report(&run.summary, args.quiet);
+    let assignments = run.labels();
+    score_against_labels(&assignments, &dataset);
+
+    if let Some(path) = &args.model {
+        run.model.save(path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "wrote model artifact ({}, k={}) to {path}",
+            run.model.modality(),
+            run.model.k()
+        );
+    }
+    if let Some(path) = &args.json {
+        let text = serde_json::to_string_pretty(&run.report()).expect("report serializes");
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote run report to {path}");
+    }
+    if let Some(path) = &args.output {
+        write_assignments(path, &assignments)?;
+    }
+    Ok(())
+}
+
+fn run_predict(args: PredictArgs) -> Result<(), String> {
+    let model = FittedModel::load(&args.model).map_err(|e| format!("{}: {e}", args.model))?;
+    eprintln!(
+        "{}: {} model, k={}, lsh {}{}",
+        args.model,
+        model.modality(),
+        model.k(),
+        model.spec().lsh.name(),
+        if model.has_index() {
+            " (shortlisted)"
+        } else {
+            " (full search)"
+        },
+    );
+    let dataset = load_csv(&args.input)?;
+    let t = std::time::Instant::now();
+    // The CSV was interned under its own dictionaries; translate its ids to
+    // the *model's* training schema so they align. Both dictionaries are
+    // frozen, so one per-attribute id→id table (unseen values map to
+    // NOT_PRESENT and match no centroid value) translates every cell with a
+    // single index — no per-row string round-trips. The translated batch
+    // then goes through the batched predict path: one scratch per thread,
+    // fanned over the model's configured thread count.
+    let schema = model
+        .schema()
+        .ok_or_else(|| format!("{} models cannot serve CSV rows", model.modality()))?
+        .clone();
+    if schema.n_attrs() != dataset.n_attrs() {
+        return Err(format!(
+            "{} has {} attributes, model expects {}",
+            args.input,
+            dataset.n_attrs(),
+            schema.n_attrs()
+        ));
+    }
+    let tables: Vec<Vec<ValueId>> = (0..schema.n_attrs())
+        .map(|a| {
+            let attr = AttrId(a as u32);
+            let model_dict = schema.dictionary(attr);
+            dataset
+                .schema()
+                .dictionary(attr)
+                .iter()
+                .map(|(_, name)| model_dict.get(name).unwrap_or(NOT_PRESENT))
+                .collect()
+        })
+        .collect();
+    let mut values = Vec::with_capacity(dataset.n_items() * dataset.n_attrs());
+    for i in 0..dataset.n_items() {
+        for (table, &v) in tables.iter().zip(dataset.row(i)) {
+            values.push(if v == NOT_PRESENT {
+                NOT_PRESENT
+            } else {
+                table[v.idx()]
+            });
+        }
+    }
+    let batch = Dataset::from_parts(schema, values, None);
+    let assignments: Vec<u32> = model
+        .predict(&batch)
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .map(|c| c.0)
+        .collect();
+    let elapsed = t.elapsed();
+    if !args.quiet {
+        eprintln!(
+            "assigned {} items in {:.3}s ({:.0} items/s)",
+            assignments.len(),
+            elapsed.as_secs_f64(),
+            assignments.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        );
+    }
+    score_against_labels(&assignments, &dataset);
+    if let Some(path) = &args.output {
+        write_assignments(path, &assignments)?;
+    }
+    Ok(())
+}
+
+fn run_inspect(path: &str) -> Result<(), String> {
+    let model = FittedModel::load(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = model.spec();
+    println!("artifact:  {path}");
+    println!(
+        "format:    {} v{}",
+        lshclust::MODEL_FORMAT,
+        lshclust::MODEL_VERSION
+    );
+    println!("modality:  {}", model.modality());
+    println!("clusters:  {}", model.k());
+    match (model.schema(), model.dim()) {
+        (Some(schema), Some(dim)) => println!("shape:     {} attrs + {dim} dims", schema.n_attrs()),
+        (Some(schema), None) => println!("shape:     {} attrs", schema.n_attrs()),
+        (None, Some(dim)) => println!("shape:     {dim} dims"),
+        (None, None) => {}
+    }
+    println!(
+        "lsh:       {} ({})",
+        spec.lsh.name(),
+        if model.has_index() {
+            "centroid index active"
+        } else {
+            "full-search serving"
+        }
+    );
+    if let Some(gamma) = model.gamma() {
+        println!("gamma:     {gamma}");
+    }
+    println!("seed:      {}", spec.seed);
+    println!(
+        "spec:      {}",
+        serde_json::to_string(spec).expect("spec serializes")
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let command = match parse_command() {
+        Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error: {e}\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
-    report(&run.summary, args.quiet);
-    let assignments = run.labels();
-
-    if let Some(labels) = dataset.labels() {
-        eprintln!(
-            "purity {:.4}  nmi {:.4}  (against the __label column)",
-            purity(&assignments, labels),
-            normalized_mutual_information(&assignments, labels)
-        );
-    }
-
-    if let Some(path) = &args.json {
-        let text = serde_json::to_string_pretty(&run.report()).expect("report serializes");
-        if let Err(e) = std::fs::write(path, text) {
-            eprintln!("error: cannot write {path}: {e}");
-            return ExitCode::FAILURE;
+    let outcome = match command {
+        Command::Fit(args) => run_fit(args),
+        Command::Predict(args) => run_predict(args),
+        Command::Inspect { model } => run_inspect(&model),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
         }
-        eprintln!("wrote run report to {path}");
     }
-
-    if let Some(path) = &args.output {
-        let mut out = match std::fs::File::create(path) {
-            Ok(f) => std::io::BufWriter::new(f),
-            Err(e) => {
-                eprintln!("error: cannot create {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let _ = writeln!(out, "item,cluster");
-        for (i, c) in assignments.iter().enumerate() {
-            let _ = writeln!(out, "{i},{c}");
-        }
-        eprintln!("wrote {} assignments to {path}", assignments.len());
-    }
-    ExitCode::SUCCESS
 }

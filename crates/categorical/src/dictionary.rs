@@ -6,6 +6,7 @@
 //! bundles one dictionary per attribute together with attribute names.
 
 use crate::types::{AttrId, ValueId, NOT_PRESENT};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use std::collections::HashMap;
 
 /// Interner for one attribute's category values.
@@ -144,6 +145,90 @@ impl Schema {
     }
 }
 
+// A schema serializes as one entry per attribute carrying the name, the
+// dictionary's values in id order, and the registered absent value (if any):
+// `{"attrs": [{"name": "a0", "values": ["x", "y"], "absent": null}, …]}`.
+// Interning the value list back in order reproduces the exact same dense
+// ids, so encoded datasets and saved models stay aligned across processes.
+impl Serialize for Schema {
+    fn to_value(&self) -> Value {
+        let attrs = (0..self.n_attrs())
+            .map(|a| {
+                let attr = AttrId(a as u32);
+                let values = self
+                    .dictionary(attr)
+                    .iter()
+                    .map(|(_, name)| Value::String(name.to_owned()))
+                    .collect();
+                Value::Object(vec![
+                    (
+                        "name".to_owned(),
+                        Value::String(self.attr_name(attr).to_owned()),
+                    ),
+                    ("values".to_owned(), Value::Array(values)),
+                    (
+                        "absent".to_owned(),
+                        Serialize::to_value(&self.absent_value(attr)),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Object(vec![("attrs".to_owned(), Value::Array(attrs))])
+    }
+}
+
+impl Deserialize for Schema {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let attrs = v
+            .get("attrs")
+            .and_then(Value::as_array)
+            .ok_or_else(|| SerdeError::expected("object with `attrs` array", "Schema"))?;
+        let mut names = Vec::with_capacity(attrs.len());
+        for entry in attrs {
+            let name = entry
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| SerdeError::expected("attribute `name` string", "Schema"))?;
+            names.push(name.to_owned());
+        }
+        let mut schema = Schema::new(names);
+        for (a, entry) in attrs.iter().enumerate() {
+            let attr = AttrId(a as u32);
+            let values = entry
+                .get("values")
+                .and_then(Value::as_array)
+                .ok_or_else(|| SerdeError::expected("attribute `values` array", "Schema"))?;
+            for (i, value) in values.iter().enumerate() {
+                let name = value
+                    .as_str()
+                    .ok_or_else(|| SerdeError::expected("string value", "Schema"))?;
+                // Interning dedups, so a duplicated entry would silently
+                // shift every later id away from the serialized ordering —
+                // reject the artifact instead.
+                let id = schema.dictionary_mut(attr).intern(name);
+                if id.idx() != i {
+                    return Err(SerdeError(format!(
+                        "duplicate value `{name}` in the dictionary of attribute {a}"
+                    )));
+                }
+            }
+            let absent: Option<ValueId> = match entry.get("absent") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => None,
+            };
+            if let Some(value) = absent {
+                if value.idx() >= schema.dictionary(attr).len() && value != NOT_PRESENT {
+                    return Err(SerdeError(format!(
+                        "absent value {value} out of range for attribute {a}"
+                    )));
+                }
+                schema.set_absent_value(attr, value);
+            }
+        }
+        Ok(schema)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +296,61 @@ mod tests {
         let s = Schema::anonymous(3);
         assert_eq!(s.n_attrs(), 3);
         assert_eq!(s.attr_name(AttrId(2)), "a2");
+    }
+
+    #[test]
+    fn schema_round_trips_through_value_tree() {
+        let mut s = Schema::new(vec!["colour".into(), "word-presence".into()]);
+        s.dictionary_mut(AttrId(0)).intern("red");
+        s.dictionary_mut(AttrId(0)).intern("blue");
+        let no = s.dictionary_mut(AttrId(1)).intern("absent");
+        s.dictionary_mut(AttrId(1)).intern("present");
+        s.set_absent_value(AttrId(1), no);
+
+        let back = Schema::from_value(&s.to_value()).unwrap();
+        assert_eq!(back.n_attrs(), 2);
+        assert_eq!(back.attr_name(AttrId(0)), "colour");
+        assert_eq!(back.dictionary(AttrId(0)).get("blue"), Some(ValueId(1)));
+        assert_eq!(back.absent_value(AttrId(1)), Some(no));
+        assert!(back.is_absent(AttrId(1), no));
+        // Round-trip is a fixpoint at the value-tree level.
+        assert_eq!(back.to_value(), s.to_value());
+    }
+
+    #[test]
+    fn schema_deserialize_rejects_duplicate_values() {
+        let dup = Value::Object(vec![(
+            "attrs".to_owned(),
+            Value::Array(vec![Value::Object(vec![
+                ("name".to_owned(), Value::String("a0".to_owned())),
+                (
+                    "values".to_owned(),
+                    Value::Array(vec![
+                        Value::String("red".to_owned()),
+                        Value::String("blue".to_owned()),
+                        Value::String("red".to_owned()),
+                    ]),
+                ),
+                ("absent".to_owned(), Value::Null),
+            ])]),
+        )]);
+        let err = Schema::from_value(&dup).unwrap_err();
+        assert!(err.0.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn schema_deserialize_rejects_out_of_range_absent() {
+        let mut s = Schema::anonymous(1);
+        s.dictionary_mut(AttrId(0)).intern("x");
+        let mut v = s.to_value();
+        if let Value::Object(entries) = &mut v {
+            if let Value::Array(attrs) = &mut entries[0].1 {
+                if let Value::Object(fields) = &mut attrs[0] {
+                    fields[2].1 = Serialize::to_value(&7u32); // absent id 7, domain size 1
+                }
+            }
+        }
+        assert!(Schema::from_value(&v).is_err());
     }
 
     #[test]

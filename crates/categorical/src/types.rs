@@ -66,6 +66,25 @@ impl_idx!(AttrId);
 impl_idx!(ValueId);
 impl_idx!(ClusterId);
 
+// The index newtypes serialize as their plain inner number so JSON stays
+// flat (`"values": [0, 3, 4294967295]`, not an object per cell).
+macro_rules! impl_serde_idx {
+    ($($t:ident),+) => {$(
+        impl serde::Serialize for $t {
+            fn to_value(&self) -> serde::Value {
+                serde::Serialize::to_value(&self.0)
+            }
+        }
+        impl serde::Deserialize for $t {
+            fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+                <u32 as serde::Deserialize>::from_value(v).map($t)
+            }
+        }
+    )+};
+}
+
+impl_serde_idx!(ItemId, AttrId, ValueId, ClusterId);
+
 #[cfg(test)]
 mod tests {
     use super::*;

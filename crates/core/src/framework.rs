@@ -100,9 +100,78 @@ serde::impl_serde_struct!(StopPolicy {
     stop_on_cost_increase
 });
 
-/// Former name of [`StopPolicy`].
-#[deprecated(note = "renamed to StopPolicy; configure stops through lshclust::ClusterSpec")]
-pub type FitConfig = StopPolicy;
+/// What one assignment pass did — returned by [`assign_once`] and
+/// [`assign_full`] so callers can drive their own convergence logic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AssignOutcome {
+    /// Items that changed cluster during the pass.
+    pub moves: usize,
+    /// Summed shortlist sizes over all items (for `avg_candidates`; equals
+    /// `n × k` for a full-search pass).
+    pub shortlist_total: usize,
+}
+
+/// One **shortlisted assignment pass** (Algorithm 2's modified assignment
+/// step, extracted from the [`fit`] loop so serving paths can reuse it):
+/// each item is shortlisted, searched among its candidates, and moved —
+/// with the provider's cluster reference updated — when a better cluster is
+/// found. Items with an empty shortlist keep their current assignment.
+///
+/// The pass is Gauss–Seidel: a move is visible to later items of the same
+/// pass through the provider's cluster references.
+pub fn assign_once<M: CentroidModel, P: ShortlistProvider>(
+    model: &M,
+    provider: &mut P,
+    assignments: &mut [ClusterId],
+) -> AssignOutcome {
+    assert_eq!(
+        assignments.len(),
+        model.n_items(),
+        "one starting assignment per item"
+    );
+    let mut outcome = AssignOutcome::default();
+    let mut shortlist = Vec::new();
+    for item in 0..assignments.len() as u32 {
+        provider.shortlist(item, &mut shortlist);
+        outcome.shortlist_total += shortlist.len();
+        let current = assignments[item as usize];
+        let chosen = match model.best_among(item, &shortlist) {
+            Some((c, _)) => c,
+            // Empty shortlist (only possible when self-collision is
+            // disabled): keep the current assignment.
+            None => current,
+        };
+        if chosen != current {
+            assignments[item as usize] = chosen;
+            outcome.moves += 1;
+            provider.record_assignment(item, chosen);
+        }
+    }
+    outcome
+}
+
+/// One **full-search assignment pass** over all `k` centroids — the
+/// baseline step every family shares, and the initial pass of every
+/// accelerated run (the paper's step 2).
+pub fn assign_full<M: CentroidModel>(model: &M, assignments: &mut [ClusterId]) -> AssignOutcome {
+    assert_eq!(
+        assignments.len(),
+        model.n_items(),
+        "one starting assignment per item"
+    );
+    let mut moves = 0usize;
+    for (item, slot) in assignments.iter_mut().enumerate() {
+        let (c, _) = model.best_full(item as u32);
+        if c != *slot {
+            moves += 1;
+            *slot = c;
+        }
+    }
+    AssignOutcome {
+        moves,
+        shortlist_total: assignments.len() * model.k(),
+    }
+}
 
 /// Outcome of an accelerated run.
 #[derive(Clone, Debug)]
@@ -135,27 +204,10 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
     let mut iterations = Vec::new();
     let mut converged = false;
     let mut prev_cost = f64::INFINITY;
-    let mut shortlist = Vec::new();
     for iteration in 1..=config.max_iterations {
         let t = Instant::now();
-        let mut moves = 0usize;
-        let mut shortlist_total = 0usize;
-        for item in 0..n as u32 {
-            provider.shortlist(item, &mut shortlist);
-            shortlist_total += shortlist.len();
-            let current = assignments[item as usize];
-            let chosen = match model.best_among(item, &shortlist) {
-                Some((c, _)) => c,
-                // Empty shortlist (only possible when self-collision is
-                // disabled): keep the current assignment.
-                None => current,
-            };
-            if chosen != current {
-                assignments[item as usize] = chosen;
-                moves += 1;
-                provider.record_assignment(item, chosen);
-            }
-        }
+        let pass = assign_once(model, provider, &mut assignments);
+        let moves = pass.moves;
         model.update_centroids(&assignments);
         let cost = model.total_cost(&assignments);
         iterations.push(IterationStats {
@@ -165,7 +217,7 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
             avg_candidates: if n == 0 {
                 0.0
             } else {
-                shortlist_total as f64 / n as f64
+                pass.shortlist_total as f64 / n as f64
             },
             cost: cost as u64,
         });
@@ -419,6 +471,48 @@ mod tests {
         let total_moves: usize = run.summary.iterations.iter().map(|s| s.moves).sum();
         assert_eq!(provider.records, total_moves);
         assert!(total_moves >= 3); // the three far items had to move
+    }
+
+    #[test]
+    fn assign_full_finds_per_item_optimum() {
+        let model = line_model();
+        let mut assignments = vec![ClusterId(0); 6];
+        let outcome = assign_full(&model, &mut assignments);
+        assert_eq!(outcome.moves, 3); // the three items near centroid 100
+        assert_eq!(outcome.shortlist_total, 6 * 2);
+        for item in 0..6u32 {
+            assert_eq!(assignments[item as usize], model.best_full(item).0);
+        }
+        // A second pass is a fixpoint.
+        assert_eq!(assign_full(&model, &mut assignments).moves, 0);
+    }
+
+    #[test]
+    fn assign_once_with_saturating_provider_matches_assign_full() {
+        let model = line_model();
+        let mut provider = FullProvider { k: 2 };
+        let mut shortlisted = vec![ClusterId(0); 6];
+        let pass = assign_once(&model, &mut provider, &mut shortlisted);
+        let mut full = vec![ClusterId(0); 6];
+        assign_full(&model, &mut full);
+        assert_eq!(shortlisted, full);
+        assert_eq!(pass.shortlist_total, 6 * 2);
+    }
+
+    #[test]
+    fn assign_once_empty_shortlist_keeps_assignment() {
+        struct EmptyProvider;
+        impl ShortlistProvider for EmptyProvider {
+            fn shortlist(&mut self, _item: u32, out: &mut Vec<ClusterId>) {
+                out.clear();
+            }
+            fn record_assignment(&mut self, _item: u32, _cluster: ClusterId) {}
+        }
+        let model = line_model();
+        let mut assignments = vec![ClusterId(1); 6];
+        let pass = assign_once(&model, &mut EmptyProvider, &mut assignments);
+        assert_eq!(pass.moves, 0);
+        assert_eq!(assignments, vec![ClusterId(1); 6]);
     }
 
     #[test]

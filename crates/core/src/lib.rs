@@ -73,5 +73,8 @@ pub mod mhkprototypes;
 pub mod parallel;
 pub mod streaming;
 
-pub use framework::{AcceleratedRun, CentroidModel, ShortlistProvider, StopPolicy};
+pub use framework::{
+    assign_full, assign_once, AcceleratedRun, AssignOutcome, CentroidModel, ShortlistProvider,
+    StopPolicy,
+};
 pub use mhkmodes::{MhKModes, MhKModesConfig, MhKModesResult};

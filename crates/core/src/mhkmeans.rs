@@ -118,12 +118,23 @@ impl CentroidModel for KMeansModel<'_> {
 
 /// SimHash LSH index over numeric items, with per-item cluster references —
 /// the numeric twin of `lshclust_minhash::LshIndex`.
+///
+/// The hyperplane family and the centring vector are retained so unseen
+/// query vectors can be hashed into the same bucket universe
+/// ([`Self::shortlist_for_vector`], the serving path of `lshclust`'s
+/// `FittedModel`).
+#[derive(Clone)]
 pub struct SimHashIndex {
     /// `n_items × bands` band keys, item-major.
     band_keys: Vec<u64>,
     buckets: Vec<FastMap<u64, Vec<u32>>>,
     cluster_of: Vec<ClusterId>,
     bands: u32,
+    rows: u32,
+    /// The hyperplane family used at build time (needed to hash queries).
+    sim: SimHash,
+    /// The mean vector subtracted before hashing (see [`Self::build`]).
+    mean: Vec<f64>,
 }
 
 impl SimHashIndex {
@@ -178,6 +189,9 @@ impl SimHashIndex {
             buckets,
             cluster_of: initial.to_vec(),
             bands,
+            rows,
+            sim,
+            mean,
         }
     }
 
@@ -193,10 +207,50 @@ impl SimHashIndex {
 
     /// Collects the distinct clusters of items colliding with `item`.
     pub fn shortlist_into(&self, item: u32, out: &mut Vec<ClusterId>, seen: &mut FastSet<u32>) {
-        out.clear();
-        seen.clear();
         let b = self.bands as usize;
         let keys = &self.band_keys[item as usize * b..(item as usize + 1) * b];
+        self.shortlist_for_keys(keys, out, seen);
+    }
+
+    /// Collects the distinct clusters of indexed items colliding with an
+    /// **unseen vector**: the vector is centred with the index's stored mean,
+    /// hashed by the same hyperplane family, and its band buckets are probed.
+    /// This is the serving-time query of a centroid index.
+    ///
+    /// Allocating convenience wrapper; batch callers should hold a
+    /// [`VectorQueryScratch`] and use [`Self::shortlist_for_vector_with`].
+    pub fn shortlist_for_vector(
+        &self,
+        v: &[f64],
+        out: &mut Vec<ClusterId>,
+        seen: &mut FastSet<u32>,
+    ) {
+        let mut scratch = VectorQueryScratch::default();
+        self.shortlist_for_vector_with(v, &mut scratch, out, seen);
+    }
+
+    /// [`Self::shortlist_for_vector`] with reused hashing buffers — the
+    /// allocation-free form of the serving hot path.
+    pub fn shortlist_for_vector_with(
+        &self,
+        v: &[f64],
+        scratch: &mut VectorQueryScratch,
+        out: &mut Vec<ClusterId>,
+        seen: &mut FastSet<u32>,
+    ) {
+        scratch.centred.clear();
+        scratch
+            .centred
+            .extend(v.iter().zip(&self.mean).map(|(x, m)| x - m));
+        self.sim.signature_into(&scratch.centred, &mut scratch.sig);
+        self.sim
+            .band_keys_into(&scratch.sig, self.bands, self.rows, &mut scratch.keys);
+        self.shortlist_for_keys(&scratch.keys, out, seen);
+    }
+
+    fn shortlist_for_keys(&self, keys: &[u64], out: &mut Vec<ClusterId>, seen: &mut FastSet<u32>) {
+        out.clear();
+        seen.clear();
         for (band, key) in keys.iter().enumerate() {
             if let Some(members) = self.buckets[band].get(key) {
                 for &other in members {
@@ -208,6 +262,14 @@ impl SimHashIndex {
             }
         }
     }
+}
+
+/// Reusable hashing buffers for [`SimHashIndex::shortlist_for_vector_with`].
+#[derive(Default)]
+pub struct VectorQueryScratch {
+    centred: Vec<f64>,
+    sig: Vec<u64>,
+    keys: Vec<u64>,
 }
 
 /// [`ShortlistProvider`] wrapper around [`SimHashIndex`].
@@ -284,13 +346,23 @@ pub struct MhKMeansResult {
 pub fn mh_kmeans(data: &NumericDataset, config: &MhKMeansConfig) -> MhKMeansResult {
     let setup_start = Instant::now();
     let centroids = kmeans_initial_centroids(data, config.k, config.init, config.seed);
+    mh_kmeans_from(data, config, centroids, setup_start)
+}
+
+/// Runs LSH-accelerated K-Means from explicit initial centroids (`k × dim`,
+/// row-major) — the warm-start path used by `lshclust`'s
+/// `ClusterSpec::warm_start`. `setup_start` should be the instant
+/// initialisation began so setup time is complete.
+pub fn mh_kmeans_from(
+    data: &NumericDataset,
+    config: &MhKMeansConfig,
+    centroids: Vec<f64>,
+    setup_start: Instant,
+) -> MhKMeansResult {
     let mut model = KMeansModel::new(data, centroids, config.k);
     // Initial full assignment, mirroring MH-K-Modes step 2.
-    let n = data.n_items();
-    let mut assignments = vec![ClusterId(0); n];
-    for (item, slot) in assignments.iter_mut().enumerate() {
-        *slot = model.best_full(item as u32).0;
-    }
+    let mut assignments = vec![ClusterId(0); data.n_items()];
+    framework::assign_full(&model, &mut assignments);
     model.update_centroids(&assignments);
     let index = SimHashIndex::build(data, config.bands, config.rows, config.seed, &assignments);
     let mut provider = SimHashProvider::new(index);

@@ -14,7 +14,7 @@
 
 use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
 use lshclust_categorical::{ClusterId, Dataset};
-use lshclust_kmodes::assign::{assign_all_full, best_cluster_among, best_cluster_full};
+use lshclust_kmodes::assign::{best_cluster_among, best_cluster_full};
 use lshclust_kmodes::cost::total_cost;
 use lshclust_kmodes::init::{initial_modes, InitMethod};
 use lshclust_kmodes::modes::Modes;
@@ -259,7 +259,7 @@ impl MhKModes {
         // Step 2: initial full assignment over all k clusters.
         let mut assignments = vec![ClusterId(0); n];
         let mut model = KModesModel::new(dataset, modes);
-        assign_all_full(dataset, model.modes(), &mut assignments);
+        framework::assign_full(&model, &mut assignments);
         // Refresh modes once so the first shortlisted pass works against
         // up-to-date centroids (equivalent to the tail of a baseline
         // iteration; counted in setup).

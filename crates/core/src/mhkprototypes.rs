@@ -191,14 +191,27 @@ pub fn mh_kprototypes(
     let setup_start = Instant::now();
     let picks = lshclust_kmodes::init::sample_distinct_items(data.n_items(), config.k, config.seed);
     let prototypes = Prototypes::from_items(data, &picks);
+    mh_kprototypes_from(data, config, prototypes, setup_start)
+}
+
+/// Runs LSH-accelerated K-Prototypes from explicit initial prototypes — the
+/// warm-start path used by `lshclust`'s `ClusterSpec::warm_start`.
+pub fn mh_kprototypes_from(
+    data: &MixedDataset<'_>,
+    config: &MhKPrototypesConfig,
+    prototypes: Prototypes,
+    setup_start: Instant,
+) -> MhKPrototypesResult {
+    assert_eq!(
+        prototypes.k(),
+        config.k,
+        "initial prototypes disagree with k"
+    );
     let mut model = KPrototypesModel::new(data, prototypes, config.gamma);
 
     // Initial full assignment.
-    let n = data.n_items();
-    let mut assignments = vec![ClusterId(0); n];
-    for (item, slot) in assignments.iter_mut().enumerate() {
-        *slot = model.best_full(item as u32).0;
-    }
+    let mut assignments = vec![ClusterId(0); data.n_items()];
+    framework::assign_full(&model, &mut assignments);
     model.update_centroids(&assignments);
 
     // One index per modality, sharing cluster references through the union.

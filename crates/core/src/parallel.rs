@@ -83,6 +83,41 @@ pub fn parallel_fit<M: CentroidModel + Sync>(
     }
 }
 
+/// Fans an item-indexed map over `threads` crossbeam scoped threads, with
+/// one `scratch` (built by `init`) per thread — the batched-assignment
+/// primitive shared by the fit-time parallel pass and the serving-time
+/// `FittedModel::predict` path in `lshclust`.
+///
+/// Returns `f(0), f(1), …, f(n-1)` in item order. With `threads <= 1` the
+/// map runs inline on the calling thread, spawning nothing.
+pub fn chunked_map<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send + Clone + Default,
+    I: Fn() -> S + Sync,
+    F: Fn(u32, &mut S) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let mut scratch = init();
+        return (0..n as u32).map(|item| f(item, &mut scratch)).collect();
+    }
+    let chunk = n.div_ceil(threads).max(1);
+    let mut out = vec![T::default(); n];
+    crossbeam::thread::scope(|scope| {
+        for (tid, slice) in out.chunks_mut(chunk).enumerate() {
+            let start = tid * chunk;
+            let (init, f) = (&init, &f);
+            scope.spawn(move |_| {
+                let mut scratch = init();
+                for (offset, slot) in slice.iter_mut().enumerate() {
+                    *slot = f((start + offset) as u32, &mut scratch);
+                }
+            });
+        }
+    })
+    .expect("chunked_map worker panicked");
+    out
+}
+
 /// One Jacobi-style pass: shortlists and best-cluster searches run in
 /// parallel against a frozen index; returns the new assignment vector and
 /// the summed shortlist sizes.

@@ -169,6 +169,16 @@ pub struct StreamingMhKModes {
     shortlist: Vec<ClusterId>,
 }
 
+impl std::fmt::Debug for StreamingMhKModes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingMhKModes")
+            .field("n_items", &self.n_items())
+            .field("n_clusters", &self.n_clusters())
+            .field("banding", &self.config.banding)
+            .finish()
+    }
+}
+
 impl StreamingMhKModes {
     /// Creates an empty streaming clusterer for items under `schema`.
     pub fn new(config: StreamingConfig, schema: Schema) -> Self {
@@ -195,6 +205,29 @@ impl StreamingMhKModes {
     /// Items inserted so far.
     pub fn n_items(&self) -> usize {
         self.cluster_of.len()
+    }
+
+    /// The schema items are interpreted under.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &StreamingConfig {
+        &self.config
+    }
+
+    /// Snapshots the current cluster modes as a `k × n_attrs`
+    /// [`Modes`](lshclust_kmodes::modes::Modes) matrix — the hand-off
+    /// point to a servable
+    /// `lshclust::FittedModel` (clusters discovered so far become frozen
+    /// centroids; the stream keeps running independently).
+    pub fn snapshot_modes(&self) -> lshclust_kmodes::modes::Modes {
+        let mut values = Vec::with_capacity(self.clusters.len() * self.n_attrs);
+        for cluster in &self.clusters {
+            values.extend_from_slice(&cluster.mode);
+        }
+        lshclust_kmodes::modes::Modes::from_parts(self.clusters.len(), self.n_attrs, values)
     }
 
     /// Clusters founded so far.

@@ -57,6 +57,23 @@ pub struct Prototypes {
 }
 
 impl Prototypes {
+    /// Assembles prototypes from their parts: categorical modes plus a flat
+    /// `k × dim` numeric mean matrix. Panics on shape mismatch.
+    pub fn from_parts(modes: Modes, means: Vec<f64>, dim: usize) -> Self {
+        assert_eq!(
+            means.len(),
+            modes.k() * dim,
+            "prototype mean buffer shape mismatch"
+        );
+        Self { modes, means, dim }
+    }
+
+    /// Numeric dimensionality of each prototype mean.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
     /// Initialises prototypes from `k` sampled items.
     pub fn from_items(data: &MixedDataset<'_>, items: &[u32]) -> Self {
         let modes = Modes::from_items(data.categorical, items);
@@ -110,6 +127,37 @@ impl Prototypes {
                 *s /= members.len() as f64;
             }
         }
+    }
+}
+
+// `{"modes": {...}, "dim": 2, "means": [...]}` — the modes carry their own
+// shape; `dim` validates the mean matrix.
+impl serde::Serialize for Prototypes {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("modes".to_owned(), serde::Serialize::to_value(&self.modes)),
+            ("dim".to_owned(), serde::Serialize::to_value(&self.dim)),
+            ("means".to_owned(), serde::Serialize::to_value(&self.means)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Prototypes {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "Prototypes"))?;
+        let modes: Modes = serde::field(entries, "modes", "Prototypes")?;
+        let dim: usize = serde::field(entries, "dim", "Prototypes")?;
+        let means: Vec<f64> = serde::field(entries, "means", "Prototypes")?;
+        if means.len() != modes.k() * dim {
+            return Err(serde::Error(format!(
+                "Prototypes mean buffer holds {} values, expected k×dim = {}",
+                means.len(),
+                modes.k() * dim
+            )));
+        }
+        Ok(Prototypes::from_parts(modes, means, dim))
     }
 }
 

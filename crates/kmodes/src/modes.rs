@@ -7,6 +7,7 @@
 //! previous mode, per the workspace determinism policy (DESIGN.md §7).
 
 use lshclust_categorical::{ClusterId, Dataset, ValueId};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
 /// A `k × n_attrs` matrix of cluster modes, row-major like [`Dataset`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +63,13 @@ impl Modes {
         self.mode(c.idx())
     }
 
+    /// The flat `k × n_attrs` value buffer, row-major (mode serialization
+    /// and signature generation read this directly).
+    #[inline]
+    pub fn values(&self) -> &[ValueId] {
+        &self.values
+    }
+
     /// Overwrites the mode of cluster `c` in place (used by the online and
     /// mini-batch update rules).
     pub fn set_mode(&mut self, c: ClusterId, mode: &[ValueId]) {
@@ -103,6 +111,37 @@ impl Modes {
                 self.values[c * self.n_attrs + a] = best.0;
             }
         }
+    }
+}
+
+// `{"k": 2, "n_attrs": 3, "values": [0, 1, …]}` — the shape fields are
+// explicit so deserialization can validate instead of panicking.
+impl Serialize for Modes {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("k".to_owned(), self.k.to_value()),
+            ("n_attrs".to_owned(), self.n_attrs.to_value()),
+            ("values".to_owned(), self.values.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Modes {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| SerdeError::expected("object", "Modes"))?;
+        let k: usize = serde::field(entries, "k", "Modes")?;
+        let n_attrs: usize = serde::field(entries, "n_attrs", "Modes")?;
+        let values: Vec<ValueId> = serde::field(entries, "values", "Modes")?;
+        if values.len() != k * n_attrs {
+            return Err(SerdeError(format!(
+                "Modes buffer holds {} values, expected k×n_attrs = {}",
+                values.len(),
+                k * n_attrs
+            )));
+        }
+        Ok(Modes::from_parts(k, n_attrs, values))
     }
 }
 

@@ -5,31 +5,52 @@
 //! the corresponding legacy entry point (`MhKModes::fit`, `KModes::fit`,
 //! `mh_kmeans`, `mh_kprototypes`, `kmeans`, `kprototypes`) — pinned by
 //! `tests/equivalence.rs`.
+//!
+//! Every fit also produces the serving artifact: the returned
+//! [`ClusterRun`] owns a [`FittedModel`] (centroids + a frozen LSH index
+//! over them) ready for `predict`, `save`, and
+//! [`ClusterSpec::warm_start`].
 
+use crate::model::FittedModel;
 use crate::run::{Centroids, ClusterRun};
 use crate::spec::{categorical_init, numeric_init, ClusterSpec, Lsh, SpecError};
 use lshclust_categorical::{ClusterId, Dataset, Schema};
-use lshclust_core::mhkmeans::{mh_kmeans, MhKMeansConfig};
+use lshclust_core::mhkmeans::{mh_kmeans, mh_kmeans_from, MhKMeansConfig};
 use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
-use lshclust_core::mhkprototypes::{mh_kprototypes, MhKPrototypesConfig};
+use lshclust_core::mhkprototypes::{mh_kprototypes, mh_kprototypes_from, MhKPrototypesConfig};
 use lshclust_core::streaming::{StreamingConfig, StreamingMhKModes};
-use lshclust_kmodes::kmeans::{kmeans, KMeansConfig, NumericDataset};
-use lshclust_kmodes::kprototypes::{kprototypes, suggest_gamma, KPrototypesConfig, MixedDataset};
+use lshclust_kmodes::kmeans::{kmeans, kmeans_from, KMeansConfig, NumericDataset};
+use lshclust_kmodes::kprototypes::{
+    kprototypes, kprototypes_from, suggest_gamma, KPrototypesConfig, MixedDataset, Prototypes,
+};
+use lshclust_kmodes::modes::Modes;
 use lshclust_kmodes::stats::{IterationStats, RunSummary};
 use lshclust_kmodes::{KModes, KModesConfig, UpdateRule};
 use lshclust_minhash::Banding;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Runs a [`ClusterSpec`] against any supported input modality.
 #[derive(Clone, Debug)]
 pub struct Clusterer {
     spec: ClusterSpec,
+    /// Warm-start source: refits resume from this model's centroids.
+    warm: Option<FittedModel>,
 }
 
 impl Clusterer {
-    /// Wraps a spec.
+    /// Wraps a spec (cold start: centroids come from the spec's `init`).
     pub fn new(spec: ClusterSpec) -> Self {
-        Self { spec }
+        Self { spec, warm: None }
+    }
+
+    /// Wraps a spec with a warm-start model; `fit` resumes from the model's
+    /// centroids instead of re-initialising. Usually reached through
+    /// [`ClusterSpec::warm_start`].
+    pub fn warm_start(spec: ClusterSpec, model: &FittedModel) -> Self {
+        Self {
+            spec,
+            warm: Some(model.clone()),
+        }
     }
 
     /// The spec in use.
@@ -40,13 +61,16 @@ impl Clusterer {
     /// Clusters `input` — a categorical [`Dataset`], a [`NumericDataset`],
     /// or a [`MixedDataset`] — according to the spec.
     pub fn fit<I: Input>(&self, input: I) -> Result<ClusterRun, SpecError> {
-        input.fit_spec(&self.spec)
+        input.fit_spec(&self.spec, self.warm.as_ref())
     }
 
     /// Builds the streaming inserter for items under `schema`, configured
     /// from the spec's [`Lsh::MinHash`] scheme, seed, and
     /// [`crate::StreamOptions`]. `k` is ignored: the stream discovers its
-    /// cluster count.
+    /// cluster count. Any other LSH scheme — including `Lsh::None` —
+    /// returns [`SpecError::UnsupportedLsh`]: streaming is categorical-only
+    /// and *requires* the growing MinHash index (there is no full-search
+    /// streaming baseline to fall back to).
     pub fn streaming(&self, schema: Schema) -> Result<StreamingMhKModes, SpecError> {
         let spec = &self.spec;
         let Lsh::MinHash { bands, rows } = spec.lsh else {
@@ -68,8 +92,13 @@ impl Clusterer {
 /// An input modality the [`Clusterer`] can dispatch over. Implemented for
 /// `&Dataset` (categorical), `&NumericDataset`, and `&MixedDataset`.
 pub trait Input {
-    /// Runs `spec` on this input.
-    fn fit_spec(self, spec: &ClusterSpec) -> Result<ClusterRun, SpecError>;
+    /// Runs `spec` on this input; `warm` optionally supplies the trained
+    /// model whose centroids seed the refit.
+    fn fit_spec(
+        self,
+        spec: &ClusterSpec,
+        warm: Option<&FittedModel>,
+    ) -> Result<ClusterRun, SpecError>;
 }
 
 fn check_k(k: usize, n_items: usize) -> Result<(), SpecError> {
@@ -79,10 +108,115 @@ fn check_k(k: usize, n_items: usize) -> Result<(), SpecError> {
     Ok(())
 }
 
+fn warm_mismatch(expected: String, got: String) -> SpecError {
+    SpecError::WarmStartMismatch { expected, got }
+}
+
+/// Validates a warm-start model against a categorical input and clones its
+/// modes as the refit's initial centroids.
+fn categorical_warm(
+    model: &FittedModel,
+    spec: &ClusterSpec,
+    dataset: &Dataset,
+) -> Result<Modes, SpecError> {
+    let modes = model.warm_modes().ok_or_else(|| {
+        warm_mismatch(
+            "a categorical model".to_owned(),
+            format!("a {} model", model.modality()),
+        )
+    })?;
+    if modes.k() != spec.k {
+        return Err(warm_mismatch(
+            format!("k={}", spec.k),
+            format!("k={}", modes.k()),
+        ));
+    }
+    if modes.n_attrs() != dataset.n_attrs() {
+        return Err(warm_mismatch(
+            format!("{} attributes", dataset.n_attrs()),
+            format!("{} attributes", modes.n_attrs()),
+        ));
+    }
+    Ok(modes.clone())
+}
+
+/// Validates a warm-start model against a numeric input and clones its
+/// centroid matrix.
+fn numeric_warm(
+    model: &FittedModel,
+    spec: &ClusterSpec,
+    data: &NumericDataset,
+) -> Result<Vec<f64>, SpecError> {
+    let (dim, centroids) = model.warm_means().ok_or_else(|| {
+        warm_mismatch(
+            "a numeric model".to_owned(),
+            format!("a {} model", model.modality()),
+        )
+    })?;
+    if centroids.len() / dim != spec.k {
+        return Err(warm_mismatch(
+            format!("k={}", spec.k),
+            format!("k={}", centroids.len() / dim),
+        ));
+    }
+    if dim != data.dim() {
+        return Err(warm_mismatch(
+            format!("{} dimensions", data.dim()),
+            format!("{dim} dimensions"),
+        ));
+    }
+    Ok(centroids.to_vec())
+}
+
+/// Validates a warm-start model against a mixed input and rebuilds its
+/// prototypes (returning the model's resolved γ as well).
+fn mixed_warm(
+    model: &FittedModel,
+    spec: &ClusterSpec,
+    data: &MixedDataset<'_>,
+) -> Result<(Prototypes, f64), SpecError> {
+    let (prototypes, gamma) = model.warm_prototypes().ok_or_else(|| {
+        warm_mismatch(
+            "a mixed model".to_owned(),
+            format!("a {} model", model.modality()),
+        )
+    })?;
+    if prototypes.k() != spec.k {
+        return Err(warm_mismatch(
+            format!("k={}", spec.k),
+            format!("k={}", prototypes.k()),
+        ));
+    }
+    if prototypes.modes.n_attrs() != data.categorical.n_attrs()
+        || prototypes.dim() != data.numeric.dim()
+    {
+        return Err(warm_mismatch(
+            format!(
+                "{} attributes × {} dimensions",
+                data.categorical.n_attrs(),
+                data.numeric.dim()
+            ),
+            format!(
+                "{} attributes × {} dimensions",
+                prototypes.modes.n_attrs(),
+                prototypes.dim()
+            ),
+        ));
+    }
+    Ok((prototypes, gamma))
+}
+
 impl Input for &Dataset {
-    fn fit_spec(self, spec: &ClusterSpec) -> Result<ClusterRun, SpecError> {
+    fn fit_spec(
+        self,
+        spec: &ClusterSpec,
+        warm: Option<&FittedModel>,
+    ) -> Result<ClusterRun, SpecError> {
         check_k(spec.k, self.n_items())?;
         let init = categorical_init(spec.init, "categorical")?;
+        let warm_modes = warm
+            .map(|model| categorical_warm(model, spec, self))
+            .transpose()?;
         match spec.lsh {
             Lsh::None => {
                 // The exact baseline honours the iteration cap; its loop has
@@ -94,12 +228,22 @@ impl Input for &Dataset {
                     seed: spec.seed,
                     update: UpdateRule::Batch,
                 };
-                let result = KModes::new(config).fit(self);
+                let estimator = KModes::new(config);
+                let result = match warm_modes {
+                    Some(modes) => estimator.fit_from(self, modes, Duration::ZERO),
+                    None => estimator.fit(self),
+                };
+                let model = FittedModel::categorical(
+                    spec.clone(),
+                    self.schema().clone(),
+                    result.modes.clone(),
+                );
                 Ok(ClusterRun {
                     assignments: result.assignments,
                     centroids: Centroids::Modes(result.modes),
                     summary: result.summary,
                     index_stats: None,
+                    model,
                 })
             }
             Lsh::MinHash { bands, rows } => {
@@ -113,12 +257,22 @@ impl Input for &Dataset {
                     include_self: spec.include_self,
                     threads: spec.threads,
                 };
-                let result = MhKModes::new(config).fit(self);
+                let estimator = MhKModes::new(config);
+                let result = match warm_modes {
+                    Some(modes) => estimator.fit_from(self, modes, Instant::now()),
+                    None => estimator.fit(self),
+                };
+                let model = FittedModel::categorical(
+                    spec.clone(),
+                    self.schema().clone(),
+                    result.modes.clone(),
+                );
                 Ok(ClusterRun {
                     assignments: result.assignments,
                     centroids: Centroids::Modes(result.modes),
                     summary: result.summary,
                     index_stats: Some(result.index_stats),
+                    model,
                 })
             }
             other => Err(SpecError::UnsupportedLsh {
@@ -130,9 +284,16 @@ impl Input for &Dataset {
 }
 
 impl Input for &NumericDataset {
-    fn fit_spec(self, spec: &ClusterSpec) -> Result<ClusterRun, SpecError> {
+    fn fit_spec(
+        self,
+        spec: &ClusterSpec,
+        warm: Option<&FittedModel>,
+    ) -> Result<ClusterRun, SpecError> {
         check_k(spec.k, self.n_items())?;
         let init = numeric_init(spec.init, "numeric")?;
+        let warm_centroids = warm
+            .map(|model| numeric_warm(model, spec, self))
+            .transpose()?;
         match spec.lsh {
             Lsh::None => {
                 let config = KMeansConfig {
@@ -142,8 +303,12 @@ impl Input for &NumericDataset {
                     seed: spec.seed,
                     tolerance: 1e-9,
                 };
-                let result = kmeans(self, &config);
+                let result = match warm_centroids {
+                    Some(centroids) => kmeans_from(self, &config, centroids, Instant::now()),
+                    None => kmeans(self, &config),
+                };
                 let dim = self.dim();
+                let model = FittedModel::numeric(spec.clone(), dim, result.centroids.clone());
                 Ok(ClusterRun {
                     assignments: result.assignments.into_iter().map(ClusterId).collect(),
                     centroids: Centroids::Means {
@@ -158,6 +323,7 @@ impl Input for &NumericDataset {
                         result.inertia,
                     ),
                     index_stats: None,
+                    model,
                 })
             }
             Lsh::SimHash { bands, rows } => {
@@ -169,7 +335,12 @@ impl Input for &NumericDataset {
                     init,
                     seed: spec.seed,
                 };
-                let result = mh_kmeans(self, &config);
+                let result = match warm_centroids {
+                    Some(centroids) => mh_kmeans_from(self, &config, centroids, Instant::now()),
+                    None => mh_kmeans(self, &config),
+                };
+                let model =
+                    FittedModel::numeric(spec.clone(), self.dim(), result.centroids.clone());
                 Ok(ClusterRun {
                     assignments: result.assignments,
                     centroids: Centroids::Means {
@@ -178,6 +349,7 @@ impl Input for &NumericDataset {
                     },
                     summary: result.summary,
                     index_stats: None,
+                    model,
                 })
             }
             other => Err(SpecError::UnsupportedLsh {
@@ -189,7 +361,11 @@ impl Input for &NumericDataset {
 }
 
 impl Input for &MixedDataset<'_> {
-    fn fit_spec(self, spec: &ClusterSpec) -> Result<ClusterRun, SpecError> {
+    fn fit_spec(
+        self,
+        spec: &ClusterSpec,
+        warm: Option<&FittedModel>,
+    ) -> Result<ClusterRun, SpecError> {
         check_k(spec.k, self.n_items())?;
         // Both K-Prototypes paths draw initial items directly; only the
         // paper's random selection applies.
@@ -199,7 +375,15 @@ impl Input for &MixedDataset<'_> {
                 init: spec.init.name(),
             });
         }
-        let gamma = spec.gamma.unwrap_or_else(|| suggest_gamma(self.numeric));
+        let warm_prototypes = warm
+            .map(|model| mixed_warm(model, spec, self))
+            .transpose()?;
+        // γ precedence: explicit spec value, else the warm model's resolved
+        // weight (refit continuity), else Huang's heuristic on this data.
+        let gamma = spec
+            .gamma
+            .or(warm_prototypes.as_ref().map(|(_, g)| *g))
+            .unwrap_or_else(|| suggest_gamma(self.numeric));
         match spec.lsh {
             Lsh::None => {
                 let config = KPrototypesConfig {
@@ -208,7 +392,18 @@ impl Input for &MixedDataset<'_> {
                     max_iterations: spec.stop.max_iterations,
                     seed: spec.seed,
                 };
-                let result = kprototypes(self, &config);
+                let result = match warm_prototypes {
+                    Some((prototypes, _)) => {
+                        kprototypes_from(self, &config, prototypes, Instant::now())
+                    }
+                    None => kprototypes(self, &config),
+                };
+                let model = FittedModel::mixed(
+                    spec.clone(),
+                    self.categorical.schema().clone(),
+                    &result.prototypes,
+                    gamma,
+                );
                 Ok(ClusterRun {
                     assignments: result.assignments,
                     centroids: Centroids::Prototypes(result.prototypes),
@@ -220,6 +415,7 @@ impl Input for &MixedDataset<'_> {
                         result.cost,
                     ),
                     index_stats: None,
+                    model,
                 })
             }
             Lsh::Union {
@@ -237,12 +433,24 @@ impl Input for &MixedDataset<'_> {
                     stop: spec.stop,
                     seed: spec.seed,
                 };
-                let result = mh_kprototypes(self, &config);
+                let result = match warm_prototypes {
+                    Some((prototypes, _)) => {
+                        mh_kprototypes_from(self, &config, prototypes, Instant::now())
+                    }
+                    None => mh_kprototypes(self, &config),
+                };
+                let model = FittedModel::mixed(
+                    spec.clone(),
+                    self.categorical.schema().clone(),
+                    &result.prototypes,
+                    gamma,
+                );
                 Ok(ClusterRun {
                     assignments: result.assignments,
                     centroids: Centroids::Prototypes(result.prototypes),
                     summary: result.summary,
                     index_stats: None,
+                    model,
                 })
             }
             other => Err(SpecError::UnsupportedLsh {

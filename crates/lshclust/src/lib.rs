@@ -13,6 +13,34 @@
 //! configurations and run reports round-trip for the bench harness and any
 //! future service layer.
 //!
+//! # Train / serve split
+//!
+//! Every run also owns a [`FittedModel`] — frozen centroids plus an LSH
+//! index built *over the centroids* — so a fit is not a terminal report but
+//! a servable artifact: [`FittedModel::predict`] assigns unseen batches
+//! (multi-threaded, shortlist-accelerated, full-search fallback),
+//! [`FittedModel::save`]/[`FittedModel::load`] round-trip the model as a
+//! versioned JSON envelope, and [`ClusterSpec::warm_start`] resumes a refit
+//! from served centroids instead of re-initialising:
+//!
+//! ```
+//! use lshclust::{ClusterSpec, Clusterer, Lsh, NumericDataset};
+//!
+//! let data = NumericDataset::new(1, vec![0.0, 0.1, 0.2, 9.0, 9.1, 9.2]);
+//! let spec = ClusterSpec::new(2).lsh(Lsh::SimHash { bands: 8, rows: 2 });
+//! let run = Clusterer::new(spec.clone()).fit(&data).unwrap();
+//!
+//! // Serve: persist, reload, answer queries; training batch reproduces
+//! // the converged run's assignments.
+//! let model = lshclust::FittedModel::from_json(&run.model.to_json()).unwrap();
+//! assert_eq!(model.predict(&data).unwrap(), run.assignments);
+//! assert_eq!(model.predict_point(&[8.9]).unwrap(), run.assignments[3]);
+//!
+//! // Warm start: the refit resumes from the served centroids.
+//! let refit = spec.warm_start(&model).fit(&data).unwrap();
+//! assert_eq!(refit.assignments, run.assignments);
+//! ```
+//!
 //! # Categorical (MH-K-Modes)
 //!
 //! ```
@@ -80,10 +108,12 @@
 #![warn(missing_docs)]
 
 mod clusterer;
+mod model;
 mod run;
 mod spec;
 
 pub use clusterer::{Clusterer, Input};
+pub use model::{FittedModel, ModelError, PredictInput, MODEL_FORMAT, MODEL_VERSION};
 pub use run::{Centroids, ClusterRun, RunReport};
 pub use spec::{ClusterSpec, Init, Lsh, Query, SpecError, StreamOptions};
 

@@ -1,0 +1,955 @@
+//! The serving artifact: [`FittedModel`] — frozen centroids plus an LSH
+//! index built **over the centroids**, ready to answer `predict` queries.
+//!
+//! Training (`Clusterer::fit`) uses the paper's index over the *items* to
+//! accelerate the assignment loop; serving inverts the construction. The
+//! trained centroids themselves are hashed into a frozen index, so an unseen
+//! item is assigned by MinHashing/SimHashing it once, probing the centroid
+//! buckets for a shortlist of candidate clusters, and searching only that
+//! shortlist — per-query cost independent of `k`, exactly the property the
+//! paper establishes for the fit loop (and the reusable-centroid-index view
+//! taken by the cluster-closures line of work). An empty shortlist falls
+//! back to full search, so `predict` is total.
+//!
+//! The artifact round-trips as JSON through a **versioned envelope**
+//! ([`FittedModel::save`] / [`FittedModel::load`]): only the spec and the
+//! centroids are stored; the index is rebuilt deterministically from them on
+//! load, so a reloaded model answers every query identically.
+//!
+//! ```
+//! use lshclust::{ClusterSpec, Clusterer, DatasetBuilder, Lsh};
+//!
+//! let mut b = DatasetBuilder::anonymous(3);
+//! for row in [["a", "b", "c"], ["a", "b", "d"], ["x", "y", "z"], ["x", "y", "w"]] {
+//!     b.push_str_row(&row, None).unwrap();
+//! }
+//! let dataset = b.finish();
+//! let spec = ClusterSpec::new(2).lsh(Lsh::MinHash { bands: 8, rows: 2 }).seed(1);
+//! let run = Clusterer::new(spec).fit(&dataset).unwrap();
+//!
+//! // The run owns a servable model: persist, reload, answer queries.
+//! let json = run.model.to_json();
+//! let model = lshclust::FittedModel::from_json(&json).unwrap();
+//! let fresh = model.predict_str_row(&["a", "b", "q"]).unwrap();
+//! assert_eq!(fresh, run.assignments[0]);
+//! ```
+
+use crate::spec::{ClusterSpec, Lsh, StreamOptions};
+use lshclust_categorical::dissimilarity::matching;
+use lshclust_categorical::{
+    AttrId, ClusterId, Dataset, PresentElements, Schema, ValueId, NOT_PRESENT,
+};
+use lshclust_core::mhkmeans::{SimHashIndex, VectorQueryScratch};
+use lshclust_core::parallel::chunked_map;
+use lshclust_core::streaming::StreamingMhKModes;
+use lshclust_kmodes::assign::{best_cluster_among, best_cluster_full};
+use lshclust_kmodes::kmeans::{sq_euclidean, NumericDataset};
+use lshclust_kmodes::kprototypes::{MixedDataset, Prototypes};
+use lshclust_kmodes::modes::Modes;
+use lshclust_minhash::hashfn::{FastSet, MixHashFamily};
+use lshclust_minhash::index::{LshIndex, LshIndexBuilder, ShortlistScratch};
+use lshclust_minhash::signature::SignatureGenerator;
+use lshclust_minhash::Banding;
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::fmt;
+use std::path::Path;
+
+/// Envelope marker of the JSON model artifact.
+pub const MODEL_FORMAT: &str = "lshclust-model";
+/// Envelope version this build writes and accepts.
+pub const MODEL_VERSION: u64 = 1;
+
+// Centroid indexes decorrelate their hash families from the fit-time item
+// index (which already decorrelates from init sampling).
+const CAT_INDEX_SALT: u64 = 0x6d6f_6465_6c6d; // "modelm"
+const NUM_INDEX_SALT: u64 = 0x6d6f_6465_6c73; // "models"
+
+/// Why a serving operation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// Reading or writing the artifact file failed.
+    Io(String),
+    /// The artifact is not parseable JSON (or violates the payload schema).
+    Json(String),
+    /// The artifact parsed but its envelope is not one this build accepts
+    /// (wrong `format` marker or unsupported `version`).
+    Envelope(String),
+    /// The query modality does not match the model (e.g. numeric points
+    /// against a categorical model).
+    WrongModality {
+        /// The model's modality.
+        expected: &'static str,
+        /// The query's modality.
+        got: &'static str,
+    },
+    /// A query row/point has the wrong arity or dimensionality.
+    ShapeMismatch {
+        /// What was being validated ("attributes", "dimensions").
+        what: &'static str,
+        /// The model's shape.
+        expected: usize,
+        /// The query's shape.
+        got: usize,
+    },
+    /// The input dataset was interned under dictionaries that disagree
+    /// with the model's training schema, so its `ValueId`s do not align.
+    IncompatibleEncoding {
+        /// Name of the first attribute whose dictionaries disagree.
+        attr: String,
+    },
+    /// A streaming hand-off was attempted before any cluster existed.
+    EmptyModel,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Io(e) => write!(f, "model artifact I/O failed: {e}"),
+            ModelError::Json(e) => write!(f, "model artifact is not valid JSON: {e}"),
+            ModelError::Envelope(e) => write!(f, "model envelope rejected: {e}"),
+            ModelError::WrongModality { expected, got } => {
+                write!(f, "{expected} model cannot serve {got} queries")
+            }
+            ModelError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "query has {got} {what}, model expects {expected}"),
+            ModelError::IncompatibleEncoding { attr } => write!(
+                f,
+                "input encoding disagrees with the training schema on attribute `{attr}`; \
+                 re-encode rows with FittedModel::encode_row"
+            ),
+            ModelError::EmptyModel => write!(f, "cannot build a model with zero clusters"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A trained, persistable, servable clustering model: the originating
+/// [`ClusterSpec`], the frozen centroids, and an LSH index over those
+/// centroids for shortlisted assignment of unseen items.
+///
+/// Obtained from [`crate::ClusterRun::model`] after a fit, from
+/// [`FittedModel::from_streaming`] as a streaming hand-off, or from
+/// [`FittedModel::load`] / [`FittedModel::from_json`].
+#[derive(Clone)]
+pub struct FittedModel {
+    spec: ClusterSpec,
+    kind: ModelKind,
+}
+
+#[derive(Clone)]
+enum ModelKind {
+    Categorical(CategoricalServer),
+    Numeric(NumericServer),
+    Mixed(MixedServer),
+}
+
+/// Frozen modes plus an optional MinHash index over them.
+#[derive(Clone)]
+struct CategoricalServer {
+    schema: Schema,
+    modes: Modes,
+    index: Option<CatIndex>,
+}
+
+#[derive(Clone)]
+struct CatIndex {
+    banding: Banding,
+    generator: SignatureGenerator<MixHashFamily>,
+    index: LshIndex,
+}
+
+impl CatIndex {
+    fn build(banding: Banding, seed: u64, schema: &Schema, modes: &Modes) -> Self {
+        let generator = SignatureGenerator::new(MixHashFamily::new(banding.signature_len(), seed));
+        let index = LshIndexBuilder::new(banding).seed(seed).build_centroids(
+            schema,
+            (0..modes.k()).map(|c| modes.mode(c)),
+            modes.k(),
+        );
+        Self {
+            banding,
+            generator,
+            index,
+        }
+    }
+}
+
+/// Per-query scratch for the categorical path (reused across a batch).
+struct CatScratch {
+    sig: Vec<u64>,
+    keys: Vec<u64>,
+    shortlist: ShortlistScratch,
+}
+
+impl CategoricalServer {
+    fn new(spec: &ClusterSpec, schema: Schema, modes: Modes) -> Self {
+        let index = match spec.lsh {
+            Lsh::MinHash { bands, rows } | Lsh::Union { bands, rows, .. } => Some(CatIndex::build(
+                Banding::new(bands, rows),
+                spec.seed ^ CAT_INDEX_SALT,
+                &schema,
+                &modes,
+            )),
+            _ => None,
+        };
+        Self {
+            schema,
+            modes,
+            index,
+        }
+    }
+
+    fn scratch(&self) -> CatScratch {
+        CatScratch {
+            sig: Vec::new(),
+            keys: Vec::new(),
+            shortlist: ShortlistScratch::new(self.modes.k(), self.modes.k()),
+        }
+    }
+
+    /// Shortlist the candidate clusters for `row` into `scratch.shortlist`.
+    /// Returns `false` when the model has no index (full search applies).
+    fn shortlist(&self, row: &[ValueId], scratch: &mut CatScratch) -> bool {
+        let Some(ci) = &self.index else { return false };
+        ci.generator
+            .signature_into(PresentElements::new(&self.schema, row), &mut scratch.sig);
+        ci.banding.band_keys_into(&scratch.sig, &mut scratch.keys);
+        ci.index
+            .shortlist_for_band_keys(&scratch.keys, &mut scratch.shortlist);
+        true
+    }
+
+    fn predict_row(&self, row: &[ValueId], scratch: &mut CatScratch) -> ClusterId {
+        if self.shortlist(row, scratch) {
+            if let Some((c, _)) = best_cluster_among(row, &self.modes, &scratch.shortlist.clusters)
+            {
+                return c;
+            }
+            // Empty shortlist: the query collided with no centroid — fall
+            // through to exhaustive search (predict is total).
+        }
+        best_cluster_full(row, &self.modes).0
+    }
+}
+
+/// Frozen means plus an optional SimHash index over them.
+#[derive(Clone)]
+struct NumericServer {
+    dim: usize,
+    /// `k × dim` centroid matrix, row-major.
+    centroids: Vec<f64>,
+    index: Option<SimHashIndex>,
+}
+
+/// Per-query scratch for the numeric path.
+struct NumScratch {
+    out: Vec<ClusterId>,
+    seen: FastSet<u32>,
+    query: VectorQueryScratch,
+}
+
+impl NumericServer {
+    fn new(spec: &ClusterSpec, dim: usize, centroids: Vec<f64>) -> Self {
+        let k = centroids.len() / dim.max(1);
+        let index = match spec.lsh {
+            Lsh::SimHash { bands, rows } => Some((bands, rows)),
+            Lsh::Union {
+                sim_bands,
+                sim_rows,
+                ..
+            } => Some((sim_bands, sim_rows)),
+            _ => None,
+        }
+        .map(|(bands, rows)| {
+            let identity: Vec<ClusterId> = (0..k as u32).map(ClusterId).collect();
+            SimHashIndex::build(
+                &NumericDataset::new(dim, centroids.clone()),
+                bands,
+                rows,
+                spec.seed ^ NUM_INDEX_SALT,
+                &identity,
+            )
+        });
+        Self {
+            dim,
+            centroids,
+            index,
+        }
+    }
+
+    fn k(&self) -> usize {
+        self.centroids.len() / self.dim
+    }
+
+    #[inline]
+    fn centroid(&self, c: usize) -> &[f64] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    fn scratch(&self) -> NumScratch {
+        NumScratch {
+            out: Vec::new(),
+            seen: FastSet::default(),
+            query: VectorQueryScratch::default(),
+        }
+    }
+
+    fn best_among(&self, point: &[f64], candidates: &[ClusterId]) -> Option<ClusterId> {
+        argmin_among(candidates, |c| sq_euclidean(point, self.centroid(c)))
+    }
+
+    fn best_full(&self, point: &[f64]) -> ClusterId {
+        argmin_full(self.k(), |c| sq_euclidean(point, self.centroid(c)))
+    }
+
+    fn predict_point(&self, point: &[f64], scratch: &mut NumScratch) -> ClusterId {
+        if let Some(index) = &self.index {
+            index.shortlist_for_vector_with(
+                point,
+                &mut scratch.query,
+                &mut scratch.out,
+                &mut scratch.seen,
+            );
+            if let Some(c) = self.best_among(point, &scratch.out) {
+                return c;
+            }
+        }
+        self.best_full(point)
+    }
+}
+
+/// Mixed serving: both part-servers plus the resolved mixing weight γ.
+#[derive(Clone)]
+struct MixedServer {
+    cat: CategoricalServer,
+    num: NumericServer,
+    gamma: f64,
+}
+
+struct MixedScratch {
+    cat: CatScratch,
+    num: NumScratch,
+    union: Vec<ClusterId>,
+}
+
+impl MixedServer {
+    fn scratch(&self) -> MixedScratch {
+        MixedScratch {
+            cat: self.cat.scratch(),
+            num: self.num.scratch(),
+            union: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn distance(&self, row: &[ValueId], point: &[f64], c: usize) -> f64 {
+        f64::from(matching(row, self.cat.modes.mode(c)))
+            + self.gamma * sq_euclidean(point, self.num.centroid(c))
+    }
+
+    fn best_among(
+        &self,
+        row: &[ValueId],
+        point: &[f64],
+        candidates: &[ClusterId],
+    ) -> Option<ClusterId> {
+        argmin_among(candidates, |c| self.distance(row, point, c))
+    }
+
+    fn best_full(&self, row: &[ValueId], point: &[f64]) -> ClusterId {
+        argmin_full(self.cat.modes.k(), |c| self.distance(row, point, c))
+    }
+
+    fn predict_row(&self, row: &[ValueId], point: &[f64], scratch: &mut MixedScratch) -> ClusterId {
+        // Union shortlist: candidates close in *either* modality, mirroring
+        // the fit-time UnionProvider.
+        scratch.union.clear();
+        if self.cat.shortlist(row, &mut scratch.cat) {
+            scratch
+                .union
+                .extend_from_slice(&scratch.cat.shortlist.clusters);
+        }
+        if let Some(index) = &self.num.index {
+            index.shortlist_for_vector_with(
+                point,
+                &mut scratch.num.query,
+                &mut scratch.num.out,
+                &mut scratch.num.seen,
+            );
+            for &c in &scratch.num.out {
+                if !scratch.union.contains(&c) {
+                    scratch.union.push(c);
+                }
+            }
+        }
+        if let Some(c) = self.best_among(row, point, &scratch.union) {
+            return c;
+        }
+        self.best_full(row, point)
+    }
+}
+
+/// Argmin over candidate clusters, ties to the lowest cluster id — the
+/// exact tie-break rule of every fit path; `predict == assignments` on
+/// converged runs depends on all modalities sharing it.
+fn argmin_among(
+    candidates: &[ClusterId],
+    mut distance: impl FnMut(usize) -> f64,
+) -> Option<ClusterId> {
+    let mut best: Option<(ClusterId, f64)> = None;
+    for &c in candidates {
+        let d = distance(c.idx());
+        let replace = match best {
+            None => true,
+            Some((bc, bd)) => d < bd || (d == bd && c < bc),
+        };
+        if replace {
+            best = Some((c, d));
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+/// Full-search argmin over `0..k` (id order, only strictly better replaces —
+/// the same lowest-id tie-break as [`argmin_among`]).
+fn argmin_full(k: usize, mut distance: impl FnMut(usize) -> f64) -> ClusterId {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for c in 0..k {
+        let d = distance(c);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    ClusterId(best as u32)
+}
+
+impl FittedModel {
+    // ---- construction (fit side) ------------------------------------------
+
+    pub(crate) fn categorical(spec: ClusterSpec, schema: Schema, modes: Modes) -> Self {
+        let kind = ModelKind::Categorical(CategoricalServer::new(&spec, schema, modes));
+        Self { spec, kind }
+    }
+
+    pub(crate) fn numeric(spec: ClusterSpec, dim: usize, centroids: Vec<f64>) -> Self {
+        let kind = ModelKind::Numeric(NumericServer::new(&spec, dim, centroids));
+        Self { spec, kind }
+    }
+
+    pub(crate) fn mixed(
+        spec: ClusterSpec,
+        schema: Schema,
+        prototypes: &Prototypes,
+        gamma: f64,
+    ) -> Self {
+        let kind = ModelKind::Mixed(MixedServer {
+            cat: CategoricalServer::new(&spec, schema, prototypes.modes.clone()),
+            num: NumericServer::new(&spec, prototypes.dim(), prototypes.means.clone()),
+            gamma,
+        });
+        Self { spec, kind }
+    }
+
+    /// Streaming hand-off: snapshots the clusters a [`StreamingMhKModes`]
+    /// has discovered so far into a frozen, servable categorical model. The
+    /// stream keeps running independently; call again for a fresher model.
+    pub fn from_streaming(stream: &StreamingMhKModes) -> Result<Self, ModelError> {
+        if stream.n_clusters() == 0 {
+            return Err(ModelError::EmptyModel);
+        }
+        let config = stream.config();
+        let spec = ClusterSpec::new(stream.n_clusters())
+            .lsh(Lsh::MinHash {
+                bands: config.banding.bands(),
+                rows: config.banding.rows(),
+            })
+            .seed(config.seed)
+            .stream(StreamOptions {
+                distance_threshold: Some(config.distance_threshold),
+                max_clusters: config.max_clusters,
+            });
+        Ok(Self::categorical(
+            spec,
+            stream.schema().clone(),
+            stream.snapshot_modes(),
+        ))
+    }
+
+    // ---- inspection -------------------------------------------------------
+
+    /// The spec the model was trained under.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of clusters served.
+    pub fn k(&self) -> usize {
+        match &self.kind {
+            ModelKind::Categorical(s) => s.modes.k(),
+            ModelKind::Numeric(s) => s.k(),
+            ModelKind::Mixed(s) => s.cat.modes.k(),
+        }
+    }
+
+    /// The model's input modality: `"categorical"`, `"numeric"` or
+    /// `"mixed"`.
+    pub fn modality(&self) -> &'static str {
+        match &self.kind {
+            ModelKind::Categorical(_) => "categorical",
+            ModelKind::Numeric(_) => "numeric",
+            ModelKind::Mixed(_) => "mixed",
+        }
+    }
+
+    /// The training schema (categorical and mixed models).
+    pub fn schema(&self) -> Option<&Schema> {
+        match &self.kind {
+            ModelKind::Categorical(s) => Some(&s.schema),
+            ModelKind::Mixed(s) => Some(&s.cat.schema),
+            ModelKind::Numeric(_) => None,
+        }
+    }
+
+    /// Numeric dimensionality (numeric and mixed models).
+    pub fn dim(&self) -> Option<usize> {
+        match &self.kind {
+            ModelKind::Numeric(s) => Some(s.dim),
+            ModelKind::Mixed(s) => Some(s.num.dim),
+            ModelKind::Categorical(_) => None,
+        }
+    }
+
+    /// Whether a centroid LSH index is serving shortlists (false ⇒ every
+    /// `predict` is a full search).
+    pub fn has_index(&self) -> bool {
+        match &self.kind {
+            ModelKind::Categorical(s) => s.index.is_some(),
+            ModelKind::Numeric(s) => s.index.is_some(),
+            ModelKind::Mixed(s) => s.cat.index.is_some() || s.num.index.is_some(),
+        }
+    }
+
+    /// The resolved mixing weight γ (mixed models).
+    pub fn gamma(&self) -> Option<f64> {
+        match &self.kind {
+            ModelKind::Mixed(s) => Some(s.gamma),
+            _ => None,
+        }
+    }
+
+    // ---- warm-start accessors (crate) -------------------------------------
+
+    pub(crate) fn warm_modes(&self) -> Option<&Modes> {
+        match &self.kind {
+            ModelKind::Categorical(s) => Some(&s.modes),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn warm_means(&self) -> Option<(usize, &[f64])> {
+        match &self.kind {
+            ModelKind::Numeric(s) => Some((s.dim, &s.centroids)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn warm_prototypes(&self) -> Option<(Prototypes, f64)> {
+        match &self.kind {
+            ModelKind::Mixed(s) => Some((
+                Prototypes::from_parts(s.cat.modes.clone(), s.num.centroids.clone(), s.num.dim),
+                s.gamma,
+            )),
+            _ => None,
+        }
+    }
+
+    // ---- predict ----------------------------------------------------------
+
+    /// Batched assignment of any supported input — a categorical
+    /// [`Dataset`], a [`NumericDataset`], or a [`MixedDataset`] — fanned
+    /// over the spec's `threads` (1 ⇒ inline, no spawning).
+    pub fn predict<I: PredictInput>(&self, input: I) -> Result<Vec<ClusterId>, ModelError> {
+        input.predict_with(self)
+    }
+
+    /// Assigns one encoded categorical row. Values must be encoded under
+    /// the model's schema (see [`Self::encode_row`] for raw strings).
+    pub fn predict_one(&self, row: &[ValueId]) -> Result<ClusterId, ModelError> {
+        let server = self.categorical_server("categorical")?;
+        check_shape("attributes", server.schema.n_attrs(), row.len())?;
+        Ok(server.predict_row(row, &mut server.scratch()))
+    }
+
+    /// Assigns one numeric point.
+    pub fn predict_point(&self, point: &[f64]) -> Result<ClusterId, ModelError> {
+        let ModelKind::Numeric(server) = &self.kind else {
+            return Err(ModelError::WrongModality {
+                expected: self.modality(),
+                got: "numeric",
+            });
+        };
+        check_shape("dimensions", server.dim, point.len())?;
+        Ok(server.predict_point(point, &mut server.scratch()))
+    }
+
+    /// Assigns one mixed item (encoded categorical part + numeric part).
+    pub fn predict_mixed_one(
+        &self,
+        row: &[ValueId],
+        point: &[f64],
+    ) -> Result<ClusterId, ModelError> {
+        let ModelKind::Mixed(server) = &self.kind else {
+            return Err(ModelError::WrongModality {
+                expected: self.modality(),
+                got: "mixed",
+            });
+        };
+        check_shape("attributes", server.cat.schema.n_attrs(), row.len())?;
+        check_shape("dimensions", server.num.dim, point.len())?;
+        Ok(server.predict_row(row, point, &mut server.scratch()))
+    }
+
+    /// Encodes a raw string row under the model's training schema. Values
+    /// never seen during training encode as [`NOT_PRESENT`], which matches
+    /// no mode value (one mismatch per unseen cell).
+    pub fn encode_row(&self, row: &[&str]) -> Result<Vec<ValueId>, ModelError> {
+        let schema = self.schema().ok_or(ModelError::WrongModality {
+            expected: self.modality(),
+            got: "categorical",
+        })?;
+        check_shape("attributes", schema.n_attrs(), row.len())?;
+        Ok(row
+            .iter()
+            .enumerate()
+            .map(|(a, s)| {
+                schema
+                    .dictionary(AttrId(a as u32))
+                    .get(s)
+                    .unwrap_or(NOT_PRESENT)
+            })
+            .collect())
+    }
+
+    /// Assigns one raw string row (categorical models): encodes under the
+    /// training schema, then [`Self::predict_one`].
+    pub fn predict_str_row(&self, row: &[&str]) -> Result<ClusterId, ModelError> {
+        let encoded = self.encode_row(row)?;
+        self.predict_one(&encoded)
+    }
+
+    fn categorical_server(&self, got: &'static str) -> Result<&CategoricalServer, ModelError> {
+        match &self.kind {
+            ModelKind::Categorical(s) => Ok(s),
+            _ => Err(ModelError::WrongModality {
+                expected: self.modality(),
+                got,
+            }),
+        }
+    }
+
+    // ---- persistence ------------------------------------------------------
+
+    /// Serializes the model as its versioned JSON envelope (pretty-printed;
+    /// stable byte-for-byte across save → load → save).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("model envelope serializes")
+    }
+
+    /// Parses a model from its JSON envelope, rebuilding the centroid index
+    /// deterministically (a reloaded model answers every query identically).
+    pub fn from_json(text: &str) -> Result<Self, ModelError> {
+        let value: Value = serde_json::from_str::<ValueCarrier>(text)
+            .map(|c| c.0)
+            .map_err(|e| ModelError::Json(e.to_string()))?;
+        let format = value.get("format").and_then(Value::as_str).unwrap_or("?");
+        if format != MODEL_FORMAT {
+            return Err(ModelError::Envelope(format!(
+                "format is `{format}`, expected `{MODEL_FORMAT}`"
+            )));
+        }
+        let version = value.get("version").and_then(Value::as_u64).unwrap_or(0);
+        if version != MODEL_VERSION {
+            return Err(ModelError::Envelope(format!(
+                "version {version} is not supported (this build reads version {MODEL_VERSION})"
+            )));
+        }
+        FittedModel::from_value(&value).map_err(|e| ModelError::Json(e.to_string()))
+    }
+
+    /// Writes the JSON envelope to `path`.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), ModelError> {
+        std::fs::write(path, self.to_json()).map_err(|e| ModelError::Io(e.to_string()))
+    }
+
+    /// Reads a model back from `path`.
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, ModelError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ModelError::Io(e.to_string()))?;
+        Self::from_json(&text)
+    }
+}
+
+/// A batch dataset's `ValueId`s only mean what the model thinks they mean if
+/// the input dictionaries agree with the training schema's, id for id.
+/// Prefix relationships are fine in either direction: a shorter input
+/// dictionary saw fewer values, and input ids beyond the model's domain
+/// match no centroid value (unseen-value semantics). Anything else is a
+/// silent-garbage hazard, so it is rejected.
+fn check_encoding(model: &Schema, input: &Schema) -> Result<(), ModelError> {
+    for a in 0..model.n_attrs() {
+        let attr = AttrId(a as u32);
+        let aligned = model
+            .dictionary(attr)
+            .iter()
+            .zip(input.dictionary(attr).iter())
+            .all(|((_, m), (_, i))| m == i);
+        if !aligned {
+            return Err(ModelError::IncompatibleEncoding {
+                attr: model.attr_name(attr).to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_shape(what: &'static str, expected: usize, got: usize) -> Result<(), ModelError> {
+    if expected != got {
+        return Err(ModelError::ShapeMismatch {
+            what,
+            expected,
+            got,
+        });
+    }
+    Ok(())
+}
+
+impl fmt::Debug for FittedModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FittedModel")
+            .field("modality", &self.modality())
+            .field("k", &self.k())
+            .field("lsh", &self.spec.lsh)
+            .field("has_index", &self.has_index())
+            .finish()
+    }
+}
+
+/// Raw-`Value` passthrough so `from_json` can inspect the envelope before
+/// committing to a payload shape.
+struct ValueCarrier(Value);
+
+impl Deserialize for ValueCarrier {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        Ok(ValueCarrier(v.clone()))
+    }
+}
+
+// The envelope: `{"format": "lshclust-model", "version": 1, "spec": {…},
+// "centroids": {"Categorical": {…}} | {"Numeric": {…}} | {"Mixed": {…}}}`.
+// Only spec + centroids are stored; indexes rebuild on load.
+impl Serialize for FittedModel {
+    fn to_value(&self) -> Value {
+        let payload = match &self.kind {
+            ModelKind::Categorical(s) => tagged(
+                "Categorical",
+                vec![
+                    ("schema".to_owned(), s.schema.to_value()),
+                    ("modes".to_owned(), s.modes.to_value()),
+                ],
+            ),
+            ModelKind::Numeric(s) => tagged(
+                "Numeric",
+                vec![
+                    ("dim".to_owned(), s.dim.to_value()),
+                    ("centroids".to_owned(), s.centroids.to_value()),
+                ],
+            ),
+            ModelKind::Mixed(s) => tagged(
+                "Mixed",
+                vec![
+                    ("schema".to_owned(), s.cat.schema.to_value()),
+                    (
+                        "prototypes".to_owned(),
+                        Prototypes::from_parts(
+                            s.cat.modes.clone(),
+                            s.num.centroids.clone(),
+                            s.num.dim,
+                        )
+                        .to_value(),
+                    ),
+                    ("gamma".to_owned(), s.gamma.to_value()),
+                ],
+            ),
+        };
+        Value::Object(vec![
+            ("format".to_owned(), Value::String(MODEL_FORMAT.to_owned())),
+            ("version".to_owned(), MODEL_VERSION.to_value()),
+            ("spec".to_owned(), self.spec.to_value()),
+            ("centroids".to_owned(), payload),
+        ])
+    }
+}
+
+fn tagged(tag: &str, fields: Vec<(String, Value)>) -> Value {
+    Value::Object(vec![(tag.to_owned(), Value::Object(fields))])
+}
+
+impl Deserialize for FittedModel {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let spec: ClusterSpec = match v.get("spec") {
+            Some(s) => Deserialize::from_value(s)?,
+            None => return Err(SerdeError::expected("`spec` field", "FittedModel")),
+        };
+        let payload = v
+            .get("centroids")
+            .and_then(Value::as_object)
+            .ok_or_else(|| SerdeError::expected("`centroids` object", "FittedModel"))?;
+        let [(tag, body)] = payload else {
+            return Err(SerdeError::expected(
+                "single-variant centroid object",
+                "FittedModel",
+            ));
+        };
+        match tag.as_str() {
+            "Categorical" => {
+                let schema: Schema = field_of(body, "schema")?;
+                let modes: Modes = field_of(body, "modes")?;
+                check_mode_arity(&schema, &modes)?;
+                check_cluster_count(modes.k(), spec.k)?;
+                Ok(FittedModel::categorical(spec, schema, modes))
+            }
+            "Numeric" => {
+                let dim: usize = field_of(body, "dim")?;
+                let centroids: Vec<f64> = field_of(body, "centroids")?;
+                if dim == 0 || !centroids.len().is_multiple_of(dim) {
+                    return Err(SerdeError(format!(
+                        "centroid buffer of {} values is not k×dim with dim {dim}",
+                        centroids.len()
+                    )));
+                }
+                check_cluster_count(centroids.len() / dim, spec.k)?;
+                Ok(FittedModel::numeric(spec, dim, centroids))
+            }
+            "Mixed" => {
+                let schema: Schema = field_of(body, "schema")?;
+                let prototypes: Prototypes = field_of(body, "prototypes")?;
+                let gamma: f64 = field_of(body, "gamma")?;
+                check_mode_arity(&schema, &prototypes.modes)?;
+                check_cluster_count(prototypes.k(), spec.k)?;
+                Ok(FittedModel::mixed(spec, schema, &prototypes, gamma))
+            }
+            other => Err(SerdeError(format!("unknown centroid family `{other}`"))),
+        }
+    }
+}
+
+/// Centroid payloads must carry at least one cluster and exactly as many as
+/// the stored spec says; a truncated artifact would otherwise load into a
+/// model that "predicts" out-of-range cluster ids.
+fn check_cluster_count(k: usize, spec_k: usize) -> Result<(), SerdeError> {
+    if k == 0 {
+        return Err(SerdeError(
+            "centroid payload holds zero clusters".to_owned(),
+        ));
+    }
+    if k != spec_k {
+        return Err(SerdeError(format!(
+            "centroid payload holds {k} clusters but the spec says k={spec_k}"
+        )));
+    }
+    Ok(())
+}
+
+/// Payloads carry the schema and the modes independently; reject artifacts
+/// whose arities disagree instead of misindexing rows downstream.
+fn check_mode_arity(schema: &Schema, modes: &Modes) -> Result<(), SerdeError> {
+    if modes.n_attrs() != schema.n_attrs() {
+        return Err(SerdeError(format!(
+            "modes carry {} attributes but the schema declares {}",
+            modes.n_attrs(),
+            schema.n_attrs()
+        )));
+    }
+    Ok(())
+}
+
+fn field_of<T: Deserialize>(body: &Value, key: &str) -> Result<T, SerdeError> {
+    let entries = body
+        .as_object()
+        .ok_or_else(|| SerdeError::expected("object", "FittedModel payload"))?;
+    serde::field(entries, key, "FittedModel payload")
+}
+
+/// An input modality [`FittedModel::predict`] can serve. Implemented for
+/// `&Dataset` (categorical), `&NumericDataset`, and `&MixedDataset`.
+pub trait PredictInput {
+    /// Assigns every item of this input under `model`.
+    fn predict_with(self, model: &FittedModel) -> Result<Vec<ClusterId>, ModelError>;
+}
+
+impl PredictInput for &Dataset {
+    fn predict_with(self, model: &FittedModel) -> Result<Vec<ClusterId>, ModelError> {
+        let server = model.categorical_server("categorical")?;
+        check_shape("attributes", server.schema.n_attrs(), self.n_attrs())?;
+        check_encoding(&server.schema, self.schema())?;
+        Ok(chunked_map(
+            self.n_items(),
+            model.spec.threads,
+            || server.scratch(),
+            |item, scratch| server.predict_row(self.row(item as usize), scratch),
+        ))
+    }
+}
+
+impl PredictInput for &NumericDataset {
+    fn predict_with(self, model: &FittedModel) -> Result<Vec<ClusterId>, ModelError> {
+        let ModelKind::Numeric(server) = &model.kind else {
+            return Err(ModelError::WrongModality {
+                expected: model.modality(),
+                got: "numeric",
+            });
+        };
+        check_shape("dimensions", server.dim, self.dim())?;
+        Ok(chunked_map(
+            self.n_items(),
+            model.spec.threads,
+            || server.scratch(),
+            |item, scratch| server.predict_point(self.row(item as usize), scratch),
+        ))
+    }
+}
+
+impl PredictInput for &MixedDataset<'_> {
+    fn predict_with(self, model: &FittedModel) -> Result<Vec<ClusterId>, ModelError> {
+        let ModelKind::Mixed(server) = &model.kind else {
+            return Err(ModelError::WrongModality {
+                expected: model.modality(),
+                got: "mixed",
+            });
+        };
+        check_shape(
+            "attributes",
+            server.cat.schema.n_attrs(),
+            self.categorical.n_attrs(),
+        )?;
+        check_encoding(&server.cat.schema, self.categorical.schema())?;
+        check_shape("dimensions", server.num.dim, self.numeric.dim())?;
+        Ok(chunked_map(
+            self.n_items(),
+            model.spec.threads,
+            || server.scratch(),
+            |item, scratch| {
+                server.predict_row(
+                    self.categorical.row(item as usize),
+                    self.numeric.row(item as usize),
+                    scratch,
+                )
+            },
+        ))
+    }
+}

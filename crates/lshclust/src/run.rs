@@ -56,7 +56,9 @@ impl Centroids {
 }
 
 /// The one result type for every [`crate::Clusterer`] run — the union of the
-/// information the per-algorithm result structs used to carry.
+/// information the per-algorithm result structs used to carry, plus the
+/// **serving artifact**: a [`crate::FittedModel`] that assigns unseen items,
+/// persists as JSON, and seeds warm-started refits.
 #[derive(Clone, Debug)]
 pub struct ClusterRun {
     /// Final cluster per item.
@@ -69,6 +71,9 @@ pub struct ClusterRun {
     pub summary: RunSummary,
     /// Bucket statistics of the LSH index, when one was built.
     pub index_stats: Option<IndexStats>,
+    /// The trained model: frozen centroids + a centroid LSH index, ready
+    /// for `predict` / `save` / `ClusterSpec::warm_start`.
+    pub model: crate::FittedModel,
 }
 
 impl ClusterRun {

@@ -333,6 +333,16 @@ impl ClusterSpec {
         self.stream = stream;
         self
     }
+
+    /// Builds a [`crate::Clusterer`] that **warm-starts** from a trained
+    /// model: instead of re-initialising, the refit resumes from `model`'s
+    /// served centroids (the spec's `init` strategy is ignored). The spec's
+    /// `k` must equal the model's cluster count and the input modality must
+    /// match the model's, or `fit` returns
+    /// [`SpecError::WarmStartMismatch`].
+    pub fn warm_start(self, model: &crate::FittedModel) -> crate::Clusterer {
+        crate::Clusterer::warm_start(self, model)
+    }
 }
 
 /// Why a spec cannot run on the given input modality.
@@ -360,6 +370,14 @@ pub enum SpecError {
         /// Items available.
         n_items: usize,
     },
+    /// A warm-start model is incompatible with the spec or the input
+    /// (wrong modality, different `k`, or mismatched shape).
+    WarmStartMismatch {
+        /// What the spec/input requires.
+        expected: String,
+        /// What the warm-start model provides.
+        got: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -373,6 +391,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::InvalidK { k, n_items } => {
                 write!(f, "k={k} must be in 1..={n_items}")
+            }
+            SpecError::WarmStartMismatch { expected, got } => {
+                write!(f, "warm start needs {expected}, model provides {got}")
             }
         }
     }
@@ -464,6 +485,45 @@ mod tests {
     fn unknown_lsh_variant_is_rejected() {
         assert!(serde_json::from_str::<Lsh>(r#"{"CosineTree":{"bands":1}}"#).is_err());
         assert!(serde_json::from_str::<Lsh>(r#""None""#).is_ok());
+    }
+
+    #[test]
+    fn every_spec_error_variant_displays_its_context() {
+        // One case per variant; each message must carry the offending
+        // pieces so CLI users can act on it.
+        let cases = [
+            (
+                SpecError::UnsupportedLsh {
+                    modality: "streaming",
+                    lsh: "SimHash",
+                },
+                vec!["SimHash", "streaming"],
+            ),
+            (
+                SpecError::UnsupportedInit {
+                    modality: "numeric",
+                    init: "Cao",
+                },
+                vec!["Cao", "numeric"],
+            ),
+            (
+                SpecError::InvalidK { k: 51, n_items: 50 },
+                vec!["k=51", "50"],
+            ),
+            (
+                SpecError::WarmStartMismatch {
+                    expected: "k=10".to_owned(),
+                    got: "k=7".to_owned(),
+                },
+                vec!["warm start", "k=10", "k=7"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let text = err.to_string();
+            for needle in needles {
+                assert!(text.contains(needle), "`{text}` misses `{needle}`");
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,33 @@ impl Banding {
     }
 }
 
+// `{"bands": 20, "rows": 5}`; deserialization re-validates positivity so a
+// hand-edited parameter file errors instead of panicking.
+impl serde::Serialize for Banding {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("bands".to_owned(), serde::Serialize::to_value(&self.bands)),
+            ("rows".to_owned(), serde::Serialize::to_value(&self.rows)),
+        ])
+    }
+}
+
+impl serde::Deserialize for Banding {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "Banding"))?;
+        let bands: u32 = serde::field(entries, "bands", "Banding")?;
+        let rows: u32 = serde::field(entries, "rows", "Banding")?;
+        if bands == 0 || rows == 0 {
+            return Err(serde::Error(format!(
+                "Banding dimensions must be positive, got {bands}b{rows}r"
+            )));
+        }
+        Ok(Banding::new(bands, rows))
+    }
+}
+
 impl std::fmt::Display for Banding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}b{}r", self.bands, self.rows)

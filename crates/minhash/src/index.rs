@@ -18,7 +18,7 @@
 use crate::banding::Banding;
 use crate::hashfn::{FastMap, MixHashFamily};
 use crate::signature::SignatureGenerator;
-use lshclust_categorical::{ClusterId, Dataset, PresentElements};
+use lshclust_categorical::{ClusterId, Dataset, PresentElements, Schema, ValueId};
 
 /// How shortlist queries locate colliding items.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -30,6 +30,32 @@ pub enum QueryMode {
     /// (memory-for-time trade; identical results).
     Precomputed,
 }
+
+serde::impl_serde_unit_enum!(QueryMode {
+    ScanBuckets,
+    Precomputed
+});
+
+/// The serializable construction parameters of an [`LshIndex`]. Hashing is
+/// fully deterministic in these three fields, so an index rebuilt from equal
+/// parameters over equal rows answers every query identically — which is how
+/// saved models (`lshclust::FittedModel`) ship an index as a few bytes of
+/// JSON instead of a bucket dump.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexParams {
+    /// Banding scheme (`b` bands × `r` rows).
+    pub banding: Banding,
+    /// Hash-family seed.
+    pub seed: u64,
+    /// Query mode.
+    pub mode: QueryMode,
+}
+
+serde::impl_serde_struct!(IndexParams {
+    banding,
+    seed,
+    mode
+});
 
 /// Configuration for [`LshIndex`] construction.
 #[derive(Clone, Debug)]
@@ -61,32 +87,66 @@ impl LshIndexBuilder {
         self
     }
 
+    /// Restores a builder from serialized [`IndexParams`].
+    pub fn from_params(params: IndexParams) -> Self {
+        Self {
+            banding: params.banding,
+            seed: params.seed,
+            mode: params.mode,
+        }
+    }
+
+    /// The builder's parameters in serializable form.
+    pub fn params(&self) -> IndexParams {
+        IndexParams {
+            banding: self.banding,
+            seed: self.seed,
+            mode: self.mode,
+        }
+    }
+
     /// Hashes every item of `dataset` and builds the index. `initial`
     /// supplies the cluster reference stored for each item (Algorithm 2
     /// stores "a reference to the cluster that the item has been assigned to
     /// by K-Modes").
     pub fn build(&self, dataset: &Dataset, initial: &[ClusterId]) -> LshIndex {
-        let n_items = dataset.n_items();
-        assert_eq!(
-            initial.len(),
-            n_items,
-            "one initial cluster per item required"
-        );
+        self.build_rows(dataset.schema(), dataset.rows(), initial)
+    }
+
+    /// Like [`Self::build`], but over raw value rows under an explicit
+    /// schema — the constructor serving paths use to index things that are
+    /// not a `Dataset` (most importantly, a trained model's *centroids*).
+    pub fn build_rows<'r>(
+        &self,
+        schema: &Schema,
+        rows: impl IntoIterator<Item = &'r [ValueId]>,
+        initial: &[ClusterId],
+    ) -> LshIndex {
         let banding = self.banding;
         let n_bands = banding.bands() as usize;
 
         let family = MixHashFamily::new(banding.signature_len(), self.seed);
         let generator = SignatureGenerator::new(family);
 
-        // Pass 1: signatures → band keys (flattened item-major).
-        let mut band_keys = Vec::with_capacity(n_items * n_bands);
+        // Pass 1: signatures → band keys (flattened item-major). Dataset
+        // rows come from an exact-size iterator, so the hint preallocates
+        // the full buffer on the fit path.
+        let rows = rows.into_iter();
+        let mut band_keys = Vec::with_capacity(rows.size_hint().0.saturating_mul(n_bands));
         let mut sig = Vec::with_capacity(banding.signature_len());
         let mut keys = Vec::with_capacity(n_bands);
-        for item in 0..n_items {
-            generator.signature_into(PresentElements::of_item(dataset, item), &mut sig);
+        let mut n_items = 0usize;
+        for row in rows {
+            generator.signature_into(PresentElements::new(schema, row), &mut sig);
             banding.band_keys_into(&sig, &mut keys);
             band_keys.extend_from_slice(&keys);
+            n_items += 1;
         }
+        assert_eq!(
+            initial.len(),
+            n_items,
+            "one initial cluster per item required"
+        );
 
         // Pass 2: fill one bucket map per band.
         let mut buckets: Vec<FastMap<u64, Vec<u32>>> =
@@ -111,9 +171,24 @@ impl LshIndexBuilder {
         }
         index
     }
+
+    /// Builds a **centroid index**: each row is one centroid, indexed under
+    /// its own [`ClusterId`] (row `i` → cluster `i`). A shortlist query then
+    /// returns exactly the candidate clusters whose centroids collide with
+    /// the query — the frozen serving structure of a trained model.
+    pub fn build_centroids<'r>(
+        &self,
+        schema: &Schema,
+        centroids: impl IntoIterator<Item = &'r [ValueId]>,
+        k: usize,
+    ) -> LshIndex {
+        let identity: Vec<ClusterId> = (0..k as u32).map(ClusterId).collect();
+        self.build_rows(schema, centroids, &identity)
+    }
 }
 
 /// The MinHash/LSH index with per-item cluster references.
+#[derive(Clone)]
 pub struct LshIndex {
     banding: Banding,
     /// `n_items × b` band keys, item-major.
@@ -261,6 +336,36 @@ impl LshIndex {
                     }
                 }
             });
+        }
+    }
+
+    /// Builds the candidate-cluster shortlist for an **external query** whose
+    /// band keys were computed by the caller (same banding, same hash
+    /// family). This is the serving-time entry point: unseen items are
+    /// MinHashed outside the index and probed against the frozen buckets.
+    ///
+    /// The result lands in `scratch.clusters` (cleared first), exactly as
+    /// with [`Self::shortlist`].
+    pub fn shortlist_for_band_keys(&self, band_keys: &[u64], scratch: &mut ShortlistScratch) {
+        assert_eq!(
+            band_keys.len(),
+            self.banding.bands() as usize,
+            "query band keys disagree with the index banding"
+        );
+        scratch.clusters.clear();
+        scratch.items.begin();
+        scratch.begin_clusters();
+        for (band, key) in band_keys.iter().enumerate() {
+            if let Some(members) = self.buckets[band].get(key) {
+                for &other in members {
+                    if scratch.items.mark(other) {
+                        let c = self.cluster_of[other as usize];
+                        if scratch.mark_cluster(c) {
+                            scratch.clusters.push(c);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -546,6 +651,67 @@ mod tests {
         assert_eq!(stats.total_entries, 4 * 16);
         assert!(stats.largest_bucket >= 1);
         assert!(stats.n_buckets <= stats.total_entries);
+    }
+
+    #[test]
+    fn external_band_keys_reproduce_internal_shortlists() {
+        // Hash item 0's row externally (same schema, seed, banding) and probe
+        // with shortlist_for_band_keys: the shortlist must match the
+        // by-item-id query exactly.
+        use crate::hashfn::MixHashFamily;
+        use crate::signature::SignatureGenerator;
+        let ds = dataset();
+        let banding = Banding::new(16, 2);
+        let index = LshIndexBuilder::new(banding)
+            .seed(7)
+            .build(&ds, &clusters(&[0, 1, 2, 3]));
+        let generator = SignatureGenerator::new(MixHashFamily::new(banding.signature_len(), 7));
+        let mut s1 = index.make_scratch(4);
+        let mut s2 = index.make_scratch(4);
+        for item in 0..4usize {
+            let sig = generator.signature(PresentElements::of_item(&ds, item));
+            let keys = banding.band_keys(&sig);
+            index.shortlist_for_band_keys(&keys, &mut s1);
+            index.shortlist(item as u32, &mut s2, false);
+            let (mut a, mut b) = (s1.clusters.clone(), s2.clusters.clone());
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "item {item}");
+        }
+    }
+
+    #[test]
+    fn centroid_index_shortlists_identity_clusters() {
+        let ds = dataset();
+        let index = LshIndexBuilder::new(Banding::new(16, 2))
+            .seed(7)
+            .build_centroids(ds.schema(), ds.rows(), ds.n_items());
+        for item in 0..4u32 {
+            assert_eq!(index.cluster_of(item), ClusterId(item));
+        }
+        let mut scratch = index.make_scratch(4);
+        index.shortlist(0, &mut scratch, false);
+        assert!(scratch.clusters.contains(&ClusterId(0)));
+        assert!(scratch.clusters.contains(&ClusterId(1)));
+    }
+
+    #[test]
+    fn index_params_round_trip_rebuilds_identically() {
+        let ds = dataset();
+        let builder = LshIndexBuilder::new(Banding::new(8, 2))
+            .seed(99)
+            .mode(QueryMode::Precomputed);
+        let json = serde_json::to_string(&builder.params()).unwrap();
+        let params: IndexParams = serde_json::from_str(&json).unwrap();
+        let a = builder.build(&ds, &clusters(&[0, 1, 2, 3]));
+        let b = LshIndexBuilder::from_params(params).build(&ds, &clusters(&[0, 1, 2, 3]));
+        let mut s1 = a.make_scratch(4);
+        let mut s2 = b.make_scratch(4);
+        for item in 0..4u32 {
+            a.shortlist(item, &mut s1, false);
+            b.shortlist(item, &mut s2, false);
+            assert_eq!(s1.clusters, s2.clusters);
+        }
     }
 
     #[test]

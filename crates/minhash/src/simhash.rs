@@ -52,16 +52,24 @@ impl SimHash {
     /// Computes the bit signature of `v` (little-endian bit packing into
     /// `u64` words).
     pub fn signature(&self, v: &[f64]) -> Vec<u64> {
+        let mut bits = Vec::new();
+        self.signature_into(v, &mut bits);
+        bits
+    }
+
+    /// [`Self::signature`] into a reused buffer (cleared and resized) — the
+    /// allocation-free form the serving hot path uses.
+    pub fn signature_into(&self, v: &[f64], out: &mut Vec<u64>) {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
         let n_words = self.n_bits.div_ceil(64);
-        let mut bits = vec![0u64; n_words];
+        out.clear();
+        out.resize(n_words, 0);
         for (i, plane) in self.planes.chunks_exact(self.dim).enumerate() {
             let dot: f64 = plane.iter().zip(v.iter()).map(|(p, x)| p * x).sum();
             if dot >= 0.0 {
-                bits[i / 64] |= 1u64 << (i % 64);
+                out[i / 64] |= 1u64 << (i % 64);
             }
         }
-        bits
     }
 
     /// Fraction of agreeing bits between two signatures — estimates
@@ -86,13 +94,21 @@ impl SimHash {
     /// Splits the bit signature into `bands` keys of `rows` bits each for
     /// LSH banding. Requires `bands × rows ≤ n_bits`.
     pub fn band_keys(&self, signature: &[u64], bands: u32, rows: u32) -> Vec<u64> {
+        let mut keys = Vec::new();
+        self.band_keys_into(signature, bands, rows, &mut keys);
+        keys
+    }
+
+    /// [`Self::band_keys`] into a reused buffer (cleared first).
+    pub fn band_keys_into(&self, signature: &[u64], bands: u32, rows: u32, keys: &mut Vec<u64>) {
         let needed = bands as usize * rows as usize;
         assert!(
             needed <= self.n_bits,
             "banding needs {needed} bits, have {}",
             self.n_bits
         );
-        let mut keys = Vec::with_capacity(bands as usize);
+        keys.clear();
+        keys.reserve(bands as usize);
         for band in 0..bands {
             let mut key = 0u64;
             for row in 0..rows {
@@ -103,7 +119,6 @@ impl SimHash {
             // Fold in the band index for per-band bucket universes.
             keys.push(crate::hashfn::mix64(key ^ (u64::from(band) << 48)));
         }
-        keys
     }
 }
 

@@ -94,7 +94,7 @@ pub mod prop {
     pub mod collection {
         use super::super::{Strategy, TestRng};
 
-        /// Anything usable as the size argument of [`vec`]: an exact length
+        /// Anything usable as the size argument of [`vec()`]: an exact length
         /// or a half-open range of lengths.
         pub trait SizeRange {
             /// Draws a concrete length.
@@ -113,7 +113,7 @@ pub mod prop {
             }
         }
 
-        /// The strategy returned by [`vec`].
+        /// The strategy returned by [`vec()`].
         pub struct VecStrategy<S, L> {
             element: S,
             len: L,

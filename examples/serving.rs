@@ -1,0 +1,96 @@
+//! Serving quickstart: **fit → save → load → predict → warm-start refit**.
+//!
+//! A `ClusterRun` is not a terminal report — it owns a `FittedModel`:
+//! frozen centroids plus an LSH index built over those centroids, so unseen
+//! items are assigned by probing a handful of candidate clusters instead of
+//! all `k`. The model persists as a versioned JSON envelope and seeds
+//! warm-started refits when fresh data arrives.
+//!
+//! ```text
+//! cargo run --release -p lshclust --example serving
+//! ```
+
+use lshclust::{ClusterSpec, Clusterer, FittedModel, Lsh};
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_metrics::purity;
+
+fn main() {
+    // --- fit ---------------------------------------------------------------
+    let seed = 7;
+    let config = DatgenConfig::new(2_000, 200, 60).seed(seed);
+    println!(
+        "training on {} items x {} attrs ({} rule clusters) ...",
+        config.n_items, config.n_attrs, config.n_clusters
+    );
+    let train = generate(&config);
+    let spec = ClusterSpec::new(config.n_clusters)
+        .lsh(Lsh::MinHash { bands: 20, rows: 5 })
+        .seed(seed)
+        .max_iterations(30);
+    let run = Clusterer::new(spec.clone()).fit(&train).unwrap();
+    println!(
+        "  {} iterations, converged: {}, purity {:.3}",
+        run.summary.n_iterations(),
+        run.summary.converged,
+        purity(&run.labels(), train.labels().unwrap()),
+    );
+
+    // --- save / load -------------------------------------------------------
+    let path = std::env::temp_dir().join("lshclust-serving-example.json");
+    run.model.save(&path).unwrap();
+    println!(
+        "saved model artifact ({} clusters, {} bytes) to {}",
+        run.model.k(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        path.display()
+    );
+    let model = FittedModel::load(&path).unwrap();
+
+    // --- predict -----------------------------------------------------------
+    // Re-serving the training batch reproduces the run's assignments almost
+    // everywhere. (Fit-time assignment shortlists over an *item* index with
+    // self-collision; serving shortlists over the *centroid* index — on
+    // hard, overlapping data the two local optima can differ on a few
+    // items. `tests/serving.rs` pins exact equality on separated data.)
+    let served = model.predict(&train).unwrap();
+    let agree = served
+        .iter()
+        .zip(&run.assignments)
+        .filter(|(a, b)| a == b)
+        .count();
+    let rate = agree as f64 / served.len() as f64;
+    println!(
+        "predict(training batch) agrees with run.assignments on {agree}/{} items ({:.1}%)",
+        served.len(),
+        rate * 100.0,
+    );
+    assert!(rate > 0.8, "served assignments diverged: {rate:.3}");
+
+    // A fresh batch is assigned through the centroid shortlist (per-query
+    // cost independent of k).
+    let fresh = generate(&DatgenConfig::new(500, 200, 60).seed(seed + 1));
+    let t = std::time::Instant::now();
+    let assignments = model.predict(&fresh).unwrap();
+    let elapsed = t.elapsed();
+    println!(
+        "assigned {} unseen items in {:.1} ms ({:.0} items/s)",
+        assignments.len(),
+        elapsed.as_secs_f64() * 1e3,
+        assignments.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+
+    // --- warm-start refit --------------------------------------------------
+    // Refit on the training data, resuming from the served centroids
+    // instead of re-initialising: the model is already near its fixpoint,
+    // so the refit settles in a couple of cheap passes.
+    let refit = spec.warm_start(&model).fit(&train).unwrap();
+    println!(
+        "warm-started refit: {} iterations ({} moves in the first pass), purity {:.3}",
+        refit.summary.n_iterations(),
+        refit.summary.iterations[0].moves,
+        purity(&refit.labels(), train.labels().unwrap()),
+    );
+    assert!(refit.summary.converged);
+    let _ = std::fs::remove_file(&path);
+    println!("done.");
+}

@@ -5,7 +5,7 @@
 
 use lshclust_categorical::ClusterId;
 use lshclust_core::canopy::{Canopies, CanopyConfig, CanopyProvider};
-use lshclust_core::framework::{fit, CentroidModel, FitConfig};
+use lshclust_core::framework::{fit, CentroidModel, StopPolicy};
 use lshclust_core::mhkmeans::{mh_kmeans, MhKMeansConfig};
 use lshclust_core::mhkmodes::KModesModel;
 use lshclust_core::mhkprototypes::{mh_kprototypes, MhKPrototypesConfig};
@@ -133,9 +133,9 @@ fn canopy_provider_clusters_comparable_to_lsh_provider() {
         &mut provider,
         assignments,
         std::time::Duration::ZERO,
-        &FitConfig {
+        &StopPolicy {
             max_iterations: 30,
-            ..FitConfig::default()
+            ..StopPolicy::default()
         },
     );
     let canopy_purity = purity(&predictions(&run.assignments), &labels);
