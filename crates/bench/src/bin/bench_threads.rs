@@ -1,0 +1,59 @@
+//! `bench_threads` — the thread-scaling experiment behind
+//! `BENCH_threads.json`.
+//!
+//! ```text
+//! bench_threads [--quick] [--seed N] [--threads A,B,C] [--out FILE]
+//!
+//!   --quick       CI-sized workload (seconds instead of minutes)
+//!   --seed N      master seed (default 42)
+//!   --threads L   comma-separated thread counts (default 1,2,4,8)
+//!   --out FILE    where to write the JSON report (default BENCH_threads.json)
+//! ```
+
+use lshclust_bench::threads::{run, ThreadsSettings};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_threads [--quick] [--seed N] [--threads 1,2,4,8] [--out FILE]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut settings = ThreadsSettings::default();
+    let mut out = "BENCH_threads.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => settings.quick = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => settings.seed = s,
+                None => return usage(),
+            },
+            "--threads" => {
+                let Some(list) = args.next() else {
+                    return usage();
+                };
+                let parsed: Option<Vec<usize>> =
+                    list.split(',').map(|t| t.trim().parse().ok()).collect();
+                match parsed {
+                    Some(t) if !t.is_empty() => settings.threads = t,
+                    _ => return usage(),
+                }
+            }
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = run(&settings);
+    print!("{}", report.render());
+    if let Err(e) = report.write_json(&out) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cluster fit      --input data.csv --k 1000 --model model.json [options]
-//! cluster predict  --model model.json --input new.csv [--output out.csv]
+//! cluster predict  --model model.json --input new.csv [--output out.csv] [--threads N]
 //! cluster inspect  --model model.json
 //! ```
 //!
@@ -23,7 +23,8 @@
 //!   --rows R          LSH rows per band (default 5)
 //!   --max-iter N      iteration cap (default 100)
 //!   --seed N          random seed (default 0)
-//!   --threads N       assignment threads (default 1 = paper-faithful)
+//!   --threads N       assignment threads (default 1 = paper-faithful serial;
+//!                     > 1 = Jacobi parallel passes, all families; 0 clamps to 1)
 //!   --spec FILE       read a full ClusterSpec as JSON (overrides the flags above)
 //!   --warm-start FILE resume fitting from a saved model's centroids
 //!   --model FILE      save the trained model artifact as JSON
@@ -63,6 +64,8 @@ struct PredictArgs {
     model: String,
     input: String,
     output: Option<String>,
+    /// Overrides the model's serving thread count for this batch.
+    threads: Option<usize>,
     quiet: bool,
 }
 
@@ -72,12 +75,14 @@ enum Command {
     Inspect { model: String },
 }
 
-const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv]\n  cluster inspect --model model.json";
+const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json";
 
-fn parse_predict(argv: &mut std::env::Args) -> Result<PredictArgs, String> {
+fn parse_predict(flags: impl IntoIterator<Item = String>) -> Result<PredictArgs, String> {
+    let mut argv = flags.into_iter();
     let mut model = None;
     let mut input = None;
     let mut output = None;
+    let mut threads = None;
     let mut quiet = false;
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
@@ -85,6 +90,13 @@ fn parse_predict(argv: &mut std::env::Args) -> Result<PredictArgs, String> {
             "--model" => model = Some(value("--model")?),
             "--input" => input = Some(value("--input")?),
             "--output" => output = Some(value("--output")?),
+            "--threads" => {
+                threads = Some(
+                    value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
             "--quiet" => quiet = true,
             other => return Err(format!("unknown argument {other}")),
         }
@@ -93,6 +105,7 @@ fn parse_predict(argv: &mut std::env::Args) -> Result<PredictArgs, String> {
         model: model.ok_or("--model is required")?,
         input: input.ok_or("--input is required")?,
         output,
+        threads,
         quiet,
     })
 }
@@ -102,7 +115,7 @@ fn parse_command() -> Result<Command, String> {
     let _ = argv.next(); // program name
     match argv.next().as_deref() {
         Some("fit") => Ok(Command::Fit(parse_fit(argv)?)),
-        Some("predict") => Ok(Command::Predict(parse_predict(&mut argv)?)),
+        Some("predict") => Ok(Command::Predict(parse_predict(argv)?)),
         Some("inspect") => {
             let mut model = None;
             while let Some(arg) = argv.next() {
@@ -336,7 +349,10 @@ fn run_fit(args: FitArgs) -> Result<(), String> {
 }
 
 fn run_predict(args: PredictArgs) -> Result<(), String> {
-    let model = FittedModel::load(&args.model).map_err(|e| format!("{}: {e}", args.model))?;
+    let mut model = FittedModel::load(&args.model).map_err(|e| format!("{}: {e}", args.model))?;
+    if let Some(threads) = args.threads {
+        model.set_threads(threads);
+    }
     eprintln!(
         "{}: {} model, k={}, lsh {}{}",
         args.model,
@@ -471,5 +487,86 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn fit_threads_flag_reaches_the_spec() {
+        let args = parse_fit(flags(&["--input", "x.csv", "--k", "10", "--threads", "6"])).unwrap();
+        assert_eq!(args.threads, 6);
+        let spec = build_spec(&args).unwrap();
+        assert_eq!(spec.threads, 6);
+    }
+
+    #[test]
+    fn fit_threads_zero_clamps_to_serial() {
+        let args = parse_fit(flags(&["--input", "x.csv", "--k", "10", "--threads", "0"])).unwrap();
+        assert_eq!(args.threads, 1, "--threads 0 is documented as serial");
+        assert_eq!(build_spec(&args).unwrap().threads, 1);
+    }
+
+    #[test]
+    fn dump_spec_json_carries_threads_and_round_trips_through_spec_flag() {
+        // `--dump-spec` prints exactly `build_spec(..)` as JSON; feeding that
+        // JSON back through `--spec` must reproduce the spec, threads
+        // included — the fit/predict thread plumbing round-trips.
+        let args = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--k",
+            "7",
+            "--bands",
+            "12",
+            "--rows",
+            "2",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        let spec = build_spec(&args).unwrap();
+        let json = serde_json::to_string_pretty(&spec).expect("spec serializes");
+        assert!(json.contains("\"threads\": 4"), "dump-spec output: {json}");
+
+        // Per-process path: concurrent test runs sharing a temp dir must not
+        // race on the spec file.
+        let dir =
+            std::env::temp_dir().join(format!("lshclust-cluster-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        std::fs::write(&path, &json).unwrap();
+        let from_file = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--spec",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let restored = build_spec(&from_file).unwrap();
+        assert_eq!(restored, spec);
+        assert_eq!(restored.threads, 4);
+    }
+
+    #[test]
+    fn predict_accepts_a_threads_override() {
+        let args = parse_predict(flags(&[
+            "--model",
+            "m.json",
+            "--input",
+            "x.csv",
+            "--threads",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(args.threads, Some(8));
+        let no_override = parse_predict(flags(&["--model", "m.json", "--input", "x.csv"])).unwrap();
+        assert_eq!(no_override.threads, None);
     }
 }

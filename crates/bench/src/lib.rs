@@ -10,6 +10,8 @@
 //!   (Figs. 9–10),
 //! * [`figures`] — rendering each table/figure as aligned text + CSV,
 //! * [`ablate`] -- design-choice ablations and the LSH-vs-canopy-vs-mini-batch comparison,
+//! * [`threads`] — the thread-scaling experiment behind `BENCH_threads.json`
+//!   (facade-driven, all four families),
 //! * [`table`] — a tiny fixed-width table printer.
 //!
 //! The experiment modules drive the *internal* per-algorithm configs
@@ -29,3 +31,4 @@ pub mod scale;
 pub mod synthetic;
 pub mod table;
 pub mod textexp;
+pub mod threads;

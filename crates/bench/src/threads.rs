@@ -1,0 +1,398 @@
+//! Thread-scaling experiment: how the assignment phase scales with
+//! `ClusterSpec::threads`, for every algorithm family.
+//!
+//! The paper's own implementation "was single threaded and thus only used
+//! one of the available twelve cores"; this experiment measures what the
+//! Jacobi parallel engine buys on top of the shortlist. One synthetic
+//! workload per family (categorical / numeric / mixed / streaming
+//! refinement) is fitted at each thread count through the **facade**
+//! (`ClusterSpec.threads`), so the experiment exercises exactly the wiring a
+//! user gets, and the result is written as `BENCH_threads.json`.
+//!
+//! Speedups are reported on the mean per-iteration time of the shortlisted
+//! phase (the assignment passes dominate it; setup — initial full pass plus
+//! index build — is reported separately and is not parallelised). Wall-clock
+//! speedup obviously requires more than one hardware core; `host_cpus` is
+//! recorded so single-core runs read as what they are.
+
+use lshclust::{ClusterSpec, Clusterer, Lsh, StreamOptions};
+use lshclust_categorical::Dataset;
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::kmeans::NumericDataset;
+use lshclust_kmodes::kprototypes::MixedDataset;
+use std::path::Path;
+use std::time::Instant;
+
+/// Settings of a thread-scaling run.
+#[derive(Clone, Debug)]
+pub struct ThreadsSettings {
+    /// Shrinks the workload for CI smoke runs.
+    pub quick: bool,
+    /// Thread counts to sweep (1 = the serial Gauss–Seidel reference).
+    pub threads: Vec<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ThreadsSettings {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            threads: vec![1, 2, 4, 8],
+            seed: 42,
+        }
+    }
+}
+
+/// One (family × thread count) measurement.
+#[derive(Clone, Debug)]
+pub struct ThreadRun {
+    /// Thread count of this run.
+    pub threads: usize,
+    /// Shortlisted iterations executed.
+    pub iterations: usize,
+    /// Setup time (initial full pass + index build), seconds.
+    pub setup_s: f64,
+    /// Summed time of the shortlisted assignment/update iterations, seconds.
+    pub assign_s: f64,
+    /// Mean per-iteration time of the shortlisted phase, milliseconds.
+    pub assign_iter_ms: f64,
+    /// Total wall-clock (setup + iterations), seconds.
+    pub total_s: f64,
+    /// Cost of the state the run returned (`RunSummary::best_cost`) —
+    /// validates that parallel runs land on comparable optima. Streaming
+    /// refinement has no objective cost and records 0.
+    pub cost: u64,
+    /// `assign_iter_ms` of the family's baseline run divided by this run's.
+    /// The baseline is the `threads == 1` run whenever one was swept (the
+    /// default), making this the assignment-phase speedup over serial; with
+    /// a custom `--threads` list that omits 1, the first swept count is the
+    /// baseline instead — `FamilyScaling::baseline_threads` records which.
+    pub speedup_vs_serial: f64,
+}
+
+serde::impl_serde_struct!(ThreadRun {
+    threads,
+    iterations,
+    setup_s,
+    assign_s,
+    assign_iter_ms,
+    total_s,
+    cost,
+    speedup_vs_serial
+});
+
+/// All thread counts for one family.
+#[derive(Clone, Debug)]
+pub struct FamilyScaling {
+    /// `"categorical"`, `"numeric"`, `"mixed"` or `"streaming-refine"`.
+    pub family: String,
+    /// The LSH scheme exercised.
+    pub lsh: String,
+    /// The thread count every `speedup_vs_serial` is measured against
+    /// (1 unless the swept list omitted a serial run).
+    pub baseline_threads: usize,
+    /// Measurements, one per swept thread count.
+    pub runs: Vec<ThreadRun>,
+}
+
+serde::impl_serde_struct!(FamilyScaling {
+    family,
+    lsh,
+    baseline_threads,
+    runs
+});
+
+/// Workload shape shared by the report.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Items per family workload.
+    pub n_items: usize,
+    /// Clusters.
+    pub n_clusters: usize,
+    /// Categorical attributes.
+    pub n_attrs: usize,
+    /// Numeric dimensions.
+    pub dim: usize,
+}
+
+serde::impl_serde_struct!(Workload {
+    n_items,
+    n_clusters,
+    n_attrs,
+    dim
+});
+
+/// The full `BENCH_threads.json` payload.
+#[derive(Clone, Debug)]
+pub struct ThreadsReport {
+    /// Experiment marker.
+    pub experiment: String,
+    /// Hardware threads available to this process (wall-clock speedup needs
+    /// more than one).
+    pub host_cpus: usize,
+    /// Whether the shrunken CI workload was used.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Workload shape.
+    pub workload: Workload,
+    /// Per-family scaling series.
+    pub families: Vec<FamilyScaling>,
+}
+
+serde::impl_serde_struct!(ThreadsReport {
+    experiment,
+    host_cpus,
+    quick,
+    seed,
+    workload,
+    families
+});
+
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+fn run_of(summary: &lshclust::RunSummary, threads: usize) -> ThreadRun {
+    let assign_s: f64 = summary
+        .iterations
+        .iter()
+        .map(|s| s.duration.as_secs_f64())
+        .sum();
+    let iterations = summary.n_iterations();
+    let assign_iter_ms = if iterations == 0 {
+        0.0
+    } else {
+        assign_s * 1e3 / iterations as f64
+    };
+    ThreadRun {
+        threads,
+        iterations,
+        setup_s: summary.setup.as_secs_f64(),
+        assign_s,
+        assign_iter_ms,
+        total_s: summary.total_time().as_secs_f64(),
+        // The cost of the state the run returned (min over recorded passes;
+        // `final_cost` can be a rolled-back stopping pass).
+        cost: summary.best_cost().unwrap_or(0),
+        speedup_vs_serial: 1.0, // filled in by `sweep` once the baseline is known
+    }
+}
+
+/// Runs `fit` at every thread count and derives `speedup_vs_serial` from the
+/// `threads == 1` run **wherever it appears in the list** (falling back to
+/// the first run when no serial count was requested, so a `--threads 2,4,8`
+/// sweep reads as speedup-over-2 rather than silently reporting 1.0×).
+/// Returns the runs plus the baseline thread count they are measured
+/// against, recorded in the report so the artifact is self-describing.
+fn sweep<F: FnMut(usize) -> lshclust::RunSummary>(
+    threads: &[usize],
+    mut fit: F,
+) -> (Vec<ThreadRun>, usize) {
+    let mut runs: Vec<ThreadRun> = threads.iter().map(|&t| run_of(&fit(t), t)).collect();
+    let baseline = runs.iter().find(|r| r.threads == 1).or(runs.first());
+    let baseline_threads = baseline.map_or(1, |r| r.threads);
+    if let Some(baseline_ms) = baseline.map(|r| r.assign_iter_ms) {
+        for run in &mut runs {
+            if run.assign_iter_ms > 0.0 {
+                run.speedup_vs_serial = baseline_ms / run.assign_iter_ms;
+            }
+        }
+    }
+    (runs, baseline_threads)
+}
+
+/// Runs the full experiment and returns the report.
+pub fn run(settings: &ThreadsSettings) -> ThreadsReport {
+    let (n_items, n_clusters, n_attrs, dim) = if settings.quick {
+        (3_000, 50, 20, 8)
+    } else {
+        (20_000, 200, 40, 16)
+    };
+    let seed = settings.seed;
+    let dataset: Dataset = generate(&DatgenConfig::new(n_items, n_clusters, n_attrs).seed(seed));
+    let labels: Vec<u32> = dataset.labels().expect("datgen labels").to_vec();
+    let numeric = numeric_blobs(&labels, dim);
+    let mixed = MixedDataset::new(&dataset, &numeric);
+    let max_iter = 25;
+
+    let mut families = Vec::new();
+
+    eprintln!("# threads: categorical (MinHash 20b5r, k={n_clusters}, n={n_items})");
+    let (runs, baseline_threads) = sweep(&settings.threads, |t| {
+        let spec = ClusterSpec::new(n_clusters)
+            .lsh(Lsh::MinHash { bands: 20, rows: 5 })
+            .seed(seed)
+            .threads(t)
+            .max_iterations(max_iter);
+        Clusterer::new(spec)
+            .fit(&dataset)
+            .expect("categorical fit")
+            .summary
+    });
+    families.push(FamilyScaling {
+        family: "categorical".into(),
+        lsh: "MinHash 20b5r".into(),
+        baseline_threads,
+        runs,
+    });
+
+    eprintln!("# threads: numeric (SimHash 8b16r)");
+    let (runs, baseline_threads) = sweep(&settings.threads, |t| {
+        let spec = ClusterSpec::new(n_clusters)
+            .lsh(Lsh::SimHash { bands: 8, rows: 16 })
+            .seed(seed)
+            .threads(t)
+            .max_iterations(max_iter);
+        Clusterer::new(spec)
+            .fit(&numeric)
+            .expect("numeric fit")
+            .summary
+    });
+    families.push(FamilyScaling {
+        family: "numeric".into(),
+        lsh: "SimHash 8b16r".into(),
+        baseline_threads,
+        runs,
+    });
+
+    eprintln!("# threads: mixed (MinHash ∪ SimHash)");
+    let (runs, baseline_threads) = sweep(&settings.threads, |t| {
+        let spec = ClusterSpec::new(n_clusters)
+            .lsh(Lsh::Union {
+                bands: 20,
+                rows: 5,
+                sim_bands: 8,
+                sim_rows: 16,
+            })
+            .seed(seed)
+            .threads(t)
+            .max_iterations(max_iter);
+        Clusterer::new(spec).fit(&mixed).expect("mixed fit").summary
+    });
+    families.push(FamilyScaling {
+        family: "mixed".into(),
+        lsh: "Union 20b5r + 8b16r".into(),
+        baseline_threads,
+        runs,
+    });
+
+    eprintln!("# threads: streaming refinement");
+    let (runs, baseline_threads) = sweep(&settings.threads, |t| {
+        let spec = ClusterSpec::new(1)
+            .lsh(Lsh::MinHash { bands: 16, rows: 2 })
+            .seed(seed)
+            .threads(t)
+            .stream(StreamOptions {
+                distance_threshold: None,
+                max_clusters: Some(n_clusters),
+            });
+        let mut stream = Clusterer::new(spec)
+            .streaming(dataset.schema().clone())
+            .expect("streaming");
+        for i in 0..dataset.n_items() {
+            stream.insert(dataset.row(i));
+        }
+        // Time each batch refinement pass (the thread-parallel part) and
+        // fold the series into the shared summary shape; streaming has
+        // no objective cost, so each pass records the moves it made and
+        // cost 0.
+        let mut iterations = Vec::new();
+        for pass in 1..=5usize {
+            let t0 = Instant::now();
+            let moves = stream.refine_pass();
+            iterations.push(lshclust::IterationStats {
+                iteration: pass,
+                duration: t0.elapsed(),
+                moves,
+                avg_candidates: 0.0,
+                cost: 0,
+            });
+            if moves == 0 {
+                break;
+            }
+        }
+        lshclust::RunSummary {
+            iterations,
+            converged: true,
+            setup: std::time::Duration::ZERO,
+        }
+    });
+    families.push(FamilyScaling {
+        family: "streaming-refine".into(),
+        lsh: "MinHash 16b2r (growing)".into(),
+        baseline_threads,
+        runs,
+    });
+
+    ThreadsReport {
+        experiment: "thread-scaling".into(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        quick: settings.quick,
+        seed,
+        workload: Workload {
+            n_items,
+            n_clusters,
+            n_attrs,
+            dim,
+        },
+        families,
+    }
+}
+
+impl ThreadsReport {
+    /// Writes the report as pretty JSON to `path`.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(self).expect("report serializes");
+        std::fs::write(path, text)
+    }
+
+    /// Renders an aligned text summary (one table per family).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "thread scaling  (host cpus: {}, quick: {}, n={}, k={})",
+            self.host_cpus, self.quick, self.workload.n_items, self.workload.n_clusters
+        );
+        for family in &self.families {
+            let _ = writeln!(
+                out,
+                "\n[{}] {}  (speedup baseline: {} thread{})",
+                family.family,
+                family.lsh,
+                family.baseline_threads,
+                if family.baseline_threads == 1 {
+                    ""
+                } else {
+                    "s"
+                }
+            );
+            let _ = writeln!(
+                out,
+                "{:>8}  {:>6}  {:>10}  {:>12}  {:>10}",
+                "threads", "iters", "assign (s)", "ms/iter", "speedup"
+            );
+            for r in &family.runs {
+                let _ = writeln!(
+                    out,
+                    "{:>8}  {:>6}  {:>10.3}  {:>12.3}  {:>9.2}x",
+                    r.threads, r.iterations, r.assign_s, r.assign_iter_ms, r.speedup_vs_serial
+                );
+            }
+        }
+        out
+    }
+}

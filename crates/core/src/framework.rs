@@ -26,6 +26,11 @@ use std::time::Instant;
 /// needs. Distances are surfaced as `f64` so categorical (integer mismatch
 /// counts) and numeric (squared Euclidean) models fit the same interface.
 pub trait CentroidModel {
+    /// Owned copy of the centroid state. The driver snapshots it before each
+    /// pass so a cost-increasing final pass can be rolled back (the paper's
+    /// "cost has minimised" criterion keeps the *minimising* state).
+    type Snapshot;
+
     /// Number of clusters `k`.
     fn k(&self) -> usize;
 
@@ -40,6 +45,23 @@ pub trait CentroidModel {
 
     /// Recomputes all centroids from `assignments`.
     fn update_centroids(&mut self, assignments: &[ClusterId]);
+
+    /// Like [`Self::update_centroids`], but free to fan the recomputation
+    /// over `threads` workers. Implementations must stay **deterministic**:
+    /// the result may not depend on the thread count (the per-family models
+    /// recompute cluster-by-cluster, which is bit-identical to the serial
+    /// update at any thread count). The default delegates to the serial
+    /// update.
+    fn update_centroids_parallel(&mut self, assignments: &[ClusterId], threads: usize) {
+        let _ = threads;
+        self.update_centroids(assignments);
+    }
+
+    /// Captures the current centroid state for [`Self::restore_centroids`].
+    fn snapshot_centroids(&self) -> Self::Snapshot;
+
+    /// Restores a state captured by [`Self::snapshot_centroids`].
+    fn restore_centroids(&mut self, snapshot: Self::Snapshot);
 
     /// Total cost of `assignments` under the current centroids.
     fn total_cost(&self, assignments: &[ClusterId]) -> f64;
@@ -191,9 +213,45 @@ pub struct AcceleratedRun {
 pub fn fit<M: CentroidModel, P: ShortlistProvider>(
     model: &mut M,
     provider: &mut P,
+    assignments: Vec<ClusterId>,
+    setup: std::time::Duration,
+    config: &StopPolicy,
+) -> AcceleratedRun {
+    drive(
+        model,
+        assignments,
+        setup,
+        config,
+        |model, assignments| assign_once(model, provider, assignments),
+        |model, assignments| model.update_centroids(assignments),
+    )
+}
+
+/// The **one** iteration driver every fit path shares — serial
+/// (Gauss–Seidel, through [`fit`]) and parallel (Jacobi, through
+/// [`crate::parallel::parallel_fit`]) differ only in the `pass` and `update`
+/// strategies they plug in; iteration accounting and stop logic live here.
+///
+/// Stop criteria:
+/// * `stop_on_no_moves` — a pass moved nothing; the state is a fixpoint.
+/// * `stop_on_cost_increase` — the paper's "cost has minimised" criterion.
+///   A pass whose cost comes back **strictly worse** than the previous
+///   iteration is rolled back (assignments and centroids), so the run always
+///   returns the minimising state. The offending pass stays in the
+///   instrumentation record (its time was really spent, and the exact
+///   baselines record their stopping pass the same way), so after a
+///   rollback `RunSummary::final_cost` — the *last recorded pass* — is the
+///   undone cost; `RunSummary::best_cost` carries the returned state's.
+///
+/// Both stops report `converged: true`; only exhausting `max_iterations`
+/// reports `false`.
+pub(crate) fn drive<M: CentroidModel>(
+    model: &mut M,
     mut assignments: Vec<ClusterId>,
     setup: std::time::Duration,
     config: &StopPolicy,
+    mut pass: impl FnMut(&M, &mut Vec<ClusterId>) -> AssignOutcome,
+    mut update: impl FnMut(&mut M, &[ClusterId]),
 ) -> AcceleratedRun {
     assert_eq!(
         assignments.len(),
@@ -204,11 +262,21 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
     let mut iterations = Vec::new();
     let mut converged = false;
     let mut prev_cost = f64::INFINITY;
+    // Pre-pass state for cost-increase rollback. The assignment buffer is
+    // allocated once and refilled per iteration (`clone_from` reuses its
+    // capacity); the centroid snapshot is the only per-iteration clone, and
+    // it is O(k·m) against the pass's O(n·m·shortlist).
+    let mut prev_assignments: Vec<ClusterId> = Vec::new();
+    let mut prev_centroids: Option<M::Snapshot> = None;
     for iteration in 1..=config.max_iterations {
         let t = Instant::now();
-        let pass = assign_once(model, provider, &mut assignments);
-        let moves = pass.moves;
-        model.update_centroids(&assignments);
+        if config.stop_on_cost_increase {
+            prev_assignments.clone_from(&assignments);
+            prev_centroids = Some(model.snapshot_centroids());
+        }
+        let outcome = pass(model, &mut assignments);
+        let moves = outcome.moves;
+        update(model, &assignments);
         let cost = model.total_cost(&assignments);
         iterations.push(IterationStats {
             iteration,
@@ -217,7 +285,7 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
             avg_candidates: if n == 0 {
                 0.0
             } else {
-                pass.shortlist_total as f64 / n as f64
+                outcome.shortlist_total as f64 / n as f64
             },
             cost: cost as u64,
         });
@@ -226,6 +294,17 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
             break;
         }
         if config.stop_on_cost_increase && cost >= prev_cost {
+            if cost > prev_cost {
+                // The final pass made things strictly worse: restore the
+                // previous pass's assignments and centroids so the returned
+                // cost is the minimum over the recorded iterations.
+                std::mem::swap(&mut assignments, &mut prev_assignments);
+                model.restore_centroids(
+                    prev_centroids
+                        .take()
+                        .expect("rollback state exists when the criterion is armed"),
+                );
+            }
             converged = true;
             break;
         }
@@ -254,6 +333,13 @@ mod tests {
     }
 
     impl CentroidModel for LineModel {
+        type Snapshot = Vec<i64>;
+        fn snapshot_centroids(&self) -> Vec<i64> {
+            self.centroids.clone()
+        }
+        fn restore_centroids(&mut self, snapshot: Vec<i64>) {
+            self.centroids = snapshot;
+        }
         fn k(&self) -> usize {
             self.centroids.len()
         }
@@ -513,6 +599,110 @@ mod tests {
         let pass = assign_once(&model, &mut EmptyProvider, &mut assignments);
         assert_eq!(pass.moves, 0);
         assert_eq!(assignments, vec![ClusterId(1); 6]);
+    }
+
+    /// A scripted model whose cost dips and then rises: pass 1 → cost 10,
+    /// pass 2 → cost 5, pass 3 → cost 8. The driver must stop at pass 3 and
+    /// hand back pass 2's state (cost 5 = the minimum over iterations).
+    struct ScriptedModel {
+        /// Scripted (assignment-for-item-0, cost) per pass, consumed in order.
+        script: std::cell::RefCell<Vec<(u32, f64)>>,
+        /// Cost of the current centroid state.
+        current_cost: std::cell::Cell<f64>,
+    }
+
+    impl CentroidModel for ScriptedModel {
+        type Snapshot = f64;
+        fn snapshot_centroids(&self) -> f64 {
+            self.current_cost.get()
+        }
+        fn restore_centroids(&mut self, snapshot: f64) {
+            self.current_cost.set(snapshot);
+        }
+        fn k(&self) -> usize {
+            4
+        }
+        fn n_items(&self) -> usize {
+            1
+        }
+        fn best_full(&self, _item: u32) -> (ClusterId, f64) {
+            let (c, d) = self.script.borrow_mut().remove(0);
+            (ClusterId(c), d)
+        }
+        fn best_among(&self, item: u32, _candidates: &[ClusterId]) -> Option<(ClusterId, f64)> {
+            Some(self.best_full(item))
+        }
+        fn update_centroids(&mut self, _assignments: &[ClusterId]) {}
+        fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
+            // The scripted cost was stashed by the pass via the assignment.
+            let _ = assignments;
+            self.current_cost.get()
+        }
+    }
+
+    #[test]
+    fn cost_increase_rolls_back_to_the_minimising_pass() {
+        let mut model = ScriptedModel {
+            script: std::cell::RefCell::new(vec![(1, 10.0), (2, 5.0), (3, 8.0)]),
+            current_cost: std::cell::Cell::new(f64::INFINITY),
+        };
+        let run = drive(
+            &mut model,
+            vec![ClusterId(0)],
+            Duration::ZERO,
+            &StopPolicy::default(),
+            |model, assignments| {
+                let (c, d) = model.best_full(0);
+                let moved = assignments[0] != c;
+                assignments[0] = c;
+                model.current_cost.set(d);
+                AssignOutcome {
+                    moves: usize::from(moved),
+                    shortlist_total: 4,
+                }
+            },
+            |_, _| {},
+        );
+        assert!(run.summary.converged);
+        assert_eq!(run.summary.n_iterations(), 3, "worse pass stays recorded");
+        // State rolled back to the pass-2 minimum.
+        assert_eq!(run.assignments, vec![ClusterId(2)]);
+        assert_eq!(model.current_cost.get(), 5.0);
+        let min_cost = run.summary.iterations.iter().map(|s| s.cost).min().unwrap();
+        assert_eq!(
+            model.total_cost(&run.assignments) as u64,
+            min_cost,
+            "returned cost must be the minimum over recorded iterations"
+        );
+    }
+
+    #[test]
+    fn equal_cost_stop_keeps_the_latest_state_without_rollback() {
+        // cost 10 → cost 10: stop (no strict improvement), but the second
+        // state is not worse, so it is kept.
+        let mut model = ScriptedModel {
+            script: std::cell::RefCell::new(vec![(1, 10.0), (2, 10.0)]),
+            current_cost: std::cell::Cell::new(f64::INFINITY),
+        };
+        let run = drive(
+            &mut model,
+            vec![ClusterId(0)],
+            Duration::ZERO,
+            &StopPolicy::default(),
+            |model, assignments| {
+                let (c, d) = model.best_full(0);
+                let moved = assignments[0] != c;
+                assignments[0] = c;
+                model.current_cost.set(d);
+                AssignOutcome {
+                    moves: usize::from(moved),
+                    shortlist_total: 4,
+                }
+            },
+            |_, _| {},
+        );
+        assert!(run.summary.converged);
+        assert_eq!(run.assignments, vec![ClusterId(2)]);
     }
 
     #[test]

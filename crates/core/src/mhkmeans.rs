@@ -15,6 +15,7 @@
 use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
 use lshclust_categorical::ClusterId;
 use lshclust_kmodes::kmeans::{kmeans_initial_centroids, sq_euclidean, KMeansInit, NumericDataset};
+use lshclust_kmodes::modes::group_by_cluster;
 use lshclust_kmodes::stats::RunSummary;
 use lshclust_minhash::hashfn::{FastMap, FastSet};
 use lshclust_minhash::simhash::SimHash;
@@ -46,6 +47,16 @@ impl<'a> KMeansModel<'a> {
 }
 
 impl CentroidModel for KMeansModel<'_> {
+    type Snapshot = Vec<f64>;
+
+    fn snapshot_centroids(&self) -> Vec<f64> {
+        self.centroids.clone()
+    }
+
+    fn restore_centroids(&mut self, snapshot: Vec<f64>) {
+        self.centroids = snapshot;
+    }
+
     fn k(&self) -> usize {
         self.k
     }
@@ -103,6 +114,46 @@ impl CentroidModel for KMeansModel<'_> {
             }
             for d in 0..dim {
                 self.centroids[c * dim + d] = sums[c * dim + d] / f64::from(counts[c]);
+            }
+        }
+    }
+
+    fn update_centroids_parallel(&mut self, assignments: &[ClusterId], threads: usize) {
+        if threads <= 1 {
+            return self.update_centroids(assignments);
+        }
+        // Cluster-by-cluster means. Each cluster's member sums accumulate in
+        // ascending item order — the same addition sequence per accumulator
+        // as the serial item-order loop — so the result is bit-identical to
+        // the serial update at any thread count.
+        let dim = self.data.dim();
+        let k = self.k;
+        let groups = group_by_cluster(assignments, k);
+        let data = self.data;
+        let new_means: Vec<Option<Vec<f64>>> = crate::parallel::chunked_map(
+            k,
+            threads,
+            || (),
+            |c, _| {
+                let members = groups.members(c as usize);
+                if members.is_empty() {
+                    return None; // empty cluster keeps its centroid
+                }
+                let mut sum = vec![0.0f64; dim];
+                for &i in members {
+                    for (s, &x) in sum.iter_mut().zip(data.row(i as usize)) {
+                        *s += x;
+                    }
+                }
+                for s in &mut sum {
+                    *s /= members.len() as f64;
+                }
+                Some(sum)
+            },
+        );
+        for (c, mean) in new_means.iter().enumerate() {
+            if let Some(mean) = mean {
+                self.centroids[c * dim..(c + 1) * dim].copy_from_slice(mean);
             }
         }
     }
@@ -300,6 +351,18 @@ impl ShortlistProvider for SimHashProvider {
     }
 }
 
+impl crate::parallel::SyncShortlistProvider for SimHashProvider {
+    type Scratch = FastSet<u32>;
+
+    fn make_scratch(&self) -> FastSet<u32> {
+        FastSet::default()
+    }
+
+    fn shortlist_into(&self, item: u32, seen: &mut FastSet<u32>, out: &mut Vec<ClusterId>) {
+        self.index.shortlist_into(item, out, seen);
+    }
+}
+
 /// Configuration for MH-K-Means.
 #[derive(Clone, Debug)]
 pub struct MhKMeansConfig {
@@ -315,10 +378,14 @@ pub struct MhKMeansConfig {
     pub init: KMeansInit,
     /// RNG seed (centroids and hyperplanes).
     pub seed: u64,
+    /// Assignment-pass threads. `1` (and the clamped `0`) keeps the serial
+    /// Gauss–Seidel pass; `> 1` runs the Jacobi parallel engine of
+    /// [`crate::parallel`].
+    pub threads: usize,
 }
 
 impl MhKMeansConfig {
-    /// Defaults: 100-iteration cap, random-item init.
+    /// Defaults: 100-iteration cap, random-item init, serial assignment.
     pub fn new(k: usize, bands: u32, rows: u32) -> Self {
         Self {
             k,
@@ -327,7 +394,14 @@ impl MhKMeansConfig {
             stop: StopPolicy::default(),
             init: KMeansInit::RandomItems,
             seed: 0,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of assignment threads (`0` clamps to `1`).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
     }
 }
 
@@ -367,7 +441,18 @@ pub fn mh_kmeans_from(
     let index = SimHashIndex::build(data, config.bands, config.rows, config.seed, &assignments);
     let mut provider = SimHashProvider::new(index);
     let setup = setup_start.elapsed();
-    let run = framework::fit(&mut model, &mut provider, assignments, setup, &config.stop);
+    let run = if config.threads <= 1 {
+        framework::fit(&mut model, &mut provider, assignments, setup, &config.stop)
+    } else {
+        crate::parallel::parallel_fit(
+            &mut model,
+            &mut provider,
+            assignments,
+            setup,
+            &config.stop,
+            config.threads,
+        )
+    };
     MhKMeansResult {
         assignments: run.assignments,
         centroids: model.centroids.clone(),

@@ -13,11 +13,11 @@
 //!    improving.
 
 use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
-use lshclust_categorical::{ClusterId, Dataset};
+use lshclust_categorical::{ClusterId, Dataset, ValueId};
 use lshclust_kmodes::assign::{best_cluster_among, best_cluster_full};
 use lshclust_kmodes::cost::total_cost;
 use lshclust_kmodes::init::{initial_modes, InitMethod};
-use lshclust_kmodes::modes::Modes;
+use lshclust_kmodes::modes::{group_by_cluster, Modes};
 use lshclust_kmodes::stats::RunSummary;
 use lshclust_minhash::index::{IndexStats, LshIndex, LshIndexBuilder, ShortlistScratch};
 use lshclust_minhash::{Banding, QueryMode};
@@ -99,10 +99,11 @@ impl MhKModesConfig {
         self
     }
 
-    /// Sets the number of assignment threads.
+    /// Sets the number of assignment threads. `0` is normalised to `1`
+    /// (serial) — the documented clamp shared with
+    /// `lshclust::ClusterSpec::threads`.
     pub fn threads(mut self, n: usize) -> Self {
-        assert!(n >= 1);
-        self.threads = n;
+        self.threads = n.max(1);
         self
     }
 }
@@ -136,6 +137,16 @@ impl<'a> KModesModel<'a> {
 }
 
 impl CentroidModel for KModesModel<'_> {
+    type Snapshot = Modes;
+
+    fn snapshot_centroids(&self) -> Modes {
+        self.modes.clone()
+    }
+
+    fn restore_centroids(&mut self, snapshot: Modes) {
+        self.modes = snapshot;
+    }
+
     fn k(&self) -> usize {
         self.modes.k()
     }
@@ -158,6 +169,36 @@ impl CentroidModel for KModesModel<'_> {
         self.modes.recompute(self.dataset, assignments);
     }
 
+    fn update_centroids_parallel(&mut self, assignments: &[ClusterId], threads: usize) {
+        if threads <= 1 {
+            return self.update_centroids(assignments);
+        }
+        // Cluster-by-cluster recomputation through the same kernel as the
+        // serial path — bit-identical at any thread count.
+        let k = self.k();
+        let groups = group_by_cluster(assignments, k);
+        let dataset = self.dataset;
+        let new_modes: Vec<Option<Vec<ValueId>>> = crate::parallel::chunked_map(
+            k,
+            threads,
+            Vec::new,
+            |c, counts: &mut Vec<(ValueId, u32)>| {
+                let members = groups.members(c as usize);
+                if members.is_empty() {
+                    return None; // keep previous mode
+                }
+                let mut mode = Vec::with_capacity(dataset.n_attrs());
+                Modes::mode_of_members(dataset, members, counts, &mut mode);
+                Some(mode)
+            },
+        );
+        for (c, mode) in new_modes.iter().enumerate() {
+            if let Some(mode) = mode {
+                self.modes.set_mode(ClusterId(c as u32), mode);
+            }
+        }
+    }
+
     fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
         total_cost(self.dataset, &self.modes, assignments) as f64
     }
@@ -167,6 +208,7 @@ impl CentroidModel for KModesModel<'_> {
 pub struct MinHashProvider {
     index: LshIndex,
     scratch: ShortlistScratch,
+    n_clusters: usize,
     include_self: bool,
 }
 
@@ -177,6 +219,7 @@ impl MinHashProvider {
         Self {
             index,
             scratch,
+            n_clusters,
             include_self,
         }
     }
@@ -202,6 +245,20 @@ impl ShortlistProvider for MinHashProvider {
 
     fn record_assignment(&mut self, item: u32, cluster: ClusterId) {
         self.index.set_cluster(item, cluster);
+    }
+}
+
+impl crate::parallel::SyncShortlistProvider for MinHashProvider {
+    type Scratch = ShortlistScratch;
+
+    fn make_scratch(&self) -> ShortlistScratch {
+        self.index.make_scratch(self.n_clusters)
+    }
+
+    fn shortlist_into(&self, item: u32, scratch: &mut ShortlistScratch, out: &mut Vec<ClusterId>) {
+        self.index.shortlist(item, scratch, !self.include_self);
+        out.clear();
+        out.extend_from_slice(&scratch.clusters);
     }
 }
 

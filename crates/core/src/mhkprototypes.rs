@@ -16,8 +16,9 @@
 use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
 use crate::mhkmeans::{SimHashIndex, SimHashProvider};
 use crate::mhkmodes::MinHashProvider;
-use lshclust_categorical::ClusterId;
+use lshclust_categorical::{ClusterId, ValueId};
 use lshclust_kmodes::kprototypes::{MixedDataset, Prototypes};
+use lshclust_kmodes::modes::{group_by_cluster, Modes};
 use lshclust_kmodes::stats::RunSummary;
 use lshclust_minhash::index::LshIndexBuilder;
 use lshclust_minhash::Banding;
@@ -47,6 +48,16 @@ impl<'a> KPrototypesModel<'a> {
 }
 
 impl CentroidModel for KPrototypesModel<'_> {
+    type Snapshot = Prototypes;
+
+    fn snapshot_centroids(&self) -> Prototypes {
+        self.prototypes.clone()
+    }
+
+    fn restore_centroids(&mut self, snapshot: Prototypes) {
+        self.prototypes = snapshot;
+    }
+
     fn k(&self) -> usize {
         self.prototypes.k()
     }
@@ -89,6 +100,48 @@ impl CentroidModel for KPrototypesModel<'_> {
 
     fn update_centroids(&mut self, assignments: &[ClusterId]) {
         self.prototypes.recompute(self.data, assignments);
+    }
+
+    fn update_centroids_parallel(&mut self, assignments: &[ClusterId], threads: usize) {
+        if threads <= 1 {
+            return self.update_centroids(assignments);
+        }
+        // Cluster-by-cluster mode + mean recomputation through the same
+        // kernels as the serial path (CSR member order) — bit-identical to
+        // the serial update at any thread count.
+        let k = self.k();
+        let dim = self.prototypes.dim();
+        let n_attrs = self.prototypes.modes.n_attrs();
+        let groups = group_by_cluster(assignments, k);
+        let data = self.data;
+        let new: Vec<Option<(Vec<ValueId>, Vec<f64>)>> = crate::parallel::chunked_map(
+            k,
+            threads,
+            Vec::new,
+            |c, counts: &mut Vec<(ValueId, u32)>| {
+                let members = groups.members(c as usize);
+                if members.is_empty() {
+                    return None; // keep previous prototype
+                }
+                let mut mode = Vec::with_capacity(n_attrs);
+                Modes::mode_of_members(data.categorical, members, counts, &mut mode);
+                let mut mean = vec![0.0f64; dim];
+                for &i in members {
+                    for (s, &x) in mean.iter_mut().zip(data.numeric.row(i as usize)) {
+                        *s += x;
+                    }
+                }
+                for s in &mut mean {
+                    *s /= members.len() as f64;
+                }
+                Some((mode, mean))
+            },
+        );
+        for (c, update) in new.iter().enumerate() {
+            let Some((mode, mean)) = update else { continue };
+            self.prototypes.modes.set_mode(ClusterId(c as u32), mode);
+            self.prototypes.means[c * dim..(c + 1) * dim].copy_from_slice(mean);
+        }
     }
 
     fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
@@ -138,6 +191,41 @@ impl<A: ShortlistProvider, B: ShortlistProvider> ShortlistProvider for UnionProv
     }
 }
 
+/// Per-thread scratch of a [`UnionProvider`]: one scratch per side plus the
+/// merge buffer.
+pub struct UnionScratch<A, B> {
+    first: A,
+    second: B,
+    buf: Vec<ClusterId>,
+}
+
+impl<A, B> crate::parallel::SyncShortlistProvider for UnionProvider<A, B>
+where
+    A: crate::parallel::SyncShortlistProvider,
+    B: crate::parallel::SyncShortlistProvider,
+{
+    type Scratch = UnionScratch<A::Scratch, B::Scratch>;
+
+    fn make_scratch(&self) -> Self::Scratch {
+        UnionScratch {
+            first: self.first.make_scratch(),
+            second: self.second.make_scratch(),
+            buf: Vec::new(),
+        }
+    }
+
+    fn shortlist_into(&self, item: u32, scratch: &mut Self::Scratch, out: &mut Vec<ClusterId>) {
+        self.first.shortlist_into(item, &mut scratch.first, out);
+        self.second
+            .shortlist_into(item, &mut scratch.second, &mut scratch.buf);
+        for &c in &scratch.buf {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+}
+
 /// Configuration for MH-K-Prototypes.
 #[derive(Clone, Debug)]
 pub struct MhKPrototypesConfig {
@@ -155,11 +243,16 @@ pub struct MhKPrototypesConfig {
     pub stop: StopPolicy,
     /// Seed.
     pub seed: u64,
+    /// Assignment-pass threads. `1` (and the clamped `0`) keeps the serial
+    /// Gauss–Seidel pass; `> 1` runs the Jacobi parallel engine of
+    /// [`crate::parallel`] over the union shortlists.
+    pub threads: usize,
 }
 
 impl MhKPrototypesConfig {
     /// Defaults: 20b5r MinHash, 8 bands × 16 bits SimHash (high-rows SimHash
-    /// keeps angular wedges narrow; see `bench_index`), 100-iteration cap.
+    /// keeps angular wedges narrow; see `bench_index`), 100-iteration cap,
+    /// serial assignment.
     pub fn new(k: usize, gamma: f64) -> Self {
         Self {
             k,
@@ -169,7 +262,14 @@ impl MhKPrototypesConfig {
             sim_rows: 16,
             stop: StopPolicy::default(),
             seed: 0,
+            threads: 1,
         }
+    }
+
+    /// Sets the number of assignment threads (`0` clamps to `1`).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
     }
 }
 
@@ -231,7 +331,18 @@ pub fn mh_kprototypes_from(
     );
     let setup = setup_start.elapsed();
 
-    let run = framework::fit(&mut model, &mut provider, assignments, setup, &config.stop);
+    let run = if config.threads <= 1 {
+        framework::fit(&mut model, &mut provider, assignments, setup, &config.stop)
+    } else {
+        crate::parallel::parallel_fit(
+            &mut model,
+            &mut provider,
+            assignments,
+            setup,
+            &config.stop,
+            config.threads,
+        )
+    };
     MhKPrototypesResult {
         assignments: run.assignments,
         prototypes: model.prototypes,

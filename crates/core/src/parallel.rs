@@ -1,9 +1,13 @@
-//! Opt-in parallel assignment pass (crossbeam scoped threads).
+//! The provider-agnostic parallel assignment engine (crossbeam scoped
+//! threads).
 //!
 //! The paper's implementation is single-threaded ("our implementation was
 //! single threaded and thus only used one of the available twelve cores");
 //! this module exists to show the shortlist's gains compose with thread-level
-//! parallelism, and is exercised by the ablation benches.
+//! parallelism, for **every** algorithm family. A family plugs in by
+//! implementing [`SyncShortlistProvider`] — a read-only per-thread view of
+//! its LSH index — and reusing the same [`parallel_fit`] entry point; the
+//! MinHash, SimHash and union providers all do.
 //!
 //! Semantics differ slightly from the serial driver: the serial pass is
 //! Gauss–Seidel (an item's move is visible to later items *within* the same
@@ -11,85 +15,129 @@
 //! (all shortlists are computed against the references as of the start of
 //! the pass, then moves are applied at once). Both converge on the paper's
 //! workloads; convergence behaviour may differ by an iteration or two.
+//! Because each item's Jacobi decision depends only on the frozen start-of-
+//! pass state — and the centroid update recomputes cluster by cluster — the
+//! fit output is **bit-identical at any thread count > 1**.
+//!
+//! Iteration accounting and stop logic are *not* duplicated here: both the
+//! serial and the parallel path run through `framework::drive`.
 
-use crate::framework::{AcceleratedRun, CentroidModel, ShortlistProvider, StopPolicy};
-use crate::mhkmodes::MinHashProvider;
+use crate::framework::{
+    self, AcceleratedRun, AssignOutcome, CentroidModel, ShortlistProvider, StopPolicy,
+};
 use lshclust_categorical::ClusterId;
-use lshclust_kmodes::stats::{IterationStats, RunSummary};
-use lshclust_minhash::index::ShortlistScratch;
-use std::time::Instant;
 
-/// Like [`crate::framework::fit`], but each assignment pass fans out across
-/// `threads` crossbeam scoped threads. Specialised to the MinHash provider
-/// because the threads need shared read access to the LSH index plus
-/// per-thread scratch.
-pub fn parallel_fit<M: CentroidModel + Sync>(
+/// A shortlist provider whose index can be probed from many threads at once:
+/// shortlist queries are **read-only** (`&self`) and all mutable query state
+/// lives in a per-thread [`Self::Scratch`].
+///
+/// Implementations must return exactly the candidates the serial
+/// [`ShortlistProvider::shortlist`] would, so the Jacobi pass differs from
+/// the Gauss–Seidel pass only in *when* reference updates become visible.
+pub trait SyncShortlistProvider: ShortlistProvider + Sync {
+    /// Per-thread query scratch (dedup stamps, hashing buffers, …).
+    type Scratch: Send;
+
+    /// Creates one scratch; the engine calls this once per worker thread.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// Read-only shortlist query for `item` into `out` (cleared first).
+    fn shortlist_into(&self, item: u32, scratch: &mut Self::Scratch, out: &mut Vec<ClusterId>);
+}
+
+/// Like [`crate::framework::fit`], but each assignment pass is a Jacobi pass
+/// fanned over `threads` scoped threads, and centroid updates go through
+/// [`CentroidModel::update_centroids_parallel`]. Works with any
+/// [`SyncShortlistProvider`] — MinHash, SimHash, or the mixed-data union.
+///
+/// `threads` is clamped to at least 1; with 1 thread the pass is still
+/// Jacobi (computed inline, no spawning), so results at any `threads >= 1`
+/// through this entry point are identical.
+pub fn parallel_fit<M, P>(
     model: &mut M,
-    provider: &mut MinHashProvider,
-    mut assignments: Vec<ClusterId>,
+    provider: &mut P,
+    assignments: Vec<ClusterId>,
     setup: std::time::Duration,
     config: &StopPolicy,
     threads: usize,
-) -> AcceleratedRun {
-    assert!(threads >= 1);
-    let n = model.n_items();
-    assert_eq!(assignments.len(), n);
-    let k = model.k();
-    let mut iterations = Vec::new();
-    let mut converged = false;
-    let mut prev_cost = f64::INFINITY;
-    for iteration in 1..=config.max_iterations {
-        let t = Instant::now();
-        let (new_assignments, shortlist_total) =
-            parallel_pass(model, provider, &assignments, k, threads);
-        let mut moves = 0usize;
-        for (item, (&old, &new)) in assignments.iter().zip(&new_assignments).enumerate() {
-            if old != new {
-                moves += 1;
-                provider.record_assignment(item as u32, new);
-            }
-        }
-        assignments = new_assignments;
-        model.update_centroids(&assignments);
-        let cost = model.total_cost(&assignments);
-        iterations.push(IterationStats {
-            iteration,
-            duration: t.elapsed(),
-            moves,
-            avg_candidates: if n == 0 {
-                0.0
-            } else {
-                shortlist_total as f64 / n as f64
-            },
-            cost: cost as u64,
-        });
-        if config.stop_on_no_moves && moves == 0 {
-            converged = true;
-            break;
-        }
-        if config.stop_on_cost_increase && cost >= prev_cost {
-            converged = true;
-            break;
-        }
-        prev_cost = cost;
-    }
-    AcceleratedRun {
+) -> AcceleratedRun
+where
+    M: CentroidModel + Sync,
+    P: SyncShortlistProvider,
+{
+    let threads = threads.max(1);
+    framework::drive(
+        model,
         assignments,
-        summary: RunSummary {
-            iterations,
-            converged,
-            setup,
+        setup,
+        config,
+        |model, assignments| {
+            let (new_assignments, shortlist_total) =
+                jacobi_assign(model, &*provider, assignments, threads);
+            let mut moves = 0usize;
+            for (item, (&old, &new)) in assignments.iter().zip(&new_assignments).enumerate() {
+                if old != new {
+                    moves += 1;
+                    provider.record_assignment(item as u32, new);
+                }
+            }
+            *assignments = new_assignments;
+            AssignOutcome {
+                moves,
+                shortlist_total,
+            }
         },
-    }
+        |model, assignments| model.update_centroids_parallel(assignments, threads),
+    )
+}
+
+/// One Jacobi-style pass: shortlists and best-cluster searches run in
+/// parallel against the frozen start-of-pass index state (through
+/// [`chunked_map`], one provider scratch per worker); returns the new
+/// assignment vector and the summed shortlist sizes. Items whose shortlist
+/// comes back empty keep their current assignment.
+///
+/// The per-item result depends only on the frozen state, so the output is
+/// independent of the thread count (and of the chunking).
+pub fn jacobi_assign<M, P>(
+    model: &M,
+    provider: &P,
+    assignments: &[ClusterId],
+    threads: usize,
+) -> (Vec<ClusterId>, usize)
+where
+    M: CentroidModel + Sync,
+    P: SyncShortlistProvider,
+{
+    let per_item: Vec<(u32, u32)> = chunked_map(
+        assignments.len(),
+        threads,
+        || (provider.make_scratch(), Vec::new()),
+        |item, (scratch, shortlist)| {
+            provider.shortlist_into(item, scratch, shortlist);
+            let chosen = match model.best_among(item, shortlist) {
+                Some((c, _)) => c,
+                None => assignments[item as usize],
+            };
+            // Per-item shortlists are at most k clusters, so u32 suffices.
+            (chosen.0, shortlist.len() as u32)
+        },
+    );
+    let shortlist_total = per_item.iter().map(|&(_, len)| len as usize).sum();
+    let new_assignments = per_item.into_iter().map(|(c, _)| ClusterId(c)).collect();
+    (new_assignments, shortlist_total)
 }
 
 /// Fans an item-indexed map over `threads` crossbeam scoped threads, with
 /// one `scratch` (built by `init`) per thread — the batched-assignment
-/// primitive shared by the fit-time parallel pass and the serving-time
+/// primitive shared by the fit-time parallel pass, the parallel centroid
+/// update (mapped over *clusters*), and the serving-time
 /// `FittedModel::predict` path in `lshclust`.
 ///
 /// Returns `f(0), f(1), …, f(n-1)` in item order. With `threads <= 1` the
-/// map runs inline on the calling thread, spawning nothing.
+/// map runs inline on the calling thread, spawning nothing. The output never
+/// depends on the thread count: each slot is computed independently and
+/// written in place.
 pub fn chunked_map<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
 where
     T: Send + Clone + Default,
@@ -118,53 +166,9 @@ where
     out
 }
 
-/// One Jacobi-style pass: shortlists and best-cluster searches run in
-/// parallel against a frozen index; returns the new assignment vector and
-/// the summed shortlist sizes.
-fn parallel_pass<M: CentroidModel + Sync>(
-    model: &M,
-    provider: &MinHashProvider,
-    assignments: &[ClusterId],
-    k: usize,
-    threads: usize,
-) -> (Vec<ClusterId>, usize) {
-    let n = assignments.len();
-    let index = provider.index();
-    let chunk = n.div_ceil(threads.max(1)).max(1);
-    let mut new_assignments = vec![ClusterId(0); n];
-    let mut totals = vec![0usize; threads];
-
-    crossbeam::thread::scope(|scope| {
-        let mut out_chunks = new_assignments.chunks_mut(chunk);
-        let mut in_chunks = assignments.chunks(chunk);
-        for (tid, total_slot) in totals.iter_mut().enumerate() {
-            let (Some(out), Some(cur)) = (out_chunks.next(), in_chunks.next()) else {
-                break;
-            };
-            let start = tid * chunk;
-            scope.spawn(move |_| {
-                let mut scratch: ShortlistScratch = index.make_scratch(k);
-                let mut shortlist_sum = 0usize;
-                for (offset, slot) in out.iter_mut().enumerate() {
-                    let item = (start + offset) as u32;
-                    index.shortlist(item, &mut scratch, false);
-                    shortlist_sum += scratch.clusters.len();
-                    *slot = match model.best_among(item, &scratch.clusters) {
-                        Some((c, _)) => c,
-                        None => cur[offset],
-                    };
-                }
-                *total_slot = shortlist_sum;
-            });
-        }
-    })
-    .expect("assignment worker panicked");
-
-    (new_assignments, totals.iter().sum())
-}
-
 #[cfg(test)]
 mod tests {
+    use super::*;
     use crate::mhkmodes::{MhKModes, MhKModesConfig};
     use lshclust_categorical::{Dataset, DatasetBuilder};
     use lshclust_minhash::Banding;
@@ -256,5 +260,71 @@ mod tests {
         .fit(&ds);
         assert!(result.summary.converged);
         assert_eq!(result.summary.iterations.last().unwrap().moves, 0);
+    }
+
+    #[test]
+    fn fit_output_is_identical_at_any_parallel_thread_count() {
+        let ds = blob_dataset(6, 5, 10);
+        let run = |threads: usize| {
+            MhKModes::new(
+                MhKModesConfig::new(6, Banding::new(12, 2))
+                    .seed(9)
+                    .threads(threads),
+            )
+            .fit(&ds)
+        };
+        let two = run(2);
+        for threads in [3, 4, 8, 64] {
+            let other = run(threads);
+            assert_eq!(two.assignments, other.assignments, "threads={threads}");
+            assert_eq!(two.modes, other.modes, "threads={threads}");
+        }
+    }
+
+    // ---- chunked_map edge cases -------------------------------------------
+
+    #[test]
+    fn chunked_map_empty_input() {
+        let out: Vec<u64> = chunked_map(0, 4, || (), |i, _| u64::from(i));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunked_map_fewer_items_than_threads() {
+        let out: Vec<u64> = chunked_map(3, 16, || (), |i, _| u64::from(i) * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn chunked_map_preserves_item_order() {
+        for threads in [1usize, 2, 3, 7, 64] {
+            let out: Vec<u64> = chunked_map(1000, threads, || (), |i, _| u64::from(i) * 3 + 1);
+            let expected: Vec<u64> = (0..1000u64).map(|i| i * 3 + 1).collect();
+            assert_eq!(out, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_map_scratch_is_isolated_per_thread() {
+        // Each worker counts its own calls into its scratch; a slot records
+        // the scratch value *at its call*, so within each chunk the recorded
+        // sequence must be 1, 2, 3, … regardless of what other threads do.
+        let threads = 4usize;
+        let n = 64usize;
+        let out: Vec<u64> = chunked_map(
+            n,
+            threads,
+            || 0u64,
+            |_, calls| {
+                *calls += 1;
+                *calls
+            },
+        );
+        let chunk = n.div_ceil(threads);
+        for (slice_idx, slice) in out.chunks(chunk).enumerate() {
+            for (offset, &v) in slice.iter().enumerate() {
+                assert_eq!(v, offset as u64 + 1, "chunk {slice_idx} offset {offset}");
+            }
+        }
     }
 }

@@ -43,17 +43,30 @@ pub struct StreamingConfig {
     pub max_clusters: Option<usize>,
     /// Seed for the hash family.
     pub seed: u64,
+    /// Threads for **batch** work ([`StreamingMhKModes::refine_pass`]);
+    /// per-item `insert` is inherently sequential and ignores this. `1`
+    /// (and the clamped `0`) keeps the serial Gauss–Seidel refinement;
+    /// `> 1` runs a Jacobi pass fanned over this many workers.
+    pub threads: usize,
 }
 
 impl StreamingConfig {
-    /// Defaults: found on anything farther than half the attributes.
+    /// Defaults: found on anything farther than half the attributes; serial
+    /// refinement.
     pub fn new(banding: Banding, n_attrs: usize) -> Self {
         Self {
             banding,
             distance_threshold: (n_attrs as u32) / 2,
             max_clusters: None,
             seed: 0,
+            threads: 1,
         }
+    }
+
+    /// Sets the batch-refinement thread count (`0` clamps to `1`).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
     }
 }
 
@@ -260,36 +273,18 @@ impl StreamingMhKModes {
 
     /// Collects the candidate clusters for the band keys in `key_buf`.
     fn shortlist_from_keys(&mut self) {
-        self.shortlist.clear();
-        self.seen_items.clear();
-        self.seen_clusters.clear();
-        for (band, key) in self.key_buf.iter().enumerate() {
-            if let Some(members) = self.buckets[band].get(key) {
-                for &other in members {
-                    if self.seen_items.insert(other) {
-                        let c = self.cluster_of[other as usize];
-                        if self.seen_clusters.insert(c.0) {
-                            self.shortlist.push(c);
-                        }
-                    }
-                }
-            }
-        }
+        shortlist_for_keys(
+            &self.buckets,
+            &self.cluster_of,
+            &self.key_buf,
+            &mut self.seen_items,
+            &mut self.seen_clusters,
+            &mut self.shortlist,
+        );
     }
 
     fn best_in_shortlist(&self, row: &[ValueId]) -> Option<(ClusterId, u32)> {
-        let mut best: Option<(ClusterId, u32)> = None;
-        for &c in &self.shortlist {
-            let d = matching(row, &self.clusters[c.idx()].mode);
-            let replace = match best {
-                None => true,
-                Some((bc, bd)) => d < bd || (d == bd && c < bc),
-            };
-            if replace {
-                best = Some((c, d));
-            }
-        }
-        best
+        best_for(&self.clusters, row, &self.shortlist)
     }
 
     /// Inserts one item, returning where it went.
@@ -347,7 +342,14 @@ impl StreamingMhKModes {
     /// (using its stored band keys) and moved to the best candidate cluster,
     /// with both clusters' frequency tables updated incrementally. Returns
     /// the number of moves; call until 0 to converge toward the batch result.
+    ///
+    /// With `config.threads > 1` this dispatches to
+    /// [`Self::refine_pass_parallel`] (Jacobi); the serial pass below is
+    /// Gauss–Seidel (a move is visible to later items of the same pass).
     pub fn refine_pass(&mut self) -> usize {
+        if self.config.threads > 1 {
+            return self.refine_pass_parallel(self.config.threads);
+        }
         let n_bands = self.config.banding.bands() as usize;
         let mut moves = 0usize;
         for item in 0..self.n_items() as u32 {
@@ -375,6 +377,128 @@ impl StreamingMhKModes {
         }
         moves
     }
+
+    /// One **Jacobi** refinement pass fanned over `threads` workers: every
+    /// item's best candidate cluster is computed against the frozen
+    /// start-of-pass state (buckets, cluster references, modes), then the
+    /// moves are revalidated against the live modes and applied in item
+    /// order with the usual incremental frequency updates. Returns the
+    /// number of applied moves, so `while refine_pass() > 0` terminates
+    /// exactly as it does on the serial path.
+    ///
+    /// Candidate decisions depend only on the frozen state and the apply
+    /// filter runs sequentially, so the outcome is identical at any thread
+    /// count (including 1); it may differ from the Gauss–Seidel
+    /// [`Self::refine_pass`] by an iteration of convergence.
+    pub fn refine_pass_parallel(&mut self, threads: usize) -> usize {
+        let threads = threads.max(1);
+        let n = self.n_items();
+        let n_bands = self.config.banding.bands() as usize;
+        let (buckets, cluster_of) = (&self.buckets, &self.cluster_of);
+        let (clusters, band_keys, rows) = (&self.clusters, &self.band_keys, &self.rows);
+        let n_attrs = self.n_attrs;
+        let targets: Vec<u32> = crate::parallel::chunked_map(
+            n,
+            threads,
+            || (FastSet::default(), FastSet::default(), Vec::new()),
+            |item, (seen_items, seen_clusters, shortlist)| {
+                let i = item as usize;
+                let keys = &band_keys[i * n_bands..(i + 1) * n_bands];
+                shortlist_for_keys(
+                    buckets,
+                    cluster_of,
+                    keys,
+                    seen_items,
+                    seen_clusters,
+                    shortlist,
+                );
+                let row = &rows[i * n_attrs..(i + 1) * n_attrs];
+                match best_for(clusters, row, shortlist) {
+                    Some((c, _)) => c.0,
+                    None => cluster_of[i].0,
+                }
+            },
+        );
+        let mut moves = 0usize;
+        for (item, &target) in targets.iter().enumerate() {
+            let target = ClusterId(target);
+            let current = self.cluster_of[item];
+            if target == current {
+                continue;
+            }
+            // Revalidate the frozen-state candidate against the *live* modes
+            // before applying (same acceptance rule as the serial pass:
+            // strictly closer, or equally close with a lower id). Without
+            // this, pairs of Jacobi decisions taken against the same frozen
+            // state can undo each other forever and `while refine_pass() > 0`
+            // would never terminate; with it, every applied move improves
+            // the live objective, preserving the serial pass's termination
+            // guarantee. Decisions stay deterministic at any thread count:
+            // the candidates are thread-count independent and this filter
+            // runs sequentially in item order.
+            let row: Vec<ValueId> = self.row_of(item as u32).to_vec();
+            let d_target = matching(&row, &self.clusters[target.idx()].mode);
+            let d_current = matching(&row, &self.clusters[current.idx()].mode);
+            if d_target < d_current || (d_target == d_current && target < current) {
+                self.clusters[current.idx()].remove(&row);
+                self.clusters[target.idx()].add(&row);
+                self.cluster_of[item] = target;
+                moves += 1;
+            }
+        }
+        moves
+    }
+}
+
+/// Read-only shortlist query over the streaming index parts: collects the
+/// distinct clusters of the distinct items in the probed buckets. Shared by
+/// the sequential inserter (through its own scratch fields) and the
+/// per-thread workers of [`StreamingMhKModes::refine_pass_parallel`].
+fn shortlist_for_keys(
+    buckets: &[FastMap<u64, Vec<u32>>],
+    cluster_of: &[ClusterId],
+    keys: &[u64],
+    seen_items: &mut FastSet<u32>,
+    seen_clusters: &mut FastSet<u32>,
+    out: &mut Vec<ClusterId>,
+) {
+    out.clear();
+    seen_items.clear();
+    seen_clusters.clear();
+    for (band, key) in keys.iter().enumerate() {
+        if let Some(members) = buckets[band].get(key) {
+            for &other in members {
+                if seen_items.insert(other) {
+                    let c = cluster_of[other as usize];
+                    if seen_clusters.insert(c.0) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Best shortlisted cluster for `row` (smallest matching dissimilarity to
+/// the cluster mode, ties to the lowest cluster id) — the search kernel of
+/// both refinement passes and the inserter.
+fn best_for(
+    clusters: &[ClusterState],
+    row: &[ValueId],
+    shortlist: &[ClusterId],
+) -> Option<(ClusterId, u32)> {
+    let mut best: Option<(ClusterId, u32)> = None;
+    for &c in shortlist {
+        let d = matching(row, &clusters[c.idx()].mode);
+        let replace = match best {
+            None => true,
+            Some((bc, bd)) => d < bd || (d == bd && c < bc),
+        };
+        if replace {
+            best = Some((c, d));
+        }
+    }
+    best
 }
 
 #[cfg(test)]

@@ -80,36 +80,56 @@ impl Modes {
 
     /// Recomputes every mode from the current `assignments` (step 3 of the
     /// paper's algorithm). Clusters with no members keep their previous mode.
-    ///
-    /// The paper's cluster populations are tiny (`n/k ≈ 4.5–12.5`), so the
-    /// per-attribute frequency count is a linear scan over a small member
-    /// group rather than a hash map — measured faster and allocation-free.
     pub fn recompute(&mut self, dataset: &Dataset, assignments: &[ClusterId]) {
         assert_eq!(assignments.len(), dataset.n_items());
         let groups = group_by_cluster(assignments, self.k);
         let mut counts: Vec<(ValueId, u32)> = Vec::new();
+        let mut row: Vec<ValueId> = Vec::with_capacity(self.n_attrs);
         for c in 0..self.k {
             let members = groups.members(c);
             if members.is_empty() {
                 continue; // keep previous mode
             }
-            for a in 0..self.n_attrs {
-                counts.clear();
-                for &item in members {
-                    let v = dataset.row(item as usize)[a];
-                    match counts.iter_mut().find(|(val, _)| *val == v) {
-                        Some((_, n)) => *n += 1,
-                        None => counts.push((v, 1)),
-                    }
+            Self::mode_of_members(dataset, members, &mut counts, &mut row);
+            self.values[c * self.n_attrs..(c + 1) * self.n_attrs].copy_from_slice(&row);
+        }
+    }
+
+    /// The per-cluster kernel of [`Self::recompute`]: computes the
+    /// per-attribute majority values of one non-empty member group into
+    /// `out` (cleared first), with the workspace tie-break (ties towards the
+    /// smallest [`ValueId`]). `counts` is reusable scratch.
+    ///
+    /// Exposed so the parallel centroid update can recompute clusters
+    /// concurrently while staying bit-identical to the serial path.
+    ///
+    /// The paper's cluster populations are tiny (`n/k ≈ 4.5–12.5`), so the
+    /// per-attribute frequency count is a linear scan over a small member
+    /// group rather than a hash map — measured faster and allocation-free.
+    pub fn mode_of_members(
+        dataset: &Dataset,
+        members: &[u32],
+        counts: &mut Vec<(ValueId, u32)>,
+        out: &mut Vec<ValueId>,
+    ) {
+        assert!(!members.is_empty(), "mode of an empty member group");
+        out.clear();
+        for a in 0..dataset.n_attrs() {
+            counts.clear();
+            for &item in members {
+                let v = dataset.row(item as usize)[a];
+                match counts.iter_mut().find(|(val, _)| *val == v) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((v, 1)),
                 }
-                // Most frequent value; ties towards the smallest ValueId.
-                let best = counts
-                    .iter()
-                    .copied()
-                    .max_by(|(va, na), (vb, nb)| na.cmp(nb).then(vb.cmp(va)))
-                    .expect("non-empty member group");
-                self.values[c * self.n_attrs + a] = best.0;
             }
+            // Most frequent value; ties towards the smallest ValueId.
+            let best = counts
+                .iter()
+                .copied()
+                .max_by(|(va, na), (vb, nb)| na.cmp(nb).then(vb.cmp(va)))
+                .expect("non-empty member group");
+            out.push(best.0);
         }
     }
 }

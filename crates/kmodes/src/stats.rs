@@ -59,9 +59,23 @@ impl RunSummary {
         self.setup + self.iterations.iter().map(|s| s.duration).sum::<Duration>()
     }
 
-    /// Final cost, or `None` before any iteration ran.
+    /// Cost of the **last recorded pass**, or `None` before any iteration
+    /// ran. When a run stopped because the final pass made the cost
+    /// strictly worse, that pass stays in the record but its state was
+    /// rolled back — the returned assignments/centroids then carry
+    /// [`Self::best_cost`], not this value.
     pub fn final_cost(&self) -> Option<u64> {
         self.iterations.last().map(|s| s.cost)
+    }
+
+    /// Minimum cost over the recorded iterations. When the driver runs with
+    /// cost-increase rollback armed (`stop_on_cost_increase`, the default),
+    /// this is the cost of the state the run returned, and it equals
+    /// [`Self::final_cost`] unless the stopping pass was rolled back. With
+    /// that criterion disabled the trajectory may oscillate below the final
+    /// state, and the returned state's cost is [`Self::final_cost`].
+    pub fn best_cost(&self) -> Option<u64> {
+        self.iterations.iter().map(|s| s.cost).min()
     }
 
     /// Mean per-iteration duration.
@@ -110,6 +124,20 @@ mod tests {
         };
         assert_eq!(run.total_time(), Duration::ZERO);
         assert_eq!(run.final_cost(), None);
+        assert_eq!(run.best_cost(), None);
         assert_eq!(run.mean_iteration_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn best_cost_diverges_from_final_cost_on_a_rolled_back_stop() {
+        // Trajectory 50 → 40 → 45: the driver rolled the last pass back, so
+        // the returned state carries 40 while the record's last entry is 45.
+        let run = RunSummary {
+            iterations: vec![iter(1, 10, 5, 50), iter(2, 10, 3, 40), iter(3, 10, 2, 45)],
+            converged: true,
+            setup: Duration::ZERO,
+        };
+        assert_eq!(run.final_cost(), Some(45));
+        assert_eq!(run.best_cost(), Some(40));
     }
 }

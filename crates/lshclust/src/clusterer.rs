@@ -81,6 +81,7 @@ impl Clusterer {
         };
         let mut config = StreamingConfig::new(Banding::new(bands, rows), schema.n_attrs());
         config.seed = spec.seed;
+        config.threads = spec.threads.max(1);
         if let Some(threshold) = spec.stream.distance_threshold {
             config.distance_threshold = threshold;
         }
@@ -255,7 +256,7 @@ impl Input for &Dataset {
                     seed: spec.seed,
                     query_mode: spec.query_mode.into(),
                     include_self: spec.include_self,
-                    threads: spec.threads,
+                    threads: spec.threads.max(1),
                 };
                 let estimator = MhKModes::new(config);
                 let result = match warm_modes {
@@ -334,6 +335,7 @@ impl Input for &NumericDataset {
                     stop: spec.stop,
                     init,
                     seed: spec.seed,
+                    threads: spec.threads.max(1),
                 };
                 let result = match warm_centroids {
                     Some(centroids) => mh_kmeans_from(self, &config, centroids, Instant::now()),
@@ -432,6 +434,7 @@ impl Input for &MixedDataset<'_> {
                     sim_rows,
                     stop: spec.stop,
                     seed: spec.seed,
+                    threads: spec.threads.max(1),
                 };
                 let result = match warm_prototypes {
                     Some((prototypes, _)) => {

@@ -543,6 +543,14 @@ impl FittedModel {
         }
     }
 
+    /// Overrides the serving thread count ([`Self::predict`] fans batches
+    /// over it) without retraining — serving hardware rarely matches the
+    /// training box. `0` clamps to `1`, matching the spec-boundary rule.
+    /// Persisted with the model on a subsequent [`Self::save`].
+    pub fn set_threads(&mut self, threads: usize) {
+        self.spec.threads = threads.max(1);
+    }
+
     // ---- warm-start accessors (crate) -------------------------------------
 
     pub(crate) fn warm_modes(&self) -> Option<&Modes> {

@@ -100,6 +100,7 @@ impl ClusterRun {
             setup_secs: self.summary.setup.as_secs_f64(),
             total_secs: self.summary.total_time().as_secs_f64(),
             final_cost: self.summary.final_cost(),
+            best_cost: self.summary.best_cost(),
             summary: self.summary.clone(),
             index_stats: self.index_stats,
         }
@@ -119,8 +120,15 @@ pub struct RunReport {
     pub setup_secs: f64,
     /// Total seconds including setup.
     pub total_secs: f64,
-    /// Final objective value, if any iteration ran.
+    /// Cost of the last recorded pass, if any iteration ran.
     pub final_cost: Option<u64>,
+    /// Minimum cost over the recorded passes. With `stop_on_cost_increase`
+    /// enabled (the default) this is the cost of the state the run returned
+    /// — it differs from `final_cost` exactly when the stopping pass was
+    /// rolled back for making the cost worse. With that criterion disabled
+    /// the trajectory may oscillate and the returned state is simply the
+    /// last pass's (`final_cost`).
+    pub best_cost: Option<u64>,
     /// The full per-iteration series.
     pub summary: RunSummary,
     /// Index bucket statistics, when an index was built.
@@ -134,6 +142,7 @@ serde::impl_serde_struct!(RunReport {
     setup_secs,
     total_secs,
     final_cost,
+    best_cost,
     summary,
     index_stats,
 });

@@ -224,8 +224,14 @@ pub struct ClusterSpec {
     /// Whether an item's own index entry may contribute its current cluster
     /// to the shortlist (Algorithm 2 behaviour; `false` is the ablation).
     pub include_self: bool,
-    /// Assignment-pass threads (`1` = the paper's single-threaded setup;
-    /// honoured by the categorical MinHash path, other paths run serially).
+    /// Assignment-pass threads, honoured by **every** accelerated family
+    /// (MinHash, SimHash, Union) plus streaming batch refinement and the
+    /// serving-time `FittedModel::predict` fan-out. `1` keeps the paper's
+    /// single-threaded Gauss–Seidel pass; `> 1` runs the Jacobi parallel
+    /// engine (see README § Performance — results are identical at any
+    /// thread count > 1, and may differ from the serial pass by an
+    /// iteration of convergence). `0` is normalised to `1` at the spec
+    /// boundary.
     pub threads: usize,
     /// Iteration policy: cap plus stop criteria.
     ///
@@ -303,10 +309,11 @@ impl ClusterSpec {
         self
     }
 
-    /// Sets the number of assignment threads.
+    /// Sets the number of assignment threads. `0` is documented shorthand
+    /// for "serial" and clamps to `1` — no panic, so specs assembled from
+    /// untrusted JSON or CLI flags normalise instead of aborting.
     pub fn threads(mut self, n: usize) -> Self {
-        assert!(n >= 1, "at least one thread");
-        self.threads = n;
+        self.threads = n.max(1);
         self
     }
 

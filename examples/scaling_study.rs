@@ -4,16 +4,23 @@
 //! [`ClusterSpec`] at the same seed (⇒ identical initial modes).
 //!
 //! ```text
-//! cargo run --release -p lshclust --example scaling_study
+//! cargo run --release -p lshclust --example scaling_study [-- --threads N] [--smoke]
+//!
+//!   --threads N   assignment threads for the MH runs (default 1 = the
+//!                 paper's serial pass; > 1 = Jacobi parallel engine)
+//!   --smoke       one small shape only (CI-sized)
 //! ```
 
 use lshclust::{ClusterSpec, Clusterer, Lsh};
 use lshclust_datagen::datgen::{generate, DatgenConfig};
 
-fn run(n_items: usize, n_clusters: usize, n_attrs: usize) -> (f64, f64) {
+fn run(n_items: usize, n_clusters: usize, n_attrs: usize, threads: usize) -> (f64, f64) {
     let dataset = generate(&DatgenConfig::new(n_items, n_clusters, n_attrs).seed(42));
     let base_spec = ClusterSpec::new(n_clusters).seed(42).max_iterations(25);
-    let mh_spec = base_spec.clone().lsh(Lsh::MinHash { bands: 20, rows: 5 });
+    let mh_spec = base_spec
+        .clone()
+        .lsh(Lsh::MinHash { bands: 20, rows: 5 })
+        .threads(threads);
     let baseline = Clusterer::new(base_spec).fit(&dataset).unwrap();
     let mh = Clusterer::new(mh_spec).fit(&dataset).unwrap();
     (
@@ -23,13 +30,41 @@ fn run(n_items: usize, n_clusters: usize, n_attrs: usize) -> (f64, f64) {
 }
 
 fn main() {
-    println!("(a) scaling items  [k=1000, m=100]");
+    let mut threads = 1usize;
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number")
+            }
+            "--smoke" => smoke = true,
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    println!("MH assignment threads: {threads}");
+
+    if smoke {
+        // CI-sized sanity run: exercises the full baseline-vs-MH pipeline
+        // (including the parallel engine when --threads > 1) in seconds.
+        let (base, mh) = run(1_500, 150, 30, threads);
+        println!(
+            "smoke [n=1500 k=150 m=30]  K-Modes {base:.2}s  MH 20b5r {mh:.2}s  speedup {:.2}x",
+            base / mh
+        );
+        return;
+    }
+
+    println!("\n(a) scaling items  [k=1000, m=100]");
     println!(
         "{:>8}  {:>12}  {:>14}  {:>8}",
         "items", "K-Modes (s)", "MH 20b5r (s)", "speedup"
     );
     for n in [2_250usize, 4_500, 9_000] {
-        let (base, mh) = run(n, 1_000, 100);
+        let (base, mh) = run(n, 1_000, 100, threads);
         println!("{n:>8}  {base:>12.2}  {mh:>14.2}  {:>8.2}x", base / mh);
     }
 
@@ -39,7 +74,7 @@ fn main() {
         "clusters", "K-Modes (s)", "MH 20b5r (s)", "speedup"
     );
     for k in [500usize, 1_000, 2_000] {
-        let (base, mh) = run(9_000, k, 100);
+        let (base, mh) = run(9_000, k, 100, threads);
         println!("{k:>8}  {base:>12.2}  {mh:>14.2}  {:>8.2}x", base / mh);
     }
 
@@ -49,7 +84,7 @@ fn main() {
         "attrs", "K-Modes (s)", "MH 20b5r (s)", "speedup"
     );
     for m in [100usize, 200, 400] {
-        let (base, mh) = run(4_500, 1_000, m);
+        let (base, mh) = run(4_500, 1_000, m, threads);
         println!("{m:>8}  {base:>12.2}  {mh:>14.2}  {:>8.2}x", base / mh);
     }
 

@@ -1,0 +1,288 @@
+//! The parallel assignment engine, exercised through the facade for every
+//! algorithm family: `ClusterSpec::threads(T)` with `T > 1` must actually
+//! parallelize (shared Jacobi engine), produce **byte-identical** output at
+//! any thread count > 1, leave the `threads = 1` legacy Gauss–Seidel path
+//! untouched, and land on costs comparable to the serial run.
+
+use lshclust::{ClusterSpec, Clusterer, Lsh, NumericDataset, StreamOptions};
+use lshclust_categorical::{ClusterId, Dataset};
+use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::kprototypes::MixedDataset;
+use lshclust_minhash::Banding;
+use proptest::prelude::*;
+
+fn categorical_fixture(seed: u64) -> Dataset {
+    generate(&DatgenConfig::new(240, 24, 16).seed(seed))
+}
+
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+fn spec_for(lsh: Lsh, seed: u64, threads: usize) -> ClusterSpec {
+    ClusterSpec::new(24)
+        .lsh(lsh)
+        .seed(seed)
+        .threads(threads)
+        .max_iterations(30)
+}
+
+const MINHASH: Lsh = Lsh::MinHash { bands: 12, rows: 2 };
+const SIMHASH: Lsh = Lsh::SimHash { bands: 8, rows: 12 };
+const UNION: Lsh = Lsh::Union {
+    bands: 12,
+    rows: 2,
+    sim_bands: 8,
+    sim_rows: 12,
+};
+
+// ---------------------------------------------------------------------------
+// Jacobi determinism: byte-identical output at every thread count > 1.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Categorical family: fits at threads ∈ {2, 4, 8} are byte-identical.
+    #[test]
+    fn categorical_fit_identical_across_thread_counts(seed in 0u64..64) {
+        let dataset = categorical_fixture(seed);
+        let reference = Clusterer::new(spec_for(MINHASH, seed, 2)).fit(&dataset).unwrap();
+        for threads in [4usize, 8] {
+            let other = Clusterer::new(spec_for(MINHASH, seed, threads)).fit(&dataset).unwrap();
+            prop_assert_eq!(&reference.assignments, &other.assignments);
+            prop_assert_eq!(reference.centroids.modes(), other.centroids.modes());
+            prop_assert_eq!(reference.summary.final_cost(), other.summary.final_cost());
+        }
+    }
+
+    /// Numeric family (SimHash K-Means): byte-identical across thread
+    /// counts — including the float mean centroids.
+    #[test]
+    fn numeric_fit_identical_across_thread_counts(seed in 0u64..64) {
+        let dataset = categorical_fixture(seed);
+        let labels = dataset.labels().unwrap().to_vec();
+        let numeric = numeric_blobs(&labels, 6);
+        let reference = Clusterer::new(spec_for(SIMHASH, seed, 2)).fit(&numeric).unwrap();
+        for threads in [4usize, 8] {
+            let other = Clusterer::new(spec_for(SIMHASH, seed, threads)).fit(&numeric).unwrap();
+            prop_assert_eq!(&reference.assignments, &other.assignments);
+            // Bit-exact float centroids: the parallel update must not
+            // reassociate the member sums.
+            prop_assert_eq!(reference.centroids.means(), other.centroids.means());
+        }
+    }
+
+    /// Mixed family (union provider): byte-identical across thread counts.
+    #[test]
+    fn mixed_fit_identical_across_thread_counts(seed in 0u64..64) {
+        let dataset = categorical_fixture(seed);
+        let labels = dataset.labels().unwrap().to_vec();
+        let numeric = numeric_blobs(&labels, 6);
+        let mixed = MixedDataset::new(&dataset, &numeric);
+        let reference = Clusterer::new(spec_for(UNION, seed, 2)).fit(&mixed).unwrap();
+        for threads in [4usize, 8] {
+            let other = Clusterer::new(spec_for(UNION, seed, threads)).fit(&mixed).unwrap();
+            prop_assert_eq!(&reference.assignments, &other.assignments);
+            prop_assert_eq!(
+                reference.centroids.prototypes().map(|p| (p.modes.clone(), p.means.clone())),
+                other.centroids.prototypes().map(|p| (p.modes.clone(), p.means.clone()))
+            );
+        }
+    }
+
+    /// Streaming batch refinement: the Jacobi refine pass moves the same
+    /// items to the same clusters at any thread count.
+    #[test]
+    fn streaming_refine_identical_across_thread_counts(seed in 0u64..64) {
+        let dataset = categorical_fixture(seed);
+        let run_refined = |threads: usize| {
+            let spec = ClusterSpec::new(1)
+                .lsh(Lsh::MinHash { bands: 16, rows: 2 })
+                .seed(seed)
+                .threads(threads)
+                .stream(StreamOptions { distance_threshold: None, max_clusters: Some(40) });
+            let mut stream = Clusterer::new(spec)
+                .streaming(dataset.schema().clone())
+                .unwrap();
+            for i in 0..dataset.n_items() {
+                stream.insert(dataset.row(i));
+            }
+            let mut move_counts = Vec::new();
+            for _ in 0..4 {
+                let moves = stream.refine_pass();
+                move_counts.push(moves);
+                if moves == 0 {
+                    break;
+                }
+            }
+            (stream.assignments().to_vec(), move_counts)
+        };
+        let reference = run_refined(2);
+        for threads in [4usize, 8] {
+            prop_assert_eq!(&reference, &run_refined(threads));
+        }
+    }
+
+    /// Parallel-vs-serial parity: Jacobi (threads = 2) and Gauss–Seidel
+    /// (threads = 1) may differ by an iteration of convergence, but the
+    /// final costs must be close (within 10% on this workload) and the
+    /// serial path must remain exactly the legacy single-threaded result.
+    #[test]
+    fn parallel_final_cost_is_close_to_serial(seed in 0u64..64) {
+        let dataset = categorical_fixture(seed);
+        let serial = Clusterer::new(spec_for(MINHASH, seed, 1)).fit(&dataset).unwrap();
+        let parallel = Clusterer::new(spec_for(MINHASH, seed, 2)).fit(&dataset).unwrap();
+        let (sc, pc) = (
+            serial.summary.final_cost().unwrap() as f64,
+            parallel.summary.final_cost().unwrap() as f64,
+        );
+        prop_assert!(
+            (sc - pc).abs() <= 0.10 * sc.max(1.0),
+            "serial cost {sc} vs parallel cost {pc}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The threads = 1 path is the untouched legacy serial loop.
+// ---------------------------------------------------------------------------
+
+/// Pinned: a facade run at `threads = 1` is byte-identical to the legacy
+/// serial `MhKModes` estimator (the Gauss–Seidel pass, not the Jacobi one).
+#[test]
+fn serial_path_is_byte_identical_to_legacy() {
+    let dataset = categorical_fixture(77);
+    let facade = Clusterer::new(spec_for(MINHASH, 77, 1))
+        .fit(&dataset)
+        .unwrap();
+    let legacy = MhKModes::new(
+        MhKModesConfig::new(24, Banding::new(12, 2))
+            .seed(77)
+            .max_iterations(30),
+    )
+    .fit(&dataset);
+    assert_eq!(facade.assignments, legacy.assignments);
+    assert_eq!(facade.summary.final_cost(), legacy.summary.final_cost());
+    assert_eq!(facade.summary.n_iterations(), legacy.summary.n_iterations());
+}
+
+// ---------------------------------------------------------------------------
+// Spec-boundary thread normalisation (threads = 0 is "serial", not a panic).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn spec_builder_clamps_zero_threads_to_serial() {
+    assert_eq!(ClusterSpec::new(3).threads(0).threads, 1);
+    assert_eq!(ClusterSpec::new(3).threads(1).threads, 1);
+    assert_eq!(ClusterSpec::new(3).threads(7).threads, 7);
+}
+
+#[test]
+fn mh_config_builder_clamps_zero_threads_to_serial() {
+    let config = MhKModesConfig::new(2, Banding::new(4, 1)).threads(0);
+    assert_eq!(config.threads, 1);
+}
+
+#[test]
+fn zero_threads_via_struct_literal_still_fits_serially() {
+    // Bypassing the builder (struct literal, or a JSON spec with
+    // `"threads": 0`) must not trip any assert downstream: the dispatch
+    // layer normalises to the serial path.
+    let dataset = categorical_fixture(5);
+    let config = MhKModesConfig {
+        threads: 0,
+        ..MhKModesConfig::new(24, Banding::new(12, 2)).seed(5)
+    };
+    let zero = MhKModes::new(config).fit(&dataset);
+    let one = MhKModes::new(
+        MhKModesConfig::new(24, Banding::new(12, 2))
+            .seed(5)
+            .threads(1),
+    )
+    .fit(&dataset);
+    assert_eq!(zero.assignments, one.assignments);
+}
+
+#[test]
+fn zero_threads_in_a_json_spec_fits_and_normalises() {
+    let dataset = categorical_fixture(9);
+    let json = serde_json::to_string(&spec_for(MINHASH, 9, 1)).unwrap();
+    let zeroed = json.replace("\"threads\":1", "\"threads\":0");
+    assert_ne!(json, zeroed, "replacement must have applied");
+    let spec: ClusterSpec = serde_json::from_str(&zeroed).unwrap();
+    assert_eq!(spec.threads, 0, "deserialization preserves the raw value");
+    let run = Clusterer::new(spec).fit(&dataset).unwrap();
+    let reference = Clusterer::new(spec_for(MINHASH, 9, 1))
+        .fit(&dataset)
+        .unwrap();
+    assert_eq!(run.assignments, reference.assignments);
+}
+
+// ---------------------------------------------------------------------------
+// The engine really is shared: families converge under it.
+// ---------------------------------------------------------------------------
+
+/// Every family fits under `threads = 4` and converges to a sane partition
+/// (the shared-engine smoke check of the acceptance criteria).
+#[test]
+fn every_family_parallelizes_through_the_shared_engine() {
+    let dataset = categorical_fixture(3);
+    let labels = dataset.labels().unwrap().to_vec();
+    let numeric = numeric_blobs(&labels, 6);
+    let mixed = MixedDataset::new(&dataset, &numeric);
+
+    let categorical = Clusterer::new(spec_for(MINHASH, 3, 4))
+        .fit(&dataset)
+        .unwrap();
+    assert_eq!(categorical.assignments.len(), dataset.n_items());
+    assert!(categorical.summary.n_iterations() >= 1);
+
+    let numeric_run = Clusterer::new(spec_for(SIMHASH, 3, 4))
+        .fit(&numeric)
+        .unwrap();
+    assert_eq!(numeric_run.assignments.len(), numeric.n_items());
+
+    let mixed_run = Clusterer::new(spec_for(UNION, 3, 4)).fit(&mixed).unwrap();
+    assert_eq!(mixed_run.assignments.len(), mixed.n_items());
+
+    // All assignments in range.
+    for run in [&categorical, &numeric_run, &mixed_run] {
+        assert!(run.assignments.iter().all(|c| c.idx() < 24));
+    }
+
+    // Streaming: parallel refinement reaches a fixpoint.
+    let spec = ClusterSpec::new(1)
+        .lsh(Lsh::MinHash { bands: 16, rows: 2 })
+        .seed(3)
+        .threads(4);
+    let mut stream = Clusterer::new(spec)
+        .streaming(dataset.schema().clone())
+        .unwrap();
+    for i in 0..dataset.n_items() {
+        stream.insert(dataset.row(i));
+    }
+    let mut last = usize::MAX;
+    for _ in 0..10 {
+        last = stream.refine_pass();
+        if last == 0 {
+            break;
+        }
+    }
+    assert_eq!(last, 0, "parallel refinement did not converge");
+    let total: u32 = (0..stream.n_clusters())
+        .map(|c| stream.cluster_size(ClusterId(c as u32)))
+        .sum();
+    assert_eq!(total as usize, dataset.n_items());
+}
