@@ -1,0 +1,58 @@
+//! `bench_minibatch` — the mini-batch comparison experiment behind
+//! `BENCH_minibatch.json`: full-batch vs Sculley mini-batch vs shortlisted
+//! mini-batch, per algorithm family, through the `lshclust` facade.
+//!
+//! ```text
+//! cargo run --release -p lshclust-bench --bin bench_minibatch
+//! cargo run --release -p lshclust-bench --bin bench_minibatch -- --quick --out BENCH_minibatch.json
+//! ```
+//!
+//! Flags:
+//!
+//! ```text
+//!   --quick       CI-sized workload (3k items) instead of the full 20k
+//!   --seed N      master seed (default 42)
+//!   --out FILE    where to write the JSON report (default BENCH_minibatch.json)
+//! ```
+
+use lshclust_bench::minibatch::{run, MiniBatchSettings};
+use std::process::ExitCode;
+
+fn parse() -> Result<(MiniBatchSettings, String), String> {
+    let mut settings = MiniBatchSettings::default();
+    let mut out = "BENCH_minibatch.json".to_owned();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" => settings.quick = true,
+            "--seed" => {
+                settings.seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--out" => out = argv.next().ok_or("--out needs a value")?,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok((settings, out))
+}
+
+fn main() -> ExitCode {
+    let (settings, out) = match parse() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = run(&settings);
+    println!("{}", report.render());
+    if let Err(e) = report.write_json(&out) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out}");
+    ExitCode::SUCCESS
+}

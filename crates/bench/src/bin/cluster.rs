@@ -25,6 +25,13 @@
 //!   --seed N          random seed (default 0)
 //!   --threads N       assignment threads (default 1 = paper-faithful serial;
 //!                     > 1 = Jacobi parallel passes, all families; 0 clamps to 1)
+//!   --batch-size N    switch to mini-batch fitting with N items per step
+//!                     (default 256 when omitted but another mini-batch flag
+//!                     is present)
+//!   --steps N         mini-batch steps (default: 10·k/batch, min 50)
+//!   --refresh-every N rebuild the centroid shortlist index every N steps
+//!                     (default 8; only useful with LSH). Any of these three
+//!                     flags switches the fit discipline to mini-batch.
 //!   --spec FILE       read a full ClusterSpec as JSON (overrides the flags above)
 //!   --warm-start FILE resume fitting from a saved model's centroids
 //!   --model FILE      save the trained model artifact as JSON
@@ -36,7 +43,7 @@
 //! Invoking with flags directly (`cluster --input … --k …`) still works and
 //! behaves as `fit`.
 
-use lshclust::{ClusterSpec, Clusterer, FittedModel, Lsh, RunSummary};
+use lshclust::{ClusterSpec, Clusterer, Fit, FittedModel, Lsh, RunSummary};
 use lshclust_categorical::io::read_csv;
 use lshclust_categorical::{AttrId, Dataset, ValueId, NOT_PRESENT};
 use lshclust_metrics::{normalized_mutual_information, purity};
@@ -52,6 +59,9 @@ struct FitArgs {
     max_iter: usize,
     seed: u64,
     threads: usize,
+    batch_size: Option<usize>,
+    steps: Option<usize>,
+    refresh_every: Option<usize>,
     spec_file: Option<String>,
     warm_start: Option<String>,
     model: Option<String>,
@@ -150,6 +160,9 @@ fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String>
         max_iter: 100,
         seed: 0,
         threads: 1,
+        batch_size: None,
+        steps: None,
+        refresh_every: None,
         spec_file: None,
         warm_start: None,
         model: None,
@@ -189,6 +202,27 @@ fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String>
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--batch-size" => {
+                args.batch_size = Some(
+                    value("--batch-size")?
+                        .parse()
+                        .map_err(|e| format!("--batch-size: {e}"))?,
+                )
+            }
+            "--steps" => {
+                args.steps = Some(
+                    value("--steps")?
+                        .parse()
+                        .map_err(|e| format!("--steps: {e}"))?,
+                )
+            }
+            "--refresh-every" => {
+                args.refresh_every = Some(
+                    value("--refresh-every")?
+                        .parse()
+                        .map_err(|e| format!("--refresh-every: {e}"))?,
+                )
+            }
             "--spec" => args.spec_file = Some(value("--spec")?),
             "--warm-start" => args.warm_start = Some(value("--warm-start")?),
             "--model" => args.model = Some(value("--model")?),
@@ -223,11 +257,25 @@ fn build_spec(args: &FitArgs) -> Result<ClusterSpec, String> {
             rows: args.rows,
         }
     };
-    Ok(ClusterSpec::new(k)
+    let mut spec = ClusterSpec::new(k)
         .lsh(lsh)
         .seed(args.seed)
         .threads(args.threads)
-        .max_iterations(args.max_iter))
+        .max_iterations(args.max_iter);
+    // Any mini-batch flag flips the fit discipline; unset knobs fall back
+    // to the batch-256 default and the 10·k/batch step heuristic.
+    if args.batch_size.is_some() || args.steps.is_some() || args.refresh_every.is_some() {
+        let batch_size = args.batch_size.unwrap_or(256);
+        let Fit::MiniBatch { n_steps, .. } = Fit::mini_batch(k, batch_size) else {
+            unreachable!("Fit::mini_batch builds the MiniBatch variant");
+        };
+        spec = spec.fit(Fit::MiniBatch {
+            batch_size,
+            n_steps: args.steps.unwrap_or(n_steps),
+            refresh_every: args.refresh_every.unwrap_or(8),
+        });
+    }
+    Ok(spec)
 }
 
 fn report(summary: &RunSummary, quiet: bool) {
@@ -302,11 +350,19 @@ fn run_fit(args: FitArgs) -> Result<(), String> {
         }
     );
     eprintln!(
-        "running {} (k={}, seed={}{}) ...",
+        "running {}{} (k={}, seed={}{}) ...",
         match spec.lsh {
             Lsh::None => "K-Modes (full search)".to_owned(),
             Lsh::MinHash { bands, rows } => format!("MH-K-Modes ({bands}b{rows}r)"),
             other => format!("Lsh::{}", other.name()),
+        },
+        match spec.fit {
+            Fit::Full => String::new(),
+            Fit::MiniBatch {
+                batch_size,
+                n_steps,
+                ..
+            } => format!(", mini-batch {n_steps}x{batch_size}"),
         },
         spec.k,
         spec.seed,
@@ -552,6 +608,91 @@ mod tests {
         let restored = build_spec(&from_file).unwrap();
         assert_eq!(restored, spec);
         assert_eq!(restored.threads, 4);
+    }
+
+    #[test]
+    fn minibatch_flags_flip_the_fit_discipline() {
+        // No flags → Full.
+        let args = parse_fit(flags(&["--input", "x.csv", "--k", "100"])).unwrap();
+        assert_eq!(build_spec(&args).unwrap().fit, Fit::Full);
+
+        // --batch-size alone derives the step heuristic from the batch.
+        let args = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--k",
+            "100",
+            "--batch-size",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(
+            build_spec(&args).unwrap().fit,
+            Fit::MiniBatch {
+                batch_size: 10,
+                n_steps: 100, // 10·100/10
+                refresh_every: 8,
+            }
+        );
+
+        // --refresh-every alone also flips the discipline (the flag only
+        // exists for mini-batch; dropping it silently would be a lie).
+        let args = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--k",
+            "100",
+            "--refresh-every",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(
+            build_spec(&args).unwrap().fit,
+            Fit::MiniBatch {
+                batch_size: 256,
+                n_steps: 50, // 10·100/256 floored at 50
+                refresh_every: 4,
+            }
+        );
+
+        // --steps alone keeps the default batch of 256.
+        let args = parse_fit(flags(&["--input", "x.csv", "--k", "100", "--steps", "33"])).unwrap();
+        assert_eq!(
+            build_spec(&args).unwrap().fit,
+            Fit::MiniBatch {
+                batch_size: 256,
+                n_steps: 33,
+                refresh_every: 8,
+            }
+        );
+
+        // All three knobs explicit.
+        let args = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--k",
+            "100",
+            "--batch-size",
+            "64",
+            "--steps",
+            "20",
+            "--refresh-every",
+            "5",
+        ]))
+        .unwrap();
+        let spec = build_spec(&args).unwrap();
+        assert_eq!(
+            spec.fit,
+            Fit::MiniBatch {
+                batch_size: 64,
+                n_steps: 20,
+                refresh_every: 5,
+            }
+        );
+        // And the discipline round-trips through --spec JSON.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

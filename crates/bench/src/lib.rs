@@ -12,6 +12,8 @@
 //! * [`ablate`] -- design-choice ablations and the LSH-vs-canopy-vs-mini-batch comparison,
 //! * [`threads`] — the thread-scaling experiment behind `BENCH_threads.json`
 //!   (facade-driven, all four families),
+//! * [`minibatch`] — the fit-discipline comparison behind
+//!   `BENCH_minibatch.json` (full vs mini-batch vs shortlisted mini-batch),
 //! * [`table`] — a tiny fixed-width table printer.
 //!
 //! The experiment modules drive the *internal* per-algorithm configs
@@ -27,6 +29,7 @@
 
 pub mod ablate;
 pub mod figures;
+pub mod minibatch;
 pub mod scale;
 pub mod synthetic;
 pub mod table;

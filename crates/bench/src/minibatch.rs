@@ -1,0 +1,555 @@
+//! Mini-batch experiment: full-batch fitting vs Sculley-style mini-batch vs
+//! **shortlisted** mini-batch, per algorithm family — the fit-throughput
+//! comparison behind `BENCH_minibatch.json`.
+//!
+//! The two acceleration routes are orthogonal: mini-batching reduces *how
+//! many* assignments a step pays (`b ≪ n`), the paper's shortlist reduces
+//! *what each one costs* (a handful of candidate centroids instead of all
+//! `k`). This experiment runs, for each modality, three fits on one
+//! synthetic workload:
+//!
+//! * `full`            — the family's LSH scheme, `Fit::Full`, through the
+//!   facade (reference),
+//! * `minibatch-full`  — Sculley baseline: every batch item searches all `k`
+//!   centroids,
+//! * `minibatch-lsh`   — batch items probe a periodically refreshed LSH
+//!   index over the centroids (light banding: hashing must undercut the
+//!   `k·m` search it replaces).
+//!
+//! Both mini-batch runs draw **identical batches** (same seed, same sampling
+//! stream) through `lshclust_core::minibatch`, whose phase profile separates
+//! assignment time from the absorb/nudge phase — the sketch nudges are
+//! byte-identical work under every LSH scheme, so `assign_ms_per_step` is
+//! the column where the shortlist can show up at all, and
+//! `shortlist_step_speedup` (full-search assign time over shortlisted assign
+//! time, per step) is the headline number. The mini-batch runs use the
+//! internal entry points rather than the facade for exactly this reason —
+//! the facade reports wall-clock steps only; the facade wiring itself is
+//! exercised by `tests/minibatch.rs` and the `minibatch` example.
+
+use lshclust::{ClusterSpec, Clusterer, Lsh};
+use lshclust_categorical::Dataset;
+use lshclust_core::minibatch::{
+    minibatch_mh_kmeans, minibatch_mh_kmodes, minibatch_mh_kprototypes, MiniBatchParams,
+    MiniBatchProfile, UnionBands,
+};
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::init::InitMethod;
+use lshclust_kmodes::kmeans::{KMeansInit, NumericDataset};
+use lshclust_kmodes::kprototypes::{suggest_gamma, MixedDataset};
+use lshclust_metrics::purity;
+use lshclust_minhash::Banding;
+use std::path::Path;
+
+/// Settings of a mini-batch experiment run.
+#[derive(Clone, Debug)]
+pub struct MiniBatchSettings {
+    /// Shrinks the workload for CI smoke runs.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for MiniBatchSettings {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            seed: 42,
+        }
+    }
+}
+
+/// One fit measurement.
+#[derive(Clone, Debug)]
+pub struct FitRun {
+    /// `"full"`, `"minibatch-full"` or `"minibatch-lsh"`.
+    pub mode: String,
+    /// The LSH scheme exercised, rendered for humans (e.g. `MinHash 8b2r`).
+    pub lsh: String,
+    /// Total wall-clock including setup and (for mini-batch) the final full
+    /// pass, seconds.
+    pub total_s: f64,
+    /// Fit iterations (full passes) or mini-batch steps executed.
+    pub steps: usize,
+    /// Mean wall-clock milliseconds per step (mini-batch: sampling + assign
+    /// + absorb + amortised refresh; full: one complete pass).
+    pub ms_per_step: f64,
+    /// Mean milliseconds of the **assignment phase** per step — the phase
+    /// the shortlist accelerates. For the `full` reference this equals
+    /// `ms_per_step` (its passes are assignment + centroid update).
+    pub assign_ms_per_step: f64,
+    /// Mean milliseconds of the absorb/nudge phase per step (identical work
+    /// under every LSH scheme; 0 for the `full` reference).
+    pub absorb_ms_per_step: f64,
+    /// Total centroid-index refresh time, seconds (0 without LSH).
+    pub refresh_s: f64,
+    /// Batch items whose shortlist came back empty (full-search fallback).
+    pub fallbacks: usize,
+    /// Mean centroids searched per assigned item (`k` for full search).
+    pub avg_candidates: f64,
+    /// Cost of the returned clustering.
+    pub final_cost: u64,
+    /// Purity against the generator's labels (quality guard: acceleration
+    /// must not silently destroy the clustering).
+    pub purity: f64,
+}
+
+serde::impl_serde_struct!(FitRun {
+    mode,
+    lsh,
+    total_s,
+    steps,
+    ms_per_step,
+    assign_ms_per_step,
+    absorb_ms_per_step,
+    refresh_s,
+    fallbacks,
+    avg_candidates,
+    final_cost,
+    purity
+});
+
+/// The three runs of one family.
+#[derive(Clone, Debug)]
+pub struct FamilyComparison {
+    /// `"categorical"`, `"numeric"` or `"mixed"`.
+    pub family: String,
+    /// Mini-batch schedule shared by both mini-batch runs.
+    pub batch_size: usize,
+    /// Steps of the schedule.
+    pub n_steps: usize,
+    /// Centroid-index refresh cadence of the shortlisted run.
+    pub refresh_every: usize,
+    /// The measurements.
+    pub runs: Vec<FitRun>,
+    /// `minibatch-full` assignment ms/step divided by `minibatch-lsh`
+    /// assignment ms/step (> 1 ⇒ the shortlist pays for itself per step).
+    pub shortlist_step_speedup: f64,
+}
+
+serde::impl_serde_struct!(FamilyComparison {
+    family,
+    batch_size,
+    n_steps,
+    refresh_every,
+    runs,
+    shortlist_step_speedup
+});
+
+/// Workload shape shared by the report.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Items per family workload.
+    pub n_items: usize,
+    /// Clusters.
+    pub n_clusters: usize,
+    /// Categorical attributes.
+    pub n_attrs: usize,
+    /// Numeric dimensions.
+    pub dim: usize,
+}
+
+serde::impl_serde_struct!(Workload {
+    n_items,
+    n_clusters,
+    n_attrs,
+    dim
+});
+
+/// The full `BENCH_minibatch.json` payload.
+#[derive(Clone, Debug)]
+pub struct MiniBatchReport {
+    /// Experiment marker.
+    pub experiment: String,
+    /// Hardware threads available to this process.
+    pub host_cpus: usize,
+    /// Whether the shrunken CI workload was used.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Workload shape.
+    pub workload: Workload,
+    /// Per-family comparisons.
+    pub families: Vec<FamilyComparison>,
+}
+
+serde::impl_serde_struct!(MiniBatchReport {
+    experiment,
+    host_cpus,
+    quick,
+    seed,
+    workload,
+    families
+});
+
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+/// Digests the `full` reference run (facade-driven) into a row.
+fn full_row(
+    lsh: &str,
+    summary: &lshclust::RunSummary,
+    assignments: &[u32],
+    labels: &[u32],
+) -> FitRun {
+    let steps = summary.n_iterations();
+    let step_s: f64 = summary
+        .iterations
+        .iter()
+        .map(|s| s.duration.as_secs_f64())
+        .sum();
+    let ms = if steps == 0 {
+        0.0
+    } else {
+        step_s * 1e3 / steps as f64
+    };
+    FitRun {
+        mode: "full".into(),
+        lsh: lsh.into(),
+        total_s: summary.total_time().as_secs_f64(),
+        steps,
+        ms_per_step: ms,
+        assign_ms_per_step: ms,
+        absorb_ms_per_step: 0.0,
+        refresh_s: 0.0,
+        fallbacks: 0,
+        avg_candidates: summary.iterations.last().map_or(0.0, |s| s.avg_candidates),
+        final_cost: summary.best_cost().unwrap_or(0),
+        purity: purity(assignments, labels),
+    }
+}
+
+/// Digests one engine-driven mini-batch run into a row. The last iteration
+/// row of the summary is the final full pass: excluded from per-step means,
+/// it supplies the run's cost.
+#[allow(clippy::too_many_arguments)]
+fn minibatch_row(
+    mode: &str,
+    lsh: &str,
+    summary: &lshclust::RunSummary,
+    profile: &MiniBatchProfile,
+    assignments: &[u32],
+    labels: &[u32],
+) -> FitRun {
+    let rows = &summary.iterations;
+    let steps_only = &rows[..rows.len().saturating_sub(1)];
+    let steps = steps_only.len().max(1);
+    let step_s: f64 = steps_only.iter().map(|s| s.duration.as_secs_f64()).sum();
+    FitRun {
+        mode: mode.into(),
+        lsh: lsh.into(),
+        total_s: summary.total_time().as_secs_f64(),
+        steps,
+        ms_per_step: step_s * 1e3 / steps as f64,
+        assign_ms_per_step: profile.assign.as_secs_f64() * 1e3 / steps as f64,
+        absorb_ms_per_step: profile.absorb.as_secs_f64() * 1e3 / steps as f64,
+        refresh_s: profile.refresh.as_secs_f64(),
+        fallbacks: profile.fallbacks,
+        avg_candidates: steps_only.iter().map(|s| s.avg_candidates).sum::<f64>() / steps as f64,
+        final_cost: rows.last().map_or(0, |s| s.cost),
+        purity: purity(assignments, labels),
+    }
+}
+
+fn labels_of(assignments: &[lshclust::ClusterId]) -> Vec<u32> {
+    assignments.iter().map(|c| c.0).collect()
+}
+
+fn family_of(family: &str, schedule: MiniBatchParams, runs: Vec<FitRun>) -> FamilyComparison {
+    let assign = |mode: &str| {
+        runs.iter()
+            .find(|r| r.mode == mode)
+            .map_or(0.0, |r| r.assign_ms_per_step)
+    };
+    let lsh_ms = assign("minibatch-lsh");
+    let full_ms = assign("minibatch-full");
+    FamilyComparison {
+        family: family.into(),
+        batch_size: schedule.batch_size,
+        n_steps: schedule.n_steps,
+        refresh_every: schedule.refresh_every,
+        runs,
+        shortlist_step_speedup: if lsh_ms > 0.0 { full_ms / lsh_ms } else { 0.0 },
+    }
+}
+
+/// Runs the full experiment and returns the report.
+pub fn run(settings: &MiniBatchSettings) -> MiniBatchReport {
+    let (n_items, n_clusters, n_attrs, dim) = if settings.quick {
+        (3_000, 50, 20, 8)
+    } else {
+        (20_000, 200, 40, 16)
+    };
+    let schedule = if settings.quick {
+        MiniBatchParams {
+            batch_size: 256,
+            n_steps: 30,
+            refresh_every: 5,
+        }
+    } else {
+        MiniBatchParams {
+            batch_size: 512,
+            n_steps: 60,
+            refresh_every: 10,
+        }
+    };
+    let seed = settings.seed;
+    let max_iter = 25;
+    let k = n_clusters;
+    let dataset: Dataset = generate(&DatgenConfig::new(n_items, n_clusters, n_attrs).seed(seed));
+    let labels: Vec<u32> = dataset.labels().expect("datgen labels").to_vec();
+    let numeric = numeric_blobs(&labels, dim);
+    let mixed = MixedDataset::new(&dataset, &numeric);
+    let gamma = suggest_gamma(&numeric);
+
+    // Light centroid-index banding for the shortlisted runs: hashing and
+    // probing a batch item must undercut the k·m search it replaces (the
+    // fit-time 20b5r signature would cost more than it saves here).
+    let cat_banding = Banding::new(8, 2);
+    let (sim_bands, sim_rows) = (4u32, 8u32);
+
+    let mut families = Vec::new();
+
+    eprintln!("# minibatch: categorical");
+    let facade = Clusterer::new(
+        ClusterSpec::new(k)
+            .lsh(Lsh::MinHash { bands: 20, rows: 5 })
+            .seed(seed)
+            .max_iterations(max_iter),
+    )
+    .fit(&dataset)
+    .expect("categorical fit");
+    let mb_full = minibatch_mh_kmodes(
+        &dataset,
+        k,
+        InitMethod::RandomItems,
+        seed,
+        None,
+        &schedule,
+        1,
+    );
+    let mb_lsh = minibatch_mh_kmodes(
+        &dataset,
+        k,
+        InitMethod::RandomItems,
+        seed,
+        Some(cat_banding),
+        &schedule,
+        1,
+    );
+    families.push(family_of(
+        "categorical",
+        schedule,
+        vec![
+            full_row("MinHash 20b5r", &facade.summary, &facade.labels(), &labels),
+            minibatch_row(
+                "minibatch-full",
+                "None",
+                &mb_full.summary,
+                &mb_full.profile,
+                &labels_of(&mb_full.assignments),
+                &labels,
+            ),
+            minibatch_row(
+                "minibatch-lsh",
+                "MinHash 8b2r",
+                &mb_lsh.summary,
+                &mb_lsh.profile,
+                &labels_of(&mb_lsh.assignments),
+                &labels,
+            ),
+        ],
+    ));
+
+    eprintln!("# minibatch: numeric");
+    let facade = Clusterer::new(
+        ClusterSpec::new(k)
+            .lsh(Lsh::SimHash { bands: 8, rows: 16 })
+            .seed(seed)
+            .max_iterations(max_iter),
+    )
+    .fit(&numeric)
+    .expect("numeric fit");
+    let mb_full = minibatch_mh_kmeans(
+        &numeric,
+        k,
+        KMeansInit::RandomItems,
+        seed,
+        None,
+        &schedule,
+        1,
+    );
+    let mb_lsh = minibatch_mh_kmeans(
+        &numeric,
+        k,
+        KMeansInit::RandomItems,
+        seed,
+        Some((sim_bands, sim_rows)),
+        &schedule,
+        1,
+    );
+    families.push(family_of(
+        "numeric",
+        schedule,
+        vec![
+            full_row("SimHash 8b16r", &facade.summary, &facade.labels(), &labels),
+            minibatch_row(
+                "minibatch-full",
+                "None",
+                &mb_full.summary,
+                &mb_full.profile,
+                &labels_of(&mb_full.assignments),
+                &labels,
+            ),
+            minibatch_row(
+                "minibatch-lsh",
+                "SimHash 4b8r",
+                &mb_lsh.summary,
+                &mb_lsh.profile,
+                &labels_of(&mb_lsh.assignments),
+                &labels,
+            ),
+        ],
+    ));
+
+    eprintln!("# minibatch: mixed");
+    let facade = Clusterer::new(
+        ClusterSpec::new(k)
+            .lsh(Lsh::Union {
+                bands: 20,
+                rows: 5,
+                sim_bands: 8,
+                sim_rows: 16,
+            })
+            .seed(seed)
+            .max_iterations(max_iter),
+    )
+    .fit(&mixed)
+    .expect("mixed fit");
+    let mb_full = minibatch_mh_kprototypes(&mixed, k, gamma, seed, None, &schedule, 1);
+    let mb_lsh = minibatch_mh_kprototypes(
+        &mixed,
+        k,
+        gamma,
+        seed,
+        Some(UnionBands {
+            banding: cat_banding,
+            sim_bands,
+            sim_rows,
+        }),
+        &schedule,
+        1,
+    );
+    families.push(family_of(
+        "mixed",
+        schedule,
+        vec![
+            full_row(
+                "Union 20b5r + 8b16r",
+                &facade.summary,
+                &facade.labels(),
+                &labels,
+            ),
+            minibatch_row(
+                "minibatch-full",
+                "None",
+                &mb_full.summary,
+                &mb_full.profile,
+                &labels_of(&mb_full.assignments),
+                &labels,
+            ),
+            minibatch_row(
+                "minibatch-lsh",
+                "Union 8b2r + 4b8r",
+                &mb_lsh.summary,
+                &mb_lsh.profile,
+                &labels_of(&mb_lsh.assignments),
+                &labels,
+            ),
+        ],
+    ));
+
+    MiniBatchReport {
+        experiment: "minibatch".into(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        quick: settings.quick,
+        seed,
+        workload: Workload {
+            n_items,
+            n_clusters,
+            n_attrs,
+            dim,
+        },
+        families,
+    }
+}
+
+impl MiniBatchReport {
+    /// Writes the report as pretty JSON to `path`.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(self).expect("report serializes");
+        std::fs::write(path, text)
+    }
+
+    /// Renders an aligned text summary (one table per family).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "mini-batch comparison  (host cpus: {}, quick: {}, n={}, k={})",
+            self.host_cpus, self.quick, self.workload.n_items, self.workload.n_clusters
+        );
+        for family in &self.families {
+            let _ = writeln!(
+                out,
+                "\n[{}] {}x{} batch, refresh every {}  (assign step speedup: {:.2}x)",
+                family.family,
+                family.n_steps,
+                family.batch_size,
+                family.refresh_every,
+                family.shortlist_step_speedup
+            );
+            let _ = writeln!(
+                out,
+                "{:>16}  {:>19}  {:>6}  {:>10}  {:>11}  {:>11}  {:>9}  {:>11}  {:>7}",
+                "mode",
+                "lsh",
+                "steps",
+                "total (s)",
+                "ms/step",
+                "assign ms",
+                "avg cand",
+                "cost",
+                "purity"
+            );
+            for r in &family.runs {
+                let _ = writeln!(
+                    out,
+                    "{:>16}  {:>19}  {:>6}  {:>10.3}  {:>11.3}  {:>11.3}  {:>9.2}  {:>11}  {:>7.3}",
+                    r.mode,
+                    r.lsh,
+                    r.steps,
+                    r.total_s,
+                    r.ms_per_step,
+                    r.assign_ms_per_step,
+                    r.avg_candidates,
+                    r.final_cost,
+                    r.purity
+                );
+            }
+        }
+        out
+    }
+}

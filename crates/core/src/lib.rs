@@ -22,6 +22,10 @@
 //! * [`parallel`] — an opt-in crossbeam-based parallel assignment pass (the
 //!   paper's implementation is single-threaded; this shows the framework's
 //!   gains are orthogonal to thread-level parallelism).
+//! * [`minibatch`] — Sculley-style mini-batch fitting composed with the
+//!   shortlist: sampled batches are assigned through a periodically
+//!   refreshed LSH index over the *centroids*, for all three modalities
+//!   (the facade's `Fit::MiniBatch` discipline).
 //!
 //! # Quickstart
 //!
@@ -70,6 +74,7 @@ pub mod framework;
 pub mod mhkmeans;
 pub mod mhkmodes;
 pub mod mhkprototypes;
+pub mod minibatch;
 pub mod parallel;
 pub mod streaming;
 

@@ -40,6 +40,17 @@ impl<'a> KMeansModel<'a> {
         &self.centroids
     }
 
+    /// The wrapped dataset (at its own lifetime; see
+    /// `KModesModel::dataset_ref`).
+    pub(crate) fn data_ref(&self) -> &'a NumericDataset {
+        self.data
+    }
+
+    /// Mutable access to the centroid matrix (mini-batch nudges).
+    pub(crate) fn centroids_mut(&mut self) -> &mut [f64] {
+        &mut self.centroids
+    }
+
     #[inline]
     fn centroid(&self, c: usize) -> &[f64] {
         &self.centroids[c * self.data.dim()..(c + 1) * self.data.dim()]

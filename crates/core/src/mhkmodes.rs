@@ -134,6 +134,17 @@ impl<'a> KModesModel<'a> {
     pub fn into_modes(self) -> Modes {
         self.modes
     }
+
+    /// The wrapped dataset (returned at the dataset's own lifetime, not the
+    /// borrow's, so callers can hold a row across a centroid mutation).
+    pub(crate) fn dataset_ref(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// Mutable access to the modes (mini-batch nudges).
+    pub(crate) fn modes_mut(&mut self) -> &mut Modes {
+        &mut self.modes
+    }
 }
 
 impl CentroidModel for KModesModel<'_> {

@@ -45,6 +45,22 @@ impl<'a> KPrototypesModel<'a> {
     pub fn prototypes(&self) -> &Prototypes {
         &self.prototypes
     }
+
+    /// Consumes the model, returning the prototypes.
+    pub fn into_prototypes(self) -> Prototypes {
+        self.prototypes
+    }
+
+    /// The wrapped dataset (at its own lifetime; see
+    /// `KModesModel::dataset_ref`).
+    pub(crate) fn data_ref(&self) -> &'a MixedDataset<'a> {
+        self.data
+    }
+
+    /// Mutable access to the prototypes (mini-batch nudges).
+    pub(crate) fn prototypes_mut(&mut self) -> &mut Prototypes {
+        &mut self.prototypes
+    }
 }
 
 impl CentroidModel for KPrototypesModel<'_> {

@@ -1,0 +1,1068 @@
+//! **Shortlisted mini-batch fitting** — Sculley-style mini-batch updates
+//! composed with the paper's LSH shortlist, for every algorithm family.
+//!
+//! Full-batch fitting touches all `n` items per iteration; the mini-batch
+//! discipline (Sculley, WWW 2010) instead samples `b ≪ n` items per step and
+//! nudges only the touched centroids, so fit cost scales with `b·steps`
+//! rather than `n·iterations`. That attacks the *number* of assignments; the
+//! paper's shortlist attacks the *cost of each one*. This module composes
+//! the two: each sampled item is assigned by probing an LSH index built
+//! **over the centroids** (the serving-side construction of
+//! `lshclust::FittedModel`, and the neighbourhood-restricted assignment of
+//! the cluster-closures line of work), with a full `k`-search fallback when
+//! the shortlist comes back empty, and the index is **rebuilt every
+//! [`MiniBatchParams::refresh_every`] steps** so it tracks the drifting
+//! centroids (stale buckets would silently degrade the shortlist — the
+//! LSH-survey motivation for keeping indexes fresh).
+//!
+//! One deterministic driver serves all three modalities:
+//!
+//! 1. sample the batch serially from one seeded RNG stream (the same stream
+//!    as the `lshclust_kmodes::minibatch` baseline, so full-search and
+//!    shortlisted runs draw identical batches at equal seeds),
+//! 2. assign the whole batch against the step's **frozen** centroids and
+//!    index, fanned over `threads` workers through
+//!    [`crate::parallel::chunked_map`] (each item's result depends only on
+//!    the frozen state, so the step is Jacobi-within-batch and the outcome
+//!    is byte-identical at *any* thread count, including 1),
+//! 3. apply the centroid nudges serially in batch order through the family's
+//!    [`MiniBatchModel::absorb`] sketch.
+//!
+//! A final full assignment pass (also fanned over `threads`) turns the
+//! drifted centroids into a complete clustering, exactly like the baseline.
+
+use crate::framework::CentroidModel;
+use crate::mhkmeans::{KMeansModel, SimHashIndex, VectorQueryScratch};
+use crate::mhkmodes::KModesModel;
+use crate::mhkprototypes::KPrototypesModel;
+use crate::parallel::chunked_map;
+use lshclust_categorical::{ClusterId, Dataset, PresentElements};
+use lshclust_kmodes::init::{initial_modes, sample_distinct_items, InitMethod};
+use lshclust_kmodes::kmeans::{kmeans_initial_centroids, KMeansInit, NumericDataset};
+use lshclust_kmodes::kprototypes::{MixedDataset, Prototypes};
+use lshclust_kmodes::minibatch::{FrequencySketch, BATCH_SAMPLING_SALT};
+use lshclust_kmodes::modes::Modes;
+use lshclust_kmodes::stats::{IterationStats, RunSummary};
+use lshclust_minhash::hashfn::{FastSet, MixHashFamily};
+use lshclust_minhash::index::{LshIndex, LshIndexBuilder, ShortlistScratch};
+use lshclust_minhash::signature::SignatureGenerator;
+use lshclust_minhash::Banding;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Instant;
+
+// Centroid indexes decorrelate their hash families from batch sampling and
+// from the fit-time item indexes of the Full discipline.
+const CAT_MB_SALT: u64 = 0x6d62_6d68; // "mbmh"
+const NUM_MB_SALT: u64 = 0x6d62_7368; // "mbsh"
+
+/// The mini-batch schedule: how much is sampled, for how long, and how often
+/// the centroid LSH index is rebuilt as the centroids drift.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MiniBatchParams {
+    /// Items sampled per step (clamped to `1..=n`).
+    pub batch_size: usize,
+    /// Mini-batch steps before the final full assignment pass (min 1).
+    pub n_steps: usize,
+    /// Rebuild the centroid index every this-many steps (it is always built
+    /// at step 1; `0` means never refresh after that). Irrelevant without an
+    /// LSH scheme.
+    pub refresh_every: usize,
+}
+
+impl MiniBatchParams {
+    /// Index refresh cadence used when the caller does not pick one.
+    pub const DEFAULT_REFRESH_EVERY: usize = 8;
+
+    /// A schedule with the default refresh cadence.
+    pub fn new(batch_size: usize, n_steps: usize) -> Self {
+        Self {
+            batch_size,
+            n_steps,
+            refresh_every: Self::DEFAULT_REFRESH_EVERY,
+        }
+    }
+}
+
+/// A [`CentroidModel`] that can also absorb single items into per-cluster
+/// streaming accumulators (Sculley's "nudge" update): frequency tables for
+/// modes, decaying-rate means for centroids, both for prototypes.
+pub trait MiniBatchModel: CentroidModel {
+    /// The per-run accumulator state (owned by the driver, not the model, so
+    /// a model remains reusable across disciplines).
+    type Sketch;
+
+    /// One empty accumulator sized for this model.
+    fn make_sketch(&self) -> Self::Sketch;
+
+    /// Folds `item` into `cluster`'s accumulator and nudges that cluster's
+    /// centroid in place. Must be deterministic in call order.
+    fn absorb(&mut self, sketch: &mut Self::Sketch, item: u32, cluster: ClusterId);
+}
+
+impl MiniBatchModel for KModesModel<'_> {
+    type Sketch = FrequencySketch;
+
+    fn make_sketch(&self) -> FrequencySketch {
+        FrequencySketch::new(self.k(), self.dataset_ref().n_attrs())
+    }
+
+    fn absorb(&mut self, sketch: &mut FrequencySketch, item: u32, cluster: ClusterId) {
+        let row = self.dataset_ref().row(item as usize);
+        let mode = sketch.absorb(cluster, row);
+        self.modes_mut().set_mode(cluster, mode);
+    }
+}
+
+impl MiniBatchModel for KMeansModel<'_> {
+    /// Per-cluster absorb counts; the learning rate for the `c`-th absorb
+    /// into a cluster is `1/c` (Sculley's decaying per-centre rate).
+    type Sketch = Vec<u64>;
+
+    fn make_sketch(&self) -> Vec<u64> {
+        vec![0; self.k()]
+    }
+
+    fn absorb(&mut self, counts: &mut Vec<u64>, item: u32, cluster: ClusterId) {
+        let data = self.data_ref();
+        let row = data.row(item as usize);
+        let dim = data.dim();
+        counts[cluster.idx()] += 1;
+        let eta = 1.0 / counts[cluster.idx()] as f64;
+        let centroid = &mut self.centroids_mut()[cluster.idx() * dim..(cluster.idx() + 1) * dim];
+        for (c, &x) in centroid.iter_mut().zip(row) {
+            *c += eta * (x - *c);
+        }
+    }
+}
+
+/// Accumulator of the mixed-data nudge: frequency tables for the mode part,
+/// absorb counts for the mean part (one shared count per cluster).
+pub struct PrototypeSketch {
+    freq: FrequencySketch,
+    counts: Vec<u64>,
+}
+
+impl MiniBatchModel for KPrototypesModel<'_> {
+    type Sketch = PrototypeSketch;
+
+    fn make_sketch(&self) -> PrototypeSketch {
+        PrototypeSketch {
+            freq: FrequencySketch::new(self.k(), self.data_ref().categorical.n_attrs()),
+            counts: vec![0; self.k()],
+        }
+    }
+
+    fn absorb(&mut self, sketch: &mut PrototypeSketch, item: u32, cluster: ClusterId) {
+        let data = self.data_ref();
+        let row = data.categorical.row(item as usize);
+        let point = data.numeric.row(item as usize);
+        sketch.counts[cluster.idx()] += 1;
+        let eta = 1.0 / sketch.counts[cluster.idx()] as f64;
+        let mode = sketch.freq.absorb(cluster, row);
+        let prototypes = self.prototypes_mut();
+        prototypes.modes.set_mode(cluster, mode);
+        let dim = prototypes.dim();
+        let mean = &mut prototypes.means[cluster.idx() * dim..(cluster.idx() + 1) * dim];
+        for (m, &x) in mean.iter_mut().zip(point) {
+            *m += eta * (x - *m);
+        }
+    }
+}
+
+/// An LSH index **over the centroids** that shortlists candidate clusters
+/// for a dataset item, and can be rebuilt as the centroids drift. Queries
+/// are read-only with per-thread scratch so the batch assignment can fan out
+/// (the mini-batch twin of [`crate::parallel::SyncShortlistProvider`]).
+pub trait CentroidShortlister<M: CentroidModel>: Sync {
+    /// Per-thread query scratch (hash buffers, dedup stamps, …).
+    type Scratch: Send;
+
+    /// Rebuilds the index from the model's current centroids.
+    fn refresh(&mut self, model: &M);
+
+    /// One scratch per worker thread.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// Writes the candidate clusters for `item` into `out` (cleared first).
+    /// An empty result makes the driver fall back to full search.
+    fn shortlist_into(&self, item: u32, scratch: &mut Self::Scratch, out: &mut Vec<ClusterId>);
+}
+
+/// Uninhabited stand-in for runs without an LSH scheme: `None::<NoShortlist>`
+/// selects the full-search mini-batch path through the same driver.
+pub enum NoShortlist {}
+
+impl<M: CentroidModel> CentroidShortlister<M> for NoShortlist {
+    type Scratch = ();
+
+    fn refresh(&mut self, _model: &M) {
+        match *self {}
+    }
+
+    fn make_scratch(&self) -> Self::Scratch {
+        match *self {}
+    }
+
+    fn shortlist_into(&self, _item: u32, _scratch: &mut (), _out: &mut Vec<ClusterId>) {
+        match *self {}
+    }
+}
+
+/// MinHash banding over the modes (the categorical centroid index).
+///
+/// An item's band keys depend only on the item and the hash family — never
+/// on the centroids — so the first [`CentroidShortlister::refresh`] hashes
+/// every item **once** and each refresh after that rebuilds only the
+/// (cheap, `k`-row) centroid buckets. A per-step query is then a stored-key
+/// lookup plus bucket probes: no per-step hashing at all, which is what
+/// lets the shortlist undercut the early-exit full search per batch item.
+pub struct MinHashCentroidShortlister<'a> {
+    dataset: &'a Dataset,
+    banding: Banding,
+    seed: u64,
+    index: Option<LshIndex>,
+    /// `n_items × bands` item band keys, item-major; hashed on first
+    /// refresh.
+    item_keys: Vec<u64>,
+    k: usize,
+}
+
+impl<'a> MinHashCentroidShortlister<'a> {
+    /// A shortlister for items of `dataset` against `k` mode centroids.
+    pub fn new(dataset: &'a Dataset, banding: Banding, seed: u64, k: usize) -> Self {
+        Self {
+            dataset,
+            banding,
+            seed: seed ^ CAT_MB_SALT,
+            index: None,
+            item_keys: Vec::new(),
+            k,
+        }
+    }
+
+    fn refresh_from_modes(&mut self, modes: &Modes) {
+        self.index = Some(
+            LshIndexBuilder::new(self.banding)
+                .seed(self.seed)
+                .build_centroids(
+                    self.dataset.schema(),
+                    (0..modes.k()).map(|c| modes.mode(c)),
+                    modes.k(),
+                ),
+        );
+        if self.item_keys.is_empty() {
+            let generator = SignatureGenerator::new(MixHashFamily::new(
+                self.banding.signature_len(),
+                self.seed,
+            ));
+            let n = self.dataset.n_items();
+            let mut sig = Vec::with_capacity(self.banding.signature_len());
+            let mut keys = Vec::with_capacity(self.banding.bands() as usize);
+            self.item_keys.reserve(n * self.banding.bands() as usize);
+            for item in 0..n {
+                generator.signature_into(
+                    PresentElements::new(self.dataset.schema(), self.dataset.row(item)),
+                    &mut sig,
+                );
+                self.banding.band_keys_into(&sig, &mut keys);
+                self.item_keys.extend_from_slice(&keys);
+            }
+        }
+    }
+
+    fn query(&self, item: u32, scratch: &mut CatScratch, out: &mut Vec<ClusterId>) {
+        out.clear();
+        let Some(index) = &self.index else { return };
+        let bands = self.banding.bands() as usize;
+        let keys = &self.item_keys[item as usize * bands..(item as usize + 1) * bands];
+        index.shortlist_for_band_keys(keys, &mut scratch.shortlist);
+        out.extend_from_slice(&scratch.shortlist.clusters);
+    }
+}
+
+/// Per-thread scratch of the categorical centroid query.
+pub struct CatScratch {
+    shortlist: ShortlistScratch,
+}
+
+impl CentroidShortlister<KModesModel<'_>> for MinHashCentroidShortlister<'_> {
+    type Scratch = CatScratch;
+
+    fn refresh(&mut self, model: &KModesModel<'_>) {
+        self.refresh_from_modes(model.modes());
+    }
+
+    fn make_scratch(&self) -> CatScratch {
+        CatScratch {
+            shortlist: ShortlistScratch::new(self.k, self.k),
+        }
+    }
+
+    fn shortlist_into(&self, item: u32, scratch: &mut CatScratch, out: &mut Vec<ClusterId>) {
+        self.query(item, scratch, out);
+    }
+}
+
+/// SimHash over the mean centroids (the numeric centroid index).
+pub struct SimHashCentroidShortlister<'a> {
+    data: &'a NumericDataset,
+    bands: u32,
+    rows: u32,
+    seed: u64,
+    index: Option<SimHashIndex>,
+}
+
+impl<'a> SimHashCentroidShortlister<'a> {
+    /// A shortlister for points of `data` against mean centroids.
+    pub fn new(data: &'a NumericDataset, bands: u32, rows: u32, seed: u64) -> Self {
+        Self {
+            data,
+            bands,
+            rows,
+            seed: seed ^ NUM_MB_SALT,
+            index: None,
+        }
+    }
+
+    fn refresh_from_means(&mut self, dim: usize, centroids: &[f64]) {
+        let k = centroids.len().checked_div(dim).unwrap_or(0);
+        let identity: Vec<ClusterId> = (0..k as u32).map(ClusterId).collect();
+        self.index = Some(SimHashIndex::build(
+            &NumericDataset::new(dim, centroids.to_vec()),
+            self.bands,
+            self.rows,
+            self.seed,
+            &identity,
+        ));
+    }
+
+    fn query(&self, item: u32, scratch: &mut NumScratch, out: &mut Vec<ClusterId>) {
+        out.clear();
+        let Some(index) = &self.index else { return };
+        index.shortlist_for_vector_with(
+            self.data.row(item as usize),
+            &mut scratch.query,
+            out,
+            &mut scratch.seen,
+        );
+    }
+}
+
+/// Per-thread scratch of the numeric centroid query.
+#[derive(Default)]
+pub struct NumScratch {
+    query: VectorQueryScratch,
+    seen: FastSet<u32>,
+}
+
+impl CentroidShortlister<KMeansModel<'_>> for SimHashCentroidShortlister<'_> {
+    type Scratch = NumScratch;
+
+    fn refresh(&mut self, model: &KMeansModel<'_>) {
+        self.refresh_from_means(model.data_ref().dim(), model.centroids());
+    }
+
+    fn make_scratch(&self) -> NumScratch {
+        NumScratch::default()
+    }
+
+    fn shortlist_into(&self, item: u32, scratch: &mut NumScratch, out: &mut Vec<ClusterId>) {
+        self.query(item, scratch, out);
+    }
+}
+
+/// MinHash over the mode part ∪ SimHash over the mean part — the mixed-data
+/// centroid index, mirroring the fit-time `UnionProvider`.
+pub struct UnionCentroidShortlister<'a> {
+    cat: MinHashCentroidShortlister<'a>,
+    num: SimHashCentroidShortlister<'a>,
+}
+
+impl<'a> UnionCentroidShortlister<'a> {
+    /// A shortlister for items of `data` against `k` prototype centroids.
+    pub fn new(
+        data: &'a MixedDataset<'a>,
+        banding: Banding,
+        sim_bands: u32,
+        sim_rows: u32,
+        seed: u64,
+        k: usize,
+    ) -> Self {
+        Self {
+            cat: MinHashCentroidShortlister::new(data.categorical, banding, seed, k),
+            num: SimHashCentroidShortlister::new(data.numeric, sim_bands, sim_rows, seed),
+        }
+    }
+}
+
+/// Per-thread scratch of the union centroid query.
+pub struct UnionCentroidScratch {
+    cat: CatScratch,
+    num: NumScratch,
+    buf: Vec<ClusterId>,
+}
+
+impl CentroidShortlister<KPrototypesModel<'_>> for UnionCentroidShortlister<'_> {
+    type Scratch = UnionCentroidScratch;
+
+    fn refresh(&mut self, model: &KPrototypesModel<'_>) {
+        let prototypes = model.prototypes();
+        self.cat.refresh_from_modes(&prototypes.modes);
+        self.num
+            .refresh_from_means(prototypes.dim(), &prototypes.means);
+    }
+
+    fn make_scratch(&self) -> UnionCentroidScratch {
+        UnionCentroidScratch {
+            cat: self.cat.make_scratch(),
+            num: NumScratch::default(),
+            buf: Vec::new(),
+        }
+    }
+
+    fn shortlist_into(
+        &self,
+        item: u32,
+        scratch: &mut UnionCentroidScratch,
+        out: &mut Vec<ClusterId>,
+    ) {
+        self.cat.query(item, &mut scratch.cat, out);
+        self.num.query(item, &mut scratch.num, &mut scratch.buf);
+        for &c in &scratch.buf {
+            if !out.contains(&c) {
+                out.push(c);
+            }
+        }
+    }
+}
+
+/// Where a mini-batch run's time went, phase by phase, summed over all
+/// steps. Wall-clock per step (`IterationStats::duration`) bundles the three
+/// phases; this breakdown exists because the phases respond to different
+/// levers — the shortlist attacks `assign` only, while `absorb` (the
+/// sequential sketch nudges) is identical under every LSH scheme — and the
+/// bench harness compares assignment cost in isolation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MiniBatchProfile {
+    /// Centroid-index (re)builds, including the one-time item hashing.
+    pub refresh: std::time::Duration,
+    /// Batch assignment (shortlist + restricted search, or full search).
+    pub assign: std::time::Duration,
+    /// Sequential sketch absorption and centroid nudges.
+    pub absorb: std::time::Duration,
+    /// Batch items whose shortlist came back empty and fell back to full
+    /// search (always 0 without an LSH scheme).
+    pub fallbacks: usize,
+}
+
+/// The shared step loop: sample → (refresh →) assign frozen batch → absorb.
+/// Appends one [`IterationStats`] row per step (`moves` counts absorbed
+/// items, `avg_candidates` the mean searched-cluster count — `k` whenever an
+/// item fell back to full search — and `cost` is a placeholder 0 that
+/// [`finish`] later backfills with the run's cost: mini-batch steps do
+/// not pay the `O(n·m)` objective evaluation).
+fn run_steps<M, S>(
+    model: &mut M,
+    mut shortlister: Option<S>,
+    params: &MiniBatchParams,
+    seed: u64,
+    threads: usize,
+    steps_out: &mut Vec<IterationStats>,
+) -> MiniBatchProfile
+where
+    M: MiniBatchModel + Sync,
+    S: CentroidShortlister<M>,
+{
+    let n = model.n_items();
+    let k = model.k();
+    let b = params.batch_size.clamp(1, n.max(1));
+    let n_steps = params.n_steps.max(1);
+    let mut rng = StdRng::seed_from_u64(seed ^ BATCH_SAMPLING_SALT);
+    let mut sketch = model.make_sketch();
+    let mut batch: Vec<u32> = Vec::with_capacity(b);
+    let mut profile = MiniBatchProfile::default();
+    for step in 1..=n_steps {
+        let t = Instant::now();
+        if let Some(s) = shortlister.as_mut() {
+            if step == 1 || (params.refresh_every > 0 && (step - 1) % params.refresh_every == 0) {
+                let t_refresh = Instant::now();
+                s.refresh(&*model);
+                profile.refresh += t_refresh.elapsed();
+            }
+        }
+        batch.clear();
+        batch.extend((0..b).map(|_| rng.random_range(0..n) as u32));
+        // Jacobi-within-batch: every decision reads the frozen centroids and
+        // index, so the fan-out below cannot change the outcome.
+        let t_assign = Instant::now();
+        let frozen: &M = &*model;
+        let batch_ref: &[u32] = &batch;
+        let assigned: Vec<(u32, u32, bool)> = match shortlister.as_ref() {
+            Some(s) => chunked_map(
+                b,
+                threads,
+                || (s.make_scratch(), Vec::new()),
+                |i, (scratch, out): &mut (S::Scratch, Vec<ClusterId>)| {
+                    let item = batch_ref[i as usize];
+                    s.shortlist_into(item, scratch, out);
+                    match frozen.best_among(item, out) {
+                        Some((c, _)) => (c.0, out.len() as u32, false),
+                        // Empty shortlist: no centroid collided — fall back
+                        // to full search so every batch item lands somewhere.
+                        None => (frozen.best_full(item).0 .0, k as u32, true),
+                    }
+                },
+            ),
+            None => chunked_map(
+                b,
+                threads,
+                || (),
+                |i, _| {
+                    (
+                        frozen.best_full(batch_ref[i as usize]).0 .0,
+                        k as u32,
+                        false,
+                    )
+                },
+            ),
+        };
+        profile.assign += t_assign.elapsed();
+        let searched: usize = assigned.iter().map(|&(_, len, _)| len as usize).sum();
+        profile.fallbacks += assigned.iter().filter(|&&(_, _, fb)| fb).count();
+        // Nudges apply serially in batch order — the one deliberately
+        // sequential piece, shared by every thread count.
+        let t_absorb = Instant::now();
+        for (&item, &(c, _, _)) in batch.iter().zip(&assigned) {
+            model.absorb(&mut sketch, item, ClusterId(c));
+        }
+        profile.absorb += t_absorb.elapsed();
+        steps_out.push(IterationStats {
+            iteration: step,
+            duration: t.elapsed(),
+            moves: b,
+            avg_candidates: searched as f64 / b as f64,
+            cost: 0,
+        });
+    }
+    profile
+}
+
+/// The final full assignment pass (fanned over `threads`), appended to the
+/// step series with the run's true cost.
+fn finish<M: CentroidModel + Sync>(
+    model: &M,
+    threads: usize,
+    steps: &mut Vec<IterationStats>,
+) -> Vec<ClusterId> {
+    let t = Instant::now();
+    let assignments: Vec<ClusterId> = chunked_map(
+        model.n_items(),
+        threads,
+        || (),
+        |i, _| model.best_full(i).0 .0,
+    )
+    .into_iter()
+    .map(ClusterId)
+    .collect();
+    let cost = model.total_cost(&assignments) as u64;
+    // Mini-batch steps never evaluate the O(n·m) objective, so their rows
+    // were recorded with a cost of 0. Backfill them with the run's true
+    // cost now that it is known: `RunSummary::best_cost` is a min over the
+    // rows, and a literal 0 would make every mini-batch run report a
+    // perfect clustering.
+    for step in steps.iter_mut() {
+        step.cost = cost;
+    }
+    steps.push(IterationStats {
+        iteration: steps.len() + 1,
+        duration: t.elapsed(),
+        moves: 0,
+        avg_candidates: model.k() as f64,
+        cost,
+    });
+    assignments
+}
+
+fn summary_of(steps: Vec<IterationStats>, setup: std::time::Duration) -> RunSummary {
+    RunSummary {
+        iterations: steps,
+        converged: true,
+        setup,
+    }
+}
+
+/// Result of a mini-batch K-Modes fit through this engine.
+#[derive(Clone, Debug)]
+pub struct MiniBatchKModesResult {
+    /// Final cluster per item (one full pass under the final modes).
+    pub assignments: Vec<ClusterId>,
+    /// Final modes.
+    pub modes: Modes,
+    /// Per-step instrumentation; the last row is the final full pass.
+    /// Mini-batch steps do not evaluate the `O(n·m)` objective, so every
+    /// row's `cost` carries the run's final cost (making
+    /// `RunSummary::best_cost`/`final_cost` both read as the cost of the
+    /// returned state, per their contract).
+    pub summary: RunSummary,
+    /// Phase-level timing breakdown of the steps.
+    pub profile: MiniBatchProfile,
+}
+
+/// Mini-batch K-Modes: full search per batch item when `lsh` is `None`,
+/// shortlisted through a periodically refreshed MinHash centroid index
+/// otherwise.
+pub fn minibatch_mh_kmodes(
+    dataset: &Dataset,
+    k: usize,
+    init: InitMethod,
+    seed: u64,
+    lsh: Option<Banding>,
+    params: &MiniBatchParams,
+    threads: usize,
+) -> MiniBatchKModesResult {
+    let setup_start = Instant::now();
+    let modes = initial_modes(dataset, k, init, seed);
+    minibatch_mh_kmodes_from(dataset, seed, lsh, params, threads, modes, setup_start)
+}
+
+/// [`minibatch_mh_kmodes`] from explicit initial modes — the warm-start path
+/// of `lshclust::ClusterSpec::warm_start`.
+pub fn minibatch_mh_kmodes_from(
+    dataset: &Dataset,
+    seed: u64,
+    lsh: Option<Banding>,
+    params: &MiniBatchParams,
+    threads: usize,
+    modes: Modes,
+    setup_start: Instant,
+) -> MiniBatchKModesResult {
+    assert!(modes.k() > 0 && modes.k() <= dataset.n_items());
+    let k = modes.k();
+    let mut model = KModesModel::new(dataset, modes);
+    let setup = setup_start.elapsed();
+    let mut steps = Vec::new();
+    let profile = match lsh {
+        Some(banding) => run_steps(
+            &mut model,
+            Some(MinHashCentroidShortlister::new(dataset, banding, seed, k)),
+            params,
+            seed,
+            threads,
+            &mut steps,
+        ),
+        None => run_steps(
+            &mut model,
+            None::<NoShortlist>,
+            params,
+            seed,
+            threads,
+            &mut steps,
+        ),
+    };
+    let assignments = finish(&model, threads, &mut steps);
+    MiniBatchKModesResult {
+        assignments,
+        modes: model.into_modes(),
+        summary: summary_of(steps, setup),
+        profile,
+    }
+}
+
+/// Result of a mini-batch K-Means fit through this engine.
+#[derive(Clone, Debug)]
+pub struct MiniBatchKMeansResult {
+    /// Final cluster per item.
+    pub assignments: Vec<ClusterId>,
+    /// Final centroids (`k × dim`, row-major).
+    pub centroids: Vec<f64>,
+    /// Per-step instrumentation (see [`MiniBatchKModesResult::summary`]).
+    pub summary: RunSummary,
+    /// Phase-level timing breakdown of the steps.
+    pub profile: MiniBatchProfile,
+}
+
+/// Mini-batch K-Means (Sculley's algorithm): full search per batch item when
+/// `lsh` is `None`, shortlisted through a refreshed SimHash centroid index
+/// given `(bands, rows)`.
+pub fn minibatch_mh_kmeans(
+    data: &NumericDataset,
+    k: usize,
+    init: KMeansInit,
+    seed: u64,
+    lsh: Option<(u32, u32)>,
+    params: &MiniBatchParams,
+    threads: usize,
+) -> MiniBatchKMeansResult {
+    let setup_start = Instant::now();
+    let centroids = kmeans_initial_centroids(data, k, init, seed);
+    minibatch_mh_kmeans_from(data, k, seed, lsh, params, threads, centroids, setup_start)
+}
+
+/// [`minibatch_mh_kmeans`] from explicit initial centroids (warm start).
+#[allow(clippy::too_many_arguments)]
+pub fn minibatch_mh_kmeans_from(
+    data: &NumericDataset,
+    k: usize,
+    seed: u64,
+    lsh: Option<(u32, u32)>,
+    params: &MiniBatchParams,
+    threads: usize,
+    centroids: Vec<f64>,
+    setup_start: Instant,
+) -> MiniBatchKMeansResult {
+    assert!(k > 0 && k <= data.n_items());
+    let mut model = KMeansModel::new(data, centroids, k);
+    let setup = setup_start.elapsed();
+    let mut steps = Vec::new();
+    let profile = match lsh {
+        Some((bands, rows)) => run_steps(
+            &mut model,
+            Some(SimHashCentroidShortlister::new(data, bands, rows, seed)),
+            params,
+            seed,
+            threads,
+            &mut steps,
+        ),
+        None => run_steps(
+            &mut model,
+            None::<NoShortlist>,
+            params,
+            seed,
+            threads,
+            &mut steps,
+        ),
+    };
+    let assignments = finish(&model, threads, &mut steps);
+    MiniBatchKMeansResult {
+        assignments,
+        centroids: model.centroids().to_vec(),
+        summary: summary_of(steps, setup),
+        profile,
+    }
+}
+
+/// The union banding of a mixed-data mini-batch run.
+#[derive(Clone, Copy, Debug)]
+pub struct UnionBands {
+    /// MinHash banding for the categorical part.
+    pub banding: Banding,
+    /// SimHash bands for the numeric part.
+    pub sim_bands: u32,
+    /// SimHash bits per band.
+    pub sim_rows: u32,
+}
+
+/// Result of a mini-batch K-Prototypes fit through this engine.
+#[derive(Clone, Debug)]
+pub struct MiniBatchKPrototypesResult {
+    /// Final cluster per item.
+    pub assignments: Vec<ClusterId>,
+    /// Final prototypes.
+    pub prototypes: Prototypes,
+    /// Per-step instrumentation (see [`MiniBatchKModesResult::summary`]).
+    pub summary: RunSummary,
+    /// Phase-level timing breakdown of the steps.
+    pub profile: MiniBatchProfile,
+}
+
+/// Mini-batch K-Prototypes: full search per batch item when `lsh` is `None`,
+/// shortlisted through refreshed MinHash∪SimHash centroid indexes otherwise.
+/// Initialisation draws `k` random items (the only strategy both
+/// K-Prototypes paths support).
+pub fn minibatch_mh_kprototypes(
+    data: &MixedDataset<'_>,
+    k: usize,
+    gamma: f64,
+    seed: u64,
+    lsh: Option<UnionBands>,
+    params: &MiniBatchParams,
+    threads: usize,
+) -> MiniBatchKPrototypesResult {
+    let setup_start = Instant::now();
+    let picks = sample_distinct_items(data.n_items(), k, seed);
+    let prototypes = Prototypes::from_items(data, &picks);
+    minibatch_mh_kprototypes_from(
+        data,
+        gamma,
+        seed,
+        lsh,
+        params,
+        threads,
+        prototypes,
+        setup_start,
+    )
+}
+
+/// [`minibatch_mh_kprototypes`] from explicit initial prototypes (warm
+/// start).
+#[allow(clippy::too_many_arguments)]
+pub fn minibatch_mh_kprototypes_from(
+    data: &MixedDataset<'_>,
+    gamma: f64,
+    seed: u64,
+    lsh: Option<UnionBands>,
+    params: &MiniBatchParams,
+    threads: usize,
+    prototypes: Prototypes,
+    setup_start: Instant,
+) -> MiniBatchKPrototypesResult {
+    assert!(prototypes.k() > 0 && prototypes.k() <= data.n_items());
+    let k = prototypes.k();
+    let mut model = KPrototypesModel::new(data, prototypes, gamma);
+    let setup = setup_start.elapsed();
+    let mut steps = Vec::new();
+    let profile = match lsh {
+        Some(u) => run_steps(
+            &mut model,
+            Some(UnionCentroidShortlister::new(
+                data,
+                u.banding,
+                u.sim_bands,
+                u.sim_rows,
+                seed,
+                k,
+            )),
+            params,
+            seed,
+            threads,
+            &mut steps,
+        ),
+        None => run_steps(
+            &mut model,
+            None::<NoShortlist>,
+            params,
+            seed,
+            threads,
+            &mut steps,
+        ),
+    };
+    let assignments = finish(&model, threads, &mut steps);
+    MiniBatchKPrototypesResult {
+        assignments,
+        prototypes: model.into_prototypes(),
+        summary: summary_of(steps, setup),
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lshclust_categorical::DatasetBuilder;
+
+    fn blob_dataset(groups: usize, per_group: usize, n_attrs: usize) -> Dataset {
+        let mut b = DatasetBuilder::anonymous(n_attrs);
+        for g in 0..groups {
+            for i in 0..per_group {
+                let row: Vec<String> = (0..n_attrs)
+                    .map(|a| {
+                        if a == 0 {
+                            format!("g{g}n{i}")
+                        } else {
+                            format!("g{g}a{a}")
+                        }
+                    })
+                    .collect();
+                let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+                b.push_str_row(&refs, Some(g as u32)).unwrap();
+            }
+        }
+        b.finish()
+    }
+
+    fn blob_numeric(groups: usize, per_group: usize, dim: usize) -> NumericDataset {
+        let mut data = Vec::new();
+        for g in 0..groups {
+            for i in 0..per_group {
+                for d in 0..dim {
+                    let jitter = ((i * 7 + d * 3) as f64 * 0.31).sin() * 0.2;
+                    data.push(g as f64 * 12.0 + jitter);
+                }
+            }
+        }
+        NumericDataset::new(dim, data)
+    }
+
+    fn params(batch: usize, steps: usize) -> MiniBatchParams {
+        MiniBatchParams {
+            batch_size: batch,
+            n_steps: steps,
+            refresh_every: 4,
+        }
+    }
+
+    #[test]
+    fn shortlisted_kmodes_separates_blobs() {
+        let ds = blob_dataset(3, 10, 6);
+        let result = minibatch_mh_kmodes(
+            &ds,
+            3,
+            InitMethod::RandomItems,
+            0,
+            Some(Banding::new(8, 2)),
+            &params(16, 30),
+            1,
+        );
+        for g in 0..3 {
+            let first = result.assignments[g * 10];
+            for i in 0..10 {
+                assert_eq!(result.assignments[g * 10 + i], first, "blob {g} split");
+            }
+        }
+    }
+
+    #[test]
+    fn full_search_path_matches_kmodes_baseline() {
+        // Same sampling stream, same sketch, same Jacobi-within-batch
+        // semantics: the engine with `lsh: None` must be byte-identical to
+        // the dependency-light `lshclust_kmodes::minibatch` baseline.
+        let ds = blob_dataset(3, 8, 5);
+        let engine =
+            minibatch_mh_kmodes(&ds, 3, InitMethod::RandomItems, 9, None, &params(8, 12), 1);
+        let baseline = lshclust_kmodes::minibatch::minibatch_kmodes(
+            &ds,
+            &lshclust_kmodes::minibatch::MiniBatchConfig::new(3)
+                .batch_size(8)
+                .n_steps(12)
+                .seed(9),
+        );
+        assert_eq!(engine.assignments, baseline.assignments);
+        assert_eq!(engine.modes, baseline.modes);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_fit() {
+        let ds = blob_dataset(4, 8, 6);
+        let run = |threads| {
+            minibatch_mh_kmodes(
+                &ds,
+                4,
+                InitMethod::RandomItems,
+                5,
+                Some(Banding::new(8, 2)),
+                &params(12, 20),
+                threads,
+            )
+        };
+        let one = run(1);
+        for threads in [2, 4, 8] {
+            let other = run(threads);
+            assert_eq!(one.assignments, other.assignments, "threads={threads}");
+            assert_eq!(one.modes, other.modes, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shortlisted_kmeans_separates_blobs_and_is_thread_invariant() {
+        let data = blob_numeric(3, 10, 4);
+        // D² seeding spreads the initial centroids across the blobs —
+        // mini-batch has no empty-cluster reseeding, so an init doubled up
+        // inside one blob could never recover the partition.
+        let run = |threads| {
+            minibatch_mh_kmeans(
+                &data,
+                3,
+                KMeansInit::PlusPlus,
+                2,
+                Some((4, 8)),
+                &params(12, 25),
+                threads,
+            )
+        };
+        let one = run(1);
+        for g in 0..3 {
+            let first = one.assignments[g * 10];
+            for i in 0..10 {
+                assert_eq!(one.assignments[g * 10 + i], first, "blob {g} split");
+            }
+        }
+        let four = run(4);
+        assert_eq!(one.assignments, four.assignments);
+        assert_eq!(
+            one.centroids, four.centroids,
+            "float means must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn shortlisted_kprototypes_runs_and_is_thread_invariant() {
+        let cat = blob_dataset(3, 8, 4);
+        let num = blob_numeric(3, 8, 3);
+        let data = MixedDataset::new(&cat, &num);
+        let lsh = UnionBands {
+            banding: Banding::new(8, 2),
+            sim_bands: 4,
+            sim_rows: 8,
+        };
+        let run = |threads| {
+            minibatch_mh_kprototypes(&data, 3, 1.0, 1, Some(lsh), &params(10, 20), threads)
+        };
+        let one = run(1);
+        assert_eq!(one.assignments.len(), 24);
+        let four = run(4);
+        assert_eq!(one.assignments, four.assignments);
+        assert_eq!(one.prototypes.means, four.prototypes.means);
+        assert_eq!(one.prototypes.modes, four.prototypes.modes);
+    }
+
+    #[test]
+    fn steps_record_shortlist_sizes_below_k() {
+        let ds = blob_dataset(8, 6, 8);
+        let result = minibatch_mh_kmodes(
+            &ds,
+            8,
+            InitMethod::RandomItems,
+            3,
+            Some(Banding::new(6, 2)),
+            &params(24, 15),
+            1,
+        );
+        let steps = &result.summary.iterations[..result.summary.iterations.len() - 1];
+        let mean: f64 = steps.iter().map(|s| s.avg_candidates).sum::<f64>() / steps.len() as f64;
+        assert!(mean < 8.0, "mean searched clusters {mean} not below k=8");
+        // The final row is the full pass and carries the true cost.
+        let last = result.summary.iterations.last().unwrap();
+        assert_eq!(last.avg_candidates, 8.0);
+    }
+
+    #[test]
+    fn zero_step_and_zero_batch_params_are_clamped() {
+        let ds = blob_dataset(2, 4, 4);
+        let result = minibatch_mh_kmodes(
+            &ds,
+            2,
+            InitMethod::RandomItems,
+            0,
+            None,
+            &MiniBatchParams {
+                batch_size: 0,
+                n_steps: 0,
+                refresh_every: 0,
+            },
+            1,
+        );
+        assert_eq!(result.assignments.len(), 8);
+        // One clamped step plus the final full pass.
+        assert_eq!(result.summary.iterations.len(), 2);
+    }
+
+    #[test]
+    fn refresh_never_after_initial_build_still_works() {
+        let ds = blob_dataset(3, 6, 5);
+        let result = minibatch_mh_kmodes(
+            &ds,
+            3,
+            InitMethod::RandomItems,
+            4,
+            Some(Banding::new(8, 2)),
+            &MiniBatchParams {
+                batch_size: 8,
+                n_steps: 10,
+                refresh_every: 0,
+            },
+            1,
+        );
+        assert_eq!(result.assignments.len(), 18);
+    }
+}

@@ -1,12 +1,20 @@
 //! Mini-batch K-Modes — the categorical adaptation of Sculley's web-scale
 //! mini-batch K-Means (reference \[16\] of the paper's related work).
 //!
-//! Each step samples a batch of `b` items, assigns them to their nearest
-//! mode by full search over `k`, and nudges only the touched clusters'
-//! modes via per-cluster frequency tables. The per-step cost is `O(b·k·m)`
-//! instead of `O(n·k·m)`, trading assignment completeness for speed — the
-//! *orthogonal* acceleration route to the paper's shortlist idea, included
-//! so the two can be compared head-to-head in the ablation experiment.
+//! Each step samples a batch of `b` items, assigns the whole batch to the
+//! nearest modes **as of the start of the step** (a Jacobi-style batch, so
+//! the result is independent of the order the batch is processed in), and
+//! then nudges only the touched clusters' modes via per-cluster frequency
+//! tables ([`FrequencySketch`]). The per-step cost is `O(b·k·m)` instead of
+//! `O(n·k·m)`, trading assignment completeness for speed — the *orthogonal*
+//! acceleration route to the paper's shortlist idea.
+//!
+//! This module is the dependency-light **full-search baseline**. The
+//! LSH-shortlisted variant — same sampling stream, same sketch, but batch
+//! assignment restricted to clusters whose centroids collide with the item
+//! in an LSH index that is periodically refreshed as the modes drift — lives
+//! in `lshclust_core::minibatch`, wired into the `lshclust` facade as
+//! `Fit::MiniBatch`.
 
 use crate::assign::best_cluster_full;
 use crate::init::{initial_modes, InitMethod};
@@ -16,6 +24,11 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Salt XORed into the seed for batch sampling; shared with the shortlisted
+/// engine in `lshclust_core::minibatch` so both draw identical batches at
+/// equal seeds (the controlled comparison the bench harness relies on).
+pub const BATCH_SAMPLING_SALT: u64 = 0x6d62_6b6d; // "mbkm"
 
 /// Configuration for mini-batch K-Modes.
 #[derive(Clone, Debug)]
@@ -30,31 +43,46 @@ pub struct MiniBatchConfig {
     pub init: InitMethod,
     /// RNG seed (initialisation and batch sampling).
     pub seed: u64,
+    /// Whether `n_steps` was set explicitly (builder bookkeeping: a later
+    /// [`Self::batch_size`] call re-derives the heuristic step count unless
+    /// the caller pinned one).
+    steps_explicit: bool,
 }
 
 impl MiniBatchConfig {
-    /// Defaults: batch of 256, `10·k/batch` steps heuristic rounded up to
-    /// at least 50.
+    /// The `10·k / batch_size` step heuristic, floored at 50 steps.
+    pub fn default_n_steps(k: usize, batch_size: usize) -> usize {
+        (10 * k / batch_size.max(1)).max(50)
+    }
+
+    /// Defaults: batch of 256 and the [`Self::default_n_steps`] heuristic.
     pub fn new(k: usize) -> Self {
         Self {
             k,
             batch_size: 256,
-            n_steps: (10 * k / 256).max(50),
+            n_steps: Self::default_n_steps(k, 256),
             init: InitMethod::RandomItems,
             seed: 0,
+            steps_explicit: false,
         }
     }
 
-    /// Sets the batch size.
+    /// Sets the batch size. Unless [`Self::n_steps`] was called, the step
+    /// count is re-derived from the *new* batch size — previously it stayed
+    /// at the heuristic for the default batch of 256, leaving a stale count.
     pub fn batch_size(mut self, b: usize) -> Self {
         assert!(b > 0);
         self.batch_size = b;
+        if !self.steps_explicit {
+            self.n_steps = Self::default_n_steps(self.k, b);
+        }
         self
     }
 
-    /// Sets the number of steps.
+    /// Sets the number of steps (disables the heuristic).
     pub fn n_steps(mut self, n: usize) -> Self {
         self.n_steps = n;
+        self.steps_explicit = true;
         self
     }
 
@@ -78,24 +106,33 @@ pub struct MiniBatchResult {
     pub elapsed: std::time::Duration,
 }
 
-/// Per-cluster streaming frequency tables backing the mode updates.
-struct FrequencySketch {
+/// Per-cluster streaming frequency tables backing the mode updates — the
+/// categorical analogue of Sculley's per-centre counts. Public so the
+/// LSH-shortlisted mini-batch engine (`lshclust_core::minibatch`) applies
+/// byte-identical nudges to this baseline.
+pub struct FrequencySketch {
     /// `k × m` maps: value → count of batch-assigned occurrences.
     tables: Vec<HashMap<u32, u32>>,
     n_attrs: usize,
+    /// The refreshed mode of the cluster last absorbed into.
+    mode_buf: Vec<ValueId>,
 }
 
 impl FrequencySketch {
-    fn new(k: usize, n_attrs: usize) -> Self {
+    /// Empty tables for `k` clusters over `n_attrs` attributes.
+    pub fn new(k: usize, n_attrs: usize) -> Self {
         Self {
             tables: (0..k * n_attrs).map(|_| HashMap::new()).collect(),
             n_attrs,
+            mode_buf: vec![ValueId(0); n_attrs],
         }
     }
 
-    /// Counts `row` into cluster `c`, returning for each attribute the
-    /// current argmax value (the updated mode component).
-    fn absorb(&mut self, c: ClusterId, row: &[ValueId], mode_out: &mut [ValueId]) {
+    /// Counts `row` into cluster `c` and returns the cluster's refreshed
+    /// mode: for each attribute the current argmax value (highest count,
+    /// ties to the smallest value id — deterministic).
+    pub fn absorb(&mut self, c: ClusterId, row: &[ValueId]) -> &[ValueId] {
+        assert_eq!(row.len(), self.n_attrs);
         for (a, &v) in row.iter().enumerate() {
             let table = &mut self.tables[c.idx() * self.n_attrs + a];
             *table.entry(v.0).or_insert(0) += 1;
@@ -106,29 +143,41 @@ impl FrequencySketch {
                 .max()
                 .map(|(_, std::cmp::Reverse(val))| ValueId(val))
                 .expect("table non-empty after insert");
-            mode_out[a] = best;
+            self.mode_buf[a] = best;
         }
+        &self.mode_buf
     }
 }
 
-/// Runs mini-batch K-Modes.
+/// Runs mini-batch K-Modes (full search within each batch).
 pub fn minibatch_kmodes(dataset: &Dataset, config: &MiniBatchConfig) -> MiniBatchResult {
     assert!(config.k > 0 && config.k <= dataset.n_items());
     let start = Instant::now();
     let n = dataset.n_items();
     let m = dataset.n_attrs();
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x6d62_6b6d); // "mbkm"
+    let b = config.batch_size.min(n);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ BATCH_SAMPLING_SALT);
     let mut modes = initial_modes(dataset, config.k, config.init, config.seed);
     let mut sketch = FrequencySketch::new(config.k, m);
-    let mut mode_buf = vec![ValueId(0); m];
+    let mut batch: Vec<u32> = Vec::with_capacity(b);
+    let mut chosen: Vec<ClusterId> = Vec::with_capacity(b);
 
     for _ in 0..config.n_steps {
-        for _ in 0..config.batch_size.min(n) {
-            let item = rng.random_range(0..n);
-            let (c, _) = best_cluster_full(dataset.row(item), &modes);
-            sketch.absorb(c, dataset.row(item), &mut mode_buf);
-            // Write the refreshed mode straight back (centre "nudge").
-            modes.set_mode(c, &mode_buf);
+        // Sample, then assign the whole batch against the step's frozen
+        // modes (Jacobi-within-batch: no nudge is visible to a later item of
+        // the same batch, so the step is order- and thread-independent).
+        batch.clear();
+        batch.extend((0..b).map(|_| rng.random_range(0..n) as u32));
+        chosen.clear();
+        chosen.extend(
+            batch
+                .iter()
+                .map(|&item| best_cluster_full(dataset.row(item as usize), &modes).0),
+        );
+        // Apply the nudges in batch order (centre "nudge" per absorbed item).
+        for (&item, &c) in batch.iter().zip(&chosen) {
+            let mode = sketch.absorb(c, dataset.row(item as usize));
+            modes.set_mode(c, mode);
         }
     }
 
@@ -209,21 +258,23 @@ mod tests {
     #[test]
     fn sketch_tracks_majority() {
         let mut sketch = FrequencySketch::new(1, 2);
-        let mut mode = vec![ValueId(0); 2];
-        sketch.absorb(ClusterId(0), &[ValueId(5), ValueId(1)], &mut mode);
+        let mode = sketch
+            .absorb(ClusterId(0), &[ValueId(5), ValueId(1)])
+            .to_vec();
         assert_eq!(mode, vec![ValueId(5), ValueId(1)]);
-        sketch.absorb(ClusterId(0), &[ValueId(7), ValueId(1)], &mut mode);
-        sketch.absorb(ClusterId(0), &[ValueId(7), ValueId(2)], &mut mode);
+        sketch.absorb(ClusterId(0), &[ValueId(7), ValueId(1)]);
+        let mode = sketch
+            .absorb(ClusterId(0), &[ValueId(7), ValueId(2)])
+            .to_vec();
         assert_eq!(mode[0], ValueId(7)); // 7 seen twice, 5 once
-        assert_eq!(mode[1], ValueId(1)); // tie 1-1-? no: 1 twice, 2 once
+        assert_eq!(mode[1], ValueId(1)); // 1 twice, 2 once
     }
 
     #[test]
     fn sketch_tie_breaks_to_smallest_value() {
         let mut sketch = FrequencySketch::new(1, 1);
-        let mut mode = vec![ValueId(0); 1];
-        sketch.absorb(ClusterId(0), &[ValueId(9)], &mut mode);
-        sketch.absorb(ClusterId(0), &[ValueId(4)], &mut mode);
+        sketch.absorb(ClusterId(0), &[ValueId(9)]);
+        let mode = sketch.absorb(ClusterId(0), &[ValueId(4)]).to_vec();
         // 1–1 tie: the smaller id must win.
         assert_eq!(mode[0], ValueId(4));
     }
@@ -236,5 +287,30 @@ mod tests {
             &MiniBatchConfig::new(2).batch_size(100).n_steps(5).seed(2),
         );
         assert_eq!(result.assignments.len(), 6);
+    }
+
+    #[test]
+    fn batch_size_rederives_the_step_heuristic() {
+        // The regression this pins: `new` computed the heuristic from the
+        // literal default batch of 256, and a later `batch_size(b)` left
+        // that stale count in place.
+        let small_batch = MiniBatchConfig::new(512).batch_size(8);
+        assert_eq!(
+            small_batch.n_steps,
+            MiniBatchConfig::default_n_steps(512, 8),
+            "step heuristic must follow the actual batch size"
+        );
+        assert_eq!(small_batch.n_steps, 640); // 10·512/8
+        let large_batch = MiniBatchConfig::new(512).batch_size(4096);
+        assert_eq!(large_batch.n_steps, 50); // floor kicks in
+    }
+
+    #[test]
+    fn explicit_n_steps_survives_batch_size_changes() {
+        let cfg = MiniBatchConfig::new(512).n_steps(7).batch_size(8);
+        assert_eq!(cfg.n_steps, 7, "explicit step count must not be clobbered");
+        // Order-independence: setting the batch first changes nothing.
+        let cfg = MiniBatchConfig::new(512).batch_size(8).n_steps(7);
+        assert_eq!(cfg.n_steps, 7);
     }
 }

@@ -13,11 +13,15 @@
 
 use crate::model::FittedModel;
 use crate::run::{Centroids, ClusterRun};
-use crate::spec::{categorical_init, numeric_init, ClusterSpec, Lsh, SpecError};
+use crate::spec::{categorical_init, numeric_init, ClusterSpec, Fit, Lsh, SpecError};
 use lshclust_categorical::{ClusterId, Dataset, Schema};
 use lshclust_core::mhkmeans::{mh_kmeans, mh_kmeans_from, MhKMeansConfig};
 use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
 use lshclust_core::mhkprototypes::{mh_kprototypes, mh_kprototypes_from, MhKPrototypesConfig};
+use lshclust_core::minibatch::{
+    minibatch_mh_kmeans, minibatch_mh_kmeans_from, minibatch_mh_kmodes, minibatch_mh_kmodes_from,
+    minibatch_mh_kprototypes, minibatch_mh_kprototypes_from, MiniBatchParams, UnionBands,
+};
 use lshclust_core::streaming::{StreamingConfig, StreamingMhKModes};
 use lshclust_kmodes::kmeans::{kmeans, kmeans_from, KMeansConfig, NumericDataset};
 use lshclust_kmodes::kprototypes::{
@@ -73,6 +77,15 @@ impl Clusterer {
     /// streaming baseline to fall back to).
     pub fn streaming(&self, schema: Schema) -> Result<StreamingMhKModes, SpecError> {
         let spec = &self.spec;
+        // The inserter is inherently online — it has no batch fit loop a
+        // mini-batch schedule could govern. Reject instead of silently
+        // ignoring the discipline.
+        if spec.fit != Fit::Full {
+            return Err(SpecError::UnsupportedFit {
+                modality: "streaming",
+                fit: spec.fit.name(),
+            });
+        }
         let Lsh::MinHash { bands, rows } = spec.lsh else {
             return Err(SpecError::UnsupportedLsh {
                 modality: "streaming",
@@ -111,6 +124,22 @@ fn check_k(k: usize, n_items: usize) -> Result<(), SpecError> {
 
 fn warm_mismatch(expected: String, got: String) -> SpecError {
     SpecError::WarmStartMismatch { expected, got }
+}
+
+/// The mini-batch schedule of a spec, when one is requested.
+fn minibatch_params(spec: &ClusterSpec) -> Option<MiniBatchParams> {
+    match spec.fit {
+        Fit::Full => None,
+        Fit::MiniBatch {
+            batch_size,
+            n_steps,
+            refresh_every,
+        } => Some(MiniBatchParams {
+            batch_size,
+            n_steps,
+            refresh_every,
+        }),
+    }
 }
 
 /// Validates a warm-start model against a categorical input and clones its
@@ -218,6 +247,40 @@ impl Input for &Dataset {
         let warm_modes = warm
             .map(|model| categorical_warm(model, spec, self))
             .transpose()?;
+        if let Some(params) = minibatch_params(spec) {
+            let lsh = match spec.lsh {
+                Lsh::None => None,
+                Lsh::MinHash { bands, rows } => Some(Banding::new(bands, rows)),
+                other => {
+                    return Err(SpecError::UnsupportedLsh {
+                        modality: "categorical",
+                        lsh: other.name(),
+                    })
+                }
+            };
+            let threads = spec.threads.max(1);
+            let result = match warm_modes {
+                Some(modes) => minibatch_mh_kmodes_from(
+                    self,
+                    spec.seed,
+                    lsh,
+                    &params,
+                    threads,
+                    modes,
+                    Instant::now(),
+                ),
+                None => minibatch_mh_kmodes(self, spec.k, init, spec.seed, lsh, &params, threads),
+            };
+            let model =
+                FittedModel::categorical(spec.clone(), self.schema().clone(), result.modes.clone());
+            return Ok(ClusterRun {
+                assignments: result.assignments,
+                centroids: Centroids::Modes(result.modes),
+                summary: result.summary,
+                index_stats: None,
+                model,
+            });
+        }
         match spec.lsh {
             Lsh::None => {
                 // The exact baseline honours the iteration cap; its loop has
@@ -295,6 +358,44 @@ impl Input for &NumericDataset {
         let warm_centroids = warm
             .map(|model| numeric_warm(model, spec, self))
             .transpose()?;
+        if let Some(params) = minibatch_params(spec) {
+            let lsh = match spec.lsh {
+                Lsh::None => None,
+                Lsh::SimHash { bands, rows } => Some((bands, rows)),
+                other => {
+                    return Err(SpecError::UnsupportedLsh {
+                        modality: "numeric",
+                        lsh: other.name(),
+                    })
+                }
+            };
+            let threads = spec.threads.max(1);
+            let result = match warm_centroids {
+                Some(centroids) => minibatch_mh_kmeans_from(
+                    self,
+                    spec.k,
+                    spec.seed,
+                    lsh,
+                    &params,
+                    threads,
+                    centroids,
+                    Instant::now(),
+                ),
+                None => minibatch_mh_kmeans(self, spec.k, init, spec.seed, lsh, &params, threads),
+            };
+            let dim = self.dim();
+            let model = FittedModel::numeric(spec.clone(), dim, result.centroids.clone());
+            return Ok(ClusterRun {
+                assignments: result.assignments,
+                centroids: Centroids::Means {
+                    dim,
+                    values: result.centroids,
+                },
+                summary: result.summary,
+                index_stats: None,
+                model,
+            });
+        }
         match spec.lsh {
             Lsh::None => {
                 let config = KMeansConfig {
@@ -386,6 +487,56 @@ impl Input for &MixedDataset<'_> {
             .gamma
             .or(warm_prototypes.as_ref().map(|(_, g)| *g))
             .unwrap_or_else(|| suggest_gamma(self.numeric));
+        if let Some(params) = minibatch_params(spec) {
+            let lsh = match spec.lsh {
+                Lsh::None => None,
+                Lsh::Union {
+                    bands,
+                    rows,
+                    sim_bands,
+                    sim_rows,
+                } => Some(UnionBands {
+                    banding: Banding::new(bands, rows),
+                    sim_bands,
+                    sim_rows,
+                }),
+                other => {
+                    return Err(SpecError::UnsupportedLsh {
+                        modality: "mixed",
+                        lsh: other.name(),
+                    })
+                }
+            };
+            let threads = spec.threads.max(1);
+            let result = match warm_prototypes {
+                Some((prototypes, _)) => minibatch_mh_kprototypes_from(
+                    self,
+                    gamma,
+                    spec.seed,
+                    lsh,
+                    &params,
+                    threads,
+                    prototypes,
+                    Instant::now(),
+                ),
+                None => {
+                    minibatch_mh_kprototypes(self, spec.k, gamma, spec.seed, lsh, &params, threads)
+                }
+            };
+            let model = FittedModel::mixed(
+                spec.clone(),
+                self.categorical.schema().clone(),
+                &result.prototypes,
+                gamma,
+            );
+            return Ok(ClusterRun {
+                assignments: result.assignments,
+                centroids: Centroids::Prototypes(result.prototypes),
+                summary: result.summary,
+                index_stats: None,
+                model,
+            });
+        }
         match spec.lsh {
             Lsh::None => {
                 let config = KPrototypesConfig {

@@ -99,10 +99,29 @@
 //! assert_eq!(back, spec);
 //! ```
 //!
+//! # Mini-batch fits
+//!
+//! [`Fit::MiniBatch`] switches from full passes to Sculley-style sampled
+//! steps — shortlisted through an LSH index over the *centroids* when the
+//! spec carries a scheme — with byte-identical results at any thread count:
+//!
+//! ```
+//! use lshclust::{ClusterSpec, Clusterer, Fit, Lsh, NumericDataset};
+//!
+//! let data = NumericDataset::new(1, vec![0.0, 0.1, 0.2, 9.0, 9.1, 9.2]);
+//! let spec = ClusterSpec::new(2)
+//!     .lsh(Lsh::SimHash { bands: 4, rows: 4 })
+//!     .fit(Fit::MiniBatch { batch_size: 4, n_steps: 20, refresh_every: 5 });
+//! let run = Clusterer::new(spec).fit(&data).unwrap();
+//! assert_eq!(run.assignments.len(), 6);
+//! ```
+//!
 //! The per-algorithm configs in `lshclust-core` / `lshclust-kmodes`
 //! (`MhKModesConfig`, `KModesConfig`, `MhKMeansConfig`, …) remain available
 //! as thin internals that this facade lowers onto, but new code should start
-//! here.
+//! here. The workspace-level picture — crate graph, data flow, the
+//! fit-discipline matrix, and the model envelope schema — is documented in
+//! `docs/ARCHITECTURE.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -115,7 +134,7 @@ mod spec;
 pub use clusterer::{Clusterer, Input};
 pub use model::{FittedModel, ModelError, PredictInput, MODEL_FORMAT, MODEL_VERSION};
 pub use run::{Centroids, ClusterRun, RunReport};
-pub use spec::{ClusterSpec, Init, Lsh, Query, SpecError, StreamOptions};
+pub use spec::{ClusterSpec, Fit, Init, Lsh, Query, SpecError, StreamOptions};
 
 // The one iteration policy shared by every family.
 pub use lshclust_core::framework::StopPolicy;

@@ -582,6 +582,21 @@ impl FittedModel {
     /// Batched assignment of any supported input — a categorical
     /// [`Dataset`], a [`NumericDataset`], or a [`MixedDataset`] — fanned
     /// over the spec's `threads` (1 ⇒ inline, no spawning).
+    ///
+    /// ```
+    /// use lshclust::{ClusterSpec, Clusterer, Lsh, NumericDataset};
+    ///
+    /// let train = NumericDataset::new(1, vec![0.0, 0.2, 0.4, 9.0, 9.2, 9.4]);
+    /// let spec = ClusterSpec::new(2).lsh(Lsh::SimHash { bands: 8, rows: 2 });
+    /// let run = Clusterer::new(spec).fit(&train).unwrap();
+    ///
+    /// // A fresh batch is assigned by probing the centroid index; the
+    /// // result lines up with the training partition.
+    /// let batch = NumericDataset::new(1, vec![0.1, 9.1]);
+    /// let clusters = run.model.predict(&batch).unwrap();
+    /// assert_eq!(clusters[0], run.assignments[0]);
+    /// assert_eq!(clusters[1], run.assignments[3]);
+    /// ```
     pub fn predict<I: PredictInput>(&self, input: I) -> Result<Vec<ClusterId>, ModelError> {
         input.predict_with(self)
     }

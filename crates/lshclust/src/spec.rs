@@ -130,6 +130,109 @@ impl Deserialize for Lsh {
     }
 }
 
+/// The fit discipline: how many items each training iteration touches.
+///
+/// [`Fit::Full`] is the paper's batch algorithm — every pass reassigns all
+/// `n` items. [`Fit::MiniBatch`] is Sculley-style stochastic fitting: each
+/// step samples `batch_size` items, assigns them against the step's frozen
+/// centroids (shortlisted through an LSH index **over the centroids** when
+/// the spec carries an LSH scheme, with full-search fallback), and nudges
+/// only the touched centroids; a final full pass produces the complete
+/// clustering. The centroid index is rebuilt every `refresh_every` steps so
+/// it tracks the drifting centroids.
+///
+/// Mini-batch fits honour `spec.threads` (batch assignment fans out
+/// deterministically — equal seeds give byte-identical centroids at any
+/// thread count), ignore [`crate::StopPolicy`] (the schedule is the stop
+/// rule), and are servable and warm-startable like any other run. The
+/// streaming inserter is inherently online and rejects `Fit::MiniBatch`
+/// with [`SpecError::UnsupportedFit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Fit {
+    /// Full-batch passes over all items (the paper's discipline).
+    #[default]
+    Full,
+    /// Sculley-style sampled steps with shortlisted assignment.
+    MiniBatch {
+        /// Items sampled per step (clamped to `1..=n`).
+        batch_size: usize,
+        /// Steps before the final full assignment pass (min 1).
+        n_steps: usize,
+        /// Centroid-index rebuild cadence in steps (`0` = build once at
+        /// step 1, never refresh). Irrelevant under [`Lsh::None`].
+        refresh_every: usize,
+    },
+}
+
+impl Fit {
+    /// A mini-batch schedule with the default refresh cadence (8 steps) and
+    /// the `10·k / batch_size` step heuristic floored at 50 steps (the one
+    /// heuristic, shared with the `lshclust_kmodes` baseline so both derive
+    /// identical schedules).
+    pub fn mini_batch(k: usize, batch_size: usize) -> Self {
+        Fit::MiniBatch {
+            batch_size,
+            n_steps: lshclust_kmodes::minibatch::MiniBatchConfig::default_n_steps(k, batch_size),
+            refresh_every: 8,
+        }
+    }
+
+    /// Short discipline name (used in reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Fit::Full => "Full",
+            Fit::MiniBatch { .. } => "MiniBatch",
+        }
+    }
+}
+
+// External tagging, serde-style: `"Full"` for the unit variant, otherwise
+// `{"MiniBatch": {"batch_size": …, "n_steps": …, "refresh_every": …}}`.
+impl Serialize for Fit {
+    fn to_value(&self) -> Value {
+        match *self {
+            Fit::Full => Value::String("Full".to_owned()),
+            Fit::MiniBatch {
+                batch_size,
+                n_steps,
+                refresh_every,
+            } => Value::Object(vec![(
+                "MiniBatch".to_owned(),
+                Value::Object(vec![
+                    ("batch_size".to_owned(), batch_size.to_value()),
+                    ("n_steps".to_owned(), n_steps.to_value()),
+                    ("refresh_every".to_owned(), refresh_every.to_value()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for Fit {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        if let Some("Full") = v.as_str() {
+            return Ok(Fit::Full);
+        }
+        let entries = v
+            .as_object()
+            .ok_or_else(|| SerdeError::expected("object", "Fit"))?;
+        let [(tag, body)] = entries else {
+            return Err(SerdeError::expected("single-variant object", "Fit"));
+        };
+        if tag != "MiniBatch" {
+            return Err(SerdeError(format!("unknown Fit variant `{tag}`")));
+        }
+        let fields = body
+            .as_object()
+            .ok_or_else(|| SerdeError::expected("object", "Fit::MiniBatch"))?;
+        Ok(Fit::MiniBatch {
+            batch_size: serde::field(fields, "batch_size", "Fit::MiniBatch")?,
+            n_steps: serde::field(fields, "n_steps", "Fit::MiniBatch")?,
+            refresh_every: serde::field(fields, "refresh_every", "Fit::MiniBatch")?,
+        })
+    }
+}
+
 /// Centroid initialisation, across all families. Which strategies apply
 /// depends on the modality: `Huang`/`Cao` are categorical-only, `PlusPlus`
 /// is numeric-only, `RandomItems` works everywhere.
@@ -245,20 +348,56 @@ pub struct ClusterSpec {
     pub gamma: Option<f64>,
     /// Streaming-only options.
     pub stream: StreamOptions,
+    /// Fit discipline: full-batch passes or shortlisted mini-batch steps.
+    pub fit: Fit,
 }
 
-serde::impl_serde_struct!(ClusterSpec {
-    k,
-    lsh,
-    init,
-    seed,
-    query_mode,
-    include_self,
-    threads,
-    stop,
-    gamma,
-    stream,
-});
+// Hand-written (not `impl_serde_struct!`) for one reason: `fit` must default
+// to `Fit::Full` when absent, so every spec JSON written before the field
+// existed — saved model envelopes included — still parses.
+impl Serialize for ClusterSpec {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("k".to_owned(), self.k.to_value()),
+            ("lsh".to_owned(), self.lsh.to_value()),
+            ("init".to_owned(), self.init.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("query_mode".to_owned(), self.query_mode.to_value()),
+            ("include_self".to_owned(), self.include_self.to_value()),
+            ("threads".to_owned(), self.threads.to_value()),
+            ("stop".to_owned(), self.stop.to_value()),
+            ("gamma".to_owned(), self.gamma.to_value()),
+            ("stream".to_owned(), self.stream.to_value()),
+            ("fit".to_owned(), self.fit.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ClusterSpec {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| SerdeError::expected("object", "ClusterSpec"))?;
+        let fit = match entries.iter().find(|(key, _)| key == "fit") {
+            Some((_, value)) => Fit::from_value(value)
+                .map_err(|e| SerdeError(format!("field `fit` of ClusterSpec: {}", e.0)))?,
+            None => Fit::Full, // pre-`fit` spec JSON
+        };
+        Ok(Self {
+            k: serde::field(entries, "k", "ClusterSpec")?,
+            lsh: serde::field(entries, "lsh", "ClusterSpec")?,
+            init: serde::field(entries, "init", "ClusterSpec")?,
+            seed: serde::field(entries, "seed", "ClusterSpec")?,
+            query_mode: serde::field(entries, "query_mode", "ClusterSpec")?,
+            include_self: serde::field(entries, "include_self", "ClusterSpec")?,
+            threads: serde::field(entries, "threads", "ClusterSpec")?,
+            stop: serde::field(entries, "stop", "ClusterSpec")?,
+            gamma: serde::field(entries, "gamma", "ClusterSpec")?,
+            stream: serde::field(entries, "stream", "ClusterSpec")?,
+            fit,
+        })
+    }
+}
 
 impl ClusterSpec {
     /// A spec with the workspace defaults: exact baseline (no LSH), random
@@ -276,34 +415,68 @@ impl ClusterSpec {
             stop: StopPolicy::default(),
             gamma: None,
             stream: StreamOptions::default(),
+            fit: Fit::Full,
         }
     }
 
     /// Sets the LSH scheme.
+    ///
+    /// ```
+    /// use lshclust::{ClusterSpec, Lsh};
+    ///
+    /// let spec = ClusterSpec::new(100).lsh(Lsh::MinHash { bands: 20, rows: 5 });
+    /// assert_eq!(spec.lsh.name(), "MinHash");
+    /// ```
     pub fn lsh(mut self, lsh: Lsh) -> Self {
         self.lsh = lsh;
         self
     }
 
     /// Sets the initialisation strategy.
+    ///
+    /// ```
+    /// use lshclust::{ClusterSpec, Init};
+    ///
+    /// let spec = ClusterSpec::new(8).init(Init::Cao); // deterministic, categorical-only
+    /// assert_eq!(spec.init, Init::Cao);
+    /// ```
     pub fn init(mut self, init: Init) -> Self {
         self.init = init;
         self
     }
 
-    /// Sets the seed.
+    /// Sets the seed driving initialisation *and* the hash families.
+    ///
+    /// ```
+    /// use lshclust::ClusterSpec;
+    ///
+    /// assert_eq!(ClusterSpec::new(4).seed(42).seed, 42);
+    /// ```
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Sets the index query mode.
+    ///
+    /// ```
+    /// use lshclust::{ClusterSpec, Query};
+    ///
+    /// let spec = ClusterSpec::new(4).query_mode(Query::Precomputed);
+    /// assert_eq!(spec.query_mode, Query::Precomputed); // identical results, different cost profile
+    /// ```
     pub fn query_mode(mut self, query_mode: Query) -> Self {
         self.query_mode = query_mode;
         self
     }
 
     /// Enables/disables self-collision (ablation).
+    ///
+    /// ```
+    /// use lshclust::ClusterSpec;
+    ///
+    /// assert!(!ClusterSpec::new(4).include_self(false).include_self);
+    /// ```
     pub fn include_self(mut self, yes: bool) -> Self {
         self.include_self = yes;
         self
@@ -312,32 +485,89 @@ impl ClusterSpec {
     /// Sets the number of assignment threads. `0` is documented shorthand
     /// for "serial" and clamps to `1` — no panic, so specs assembled from
     /// untrusted JSON or CLI flags normalise instead of aborting.
+    ///
+    /// ```
+    /// use lshclust::ClusterSpec;
+    ///
+    /// assert_eq!(ClusterSpec::new(4).threads(4).threads, 4);
+    /// assert_eq!(ClusterSpec::new(4).threads(0).threads, 1); // 0 ⇒ serial
+    /// ```
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
         self
     }
 
     /// Sets the full iteration policy.
+    ///
+    /// ```
+    /// use lshclust::{ClusterSpec, StopPolicy};
+    ///
+    /// let spec = ClusterSpec::new(4).stop(StopPolicy::max_iterations(12));
+    /// assert_eq!(spec.stop.max_iterations, 12);
+    /// ```
     pub fn stop(mut self, stop: StopPolicy) -> Self {
         self.stop = stop;
         self
     }
 
     /// Sets the iteration cap (shorthand for adjusting [`Self::stop`]).
+    ///
+    /// ```
+    /// use lshclust::ClusterSpec;
+    ///
+    /// assert_eq!(ClusterSpec::new(4).max_iterations(30).stop.max_iterations, 30);
+    /// ```
     pub fn max_iterations(mut self, n: usize) -> Self {
         self.stop.max_iterations = n;
         self
     }
 
     /// Sets the K-Prototypes mixing weight γ.
+    ///
+    /// ```
+    /// use lshclust::ClusterSpec;
+    ///
+    /// assert_eq!(ClusterSpec::new(4).gamma(0.5).gamma, Some(0.5));
+    /// ```
     pub fn gamma(mut self, gamma: f64) -> Self {
         self.gamma = Some(gamma);
         self
     }
 
     /// Sets the streaming options.
+    ///
+    /// ```
+    /// use lshclust::{ClusterSpec, StreamOptions};
+    ///
+    /// let spec = ClusterSpec::new(0).stream(StreamOptions {
+    ///     distance_threshold: Some(3),
+    ///     max_clusters: Some(100),
+    /// });
+    /// assert_eq!(spec.stream.max_clusters, Some(100));
+    /// ```
     pub fn stream(mut self, stream: StreamOptions) -> Self {
         self.stream = stream;
+        self
+    }
+
+    /// Sets the fit discipline ([`Fit::Full`] passes vs [`Fit::MiniBatch`]
+    /// sampled steps).
+    ///
+    /// ```
+    /// use lshclust::{ClusterSpec, Fit};
+    ///
+    /// let spec = ClusterSpec::new(100).fit(Fit::MiniBatch {
+    ///     batch_size: 256,
+    ///     n_steps: 60,
+    ///     refresh_every: 8,
+    /// });
+    /// assert_eq!(spec.fit.name(), "MiniBatch");
+    /// // The heuristic constructor derives the step count from k and batch:
+    /// let spec = ClusterSpec::new(100).fit(Fit::mini_batch(100, 256));
+    /// assert!(matches!(spec.fit, Fit::MiniBatch { n_steps: 50, .. }));
+    /// ```
+    pub fn fit(mut self, fit: Fit) -> Self {
+        self.fit = fit;
         self
     }
 
@@ -370,6 +600,15 @@ pub enum SpecError {
         /// The offending strategy's name.
         init: &'static str,
     },
+    /// The fit discipline does not apply to this modality (the streaming
+    /// inserter is inherently online; `Fit::MiniBatch` would be silently
+    /// meaningless there).
+    UnsupportedFit {
+        /// Input modality.
+        modality: &'static str,
+        /// The offending discipline's name.
+        fit: &'static str,
+    },
     /// `k` is zero or exceeds the number of items.
     InvalidK {
         /// Requested cluster count.
@@ -395,6 +634,9 @@ impl fmt::Display for SpecError {
             }
             SpecError::UnsupportedInit { modality, init } => {
                 write!(f, "Init::{init} does not apply to {modality} data")
+            }
+            SpecError::UnsupportedFit { modality, fit } => {
+                write!(f, "Fit::{fit} does not apply to {modality} data")
             }
             SpecError::InvalidK { k, n_items } => {
                 write!(f, "k={k} must be in 1..={n_items}")
@@ -514,6 +756,13 @@ mod tests {
                 vec!["Cao", "numeric"],
             ),
             (
+                SpecError::UnsupportedFit {
+                    modality: "streaming",
+                    fit: "MiniBatch",
+                },
+                vec!["MiniBatch", "streaming"],
+            ),
+            (
                 SpecError::InvalidK { k: 51, n_items: 50 },
                 vec!["k=51", "50"],
             ),
@@ -531,6 +780,52 @@ mod tests {
                 assert!(text.contains(needle), "`{text}` misses `{needle}`");
             }
         }
+    }
+
+    #[test]
+    fn fit_variants_round_trip() {
+        for fit in [
+            Fit::Full,
+            Fit::MiniBatch {
+                batch_size: 512,
+                n_steps: 80,
+                refresh_every: 4,
+            },
+        ] {
+            let spec = ClusterSpec::new(10).fit(fit);
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.fit, fit, "{json}");
+            assert_eq!(back, spec);
+        }
+    }
+
+    #[test]
+    fn spec_json_without_fit_field_defaults_to_full() {
+        // Pre-`fit` artifacts (saved model envelopes, committed bench specs)
+        // must keep parsing; the field defaults instead of erroring.
+        let mut spec = ClusterSpec::new(3).seed(9);
+        spec.fit = Fit::MiniBatch {
+            batch_size: 1,
+            n_steps: 1,
+            refresh_every: 1,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"fit\""));
+        let legacy = json.replace(
+            ",\"fit\":{\"MiniBatch\":{\"batch_size\":1,\"n_steps\":1,\"refresh_every\":1}}",
+            "",
+        );
+        assert!(!legacy.contains("fit"), "surgery failed: {legacy}");
+        let back: ClusterSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.fit, Fit::Full);
+        assert_eq!(back.seed, 9);
+    }
+
+    #[test]
+    fn unknown_fit_variant_is_rejected() {
+        assert!(serde_json::from_str::<Fit>(r#""Full""#).is_ok());
+        assert!(serde_json::from_str::<Fit>(r#"{"Epoch":{"n":1}}"#).is_err());
     }
 
     #[test]

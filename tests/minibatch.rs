@@ -1,0 +1,337 @@
+//! Mini-batch fit discipline: facade wiring, determinism across thread
+//! counts, shortlisted-vs-full cost parity, spec round trips, and the
+//! serve/warm-start contract.
+
+use lshclust::{ClusterSpec, Clusterer, Fit, FittedModel, Lsh, MixedDataset, NumericDataset};
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::kmeans::sq_euclidean;
+use lshclust_metrics::purity;
+
+fn categorical_fixture() -> lshclust::Dataset {
+    generate(&DatgenConfig::new(600, 20, 12).seed(31))
+}
+
+fn numeric_fixture(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                f64::from(l) * 9.0 + f64::from(d as u32) + ((i * 11 + d) as f64 * 0.43).sin() * 0.2
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+fn mini(batch_size: usize, n_steps: usize) -> Fit {
+    Fit::MiniBatch {
+        batch_size,
+        n_steps,
+        refresh_every: 4,
+    }
+}
+
+// ---- determinism: equal seed + any thread count → byte-identical fits -----
+
+#[test]
+fn categorical_minibatch_is_byte_identical_across_threads() {
+    let dataset = categorical_fixture();
+    let run_at = |threads: usize| {
+        Clusterer::new(
+            ClusterSpec::new(20)
+                .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+                .seed(7)
+                .threads(threads)
+                .fit(mini(64, 25)),
+        )
+        .fit(&dataset)
+        .expect("categorical mini-batch fit")
+    };
+    let serial = run_at(1);
+    for threads in [2, 4] {
+        let parallel = run_at(threads);
+        assert_eq!(
+            serial.assignments, parallel.assignments,
+            "threads={threads}"
+        );
+        assert_eq!(
+            serial.centroids.modes(),
+            parallel.centroids.modes(),
+            "threads={threads}: modes must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn numeric_minibatch_is_byte_identical_across_threads() {
+    let dataset = categorical_fixture();
+    let numeric = numeric_fixture(dataset.labels().unwrap(), 6);
+    let run_at = |threads: usize| {
+        Clusterer::new(
+            ClusterSpec::new(20)
+                .lsh(Lsh::SimHash { bands: 4, rows: 8 })
+                .seed(3)
+                .threads(threads)
+                .fit(mini(64, 25)),
+        )
+        .fit(&numeric)
+        .expect("numeric mini-batch fit")
+    };
+    let serial = run_at(1);
+    for threads in [2, 4] {
+        let parallel = run_at(threads);
+        assert_eq!(serial.assignments, parallel.assignments);
+        // Float means, compared bitwise: the Jacobi-within-batch step plus
+        // serial absorb order makes the nudge sequence thread-independent.
+        assert_eq!(serial.centroids.means(), parallel.centroids.means());
+    }
+}
+
+#[test]
+fn mixed_minibatch_is_byte_identical_across_threads() {
+    let dataset = categorical_fixture();
+    let numeric = numeric_fixture(dataset.labels().unwrap(), 4);
+    let mixed = MixedDataset::new(&dataset, &numeric);
+    let run_at = |threads: usize| {
+        Clusterer::new(
+            ClusterSpec::new(20)
+                .lsh(Lsh::Union {
+                    bands: 8,
+                    rows: 2,
+                    sim_bands: 4,
+                    sim_rows: 8,
+                })
+                .seed(5)
+                .threads(threads)
+                .fit(mini(48, 20)),
+        )
+        .fit(&mixed)
+        .expect("mixed mini-batch fit")
+    };
+    let serial = run_at(1);
+    for threads in [2, 4] {
+        let parallel = run_at(threads);
+        assert_eq!(serial.assignments, parallel.assignments);
+        let a = serial.centroids.prototypes().unwrap();
+        let b = parallel.centroids.prototypes().unwrap();
+        assert_eq!(a.modes, b.modes);
+        assert_eq!(a.means, b.means);
+    }
+}
+
+// ---- shortlisted vs full-search parity ------------------------------------
+
+#[test]
+fn shortlisted_minibatch_cost_parity_with_full_search() {
+    // Identical batches (same seed, same sampling stream) — the shortlist
+    // only restricts which centroids each batch item may join, so the final
+    // cost must stay within a modest factor of the full-search run, and
+    // quality must not collapse.
+    let dataset = categorical_fixture();
+    let labels = dataset.labels().unwrap().to_vec();
+    let spec = ClusterSpec::new(20).seed(11).fit(mini(96, 30));
+    let full = Clusterer::new(spec.clone()).fit(&dataset).unwrap();
+    let shortlisted = Clusterer::new(spec.lsh(Lsh::MinHash { bands: 8, rows: 2 }))
+        .fit(&dataset)
+        .unwrap();
+    let cost =
+        |run: &lshclust::ClusterRun| run.summary.iterations.last().expect("final pass").cost as f64;
+    let (fc, sc) = (cost(&full), cost(&shortlisted));
+    assert!(
+        sc <= fc * 1.25,
+        "shortlisted cost {sc} vs full-search {fc}: parity bound exceeded"
+    );
+    let (fp, sp) = (
+        purity(&full.labels(), &labels),
+        purity(&shortlisted.labels(), &labels),
+    );
+    assert!(sp > fp - 0.1, "shortlisted purity {sp} vs full {fp}");
+}
+
+#[test]
+fn minibatch_steps_search_fewer_centroids_than_k() {
+    let dataset = categorical_fixture();
+    let run = Clusterer::new(
+        ClusterSpec::new(20)
+            .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+            .seed(2)
+            .fit(mini(64, 20)),
+    )
+    .fit(&dataset)
+    .unwrap();
+    let steps = &run.summary.iterations[..run.summary.iterations.len() - 1];
+    assert_eq!(steps.len(), 20, "one instrumentation row per step");
+    let mean = steps.iter().map(|s| s.avg_candidates).sum::<f64>() / steps.len() as f64;
+    assert!(mean < 20.0, "mean searched centroids {mean} not below k");
+}
+
+// ---- spec wiring ----------------------------------------------------------
+
+#[test]
+fn minibatch_spec_round_trips_and_legacy_json_defaults_to_full() {
+    let spec = ClusterSpec::new(50)
+        .lsh(Lsh::MinHash { bands: 20, rows: 5 })
+        .seed(13)
+        .threads(4)
+        .fit(Fit::MiniBatch {
+            batch_size: 128,
+            n_steps: 40,
+            refresh_every: 6,
+        });
+    let json = serde_json::to_string_pretty(&spec).unwrap();
+    let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, spec);
+
+    // A spec JSON predating the `fit` field still parses, as Full.
+    let legacy = r#"{
+        "k": 3, "lsh": "None", "init": "RandomItems", "seed": 1,
+        "query_mode": "ScanBuckets", "include_self": true, "threads": 1,
+        "stop": {"max_iterations": 10, "stop_on_no_moves": true, "stop_on_cost_increase": true},
+        "gamma": null, "stream": {"distance_threshold": null, "max_clusters": null}
+    }"#;
+    let parsed: ClusterSpec = serde_json::from_str(legacy).unwrap();
+    assert_eq!(parsed.fit, Fit::Full);
+}
+
+#[test]
+fn streaming_rejects_the_minibatch_discipline() {
+    let dataset = categorical_fixture();
+    let err = Clusterer::new(
+        ClusterSpec::new(0)
+            .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+            .fit(mini(32, 5)),
+    )
+    .streaming(dataset.schema().clone())
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("MiniBatch") && err.to_string().contains("streaming"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn minibatch_rejects_mismatched_lsh_schemes() {
+    let dataset = categorical_fixture();
+    let numeric = numeric_fixture(dataset.labels().unwrap(), 4);
+    // SimHash on categorical and MinHash on numeric stay errors under
+    // mini-batch, exactly as under Full.
+    let err = Clusterer::new(
+        ClusterSpec::new(5)
+            .lsh(Lsh::SimHash { bands: 4, rows: 8 })
+            .fit(mini(32, 5)),
+    )
+    .fit(&dataset)
+    .unwrap_err();
+    assert!(err.to_string().contains("SimHash"));
+    let err = Clusterer::new(
+        ClusterSpec::new(5)
+            .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+            .fit(mini(32, 5)),
+    )
+    .fit(&numeric)
+    .unwrap_err();
+    assert!(err.to_string().contains("MinHash"));
+}
+
+// ---- serving and warm starts ----------------------------------------------
+
+#[test]
+fn minibatch_model_round_trips_and_serves() {
+    let dataset = categorical_fixture();
+    let run = Clusterer::new(
+        ClusterSpec::new(20)
+            .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+            .seed(17)
+            .fit(mini(64, 25)),
+    )
+    .fit(&dataset)
+    .unwrap();
+
+    // The envelope round-trips byte-for-byte, `fit` included.
+    let json = run.model.to_json();
+    assert!(
+        json.contains("MiniBatch"),
+        "spec.fit persists in the envelope"
+    );
+    let model = FittedModel::from_json(&json).unwrap();
+    assert_eq!(model.to_json(), json);
+    assert_eq!(model.spec().fit, run.model.spec().fit);
+
+    // A reloaded model answers every training query identically to the
+    // in-memory one.
+    assert_eq!(
+        model.predict(&dataset).unwrap(),
+        run.model.predict(&dataset).unwrap()
+    );
+}
+
+#[test]
+fn minibatch_fit_is_warm_startable_and_warm_starts_others() {
+    let dataset = categorical_fixture();
+    let mini_spec = ClusterSpec::new(20)
+        .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+        .seed(23)
+        .fit(mini(64, 20));
+    let mini_run = Clusterer::new(mini_spec.clone()).fit(&dataset).unwrap();
+
+    // Mini-batch model → Full refit: resumes from the nudged modes.
+    let full_refit = ClusterSpec::new(20)
+        .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+        .seed(23)
+        .warm_start(&mini_run.model)
+        .fit(&dataset)
+        .unwrap();
+    assert!(full_refit.summary.converged);
+
+    // Full model → mini-batch refit: the discipline composes the other way
+    // too, and k mismatches still error.
+    let full_run = Clusterer::new(
+        ClusterSpec::new(20)
+            .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+            .seed(23),
+    )
+    .fit(&dataset)
+    .unwrap();
+    let mini_refit = mini_spec.clone().warm_start(&full_run.model).fit(&dataset);
+    assert!(mini_refit.is_ok());
+    let mismatch = ClusterSpec::new(21)
+        .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+        .fit(mini(64, 10))
+        .warm_start(&full_run.model)
+        .fit(&dataset);
+    assert!(mismatch.is_err(), "k mismatch must stay a typed error");
+}
+
+#[test]
+fn numeric_minibatch_serves_its_own_centroids() {
+    let dataset = categorical_fixture();
+    let numeric = numeric_fixture(dataset.labels().unwrap(), 5);
+    let run = Clusterer::new(
+        ClusterSpec::new(20)
+            .lsh(Lsh::SimHash { bands: 4, rows: 8 })
+            .seed(29)
+            .fit(mini(64, 25)),
+    )
+    .fit(&numeric)
+    .unwrap();
+    // Final assignments came from one full pass under the final centroids,
+    // so every served point must land at least as close as its recorded
+    // cluster (predict shortlists but falls back to full search).
+    let (dim, means) = run.centroids.means().unwrap();
+    let model = FittedModel::from_json(&run.model.to_json()).unwrap();
+    for i in (0..numeric.n_items()).step_by(17) {
+        let point = numeric.row(i);
+        let served = model.predict_point(point).unwrap();
+        let served_d = sq_euclidean(point, &means[served.idx() * dim..(served.idx() + 1) * dim]);
+        let recorded = run.assignments[i];
+        let recorded_d = sq_euclidean(
+            point,
+            &means[recorded.idx() * dim..(recorded.idx() + 1) * dim],
+        );
+        assert!(
+            served_d <= recorded_d + 1e-9,
+            "item {i}: served {served_d} vs recorded {recorded_d}"
+        );
+    }
+}
