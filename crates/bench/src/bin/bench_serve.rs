@@ -1,0 +1,72 @@
+//! `bench_serve` — the serving-throughput experiment behind
+//! `BENCH_serve.json`: coalesced micro-batch serving vs one-row-per-call,
+//! per worker count, for all three modalities.
+//!
+//! ```text
+//! bench_serve [--quick] [--seed N] [--workers A,B] [--callers N] [--requests N] [--out FILE]
+//!
+//!   --quick       CI-sized workload (seconds instead of minutes)
+//!   --seed N      master seed (default 42)
+//!   --workers L   comma-separated worker-pool sizes (default 1,2)
+//!   --callers N   concurrent caller threads (default 4)
+//!   --requests N  requests per caller (default 2000; capped in --quick)
+//!   --out FILE    where to write the JSON report (default BENCH_serve.json)
+//! ```
+
+use lshclust_bench::serve::{run, ServeSettings};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_serve [--quick] [--seed N] [--workers 1,2] [--callers N] [--requests N] [--out FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut settings = ServeSettings::default();
+    let mut out = "BENCH_serve.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => settings.quick = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => settings.seed = s,
+                None => return usage(),
+            },
+            "--workers" => {
+                let Some(list) = args.next() else {
+                    return usage();
+                };
+                let parsed: Option<Vec<usize>> =
+                    list.split(',').map(|t| t.trim().parse().ok()).collect();
+                match parsed {
+                    Some(w) if !w.is_empty() => settings.workers = w,
+                    _ => return usage(),
+                }
+            }
+            "--callers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(c) if c > 0 => settings.callers = c,
+                _ => return usage(),
+            },
+            "--requests" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r > 0 => settings.requests_per_caller = r,
+                _ => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = run(&settings);
+    print!("{}", report.render());
+    if let Err(e) = report.write_json(&out) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out}");
+    ExitCode::SUCCESS
+}

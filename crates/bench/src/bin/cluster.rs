@@ -5,6 +5,8 @@
 //! cluster fit      --input data.csv --k 1000 --model model.json [options]
 //! cluster predict  --model model.json --input new.csv [--output out.csv] [--threads N]
 //! cluster inspect  --model model.json
+//! cluster serve    --model model.json [--workers N] [--max-batch N] [--flush-us N]
+//!                  [--queue-depth N] [--threads N]
 //! ```
 //!
 //! `fit` trains and (optionally) saves a `FittedModel` artifact; `predict`
@@ -12,6 +14,23 @@
 //! model's training schema, so the CSV needs the same columns but may
 //! contain new category values (they match nothing); `inspect` summarises a
 //! saved artifact without touching any data.
+//!
+//! `serve` runs a long-lived `ModelServer` daemon speaking newline-delimited
+//! JSON over stdin/stdout. One request object per line:
+//!
+//! ```text
+//!   {"predict": {"row": ["red", "large"]}, "id": 7}    categorical (strings)
+//!   {"predict": {"point": [0.5, 1.5]}}                 numeric
+//!   {"predict": {"row": [...], "point": [...]}}        mixed
+//!   {"reload": "model.json"}                           hot reload (control line)
+//!   {"stats": true}                                    server introspection
+//!   {"shutdown": true}                                 drain + exit (EOF works too)
+//! ```
+//!
+//! and one response per line, in request order: `{"id": 7, "ok": {"cluster":
+//! 3, "generation": 0}}` or `{"id": 7, "err": "..."}`. `reload` swaps the
+//! model without dropping queued requests — the control-line equivalent of a
+//! SIGHUP — and bumps the `generation` every response carries.
 //!
 //! Shared `fit` options:
 //!
@@ -79,13 +98,24 @@ struct PredictArgs {
     quiet: bool,
 }
 
+struct ServeArgs {
+    model: String,
+    /// Pool/queue shape; flags overlay `ServerConfig::default()` so the CLI
+    /// and the library can never drift apart on defaults.
+    config: lshclust::ServerConfig,
+    /// Overrides the model's per-batch fan-out thread count (applied to the
+    /// initial load *and* re-applied on every hot reload).
+    threads: Option<usize>,
+}
+
 enum Command {
     Fit(FitArgs),
     Predict(PredictArgs),
     Inspect { model: String },
+    Serve(ServeArgs),
 }
 
-const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json";
+const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--workers N] [--max-batch N] [--flush-us N] [--queue-depth N] [--threads N]";
 
 fn parse_predict(flags: impl IntoIterator<Item = String>) -> Result<PredictArgs, String> {
     let mut argv = flags.into_iter();
@@ -120,12 +150,52 @@ fn parse_predict(flags: impl IntoIterator<Item = String>) -> Result<PredictArgs,
     })
 }
 
+fn parse_serve(flags: impl IntoIterator<Item = String>) -> Result<ServeArgs, String> {
+    let mut argv = flags.into_iter();
+    let mut args = ServeArgs {
+        model: String::new(),
+        config: lshclust::ServerConfig::default(),
+        threads: None,
+    };
+    fn parse<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse().map_err(|e| format!("{name}: {e}"))
+    }
+    let mut model = None;
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--model" => model = Some(value("--model")?),
+            "--workers" => {
+                args.config.workers = parse("--workers", value("--workers")?)?;
+            }
+            "--max-batch" => {
+                args.config.max_batch = parse("--max-batch", value("--max-batch")?)?;
+            }
+            "--flush-us" => {
+                let us: u64 = parse("--flush-us", value("--flush-us")?)?;
+                args.config.flush_latency = std::time::Duration::from_micros(us);
+            }
+            "--queue-depth" => {
+                args.config.queue_depth = parse("--queue-depth", value("--queue-depth")?)?;
+            }
+            "--threads" => args.threads = Some(parse("--threads", value("--threads")?)?),
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    args.model = model.ok_or("--model is required")?;
+    Ok(args)
+}
+
 fn parse_command() -> Result<Command, String> {
     let mut argv = std::env::args();
     let _ = argv.next(); // program name
     match argv.next().as_deref() {
         Some("fit") => Ok(Command::Fit(parse_fit(argv)?)),
         Some("predict") => Ok(Command::Predict(parse_predict(argv)?)),
+        Some("serve") => Ok(Command::Serve(parse_serve(argv)?)),
         Some("inspect") => {
             let mut model = None;
             while let Some(arg) = argv.next() {
@@ -524,6 +594,282 @@ fn run_inspect(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---- serve: the NDJSON daemon over a ModelServer ---------------------------
+
+/// Raw `Value` passthrough so a protocol line can be inspected field by
+/// field before committing to a shape.
+struct RawLine(serde::Value);
+
+impl serde::Deserialize for RawLine {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(RawLine(v.clone()))
+    }
+}
+
+/// `Value` wrapper writable through the shim's `to_string`.
+struct OutValue(serde::Value);
+
+impl serde::Serialize for OutValue {
+    fn to_value(&self) -> serde::Value {
+        self.0.clone()
+    }
+}
+
+fn json_line(v: serde::Value) -> String {
+    serde_json::to_string(&OutValue(v)).expect("response serializes")
+}
+
+fn ok_response(id: Option<&serde::Value>, fields: Vec<(String, serde::Value)>) -> String {
+    let mut entries = Vec::new();
+    if let Some(id) = id {
+        entries.push(("id".to_owned(), id.clone()));
+    }
+    entries.push(("ok".to_owned(), serde::Value::Object(fields)));
+    json_line(serde::Value::Object(entries))
+}
+
+fn err_response(id: Option<&serde::Value>, message: &str) -> String {
+    let mut entries = Vec::new();
+    if let Some(id) = id {
+        entries.push(("id".to_owned(), id.clone()));
+    }
+    entries.push(("err".to_owned(), serde::Value::String(message.to_owned())));
+    json_line(serde::Value::Object(entries))
+}
+
+fn parse_str_row(v: &serde::Value) -> Result<Vec<String>, String> {
+    v.as_array()
+        .ok_or("`row` must be an array of strings")?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| "`row` must be an array of strings".to_owned())
+        })
+        .collect()
+}
+
+fn parse_point(v: &serde::Value) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or("`point` must be an array of numbers")?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| "`point` must be an array of numbers".to_owned())
+        })
+        .collect()
+}
+
+/// Retries a submission while the queue is full. The daemon has exactly one
+/// producer — the stdin loop — so blocking it *is* the backpressure: piped
+/// batch input larger than `queue_depth` gets served in full instead of
+/// being load-shed with thousands of `QueueFull` errors (load shedding is
+/// for many independent callers; a pipe should just slow down).
+fn submit_with_backpressure(
+    mut submit: impl FnMut() -> Result<lshclust::PredictTicket, lshclust::ServeError>,
+) -> Result<lshclust::PredictTicket, String> {
+    loop {
+        match submit() {
+            Ok(ticket) => return Ok(ticket),
+            Err(lshclust::ServeError::QueueFull) => {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// Submits one `predict` payload; string rows — categorical and the
+/// categorical part of mixed requests — go through the server's serve-time
+/// encoding, so hot reloads apply to requests already queued.
+fn submit_predict(
+    server: &lshclust::ModelServer,
+    predict: &serde::Value,
+) -> Result<lshclust::PredictTicket, String> {
+    match (predict.get("row"), predict.get("point")) {
+        (Some(row), None) => {
+            let row = parse_str_row(row)?;
+            submit_with_backpressure(|| {
+                let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+                server.submit_str_row(&refs)
+            })
+        }
+        (None, Some(point)) => {
+            let point = parse_point(point)?;
+            submit_with_backpressure(|| server.submit_point(point.clone()))
+        }
+        (Some(row), Some(point)) => {
+            let row = parse_str_row(row)?;
+            let point = parse_point(point)?;
+            // Serve-time encoding (like the row-only path): the categorical
+            // part is interpreted under the schema of the model snapshot
+            // that answers, so a reload can never mix schemas.
+            submit_with_backpressure(|| {
+                let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+                server.submit_str_mixed(&refs, point.clone())
+            })
+        }
+        (None, None) => Err("predict needs `row` (strings) and/or `point` (numbers)".to_owned()),
+    }
+}
+
+/// What the printer thread emits, in request order: a ticket to wait on, or
+/// an already-rendered control response.
+enum Outgoing {
+    Ticket {
+        id: Option<serde::Value>,
+        ticket: lshclust::PredictTicket,
+    },
+    Line(String),
+}
+
+fn run_serve(args: ServeArgs) -> Result<(), String> {
+    use std::io::{BufRead, Write as _};
+
+    let mut model = FittedModel::load(&args.model).map_err(|e| format!("{}: {e}", args.model))?;
+    if let Some(threads) = args.threads {
+        model.set_threads(threads);
+    }
+    let config = args.config;
+    eprintln!(
+        "serving {} model (k={}) from {}: {} workers, batches of up to {} ({}us flush), queue {}",
+        model.modality(),
+        model.k(),
+        args.model,
+        config.workers,
+        config.max_batch,
+        config.flush_latency.as_micros(),
+        config.queue_depth,
+    );
+    let server = lshclust::ModelServer::start(model, config);
+    let handle = server.handle();
+
+    // One printer thread keeps responses in request order: tickets resolve
+    // FIFO, control lines ride the same channel.
+    let (tx, rx) = std::sync::mpsc::channel::<Outgoing>();
+    let printer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        for item in rx {
+            let line = match item {
+                Outgoing::Ticket { id, ticket } => match ticket.wait() {
+                    Ok(p) => ok_response(
+                        id.as_ref(),
+                        vec![
+                            ("cluster".to_owned(), serde_json::to_value(&p.cluster.0)),
+                            ("generation".to_owned(), serde_json::to_value(&p.generation)),
+                        ],
+                    ),
+                    Err(e) => err_response(id.as_ref(), &e.to_string()),
+                },
+                Outgoing::Line(line) => line,
+            };
+            let mut out = stdout.lock();
+            let _ = writeln!(out, "{line}");
+            let _ = out.flush();
+        }
+    });
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let value = match serde_json::from_str::<RawLine>(trimmed) {
+            Ok(RawLine(v)) => v,
+            Err(e) => {
+                let _ = tx.send(Outgoing::Line(err_response(
+                    None,
+                    &format!("bad JSON: {e}"),
+                )));
+                continue;
+            }
+        };
+        let id = value.get("id").cloned();
+        if let Some(predict) = value.get("predict") {
+            let _ = tx.send(match submit_predict(&server, predict) {
+                Ok(ticket) => Outgoing::Ticket { id, ticket },
+                Err(e) => Outgoing::Line(err_response(id.as_ref(), &e)),
+            });
+        } else if let Some(reload) = value.get("reload") {
+            let response = match reload.as_str() {
+                Some(path) => std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))
+                    .and_then(|text| {
+                        let mut model = FittedModel::from_json(&text).map_err(|e| e.to_string())?;
+                        // The operator's --threads override outlives hot
+                        // reloads; without this the artifact's own
+                        // spec.threads would silently take over.
+                        if let Some(threads) = args.threads {
+                            model.set_threads(threads);
+                        }
+                        Ok(handle.reload(model))
+                    })
+                    .map_or_else(
+                        |e| err_response(id.as_ref(), &e),
+                        |generation| {
+                            ok_response(
+                                id.as_ref(),
+                                vec![
+                                    ("reloaded".to_owned(), serde::Value::Bool(true)),
+                                    ("generation".to_owned(), serde_json::to_value(&generation)),
+                                ],
+                            )
+                        },
+                    ),
+                None => err_response(id.as_ref(), "reload takes a model artifact path string"),
+            };
+            let _ = tx.send(Outgoing::Line(response));
+        } else if value.get("stats").is_some() {
+            let model = server.model();
+            let response = ok_response(
+                id.as_ref(),
+                vec![
+                    (
+                        "generation".to_owned(),
+                        serde_json::to_value(&server.generation()),
+                    ),
+                    (
+                        "queue".to_owned(),
+                        serde_json::to_value(&server.queue_len()),
+                    ),
+                    (
+                        "modality".to_owned(),
+                        serde::Value::String(model.modality().to_owned()),
+                    ),
+                    ("k".to_owned(), serde_json::to_value(&model.k())),
+                    (
+                        "workers".to_owned(),
+                        serde_json::to_value(&server.config().workers),
+                    ),
+                    (
+                        "max_batch".to_owned(),
+                        serde_json::to_value(&server.config().max_batch),
+                    ),
+                ],
+            );
+            let _ = tx.send(Outgoing::Line(response));
+        } else if value.get("shutdown").is_some() {
+            let _ = tx.send(Outgoing::Line(ok_response(
+                id.as_ref(),
+                vec![("shutdown".to_owned(), serde::Value::Bool(true))],
+            )));
+            break;
+        } else {
+            let _ = tx.send(Outgoing::Line(err_response(
+                id.as_ref(),
+                "unknown request: expected `predict`, `reload`, `stats`, or `shutdown`",
+            )));
+        }
+    }
+    drop(tx);
+    let _ = printer.join();
+    server.shutdown();
+    eprintln!("serve: drained and shut down");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let command = match parse_command() {
         Ok(c) => c,
@@ -536,6 +882,7 @@ fn main() -> ExitCode {
         Command::Fit(args) => run_fit(args),
         Command::Predict(args) => run_predict(args),
         Command::Inspect { model } => run_inspect(&model),
+        Command::Serve(args) => run_serve(args),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -693,6 +1040,64 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: ClusterSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn serve_flags_overlay_the_library_defaults() {
+        let args = parse_serve(flags(&["--model", "m.json"])).unwrap();
+        assert_eq!(args.config, lshclust::ServerConfig::default());
+        assert_eq!(args.threads, None);
+        let args = parse_serve(flags(&[
+            "--model",
+            "m.json",
+            "--workers",
+            "3",
+            "--flush-us",
+            "50",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(args.config.workers, 3);
+        assert_eq!(args.config.flush_latency.as_micros(), 50);
+        assert_eq!(
+            args.config.max_batch,
+            lshclust::ServerConfig::default().max_batch
+        );
+        assert_eq!(args.threads, Some(2));
+    }
+
+    #[test]
+    fn submit_with_backpressure_serves_a_pipe_larger_than_the_queue() {
+        use lshclust::{Clusterer, DatasetBuilder};
+        let mut b = DatasetBuilder::anonymous(2);
+        for row in [["a", "b"], ["a", "c"], ["x", "y"], ["x", "z"]] {
+            b.push_str_row(&row, None).unwrap();
+        }
+        let ds = b.finish();
+        let run = Clusterer::new(ClusterSpec::new(2).seed(1))
+            .fit(&ds)
+            .unwrap();
+        // A queue far smaller than the request stream: with backpressure the
+        // single producer blocks instead of shedding, so everything serves.
+        let server = lshclust::ModelServer::start(
+            run.model.clone(),
+            lshclust::ServerConfig::default()
+                .workers(1)
+                .max_batch(2)
+                .queue_depth(2),
+        );
+        let tickets: Vec<_> = (0..100)
+            .map(|i| {
+                let row = ds.row(i % 4).to_vec();
+                submit_with_backpressure(|| server.submit_row(row.clone())).unwrap()
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let served = t.wait().unwrap();
+            assert_eq!(served.cluster, run.assignments[i % 4]);
+        }
+        server.shutdown();
     }
 
     #[test]

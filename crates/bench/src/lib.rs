@@ -14,6 +14,9 @@
 //!   (facade-driven, all four families),
 //! * [`minibatch`] — the fit-discipline comparison behind
 //!   `BENCH_minibatch.json` (full vs mini-batch vs shortlisted mini-batch),
+//! * [`serve`] — the serving-throughput experiment behind
+//!   `BENCH_serve.json` (coalesced `ModelServer` batches vs
+//!   one-row-per-call, per worker count and modality),
 //! * [`table`] — a tiny fixed-width table printer.
 //!
 //! The experiment modules drive the *internal* per-algorithm configs
@@ -31,6 +34,7 @@ pub mod ablate;
 pub mod figures;
 pub mod minibatch;
 pub mod scale;
+pub mod serve;
 pub mod synthetic;
 pub mod table;
 pub mod textexp;

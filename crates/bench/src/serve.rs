@@ -1,0 +1,389 @@
+//! Serving-throughput experiment: what micro-batch coalescing buys a
+//! [`lshclust::ModelServer`] under many concurrent single-row callers, for
+//! every modality — the numbers behind `BENCH_serve.json`.
+//!
+//! The contrast is one-row-per-call serving (`max_batch = 1`, zero flush
+//! latency: every request pays its own queue pop, scratch allocation, and
+//! wake-up) versus coalesced serving (requests merge into shortlist batches
+//! during a sub-millisecond flush window and share one scratch per worker
+//! thread). Callers keep a small **pipeline window** of in-flight tickets,
+//! as a real service client would, so the queue actually has something to
+//! coalesce.
+//!
+//! The measurement is facade-faithful: models come out of `Clusterer::fit`
+//! and requests go through the exact `submit_*`/`wait` API a user gets.
+
+use lshclust::serve::{ModelServer, ServerConfig};
+use lshclust::{ClusterSpec, Clusterer, FittedModel, Lsh};
+use lshclust_categorical::{Dataset, ValueId};
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::kmeans::NumericDataset;
+use lshclust_kmodes::kprototypes::MixedDataset;
+use std::collections::VecDeque;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// Settings of a serving-throughput run.
+#[derive(Clone, Debug)]
+pub struct ServeSettings {
+    /// Shrinks the workload for CI smoke runs.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker-pool sizes to sweep.
+    pub workers: Vec<usize>,
+    /// Concurrent caller threads.
+    pub callers: usize,
+    /// Requests each caller submits.
+    pub requests_per_caller: usize,
+}
+
+impl Default for ServeSettings {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            seed: 42,
+            workers: vec![1, 2],
+            callers: 4,
+            requests_per_caller: 2_000,
+        }
+    }
+}
+
+/// One (modality × workers × coalescing) measurement.
+#[derive(Clone, Debug)]
+pub struct ServeRun {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Whether micro-batch coalescing was on (`max_batch` 64, 200µs flush)
+    /// or off (`max_batch` 1, zero flush — one row per call).
+    pub coalesced: bool,
+    /// Total requests served.
+    pub requests: usize,
+    /// Wall-clock seconds for the whole request set.
+    pub secs: f64,
+    /// Requests per second.
+    pub rps: f64,
+    /// This run's `rps` over the one-row-per-call run at the same worker
+    /// count (1.0 for the single runs themselves).
+    pub speedup_vs_single: f64,
+}
+
+serde::impl_serde_struct!(ServeRun {
+    workers,
+    coalesced,
+    requests,
+    secs,
+    rps,
+    speedup_vs_single
+});
+
+/// All serving runs for one modality.
+#[derive(Clone, Debug)]
+pub struct FamilyServe {
+    /// `"categorical"`, `"numeric"` or `"mixed"`.
+    pub family: String,
+    /// The LSH scheme behind the served model's centroid index.
+    pub lsh: String,
+    /// Measurements, coalesced and single per swept worker count.
+    pub runs: Vec<ServeRun>,
+}
+
+serde::impl_serde_struct!(FamilyServe { family, lsh, runs });
+
+/// The full `BENCH_serve.json` payload.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Experiment marker.
+    pub experiment: String,
+    /// Hardware threads available to this process.
+    pub host_cpus: usize,
+    /// Whether the shrunken CI workload was used.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Items in each training workload.
+    pub n_items: usize,
+    /// Clusters per model.
+    pub n_clusters: usize,
+    /// Concurrent caller threads.
+    pub callers: usize,
+    /// Requests per caller.
+    pub requests_per_caller: usize,
+    /// In-flight tickets each caller pipelines.
+    pub pipeline_window: usize,
+    /// Per-modality serving series.
+    pub families: Vec<FamilyServe>,
+}
+
+serde::impl_serde_struct!(ServeReport {
+    experiment,
+    host_cpus,
+    quick,
+    seed,
+    n_items,
+    n_clusters,
+    callers,
+    requests_per_caller,
+    pipeline_window,
+    families
+});
+
+/// In-flight tickets each caller keeps open before waiting on the oldest.
+const PIPELINE_WINDOW: usize = 32;
+
+/// One request's payload, cloned per submission from the query set.
+#[derive(Clone)]
+enum Query {
+    Row(Vec<ValueId>),
+    Point(Vec<f64>),
+    Mixed(Vec<ValueId>, Vec<f64>),
+}
+
+/// Drives `callers` threads through `requests_per_caller` submissions each
+/// (pipelined), returns wall-clock seconds. Panics on any serving error —
+/// the bench sizes its queue so load shedding cannot trigger.
+fn measure(
+    model: &FittedModel,
+    config: ServerConfig,
+    callers: usize,
+    requests_per_caller: usize,
+    queries: &[Query],
+) -> f64 {
+    let server = ModelServer::start(model.clone(), config);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for caller in 0..callers {
+            let server = &server;
+            scope.spawn(move || {
+                let mut pending = VecDeque::with_capacity(PIPELINE_WINDOW);
+                for i in 0..requests_per_caller {
+                    let query = &queries[(caller + i * callers) % queries.len()];
+                    let ticket = match query.clone() {
+                        Query::Row(row) => server.submit_row(row),
+                        Query::Point(point) => server.submit_point(point),
+                        Query::Mixed(row, point) => server.submit_mixed(row, point),
+                    }
+                    .expect("bench queue sized above the pipeline load");
+                    pending.push_back(ticket);
+                    if pending.len() >= PIPELINE_WINDOW {
+                        let served = pending.pop_front().expect("non-empty");
+                        served.wait().expect("bench requests are well-formed");
+                    }
+                }
+                for ticket in pending {
+                    ticket.wait().expect("bench requests are well-formed");
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    server.shutdown();
+    secs
+}
+
+/// Sweeps coalesced vs one-row-per-call at every worker count.
+fn sweep(model: &FittedModel, settings: &ServeSettings, queries: &[Query]) -> Vec<ServeRun> {
+    let total = settings.callers * settings.requests_per_caller;
+    // Queue bound: the whole pipelined in-flight load plus slack, so the
+    // bench measures throughput, not load shedding.
+    let depth = (settings.callers * PIPELINE_WINDOW * 2).max(256);
+    let mut runs = Vec::new();
+    for &workers in &settings.workers {
+        let single = ServerConfig::default()
+            .workers(workers)
+            .max_batch(1)
+            .flush_latency(Duration::ZERO)
+            .queue_depth(depth);
+        let coalesced = ServerConfig::default()
+            .workers(workers)
+            .max_batch(64)
+            .flush_latency(Duration::from_micros(200))
+            .queue_depth(depth);
+        let single_secs = measure(
+            model,
+            single,
+            settings.callers,
+            settings.requests_per_caller,
+            queries,
+        );
+        let coalesced_secs = measure(
+            model,
+            coalesced,
+            settings.callers,
+            settings.requests_per_caller,
+            queries,
+        );
+        let single_rps = total as f64 / single_secs.max(1e-9);
+        let coalesced_rps = total as f64 / coalesced_secs.max(1e-9);
+        runs.push(ServeRun {
+            workers,
+            coalesced: false,
+            requests: total,
+            secs: single_secs,
+            rps: single_rps,
+            speedup_vs_single: 1.0,
+        });
+        runs.push(ServeRun {
+            workers,
+            coalesced: true,
+            requests: total,
+            secs: coalesced_secs,
+            rps: coalesced_rps,
+            speedup_vs_single: coalesced_rps / single_rps.max(1e-9),
+        });
+    }
+    runs
+}
+
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+/// Runs the full experiment and returns the report.
+pub fn run(settings: &ServeSettings) -> ServeReport {
+    let (n_items, n_clusters, n_attrs, dim, requests_per_caller) = if settings.quick {
+        (2_000, 40, 12, 8, settings.requests_per_caller.min(600))
+    } else {
+        (10_000, 100, 24, 12, settings.requests_per_caller)
+    };
+    let settings = ServeSettings {
+        requests_per_caller,
+        ..settings.clone()
+    };
+    let seed = settings.seed;
+    let dataset: Dataset = generate(&DatgenConfig::new(n_items, n_clusters, n_attrs).seed(seed));
+    let labels: Vec<u32> = dataset.labels().expect("datgen labels").to_vec();
+    let numeric = numeric_blobs(&labels, dim);
+    let mixed = MixedDataset::new(&dataset, &numeric);
+    let max_iter = 10;
+    // The query set: a slice of training items (served one row at a time).
+    let n_queries = n_items.min(2_000);
+
+    let mut families = Vec::new();
+
+    eprintln!("# serve: categorical (MinHash 20b5r, k={n_clusters}, n={n_items})");
+    let run_cat = Clusterer::new(
+        ClusterSpec::new(n_clusters)
+            .lsh(Lsh::MinHash { bands: 20, rows: 5 })
+            .seed(seed)
+            .max_iterations(max_iter),
+    )
+    .fit(&dataset)
+    .expect("categorical fit");
+    let queries: Vec<Query> = (0..n_queries)
+        .map(|i| Query::Row(dataset.row(i).to_vec()))
+        .collect();
+    families.push(FamilyServe {
+        family: "categorical".into(),
+        lsh: "MinHash 20b5r".into(),
+        runs: sweep(&run_cat.model, &settings, &queries),
+    });
+
+    eprintln!("# serve: numeric (SimHash 8b16r)");
+    let run_num = Clusterer::new(
+        ClusterSpec::new(n_clusters)
+            .lsh(Lsh::SimHash { bands: 8, rows: 16 })
+            .seed(seed)
+            .max_iterations(max_iter),
+    )
+    .fit(&numeric)
+    .expect("numeric fit");
+    let queries: Vec<Query> = (0..n_queries)
+        .map(|i| Query::Point(numeric.row(i).to_vec()))
+        .collect();
+    families.push(FamilyServe {
+        family: "numeric".into(),
+        lsh: "SimHash 8b16r".into(),
+        runs: sweep(&run_num.model, &settings, &queries),
+    });
+
+    eprintln!("# serve: mixed (MinHash ∪ SimHash)");
+    let run_mixed = Clusterer::new(
+        ClusterSpec::new(n_clusters)
+            .lsh(Lsh::Union {
+                bands: 20,
+                rows: 5,
+                sim_bands: 8,
+                sim_rows: 16,
+            })
+            .seed(seed)
+            .max_iterations(max_iter),
+    )
+    .fit(&mixed)
+    .expect("mixed fit");
+    let queries: Vec<Query> = (0..n_queries)
+        .map(|i| Query::Mixed(dataset.row(i).to_vec(), numeric.row(i).to_vec()))
+        .collect();
+    families.push(FamilyServe {
+        family: "mixed".into(),
+        lsh: "Union 20b5r + 8b16r".into(),
+        runs: sweep(&run_mixed.model, &settings, &queries),
+    });
+
+    ServeReport {
+        experiment: "serve-throughput".into(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        quick: settings.quick,
+        seed,
+        n_items,
+        n_clusters,
+        callers: settings.callers,
+        requests_per_caller: settings.requests_per_caller,
+        pipeline_window: PIPELINE_WINDOW,
+        families,
+    }
+}
+
+impl ServeReport {
+    /// Writes the report as pretty JSON to `path`.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let text = serde_json::to_string_pretty(self).expect("report serializes");
+        std::fs::write(path, text)
+    }
+
+    /// Renders an aligned text summary (one table per modality).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serving throughput  (host cpus: {}, quick: {}, {} callers x {} reqs, window {})",
+            self.host_cpus,
+            self.quick,
+            self.callers,
+            self.requests_per_caller,
+            self.pipeline_window
+        );
+        for family in &self.families {
+            let _ = writeln!(out, "\n[{}] {}", family.family, family.lsh);
+            let _ = writeln!(
+                out,
+                "{:>8}  {:>10}  {:>10}  {:>12}  {:>10}",
+                "workers", "coalesced", "secs", "req/s", "speedup"
+            );
+            for r in &family.runs {
+                let _ = writeln!(
+                    out,
+                    "{:>8}  {:>10}  {:>10.3}  {:>12.0}  {:>9.2}x",
+                    r.workers,
+                    if r.coalesced { "yes" } else { "no" },
+                    r.secs,
+                    r.rps,
+                    r.speedup_vs_single
+                );
+            }
+        }
+        out
+    }
+}

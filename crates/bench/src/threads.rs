@@ -11,7 +11,8 @@
 //!
 //! Speedups are reported on the mean per-iteration time of the shortlisted
 //! phase (the assignment passes dominate it; setup — initial full pass plus
-//! index build — is reported separately and is not parallelised). Wall-clock
+//! index build, both fanned over the same thread count since the
+//! parallel-setup change — is reported separately). Wall-clock
 //! speedup obviously requires more than one hardware core; `host_cpus` is
 //! recorded so single-core runs read as what they are.
 

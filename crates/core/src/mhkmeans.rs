@@ -215,6 +215,22 @@ impl SimHashIndex {
         seed: u64,
         initial: &[ClusterId],
     ) -> Self {
+        Self::build_parallel(data, bands, rows, seed, initial, 1)
+    }
+
+    /// Like [`Self::build`], with the per-item hashing (centring, signature,
+    /// band keys) fanned over `threads` workers. The centring mean is summed
+    /// serially (float addition order matters) and the bucket fill walks
+    /// items in ascending order, so the result is **byte-identical** to the
+    /// serial build at any thread count.
+    pub fn build_parallel(
+        data: &NumericDataset,
+        bands: u32,
+        rows: u32,
+        seed: u64,
+        initial: &[ClusterId],
+        threads: usize,
+    ) -> Self {
         assert_eq!(initial.len(), data.n_items());
         let n_bits = bands as usize * rows as usize;
         let dim = data.dim();
@@ -231,20 +247,32 @@ impl SimHashIndex {
                 *m /= n as f64;
             }
         }
-        let mut band_keys = Vec::with_capacity(n * bands as usize);
+        // Per-item hashing fills the flat item-major key buffer directly —
+        // one contiguous slice per worker, no per-item allocation — through
+        // the shared chunking scaffold (inline at `threads <= 1`).
+        let n_bands = bands as usize;
+        let mut band_keys = vec![0u64; n * n_bands];
+        crate::parallel::fill_chunks(&mut band_keys, n, n_bands, threads, |start, slice| {
+            let mut centred = vec![0.0f64; dim];
+            let mut sig = Vec::new();
+            let mut keys = Vec::new();
+            for (offset, out) in slice.chunks_mut(n_bands).enumerate() {
+                for ((c, &x), m) in centred.iter_mut().zip(data.row(start + offset)).zip(&mean) {
+                    *c = x - m;
+                }
+                sim.signature_into(&centred, &mut sig);
+                sim.band_keys_into(&sig, bands, rows, &mut keys);
+                out.copy_from_slice(&keys);
+            }
+        });
+        // Bucket fill stays serial in item order (byte-identical index).
         let mut buckets: Vec<FastMap<u64, Vec<u32>>> =
-            (0..bands as usize).map(|_| FastMap::default()).collect();
-        let mut centred = vec![0.0f64; dim];
+            (0..n_bands).map(|_| FastMap::default()).collect();
         for item in 0..n {
-            for ((c, &x), m) in centred.iter_mut().zip(data.row(item)).zip(&mean) {
-                *c = x - m;
+            for (band, bucket) in buckets.iter_mut().enumerate() {
+                let key = band_keys[item * n_bands + band];
+                bucket.entry(key).or_default().push(item as u32);
             }
-            let sig = sim.signature(&centred);
-            let keys = sim.band_keys(&sig, bands, rows);
-            for (band, &key) in keys.iter().enumerate() {
-                buckets[band].entry(key).or_default().push(item as u32);
-            }
-            band_keys.extend_from_slice(&keys);
         }
         Self {
             band_keys,
@@ -445,11 +473,20 @@ pub fn mh_kmeans_from(
     setup_start: Instant,
 ) -> MhKMeansResult {
     let mut model = KMeansModel::new(data, centroids, config.k);
-    // Initial full assignment, mirroring MH-K-Modes step 2.
+    // Initial full assignment, mirroring MH-K-Modes step 2 — fanned over
+    // `config.threads` like the index hashing below (both byte-identical to
+    // their serial forms).
     let mut assignments = vec![ClusterId(0); data.n_items()];
-    framework::assign_full(&model, &mut assignments);
-    model.update_centroids(&assignments);
-    let index = SimHashIndex::build(data, config.bands, config.rows, config.seed, &assignments);
+    crate::parallel::assign_full_parallel(&model, &mut assignments, config.threads);
+    model.update_centroids_parallel(&assignments, config.threads);
+    let index = SimHashIndex::build_parallel(
+        data,
+        config.bands,
+        config.rows,
+        config.seed,
+        &assignments,
+        config.threads,
+    );
     let mut provider = SimHashProvider::new(index);
     let setup = setup_start.elapsed();
     let run = if config.threads <= 1 {

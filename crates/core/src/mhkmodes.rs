@@ -324,21 +324,25 @@ impl MhKModes {
         assert_eq!(modes.k(), cfg.k, "initial modes disagree with configured k");
         let n = dataset.n_items();
 
-        // Step 2: initial full assignment over all k clusters.
+        // Step 2: initial full assignment over all k clusters — fanned over
+        // `cfg.threads` (byte-identical to the serial pass; setup was the
+        // serial bottleneck once the iterations parallelised).
         let mut assignments = vec![ClusterId(0); n];
         let mut model = KModesModel::new(dataset, modes);
-        framework::assign_full(&model, &mut assignments);
+        crate::parallel::assign_full_parallel(&model, &mut assignments, cfg.threads);
         // Refresh modes once so the first shortlisted pass works against
         // up-to-date centroids (equivalent to the tail of a baseline
         // iteration; counted in setup).
-        model.update_centroids(&assignments);
+        model.update_centroids_parallel(&assignments, cfg.threads);
 
         // Step 3: MinHash every item; bucket entries reference the cluster
-        // each item was just assigned to.
-        let index = LshIndexBuilder::new(cfg.banding)
+        // each item was just assigned to. Hashing fans over `cfg.threads`;
+        // the bucket fill stays serial in item order (byte-identical index).
+        let builder = LshIndexBuilder::new(cfg.banding)
             .seed(cfg.seed ^ 0x4d48_4b4d) // decorrelate from init sampling
-            .mode(cfg.query_mode)
-            .build(dataset, &assignments);
+            .mode(cfg.query_mode);
+        let index =
+            crate::parallel::build_lsh_index_parallel(&builder, dataset, &assignments, cfg.threads);
         let index_stats = index.stats();
         let mut provider = MinHashProvider::new(index, cfg.k, cfg.include_self);
         let setup = setup_start.elapsed();

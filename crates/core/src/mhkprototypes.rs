@@ -325,21 +325,28 @@ pub fn mh_kprototypes_from(
     );
     let mut model = KPrototypesModel::new(data, prototypes, config.gamma);
 
-    // Initial full assignment.
+    // Initial full assignment — fanned over `config.threads`, byte-identical
+    // to the serial pass.
     let mut assignments = vec![ClusterId(0); data.n_items()];
-    framework::assign_full(&model, &mut assignments);
-    model.update_centroids(&assignments);
+    crate::parallel::assign_full_parallel(&model, &mut assignments, config.threads);
+    model.update_centroids_parallel(&assignments, config.threads);
 
-    // One index per modality, sharing cluster references through the union.
-    let minhash_index = LshIndexBuilder::new(config.banding)
-        .seed(config.seed ^ 0x6d68_6b70)
-        .build(data.categorical, &assignments);
-    let simhash_index = SimHashIndex::build(
+    // One index per modality, sharing cluster references through the union;
+    // item hashing fans over the threads on both sides.
+    let minhash_builder = LshIndexBuilder::new(config.banding).seed(config.seed ^ 0x6d68_6b70);
+    let minhash_index = crate::parallel::build_lsh_index_parallel(
+        &minhash_builder,
+        data.categorical,
+        &assignments,
+        config.threads,
+    );
+    let simhash_index = SimHashIndex::build_parallel(
         data.numeric,
         config.sim_bands,
         config.sim_rows,
         config.seed ^ 0x7368_6b70,
         &assignments,
+        config.threads,
     );
     let mut provider = UnionProvider::new(
         MinHashProvider::new(minhash_index, config.k, true),

@@ -104,7 +104,9 @@ impl MiniBatchModel for KModesModel<'_> {
     type Sketch = FrequencySketch;
 
     fn make_sketch(&self) -> FrequencySketch {
-        FrequencySketch::new(self.k(), self.dataset_ref().n_attrs())
+        // Flat-array counts for low-cardinality attributes (dictionary
+        // sizes read off the training schema), hash maps otherwise.
+        FrequencySketch::for_dataset(self.k(), self.dataset_ref())
     }
 
     fn absorb(&mut self, sketch: &mut FrequencySketch, item: u32, cluster: ClusterId) {
@@ -148,7 +150,7 @@ impl MiniBatchModel for KPrototypesModel<'_> {
 
     fn make_sketch(&self) -> PrototypeSketch {
         PrototypeSketch {
-            freq: FrequencySketch::new(self.k(), self.data_ref().categorical.n_attrs()),
+            freq: FrequencySketch::for_dataset(self.k(), self.data_ref().categorical),
             counts: vec![0; self.k()],
         }
     }

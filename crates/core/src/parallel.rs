@@ -25,7 +25,13 @@
 use crate::framework::{
     self, AcceleratedRun, AssignOutcome, CentroidModel, ShortlistProvider, StopPolicy,
 };
-use lshclust_categorical::ClusterId;
+use lshclust_categorical::{ClusterId, Dataset, PresentElements};
+use lshclust_minhash::hashfn::MixHashFamily;
+use lshclust_minhash::index::{LshIndex, LshIndexBuilder};
+use lshclust_minhash::signature::SignatureGenerator;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A shortlist provider whose index can be probed from many threads at once:
 /// shortlist queries are **read-only** (`&self`) and all mutable query state
@@ -128,6 +134,117 @@ where
     (new_assignments, shortlist_total)
 }
 
+/// One **full-search assignment pass** fanned over `threads` workers — the
+/// parallel twin of [`framework::assign_full`], used for the setup phase
+/// (the paper's step 2: the initial assignment over all `k` clusters before
+/// the index exists). Each item's best cluster depends only on the frozen
+/// centroids, so the result is **byte-identical** to the serial pass at any
+/// thread count; `threads <= 1` delegates to the serial pass outright.
+pub fn assign_full_parallel<M: CentroidModel + Sync>(
+    model: &M,
+    assignments: &mut [ClusterId],
+    threads: usize,
+) -> AssignOutcome {
+    if threads <= 1 {
+        return framework::assign_full(model, assignments);
+    }
+    assert_eq!(
+        assignments.len(),
+        model.n_items(),
+        "one starting assignment per item"
+    );
+    let chosen: Vec<u32> = chunked_map(
+        assignments.len(),
+        threads,
+        || (),
+        |item, _| model.best_full(item).0 .0,
+    );
+    let mut moves = 0usize;
+    for (slot, c) in assignments.iter_mut().zip(chosen) {
+        let c = ClusterId(c);
+        if *slot != c {
+            *slot = c;
+            moves += 1;
+        }
+    }
+    AssignOutcome {
+        moves,
+        shortlist_total: assignments.len() * model.k(),
+    }
+}
+
+/// Builds the fit-time **item index** with the per-item hashing (signature +
+/// band keys) fanned over `threads` workers — the parallel twin of
+/// [`LshIndexBuilder::build`], covering the other half of the setup phase
+/// (the paper's step 3: MinHash every item). Hashing is per-item
+/// deterministic and the bucket fill
+/// ([`LshIndexBuilder::build_from_band_keys`]) walks items in ascending
+/// order, so the index is **byte-identical** to a serial build; `threads <=
+/// 1` delegates to the serial builder outright.
+pub fn build_lsh_index_parallel(
+    builder: &LshIndexBuilder,
+    dataset: &Dataset,
+    initial: &[ClusterId],
+    threads: usize,
+) -> LshIndex {
+    let n = dataset.n_items();
+    let params = builder.params();
+    let banding = params.banding;
+    let n_bands = banding.bands() as usize;
+    if threads <= 1 || n <= 1 || n_bands == 0 {
+        return builder.build(dataset, initial);
+    }
+    let schema = dataset.schema();
+    // Per-item hashing writes straight into the flat item-major key buffer
+    // (one contiguous slice per worker — no per-item allocation, no second
+    // copy); the buffer is exactly what the serial builder's pass 1 emits.
+    let mut band_keys = vec![0u64; n * n_bands];
+    fill_chunks(&mut band_keys, n, n_bands, threads, |start, slice| {
+        let generator =
+            SignatureGenerator::new(MixHashFamily::new(banding.signature_len(), params.seed));
+        let mut sig = Vec::new();
+        let mut keys = Vec::new();
+        for (offset, out) in slice.chunks_mut(n_bands).enumerate() {
+            generator.signature_into(
+                PresentElements::new(schema, dataset.row(start + offset)),
+                &mut sig,
+            );
+            banding.band_keys_into(&sig, &mut keys);
+            out.copy_from_slice(&keys);
+        }
+    });
+    builder.build_from_band_keys(band_keys, initial)
+}
+
+/// Fills a flat item-major `n × width` buffer by chunking the items over
+/// `threads` scoped workers: `fill(first_item, slice)` writes the rows for
+/// `slice.len() / width` consecutive items starting at `first_item`. Runs
+/// inline (no spawning) when `threads <= 1` or there is at most one item —
+/// the shared scaffolding of the parallel index builds (MinHash here,
+/// SimHash in `crate::mhkmeans`), whose only difference is the per-item
+/// hashing closure.
+pub fn fill_chunks<F>(buf: &mut [u64], n: usize, width: usize, threads: usize, fill: F)
+where
+    F: Fn(usize, &mut [u64]) + Sync,
+{
+    if buf.is_empty() || width == 0 {
+        return;
+    }
+    assert_eq!(buf.len(), n * width, "buffer is not item-major n × width");
+    if threads <= 1 || n <= 1 {
+        fill(0, buf);
+        return;
+    }
+    let chunk_items = n.div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (tid, slice) in buf.chunks_mut(chunk_items * width).enumerate() {
+            let fill = &fill;
+            scope.spawn(move |_| fill(tid * chunk_items, slice));
+        }
+    })
+    .expect("fill_chunks worker panicked");
+}
+
 /// Fans an item-indexed map over `threads` crossbeam scoped threads, with
 /// one `scratch` (built by `init`) per thread — the batched-assignment
 /// primitive shared by the fit-time parallel pass, the parallel centroid
@@ -164,6 +281,161 @@ where
     })
     .expect("chunked_map worker panicked");
     out
+}
+
+// ---------------------------------------------------------------------------
+// Micro-batching request queue — the serving-side plumbing.
+// ---------------------------------------------------------------------------
+
+/// Why a [`MicroBatchQueue::push`] was refused. The rejected item is handed
+/// back so callers can surface it (or retry) without cloning.
+#[derive(Debug)]
+pub enum QueuePushError<T> {
+    /// The queue is at capacity (`queue_depth` pending items).
+    Full(T),
+    /// The queue was closed; no further work is accepted.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue whose consumers pop **coalesced batches**:
+/// a pop blocks until at least one item is pending, then keeps the window
+/// open up to `flush_latency` so concurrent producers' single items merge
+/// into one batch (up to `max_batch`). Items stay queued during the window,
+/// so the depth bound keeps back-pressuring producers the whole time.
+///
+/// This is the serving-side twin of [`chunked_map`]: `chunked_map` fans one
+/// caller's batch over threads, the queue turns many callers' single
+/// requests *into* batches. `lshclust`'s `ModelServer` feeds one of these to
+/// a worker pool; the queue lives here so the primitive is reusable (and
+/// testable) without the serving layer. Plain `Mutex` + `Condvar`, no
+/// external dependencies.
+pub struct MicroBatchQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    depth: usize,
+}
+
+impl<T> MicroBatchQueue<T> {
+    /// An empty open queue holding at most `depth` pending items (clamped to
+    /// at least 1).
+    pub fn new(depth: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Items currently pending (monitoring; racy by nature).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy by nature).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().expect("queue lock").closed
+    }
+
+    /// Enqueues `item`, failing fast when the queue is full or closed —
+    /// submission never blocks, so a saturated server sheds load with a
+    /// typed error instead of stalling its callers.
+    pub fn push(&self, item: T) -> Result<(), QueuePushError<T>> {
+        let mut state = self.inner.lock().expect("queue lock");
+        if state.closed {
+            return Err(QueuePushError::Closed(item));
+        }
+        if state.items.len() >= self.depth {
+            return Err(QueuePushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: pending items remain poppable (consumers drain),
+    /// further pushes fail with [`QueuePushError::Closed`], and blocked
+    /// `pop_batch` calls wake up.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Pops one coalesced **non-empty** batch into `out` (cleared first) and
+    /// returns `true`, or returns `false` when the queue is closed **and**
+    /// fully drained (the consumer's signal to exit).
+    ///
+    /// Blocks until at least one item is pending; once one is, waits up to
+    /// `flush_latency` for the pending count to reach `max_batch` (clamped
+    /// to at least 1) before draining up to `max_batch` items in FIFO order.
+    /// With `max_batch == 1` or a zero latency the window never opens, which
+    /// is exactly the "no coalescing" serving mode.
+    ///
+    /// Multiple consumers may race: another consumer can drain the queue
+    /// while this one sits in its flush window, in which case this call goes
+    /// back to waiting rather than returning an empty batch — `true` always
+    /// means at least one item.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max_batch: usize, flush_latency: Duration) -> bool {
+        let max_batch = max_batch.max(1);
+        out.clear();
+        let mut state = self.inner.lock().expect("queue lock");
+        loop {
+            while state.items.is_empty() {
+                if state.closed {
+                    return false;
+                }
+                state = self.not_empty.wait(state).expect("queue lock");
+            }
+            if flush_latency > Duration::ZERO && state.items.len() < max_batch && !state.closed {
+                let deadline = Instant::now() + flush_latency;
+                while !state.items.is_empty() && state.items.len() < max_batch && !state.closed {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, timeout) = self
+                        .not_empty
+                        .wait_timeout(state, deadline - now)
+                        .expect("queue lock");
+                    state = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            let take = state.items.len().min(max_batch);
+            if take == 0 {
+                // A competing consumer drained the queue during our flush
+                // window; go back to waiting instead of handing the caller
+                // an empty batch.
+                continue;
+            }
+            out.extend(state.items.drain(..take));
+            if !state.items.is_empty() {
+                // Leftovers beyond max_batch: hand them to another consumer.
+                self.not_empty.notify_one();
+            }
+            return true;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -326,5 +598,198 @@ mod tests {
                 assert_eq!(v, offset as u64 + 1, "chunk {slice_idx} offset {offset}");
             }
         }
+    }
+
+    // ---- parallel setup phase ---------------------------------------------
+
+    #[test]
+    fn assign_full_parallel_is_byte_identical_to_serial() {
+        use crate::mhkmodes::KModesModel;
+        use lshclust_kmodes::init::{initial_modes, InitMethod};
+        let ds = blob_dataset(5, 7, 9);
+        let modes = initial_modes(&ds, 5, InitMethod::RandomItems, 3);
+        let model = KModesModel::new(&ds, modes);
+        let mut serial = vec![ClusterId(0); ds.n_items()];
+        let serial_outcome = framework::assign_full(&model, &mut serial);
+        for threads in [2usize, 3, 8, 64] {
+            let mut parallel = vec![ClusterId(0); ds.n_items()];
+            let outcome = assign_full_parallel(&model, &mut parallel, threads);
+            assert_eq!(parallel, serial, "threads={threads}");
+            assert_eq!(outcome.moves, serial_outcome.moves, "threads={threads}");
+            assert_eq!(outcome.shortlist_total, serial_outcome.shortlist_total);
+        }
+    }
+
+    #[test]
+    fn build_lsh_index_parallel_is_byte_identical_to_serial() {
+        let ds = blob_dataset(4, 6, 8);
+        let initial: Vec<ClusterId> = (0..ds.n_items() as u32).map(|i| ClusterId(i % 4)).collect();
+        let builder = LshIndexBuilder::new(Banding::new(10, 2)).seed(17);
+        let serial = builder.build(&ds, &initial);
+        for threads in [2usize, 3, 16] {
+            let parallel = build_lsh_index_parallel(&builder, &ds, &initial, threads);
+            assert_eq!(parallel.stats(), serial.stats(), "threads={threads}");
+            let mut s1 = serial.make_scratch(4);
+            let mut s2 = parallel.make_scratch(4);
+            for item in 0..ds.n_items() as u32 {
+                serial.shortlist(item, &mut s1, false);
+                parallel.shortlist(item, &mut s2, false);
+                assert_eq!(s1.clusters, s2.clusters, "threads={threads} item {item}");
+            }
+        }
+    }
+
+    #[test]
+    fn simhash_build_parallel_is_byte_identical_to_serial() {
+        use crate::mhkmeans::SimHashIndex;
+        use lshclust_kmodes::kmeans::NumericDataset;
+        let data = NumericDataset::new(3, (0..60).map(|i| (i as f64 * 0.83).sin() * 5.0).collect());
+        let initial: Vec<ClusterId> = (0..20).map(|i| ClusterId(i % 3)).collect();
+        let serial = SimHashIndex::build(&data, 6, 4, 7, &initial);
+        for threads in [2usize, 5, 32] {
+            let parallel = SimHashIndex::build_parallel(&data, 6, 4, 7, &initial, threads);
+            let mut out_a = Vec::new();
+            let mut out_b = Vec::new();
+            let mut seen = lshclust_minhash::hashfn::FastSet::default();
+            for item in 0..20u32 {
+                serial.shortlist_into(item, &mut out_a, &mut seen);
+                parallel.shortlist_into(item, &mut out_b, &mut seen);
+                assert_eq!(out_a, out_b, "threads={threads} item {item}");
+            }
+        }
+    }
+
+    // ---- micro-batch queue ------------------------------------------------
+
+    #[test]
+    fn queue_push_pop_fifo() {
+        let q = MicroBatchQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(&mut out, 10, Duration::ZERO));
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn queue_full_is_deterministic_without_a_consumer() {
+        let q = MicroBatchQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        match q.push(3) {
+            Err(QueuePushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn queue_close_rejects_pushes_but_drains_pops() {
+        let q = MicroBatchQueue::new(4);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        q.close();
+        match q.push("c") {
+            Err(QueuePushError::Closed("c")) => {}
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        let mut out = Vec::new();
+        // Pending items survive the close (shutdown drains)...
+        assert!(q.pop_batch(&mut out, 1, Duration::ZERO));
+        assert_eq!(out, vec!["a"]);
+        assert!(q.pop_batch(&mut out, 1, Duration::ZERO));
+        assert_eq!(out, vec!["b"]);
+        // ...and a drained closed queue signals the consumer to exit.
+        assert!(!q.pop_batch(&mut out, 1, Duration::ZERO));
+    }
+
+    #[test]
+    fn queue_max_batch_splits_and_leftovers_wake_the_next_pop() {
+        let q = MicroBatchQueue::new(16);
+        for i in 0..7 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert!(q.pop_batch(&mut out, 4, Duration::ZERO));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert!(q.pop_batch(&mut out, 4, Duration::ZERO));
+        assert_eq!(out, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn queue_coalesces_concurrent_producers_into_one_batch() {
+        let q = MicroBatchQueue::new(64);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..6 {
+                    q.push(i).unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+            let mut out = Vec::new();
+            let mut total = 0usize;
+            let mut pops = 0usize;
+            while total < 6 {
+                assert!(q.pop_batch(&mut out, 16, Duration::from_millis(200)));
+                total += out.len();
+                pops += 1;
+            }
+            // The 200ms window must have merged the 2ms-apart pushes into
+            // far fewer pops than items (normally exactly one).
+            assert!(pops < 6, "no coalescing happened: {pops} pops for 6 items");
+        });
+    }
+
+    #[test]
+    fn queue_competing_consumers_never_receive_an_empty_true_batch() {
+        // Two consumers both in flush windows, one producer: `true` must
+        // always come with at least one item even when the other consumer
+        // drained the queue mid-window, and nothing is lost or duplicated.
+        let q = MicroBatchQueue::new(256);
+        let n_items = 200u32;
+        let collected: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let consumers: Vec<_> = (0..2)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut out = Vec::new();
+                        let mut mine = Vec::new();
+                        while q.pop_batch(&mut out, 8, Duration::from_millis(5)) {
+                            assert!(!out.is_empty(), "true must mean a non-empty batch");
+                            mine.extend_from_slice(&out);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for i in 0..n_items {
+                q.push(i).unwrap();
+                if i % 16 == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            // Give the windows a moment to drain, then close.
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+            consumers.into_iter().map(|c| c.join().unwrap()).collect()
+        });
+        let mut all: Vec<u32> = collected.into_iter().flatten().collect();
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..n_items).collect();
+        assert_eq!(all, expected, "every item served exactly once");
+    }
+
+    #[test]
+    fn queue_blocking_pop_wakes_on_push() {
+        let q = std::sync::Arc::new(MicroBatchQueue::new(4));
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            assert!(q2.pop_batch(&mut out, 1, Duration::ZERO));
+            out[0]
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(42u32).unwrap();
+        assert_eq!(handle.join().unwrap(), 42);
     }
 }

@@ -129,11 +129,13 @@
 mod clusterer;
 mod model;
 mod run;
+pub mod serve;
 mod spec;
 
 pub use clusterer::{Clusterer, Input};
 pub use model::{FittedModel, ModelError, PredictInput, MODEL_FORMAT, MODEL_VERSION};
 pub use run::{Centroids, ClusterRun, RunReport};
+pub use serve::{ModelHandle, ModelServer, PredictTicket, Prediction, ServeError, ServerConfig};
 pub use spec::{ClusterSpec, Fit, Init, Lsh, Query, SpecError, StreamOptions};
 
 // The one iteration policy shared by every family.

@@ -179,7 +179,7 @@ impl CatIndex {
 }
 
 /// Per-query scratch for the categorical path (reused across a batch).
-struct CatScratch {
+pub(crate) struct CatScratch {
     sig: Vec<u64>,
     keys: Vec<u64>,
     shortlist: ShortlistScratch,
@@ -246,7 +246,7 @@ struct NumericServer {
 }
 
 /// Per-query scratch for the numeric path.
-struct NumScratch {
+pub(crate) struct NumScratch {
     out: Vec<ClusterId>,
     seen: FastSet<u32>,
     query: VectorQueryScratch,
@@ -330,7 +330,7 @@ struct MixedServer {
     gamma: f64,
 }
 
-struct MixedScratch {
+pub(crate) struct MixedScratch {
     cat: CatScratch,
     num: NumScratch,
     union: Vec<ClusterId>,
@@ -666,6 +666,74 @@ impl FittedModel {
         self.predict_one(&encoded)
     }
 
+    // ---- single-item serving with reusable scratch (crate) ----------------
+    //
+    // The `serve::ModelServer` worker pool coalesces many callers' single
+    // requests into micro-batches; these entry points let one worker reuse
+    // one scratch across a whole batch instead of allocating per request
+    // (the public `predict_one`/`predict_point`/`predict_mixed_one` wrappers
+    // pay that allocation, which is fine for one-off calls).
+
+    /// One per-worker scratch, matching this model's modality.
+    pub(crate) fn serve_scratch(&self) -> ServeScratch {
+        match &self.kind {
+            ModelKind::Categorical(s) => ServeScratch::Cat(s.scratch()),
+            ModelKind::Numeric(s) => ServeScratch::Num(s.scratch()),
+            ModelKind::Mixed(s) => ServeScratch::Mixed(s.scratch()),
+        }
+    }
+
+    /// [`Self::predict_one`] against caller-held scratch.
+    pub(crate) fn predict_row_with(
+        &self,
+        row: &[ValueId],
+        scratch: &mut ServeScratch,
+    ) -> Result<ClusterId, ModelError> {
+        let (ModelKind::Categorical(server), ServeScratch::Cat(scratch)) = (&self.kind, scratch)
+        else {
+            return Err(ModelError::WrongModality {
+                expected: self.modality(),
+                got: "categorical",
+            });
+        };
+        check_shape("attributes", server.schema.n_attrs(), row.len())?;
+        Ok(server.predict_row(row, scratch))
+    }
+
+    /// [`Self::predict_point`] against caller-held scratch.
+    pub(crate) fn predict_point_with(
+        &self,
+        point: &[f64],
+        scratch: &mut ServeScratch,
+    ) -> Result<ClusterId, ModelError> {
+        let (ModelKind::Numeric(server), ServeScratch::Num(scratch)) = (&self.kind, scratch) else {
+            return Err(ModelError::WrongModality {
+                expected: self.modality(),
+                got: "numeric",
+            });
+        };
+        check_shape("dimensions", server.dim, point.len())?;
+        Ok(server.predict_point(point, scratch))
+    }
+
+    /// [`Self::predict_mixed_one`] against caller-held scratch.
+    pub(crate) fn predict_mixed_with(
+        &self,
+        row: &[ValueId],
+        point: &[f64],
+        scratch: &mut ServeScratch,
+    ) -> Result<ClusterId, ModelError> {
+        let (ModelKind::Mixed(server), ServeScratch::Mixed(scratch)) = (&self.kind, scratch) else {
+            return Err(ModelError::WrongModality {
+                expected: self.modality(),
+                got: "mixed",
+            });
+        };
+        check_shape("attributes", server.cat.schema.n_attrs(), row.len())?;
+        check_shape("dimensions", server.num.dim, point.len())?;
+        Ok(server.predict_row(row, point, scratch))
+    }
+
     fn categorical_server(&self, got: &'static str) -> Result<&CategoricalServer, ModelError> {
         match &self.kind {
             ModelKind::Categorical(s) => Ok(s),
@@ -715,6 +783,15 @@ impl FittedModel {
         let text = std::fs::read_to_string(path).map_err(|e| ModelError::Io(e.to_string()))?;
         Self::from_json(&text)
     }
+}
+
+/// Per-worker scratch for the crate-internal serving path
+/// ([`crate::serve::ModelServer`]): one variant per modality, created
+/// against a model snapshot and reused across a whole micro-batch.
+pub(crate) enum ServeScratch {
+    Cat(CatScratch),
+    Num(NumScratch),
+    Mixed(MixedScratch),
 }
 
 /// A batch dataset's `ValueId`s only mean what the model thinks they mean if

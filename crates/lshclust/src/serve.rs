@@ -1,0 +1,695 @@
+//! The long-lived serving layer: [`ModelServer`] — a worker pool over a
+//! hot-swappable [`FittedModel`], fed by a micro-batching request queue.
+//!
+//! [`FittedModel::predict`] is a synchronous library call: its throughput is
+//! bounded by whatever batch one caller happens to hold. A service front has
+//! the opposite shape — **many** concurrent callers, each holding a *single*
+//! row — and serving each row as its own call wastes the batch machinery
+//! (thread fan-out, scratch reuse) the predict path already has. The server
+//! closes that gap:
+//!
+//! * callers submit single requests ([`ModelServer::submit_row`] and
+//!   friends) and get back a [`PredictTicket`] to wait on — an
+//!   `async`-shaped API built on the offline shims (std threads + channels,
+//!   no tokio);
+//! * requests land in a bounded [`MicroBatchQueue`] whose consumers pop
+//!   **coalesced batches**: the first request opens a short
+//!   [`ServerConfig::flush_latency`] window in which concurrent callers'
+//!   requests merge, up to [`ServerConfig::max_batch`];
+//! * each worker serves its batch against an atomic **snapshot** of the
+//!   current model, fanned over the model's `spec.threads` with one reused
+//!   scratch per thread — the same shortlisted assignment core as
+//!   `FittedModel::predict`, so a served answer is byte-identical to the
+//!   library call;
+//! * the model behind the server **hot reloads** ([`ModelServer::reload`] /
+//!   [`ModelHandle::reload`]): the swap is one generation bump plus an
+//!   `Arc` store, in-flight batches finish on the snapshot they started
+//!   with, and every [`Prediction`] carries the generation that served it;
+//! * [`ModelServer::shutdown`] closes intake (further submits fail with
+//!   [`ServeError::ShutDown`]), drains every queued request, and joins the
+//!   workers — no ticket is ever left hanging.
+//!
+//! ```
+//! use lshclust::serve::{ModelServer, ServerConfig};
+//! use lshclust::{ClusterSpec, Clusterer, Lsh, NumericDataset};
+//!
+//! let data = NumericDataset::new(1, vec![0.0, 0.2, 0.4, 9.0, 9.2, 9.4]);
+//! let spec = ClusterSpec::new(2).lsh(Lsh::SimHash { bands: 8, rows: 2 });
+//! let run = Clusterer::new(spec).fit(&data).unwrap();
+//!
+//! let server = ModelServer::start(run.model.clone(), ServerConfig::default());
+//! let ticket = server.submit_point(vec![0.1]).unwrap();   // async-style
+//! let prediction = ticket.wait().unwrap();
+//! assert_eq!(prediction.cluster, run.assignments[0]);
+//! assert_eq!(prediction.generation, 0);                    // initial model
+//! server.shutdown();                                       // drains + joins
+//! ```
+
+use crate::model::{FittedModel, ModelError, ServeScratch};
+use lshclust_categorical::{ClusterId, ValueId};
+use lshclust_core::parallel::{chunked_map, MicroBatchQueue, QueuePushError};
+use std::fmt;
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Shape of a [`ModelServer`]'s worker pool and micro-batching queue.
+///
+/// All counts clamp to at least 1 at [`ModelServer::start`] (the workspace's
+/// `threads(0)` boundary rule). `max_batch: 1` or a zero `flush_latency`
+/// disables coalescing — every request is served as its own batch — which is
+/// the ablation mode `bench_serve` measures against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads popping batches from the queue.
+    pub workers: usize,
+    /// Most requests coalesced into one batch.
+    pub max_batch: usize,
+    /// How long the first request of a batch waits for company before the
+    /// batch is flushed to a worker.
+    pub flush_latency: Duration,
+    /// Most requests pending in the queue; submissions beyond it fail fast
+    /// with [`ServeError::QueueFull`] instead of blocking the caller.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 64,
+            flush_latency: Duration::from_micros(200),
+            queue_depth: 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the worker count (`0` clamps to 1).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Sets the coalescing cap (`0` clamps to 1 = no coalescing).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n.max(1);
+        self
+    }
+
+    /// Sets the coalescing window (zero = flush immediately).
+    pub fn flush_latency(mut self, latency: Duration) -> Self {
+        self.flush_latency = latency;
+        self
+    }
+
+    /// Sets the queue bound (`0` clamps to 1).
+    pub fn queue_depth(mut self, n: usize) -> Self {
+        self.queue_depth = n.max(1);
+        self
+    }
+
+    fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.max_batch = self.max_batch.max(1);
+        self.queue_depth = self.queue_depth.max(1);
+        self
+    }
+}
+
+/// Why a serving request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request queue is at `queue_depth`; the server is shedding load.
+    QueueFull,
+    /// The server was shut down; no further requests are accepted.
+    ShutDown,
+    /// The model rejected the request (wrong modality, wrong shape, …).
+    Model(ModelError),
+    /// The serving side went away without answering (a worker panicked).
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue is full (load shed)"),
+            ServeError::ShutDown => write!(f, "server is shut down"),
+            ServeError::Model(e) => write!(f, "model rejected the request: {e}"),
+            ServeError::Disconnected => write!(f, "serving side disconnected without a reply"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+/// A served assignment: the chosen cluster plus the **generation** of the
+/// model that produced it (0 for the model the server started with, bumped
+/// by every reload) — so callers can tell pre- and post-reload answers
+/// apart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// The assigned cluster.
+    pub cluster: ClusterId,
+    /// Generation of the model snapshot that served this request.
+    pub generation: u64,
+}
+
+/// One request's payload. String rows stay raw until serving time so they
+/// are encoded under the schema of the model snapshot that actually answers
+/// them (which may be newer than the one live at submit time).
+enum Payload {
+    Row(Vec<ValueId>),
+    Point(Vec<f64>),
+    Mixed(Vec<ValueId>, Vec<f64>),
+    StrRow(Vec<String>),
+    StrMixed(Vec<String>, Vec<f64>),
+}
+
+struct Request {
+    payload: Payload,
+    reply: mpsc::Sender<Result<Prediction, ServeError>>,
+}
+
+/// The waitable half of a submitted request.
+///
+/// Obtained from the `submit_*` methods; [`Self::wait`] blocks until a
+/// worker has served the request (shutdown drains the queue, so every
+/// ticket issued before shutdown resolves).
+#[must_use = "a ticket resolves to the prediction; drop it and the answer is lost"]
+pub struct PredictTicket {
+    rx: mpsc::Receiver<Result<Prediction, ServeError>>,
+}
+
+impl PredictTicket {
+    /// Blocks until the request is served.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+
+    /// Non-blocking poll: `None` while the request is still in flight. A
+    /// request that can no longer be answered (its serving side went away)
+    /// resolves to `Some(Err(ServeError::Disconnected))` rather than
+    /// pretending to be in flight forever.
+    pub fn try_wait(&self) -> Option<Result<Prediction, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}
+
+struct Current {
+    generation: u64,
+    model: Arc<FittedModel>,
+}
+
+/// A shared, atomically swappable reference to the model being served.
+///
+/// Cloning the handle is cheap (one `Arc`); every clone sees the same
+/// current model. [`Self::reload`] swaps it for all holders at once —
+/// workers snapshot per batch, so in-flight batches finish on the model
+/// they started with while the very next batch sees the new one. This is
+/// the hot-reload primitive behind [`ModelServer::reload`], exposed
+/// separately so a control plane (e.g. the `cluster serve` stdin loop) can
+/// swap models without holding the server itself.
+#[derive(Clone)]
+pub struct ModelHandle {
+    current: Arc<RwLock<Current>>,
+}
+
+impl ModelHandle {
+    /// Wraps `model` as generation 0.
+    pub fn new(model: FittedModel) -> Self {
+        Self {
+            current: Arc::new(RwLock::new(Current {
+                generation: 0,
+                model: Arc::new(model),
+            })),
+        }
+    }
+
+    /// The current generation (0 until the first reload).
+    pub fn generation(&self) -> u64 {
+        self.current.read().expect("model lock").generation
+    }
+
+    /// A snapshot of the current model — stays valid (and unchanged) across
+    /// concurrent reloads.
+    pub fn model(&self) -> Arc<FittedModel> {
+        self.snapshot().1
+    }
+
+    fn snapshot(&self) -> (u64, Arc<FittedModel>) {
+        let current = self.current.read().expect("model lock");
+        (current.generation, Arc::clone(&current.model))
+    }
+
+    /// Atomically swaps in `model` and returns the new generation. Requests
+    /// already being served finish against their snapshot; requests served
+    /// after the swap see `model`.
+    pub fn reload(&self, model: FittedModel) -> u64 {
+        let mut current = self.current.write().expect("model lock");
+        current.generation += 1;
+        current.model = Arc::new(model);
+        current.generation
+    }
+
+    /// [`Self::reload`] from a serialized model envelope (the versioned JSON
+    /// of [`FittedModel::to_json`]); the swap happens only if the envelope
+    /// parses, so a bad artifact can never take down a healthy server.
+    pub fn reload_from_json(&self, json: &str) -> Result<u64, ModelError> {
+        let model = FittedModel::from_json(json)?;
+        Ok(self.reload(model))
+    }
+}
+
+/// The long-lived serving front over a [`FittedModel`]: a worker pool fed by
+/// a micro-batching request queue, with atomic hot reload and graceful
+/// draining shutdown. See the [module docs](self) for the full lifecycle.
+pub struct ModelServer {
+    handle: ModelHandle,
+    queue: Arc<MicroBatchQueue<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServerConfig,
+}
+
+impl ModelServer {
+    /// Spawns `config.workers` worker threads serving `model`.
+    pub fn start(model: FittedModel, config: ServerConfig) -> Self {
+        let config = config.normalized();
+        let handle = ModelHandle::new(model);
+        let queue = Arc::new(MicroBatchQueue::new(config.queue_depth));
+        let workers = (0..config.workers)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let handle = handle.clone();
+                let (max_batch, flush_latency) = (config.max_batch, config.flush_latency);
+                std::thread::spawn(move || worker_loop(&queue, &handle, max_batch, flush_latency))
+            })
+            .collect();
+        Self {
+            handle,
+            queue,
+            workers,
+            config,
+        }
+    }
+
+    /// The normalized configuration in effect.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// A clone of the server's [`ModelHandle`] (for control planes that
+    /// reload or inspect the model without owning the server).
+    pub fn handle(&self) -> ModelHandle {
+        self.handle.clone()
+    }
+
+    /// The current model generation.
+    pub fn generation(&self) -> u64 {
+        self.handle.generation()
+    }
+
+    /// A snapshot of the model currently being served.
+    pub fn model(&self) -> Arc<FittedModel> {
+        self.handle.model()
+    }
+
+    /// Hot-reloads the served model without draining in-flight requests;
+    /// returns the new generation. See [`ModelHandle::reload`].
+    pub fn reload(&self, model: FittedModel) -> u64 {
+        self.handle.reload(model)
+    }
+
+    /// Requests currently pending in the queue (monitoring; racy by nature).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn submit(&self, payload: Payload) -> Result<PredictTicket, ServeError> {
+        let (reply, rx) = mpsc::channel();
+        match self.queue.push(Request { payload, reply }) {
+            Ok(()) => Ok(PredictTicket { rx }),
+            Err(QueuePushError::Full(_)) => Err(ServeError::QueueFull),
+            Err(QueuePushError::Closed(_)) => Err(ServeError::ShutDown),
+        }
+    }
+
+    /// Submits one encoded categorical row (values under the model's
+    /// training schema).
+    pub fn submit_row(&self, row: Vec<ValueId>) -> Result<PredictTicket, ServeError> {
+        self.submit(Payload::Row(row))
+    }
+
+    /// Submits one numeric point.
+    pub fn submit_point(&self, point: Vec<f64>) -> Result<PredictTicket, ServeError> {
+        self.submit(Payload::Point(point))
+    }
+
+    /// Submits one mixed item (encoded categorical part + numeric part).
+    pub fn submit_mixed(
+        &self,
+        row: Vec<ValueId>,
+        point: Vec<f64>,
+    ) -> Result<PredictTicket, ServeError> {
+        self.submit(Payload::Mixed(row, point))
+    }
+
+    /// Submits one raw string row; it is encoded at **serving** time under
+    /// the schema of whichever model snapshot answers it, so reloads apply
+    /// to queued string rows too.
+    pub fn submit_str_row(&self, row: &[&str]) -> Result<PredictTicket, ServeError> {
+        self.submit(Payload::StrRow(
+            row.iter().map(|s| (*s).to_owned()).collect(),
+        ))
+    }
+
+    /// Submits one raw string row plus a numeric part (mixed models); like
+    /// [`Self::submit_str_row`], the categorical part is encoded at
+    /// **serving** time under the schema of whichever model snapshot answers
+    /// it, so hot reloads apply to queued mixed requests too.
+    pub fn submit_str_mixed(
+        &self,
+        row: &[&str],
+        point: Vec<f64>,
+    ) -> Result<PredictTicket, ServeError> {
+        self.submit(Payload::StrMixed(
+            row.iter().map(|s| (*s).to_owned()).collect(),
+            point,
+        ))
+    }
+
+    /// Submit-and-wait convenience for [`Self::submit_row`].
+    pub fn predict_row(&self, row: Vec<ValueId>) -> Result<Prediction, ServeError> {
+        self.submit_row(row)?.wait()
+    }
+
+    /// Submit-and-wait convenience for [`Self::submit_point`].
+    pub fn predict_point(&self, point: Vec<f64>) -> Result<Prediction, ServeError> {
+        self.submit_point(point)?.wait()
+    }
+
+    /// Submit-and-wait convenience for [`Self::submit_mixed`].
+    pub fn predict_mixed(
+        &self,
+        row: Vec<ValueId>,
+        point: Vec<f64>,
+    ) -> Result<Prediction, ServeError> {
+        self.submit_mixed(row, point)?.wait()
+    }
+
+    /// Submit-and-wait convenience for [`Self::submit_str_row`].
+    pub fn predict_str_row(&self, row: &[&str]) -> Result<Prediction, ServeError> {
+        self.submit_str_row(row)?.wait()
+    }
+
+    /// Submit-and-wait convenience for [`Self::submit_str_mixed`].
+    pub fn predict_str_mixed(
+        &self,
+        row: &[&str],
+        point: Vec<f64>,
+    ) -> Result<Prediction, ServeError> {
+        self.submit_str_mixed(row, point)?.wait()
+    }
+
+    /// Lame-duck mode: closes intake **without** consuming the server —
+    /// further submits fail with [`ServeError::ShutDown`] while
+    /// already-accepted requests keep draining. The first half of
+    /// [`Self::shutdown`], useful when a daemon wants to refuse new work
+    /// before its final drain.
+    pub fn close_intake(&self) {
+        self.queue.close();
+    }
+
+    /// Graceful shutdown: closes intake (further submits fail with
+    /// [`ServeError::ShutDown`]), lets the workers **drain every queued
+    /// request**, and joins them. Dropping the server does the same, so a
+    /// ticket issued before shutdown always resolves.
+    pub fn shutdown(self) {
+        // Drop runs the close-drain-join sequence.
+    }
+}
+
+impl Drop for ModelServer {
+    fn drop(&mut self) {
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Below this batch size a worker serves inline with its cached scratch;
+/// spawning `spec.threads` scoped workers costs tens of microseconds, which
+/// only amortizes over batches with real work in them.
+const FAN_OUT_MIN_BATCH: usize = 17;
+
+/// One worker: pop a coalesced batch, snapshot the model, serve it — inline
+/// with a reused worker-local scratch for small batches, fanned over the
+/// model's `spec.threads` (one scratch per thread) for large ones — and
+/// reply per request. A panic while serving fails that batch's tickets with
+/// [`ServeError::Disconnected`] and keeps the worker alive, so requests
+/// still in the queue are never orphaned. Exits when the queue is closed
+/// and drained.
+fn worker_loop(
+    queue: &MicroBatchQueue<Request>,
+    handle: &ModelHandle,
+    max_batch: usize,
+    flush_latency: Duration,
+) {
+    let mut batch: Vec<Request> = Vec::new();
+    // Worker-local scratch reused across batches, keyed by the generation it
+    // was built against (a reload can change k, schema, even modality).
+    let mut cached: Option<(u64, ServeScratch)> = None;
+    while queue.pop_batch(&mut batch, max_batch, flush_latency) {
+        let (generation, model) = handle.snapshot();
+        let threads = model.spec().threads;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if threads > 1 && batch.len() >= FAN_OUT_MIN_BATCH {
+                chunked_map(
+                    batch.len(),
+                    threads,
+                    || model.serve_scratch(),
+                    |i, scratch| Some(serve_one(&model, &batch[i as usize].payload, scratch)),
+                )
+                .into_iter()
+                .map(|slot| slot.expect("chunked_map fills every slot"))
+                .collect::<Vec<_>>()
+            } else {
+                let scratch = match &mut cached {
+                    Some((cached_generation, scratch)) if *cached_generation == generation => {
+                        scratch
+                    }
+                    slot => {
+                        *slot = Some((generation, model.serve_scratch()));
+                        &mut slot.as_mut().expect("just set").1
+                    }
+                };
+                batch
+                    .iter()
+                    .map(|request| serve_one(&model, &request.payload, scratch))
+                    .collect()
+            }
+        }));
+        match outcome {
+            Ok(results) => {
+                for (request, result) in batch.drain(..).zip(results) {
+                    let reply = result
+                        .map(|cluster| Prediction {
+                            cluster,
+                            generation,
+                        })
+                        .map_err(ServeError::Model);
+                    // The caller may have dropped its ticket; its business.
+                    let _ = request.reply.send(reply);
+                }
+            }
+            Err(_) => {
+                // Serving this batch panicked (a model-internals bug): fail
+                // these tickets explicitly, drop the possibly-corrupt
+                // cached scratch, and keep the worker alive — otherwise
+                // requests still in the queue would hang forever.
+                cached = None;
+                for request in batch.drain(..) {
+                    let _ = request.reply.send(Err(ServeError::Disconnected));
+                }
+            }
+        }
+    }
+}
+
+fn serve_one(
+    model: &FittedModel,
+    payload: &Payload,
+    scratch: &mut ServeScratch,
+) -> Result<ClusterId, ModelError> {
+    match payload {
+        Payload::Row(row) => model.predict_row_with(row, scratch),
+        Payload::Point(point) => model.predict_point_with(point, scratch),
+        Payload::Mixed(row, point) => model.predict_mixed_with(row, point, scratch),
+        Payload::StrRow(row) => {
+            let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+            let encoded = model.encode_row(&refs)?;
+            model.predict_row_with(&encoded, scratch)
+        }
+        Payload::StrMixed(row, point) => {
+            let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+            let encoded = model.encode_row(&refs)?;
+            model.predict_mixed_with(&encoded, point, scratch)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterSpec, Clusterer, DatasetBuilder, Lsh, NumericDataset};
+
+    fn categorical_model(seed: u64) -> (crate::ClusterRun, crate::Dataset) {
+        let mut b = DatasetBuilder::anonymous(3);
+        for row in [
+            ["a", "b", "c"],
+            ["a", "b", "d"],
+            ["a", "b", "e"],
+            ["x", "y", "z"],
+            ["x", "y", "w"],
+            ["x", "y", "v"],
+        ] {
+            b.push_str_row(&row, None).unwrap();
+        }
+        let ds = b.finish();
+        let spec = ClusterSpec::new(2)
+            .lsh(Lsh::MinHash { bands: 8, rows: 2 })
+            .seed(seed);
+        let run = Clusterer::new(spec).fit(&ds).unwrap();
+        (run, ds)
+    }
+
+    #[test]
+    fn served_rows_match_the_library_predict() {
+        let (run, ds) = categorical_model(1);
+        let server = ModelServer::start(run.model.clone(), ServerConfig::default());
+        for i in 0..ds.n_items() {
+            let served = server.predict_row(ds.row(i).to_vec()).unwrap();
+            assert_eq!(served.cluster, run.model.predict_one(ds.row(i)).unwrap());
+            assert_eq!(served.generation, 0);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn str_rows_and_modality_errors_round_trip() {
+        let (run, _) = categorical_model(2);
+        let server = ModelServer::start(run.model.clone(), ServerConfig::default());
+        let served = server.predict_str_row(&["a", "b", "q"]).unwrap();
+        assert_eq!(
+            served.cluster,
+            run.model.predict_str_row(&["a", "b", "q"]).unwrap()
+        );
+        // Wrong modality surfaces through the ticket as a typed error.
+        match server.predict_point(vec![1.0]) {
+            Err(ServeError::Model(ModelError::WrongModality { .. })) => {}
+            other => panic!("expected WrongModality, got {other:?}"),
+        }
+        // Wrong arity too.
+        match server.predict_str_row(&["a"]) {
+            Err(ServeError::Model(ModelError::ShapeMismatch { .. })) => {}
+            other => panic!("expected ShapeMismatch, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn reload_bumps_generation_and_swaps_answers() {
+        let data = NumericDataset::new(1, vec![0.0, 0.1, 9.0, 9.1]);
+        let spec = ClusterSpec::new(2).lsh(Lsh::SimHash { bands: 8, rows: 2 });
+        let run = Clusterer::new(spec.clone()).fit(&data).unwrap();
+        let server = ModelServer::start(run.model.clone(), ServerConfig::default());
+        let before = server.predict_point(vec![0.05]).unwrap();
+        assert_eq!(before.generation, 0);
+
+        // Retrain on shifted data and hot-swap.
+        let shifted = NumericDataset::new(1, vec![100.0, 100.1, 900.0, 900.1]);
+        let refit = Clusterer::new(spec).fit(&shifted).unwrap();
+        assert_eq!(server.reload(refit.model.clone()), 1);
+        let after = server.predict_point(vec![100.05]).unwrap();
+        assert_eq!(after.generation, 1);
+        assert_eq!(after.cluster, refit.model.predict_point(&[100.05]).unwrap());
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_every_submitted_ticket() {
+        let (run, ds) = categorical_model(3);
+        let server = ModelServer::start(
+            run.model.clone(),
+            // One worker and a generous window so tickets are still queued
+            // when shutdown lands.
+            ServerConfig::default()
+                .workers(1)
+                .max_batch(64)
+                .flush_latency(Duration::from_millis(50)),
+        );
+        let tickets: Vec<_> = (0..ds.n_items())
+            .map(|i| server.submit_row(ds.row(i).to_vec()).unwrap())
+            .collect();
+        server.shutdown();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let served = ticket.wait().expect("drained on shutdown");
+            assert_eq!(served.cluster, run.assignments[i]);
+        }
+    }
+
+    #[test]
+    fn try_wait_reports_disconnection_instead_of_pending_forever() {
+        // A ticket whose serving side vanished (worker panic) must resolve
+        // to Disconnected on poll, not look in-flight forever.
+        let (reply, rx) = mpsc::channel::<Result<Prediction, ServeError>>();
+        let ticket = PredictTicket { rx };
+        assert_eq!(ticket.try_wait(), None, "in flight while the sender lives");
+        drop(reply);
+        assert_eq!(ticket.try_wait(), Some(Err(ServeError::Disconnected)));
+    }
+
+    #[test]
+    fn config_clamps_zeroes_like_every_other_boundary() {
+        let config = ServerConfig::default()
+            .workers(0)
+            .max_batch(0)
+            .queue_depth(0);
+        assert_eq!(
+            (config.workers, config.max_batch, config.queue_depth),
+            (1, 1, 1)
+        );
+        let (run, _) = categorical_model(4);
+        let server = ModelServer::start(
+            run.model,
+            ServerConfig {
+                workers: 0,
+                max_batch: 0,
+                flush_latency: Duration::ZERO,
+                queue_depth: 0,
+            },
+        );
+        assert_eq!(server.config().workers, 1);
+        assert_eq!(server.config().max_batch, 1);
+        assert_eq!(server.config().queue_depth, 1);
+        server.shutdown();
+    }
+}

@@ -135,13 +135,31 @@ impl LshIndexBuilder {
         let mut band_keys = Vec::with_capacity(rows.size_hint().0.saturating_mul(n_bands));
         let mut sig = Vec::with_capacity(banding.signature_len());
         let mut keys = Vec::with_capacity(n_bands);
-        let mut n_items = 0usize;
         for row in rows {
             generator.signature_into(PresentElements::new(schema, row), &mut sig);
             banding.band_keys_into(&sig, &mut keys);
             band_keys.extend_from_slice(&keys);
-            n_items += 1;
         }
+        self.build_from_band_keys(band_keys, initial)
+    }
+
+    /// Builds the index from **precomputed** item band keys (item-major,
+    /// `n_items × bands`, hashed with this builder's banding and seed — see
+    /// `SignatureGenerator`/`Banding::band_keys_into`). This is the bucket
+    /// fill of [`Self::build_rows`] on its own: callers that can hash items
+    /// in parallel (the setup phase of `lshclust_core::parallel`) compute
+    /// the keys themselves and feed them here, and because the bucket fill
+    /// walks items in ascending order either way, the resulting index is
+    /// **byte-identical** to a serial [`Self::build_rows`] over the same
+    /// rows.
+    pub fn build_from_band_keys(&self, band_keys: Vec<u64>, initial: &[ClusterId]) -> LshIndex {
+        let banding = self.banding;
+        let n_bands = banding.bands() as usize;
+        assert!(
+            band_keys.len().is_multiple_of(n_bands.max(1)),
+            "band-key buffer is not item-major n_items × bands"
+        );
+        let n_items = band_keys.len() / n_bands.max(1);
         assert_eq!(
             initial.len(),
             n_items,
@@ -677,6 +695,35 @@ mod tests {
             a.sort();
             b.sort();
             assert_eq!(a, b, "item {item}");
+        }
+    }
+
+    #[test]
+    fn build_from_band_keys_is_byte_identical_to_build_rows() {
+        use crate::hashfn::MixHashFamily;
+        use crate::signature::SignatureGenerator;
+        let ds = dataset();
+        let banding = Banding::new(12, 2);
+        let initial = clusters(&[0, 1, 2, 3]);
+        let builder = LshIndexBuilder::new(banding).seed(5);
+        let serial = builder.build(&ds, &initial);
+        // Hash externally (any order/parallelism would do — keys are
+        // per-item) and feed the bucket fill directly.
+        let generator = SignatureGenerator::new(MixHashFamily::new(banding.signature_len(), 5));
+        let mut band_keys = Vec::new();
+        for item in 0..ds.n_items() {
+            let sig = generator.signature(PresentElements::of_item(&ds, item));
+            band_keys.extend_from_slice(&banding.band_keys(&sig));
+        }
+        let fed = builder.build_from_band_keys(band_keys, &initial);
+        assert_eq!(fed.band_keys, serial.band_keys);
+        assert_eq!(fed.stats(), serial.stats());
+        let mut s1 = serial.make_scratch(4);
+        let mut s2 = fed.make_scratch(4);
+        for item in 0..4u32 {
+            serial.shortlist(item, &mut s1, false);
+            fed.shortlist(item, &mut s2, false);
+            assert_eq!(s1.clusters, s2.clusters, "item {item}");
         }
     }
 
