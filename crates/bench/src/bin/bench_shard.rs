@@ -1,0 +1,74 @@
+//! `bench_shard` — the shard-scaling experiment behind `BENCH_shard.json`.
+//!
+//! ```text
+//! bench_shard [--quick] [--seed N] [--shards A,B,C] [--threads N] [--out FILE]
+//!
+//!   --quick       CI-sized workload (seconds instead of minutes)
+//!   --seed N      master seed (default 42)
+//!   --shards L    comma-separated shard counts (default 1,2,4)
+//!   --threads N   fit threads, fixed across the sweep (default 2)
+//!   --out FILE    where to write the JSON report (default BENCH_shard.json)
+//! ```
+
+use lshclust_bench::shard::{run, ShardSettings};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_shard [--quick] [--seed N] [--shards 1,2,4] [--threads N] [--out FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut settings = ShardSettings::default();
+    let mut out = "BENCH_shard.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => settings.quick = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => settings.seed = s,
+                None => return usage(),
+            },
+            "--shards" => {
+                let Some(list) = args.next() else {
+                    return usage();
+                };
+                let parsed: Option<Vec<usize>> =
+                    list.split(',').map(|t| t.trim().parse().ok()).collect();
+                match parsed {
+                    Some(s) if !s.is_empty() && !s.contains(&0) => settings.shards = s,
+                    _ => return usage(),
+                }
+            }
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t > 0 => settings.threads = t,
+                _ => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = run(&settings);
+    print!("{}", report.render());
+    let identical = report
+        .families
+        .iter()
+        .flat_map(|f| &f.runs)
+        .all(|r| r.identical_to_unsharded);
+    if let Err(e) = report.write_json(&out) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out}");
+    if !identical {
+        eprintln!("error: a sharded run diverged from the unsharded reference");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -7,6 +7,7 @@
 //! cluster inspect  --model model.json
 //! cluster serve    --model model.json [--workers N] [--max-batch N] [--flush-us N]
 //!                  [--queue-depth N] [--threads N]
+//! cluster shard-worker
 //! ```
 //!
 //! `fit` trains and (optionally) saves a `FittedModel` artifact; `predict`
@@ -32,6 +33,13 @@
 //! model without dropping queued requests — the control-line equivalent of a
 //! SIGHUP — and bumps the `generation` every response carries.
 //!
+//! `shard-worker` turns the process into one shard of a partitioned fit: a
+//! blocking NDJSON loop over stdin/stdout speaking the partial-update
+//! protocol of `lshclust::shard` (see `docs/ARCHITECTURE.md § Sharded
+//! fitting`). It is spawned by a coordinating `cluster fit --shards S
+//! --worker-cmd "cluster shard-worker"` — one process per shard — and never
+//! invoked by hand.
+//!
 //! Shared `fit` options:
 //!
 //! ```text
@@ -51,6 +59,10 @@
 //!   --refresh-every N rebuild the centroid shortlist index every N steps
 //!                     (default 8; only useful with LSH). Any of these three
 //!                     flags switches the fit discipline to mini-batch.
+//!   --shards N        partition the fit across N shards (byte-identical to
+//!                     --shards 1 at --threads > 1; requires LSH)
+//!   --worker-cmd CMD  run each shard in its own process spawned from CMD
+//!                     (typically "cluster shard-worker"); in-process without
 //!   --spec FILE       read a full ClusterSpec as JSON (overrides the flags above)
 //!   --warm-start FILE resume fitting from a saved model's centroids
 //!   --model FILE      save the trained model artifact as JSON
@@ -81,6 +93,8 @@ struct FitArgs {
     batch_size: Option<usize>,
     steps: Option<usize>,
     refresh_every: Option<usize>,
+    shards: Option<usize>,
+    worker_cmd: Option<String>,
     spec_file: Option<String>,
     warm_start: Option<String>,
     model: Option<String>,
@@ -113,9 +127,10 @@ enum Command {
     Predict(PredictArgs),
     Inspect { model: String },
     Serve(ServeArgs),
+    ShardWorker,
 }
 
-const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--workers N] [--max-batch N] [--flush-us N] [--queue-depth N] [--threads N]";
+const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json] [--shards N [--worker-cmd CMD]] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--workers N] [--max-batch N] [--flush-us N] [--queue-depth N] [--threads N]\n  cluster shard-worker";
 
 fn parse_predict(flags: impl IntoIterator<Item = String>) -> Result<PredictArgs, String> {
     let mut argv = flags.into_iter();
@@ -196,6 +211,10 @@ fn parse_command() -> Result<Command, String> {
         Some("fit") => Ok(Command::Fit(parse_fit(argv)?)),
         Some("predict") => Ok(Command::Predict(parse_predict(argv)?)),
         Some("serve") => Ok(Command::Serve(parse_serve(argv)?)),
+        Some("shard-worker") => match argv.next() {
+            None => Ok(Command::ShardWorker),
+            Some(other) => Err(format!("shard-worker takes no arguments, got {other}")),
+        },
         Some("inspect") => {
             let mut model = None;
             while let Some(arg) = argv.next() {
@@ -233,6 +252,8 @@ fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String>
         batch_size: None,
         steps: None,
         refresh_every: None,
+        shards: None,
+        worker_cmd: None,
         spec_file: None,
         warm_start: None,
         model: None,
@@ -293,6 +314,14 @@ fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String>
                         .map_err(|e| format!("--refresh-every: {e}"))?,
                 )
             }
+            "--shards" => {
+                args.shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                )
+            }
+            "--worker-cmd" => args.worker_cmd = Some(value("--worker-cmd")?),
             "--spec" => args.spec_file = Some(value("--spec")?),
             "--warm-start" => args.warm_start = Some(value("--warm-start")?),
             "--model" => args.model = Some(value("--model")?),
@@ -316,7 +345,15 @@ fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String>
 fn build_spec(args: &FitArgs) -> Result<ClusterSpec, String> {
     if let Some(path) = &args.spec_file {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        return serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"));
+        let mut spec: ClusterSpec =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
+        // An explicit --shards flag overrides the file, like nothing else
+        // does: the smoke workflow runs one committed spec at several shard
+        // counts.
+        if let Some(shards) = args.shards {
+            spec = spec.shards(shards);
+        }
+        return Ok(spec);
     }
     let k = args.k.ok_or("--k is required (or provide --spec)")?;
     let lsh = if args.bands == 0 {
@@ -331,6 +368,7 @@ fn build_spec(args: &FitArgs) -> Result<ClusterSpec, String> {
         .lsh(lsh)
         .seed(args.seed)
         .threads(args.threads)
+        .shards(args.shards.unwrap_or(1))
         .max_iterations(args.max_iter);
     // Any mini-batch flag flips the fit discipline; unset knobs fall back
     // to the batch-256 default and the 10·k/batch step heuristic.
@@ -442,14 +480,27 @@ fn run_fit(args: FitArgs) -> Result<(), String> {
             ""
         },
     );
+    if spec.shards > 1 {
+        eprintln!(
+            "sharded fit: {} shards, {}",
+            spec.shards,
+            match &args.worker_cmd {
+                Some(cmd) => format!("one `{cmd}` process each"),
+                None => "in-process".to_owned(),
+            }
+        );
+    }
 
-    let clusterer = match &args.warm_start {
+    let mut clusterer = match &args.warm_start {
         Some(path) => {
             let model = FittedModel::load(path).map_err(|e| format!("{path}: {e}"))?;
             spec.warm_start(&model)
         }
         None => Clusterer::new(spec),
     };
+    if let Some(cmd) = &args.worker_cmd {
+        clusterer = clusterer.worker_cmd(cmd.clone());
+    }
     let run = clusterer.fit(&dataset).map_err(|e| e.to_string())?;
     report(&run.summary, args.quiet);
     let assignments = run.labels();
@@ -883,6 +934,11 @@ fn main() -> ExitCode {
         Command::Predict(args) => run_predict(args),
         Command::Inspect { model } => run_inspect(&model),
         Command::Serve(args) => run_serve(args),
+        Command::ShardWorker => {
+            let stdin = std::io::stdin();
+            lshclust::shard::run_worker(stdin.lock(), std::io::stdout())
+                .map_err(|e| format!("shard-worker: {e}"))
+        }
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,
@@ -1040,6 +1096,48 @@ mod tests {
         let json = serde_json::to_string(&spec).unwrap();
         let back: ClusterSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn shard_flags_reach_the_spec_and_override_spec_files() {
+        // Flag-assembled specs default to unsharded.
+        let args = parse_fit(flags(&["--input", "x.csv", "--k", "10"])).unwrap();
+        assert_eq!(build_spec(&args).unwrap().shards, 1);
+
+        let args = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--k",
+            "10",
+            "--shards",
+            "4",
+            "--worker-cmd",
+            "cluster shard-worker",
+        ]))
+        .unwrap();
+        assert_eq!(args.worker_cmd.as_deref(), Some("cluster shard-worker"));
+        let spec = build_spec(&args).unwrap();
+        assert_eq!(spec.shards, 4);
+
+        // --shards overrides a --spec file, so one committed spec can run at
+        // several shard counts.
+        let dir = std::env::temp_dir().join(format!(
+            "lshclust-cluster-cli-shards-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let from_file = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--spec",
+            path.to_str().unwrap(),
+            "--shards",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(build_spec(&from_file).unwrap().shards, 2);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! The shared environment header of every `BENCH_*.json` artifact.
+//!
+//! Each bench report used to record its own ad-hoc copy of `host_cpus` /
+//! `quick` / `seed`, and the sweep axes (thread counts, worker counts,
+//! shard counts) lived in different places per experiment — so the three
+//! artifact schemas drifted. [`BenchEnv`] is the one struct they all embed
+//! under the `"env"` key: hardware context plus every sweep axis, with
+//! empty lists meaning "this experiment does not sweep that axis".
+
+use std::path::Path;
+
+/// Hardware context and sweep axes shared by every bench report.
+#[derive(Clone, Debug)]
+pub struct BenchEnv {
+    /// Hardware threads available to this process (wall-clock speedup from
+    /// any parallel axis needs more than one).
+    pub host_cpus: usize,
+    /// Whether the shrunken CI workload was used.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Fit thread counts swept (`ClusterSpec::threads`); empty if fixed.
+    pub threads: Vec<usize>,
+    /// Shard counts swept (`ClusterSpec::shards`); empty if fixed.
+    pub shards: Vec<usize>,
+    /// Server worker-pool sizes swept (`ServerConfig::workers`); empty if
+    /// the experiment serves nothing.
+    pub workers: Vec<usize>,
+}
+
+serde::impl_serde_struct!(BenchEnv {
+    host_cpus,
+    quick,
+    seed,
+    threads,
+    shards,
+    workers
+});
+
+impl BenchEnv {
+    /// Captures the host and records the run's `quick` / `seed` settings;
+    /// sweep axes start empty — set the ones the experiment varies.
+    pub fn capture(quick: bool, seed: u64) -> Self {
+        Self {
+            host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            quick,
+            seed,
+            threads: Vec::new(),
+            shards: Vec::new(),
+            workers: Vec::new(),
+        }
+    }
+
+    /// Records the swept fit thread counts.
+    pub fn threads(mut self, threads: &[usize]) -> Self {
+        self.threads = threads.to_vec();
+        self
+    }
+
+    /// Records the swept shard counts.
+    pub fn shards(mut self, shards: &[usize]) -> Self {
+        self.shards = shards.to_vec();
+        self
+    }
+
+    /// Records the swept server worker-pool sizes.
+    pub fn workers(mut self, workers: &[usize]) -> Self {
+        self.workers = workers.to_vec();
+        self
+    }
+
+    /// The `(host cpus: …, quick: …)` prefix every `render()` banner shares.
+    pub fn banner(&self) -> String {
+        format!("host cpus: {}, quick: {}", self.host_cpus, self.quick)
+    }
+}
+
+/// Writes any serializable report as pretty JSON — the one write path every
+/// `BENCH_*.json` artifact goes through.
+pub fn write_report<T: serde::Serialize, P: AsRef<Path>>(
+    report: &T,
+    path: P,
+) -> std::io::Result<()> {
+    let text = serde_json::to_string_pretty(report).expect("report serializes");
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_round_trips_and_keeps_axis_lists() {
+        let env = BenchEnv::capture(true, 7)
+            .threads(&[1, 2])
+            .shards(&[1, 2, 4])
+            .workers(&[]);
+        let json = serde_json::to_string(&env).unwrap();
+        let back: BenchEnv = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.host_cpus, env.host_cpus);
+        assert!(back.quick);
+        assert_eq!(back.seed, 7);
+        assert_eq!(back.threads, vec![1, 2]);
+        assert_eq!(back.shards, vec![1, 2, 4]);
+        assert!(back.workers.is_empty());
+        assert!(env.banner().contains("quick: true"));
+    }
+}

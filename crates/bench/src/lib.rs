@@ -17,6 +17,10 @@
 //! * [`serve`] — the serving-throughput experiment behind
 //!   `BENCH_serve.json` (coalesced `ModelServer` batches vs
 //!   one-row-per-call, per worker count and modality),
+//! * [`shard`] — the shard-scaling experiment behind `BENCH_shard.json`
+//!   (fit wall-time and peak per-shard item count vs `ClusterSpec::shards`),
+//! * [`mod@env`] — the shared [`env::BenchEnv`] header every `BENCH_*.json`
+//!   artifact embeds, so the report schemas stop drifting,
 //! * [`table`] — a tiny fixed-width table printer.
 //!
 //! The experiment modules drive the *internal* per-algorithm configs
@@ -31,10 +35,12 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod env;
 pub mod figures;
 pub mod minibatch;
 pub mod scale;
 pub mod serve;
+pub mod shard;
 pub mod synthetic;
 pub mod table;
 pub mod textexp;

@@ -27,6 +27,7 @@
 //! the facade reports wall-clock steps only; the facade wiring itself is
 //! exercised by `tests/minibatch.rs` and the `minibatch` example.
 
+use crate::env::BenchEnv;
 use lshclust::{ClusterSpec, Clusterer, Lsh};
 use lshclust_categorical::Dataset;
 use lshclust_core::minibatch::{
@@ -161,12 +162,9 @@ serde::impl_serde_struct!(Workload {
 pub struct MiniBatchReport {
     /// Experiment marker.
     pub experiment: String,
-    /// Hardware threads available to this process.
-    pub host_cpus: usize,
-    /// Whether the shrunken CI workload was used.
-    pub quick: bool,
-    /// Master seed.
-    pub seed: u64,
+    /// Host context and sweep axes (this experiment sweeps none — it
+    /// contrasts fit disciplines at fixed threads).
+    pub env: BenchEnv,
     /// Workload shape.
     pub workload: Workload,
     /// Per-family comparisons.
@@ -175,9 +173,7 @@ pub struct MiniBatchReport {
 
 serde::impl_serde_struct!(MiniBatchReport {
     experiment,
-    host_cpus,
-    quick,
-    seed,
+    env,
     workload,
     families
 });
@@ -482,9 +478,7 @@ pub fn run(settings: &MiniBatchSettings) -> MiniBatchReport {
 
     MiniBatchReport {
         experiment: "minibatch".into(),
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        quick: settings.quick,
-        seed,
+        env: BenchEnv::capture(settings.quick, seed),
         workload: Workload {
             n_items,
             n_clusters,
@@ -498,8 +492,7 @@ pub fn run(settings: &MiniBatchSettings) -> MiniBatchReport {
 impl MiniBatchReport {
     /// Writes the report as pretty JSON to `path`.
     pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
-        let text = serde_json::to_string_pretty(self).expect("report serializes");
-        std::fs::write(path, text)
+        crate::env::write_report(self, path)
     }
 
     /// Renders an aligned text summary (one table per family).
@@ -508,8 +501,10 @@ impl MiniBatchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "mini-batch comparison  (host cpus: {}, quick: {}, n={}, k={})",
-            self.host_cpus, self.quick, self.workload.n_items, self.workload.n_clusters
+            "mini-batch comparison  ({}, n={}, k={})",
+            self.env.banner(),
+            self.workload.n_items,
+            self.workload.n_clusters
         );
         for family in &self.families {
             let _ = writeln!(

@@ -13,6 +13,7 @@
 //! The measurement is facade-faithful: models come out of `Clusterer::fit`
 //! and requests go through the exact `submit_*`/`wait` API a user gets.
 
+use crate::env::BenchEnv;
 use lshclust::serve::{ModelServer, ServerConfig};
 use lshclust::{ClusterSpec, Clusterer, FittedModel, Lsh};
 use lshclust_categorical::{Dataset, ValueId};
@@ -96,12 +97,8 @@ serde::impl_serde_struct!(FamilyServe { family, lsh, runs });
 pub struct ServeReport {
     /// Experiment marker.
     pub experiment: String,
-    /// Hardware threads available to this process.
-    pub host_cpus: usize,
-    /// Whether the shrunken CI workload was used.
-    pub quick: bool,
-    /// Master seed.
-    pub seed: u64,
+    /// Host context and sweep axes (`workers` is the swept axis here).
+    pub env: BenchEnv,
     /// Items in each training workload.
     pub n_items: usize,
     /// Clusters per model.
@@ -118,9 +115,7 @@ pub struct ServeReport {
 
 serde::impl_serde_struct!(ServeReport {
     experiment,
-    host_cpus,
-    quick,
-    seed,
+    env,
     n_items,
     n_clusters,
     callers,
@@ -333,9 +328,7 @@ pub fn run(settings: &ServeSettings) -> ServeReport {
 
     ServeReport {
         experiment: "serve-throughput".into(),
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        quick: settings.quick,
-        seed,
+        env: BenchEnv::capture(settings.quick, seed).workers(&settings.workers),
         n_items,
         n_clusters,
         callers: settings.callers,
@@ -348,8 +341,7 @@ pub fn run(settings: &ServeSettings) -> ServeReport {
 impl ServeReport {
     /// Writes the report as pretty JSON to `path`.
     pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
-        let text = serde_json::to_string_pretty(self).expect("report serializes");
-        std::fs::write(path, text)
+        crate::env::write_report(self, path)
     }
 
     /// Renders an aligned text summary (one table per modality).
@@ -358,9 +350,8 @@ impl ServeReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "serving throughput  (host cpus: {}, quick: {}, {} callers x {} reqs, window {})",
-            self.host_cpus,
-            self.quick,
+            "serving throughput  ({}, {} callers x {} reqs, window {})",
+            self.env.banner(),
             self.callers,
             self.requests_per_caller,
             self.pipeline_window

@@ -1,0 +1,312 @@
+//! Shard-scaling experiment: what partitioned fitting costs and buys, per
+//! algorithm family — the numbers behind `BENCH_shard.json`.
+//!
+//! Sharded fitting exists for *capacity*, not speed: each shard holds only
+//! its item range plus that range's slice of the LSH index, so the peak
+//! per-process working set shrinks by `1/S` while the result stays
+//! byte-identical to the unsharded fit. This experiment fits one synthetic
+//! workload per family (categorical / numeric / mixed) through the facade
+//! at each swept shard count and records fit wall-time alongside
+//! [`ShardPlan::peak_shard_items`] — the capacity axis — plus an
+//! `identical_to_unsharded` guard asserting the whole point of the design.
+//!
+//! All runs here use the in-process transport; the multi-process NDJSON
+//! path adds per-pass serialization cost but computes the same bytes (CI
+//! smokes it through the `cluster` CLI).
+
+use crate::env::BenchEnv;
+use lshclust::{ClusterSpec, Clusterer, Lsh};
+use lshclust_categorical::Dataset;
+use lshclust_core::shard::ShardPlan;
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::kmeans::NumericDataset;
+use lshclust_kmodes::kprototypes::MixedDataset;
+use std::path::Path;
+
+/// Settings of a shard-scaling run.
+#[derive(Clone, Debug)]
+pub struct ShardSettings {
+    /// Shrinks the workload for CI smoke runs.
+    pub quick: bool,
+    /// Shard counts to sweep (1 = the unsharded reference path).
+    pub shards: Vec<usize>,
+    /// Fit threads, fixed across the sweep (sharding is a capacity axis;
+    /// threads stay the speed axis).
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ShardSettings {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            shards: vec![1, 2, 4],
+            threads: 2,
+            seed: 42,
+        }
+    }
+}
+
+/// One (family × shard count) measurement.
+#[derive(Clone, Debug)]
+pub struct ShardRun {
+    /// Shard count of this run (1 = the unsharded reference path).
+    pub shards: usize,
+    /// Items the largest shard owns — the peak per-process working set the
+    /// partition buys down (equals `n_items` at 1 shard).
+    pub peak_shard_items: usize,
+    /// Shortlisted iterations executed.
+    pub iterations: usize,
+    /// Setup time (initial full pass + index build), seconds.
+    pub setup_s: f64,
+    /// Total fit wall-clock (setup + iterations), seconds.
+    pub total_s: f64,
+    /// Cost of the returned clustering.
+    pub cost: u64,
+    /// Whether assignments match the 1-shard run byte for byte — the
+    /// sharded path's core guarantee, asserted per measurement.
+    pub identical_to_unsharded: bool,
+}
+
+serde::impl_serde_struct!(ShardRun {
+    shards,
+    peak_shard_items,
+    iterations,
+    setup_s,
+    total_s,
+    cost,
+    identical_to_unsharded
+});
+
+/// All shard counts for one family.
+#[derive(Clone, Debug)]
+pub struct FamilyShards {
+    /// `"categorical"`, `"numeric"` or `"mixed"`.
+    pub family: String,
+    /// The LSH scheme exercised.
+    pub lsh: String,
+    /// Measurements, one per swept shard count.
+    pub runs: Vec<ShardRun>,
+}
+
+serde::impl_serde_struct!(FamilyShards { family, lsh, runs });
+
+/// Workload shape shared by the report.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Items per family workload.
+    pub n_items: usize,
+    /// Clusters.
+    pub n_clusters: usize,
+    /// Categorical attributes.
+    pub n_attrs: usize,
+    /// Numeric dimensions.
+    pub dim: usize,
+}
+
+serde::impl_serde_struct!(Workload {
+    n_items,
+    n_clusters,
+    n_attrs,
+    dim
+});
+
+/// The full `BENCH_shard.json` payload.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Experiment marker.
+    pub experiment: String,
+    /// Host context and sweep axes (`shards` is the swept axis here).
+    pub env: BenchEnv,
+    /// Fit threads, fixed across the sweep.
+    pub threads: usize,
+    /// Workload shape.
+    pub workload: Workload,
+    /// Per-family scaling series.
+    pub families: Vec<FamilyShards>,
+}
+
+serde::impl_serde_struct!(ShardReport {
+    experiment,
+    env,
+    threads,
+    workload,
+    families
+});
+
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+/// Fits at every shard count and digests each run against the first
+/// (1-shard) run's assignments.
+fn sweep<F: FnMut(usize) -> lshclust::ClusterRun>(
+    n_items: usize,
+    shard_counts: &[usize],
+    mut fit: F,
+) -> Vec<ShardRun> {
+    let mut reference: Option<Vec<lshclust::ClusterId>> = None;
+    let mut runs = Vec::new();
+    for &shards in shard_counts {
+        let run = fit(shards);
+        let identical = match &reference {
+            Some(r) => *r == run.assignments,
+            None => {
+                reference = Some(run.assignments.clone());
+                true
+            }
+        };
+        runs.push(ShardRun {
+            shards,
+            peak_shard_items: ShardPlan::new(n_items, shards).peak_shard_items(),
+            iterations: run.summary.n_iterations(),
+            setup_s: run.summary.setup.as_secs_f64(),
+            total_s: run.summary.total_time().as_secs_f64(),
+            cost: run.summary.best_cost().unwrap_or(0),
+            identical_to_unsharded: identical,
+        });
+    }
+    runs
+}
+
+/// Runs the full experiment and returns the report.
+pub fn run(settings: &ShardSettings) -> ShardReport {
+    let (n_items, n_clusters, n_attrs, dim) = if settings.quick {
+        (3_000, 50, 20, 8)
+    } else {
+        (20_000, 200, 40, 16)
+    };
+    let seed = settings.seed;
+    let threads = settings.threads;
+    let dataset: Dataset = generate(&DatgenConfig::new(n_items, n_clusters, n_attrs).seed(seed));
+    let labels: Vec<u32> = dataset.labels().expect("datgen labels").to_vec();
+    let numeric = numeric_blobs(&labels, dim);
+    let mixed = MixedDataset::new(&dataset, &numeric);
+    let max_iter = 25;
+
+    let mut families = Vec::new();
+
+    eprintln!("# shards: categorical (MinHash 20b5r, k={n_clusters}, n={n_items})");
+    let runs = sweep(n_items, &settings.shards, |s| {
+        let spec = ClusterSpec::new(n_clusters)
+            .lsh(Lsh::MinHash { bands: 20, rows: 5 })
+            .seed(seed)
+            .threads(threads)
+            .shards(s)
+            .max_iterations(max_iter);
+        Clusterer::new(spec).fit(&dataset).expect("categorical fit")
+    });
+    families.push(FamilyShards {
+        family: "categorical".into(),
+        lsh: "MinHash 20b5r".into(),
+        runs,
+    });
+
+    eprintln!("# shards: numeric (SimHash 8b16r)");
+    let runs = sweep(n_items, &settings.shards, |s| {
+        let spec = ClusterSpec::new(n_clusters)
+            .lsh(Lsh::SimHash { bands: 8, rows: 16 })
+            .seed(seed)
+            .threads(threads)
+            .shards(s)
+            .max_iterations(max_iter);
+        Clusterer::new(spec).fit(&numeric).expect("numeric fit")
+    });
+    families.push(FamilyShards {
+        family: "numeric".into(),
+        lsh: "SimHash 8b16r".into(),
+        runs,
+    });
+
+    eprintln!("# shards: mixed (MinHash ∪ SimHash)");
+    let runs = sweep(n_items, &settings.shards, |s| {
+        let spec = ClusterSpec::new(n_clusters)
+            .lsh(Lsh::Union {
+                bands: 20,
+                rows: 5,
+                sim_bands: 8,
+                sim_rows: 16,
+            })
+            .seed(seed)
+            .threads(threads)
+            .shards(s)
+            .max_iterations(max_iter);
+        Clusterer::new(spec).fit(&mixed).expect("mixed fit")
+    });
+    families.push(FamilyShards {
+        family: "mixed".into(),
+        lsh: "Union 20b5r + 8b16r".into(),
+        runs,
+    });
+
+    ShardReport {
+        experiment: "shard-scaling".into(),
+        env: BenchEnv::capture(settings.quick, seed).shards(&settings.shards),
+        threads,
+        workload: Workload {
+            n_items,
+            n_clusters,
+            n_attrs,
+            dim,
+        },
+        families,
+    }
+}
+
+impl ShardReport {
+    /// Writes the report as pretty JSON to `path`.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        crate::env::write_report(self, path)
+    }
+
+    /// Renders an aligned text summary (one table per family).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "shard scaling  ({}, threads={}, n={}, k={})",
+            self.env.banner(),
+            self.threads,
+            self.workload.n_items,
+            self.workload.n_clusters
+        );
+        for family in &self.families {
+            let _ = writeln!(out, "\n[{}] {}", family.family, family.lsh);
+            let _ = writeln!(
+                out,
+                "{:>8}  {:>12}  {:>6}  {:>9}  {:>9}  {:>11}  {:>10}",
+                "shards", "peak items", "iters", "setup (s)", "total (s)", "cost", "identical"
+            );
+            for r in &family.runs {
+                let _ = writeln!(
+                    out,
+                    "{:>8}  {:>12}  {:>6}  {:>9.3}  {:>9.3}  {:>11}  {:>10}",
+                    r.shards,
+                    r.peak_shard_items,
+                    r.iterations,
+                    r.setup_s,
+                    r.total_s,
+                    r.cost,
+                    if r.identical_to_unsharded {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                );
+            }
+        }
+        out
+    }
+}

@@ -16,6 +16,7 @@
 //! speedup obviously requires more than one hardware core; `host_cpus` is
 //! recorded so single-core runs read as what they are.
 
+use crate::env::BenchEnv;
 use lshclust::{ClusterSpec, Clusterer, Lsh, StreamOptions};
 use lshclust_categorical::Dataset;
 use lshclust_datagen::datgen::{generate, DatgenConfig};
@@ -129,13 +130,8 @@ serde::impl_serde_struct!(Workload {
 pub struct ThreadsReport {
     /// Experiment marker.
     pub experiment: String,
-    /// Hardware threads available to this process (wall-clock speedup needs
-    /// more than one).
-    pub host_cpus: usize,
-    /// Whether the shrunken CI workload was used.
-    pub quick: bool,
-    /// Master seed.
-    pub seed: u64,
+    /// Host context and sweep axes (`threads` is the swept axis here).
+    pub env: BenchEnv,
     /// Workload shape.
     pub workload: Workload,
     /// Per-family scaling series.
@@ -144,9 +140,7 @@ pub struct ThreadsReport {
 
 serde::impl_serde_struct!(ThreadsReport {
     experiment,
-    host_cpus,
-    quick,
-    seed,
+    env,
     workload,
     families
 });
@@ -339,9 +333,7 @@ pub fn run(settings: &ThreadsSettings) -> ThreadsReport {
 
     ThreadsReport {
         experiment: "thread-scaling".into(),
-        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        quick: settings.quick,
-        seed,
+        env: BenchEnv::capture(settings.quick, seed).threads(&settings.threads),
         workload: Workload {
             n_items,
             n_clusters,
@@ -355,8 +347,7 @@ pub fn run(settings: &ThreadsSettings) -> ThreadsReport {
 impl ThreadsReport {
     /// Writes the report as pretty JSON to `path`.
     pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
-        let text = serde_json::to_string_pretty(self).expect("report serializes");
-        std::fs::write(path, text)
+        crate::env::write_report(self, path)
     }
 
     /// Renders an aligned text summary (one table per family).
@@ -365,8 +356,10 @@ impl ThreadsReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "thread scaling  (host cpus: {}, quick: {}, n={}, k={})",
-            self.host_cpus, self.quick, self.workload.n_items, self.workload.n_clusters
+            "thread scaling  ({}, n={}, k={})",
+            self.env.banner(),
+            self.workload.n_items,
+            self.workload.n_clusters
         );
         for family in &self.families {
             let _ = writeln!(

@@ -1,0 +1,99 @@
+//! The multi-process sharded path, end to end through the real binary:
+//! `cluster fit --shards 2 --worker-cmd "cluster shard-worker"` must spawn
+//! actual worker processes, speak the NDJSON protocol over their pipes, and
+//! write assignments identical to the unsharded fit — the process-level
+//! counterpart of the in-process loopback test in `tests/shard.rs`.
+
+use std::path::Path;
+use std::process::Command;
+
+fn write_csv(path: &Path) {
+    let mut csv = String::from("c1,c2,c3\n");
+    for group in ["a", "b", "c"] {
+        for i in 0..40 {
+            csv.push_str(&format!("{group},{group}{},v{}\n", i % 5, i % 7));
+        }
+    }
+    std::fs::write(path, csv).unwrap();
+}
+
+fn fit(input: &Path, output: &Path, shards: &[&str]) {
+    let exe = env!("CARGO_BIN_EXE_cluster");
+    let status = Command::new(exe)
+        .args(["fit", "--input"])
+        .arg(input)
+        .args(["--k", "3", "--seed", "7", "--threads", "2", "--quiet"])
+        .args(shards)
+        .arg("--output")
+        .arg(output)
+        .status()
+        .expect("cluster binary runs");
+    assert!(status.success(), "fit {shards:?} failed");
+}
+
+#[test]
+fn multi_process_sharded_fit_matches_the_unsharded_fit() {
+    let exe = env!("CARGO_BIN_EXE_cluster");
+    let dir = std::env::temp_dir().join(format!("lshclust-shard-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("input.csv");
+    write_csv(&input);
+
+    let unsharded = dir.join("unsharded.csv");
+    fit(&input, &unsharded, &["--shards", "1"]);
+
+    let in_process = dir.join("in-process.csv");
+    fit(&input, &in_process, &["--shards", "2"]);
+
+    let worker_cmd = format!("{exe} shard-worker");
+    let multi_process = dir.join("multi-process.csv");
+    fit(
+        &input,
+        &multi_process,
+        &["--shards", "2", "--worker-cmd", &worker_cmd],
+    );
+
+    let reference = std::fs::read_to_string(&unsharded).unwrap();
+    assert!(!reference.is_empty());
+    assert_eq!(
+        reference,
+        std::fs::read_to_string(&in_process).unwrap(),
+        "in-process sharded assignments diverge"
+    );
+    assert_eq!(
+        reference,
+        std::fs::read_to_string(&multi_process).unwrap(),
+        "multi-process sharded assignments diverge"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A worker fed garbage must reply with an `Error` line and survive — the
+/// coordinator depends on workers not dying mid-protocol.
+#[test]
+fn shard_worker_survives_malformed_input() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let exe = env!("CARGO_BIN_EXE_cluster");
+    let mut child = Command::new(exe)
+        .arg("shard-worker")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("worker spawns");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+
+    writeln!(stdin, "{{not json").unwrap();
+    writeln!(stdin, "\"Shutdown\"").unwrap();
+    stdin.flush().unwrap();
+
+    let mut line = String::new();
+    stdout.read_line(&mut line).unwrap();
+    assert!(line.contains("Error"), "{line}");
+    line.clear();
+    stdout.read_line(&mut line).unwrap();
+    assert_eq!(line.trim(), "\"Done\"");
+    assert!(child.wait().unwrap().success());
+}

@@ -76,6 +76,7 @@ pub mod mhkmodes;
 pub mod mhkprototypes;
 pub mod minibatch;
 pub mod parallel;
+pub mod shard;
 pub mod streaming;
 
 pub use framework::{

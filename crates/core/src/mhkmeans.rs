@@ -232,6 +232,25 @@ impl SimHashIndex {
         threads: usize,
     ) -> Self {
         assert_eq!(initial.len(), data.n_items());
+        let (band_keys, mean) = Self::hash_band_keys(data, bands, rows, seed, threads);
+        Self::from_band_keys(data.dim(), bands, rows, seed, mean, band_keys, initial)
+    }
+
+    /// The hashing half of [`Self::build_parallel`] on its own: the serial
+    /// centring mean over **all** items (float addition order matters) and
+    /// every item's band keys, item-major (`n_items × bands`), fanned over
+    /// `threads` workers. Feeding the buffer back through
+    /// [`Self::from_band_keys`] is byte-identical to [`Self::build`]; the
+    /// shard coordinator (`crate::shard`) uses the same buffer to deal each
+    /// shard its items' keys, so every shard hashes against the **global**
+    /// mean.
+    pub fn hash_band_keys(
+        data: &NumericDataset,
+        bands: u32,
+        rows: u32,
+        seed: u64,
+        threads: usize,
+    ) -> (Vec<u64>, Vec<f64>) {
         let n_bits = bands as usize * rows as usize;
         let dim = data.dim();
         let sim = SimHash::new(n_bits, dim, seed);
@@ -265,6 +284,32 @@ impl SimHashIndex {
                 out.copy_from_slice(&keys);
             }
         });
+        (band_keys, mean)
+    }
+
+    /// Builds the index from **precomputed** band keys and centring mean —
+    /// the bucket fill of [`Self::build_parallel`] on its own. Because the
+    /// fill walks items in ascending order either way, the resulting index
+    /// is byte-identical to a full build over the same vectors. Shard
+    /// workers use this to own a local index over only their items' keys.
+    pub fn from_band_keys(
+        dim: usize,
+        bands: u32,
+        rows: u32,
+        seed: u64,
+        mean: Vec<f64>,
+        band_keys: Vec<u64>,
+        initial: &[ClusterId],
+    ) -> Self {
+        let n_bands = (bands as usize).max(1);
+        assert!(
+            band_keys.len().is_multiple_of(n_bands),
+            "band-key buffer is not item-major n_items × bands"
+        );
+        let n = band_keys.len() / n_bands;
+        assert_eq!(initial.len(), n, "one initial cluster per item required");
+        let sim = SimHash::new(bands as usize * rows as usize, dim, seed);
+        let n_bands = bands as usize;
         // Bucket fill stays serial in item order (byte-identical index).
         let mut buckets: Vec<FastMap<u64, Vec<u32>>> =
             (0..n_bands).map(|_| FastMap::default()).collect();
@@ -293,6 +338,25 @@ impl SimHashIndex {
     /// O(1) cluster-reference update.
     pub fn set_cluster(&mut self, item: u32, cluster: ClusterId) {
         self.cluster_of[item as usize] = cluster;
+    }
+
+    /// Overwrites all cluster references at once (used by shard workers
+    /// after a fresh local assignment pass).
+    pub fn set_all_clusters(&mut self, clusters: &[ClusterId]) {
+        assert_eq!(clusters.len(), self.cluster_of.len());
+        self.cluster_of.copy_from_slice(clusters);
+    }
+
+    /// Calls `f` once per bucket: `(band, band key, member item ids)`.
+    /// Members appear in ascending item order; the bucket order within a
+    /// band is unspecified. The raw view shard workers digest into per-key
+    /// cluster sets (`crate::shard`).
+    pub fn for_each_bucket<F: FnMut(usize, u64, &[u32])>(&self, mut f: F) {
+        for (band, map) in self.buckets.iter().enumerate() {
+            for (&key, members) in map {
+                f(band, key, members);
+            }
+        }
     }
 
     /// Collects the distinct clusters of items colliding with `item`.

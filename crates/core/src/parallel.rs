@@ -188,16 +188,33 @@ pub fn build_lsh_index_parallel(
     threads: usize,
 ) -> LshIndex {
     let n = dataset.n_items();
-    let params = builder.params();
-    let banding = params.banding;
-    let n_bands = banding.bands() as usize;
+    let n_bands = builder.params().banding.bands() as usize;
     if threads <= 1 || n <= 1 || n_bands == 0 {
         return builder.build(dataset, initial);
     }
+    builder.build_from_band_keys(hash_band_keys_parallel(builder, dataset, threads), initial)
+}
+
+/// The hashing half of [`build_lsh_index_parallel`] on its own: every item's
+/// MinHash band keys, item-major (`n_items × bands`), hashed with the
+/// builder's banding and seed and fanned over `threads` workers. The buffer
+/// is exactly what the serial [`LshIndexBuilder::build`] pass 1 emits, so
+/// feeding it back through [`LshIndexBuilder::build_from_band_keys`] is
+/// byte-identical to a serial build — and the shard coordinator
+/// (`crate::shard`) uses the same buffer to deal each shard its items' keys.
+pub fn hash_band_keys_parallel(
+    builder: &LshIndexBuilder,
+    dataset: &Dataset,
+    threads: usize,
+) -> Vec<u64> {
+    let n = dataset.n_items();
+    let params = builder.params();
+    let banding = params.banding;
+    let n_bands = banding.bands() as usize;
     let schema = dataset.schema();
     // Per-item hashing writes straight into the flat item-major key buffer
     // (one contiguous slice per worker — no per-item allocation, no second
-    // copy); the buffer is exactly what the serial builder's pass 1 emits.
+    // copy).
     let mut band_keys = vec![0u64; n * n_bands];
     fill_chunks(&mut band_keys, n, n_bands, threads, |start, slice| {
         let generator =
@@ -213,7 +230,7 @@ pub fn build_lsh_index_parallel(
             out.copy_from_slice(&keys);
         }
     });
-    builder.build_from_band_keys(band_keys, initial)
+    band_keys
 }
 
 /// Fills a flat item-major `n × width` buffer by chunking the items over
@@ -281,6 +298,87 @@ where
     })
     .expect("chunked_map worker panicked");
     out
+}
+
+/// Like [`chunked_map`], but with **interleaved** (strided) scheduling:
+/// worker `t` of `T` computes items `t, t+T, t+2T, …` instead of one
+/// contiguous block. When per-item cost is skewed — one shard's bucket
+/// distribution putting all the hot, high-collision items in one contiguous
+/// range — contiguous chunking serializes on the worker that drew the hot
+/// block; striding deals every worker an even mix.
+///
+/// The contract is identical to [`chunked_map`]: `f(0), …, f(n-1)` in item
+/// order, one `init()` scratch per worker, output independent of the thread
+/// count and of the schedule. Each worker collects its stride into a private
+/// buffer and the caller's thread scatters the buffers back into item order
+/// (no `unsafe`, no sharing of the output between workers).
+pub fn chunked_map_interleaved<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send + Clone + Default,
+    I: Fn() -> S + Sync,
+    F: Fn(u32, &mut S) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let mut scratch = init();
+        return (0..n as u32).map(|item| f(item, &mut scratch)).collect();
+    }
+    let threads = threads.min(n);
+    let per_worker: Vec<Vec<T>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let (init, f) = (&init, &f);
+                scope.spawn(move |_| {
+                    let mut scratch = init();
+                    ((tid as u32)..n as u32)
+                        .step_by(threads)
+                        .map(|item| f(item, &mut scratch))
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("chunked_map_interleaved worker panicked");
+    let mut out = vec![T::default(); n];
+    for (tid, results) in per_worker.into_iter().enumerate() {
+        for (j, value) in results.into_iter().enumerate() {
+            out[tid + j * threads] = value;
+        }
+    }
+    out
+}
+
+/// [`jacobi_assign`] under the interleaved schedule of
+/// [`chunked_map_interleaved`] — same frozen-state pass, same output (each
+/// item's decision is pure in the start-of-pass state), but skew-resistant
+/// scheduling. The shard workers of `crate::shard` use this for their local
+/// passes, where bucket skew concentrates in contiguous item ranges.
+pub fn jacobi_assign_interleaved<M, P>(
+    model: &M,
+    provider: &P,
+    assignments: &[ClusterId],
+    threads: usize,
+) -> (Vec<ClusterId>, usize)
+where
+    M: CentroidModel + Sync,
+    P: SyncShortlistProvider,
+{
+    let per_item: Vec<(u32, u32)> = chunked_map_interleaved(
+        assignments.len(),
+        threads,
+        || (provider.make_scratch(), Vec::new()),
+        |item, (scratch, shortlist)| {
+            provider.shortlist_into(item, scratch, shortlist);
+            let chosen = match model.best_among(item, shortlist) {
+                Some((c, _)) => c,
+                None => assignments[item as usize],
+            };
+            (chosen.0, shortlist.len() as u32)
+        },
+    );
+    let shortlist_total = per_item.iter().map(|&(_, len)| len as usize).sum();
+    let new_assignments = per_item.into_iter().map(|(c, _)| ClusterId(c)).collect();
+    (new_assignments, shortlist_total)
 }
 
 // ---------------------------------------------------------------------------
@@ -597,6 +695,65 @@ mod tests {
             for (offset, &v) in slice.iter().enumerate() {
                 assert_eq!(v, offset as u64 + 1, "chunk {slice_idx} offset {offset}");
             }
+        }
+    }
+
+    // ---- interleaved (strided) scheduling ---------------------------------
+
+    #[test]
+    fn chunked_map_interleaved_matches_chunked_map() {
+        for (n, threads) in [
+            (0usize, 4usize),
+            (1, 4),
+            (3, 16),
+            (64, 1),
+            (1000, 7),
+            (97, 3),
+        ] {
+            let contiguous: Vec<u64> = chunked_map(n, threads, || (), |i, _| u64::from(i) * 3 + 1);
+            let strided: Vec<u64> =
+                chunked_map_interleaved(n, threads, || (), |i, _| u64::from(i) * 3 + 1);
+            assert_eq!(strided, contiguous, "n={n} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_map_interleaved_scratch_is_isolated_per_worker() {
+        // Worker `t` computes items t, t+T, t+2T, …; its scratch counts its
+        // own calls, so slot `t + j·T` must record call number `j + 1` — any
+        // scratch sharing or schedule deviation breaks the arithmetic.
+        let threads = 4usize;
+        let n = 61usize; // deliberately not a multiple of the thread count
+        let out: Vec<u64> = chunked_map_interleaved(
+            n,
+            threads,
+            || 0u64,
+            |_, calls| {
+                *calls += 1;
+                *calls
+            },
+        );
+        for (item, &v) in out.iter().enumerate() {
+            assert_eq!(v, (item / threads) as u64 + 1, "item {item}");
+        }
+    }
+
+    #[test]
+    fn jacobi_assign_interleaved_matches_contiguous() {
+        use crate::mhkmodes::{KModesModel, MinHashProvider};
+        use lshclust_kmodes::init::{initial_modes, InitMethod};
+        let ds = blob_dataset(4, 7, 8);
+        let modes = initial_modes(&ds, 4, InitMethod::RandomItems, 5);
+        let model = KModesModel::new(&ds, modes);
+        let initial: Vec<ClusterId> = (0..ds.n_items() as u32).map(|i| ClusterId(i % 4)).collect();
+        let index = LshIndexBuilder::new(Banding::new(10, 2))
+            .seed(11)
+            .build(&ds, &initial);
+        let provider = MinHashProvider::new(index, 4, true);
+        let reference = jacobi_assign(&model, &provider, &initial, 2);
+        for threads in [1usize, 2, 3, 8, 64] {
+            let strided = jacobi_assign_interleaved(&model, &provider, &initial, threads);
+            assert_eq!(strided, reference, "threads={threads}");
         }
     }
 

@@ -47,7 +47,7 @@ impl<'a> MixedDataset<'a> {
 }
 
 /// Cluster prototypes: modes for the categorical part, means for the numeric.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Prototypes {
     /// Categorical modes (`k × n_cat_attrs`).
     pub modes: Modes,

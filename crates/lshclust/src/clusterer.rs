@@ -22,8 +22,15 @@ use lshclust_core::minibatch::{
     minibatch_mh_kmeans, minibatch_mh_kmeans_from, minibatch_mh_kmodes, minibatch_mh_kmodes_from,
     minibatch_mh_kprototypes, minibatch_mh_kprototypes_from, MiniBatchParams, UnionBands,
 };
+use lshclust_core::shard::{
+    shard_mh_kmeans_from, shard_mh_kmodes_from, shard_mh_kprototypes_from, InProcessTransport,
+    ShardError, ShardTransport,
+};
 use lshclust_core::streaming::{StreamingConfig, StreamingMhKModes};
-use lshclust_kmodes::kmeans::{kmeans, kmeans_from, KMeansConfig, NumericDataset};
+use lshclust_kmodes::init::{initial_modes, sample_distinct_items};
+use lshclust_kmodes::kmeans::{
+    kmeans, kmeans_from, kmeans_initial_centroids, KMeansConfig, NumericDataset,
+};
 use lshclust_kmodes::kprototypes::{
     kprototypes, kprototypes_from, suggest_gamma, KPrototypesConfig, MixedDataset, Prototypes,
 };
@@ -39,12 +46,20 @@ pub struct Clusterer {
     spec: ClusterSpec,
     /// Warm-start source: refits resume from this model's centroids.
     warm: Option<FittedModel>,
+    /// Multi-process sharding: the command spawned per shard when
+    /// `spec.shards > 1` (e.g. `"cluster shard-worker"`). `None` runs
+    /// shards in-process.
+    worker_cmd: Option<String>,
 }
 
 impl Clusterer {
     /// Wraps a spec (cold start: centroids come from the spec's `init`).
     pub fn new(spec: ClusterSpec) -> Self {
-        Self { spec, warm: None }
+        Self {
+            spec,
+            warm: None,
+            worker_cmd: None,
+        }
     }
 
     /// Wraps a spec with a warm-start model; `fit` resumes from the model's
@@ -54,7 +69,18 @@ impl Clusterer {
         Self {
             spec,
             warm: Some(model.clone()),
+            worker_cmd: None,
         }
+    }
+
+    /// Runs each shard of a `spec.shards > 1` fit in its own worker
+    /// *process* spawned from `cmd` (whitespace-split; typically
+    /// `"cluster shard-worker"`), speaking the NDJSON partial-update
+    /// protocol of [`crate::shard`]. Without this, shards run in-process.
+    /// Ignored at `shards <= 1`.
+    pub fn worker_cmd(mut self, cmd: impl Into<String>) -> Self {
+        self.worker_cmd = Some(cmd.into());
+        self
     }
 
     /// The spec in use.
@@ -65,7 +91,7 @@ impl Clusterer {
     /// Clusters `input` — a categorical [`Dataset`], a [`NumericDataset`],
     /// or a [`MixedDataset`] — according to the spec.
     pub fn fit<I: Input>(&self, input: I) -> Result<ClusterRun, SpecError> {
-        input.fit_spec(&self.spec, self.warm.as_ref())
+        input.fit_spec(&self.spec, self.warm.as_ref(), self.worker_cmd.as_deref())
     }
 
     /// Builds the streaming inserter for items under `schema`, configured
@@ -77,6 +103,11 @@ impl Clusterer {
     /// streaming baseline to fall back to).
     pub fn streaming(&self, schema: Schema) -> Result<StreamingMhKModes, SpecError> {
         let spec = &self.spec;
+        // The inserter's index grows item by item; there is no partitioned
+        // variant of it.
+        if spec.shards > 1 {
+            return Err(SpecError::ShardsUnsupported { what: "streaming" });
+        }
         // The inserter is inherently online — it has no batch fit loop a
         // mini-batch schedule could govern. Reject instead of silently
         // ignoring the discipline.
@@ -107,11 +138,14 @@ impl Clusterer {
 /// `&Dataset` (categorical), `&NumericDataset`, and `&MixedDataset`.
 pub trait Input {
     /// Runs `spec` on this input; `warm` optionally supplies the trained
-    /// model whose centroids seed the refit.
+    /// model whose centroids seed the refit, `worker_cmd` the per-shard
+    /// process command for `spec.shards > 1` (in-process shards when
+    /// `None`).
     fn fit_spec(
         self,
         spec: &ClusterSpec,
         warm: Option<&FittedModel>,
+        worker_cmd: Option<&str>,
     ) -> Result<ClusterRun, SpecError>;
 }
 
@@ -120,6 +154,40 @@ fn check_k(k: usize, n_items: usize) -> Result<(), SpecError> {
         return Err(SpecError::InvalidK { k, n_items });
     }
     Ok(())
+}
+
+/// Gate-keeps the spec combinations the sharded coordinator does not cover;
+/// called only at `spec.shards > 1`.
+fn check_shardable(spec: &ClusterSpec) -> Result<(), SpecError> {
+    if spec.fit != Fit::Full {
+        return Err(SpecError::ShardsUnsupported {
+            what: "Fit::MiniBatch",
+        });
+    }
+    if spec.lsh == Lsh::None {
+        return Err(SpecError::ShardsUnsupported {
+            what: "the exact baselines (Lsh::None)",
+        });
+    }
+    Ok(())
+}
+
+/// Runs a sharded coordinator against the configured transport: worker
+/// processes when a command is set, in-process shards otherwise.
+fn run_sharded<R>(
+    spec: &ClusterSpec,
+    worker_cmd: Option<&str>,
+    coordinate: impl FnOnce(&mut dyn ShardTransport) -> Result<R, ShardError>,
+) -> Result<R, SpecError> {
+    let shard_failure = |e: ShardError| SpecError::ShardFailure { message: e.0 };
+    match worker_cmd {
+        Some(cmd) => {
+            let mut transport =
+                crate::shard::RemoteTransport::spawn(cmd, spec.shards).map_err(shard_failure)?;
+            coordinate(&mut transport).map_err(shard_failure)
+        }
+        None => coordinate(&mut InProcessTransport::new(spec.shards)).map_err(shard_failure),
+    }
 }
 
 fn warm_mismatch(expected: String, got: String) -> SpecError {
@@ -241,12 +309,57 @@ impl Input for &Dataset {
         self,
         spec: &ClusterSpec,
         warm: Option<&FittedModel>,
+        worker_cmd: Option<&str>,
     ) -> Result<ClusterRun, SpecError> {
         check_k(spec.k, self.n_items())?;
         let init = categorical_init(spec.init, "categorical")?;
         let warm_modes = warm
             .map(|model| categorical_warm(model, spec, self))
             .transpose()?;
+        if spec.shards > 1 {
+            check_shardable(spec)?;
+            // The digest-based shortlist always includes an item's own
+            // bucket (the paper's Algorithm 2 behaviour); the ablation has
+            // no sharded equivalent.
+            if !spec.include_self {
+                return Err(SpecError::ShardsUnsupported {
+                    what: "the include_self = false ablation",
+                });
+            }
+            let Lsh::MinHash { bands, rows } = spec.lsh else {
+                return Err(SpecError::UnsupportedLsh {
+                    modality: "categorical",
+                    lsh: spec.lsh.name(),
+                });
+            };
+            let config = MhKModesConfig {
+                k: spec.k,
+                banding: Banding::new(bands, rows),
+                stop: spec.stop,
+                init,
+                seed: spec.seed,
+                query_mode: spec.query_mode.into(),
+                include_self: true,
+                threads: spec.threads.max(1),
+            };
+            let setup_start = Instant::now();
+            let modes = match warm_modes {
+                Some(modes) => modes,
+                None => initial_modes(self, config.k, config.init, config.seed),
+            };
+            let result = run_sharded(spec, worker_cmd, |transport| {
+                shard_mh_kmodes_from(self, &config, modes, setup_start, transport)
+            })?;
+            let model =
+                FittedModel::categorical(spec.clone(), self.schema().clone(), result.modes.clone());
+            return Ok(ClusterRun {
+                assignments: result.assignments,
+                centroids: Centroids::Modes(result.modes),
+                summary: result.summary,
+                index_stats: Some(result.index_stats),
+                model,
+            });
+        }
         if let Some(params) = minibatch_params(spec) {
             let lsh = match spec.lsh {
                 Lsh::None => None,
@@ -352,12 +465,50 @@ impl Input for &NumericDataset {
         self,
         spec: &ClusterSpec,
         warm: Option<&FittedModel>,
+        worker_cmd: Option<&str>,
     ) -> Result<ClusterRun, SpecError> {
         check_k(spec.k, self.n_items())?;
         let init = numeric_init(spec.init, "numeric")?;
         let warm_centroids = warm
             .map(|model| numeric_warm(model, spec, self))
             .transpose()?;
+        if spec.shards > 1 {
+            check_shardable(spec)?;
+            let Lsh::SimHash { bands, rows } = spec.lsh else {
+                return Err(SpecError::UnsupportedLsh {
+                    modality: "numeric",
+                    lsh: spec.lsh.name(),
+                });
+            };
+            let config = MhKMeansConfig {
+                k: spec.k,
+                bands,
+                rows,
+                stop: spec.stop,
+                init,
+                seed: spec.seed,
+                threads: spec.threads.max(1),
+            };
+            let setup_start = Instant::now();
+            let centroids = match warm_centroids {
+                Some(centroids) => centroids,
+                None => kmeans_initial_centroids(self, config.k, config.init, config.seed),
+            };
+            let result = run_sharded(spec, worker_cmd, |transport| {
+                shard_mh_kmeans_from(self, &config, centroids, setup_start, transport)
+            })?;
+            let model = FittedModel::numeric(spec.clone(), self.dim(), result.centroids.clone());
+            return Ok(ClusterRun {
+                assignments: result.assignments,
+                centroids: Centroids::Means {
+                    dim: self.dim(),
+                    values: result.centroids,
+                },
+                summary: result.summary,
+                index_stats: None,
+                model,
+            });
+        }
         if let Some(params) = minibatch_params(spec) {
             let lsh = match spec.lsh {
                 Lsh::None => None,
@@ -468,6 +619,7 @@ impl Input for &MixedDataset<'_> {
         self,
         spec: &ClusterSpec,
         warm: Option<&FittedModel>,
+        worker_cmd: Option<&str>,
     ) -> Result<ClusterRun, SpecError> {
         check_k(spec.k, self.n_items())?;
         // Both K-Prototypes paths draw initial items directly; only the
@@ -487,6 +639,55 @@ impl Input for &MixedDataset<'_> {
             .gamma
             .or(warm_prototypes.as_ref().map(|(_, g)| *g))
             .unwrap_or_else(|| suggest_gamma(self.numeric));
+        if spec.shards > 1 {
+            check_shardable(spec)?;
+            let Lsh::Union {
+                bands,
+                rows,
+                sim_bands,
+                sim_rows,
+            } = spec.lsh
+            else {
+                return Err(SpecError::UnsupportedLsh {
+                    modality: "mixed",
+                    lsh: spec.lsh.name(),
+                });
+            };
+            let config = MhKPrototypesConfig {
+                k: spec.k,
+                gamma,
+                banding: Banding::new(bands, rows),
+                sim_bands,
+                sim_rows,
+                stop: spec.stop,
+                seed: spec.seed,
+                threads: spec.threads.max(1),
+            };
+            let setup_start = Instant::now();
+            let prototypes = match warm_prototypes {
+                Some((prototypes, _)) => prototypes,
+                None => {
+                    let items = sample_distinct_items(self.n_items(), config.k, config.seed);
+                    Prototypes::from_items(self, &items)
+                }
+            };
+            let result = run_sharded(spec, worker_cmd, |transport| {
+                shard_mh_kprototypes_from(self, &config, prototypes, setup_start, transport)
+            })?;
+            let model = FittedModel::mixed(
+                spec.clone(),
+                self.categorical.schema().clone(),
+                &result.prototypes,
+                gamma,
+            );
+            return Ok(ClusterRun {
+                assignments: result.assignments,
+                centroids: Centroids::Prototypes(result.prototypes),
+                summary: result.summary,
+                index_stats: None,
+                model,
+            });
+        }
         if let Some(params) = minibatch_params(spec) {
             let lsh = match spec.lsh {
                 Lsh::None => None,

@@ -130,6 +130,7 @@ mod clusterer;
 mod model;
 mod run;
 pub mod serve;
+pub mod shard;
 mod spec;
 
 pub use clusterer::{Clusterer, Input};

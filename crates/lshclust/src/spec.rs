@@ -350,11 +350,20 @@ pub struct ClusterSpec {
     pub stream: StreamOptions,
     /// Fit discipline: full-batch passes or shortlisted mini-batch steps.
     pub fit: Fit,
+    /// Shard count for partitioned fitting. `1` (the default) fits
+    /// unsharded; `> 1` partitions items across that many shards, each with
+    /// its own local LSH index, and runs the coordinator/worker protocol of
+    /// `lshclust_core::shard` — in-process by default, multi-process when a
+    /// worker command is configured (see `Clusterer::worker_cmd` and the
+    /// `cluster fit --shards N --worker-cmd ...` CLI). Sharded fits are
+    /// byte-identical to `threads > 1` unsharded fits at equal seeds.
+    /// `0` is normalised to `1` at the spec boundary.
+    pub shards: usize,
 }
 
-// Hand-written (not `impl_serde_struct!`) for one reason: `fit` must default
-// to `Fit::Full` when absent, so every spec JSON written before the field
-// existed — saved model envelopes included — still parses.
+// Hand-written (not `impl_serde_struct!`) for one reason: late-added fields
+// (`fit`, `shards`) must default when absent, so every spec JSON written
+// before they existed — saved model envelopes included — still parses.
 impl Serialize for ClusterSpec {
     fn to_value(&self) -> Value {
         Value::Object(vec![
@@ -369,6 +378,7 @@ impl Serialize for ClusterSpec {
             ("gamma".to_owned(), self.gamma.to_value()),
             ("stream".to_owned(), self.stream.to_value()),
             ("fit".to_owned(), self.fit.to_value()),
+            ("shards".to_owned(), self.shards.to_value()),
         ])
     }
 }
@@ -383,6 +393,11 @@ impl Deserialize for ClusterSpec {
                 .map_err(|e| SerdeError(format!("field `fit` of ClusterSpec: {}", e.0)))?,
             None => Fit::Full, // pre-`fit` spec JSON
         };
+        let shards = match entries.iter().find(|(key, _)| key == "shards") {
+            Some((_, value)) => usize::from_value(value)
+                .map_err(|e| SerdeError(format!("field `shards` of ClusterSpec: {}", e.0)))?,
+            None => 1, // pre-`shards` spec JSON
+        };
         Ok(Self {
             k: serde::field(entries, "k", "ClusterSpec")?,
             lsh: serde::field(entries, "lsh", "ClusterSpec")?,
@@ -395,6 +410,7 @@ impl Deserialize for ClusterSpec {
             gamma: serde::field(entries, "gamma", "ClusterSpec")?,
             stream: serde::field(entries, "stream", "ClusterSpec")?,
             fit,
+            shards,
         })
     }
 }
@@ -416,6 +432,7 @@ impl ClusterSpec {
             gamma: None,
             stream: StreamOptions::default(),
             fit: Fit::Full,
+            shards: 1,
         }
     }
 
@@ -571,6 +588,21 @@ impl ClusterSpec {
         self
     }
 
+    /// Sets the shard count for partitioned fitting. `0` is documented
+    /// shorthand for "unsharded" and clamps to `1`, mirroring
+    /// [`Self::threads`].
+    ///
+    /// ```
+    /// use lshclust::ClusterSpec;
+    ///
+    /// assert_eq!(ClusterSpec::new(4).shards(4).shards, 4);
+    /// assert_eq!(ClusterSpec::new(4).shards(0).shards, 1); // 0 ⇒ unsharded
+    /// ```
+    pub fn shards(mut self, s: usize) -> Self {
+        self.shards = s.max(1);
+        self
+    }
+
     /// Builds a [`crate::Clusterer`] that **warm-starts** from a trained
     /// model: instead of re-initialising, the refit resumes from `model`'s
     /// served centroids (the spec's `init` strategy is ignored). The spec's
@@ -624,6 +656,20 @@ pub enum SpecError {
         /// What the warm-start model provides.
         got: String,
     },
+    /// The spec asks for `shards > 1` in combination with a feature the
+    /// sharded coordinator does not cover (exact baselines, mini-batch
+    /// fits, streaming, or the `include_self = false` ablation).
+    ShardsUnsupported {
+        /// The feature that cannot be sharded.
+        what: &'static str,
+    },
+    /// A sharded fit failed at runtime: a worker reported an error, a
+    /// worker process could not be spawned, or a reply violated the
+    /// partial-update protocol.
+    ShardFailure {
+        /// The underlying shard/transport error.
+        message: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -643,6 +689,12 @@ impl fmt::Display for SpecError {
             }
             SpecError::WarmStartMismatch { expected, got } => {
                 write!(f, "warm start needs {expected}, model provides {got}")
+            }
+            SpecError::ShardsUnsupported { what } => {
+                write!(f, "shards > 1 does not support {what}")
+            }
+            SpecError::ShardFailure { message } => {
+                write!(f, "sharded fit failed: {message}")
             }
         }
     }
@@ -773,6 +825,18 @@ mod tests {
                 },
                 vec!["warm start", "k=10", "k=7"],
             ),
+            (
+                SpecError::ShardsUnsupported {
+                    what: "Fit::MiniBatch",
+                },
+                vec!["shards", "Fit::MiniBatch"],
+            ),
+            (
+                SpecError::ShardFailure {
+                    message: "shard 1 exited".to_owned(),
+                },
+                vec!["sharded fit", "shard 1 exited"],
+            ),
         ];
         for (err, needles) in cases {
             let text = err.to_string();
@@ -820,6 +884,23 @@ mod tests {
         let back: ClusterSpec = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.fit, Fit::Full);
         assert_eq!(back.seed, 9);
+    }
+
+    #[test]
+    fn spec_json_without_shards_field_defaults_to_one() {
+        // Same backward-compatibility contract as `fit`: spec JSON written
+        // before sharding existed parses as unsharded.
+        let spec = ClusterSpec::new(3).seed(9).shards(4);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"shards\":4"));
+        let legacy = json.replace(",\"shards\":4", "");
+        assert!(!legacy.contains("shards"), "surgery failed: {legacy}");
+        let back: ClusterSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.shards, 1);
+        assert_eq!(back.seed, 9);
+
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shards, 4);
     }
 
     #[test]

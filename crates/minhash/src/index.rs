@@ -394,6 +394,18 @@ impl LshIndex {
         n
     }
 
+    /// Calls `f` once per bucket: `(band, band key, member item ids)`.
+    /// Members appear in ascending item order (the fill order); the bucket
+    /// order within a band is unspecified. This is the raw view shard
+    /// workers digest into per-key cluster sets (`lshclust_core::shard`).
+    pub fn for_each_bucket<F: FnMut(usize, u64, &[u32])>(&self, mut f: F) {
+        for (band, map) in self.buckets.iter().enumerate() {
+            for (&key, members) in map {
+                f(band, key, members);
+            }
+        }
+    }
+
     /// Index-level statistics for diagnostics and EXPERIMENTS.md.
     pub fn stats(&self) -> IndexStats {
         let mut n_buckets = 0usize;

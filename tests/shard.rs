@@ -1,0 +1,370 @@
+//! Sharded fitting through the facade: `ClusterSpec::shards(S)` must return
+//! **byte-identical** runs to the unsharded fit at equal seeds — assignments,
+//! centroids, per-iteration trajectory, and index stats — for every shard
+//! count, thread count, and modality; interact correctly with warm starts;
+//! reject the spec combinations the coordinator does not cover with typed
+//! errors; and speak the exact NDJSON wire protocol the multi-process
+//! workers use (looped back in-process here, process-spawning covered by the
+//! CLI test in `crates/bench/tests/shard_cli.rs`).
+//!
+//! The unsharded reference runs at `threads = 2`: the sharded coordinator is
+//! always a Jacobi engine, and Jacobi fits are byte-identical at every
+//! thread count, so one parallel reference pins them all. (`threads = 1`
+//! without shards is the legacy Gauss–Seidel path, which visits items in a
+//! different order by design.)
+
+use lshclust::{ClusterRun, ClusterSpec, Clusterer, Fit, Lsh, NumericDataset, SpecError};
+use lshclust_categorical::Dataset;
+use lshclust_core::mhkmodes::{MhKModes, MhKModesConfig};
+use lshclust_core::shard::{
+    shard_mh_kmodes_from, ShardError, ShardReply, ShardRequest, ShardTransport, ShardWorker,
+};
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::init::{initial_modes, InitMethod};
+use lshclust_kmodes::kprototypes::MixedDataset;
+use lshclust_minhash::Banding;
+use proptest::prelude::*;
+use std::time::Instant;
+
+fn categorical_fixture(seed: u64) -> Dataset {
+    generate(&DatgenConfig::new(240, 24, 16).seed(seed))
+}
+
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+const MINHASH: Lsh = Lsh::MinHash { bands: 12, rows: 2 };
+const SIMHASH: Lsh = Lsh::SimHash { bands: 8, rows: 12 };
+const UNION: Lsh = Lsh::Union {
+    bands: 12,
+    rows: 2,
+    sim_bands: 8,
+    sim_rows: 12,
+};
+
+fn spec_for(lsh: Lsh, seed: u64, threads: usize, shards: usize) -> ClusterSpec {
+    ClusterSpec::new(24)
+        .lsh(lsh)
+        .seed(seed)
+        .threads(threads)
+        .shards(shards)
+        .max_iterations(30)
+}
+
+/// Byte-identity across every observable surface of a run: assignments,
+/// centroids, the per-iteration trajectory (moves / cost / candidate
+/// volume — everything but wall-clock), convergence, and index stats.
+fn assert_runs_identical(reference: &ClusterRun, other: &ClusterRun, label: &str) {
+    assert_eq!(
+        reference.assignments, other.assignments,
+        "{label}: assignments"
+    );
+    assert_eq!(
+        reference.centroids.modes(),
+        other.centroids.modes(),
+        "{label}: modes"
+    );
+    assert_eq!(
+        reference.centroids.means(),
+        other.centroids.means(),
+        "{label}: means"
+    );
+    assert_eq!(
+        reference.centroids.prototypes(),
+        other.centroids.prototypes(),
+        "{label}: prototypes"
+    );
+    assert_eq!(
+        reference.summary.converged, other.summary.converged,
+        "{label}: converged"
+    );
+    assert_eq!(reference.index_stats, other.index_stats, "{label}: stats");
+    let trajectory = |run: &ClusterRun| -> Vec<(usize, usize, u64, u64)> {
+        run.summary
+            .iterations
+            .iter()
+            .map(|s| (s.iteration, s.moves, s.cost, s.avg_candidates.to_bits()))
+            .collect()
+    };
+    assert_eq!(
+        trajectory(reference),
+        trajectory(other),
+        "{label}: trajectory"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity, shards × threads × modality.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn categorical_sharded_fits_are_byte_identical() {
+    let dataset = categorical_fixture(5);
+    let reference = Clusterer::new(spec_for(MINHASH, 5, 2, 1))
+        .fit(&dataset)
+        .unwrap();
+    assert!(
+        reference.index_stats.is_some(),
+        "categorical runs carry stats"
+    );
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 2] {
+            let run = Clusterer::new(spec_for(MINHASH, 5, threads, shards))
+                .fit(&dataset)
+                .unwrap();
+            if shards == 1 && threads == 1 {
+                continue; // the legacy Gauss–Seidel path, different by design
+            }
+            let label = format!("categorical s={shards} t={threads}");
+            assert_runs_identical(&reference, &run, &label);
+        }
+    }
+}
+
+#[test]
+fn numeric_sharded_fits_are_byte_identical() {
+    let dataset = categorical_fixture(6);
+    let labels = dataset.labels().unwrap().to_vec();
+    let numeric = numeric_blobs(&labels, 6);
+    let reference = Clusterer::new(spec_for(SIMHASH, 6, 2, 1))
+        .fit(&numeric)
+        .unwrap();
+    for shards in [2usize, 4] {
+        for threads in [1usize, 2] {
+            let run = Clusterer::new(spec_for(SIMHASH, 6, threads, shards))
+                .fit(&numeric)
+                .unwrap();
+            let label = format!("numeric s={shards} t={threads}");
+            assert_runs_identical(&reference, &run, &label);
+        }
+    }
+}
+
+#[test]
+fn mixed_sharded_fits_are_byte_identical() {
+    let dataset = categorical_fixture(7);
+    let labels = dataset.labels().unwrap().to_vec();
+    let numeric = numeric_blobs(&labels, 6);
+    let mixed = MixedDataset::new(&dataset, &numeric);
+    let reference = Clusterer::new(spec_for(UNION, 7, 2, 1))
+        .fit(&mixed)
+        .unwrap();
+    for shards in [2usize, 4] {
+        for threads in [1usize, 2] {
+            let run = Clusterer::new(spec_for(UNION, 7, threads, shards))
+                .fit(&mixed)
+                .unwrap();
+            let label = format!("mixed s={shards} t={threads}");
+            assert_runs_identical(&reference, &run, &label);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Identity is seed- and shard-count-independent, not a fixture
+    /// accident: random seeds, shard counts beyond the divisor-friendly
+    /// ones (including more shards than some ranges can fill evenly).
+    #[test]
+    fn sharded_identity_holds_for_arbitrary_seeds_and_counts(
+        seed in 0u64..48,
+        shards in 2usize..7,
+    ) {
+        let dataset = categorical_fixture(seed);
+        let reference = Clusterer::new(spec_for(MINHASH, seed, 2, 1)).fit(&dataset).unwrap();
+        let sharded = Clusterer::new(spec_for(MINHASH, seed, 2, shards)).fit(&dataset).unwrap();
+        prop_assert_eq!(&reference.assignments, &sharded.assignments);
+        prop_assert_eq!(reference.centroids.modes(), sharded.centroids.modes());
+        prop_assert_eq!(reference.index_stats, sharded.index_stats);
+        prop_assert_eq!(reference.summary.final_cost(), sharded.summary.final_cost());
+    }
+
+    /// Numeric identity includes bit-exact float means (the coordinator
+    /// replays member sums in ascending order rather than merging partial
+    /// f64 sums, which would drift).
+    #[test]
+    fn sharded_numeric_means_are_bit_exact(seed in 0u64..48, shards in 2usize..6) {
+        let dataset = categorical_fixture(seed);
+        let labels = dataset.labels().unwrap().to_vec();
+        let numeric = numeric_blobs(&labels, 4);
+        let reference = Clusterer::new(spec_for(SIMHASH, seed, 2, 1)).fit(&numeric).unwrap();
+        let sharded = Clusterer::new(spec_for(SIMHASH, seed, 2, shards)).fit(&numeric).unwrap();
+        prop_assert_eq!(&reference.assignments, &sharded.assignments);
+        prop_assert_eq!(reference.centroids.means(), sharded.centroids.means());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Warm starts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn warm_started_sharded_refit_matches_the_unsharded_refit() {
+    let dataset = categorical_fixture(9);
+    let first = Clusterer::new(spec_for(MINHASH, 9, 2, 1))
+        .fit(&dataset)
+        .unwrap();
+    let warm_unsharded = spec_for(MINHASH, 9, 2, 1)
+        .warm_start(&first.model)
+        .fit(&dataset)
+        .unwrap();
+    for shards in [2usize, 4] {
+        let warm_sharded = spec_for(MINHASH, 9, 2, shards)
+            .warm_start(&first.model)
+            .fit(&dataset)
+            .unwrap();
+        let label = format!("warm s={shards}");
+        assert_runs_identical(&warm_unsharded, &warm_sharded, &label);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed rejections: every unsupported combination errors before any work.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn minibatch_with_shards_is_a_typed_error() {
+    let dataset = categorical_fixture(1);
+    let spec = spec_for(MINHASH, 1, 2, 2).fit(Fit::MiniBatch {
+        batch_size: 32,
+        n_steps: 10,
+        refresh_every: 5,
+    });
+    let err = Clusterer::new(spec).fit(&dataset).unwrap_err();
+    assert!(
+        matches!(err, SpecError::ShardsUnsupported { what } if what.contains("MiniBatch")),
+        "{err}"
+    );
+}
+
+#[test]
+fn exact_baseline_with_shards_is_a_typed_error() {
+    let dataset = categorical_fixture(1);
+    let err = Clusterer::new(ClusterSpec::new(8).seed(1).shards(2))
+        .fit(&dataset)
+        .unwrap_err();
+    assert!(
+        matches!(err, SpecError::ShardsUnsupported { what } if what.contains("Lsh::None")),
+        "{err}"
+    );
+}
+
+#[test]
+fn include_self_ablation_with_shards_is_a_typed_error() {
+    let dataset = categorical_fixture(1);
+    let err = Clusterer::new(spec_for(MINHASH, 1, 2, 2).include_self(false))
+        .fit(&dataset)
+        .unwrap_err();
+    assert!(
+        matches!(err, SpecError::ShardsUnsupported { what } if what.contains("include_self")),
+        "{err}"
+    );
+}
+
+#[test]
+fn streaming_with_shards_is_a_typed_error() {
+    let dataset = categorical_fixture(1);
+    let spec = ClusterSpec::new(1)
+        .lsh(MINHASH)
+        .shards(2)
+        .stream(lshclust::StreamOptions {
+            distance_threshold: None,
+            max_clusters: Some(8),
+        });
+    let err = Clusterer::new(spec)
+        .streaming(dataset.schema().clone())
+        .unwrap_err();
+    assert!(
+        matches!(err, SpecError::ShardsUnsupported { what } if what.contains("streaming")),
+        "{err}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Spec serde: `shards` round-trips, and its absence means 1.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn spec_shards_round_trip_and_default() {
+    let spec = spec_for(MINHASH, 3, 2, 4);
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, spec);
+    assert_eq!(back.shards, 4);
+
+    // A pre-sharding spec (no "shards" field) still parses, as 1 shard.
+    let legacy = json.replace(",\"shards\":4", "");
+    assert_ne!(legacy, json, "surgery must remove the field");
+    let parsed: ClusterSpec = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(parsed.shards, 1);
+}
+
+// ---------------------------------------------------------------------------
+// NDJSON loopback: the exact serialized wire protocol, without processes.
+// ---------------------------------------------------------------------------
+
+/// A transport that round-trips every request and reply through
+/// `lshclust::shard::handle_line` — the serialization path the worker
+/// processes run — so this test pins the wire protocol itself, not just the
+/// in-memory coordinator.
+struct LoopbackTransport {
+    slots: Vec<Option<ShardWorker>>,
+}
+
+impl ShardTransport for LoopbackTransport {
+    fn n_shards(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn roundtrip(&mut self, requests: Vec<ShardRequest>) -> Result<Vec<ShardReply>, ShardError> {
+        requests
+            .into_iter()
+            .zip(&mut self.slots)
+            .map(|(request, slot)| {
+                let line = serde_json::to_string(&request)
+                    .map_err(|e| ShardError(format!("encode: {}", e.0)))?;
+                let reply = lshclust::shard::handle_line(slot, &line);
+                serde_json::from_str(&reply).map_err(|e| ShardError(format!("decode: {}", e.0)))
+            })
+            .collect()
+    }
+}
+
+#[test]
+fn ndjson_loopback_fit_is_byte_identical_to_the_direct_fit() {
+    let dataset = categorical_fixture(13);
+    let cfg = MhKModesConfig::new(12, Banding::new(12, 2))
+        .seed(13)
+        .threads(2);
+    let modes = initial_modes(&dataset, cfg.k, InitMethod::RandomItems, cfg.seed);
+
+    let direct = MhKModes::new(cfg.clone()).fit_from(&dataset, modes.clone(), Instant::now());
+    let mut transport = LoopbackTransport {
+        slots: vec![None, None, None],
+    };
+    let looped =
+        shard_mh_kmodes_from(&dataset, &cfg, modes, Instant::now(), &mut transport).unwrap();
+
+    assert_eq!(direct.assignments, looped.assignments);
+    assert_eq!(direct.modes, looped.modes);
+    assert_eq!(direct.index_stats, looped.index_stats);
+    assert_eq!(direct.summary.final_cost(), looped.summary.final_cost());
+    // Shutdown through the same wire path leaves every slot empty.
+    for slot in &mut transport.slots {
+        let line = serde_json::to_string(&ShardRequest::Shutdown).unwrap();
+        assert_eq!(lshclust::shard::handle_line(slot, &line), "\"Done\"");
+        assert!(slot.is_none());
+    }
+}
