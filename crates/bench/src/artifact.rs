@@ -1,0 +1,445 @@
+//! Persistence experiment: what the v2 flat binary envelope and the
+//! content-addressed [`lshclust::ArtifactStore`] buy over the v1 JSON
+//! envelope — the numbers behind `BENCH_artifact.json`.
+//!
+//! Three measurements, all facade-faithful:
+//!
+//! * **Load latency** — the same fitted numeric model saved as v1 JSON and
+//!   as the v2 binary envelope, loaded back through the one public
+//!   [`lshclust::FittedModel::load`] sniffing path, at several centroid
+//!   counts `k`. The v1 path re-parses a float-heavy JSON tree and
+//!   re-hashes every centroid to rebuild the LSH index; the v2 path copies
+//!   flat band-key buffers. Both loaded models must predict a probe batch
+//!   **byte-identically** — the driver binary exits non-zero if they ever
+//!   diverge.
+//! * **Reload under load** — a [`lshclust::ModelServer`] answering a
+//!   steady stream of single-point queries while the control plane
+//!   repeatedly hot-reloads the v2 artifact from disk
+//!   ([`lshclust::ModelHandle::reload_from_path`]); reports reload-latency
+//!   p50/p99.
+//! * **Cache hit vs refit** — [`lshclust::ArtifactStore::fit_or_get`]
+//!   called twice with the identical `(spec, dataset)`: the first call
+//!   pays the fit, the second must be a store hit returning the
+//!   byte-identical envelope.
+
+use crate::env::BenchEnv;
+use lshclust::serve::{ModelServer, ServerConfig};
+use lshclust::{ArtifactStore, ClusterSpec, Clusterer, Fit, FittedModel, Lsh};
+use lshclust_kmodes::kmeans::NumericDataset;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Settings of a persistence run.
+#[derive(Clone, Debug)]
+pub struct ArtifactSettings {
+    /// Shrinks the workload for CI smoke runs.
+    pub quick: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Centroid counts to sweep for the v1-vs-v2 load comparison.
+    pub ks: Vec<usize>,
+    /// Times each envelope is loaded; the report keeps the fastest.
+    pub load_reps: usize,
+    /// Hot reloads issued against the live server.
+    pub reloads: usize,
+}
+
+impl Default for ArtifactSettings {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            seed: 42,
+            ks: vec![200, 2_000, 20_000],
+            load_reps: 5,
+            reloads: 40,
+        }
+    }
+}
+
+/// One `k` point of the v1-vs-v2 load comparison.
+#[derive(Clone, Debug)]
+pub struct LoadRun {
+    /// Centroids in the fitted model.
+    pub k: usize,
+    /// Bytes of the v1 JSON envelope on disk.
+    pub v1_bytes: usize,
+    /// Bytes of the v2 binary envelope on disk.
+    pub v2_bytes: usize,
+    /// Fastest v1 load (parse JSON + re-hash every centroid), milliseconds.
+    pub v1_load_ms: f64,
+    /// Fastest v2 load (copy flat band-key buffers), milliseconds.
+    pub v2_load_ms: f64,
+    /// `v1_load_ms / v2_load_ms`.
+    pub speedup: f64,
+    /// Whether both loaded models assigned the probe batch identically.
+    pub predictions_identical: bool,
+}
+
+serde::impl_serde_struct!(LoadRun {
+    k,
+    v1_bytes,
+    v2_bytes,
+    v1_load_ms,
+    v2_load_ms,
+    speedup,
+    predictions_identical
+});
+
+/// Reload-latency percentiles measured against a serving model.
+#[derive(Clone, Debug)]
+pub struct ReloadRun {
+    /// Centroids in the served model.
+    pub k: usize,
+    /// Hot reloads issued while queries were in flight.
+    pub reloads: usize,
+    /// Concurrent caller threads keeping the server busy.
+    pub callers: usize,
+    /// Median reload latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile reload latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+serde::impl_serde_struct!(ReloadRun {
+    k,
+    reloads,
+    callers,
+    p50_ms,
+    p99_ms
+});
+
+/// Cache-hit-vs-refit wall time through [`ArtifactStore::fit_or_get`].
+#[derive(Clone, Debug)]
+pub struct CacheRun {
+    /// Centroids in the cached model.
+    pub k: usize,
+    /// First call: full fit plus store write, seconds.
+    pub miss_secs: f64,
+    /// Second identical call: store hit, seconds.
+    pub hit_secs: f64,
+    /// `miss_secs / hit_secs`.
+    pub speedup: f64,
+    /// Whether the hit returned the byte-identical envelope.
+    pub hit_byte_identical: bool,
+}
+
+serde::impl_serde_struct!(CacheRun {
+    k,
+    miss_secs,
+    hit_secs,
+    speedup,
+    hit_byte_identical
+});
+
+/// The full `BENCH_artifact.json` payload.
+#[derive(Clone, Debug)]
+pub struct ArtifactReport {
+    /// Experiment marker.
+    pub experiment: String,
+    /// Host context (no sweep axes beyond `ks` below).
+    pub env: BenchEnv,
+    /// Numeric dimensionality of every model.
+    pub dim: usize,
+    /// Centroid counts swept.
+    pub ks: Vec<usize>,
+    /// v1-vs-v2 load latency per `k`.
+    pub loads: Vec<LoadRun>,
+    /// Hot-reload percentiles under serving load.
+    pub reload: ReloadRun,
+    /// Cache-hit vs refit wall time.
+    pub cache: CacheRun,
+}
+
+serde::impl_serde_struct!(ArtifactReport {
+    experiment,
+    env,
+    dim,
+    ks,
+    loads,
+    reload,
+    cache
+});
+
+/// Deterministic Gaussian-ish blobs: `k` well-separated centers, a handful
+/// of points each, `dim` coordinates.
+fn blobs(n_items: usize, k: usize, dim: usize, seed: u64) -> NumericDataset {
+    let data: Vec<f64> = (0..n_items)
+        .flat_map(|i| {
+            let label = (i % k) as u64;
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(
+                    label ^ ((d as u64) << 32) ^ seed.rotate_left(17),
+                );
+                let center = (h % 10_000) as f64 / 10.0;
+                let jitter = lshclust_minhash::hashfn::mix64(h ^ (i as u64)) % 100;
+                center + jitter as f64 * 0.001
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+/// Fits a `k`-centroid numeric model cheaply (mini-batch, SimHash index).
+fn fit_model(data: &NumericDataset, k: usize, seed: u64) -> FittedModel {
+    let spec = cache_spec(k, seed);
+    Clusterer::new(spec)
+        .fit(data)
+        .expect("bench fit is well-formed")
+        .model
+}
+
+/// The one spec the cache measurement keys on (also used by `fit_model`).
+fn cache_spec(k: usize, seed: u64) -> ClusterSpec {
+    ClusterSpec::new(k)
+        .lsh(Lsh::SimHash { bands: 8, rows: 16 })
+        .seed(seed)
+        .fit(Fit::MiniBatch {
+            batch_size: 256,
+            n_steps: 30,
+            refresh_every: 10,
+        })
+}
+
+/// Fastest-of-`reps` wall time for `f`, in milliseconds.
+fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let start = Instant::now();
+    let mut last = f();
+    best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    for _ in 1..reps.max(1) {
+        let start = Instant::now();
+        last = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, last)
+}
+
+/// A scratch directory under the system temp dir, unique per process.
+fn scratch_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("lshclust-bench-artifact-{}", std::process::id()))
+}
+
+/// One `k` point: fit, save both envelopes, time loads, diff predictions.
+fn load_point(settings: &ArtifactSettings, k: usize, dim: usize, dir: &Path) -> LoadRun {
+    let n_items = (k * 3).max(2_000);
+    let data = blobs(n_items, k, dim, settings.seed);
+    let model = fit_model(&data, k, settings.seed);
+
+    let v1_path = dir.join(format!("model-k{k}.v1.json"));
+    let v2_path = dir.join(format!("model-k{k}.v2.bin"));
+    model.save(&v1_path).expect("v1 save");
+    model.save_v2(&v2_path).expect("v2 save");
+    let v1_bytes = std::fs::metadata(&v1_path).expect("v1 metadata").len() as usize;
+    let v2_bytes = std::fs::metadata(&v2_path).expect("v2 metadata").len() as usize;
+
+    let (v1_load_ms, v1_model) = best_ms(settings.load_reps, || {
+        FittedModel::load(&v1_path).expect("v1 load")
+    });
+    let (v2_load_ms, v2_model) = best_ms(settings.load_reps, || {
+        FittedModel::load(&v2_path).expect("v2 load")
+    });
+
+    // Probe with a batch the fit never saw: same generator, shifted seed.
+    let probe = blobs(1_000.min(n_items), k, dim, settings.seed ^ 0x9e37_79b9);
+    let from_v1 = v1_model.predict(&probe).expect("v1 predict");
+    let from_v2 = v2_model.predict(&probe).expect("v2 predict");
+
+    LoadRun {
+        k,
+        v1_bytes,
+        v2_bytes,
+        v1_load_ms,
+        v2_load_ms,
+        speedup: v1_load_ms / v2_load_ms.max(1e-9),
+        predictions_identical: from_v1 == from_v2,
+    }
+}
+
+/// Hot-reloads the v2 artifact `reloads` times while `callers` threads keep
+/// the server answering queries; returns latency percentiles.
+fn reload_under_load(settings: &ArtifactSettings, k: usize, dim: usize, dir: &Path) -> ReloadRun {
+    let callers = 2;
+    let data = blobs((k * 3).max(2_000), k, dim, settings.seed);
+    let model = fit_model(&data, k, settings.seed);
+    let v2_path = dir.join(format!("reload-k{k}.v2.bin"));
+    model.save_v2(&v2_path).expect("v2 save");
+
+    let server = ModelServer::start(model, ServerConfig::default().workers(2).queue_depth(1024));
+    let handle = server.handle();
+    let stop = AtomicBool::new(false);
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(settings.reloads);
+
+    std::thread::scope(|scope| {
+        for caller in 0..callers {
+            let server = &server;
+            let stop = &stop;
+            let probe = data.row(caller * 7 % data.n_items()).to_vec();
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    server
+                        .predict_point(probe.clone())
+                        .expect("bench queries are well-formed");
+                }
+            });
+        }
+        for _ in 0..settings.reloads {
+            let start = Instant::now();
+            handle
+                .reload_from_path(&v2_path)
+                .expect("v2 artifact reloads");
+            latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    server.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| {
+        let idx = ((latencies_ms.len() as f64 - 1.0) * p).round() as usize;
+        latencies_ms[idx]
+    };
+    ReloadRun {
+        k,
+        reloads: settings.reloads,
+        callers,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// Two identical `fit_or_get` calls: a paid fit, then a store hit.
+fn cache_point(settings: &ArtifactSettings, k: usize, dim: usize, dir: &Path) -> CacheRun {
+    let data = blobs((k * 3).max(2_000), k, dim, settings.seed);
+    let store = ArtifactStore::open(dir.join("store")).expect("store opens");
+    let spec = cache_spec(k, settings.seed);
+
+    let start = Instant::now();
+    let first = store.fit_or_get(&spec, &data).expect("first fit_or_get");
+    let miss_secs = start.elapsed().as_secs_f64();
+    assert!(!first.hit, "a fresh store cannot hit");
+
+    let start = Instant::now();
+    let second = store.fit_or_get(&spec, &data).expect("second fit_or_get");
+    let hit_secs = start.elapsed().as_secs_f64();
+    assert!(second.hit, "the identical refit must be a store hit");
+
+    CacheRun {
+        k,
+        miss_secs,
+        hit_secs,
+        speedup: miss_secs / hit_secs.max(1e-9),
+        hit_byte_identical: first.model.to_bytes() == second.model.to_bytes(),
+    }
+}
+
+/// Runs the full experiment and returns the report.
+pub fn run(settings: &ArtifactSettings) -> ArtifactReport {
+    let (ks, dim) = if settings.quick {
+        (vec![50, 200, 1_000], 8)
+    } else {
+        (settings.ks.clone(), 16)
+    };
+    let settings = ArtifactSettings {
+        ks: ks.clone(),
+        ..settings.clone()
+    };
+
+    let dir = scratch_dir();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let mut loads = Vec::new();
+    for &k in &ks {
+        eprintln!("# artifact: load v1 vs v2 (k={k}, dim={dim})");
+        loads.push(load_point(&settings, k, dim, &dir));
+    }
+
+    let mid_k = ks[ks.len() / 2];
+    eprintln!("# artifact: reload under load (k={mid_k})");
+    let reload = reload_under_load(&settings, mid_k, dim, &dir);
+
+    eprintln!("# artifact: cache hit vs refit (k={mid_k})");
+    let cache = cache_point(&settings, mid_k, dim, &dir);
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ArtifactReport {
+        experiment: "artifact-persistence".into(),
+        env: BenchEnv::capture(settings.quick, settings.seed),
+        dim,
+        ks,
+        loads,
+        reload,
+        cache,
+    }
+}
+
+impl ArtifactReport {
+    /// Writes the report as pretty JSON to `path`.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        crate::env::write_report(self, path)
+    }
+
+    /// `true` iff every load point predicted identically and the cache hit
+    /// returned the byte-identical envelope — the driver's exit condition.
+    pub fn byte_identical(&self) -> bool {
+        self.loads.iter().all(|l| l.predictions_identical) && self.cache.hit_byte_identical
+    }
+
+    /// Renders an aligned text summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "model persistence  ({}, dim {})",
+            self.env.banner(),
+            self.dim
+        );
+        let _ = writeln!(
+            out,
+            "\n[load] v1 JSON (re-hash) vs v2 flat binary (copy buffers)"
+        );
+        let _ = writeln!(
+            out,
+            "{:>8}  {:>12}  {:>12}  {:>10}  {:>10}  {:>9}  {:>10}",
+            "k", "v1 bytes", "v2 bytes", "v1 ms", "v2 ms", "speedup", "identical"
+        );
+        for l in &self.loads {
+            let _ = writeln!(
+                out,
+                "{:>8}  {:>12}  {:>12}  {:>10.2}  {:>10.2}  {:>8.2}x  {:>10}",
+                l.k,
+                l.v1_bytes,
+                l.v2_bytes,
+                l.v1_load_ms,
+                l.v2_load_ms,
+                l.speedup,
+                if l.predictions_identical { "yes" } else { "NO" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n[reload] {} hot reloads under {} callers (k={}): p50 {:.2} ms, p99 {:.2} ms",
+            self.reload.reloads,
+            self.reload.callers,
+            self.reload.k,
+            self.reload.p50_ms,
+            self.reload.p99_ms
+        );
+        let _ = writeln!(
+            out,
+            "[cache]  refit {:.3} s vs hit {:.3} s ({:.0}x, byte-identical: {}) at k={}",
+            self.cache.miss_secs,
+            self.cache.hit_secs,
+            self.cache.speedup,
+            if self.cache.hit_byte_identical {
+                "yes"
+            } else {
+                "NO"
+            },
+            self.cache.k
+        );
+        out
+    }
+}

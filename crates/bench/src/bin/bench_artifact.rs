@@ -1,0 +1,75 @@
+//! `bench_artifact` — the persistence experiment behind
+//! `BENCH_artifact.json`: v1 JSON vs v2 flat binary load latency per `k`,
+//! hot-reload percentiles under serving load, and cache-hit vs refit wall
+//! time through the `ArtifactStore`.
+//!
+//! Exits non-zero if the v1- and v2-loaded models ever diverge on the
+//! probe batch, or if the store hit is not byte-identical.
+//!
+//! ```text
+//! bench_artifact [--quick] [--seed N] [--ks A,B,C] [--reps N] [--out FILE]
+//!
+//!   --quick     CI-sized workload (small k sweep)
+//!   --seed N    master seed (default 42)
+//!   --ks L      comma-separated centroid counts (default 200,2000,20000)
+//!   --reps N    loads per envelope, fastest kept (default 5)
+//!   --out FILE  where to write the JSON report (default BENCH_artifact.json)
+//! ```
+
+use lshclust_bench::artifact::{run, ArtifactSettings};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_artifact [--quick] [--seed N] [--ks 200,2000,20000] [--reps N] [--out FILE]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut settings = ArtifactSettings::default();
+    let mut out = "BENCH_artifact.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => settings.quick = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => settings.seed = s,
+                None => return usage(),
+            },
+            "--ks" => {
+                let Some(list) = args.next() else {
+                    return usage();
+                };
+                let parsed: Option<Vec<usize>> =
+                    list.split(',').map(|t| t.trim().parse().ok()).collect();
+                match parsed {
+                    Some(ks) if !ks.is_empty() && ks.iter().all(|&k| k > 0) => settings.ks = ks,
+                    _ => return usage(),
+                }
+            }
+            "--reps" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r > 0 => settings.load_reps = r,
+                _ => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = run(&settings);
+    print!("{}", report.render());
+    if let Err(e) = report.write_json(&out) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out}");
+    if !report.byte_identical() {
+        eprintln!("error: v1/v2 (or cache hit) models diverged — see report");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

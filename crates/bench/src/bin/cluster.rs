@@ -7,6 +7,7 @@
 //! cluster inspect  --model model.json
 //! cluster serve    --model model.json [--workers N] [--max-batch N] [--flush-us N]
 //!                  [--queue-depth N] [--threads N]
+//! cluster artifact ls|verify|gc --dir DIR [--max-bytes N]
 //! cluster shard-worker
 //! ```
 //!
@@ -14,7 +15,16 @@
 //! loads one and assigns unseen rows — values are re-encoded under the
 //! model's training schema, so the CSV needs the same columns but may
 //! contain new category values (they match nothing); `inspect` summarises a
-//! saved artifact without touching any data.
+//! saved artifact without touching any data (envelope version, content
+//! hash, and byte size included — it understands both the v1 JSON and the
+//! v2 binary envelope).
+//!
+//! `fit --cache-dir DIR` routes the fit through a content-addressed
+//! `ArtifactStore`: refitting an identical `(spec, dataset)` pair is a
+//! cache hit that decodes the stored model instead of fitting. `cluster
+//! artifact` manages such a store: `ls` lists entries, `verify` re-hashes
+//! every entry (non-zero exit if any is corrupt), `gc --max-bytes N`
+//! evicts oldest-modified entries until the store fits the cap.
 //!
 //! `serve` runs a long-lived `ModelServer` daemon speaking newline-delimited
 //! JSON over stdin/stdout. One request object per line:
@@ -65,7 +75,10 @@
 //!                     (typically "cluster shard-worker"); in-process without
 //!   --spec FILE       read a full ClusterSpec as JSON (overrides the flags above)
 //!   --warm-start FILE resume fitting from a saved model's centroids
-//!   --model FILE      save the trained model artifact as JSON
+//!   --model FILE      save the trained model artifact (v1 JSON by default)
+//!   --v2              write --model as the v2 flat binary envelope instead
+//!   --cache-dir DIR   fit through the content-addressed artifact store at DIR
+//!                     (identical spec+dataset refits become cache hits)
 //!   --dump-spec       print the effective spec as JSON and exit
 //!   --json FILE       write the run report (RunReport) as JSON
 //!   --quiet           suppress per-iteration progress
@@ -98,9 +111,25 @@ struct FitArgs {
     spec_file: Option<String>,
     warm_start: Option<String>,
     model: Option<String>,
+    /// Write `--model` as the v2 flat binary envelope instead of v1 JSON.
+    v2: bool,
+    /// Root of a content-addressed `ArtifactStore` to fit through.
+    cache_dir: Option<String>,
     dump_spec: bool,
     json: Option<String>,
     quiet: bool,
+}
+
+/// `cluster artifact` — management verbs over an `ArtifactStore` root.
+enum ArtifactCmd {
+    Ls,
+    Verify,
+    Gc { max_bytes: u64 },
+}
+
+struct ArtifactArgs {
+    dir: String,
+    cmd: ArtifactCmd,
 }
 
 struct PredictArgs {
@@ -123,14 +152,51 @@ struct ServeArgs {
 }
 
 enum Command {
-    Fit(FitArgs),
+    Fit(Box<FitArgs>),
     Predict(PredictArgs),
     Inspect { model: String },
     Serve(ServeArgs),
+    Artifact(ArtifactArgs),
     ShardWorker,
 }
 
-const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json] [--shards N [--worker-cmd CMD]] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--workers N] [--max-batch N] [--flush-us N] [--queue-depth N] [--threads N]\n  cluster shard-worker";
+const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json [--v2]] [--cache-dir DIR] [--shards N [--worker-cmd CMD]] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--workers N] [--max-batch N] [--flush-us N] [--queue-depth N] [--threads N]\n  cluster artifact ls|verify|gc --dir DIR [--max-bytes N]\n  cluster shard-worker";
+
+fn parse_artifact(flags: impl IntoIterator<Item = String>) -> Result<ArtifactArgs, String> {
+    let mut argv = flags.into_iter();
+    let verb = argv.next().ok_or("artifact needs a verb: ls, verify, gc")?;
+    let mut dir = None;
+    let mut max_bytes = None;
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--dir" => dir = Some(value("--dir")?),
+            "--max-bytes" => {
+                max_bytes = Some(
+                    value("--max-bytes")?
+                        .parse()
+                        .map_err(|e| format!("--max-bytes: {e}"))?,
+                )
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let cmd = match verb.as_str() {
+        "ls" => ArtifactCmd::Ls,
+        "verify" => ArtifactCmd::Verify,
+        "gc" => ArtifactCmd::Gc {
+            max_bytes: max_bytes.ok_or("gc requires --max-bytes")?,
+        },
+        other => return Err(format!("unknown artifact verb `{other}`")),
+    };
+    if !matches!(cmd, ArtifactCmd::Gc { .. }) && max_bytes.is_some() {
+        return Err("--max-bytes only applies to gc".to_owned());
+    }
+    Ok(ArtifactArgs {
+        dir: dir.ok_or("--dir is required")?,
+        cmd,
+    })
+}
 
 fn parse_predict(flags: impl IntoIterator<Item = String>) -> Result<PredictArgs, String> {
     let mut argv = flags.into_iter();
@@ -208,9 +274,10 @@ fn parse_command() -> Result<Command, String> {
     let mut argv = std::env::args();
     let _ = argv.next(); // program name
     match argv.next().as_deref() {
-        Some("fit") => Ok(Command::Fit(parse_fit(argv)?)),
+        Some("fit") => Ok(Command::Fit(Box::new(parse_fit(argv)?))),
         Some("predict") => Ok(Command::Predict(parse_predict(argv)?)),
         Some("serve") => Ok(Command::Serve(parse_serve(argv)?)),
+        Some("artifact") => Ok(Command::Artifact(parse_artifact(argv)?)),
         Some("shard-worker") => match argv.next() {
             None => Ok(Command::ShardWorker),
             Some(other) => Err(format!("shard-worker takes no arguments, got {other}")),
@@ -230,7 +297,7 @@ fn parse_command() -> Result<Command, String> {
         // Legacy invocation: bare flags behave as `fit`.
         Some(flag) if flag.starts_with("--") => {
             let flags = std::iter::once(flag.to_owned()).chain(argv);
-            parse_fit(flags).map(Command::Fit)
+            parse_fit(flags).map(|args| Command::Fit(Box::new(args)))
         }
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_owned()),
@@ -257,6 +324,8 @@ fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String>
         spec_file: None,
         warm_start: None,
         model: None,
+        v2: false,
+        cache_dir: None,
         dump_spec: false,
         json: None,
         quiet: false,
@@ -325,6 +394,8 @@ fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String>
             "--spec" => args.spec_file = Some(value("--spec")?),
             "--warm-start" => args.warm_start = Some(value("--warm-start")?),
             "--model" => args.model = Some(value("--model")?),
+            "--v2" => args.v2 = true,
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
             "--dump-spec" => args.dump_spec = true,
             "--json" => args.json = Some(value("--json")?),
             "--quiet" => args.quiet = true,
@@ -491,38 +562,136 @@ fn run_fit(args: FitArgs) -> Result<(), String> {
         );
     }
 
-    let mut clusterer = match &args.warm_start {
-        Some(path) => {
-            let model = FittedModel::load(path).map_err(|e| format!("{path}: {e}"))?;
-            spec.warm_start(&model)
+    let (model, assignments, run) = match &args.cache_dir {
+        Some(dir) => {
+            if args.warm_start.is_some() || args.worker_cmd.is_some() {
+                return Err(
+                    "--cache-dir cannot be combined with --warm-start or --worker-cmd".to_owned(),
+                );
+            }
+            let store = lshclust::ArtifactStore::open(dir).map_err(|e| e.to_string())?;
+            let cached = store
+                .fit_or_get(&spec, &dataset)
+                .map_err(|e| e.to_string())?;
+            if cached.hit {
+                eprintln!("artifact cache hit: model served from {dir} without fitting");
+            } else {
+                eprintln!("artifact cache miss: fitted and stored in {dir}");
+                report(
+                    &cached.run.as_ref().expect("a miss carries the run").summary,
+                    args.quiet,
+                );
+            }
+            // Assignments come from the cached model's predict path on hit
+            // AND miss: a converged fit's labels can break ties differently
+            // from predict, and the same command must write the same
+            // --output file whether or not the store already had the model.
+            let assignments: Vec<u32> = cached
+                .model
+                .predict(&dataset)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(|c| c.0)
+                .collect();
+            (cached.model, assignments, cached.run)
         }
-        None => Clusterer::new(spec),
+        None => {
+            let mut clusterer = match &args.warm_start {
+                Some(path) => {
+                    let model = FittedModel::load(path).map_err(|e| format!("{path}: {e}"))?;
+                    spec.warm_start(&model)
+                }
+                None => Clusterer::new(spec),
+            };
+            if let Some(cmd) = &args.worker_cmd {
+                clusterer = clusterer.worker_cmd(cmd.clone());
+            }
+            let run = clusterer.fit(&dataset).map_err(|e| e.to_string())?;
+            report(&run.summary, args.quiet);
+            let assignments = run.labels();
+            let model = run.model.clone();
+            (model, assignments, Some(run))
+        }
     };
-    if let Some(cmd) = &args.worker_cmd {
-        clusterer = clusterer.worker_cmd(cmd.clone());
-    }
-    let run = clusterer.fit(&dataset).map_err(|e| e.to_string())?;
-    report(&run.summary, args.quiet);
-    let assignments = run.labels();
     score_against_labels(&assignments, &dataset);
 
     if let Some(path) = &args.model {
-        run.model.save(path).map_err(|e| e.to_string())?;
+        if args.v2 {
+            model.save_v2(path).map_err(|e| e.to_string())?;
+        } else {
+            model.save(path).map_err(|e| e.to_string())?;
+        }
         eprintln!(
-            "wrote model artifact ({}, k={}) to {path}",
-            run.model.modality(),
-            run.model.k()
+            "wrote model artifact ({}, k={}, {}) to {path}",
+            model.modality(),
+            model.k(),
+            if args.v2 { "v2 binary" } else { "v1 JSON" },
         );
     }
     if let Some(path) = &args.json {
-        let text = serde_json::to_string_pretty(&run.report()).expect("report serializes");
-        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("wrote run report to {path}");
+        match &run {
+            Some(run) => {
+                let text = serde_json::to_string_pretty(&run.report()).expect("report serializes");
+                std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote run report to {path}");
+            }
+            None => eprintln!("cache hit skipped the fit, so there is no run report for --json"),
+        }
     }
     if let Some(path) = &args.output {
         write_assignments(path, &assignments)?;
     }
     Ok(())
+}
+
+fn run_artifact(args: ArtifactArgs) -> Result<(), String> {
+    let store = lshclust::ArtifactStore::open(&args.dir).map_err(|e| e.to_string())?;
+    match args.cmd {
+        ArtifactCmd::Ls => {
+            let mut entries = store.entries().map_err(|e| e.to_string())?;
+            entries.sort_by(|a, b| a.path.cmp(&b.path));
+            let total: u64 = entries.iter().map(|e| e.bytes).sum();
+            for entry in &entries {
+                println!(
+                    "{:>12}  {:<8}  {}",
+                    entry.bytes,
+                    entry.kind,
+                    entry.path.display()
+                );
+            }
+            eprintln!("{} entries, {} bytes total", entries.len(), total);
+            Ok(())
+        }
+        ArtifactCmd::Verify => {
+            let report = store.verify().map_err(|e| e.to_string())?;
+            for path in &report.corrupt {
+                eprintln!("corrupt: {}", path.display());
+            }
+            eprintln!("{} ok, {} corrupt", report.ok, report.corrupt.len());
+            if report.corrupt.is_empty() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} corrupt entr{} in {}",
+                    report.corrupt.len(),
+                    if report.corrupt.len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    },
+                    args.dir
+                ))
+            }
+        }
+        ArtifactCmd::Gc { max_bytes } => {
+            let report = store.gc(max_bytes).map_err(|e| e.to_string())?;
+            eprintln!(
+                "kept {}, evicted {}, reclaimed {} bytes",
+                report.kept, report.evicted, report.reclaimed_bytes
+            );
+            Ok(())
+        }
+    }
 }
 
 fn run_predict(args: PredictArgs) -> Result<(), String> {
@@ -609,13 +778,25 @@ fn run_predict(args: PredictArgs) -> Result<(), String> {
 }
 
 fn run_inspect(path: &str) -> Result<(), String> {
-    let model = FittedModel::load(path).map_err(|e| format!("{path}: {e}"))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let version = FittedModel::sniff_version(&bytes);
+    let model = FittedModel::from_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
     let spec = model.spec();
     println!("artifact:  {path}");
     println!(
-        "format:    {} v{}",
+        "format:    {} v{} ({})",
         lshclust::MODEL_FORMAT,
-        lshclust::MODEL_VERSION
+        version.expect("a loadable model sniffs a version"),
+        if version == Some(lshclust::MODEL_VERSION_V2) {
+            "flat binary"
+        } else {
+            "JSON"
+        }
+    );
+    println!("bytes:     {}", bytes.len());
+    println!(
+        "content:   {:016x} (fnv1a-64)",
+        lshclust::artifact::content_hash(&bytes)
     );
     println!("modality:  {}", model.modality());
     println!("clusters:  {}", model.k());
@@ -845,17 +1026,21 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
             });
         } else if let Some(reload) = value.get("reload") {
             let response = match reload.as_str() {
-                Some(path) => std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))
-                    .and_then(|text| {
-                        let mut model = FittedModel::from_json(&text).map_err(|e| e.to_string())?;
+                // `load` sniffs the envelope, so `{"reload": path}` accepts
+                // v1 JSON and v2 binary artifacts alike — the v2 decode
+                // copies the index instead of re-hashing it, keeping the
+                // pre-swap pause short. Parse/validate completes before the
+                // handle's write lock is touched.
+                Some(path) => FittedModel::load(path)
+                    .map_err(|e| format!("{path}: {e}"))
+                    .map(|mut model| {
                         // The operator's --threads override outlives hot
                         // reloads; without this the artifact's own
                         // spec.threads would silently take over.
                         if let Some(threads) = args.threads {
                             model.set_threads(threads);
                         }
-                        Ok(handle.reload(model))
+                        handle.reload(model)
                     })
                     .map_or_else(
                         |e| err_response(id.as_ref(), &e),
@@ -930,10 +1115,11 @@ fn main() -> ExitCode {
         }
     };
     let outcome = match command {
-        Command::Fit(args) => run_fit(args),
+        Command::Fit(args) => run_fit(*args),
         Command::Predict(args) => run_predict(args),
         Command::Inspect { model } => run_inspect(&model),
         Command::Serve(args) => run_serve(args),
+        Command::Artifact(args) => run_artifact(args),
         Command::ShardWorker => {
             let stdin = std::io::stdin();
             lshclust::shard::run_worker(stdin.lock(), std::io::stdout())
@@ -1196,6 +1382,46 @@ mod tests {
             assert_eq!(served.cluster, run.assignments[i % 4]);
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn fit_persistence_flags_parse() {
+        let args = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--k",
+            "10",
+            "--model",
+            "m.bin",
+            "--v2",
+            "--cache-dir",
+            "/tmp/store",
+        ]))
+        .unwrap();
+        assert!(args.v2);
+        assert_eq!(args.cache_dir.as_deref(), Some("/tmp/store"));
+        assert_eq!(args.model.as_deref(), Some("m.bin"));
+
+        let plain = parse_fit(flags(&["--input", "x.csv", "--k", "10"])).unwrap();
+        assert!(!plain.v2, "v1 JSON stays the pinned default");
+        assert_eq!(plain.cache_dir, None);
+    }
+
+    #[test]
+    fn artifact_verbs_parse() {
+        let ls = parse_artifact(flags(&["ls", "--dir", "/tmp/store"])).unwrap();
+        assert!(matches!(ls.cmd, ArtifactCmd::Ls));
+        assert_eq!(ls.dir, "/tmp/store");
+
+        let verify = parse_artifact(flags(&["verify", "--dir", "d"])).unwrap();
+        assert!(matches!(verify.cmd, ArtifactCmd::Verify));
+
+        let gc = parse_artifact(flags(&["gc", "--dir", "d", "--max-bytes", "4096"])).unwrap();
+        assert!(matches!(gc.cmd, ArtifactCmd::Gc { max_bytes: 4096 }));
+
+        assert!(parse_artifact(flags(&["gc", "--dir", "d"])).is_err());
+        assert!(parse_artifact(flags(&["ls", "--dir", "d", "--max-bytes", "1"])).is_err());
+        assert!(parse_artifact(flags(&["frob", "--dir", "d"])).is_err());
     }
 
     #[test]

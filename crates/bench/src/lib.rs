@@ -19,6 +19,9 @@
 //!   one-row-per-call, per worker count and modality),
 //! * [`shard`] — the shard-scaling experiment behind `BENCH_shard.json`
 //!   (fit wall-time and peak per-shard item count vs `ClusterSpec::shards`),
+//! * [`artifact`] — the persistence experiment behind
+//!   `BENCH_artifact.json` (v1 JSON vs v2 flat binary load latency,
+//!   hot-reload percentiles under load, cache-hit vs refit wall time),
 //! * [`mod@env`] — the shared [`env::BenchEnv`] header every `BENCH_*.json`
 //!   artifact embeds, so the report schemas stop drifting,
 //! * [`table`] — a tiny fixed-width table printer.
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod artifact;
 pub mod env;
 pub mod figures;
 pub mod minibatch;

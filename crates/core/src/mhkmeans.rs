@@ -330,6 +330,23 @@ impl SimHashIndex {
         }
     }
 
+    /// The flat item-major band-key buffer (`n_items × bands`) the index was
+    /// built from. Together with [`Self::mean`] this is the index's
+    /// serialized form: [`Self::from_band_keys`] refills the buckets from it
+    /// byte-identically without redoing a single hyperplane projection — the
+    /// copy-instead-of-hash load path of `lshclust`'s v2 binary model
+    /// envelope.
+    pub fn band_keys(&self) -> &[u64] {
+        &self.band_keys
+    }
+
+    /// The centring mean subtracted before hashing (see [`Self::build`]).
+    /// Persisted alongside [`Self::band_keys`] so a reloaded index centres
+    /// queries exactly as the original did.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
     /// Current cluster reference of `item`.
     pub fn cluster_of(&self, item: u32) -> ClusterId {
         self.cluster_of[item as usize]

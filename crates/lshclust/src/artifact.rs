@@ -1,0 +1,478 @@
+//! Content-addressed artifact store: fitted models cached on disk, keyed by
+//! **what produced them** instead of where someone saved them.
+//!
+//! A fit is a pure function of `(spec, dataset)` — every path in this
+//! workspace is deterministic down to the byte — so its output can be
+//! cached like a build artifact. [`ArtifactStore`] makes that concrete:
+//!
+//! - **Keys** are [`ArtifactKey`] = `(kind, content_hash, args_hash)`:
+//!   `content_hash` digests the dataset (shape, schema, every cell),
+//!   `args_hash` digests the spec's canonical JSON. Identical inputs always
+//!   map to the same entry; any change to either hash misses.
+//! - **Entries** are single files under `root/<kind>/`, framed with a magic,
+//!   the payload's FNV-1a hash, and its length. Reads re-hash and verify, so
+//!   a corrupted entry is *detected and refit*, never served.
+//! - **Writes** go through `root/tmp/` and a final `rename`, so a crash
+//!   mid-write can leave stray temp files but never a half-written entry,
+//!   and concurrent writers of the same key are safe (last rename wins with
+//!   identical bytes).
+//! - **[`ArtifactStore::fit_or_get`]** is the front door: a hit decodes the
+//!   stored v2 envelope and skips the fit entirely; a miss fits, stores,
+//!   and returns the run alongside the model.
+//! - **[`ArtifactStore::gc`]** caps the store size, evicting
+//!   oldest-modified entries first.
+//!
+//! ```
+//! use lshclust::{ArtifactStore, ClusterSpec, Lsh, NumericDataset};
+//!
+//! let dir = std::env::temp_dir().join(format!("lshclust-artifact-doc-{}", std::process::id()));
+//! let store = ArtifactStore::open(&dir).unwrap();
+//! let data = NumericDataset::new(1, vec![0.0, 0.1, 0.2, 9.0, 9.1, 9.2]);
+//! let spec = ClusterSpec::new(2).lsh(Lsh::SimHash { bands: 8, rows: 2 });
+//!
+//! let first = store.fit_or_get(&spec, &data).unwrap();
+//! assert!(!first.hit); // cold store: this one fitted
+//! let second = store.fit_or_get(&spec, &data).unwrap();
+//! assert!(second.hit); // identical (spec, dataset): served from disk
+//! assert_eq!(first.model.to_bytes(), second.model.to_bytes());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use crate::model::{FittedModel, ModelError};
+use crate::run::ClusterRun;
+use crate::spec::{ClusterSpec, SpecError};
+use crate::Clusterer;
+use crate::Input;
+use lshclust_categorical::Dataset;
+use lshclust_kmodes::kmeans::NumericDataset;
+use lshclust_kmodes::kprototypes::MixedDataset;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Leading bytes of every store entry file.
+const ENTRY_MAGIC: [u8; 8] = *b"LSHCART1";
+/// Entry frame: magic + payload hash + payload length.
+const ENTRY_HEADER: usize = 24;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Filesystem access failed (permissions, missing root, full disk, …).
+    Io(String),
+    /// The cache-miss fit itself was rejected.
+    Fit(SpecError),
+    /// A freshly fitted model failed to round-trip through its v2 envelope
+    /// (a bug, not an environment problem — surfaced rather than cached).
+    Model(ModelError),
+    /// The artifact kind is not a usable directory name.
+    InvalidKind(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact store I/O failed: {e}"),
+            ArtifactError::Fit(e) => write!(f, "cache-miss fit failed: {e}"),
+            ArtifactError::Model(e) => write!(f, "stored model failed to round-trip: {e}"),
+            ArtifactError::InvalidKind(kind) => write!(
+                f,
+                "artifact kind `{kind}` is not a usable directory name \
+                 (lowercase letters, digits, `_`, `-` only)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+/// FNV-1a 64-bit over a byte stream — the store's content hash. Stable,
+/// dependency-free, and fast enough to verify every read.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h = Fnv::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a 64-bit hasher (avoids materialising digest buffers
+/// for large datasets).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// An input whose content can be digested into the store's `content_hash`.
+/// Implemented for every [`crate::Clusterer::fit`] input modality; the
+/// digest covers the full cell contents plus shape (and, for categorical
+/// data, the interning schema — two datasets with the same ids but
+/// different dictionaries digest differently).
+pub trait DatasetDigest {
+    /// FNV-1a digest of this dataset's complete content.
+    fn content_digest(&self) -> u64;
+}
+
+impl<T: DatasetDigest + ?Sized> DatasetDigest for &T {
+    fn content_digest(&self) -> u64 {
+        (**self).content_digest()
+    }
+}
+
+impl DatasetDigest for Dataset {
+    fn content_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.update(b"categorical");
+        let schema = serde_json::to_string(self.schema()).expect("schema serializes");
+        h.update_u64(schema.len() as u64);
+        h.update(schema.as_bytes());
+        h.update_u64(self.n_items() as u64);
+        h.update_u64(self.n_attrs() as u64);
+        for item in 0..self.n_items() {
+            for v in self.row(item) {
+                h.update(&v.0.to_le_bytes());
+            }
+        }
+        h.finish()
+    }
+}
+
+impl DatasetDigest for NumericDataset {
+    fn content_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.update(b"numeric");
+        h.update_u64(self.n_items() as u64);
+        h.update_u64(self.dim() as u64);
+        for item in 0..self.n_items() {
+            for &v in self.row(item) {
+                h.update_u64(v.to_bits());
+            }
+        }
+        h.finish()
+    }
+}
+
+impl DatasetDigest for MixedDataset<'_> {
+    fn content_digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.update(b"mixed");
+        h.update_u64(self.categorical.content_digest());
+        h.update_u64(self.numeric.content_digest());
+        h.finish()
+    }
+}
+
+/// The address of one store entry: what kind of artifact, which input
+/// content, which arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactKey {
+    /// Artifact family — the subdirectory name (`"model"` for fitted
+    /// models). Lowercase letters, digits, `_`, `-`.
+    pub kind: String,
+    /// Digest of the input content (for models: the training dataset).
+    pub content_hash: u64,
+    /// Digest of the producing arguments (for models: the spec's canonical
+    /// compact JSON).
+    pub args_hash: u64,
+}
+
+impl ArtifactKey {
+    /// The key [`ArtifactStore::fit_or_get`] uses: kind `model`, the
+    /// dataset digest as content, the spec's canonical JSON digest as args.
+    pub fn model<D: DatasetDigest>(spec: &ClusterSpec, input: D) -> Self {
+        let spec_json = serde_json::to_string(spec).expect("spec serializes");
+        ArtifactKey {
+            kind: "model".to_owned(),
+            content_hash: input.content_digest(),
+            args_hash: content_hash(spec_json.as_bytes()),
+        }
+    }
+
+    fn file_name(&self) -> String {
+        format!("{:016x}-{:016x}.art", self.content_hash, self.args_hash)
+    }
+}
+
+/// What [`ArtifactStore::get`] found under a key.
+#[derive(Debug)]
+pub enum Lookup {
+    /// Entry present, frame valid, payload hash verified.
+    Hit(Vec<u8>),
+    /// No entry under that key.
+    Miss,
+    /// Entry present but truncated or hash-mismatched — callers treat this
+    /// as a miss and overwrite it.
+    Corrupt,
+}
+
+/// One entry as listed by [`ArtifactStore::entries`].
+#[derive(Debug)]
+pub struct ArtifactEntry {
+    /// Absolute path of the entry file.
+    pub path: PathBuf,
+    /// Artifact family (the subdirectory name).
+    pub kind: String,
+    /// File size in bytes (frame + payload).
+    pub bytes: u64,
+    /// Last-modified time, used as the GC eviction order.
+    pub modified: std::time::SystemTime,
+}
+
+/// Outcome of [`ArtifactStore::verify`].
+#[derive(Debug)]
+pub struct VerifyReport {
+    /// Entries whose frame and payload hash checked out.
+    pub ok: usize,
+    /// Paths of entries that failed verification.
+    pub corrupt: Vec<PathBuf>,
+}
+
+/// Outcome of [`ArtifactStore::gc`].
+#[derive(Debug)]
+pub struct GcReport {
+    /// Entries still in the store.
+    pub kept: usize,
+    /// Entries deleted.
+    pub evicted: usize,
+    /// Bytes reclaimed by the eviction.
+    pub reclaimed_bytes: u64,
+}
+
+/// What [`ArtifactStore::fit_or_get`] returns: the served model, whether it
+/// came from the store, and — on a miss — the full fresh run.
+pub struct CachedFit {
+    /// The model, decoded from its stored (hit) or just-written (miss) v2
+    /// envelope — byte-identical either way.
+    pub model: FittedModel,
+    /// `true` when the store served the model without fitting.
+    pub hit: bool,
+    /// The fresh run on a miss (assignments, summary, stats); `None` on a
+    /// hit — the whole point is that nothing was fitted.
+    pub run: Option<ClusterRun>,
+}
+
+/// Monotonic discriminator for temp-file names (unique within a process;
+/// the process id separates concurrent processes).
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A content-addressed artifact cache over one root directory. See the
+/// [module docs](self) for layout and guarantees.
+pub struct ArtifactStore {
+    root: PathBuf,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the store rooted at `root`.
+    pub fn open<P: AsRef<Path>>(root: P) -> Result<Self, ArtifactError> {
+        let root = root.as_ref().to_path_buf();
+        std::fs::create_dir_all(root.join("tmp")).map_err(io_err)?;
+        Ok(Self { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: &ArtifactKey) -> Result<PathBuf, ArtifactError> {
+        if key.kind.is_empty()
+            || !key
+                .kind
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_' || b == b'-')
+        {
+            return Err(ArtifactError::InvalidKind(key.kind.clone()));
+        }
+        Ok(self.root.join(&key.kind).join(key.file_name()))
+    }
+
+    /// Stores `payload` under `key` (atomic tmp + rename; replaces any
+    /// previous entry). Returns the entry path.
+    pub fn put(&self, key: &ArtifactKey, payload: &[u8]) -> Result<PathBuf, ArtifactError> {
+        let path = self.entry_path(key)?;
+        std::fs::create_dir_all(path.parent().expect("entry has a parent")).map_err(io_err)?;
+        let mut framed = Vec::with_capacity(ENTRY_HEADER + payload.len());
+        framed.extend_from_slice(&ENTRY_MAGIC);
+        framed.extend_from_slice(&content_hash(payload).to_le_bytes());
+        framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        framed.extend_from_slice(payload);
+        let tmp = self.root.join("tmp").join(format!(
+            "{}-{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &framed).map_err(io_err)?;
+        std::fs::rename(&tmp, &path).map_err(io_err)?;
+        Ok(path)
+    }
+
+    /// Looks up `key`, verifying the entry frame and payload hash. I/O
+    /// errors other than not-found are surfaced; damaged entries come back
+    /// as [`Lookup::Corrupt`], never as data.
+    pub fn get(&self, key: &ArtifactKey) -> Result<Lookup, ArtifactError> {
+        let path = self.entry_path(key)?;
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Lookup::Miss),
+            Err(e) => return Err(io_err(e)),
+        };
+        Ok(match unframe(&bytes) {
+            Some(payload) => Lookup::Hit(payload.to_vec()),
+            None => Lookup::Corrupt,
+        })
+    }
+
+    /// Fits `spec` over `input` **unless** the store already holds the
+    /// result of that exact `(spec, dataset)` pair, in which case the fit
+    /// is skipped entirely and the stored model is decoded and served.
+    /// Corrupt or undecodable entries (hash mismatch, version skew) are
+    /// treated as misses: the model is refitted and the entry rewritten.
+    pub fn fit_or_get<I>(&self, spec: &ClusterSpec, input: I) -> Result<CachedFit, ArtifactError>
+    where
+        I: Input + DatasetDigest + Copy,
+    {
+        let key = ArtifactKey::model(spec, input);
+        if let Lookup::Hit(payload) = self.get(&key)? {
+            // An undecodable payload means the entry was written by an
+            // incompatible build (the hash already verified); refit.
+            if let Ok(model) = FittedModel::from_bytes(&payload) {
+                return Ok(CachedFit {
+                    model,
+                    hit: true,
+                    run: None,
+                });
+            }
+        }
+        let run = Clusterer::new(spec.clone())
+            .fit(input)
+            .map_err(ArtifactError::Fit)?;
+        let payload = run.model.to_bytes();
+        self.put(&key, &payload)?;
+        let model = FittedModel::from_bytes(&payload).map_err(ArtifactError::Model)?;
+        Ok(CachedFit {
+            model,
+            hit: false,
+            run: Some(run),
+        })
+    }
+
+    /// Lists every entry in the store (all kinds), unordered.
+    pub fn entries(&self) -> Result<Vec<ArtifactEntry>, ArtifactError> {
+        let mut out = Vec::new();
+        let root = match std::fs::read_dir(&self.root) {
+            Ok(iter) => iter,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(io_err(e)),
+        };
+        for kind_dir in root {
+            let kind_dir = kind_dir.map_err(io_err)?;
+            let kind = kind_dir.file_name().to_string_lossy().into_owned();
+            if kind == "tmp" || !kind_dir.path().is_dir() {
+                continue;
+            }
+            for file in std::fs::read_dir(kind_dir.path()).map_err(io_err)? {
+                let file = file.map_err(io_err)?;
+                let path = file.path();
+                if path.extension().and_then(|e| e.to_str()) != Some("art") {
+                    continue;
+                }
+                let meta = file.metadata().map_err(io_err)?;
+                out.push(ArtifactEntry {
+                    path,
+                    kind: kind.clone(),
+                    bytes: meta.len(),
+                    modified: meta.modified().map_err(io_err)?,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-reads and re-hashes every entry; damaged ones are reported, not
+    /// deleted (deleting is [`Self::gc`]'s job, and a caller may want the
+    /// evidence).
+    pub fn verify(&self) -> Result<VerifyReport, ArtifactError> {
+        let mut report = VerifyReport {
+            ok: 0,
+            corrupt: Vec::new(),
+        };
+        for entry in self.entries()? {
+            let bytes = std::fs::read(&entry.path).map_err(io_err)?;
+            if unframe(&bytes).is_some() {
+                report.ok += 1;
+            } else {
+                report.corrupt.push(entry.path);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Shrinks the store to at most `max_bytes` of entry files by deleting
+    /// oldest-modified entries first (ties broken by path for
+    /// determinism). Temp files are always swept.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcReport, ArtifactError> {
+        if let Ok(tmp) = std::fs::read_dir(self.root.join("tmp")) {
+            for stray in tmp.flatten() {
+                std::fs::remove_file(stray.path()).ok();
+            }
+        }
+        let mut entries = self.entries()?;
+        entries.sort_by(|a, b| {
+            b.modified
+                .cmp(&a.modified)
+                .then_with(|| b.path.cmp(&a.path))
+        });
+        let mut report = GcReport {
+            kept: 0,
+            evicted: 0,
+            reclaimed_bytes: 0,
+        };
+        let mut total = 0u64;
+        // Newest first: keep while under budget, evict the rest.
+        for entry in entries {
+            if total + entry.bytes <= max_bytes {
+                total += entry.bytes;
+                report.kept += 1;
+            } else {
+                std::fs::remove_file(&entry.path).map_err(io_err)?;
+                report.evicted += 1;
+                report.reclaimed_bytes += entry.bytes;
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn io_err(e: std::io::Error) -> ArtifactError {
+    ArtifactError::Io(e.to_string())
+}
+
+/// Validates an entry file's frame and payload hash; `None` means damaged.
+fn unframe(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < ENTRY_HEADER || bytes[..8] != ENTRY_MAGIC {
+        return None;
+    }
+    let stored_hash = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload = &bytes[ENTRY_HEADER..];
+    if payload.len() as u64 != len || content_hash(payload) != stored_hash {
+        return None;
+    }
+    Some(payload)
+}

@@ -1,0 +1,345 @@
+//! Byte-level container of the **v2 binary model envelope**: a little-endian
+//! sectioned layout (magic + version + section table + payloads) that
+//! [`crate::FittedModel::to_bytes`] writes and
+//! [`crate::FittedModel::from_bytes`] reads.
+//!
+//! This module owns only the *container* — magic sniffing, the section
+//! table, and a checked reader that validates every offset/length against
+//! the buffer before any payload is touched. What goes *inside* each
+//! section (centroid buffers, flat band-key buffers, the spec JSON) is the
+//! business of `model.rs`.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"LSHM2BIN"
+//! 8       4     version (u32, = 2)
+//! 12      4     n_sections (u32, ≤ 64)
+//! 16      24×n  section table: { id: u32, reserved: u32 = 0,
+//!                                offset: u64, len: u64 }
+//! …             section payloads (table order, contiguous)
+//! ```
+//!
+//! The reader is written for hostile input: every length field is checked
+//! against the real buffer size **before** any allocation is sized from it,
+//! so truncated or bit-flipped artifacts yield a typed
+//! [`ModelError`](crate::ModelError) instead of a panic or an OOM-sized
+//! `Vec`.
+
+use crate::model::ModelError;
+
+/// First eight bytes of every v2 binary envelope. Anything else is sniffed
+/// as v1 JSON by [`crate::FittedModel::from_bytes`].
+pub(crate) const MAGIC: [u8; 8] = *b"LSHM2BIN";
+
+/// Container version this build writes and accepts.
+pub(crate) const VERSION: u32 = 2;
+
+/// Sanity cap on the section count: the format defines nine section ids, so
+/// any table claiming more than this is corruption, and the cap bounds the
+/// table allocation long before `n_sections × 24` is trusted.
+pub(crate) const MAX_SECTIONS: u32 = 64;
+
+/// Fixed-size prefix before the section table.
+const HEADER_LEN: usize = 16;
+/// Bytes per section-table entry.
+const ENTRY_LEN: usize = 24;
+
+// --- section ids ------------------------------------------------------------
+
+/// `ClusterSpec` as canonical compact JSON (UTF-8).
+pub(crate) const SEC_SPEC: u32 = 1;
+/// One byte: 0 = categorical, 1 = numeric, 2 = mixed.
+pub(crate) const SEC_MODALITY: u32 = 2;
+/// Training `Schema` as compact JSON (UTF-8).
+pub(crate) const SEC_SCHEMA: u32 = 3;
+/// Mode matrix: `u64 k, u64 n_attrs`, then `k × n_attrs` `u32` value ids.
+pub(crate) const SEC_MODES: u32 = 4;
+/// Mean matrix: `u64 k, u64 dim`, then `k × dim` `f64` coordinates.
+pub(crate) const SEC_MEANS: u32 = 5;
+/// Mixing weight γ: one `f64`.
+pub(crate) const SEC_GAMMA: u32 = 6;
+/// Categorical centroid-index band keys: `u64 k, u64 bands`, then
+/// `k × bands` `u64` keys (item-major — the `LshIndex` serialized form).
+pub(crate) const SEC_CAT_KEYS: u32 = 7;
+/// Numeric centroid-index band keys, same shape as [`SEC_CAT_KEYS`].
+pub(crate) const SEC_NUM_KEYS: u32 = 8;
+/// Numeric index centring mean: `u64 dim`, then `dim` `f64` coordinates.
+pub(crate) const SEC_NUM_MEAN: u32 = 9;
+
+/// Human name of a section id, for error messages.
+pub(crate) fn section_name(id: u32) -> &'static str {
+    match id {
+        SEC_SPEC => "spec",
+        SEC_MODALITY => "modality",
+        SEC_SCHEMA => "schema",
+        SEC_MODES => "modes",
+        SEC_MEANS => "means",
+        SEC_GAMMA => "gamma",
+        SEC_CAT_KEYS => "cat-band-keys",
+        SEC_NUM_KEYS => "num-band-keys",
+        SEC_NUM_MEAN => "num-index-mean",
+        _ => "unknown",
+    }
+}
+
+pub(crate) fn corrupt(msg: impl Into<String>) -> ModelError {
+    ModelError::Corrupt(msg.into())
+}
+
+// --- writer -----------------------------------------------------------------
+
+/// Accumulates `(id, payload)` sections and renders the framed envelope.
+/// Sections are laid out in push order, so the output is deterministic.
+pub(crate) struct Writer {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Self {
+            sections: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, id: u32, payload: Vec<u8>) {
+        self.sections.push((id, payload));
+    }
+
+    pub(crate) fn finish(self) -> Vec<u8> {
+        let n = self.sections.len();
+        assert!(n as u32 <= MAX_SECTIONS, "writer exceeds the section cap");
+        let table_end = HEADER_LEN + n * ENTRY_LEN;
+        let total: usize = table_end + self.sections.iter().map(|(_, p)| p.len()).sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(n as u32).to_le_bytes());
+        let mut offset = table_end as u64;
+        for (id, payload) in &self.sections {
+            out.extend_from_slice(&id.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            offset += payload.len() as u64;
+        }
+        for (_, payload) in &self.sections {
+            out.extend_from_slice(payload);
+        }
+        debug_assert_eq!(out.len(), total);
+        out
+    }
+}
+
+// --- payload write helpers --------------------------------------------------
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+// --- reader -----------------------------------------------------------------
+
+/// The parsed section table: every `(offset, len)` has been bounds-checked
+/// against the buffer, so payload access is infallible slicing.
+pub(crate) struct Sections<'a> {
+    entries: Vec<(u32, &'a [u8])>,
+}
+
+impl<'a> Sections<'a> {
+    /// Validates the frame (magic, version, table) and returns the section
+    /// map. Every check happens before any payload byte is interpreted.
+    pub(crate) fn parse(bytes: &'a [u8]) -> Result<Self, ModelError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(corrupt(format!(
+                "artifact of {} bytes is shorter than the {HEADER_LEN}-byte v2 header",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(ModelError::Envelope(
+                "magic bytes are not `LSHM2BIN`".to_owned(),
+            ));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(ModelError::Envelope(format!(
+                "binary envelope version {version} is not supported \
+                 (this build reads version {VERSION})"
+            )));
+        }
+        let n = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+        if n > MAX_SECTIONS {
+            return Err(corrupt(format!(
+                "section table claims {n} sections (cap is {MAX_SECTIONS})"
+            )));
+        }
+        let n = n as usize;
+        let table_end = HEADER_LEN + n * ENTRY_LEN;
+        if table_end > bytes.len() {
+            return Err(corrupt(format!(
+                "section table of {n} entries extends past the {}-byte artifact",
+                bytes.len()
+            )));
+        }
+        let mut entries: Vec<(u32, &[u8])> = Vec::with_capacity(n);
+        for i in 0..n {
+            let at = HEADER_LEN + i * ENTRY_LEN;
+            let entry = &bytes[at..at + ENTRY_LEN];
+            let id = u32::from_le_bytes(entry[0..4].try_into().expect("4 bytes"));
+            let reserved = u32::from_le_bytes(entry[4..8].try_into().expect("4 bytes"));
+            if reserved != 0 {
+                return Err(corrupt(format!(
+                    "section {} carries a non-zero reserved word",
+                    section_name(id)
+                )));
+            }
+            let offset = u64::from_le_bytes(entry[8..16].try_into().expect("8 bytes"));
+            let len = u64::from_le_bytes(entry[16..24].try_into().expect("8 bytes"));
+            let end = offset.checked_add(len).ok_or_else(|| {
+                corrupt(format!("section {} offset+len overflows", section_name(id)))
+            })?;
+            if end > bytes.len() as u64 || offset < table_end as u64 {
+                return Err(corrupt(format!(
+                    "section {} [{offset}, {end}) lies outside the payload \
+                     region of the {}-byte artifact",
+                    section_name(id),
+                    bytes.len()
+                )));
+            }
+            if entries.iter().any(|(seen, _)| *seen == id) {
+                return Err(corrupt(format!("duplicate section {}", section_name(id))));
+            }
+            entries.push((id, &bytes[offset as usize..end as usize]));
+        }
+        Ok(Self { entries })
+    }
+
+    pub(crate) fn get(&self, id: u32) -> Option<&'a [u8]> {
+        self.entries
+            .iter()
+            .find(|(sid, _)| *sid == id)
+            .map(|(_, payload)| *payload)
+    }
+
+    pub(crate) fn require(&self, id: u32) -> Result<&'a [u8], ModelError> {
+        self.get(id)
+            .ok_or_else(|| corrupt(format!("missing section {}", section_name(id))))
+    }
+}
+
+/// Reads the `u64` at `at` from a payload whose length was already
+/// validated by the caller.
+pub(crate) fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+/// A payload framed as `u64 rows, u64 cols, rows × cols cells` of
+/// `cell_bytes` each. Returns `(rows, cols, cells)` only when the payload
+/// length agrees *exactly* with its own header — the cross-check that makes
+/// every downstream allocation bounded by the artifact size.
+pub(crate) fn matrix_frame<'a>(
+    bytes: &'a [u8],
+    cell_bytes: usize,
+    what: &str,
+) -> Result<(usize, usize, &'a [u8]), ModelError> {
+    if bytes.len() < 16 {
+        return Err(corrupt(format!(
+            "{what} section is shorter than its header"
+        )));
+    }
+    let rows = read_u64(bytes, 0);
+    let cols = read_u64(bytes, 8);
+    let expected = rows
+        .checked_mul(cols)
+        .and_then(|cells| cells.checked_mul(cell_bytes as u64))
+        .and_then(|payload| payload.checked_add(16));
+    if expected != Some(bytes.len() as u64) {
+        return Err(corrupt(format!(
+            "{what} section length {} disagrees with its {rows}×{cols} header",
+            bytes.len()
+        )));
+    }
+    Ok((rows as usize, cols as usize, &bytes[16..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_section_envelope() -> Vec<u8> {
+        let mut w = Writer::new();
+        w.push(SEC_SPEC, b"{}".to_vec());
+        w.push(SEC_MODALITY, vec![1]);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trips_sections() {
+        let bytes = two_section_envelope();
+        let sections = Sections::parse(&bytes).unwrap();
+        assert_eq!(sections.require(SEC_SPEC).unwrap(), b"{}");
+        assert_eq!(sections.require(SEC_MODALITY).unwrap(), &[1]);
+        assert!(sections.get(SEC_GAMMA).is_none());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = two_section_envelope();
+        for cut in 0..bytes.len() {
+            let err = match Sections::parse(&bytes[..cut]) {
+                Err(e) => e,
+                // The frame may survive the cut (payloads are at the end);
+                // requiring both sections must then fail.
+                Ok(s) => match (s.require(SEC_SPEC), s.require(SEC_MODALITY)) {
+                    (Err(e), _) | (_, Err(e)) => e,
+                    _ => panic!("truncation to {cut} bytes was accepted"),
+                },
+            };
+            assert!(
+                matches!(err, ModelError::Corrupt(_) | ModelError::Envelope(_)),
+                "truncation to {cut} bytes: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_length_field_is_rejected_before_allocation() {
+        let mut bytes = two_section_envelope();
+        // Inflate the first section's len field to ~2^63.
+        bytes[16 + 16..16 + 24].copy_from_slice(&(1u64 << 63).to_le_bytes());
+        assert!(matches!(
+            Sections::parse(&bytes),
+            Err(ModelError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn matrix_frame_cross_checks_exact_length() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 2);
+        put_u64(&mut payload, 3);
+        for v in 0..6u32 {
+            put_u32(&mut payload, v);
+        }
+        let (rows, cols, cells) = matrix_frame(&payload, 4, "modes").unwrap();
+        assert_eq!((rows, cols, cells.len()), (2, 3, 24));
+
+        // A header claiming u64::MAX rows must fail the checked math, not
+        // size an allocation.
+        let mut huge = payload.clone();
+        huge[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matrix_frame(&huge, 4, "modes").is_err());
+
+        payload.pop();
+        assert!(matrix_frame(&payload, 4, "modes").is_err());
+    }
+}

@@ -19,9 +19,13 @@
 //! index built *over the centroids* — so a fit is not a terminal report but
 //! a servable artifact: [`FittedModel::predict`] assigns unseen batches
 //! (multi-threaded, shortlist-accelerated, full-search fallback),
-//! [`FittedModel::save`]/[`FittedModel::load`] round-trip the model as a
-//! versioned JSON envelope, and [`ClusterSpec::warm_start`] resumes a refit
-//! from served centroids instead of re-initialising:
+//! [`FittedModel::save`]/[`FittedModel::load`] round-trip the model through
+//! versioned envelopes (v1 JSON by default; [`FittedModel::save_v2`] writes
+//! the flat binary envelope whose load path copies the index instead of
+//! re-hashing it), [`ArtifactStore`] caches fitted models content-addressed
+//! by `(spec, dataset)` so identical refits are cache hits, and
+//! [`ClusterSpec::warm_start`] resumes a refit from served centroids instead
+//! of re-initialising:
 //!
 //! ```
 //! use lshclust::{ClusterSpec, Clusterer, Lsh, NumericDataset};
@@ -126,15 +130,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod clusterer;
+mod envelope;
 mod model;
 mod run;
 pub mod serve;
 pub mod shard;
 mod spec;
 
+pub use artifact::{ArtifactError, ArtifactKey, ArtifactStore, CachedFit};
 pub use clusterer::{Clusterer, Input};
-pub use model::{FittedModel, ModelError, PredictInput, MODEL_FORMAT, MODEL_VERSION};
+pub use model::{
+    FittedModel, ModelError, PredictInput, MODEL_FORMAT, MODEL_VERSION, MODEL_VERSION_V2,
+};
 pub use run::{Centroids, ClusterRun, RunReport};
 pub use serve::{ModelHandle, ModelServer, PredictTicket, Prediction, ServeError, ServerConfig};
 pub use spec::{ClusterSpec, Fit, Init, Lsh, Query, SpecError, StreamOptions};

@@ -11,10 +11,20 @@
 //! taken by the cluster-closures line of work). An empty shortlist falls
 //! back to full search, so `predict` is total.
 //!
-//! The artifact round-trips as JSON through a **versioned envelope**
-//! ([`FittedModel::save`] / [`FittedModel::load`]): only the spec and the
-//! centroids are stored; the index is rebuilt deterministically from them on
-//! load, so a reloaded model answers every query identically.
+//! The artifact round-trips through two **versioned envelopes**, sniffed
+//! apart by their leading bytes at every load site:
+//!
+//! - **v1 JSON** ([`FittedModel::save`] / [`FittedModel::to_json`]) — the
+//!   pinned default: human-readable, stores only the spec and the
+//!   centroids, and rebuilds the index by re-hashing every centroid on
+//!   load.
+//! - **v2 flat binary** ([`FittedModel::save_v2`] / [`FittedModel::to_bytes`])
+//!   — a little-endian sectioned layout that additionally persists the flat
+//!   item-major band-key buffers, so load refills the index buckets by
+//!   *copying* instead of re-hashing — the difference that matters at
+//!   large `k` (see `BENCH_artifact.json`).
+//!
+//! Either way a reloaded model answers every query identically.
 //!
 //! ```
 //! use lshclust::{ClusterSpec, Clusterer, DatasetBuilder, Lsh};
@@ -34,6 +44,7 @@
 //! assert_eq!(fresh, run.assignments[0]);
 //! ```
 
+use crate::envelope::{self, corrupt};
 use crate::spec::{ClusterSpec, Lsh, StreamOptions};
 use lshclust_categorical::dissimilarity::matching;
 use lshclust_categorical::{
@@ -56,8 +67,12 @@ use std::path::Path;
 
 /// Envelope marker of the JSON model artifact.
 pub const MODEL_FORMAT: &str = "lshclust-model";
-/// Envelope version this build writes and accepts.
+/// Version of the JSON envelope ([`FittedModel::save`] /
+/// [`FittedModel::to_json`] — the pinned default format).
 pub const MODEL_VERSION: u64 = 1;
+/// Version of the flat binary envelope ([`FittedModel::save_v2`] /
+/// [`FittedModel::to_bytes`]).
+pub const MODEL_VERSION_V2: u64 = 2;
 
 // Centroid indexes decorrelate their hash families from the fit-time item
 // index (which already decorrelates from init sampling).
@@ -74,6 +89,10 @@ pub enum ModelError {
     /// The artifact parsed but its envelope is not one this build accepts
     /// (wrong `format` marker or unsupported `version`).
     Envelope(String),
+    /// A v2 binary artifact is structurally damaged: truncated, bit-flipped,
+    /// or internally inconsistent (a section length disagreeing with its own
+    /// shape header, a band-key buffer disagreeing with the spec, …).
+    Corrupt(String),
     /// The query modality does not match the model (e.g. numeric points
     /// against a categorical model).
     WrongModality {
@@ -107,6 +126,7 @@ impl fmt::Display for ModelError {
             ModelError::Io(e) => write!(f, "model artifact I/O failed: {e}"),
             ModelError::Json(e) => write!(f, "model artifact is not valid JSON: {e}"),
             ModelError::Envelope(e) => write!(f, "model envelope rejected: {e}"),
+            ModelError::Corrupt(e) => write!(f, "model artifact is corrupt: {e}"),
             ModelError::WrongModality { expected, got } => {
                 write!(f, "{expected} model cannot serve {got} queries")
             }
@@ -170,6 +190,25 @@ impl CatIndex {
             (0..modes.k()).map(|c| modes.mode(c)),
             modes.k(),
         );
+        Self {
+            banding,
+            generator,
+            index,
+        }
+    }
+
+    /// The copy-instead-of-hash load path: refills the bucket maps from a
+    /// persisted flat band-key buffer (`k × bands`, item-major) instead of
+    /// re-MinHashing every centroid. The query-side hash family still
+    /// regenerates deterministically from the seed — only the per-centroid
+    /// hashing (the dominant load cost) is skipped. The caller has already
+    /// validated `band_keys.len() == k × bands`.
+    fn from_band_keys(banding: Banding, seed: u64, band_keys: Vec<u64>, k: usize) -> Self {
+        let generator = SignatureGenerator::new(MixHashFamily::new(banding.signature_len(), seed));
+        let identity: Vec<ClusterId> = (0..k as u32).map(ClusterId).collect();
+        let index = LshIndexBuilder::new(banding)
+            .seed(seed)
+            .build_from_band_keys(band_keys, &identity);
         Self {
             banding,
             generator,
@@ -755,9 +794,7 @@ impl FittedModel {
     /// Parses a model from its JSON envelope, rebuilding the centroid index
     /// deterministically (a reloaded model answers every query identically).
     pub fn from_json(text: &str) -> Result<Self, ModelError> {
-        let value: Value = serde_json::from_str::<ValueCarrier>(text)
-            .map(|c| c.0)
-            .map_err(|e| ModelError::Json(e.to_string()))?;
+        let value = serde_json::parse(text).map_err(|e| ModelError::Json(e.to_string()))?;
         let format = value.get("format").and_then(Value::as_str).unwrap_or("?");
         if format != MODEL_FORMAT {
             return Err(ModelError::Envelope(format!(
@@ -773,16 +810,334 @@ impl FittedModel {
         FittedModel::from_value(&value).map_err(|e| ModelError::Json(e.to_string()))
     }
 
-    /// Writes the JSON envelope to `path`.
+    /// Writes the **v1 JSON** envelope to `path` — the pinned default
+    /// format: human-readable, diff-friendly, and accepted by every build
+    /// since version 1. Reach for [`Self::save_v2`] when load latency
+    /// matters more than readability.
     pub fn save<P: AsRef<Path>>(&self, path: P) -> Result<(), ModelError> {
         std::fs::write(path, self.to_json()).map_err(|e| ModelError::Io(e.to_string()))
     }
 
-    /// Reads a model back from `path`.
-    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, ModelError> {
-        let text = std::fs::read_to_string(path).map_err(|e| ModelError::Io(e.to_string()))?;
-        Self::from_json(&text)
+    /// Writes the **v2 flat binary** envelope to `path` (see
+    /// [`Self::to_bytes`]). [`Self::load`] sniffs the format, so v1 and v2
+    /// artifacts are interchangeable at every load site.
+    pub fn save_v2<P: AsRef<Path>>(&self, path: P) -> Result<(), ModelError> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| ModelError::Io(e.to_string()))
     }
+
+    /// Reads a model back from `path`, accepting both envelope formats
+    /// (sniffed via [`Self::from_bytes`]).
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Self, ModelError> {
+        let bytes = std::fs::read(path).map_err(|e| ModelError::Io(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+
+    /// Serializes the model as the **v2 flat binary envelope**: a
+    /// little-endian sectioned layout carrying the spec, the centroid
+    /// buffers, and — unlike v1 — the centroid index's flat item-major
+    /// band-key buffers. [`Self::from_bytes`] rebuilds the index by
+    /// *copying* those buffers into buckets instead of re-hashing every
+    /// centroid, which is what makes v2 loads fast at large `k`; the
+    /// query-side hash families regenerate deterministically from the seed,
+    /// so a v2-loaded model answers every query byte-identically to the
+    /// model that was saved (and to a v1 round-trip of the same model).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = envelope::Writer::new();
+        w.push(
+            envelope::SEC_SPEC,
+            serde_json::to_string(&self.spec)
+                .expect("spec serializes")
+                .into_bytes(),
+        );
+        match &self.kind {
+            ModelKind::Categorical(s) => {
+                w.push(envelope::SEC_MODALITY, vec![0]);
+                push_categorical(&mut w, s);
+            }
+            ModelKind::Numeric(s) => {
+                w.push(envelope::SEC_MODALITY, vec![1]);
+                push_numeric(&mut w, s);
+            }
+            ModelKind::Mixed(s) => {
+                w.push(envelope::SEC_MODALITY, vec![2]);
+                push_categorical(&mut w, &s.cat);
+                push_numeric(&mut w, &s.num);
+                let mut gamma = Vec::with_capacity(8);
+                envelope::put_f64(&mut gamma, s.gamma);
+                w.push(envelope::SEC_GAMMA, gamma);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses a model from either envelope format, sniffing the leading
+    /// bytes: the v2 binary magic routes to the sectioned reader, anything
+    /// else is treated as v1 JSON text. Hostile input — truncated,
+    /// bit-flipped, or version-skewed — yields a typed [`ModelError`]
+    /// ([`ModelError::Corrupt`] / [`ModelError::Envelope`] /
+    /// [`ModelError::Json`]); it never panics, and every allocation is
+    /// bounded by the buffer size (length fields are validated first).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelError> {
+        if bytes.starts_with(&envelope::MAGIC) {
+            return decode_v2(bytes);
+        }
+        let text = std::str::from_utf8(bytes).map_err(|_| {
+            ModelError::Json("artifact is neither a v2 binary envelope nor UTF-8 JSON".to_owned())
+        })?;
+        Self::from_json(text)
+    }
+
+    /// The envelope version a byte buffer claims to carry, without decoding
+    /// the payload: `Some(2)` for the v2 binary magic, `Some(version)` for
+    /// parseable v1-style JSON with the right `format` marker, `None` for
+    /// anything else. `cluster inspect` uses this to describe artifacts it
+    /// may not even be able to load.
+    pub fn sniff_version(bytes: &[u8]) -> Option<u64> {
+        if bytes.starts_with(&envelope::MAGIC) {
+            let raw = bytes.get(8..12)?;
+            return Some(u64::from(u32::from_le_bytes(
+                raw.try_into().expect("4 bytes"),
+            )));
+        }
+        let text = std::str::from_utf8(bytes).ok()?;
+        let value = serde_json::parse(text).ok()?;
+        if value.get("format").and_then(Value::as_str) != Some(MODEL_FORMAT) {
+            return None;
+        }
+        value.get("version").and_then(Value::as_u64)
+    }
+}
+
+// --- v2 binary envelope: encode --------------------------------------------
+
+fn push_categorical(w: &mut envelope::Writer, s: &CategoricalServer) {
+    w.push(
+        envelope::SEC_SCHEMA,
+        serde_json::to_string(&s.schema)
+            .expect("schema serializes")
+            .into_bytes(),
+    );
+    let mut modes = Vec::with_capacity(16 + s.modes.values().len() * 4);
+    envelope::put_u64(&mut modes, s.modes.k() as u64);
+    envelope::put_u64(&mut modes, s.modes.n_attrs() as u64);
+    for v in s.modes.values() {
+        envelope::put_u32(&mut modes, v.0);
+    }
+    w.push(envelope::SEC_MODES, modes);
+    if let Some(ci) = &s.index {
+        w.push(
+            envelope::SEC_CAT_KEYS,
+            keys_section(s.modes.k(), ci.banding.bands(), ci.index.band_keys()),
+        );
+    }
+}
+
+fn push_numeric(w: &mut envelope::Writer, s: &NumericServer) {
+    let k = s.k();
+    let mut means = Vec::with_capacity(16 + s.centroids.len() * 8);
+    envelope::put_u64(&mut means, k as u64);
+    envelope::put_u64(&mut means, s.dim as u64);
+    for &v in &s.centroids {
+        envelope::put_f64(&mut means, v);
+    }
+    w.push(envelope::SEC_MEANS, means);
+    if let Some(ix) = &s.index {
+        let bands = (ix.band_keys().len() / k.max(1)) as u32;
+        w.push(
+            envelope::SEC_NUM_KEYS,
+            keys_section(k, bands, ix.band_keys()),
+        );
+        let mut mean = Vec::with_capacity(16 + ix.mean().len() * 8);
+        envelope::put_u64(&mut mean, 1);
+        envelope::put_u64(&mut mean, ix.mean().len() as u64);
+        for &v in ix.mean() {
+            envelope::put_f64(&mut mean, v);
+        }
+        w.push(envelope::SEC_NUM_MEAN, mean);
+    }
+}
+
+/// `u64 k, u64 bands`, then the item-major `k × bands` key buffer.
+fn keys_section(k: usize, bands: u32, keys: &[u64]) -> Vec<u8> {
+    debug_assert_eq!(keys.len(), k * bands as usize);
+    let mut out = Vec::with_capacity(16 + keys.len() * 8);
+    envelope::put_u64(&mut out, k as u64);
+    envelope::put_u64(&mut out, u64::from(bands));
+    for &key in keys {
+        envelope::put_u64(&mut out, key);
+    }
+    out
+}
+
+// --- v2 binary envelope: decode --------------------------------------------
+
+fn decode_v2(bytes: &[u8]) -> Result<FittedModel, ModelError> {
+    let sections = envelope::Sections::parse(bytes)?;
+    let spec_text = std::str::from_utf8(sections.require(envelope::SEC_SPEC)?)
+        .map_err(|_| corrupt("spec section is not UTF-8"))?;
+    let spec: ClusterSpec =
+        serde_json::from_str(spec_text).map_err(|e| ModelError::Json(e.to_string()))?;
+    let modality = sections.require(envelope::SEC_MODALITY)?;
+    let kind = match modality {
+        [0] => ModelKind::Categorical(decode_categorical(&sections, &spec)?),
+        [1] => ModelKind::Numeric(decode_numeric(&sections, &spec)?),
+        [2] => {
+            let cat = decode_categorical(&sections, &spec)?;
+            let num = decode_numeric(&sections, &spec)?;
+            let gamma_bytes = sections.require(envelope::SEC_GAMMA)?;
+            let gamma = <[u8; 8]>::try_from(gamma_bytes)
+                .map(f64::from_le_bytes)
+                .map_err(|_| corrupt("gamma section is not exactly 8 bytes"))?;
+            ModelKind::Mixed(MixedServer { cat, num, gamma })
+        }
+        other => {
+            return Err(corrupt(format!(
+                "modality section is not one known byte ({} bytes)",
+                other.len()
+            )))
+        }
+    };
+    Ok(FittedModel { spec, kind })
+}
+
+fn decode_categorical(
+    sections: &envelope::Sections<'_>,
+    spec: &ClusterSpec,
+) -> Result<CategoricalServer, ModelError> {
+    let schema_text = std::str::from_utf8(sections.require(envelope::SEC_SCHEMA)?)
+        .map_err(|_| corrupt("schema section is not UTF-8"))?;
+    let schema: Schema =
+        serde_json::from_str(schema_text).map_err(|e| ModelError::Json(e.to_string()))?;
+    let (k, n_attrs, cells) =
+        envelope::matrix_frame(sections.require(envelope::SEC_MODES)?, 4, "modes")?;
+    let values: Vec<ValueId> = cells
+        .chunks_exact(4)
+        .map(|c| ValueId(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+        .collect();
+    let modes = Modes::from_parts(k, n_attrs, values);
+    check_mode_arity(&schema, &modes).map_err(|e| corrupt(e.0))?;
+    check_cluster_count(modes.k(), spec.k).map_err(|e| corrupt(e.0))?;
+    let index = match spec.lsh {
+        Lsh::MinHash { bands, rows } | Lsh::Union { bands, rows, .. } => {
+            let banding = banding_of(bands, rows)?;
+            let keys = decode_band_keys(
+                sections.require(envelope::SEC_CAT_KEYS)?,
+                k,
+                bands,
+                "cat-band-keys",
+            )?;
+            Some(CatIndex::from_band_keys(
+                banding,
+                spec.seed ^ CAT_INDEX_SALT,
+                keys,
+                k,
+            ))
+        }
+        _ => None,
+    };
+    Ok(CategoricalServer {
+        schema,
+        modes,
+        index,
+    })
+}
+
+fn decode_numeric(
+    sections: &envelope::Sections<'_>,
+    spec: &ClusterSpec,
+) -> Result<NumericServer, ModelError> {
+    let (k, dim, cells) =
+        envelope::matrix_frame(sections.require(envelope::SEC_MEANS)?, 8, "means")?;
+    if dim == 0 {
+        return Err(corrupt("means section declares dim 0"));
+    }
+    check_cluster_count(k, spec.k).map_err(|e| corrupt(e.0))?;
+    let centroids = f64_cells(cells);
+    let banding = match spec.lsh {
+        Lsh::SimHash { bands, rows } => Some((bands, rows)),
+        Lsh::Union {
+            sim_bands,
+            sim_rows,
+            ..
+        } => Some((sim_bands, sim_rows)),
+        _ => None,
+    };
+    let index = match banding {
+        Some((bands, rows)) => {
+            banding_of(bands, rows)?;
+            let keys = decode_band_keys(
+                sections.require(envelope::SEC_NUM_KEYS)?,
+                k,
+                bands,
+                "num-band-keys",
+            )?;
+            let (one, mdim, mean_cells) = envelope::matrix_frame(
+                sections.require(envelope::SEC_NUM_MEAN)?,
+                8,
+                "num-index-mean",
+            )?;
+            if one != 1 || mdim != dim {
+                return Err(corrupt(format!(
+                    "num-index-mean section is {one}×{mdim}, model expects 1×{dim}"
+                )));
+            }
+            let identity: Vec<ClusterId> = (0..k as u32).map(ClusterId).collect();
+            Some(SimHashIndex::from_band_keys(
+                dim,
+                bands,
+                rows,
+                spec.seed ^ NUM_INDEX_SALT,
+                f64_cells(mean_cells),
+                keys,
+                &identity,
+            ))
+        }
+        None => None,
+    };
+    Ok(NumericServer {
+        dim,
+        centroids,
+        index,
+    })
+}
+
+/// Spec-level banding values come from parsed JSON, so they are validated
+/// (not asserted) before [`Banding::new`] — hostile input must error, never
+/// panic.
+fn banding_of(bands: u32, rows: u32) -> Result<Banding, ModelError> {
+    if bands == 0 || rows == 0 {
+        return Err(corrupt(format!(
+            "spec banding {bands}×{rows} is not positive"
+        )));
+    }
+    Ok(Banding::new(bands, rows))
+}
+
+/// Decodes a band-key section, cross-checking its own `k × bands` header
+/// against the shape the spec demands before any key is copied.
+fn decode_band_keys(
+    bytes: &[u8],
+    k: usize,
+    bands: u32,
+    what: &str,
+) -> Result<Vec<u64>, ModelError> {
+    let (rows, cols, cells) = envelope::matrix_frame(bytes, 8, what)?;
+    if rows != k || cols != bands as usize {
+        return Err(corrupt(format!(
+            "{what} section is {rows}×{cols}, spec expects {k}×{bands}"
+        )));
+    }
+    Ok(cells
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect())
+}
+
+fn f64_cells(cells: &[u8]) -> Vec<f64> {
+    cells
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
 }
 
 /// Per-worker scratch for the crate-internal serving path
@@ -836,16 +1191,6 @@ impl fmt::Debug for FittedModel {
             .field("lsh", &self.spec.lsh)
             .field("has_index", &self.has_index())
             .finish()
-    }
-}
-
-/// Raw-`Value` passthrough so `from_json` can inspect the envelope before
-/// committing to a payload shape.
-struct ValueCarrier(Value);
-
-impl Deserialize for ValueCarrier {
-    fn from_value(v: &Value) -> Result<Self, SerdeError> {
-        Ok(ValueCarrier(v.clone()))
     }
 }
 

@@ -270,10 +270,30 @@ impl ModelHandle {
     }
 
     /// [`Self::reload`] from a serialized model envelope (the versioned JSON
-    /// of [`FittedModel::to_json`]); the swap happens only if the envelope
-    /// parses, so a bad artifact can never take down a healthy server.
+    /// of [`FittedModel::to_json`]); the envelope is parsed and validated
+    /// **in full before the write lock is taken**, so a bad artifact can
+    /// never take down a healthy server — the generation only moves when a
+    /// complete, valid model is ready to swap in.
     pub fn reload_from_json(&self, json: &str) -> Result<u64, ModelError> {
         let model = FittedModel::from_json(json)?;
+        Ok(self.reload(model))
+    }
+
+    /// [`Self::reload`] from serialized envelope bytes, sniffing v1 JSON vs
+    /// the v2 binary format ([`FittedModel::from_bytes`]). Same guarantee as
+    /// [`Self::reload_from_json`]: decode fails ⇒ no swap, no generation
+    /// bump. The v2 path is the one to reach for under load — its decode
+    /// copies the index's flat band-key buffers instead of re-hashing every
+    /// centroid, so the pause before the swap shrinks with it.
+    pub fn reload_from_bytes(&self, bytes: &[u8]) -> Result<u64, ModelError> {
+        let model = FittedModel::from_bytes(bytes)?;
+        Ok(self.reload(model))
+    }
+
+    /// [`Self::reload_from_bytes`] straight from a file path (either
+    /// envelope format). Read or decode fails ⇒ no swap, no generation bump.
+    pub fn reload_from_path<P: AsRef<std::path::Path>>(&self, path: P) -> Result<u64, ModelError> {
+        let model = FittedModel::load(path)?;
         Ok(self.reload(model))
     }
 }

@@ -226,6 +226,16 @@ impl LshIndex {
         self.banding
     }
 
+    /// The flat item-major band-key buffer (`n_items × bands`) the index was
+    /// built from. This **is** the index's serialized form: feeding the
+    /// buffer back through [`LshIndexBuilder::build_from_band_keys`] refills
+    /// the buckets byte-identically without re-hashing a single row — the
+    /// copy-instead-of-hash load path of `lshclust`'s v2 binary model
+    /// envelope.
+    pub fn band_keys(&self) -> &[u64] {
+        &self.band_keys
+    }
+
     /// Number of indexed items.
     pub fn n_items(&self) -> usize {
         self.cluster_of.len()

@@ -37,6 +37,15 @@ pub fn to_string_pretty<T: Serialize>(t: &T) -> Result<String, Error> {
 
 /// Parses JSON text and reconstructs a `T`.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    T::from_value(&parse(s)?)
+}
+
+/// Parses JSON text into a [`Value`] tree without deserializing further.
+///
+/// Callers that need to inspect or hold on to the tree (rather than go
+/// straight to a concrete type) use this to avoid re-serializing: the
+/// returned `Value` is owned, so no clone of the input survives.
+pub fn parse(s: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -47,7 +56,7 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     if p.pos != p.bytes.len() {
         return Err(Error(format!("trailing input at byte {}", p.pos)));
     }
-    T::from_value(&v)
+    Ok(v)
 }
 
 // --- writer ----------------------------------------------------------------
