@@ -95,6 +95,7 @@ pub fn run(settings: &Settings) -> crate::figures::Report {
             assignments,
             setup,
             &StopPolicy::max_iterations(30),
+            true,
         );
         rows.push(Row {
             name: format!("Canopy shortlists (T1=0.3, {mean_memberships:.1} canopies/item)"),

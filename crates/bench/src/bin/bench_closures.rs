@@ -1,0 +1,60 @@
+//! `bench_closures` — the cluster-closure savings experiment behind
+//! `BENCH_closures.json`.
+//!
+//! ```text
+//! bench_closures [--quick] [--seed N] [--threads N] [--out FILE]
+//!
+//!   --quick       CI-sized workload (seconds instead of minutes)
+//!   --seed N      master seed (default 42)
+//!   --threads N   assignment threads for every fit (default 4)
+//!   --out FILE    where to write the JSON report (default BENCH_closures.json)
+//! ```
+//!
+//! Exits non-zero if the identity guard trips — i.e. if a closures-on fit
+//! diverges from its closures-off twin on any byte-identity surface — so CI
+//! can run it as a soundness check, not just a benchmark.
+
+use lshclust_bench::closures::{run, ClosuresSettings};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_closures [--quick] [--seed N] [--threads N] [--out FILE]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut settings = ClosuresSettings::default();
+    let mut out = "BENCH_closures.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => settings.quick = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => settings.seed = s,
+                None => return usage(),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t > 0 => settings.threads = t,
+                _ => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = run(&settings);
+    print!("{}", report.render());
+    if let Err(e) = report.write_json(&out) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out}");
+    if !report.identical {
+        eprintln!("error: identity guard tripped — closures-on fit diverged from closures-off");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

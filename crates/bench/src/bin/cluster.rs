@@ -71,6 +71,9 @@
 //!                     flags switches the fit discipline to mini-batch.
 //!   --shards N        partition the fit across N shards (byte-identical to
 //!                     --shards 1 at --threads > 1; requires LSH)
+//!   --no-closures     disable cluster-closure incremental re-assignment and
+//!                     re-evaluate every item each pass (results are
+//!                     byte-identical either way; this is the escape hatch)
 //!   --worker-cmd CMD  run each shard in its own process spawned from CMD
 //!                     (typically "cluster shard-worker"); in-process without
 //!   --spec FILE       read a full ClusterSpec as JSON (overrides the flags above)
@@ -107,6 +110,8 @@ struct FitArgs {
     steps: Option<usize>,
     refresh_every: Option<usize>,
     shards: Option<usize>,
+    /// Disable cluster-closure incremental re-assignment (`--no-closures`).
+    no_closures: bool,
     worker_cmd: Option<String>,
     spec_file: Option<String>,
     warm_start: Option<String>,
@@ -320,6 +325,7 @@ fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String>
         steps: None,
         refresh_every: None,
         shards: None,
+        no_closures: false,
         worker_cmd: None,
         spec_file: None,
         warm_start: None,
@@ -390,6 +396,7 @@ fn parse_fit(flags: impl IntoIterator<Item = String>) -> Result<FitArgs, String>
                         .map_err(|e| format!("--shards: {e}"))?,
                 )
             }
+            "--no-closures" => args.no_closures = true,
             "--worker-cmd" => args.worker_cmd = Some(value("--worker-cmd")?),
             "--spec" => args.spec_file = Some(value("--spec")?),
             "--warm-start" => args.warm_start = Some(value("--warm-start")?),
@@ -420,9 +427,13 @@ fn build_spec(args: &FitArgs) -> Result<ClusterSpec, String> {
             serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))?;
         // An explicit --shards flag overrides the file, like nothing else
         // does: the smoke workflow runs one committed spec at several shard
-        // counts.
+        // counts. --no-closures gets the same treatment — it is the runtime
+        // escape hatch and must work against committed specs.
         if let Some(shards) = args.shards {
             spec = spec.shards(shards);
+        }
+        if args.no_closures {
+            spec = spec.closures(false);
         }
         return Ok(spec);
     }
@@ -440,6 +451,7 @@ fn build_spec(args: &FitArgs) -> Result<ClusterSpec, String> {
         .seed(args.seed)
         .threads(args.threads)
         .shards(args.shards.unwrap_or(1))
+        .closures(!args.no_closures)
         .max_iterations(args.max_iter);
     // Any mini-batch flag flips the fit discipline; unset knobs fall back
     // to the batch-256 default and the 10·k/batch step heuristic.
@@ -457,16 +469,17 @@ fn build_spec(args: &FitArgs) -> Result<ClusterSpec, String> {
     Ok(spec)
 }
 
-fn report(summary: &RunSummary, quiet: bool) {
+fn report(summary: &RunSummary, n_items: usize, quiet: bool) {
     if !quiet {
         for s in &summary.iterations {
             eprintln!(
-                "iter {:>3}: {:>8.3}s  {:>8} moves  avg shortlist {:>10.2}  cost {}",
+                "iter {:>3}: {:>8.3}s  {:>8} moves  avg shortlist {:>10.2}  cost {}  skipped {:>5.1}%",
                 s.iteration,
                 s.duration.as_secs_f64(),
                 s.moves,
                 s.avg_candidates,
-                s.cost
+                s.cost,
+                s.skipped_items as f64 / n_items.max(1) as f64 * 100.0,
             );
         }
     }
@@ -579,6 +592,7 @@ fn run_fit(args: FitArgs) -> Result<(), String> {
                 eprintln!("artifact cache miss: fitted and stored in {dir}");
                 report(
                     &cached.run.as_ref().expect("a miss carries the run").summary,
+                    dataset.n_items(),
                     args.quiet,
                 );
             }
@@ -607,7 +621,7 @@ fn run_fit(args: FitArgs) -> Result<(), String> {
                 clusterer = clusterer.worker_cmd(cmd.clone());
             }
             let run = clusterer.fit(&dataset).map_err(|e| e.to_string())?;
-            report(&run.summary, args.quiet);
+            report(&run.summary, dataset.n_items(), args.quiet);
             let assignments = run.labels();
             let model = run.model.clone();
             (model, assignments, Some(run))
@@ -818,6 +832,14 @@ fn run_inspect(path: &str) -> Result<(), String> {
     if let Some(gamma) = model.gamma() {
         println!("gamma:     {gamma}");
     }
+    println!(
+        "closures:  {}",
+        if spec.closures {
+            "on (incremental re-assignment)"
+        } else {
+            "off (exhaustive passes)"
+        }
+    );
     println!("seed:      {}", spec.seed);
     println!(
         "spec:      {}",
@@ -1324,6 +1346,47 @@ mod tests {
         ]))
         .unwrap();
         assert_eq!(build_spec(&from_file).unwrap().shards, 2);
+    }
+
+    #[test]
+    fn no_closures_flag_reaches_the_spec_and_overrides_spec_files() {
+        // Flag-assembled specs default closures on.
+        let args = parse_fit(flags(&["--input", "x.csv", "--k", "10"])).unwrap();
+        assert!(build_spec(&args).unwrap().closures);
+
+        let args = parse_fit(flags(&["--input", "x.csv", "--k", "10", "--no-closures"])).unwrap();
+        let spec = build_spec(&args).unwrap();
+        assert!(!spec.closures);
+
+        // --no-closures overrides a --spec file: the escape hatch must work
+        // against committed specs without editing them.
+        let dir = std::env::temp_dir().join(format!(
+            "lshclust-cluster-cli-closures-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        let on_disk = ClusterSpec::new(10).closures(true);
+        std::fs::write(&path, serde_json::to_string(&on_disk).unwrap()).unwrap();
+        let from_file = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--spec",
+            path.to_str().unwrap(),
+            "--no-closures",
+        ]))
+        .unwrap();
+        assert!(!build_spec(&from_file).unwrap().closures);
+        // Without the flag the file's setting stands.
+        let from_file = parse_fit(flags(&[
+            "--input",
+            "x.csv",
+            "--spec",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(build_spec(&from_file).unwrap().closures);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

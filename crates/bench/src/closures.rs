@@ -1,0 +1,388 @@
+//! Cluster-closure experiment: what incremental re-assignment saves,
+//! pass by pass.
+//!
+//! The active-set engine (`ClusterSpec::closures`, default on) keeps an
+//! item's assignment without re-scoring whenever its cached candidate
+//! shortlist touches no cluster that changed in the previous pass — provably
+//! the same answer full re-evaluation would return (see
+//! `docs/ARCHITECTURE.md` § Incremental assignment). This experiment runs
+//! each batch family twice through the facade — closures on and closures off
+//! — on identical specs and records, per iteration, the assign wall-time of
+//! both engines, how many items the closure run skipped, and how many
+//! clusters were still active. The artifact (`BENCH_closures.json`) is the
+//! evidence for the claim in the docs: the re-evaluated fraction collapses
+//! after the first passes as centroids settle.
+//!
+//! Every family also runs the **identity guard**: assignments, per-iteration
+//! moves / cost / candidate volume / active clusters, and convergence must
+//! be byte-identical between the two engines. A divergence flips
+//! `identical` to `false` in the report and makes the `bench_closures`
+//! binary exit non-zero — the benchmark doubles as an end-to-end regression
+//! check on the closure engine's soundness.
+
+use crate::env::BenchEnv;
+use lshclust::{ClusterRun, ClusterSpec, Clusterer, Lsh};
+use lshclust_categorical::Dataset;
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::kmeans::NumericDataset;
+use lshclust_kmodes::kprototypes::MixedDataset;
+use std::path::Path;
+
+/// Settings of a closure-savings run.
+#[derive(Clone, Debug)]
+pub struct ClosuresSettings {
+    /// Shrinks the workload for CI smoke runs.
+    pub quick: bool,
+    /// Assignment threads for every fit (closures compose with the Jacobi
+    /// engine; 1 exercises the serial pass).
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ClosuresSettings {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            threads: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// One iteration of a family, both engines side by side.
+#[derive(Clone, Debug)]
+pub struct ClosureIter {
+    /// Iteration number (1-based, matching `IterationStats::iteration`).
+    pub iteration: usize,
+    /// Assign wall-time of the closures-on pass, milliseconds.
+    pub on_ms: f64,
+    /// Assign wall-time of the closures-off (exhaustive) pass, milliseconds.
+    pub off_ms: f64,
+    /// Items the closure engine kept without re-evaluation this pass.
+    pub skipped_items: usize,
+    /// `skipped_items / n_items` — the fraction of the pass skipped.
+    pub skip_ratio: f64,
+    /// Clusters still active entering this pass (both engines record the
+    /// same value; the exhaustive engine just ignores it).
+    pub active_clusters: usize,
+    /// Items that changed cluster (identical across engines by design).
+    pub moves: usize,
+    /// Objective cost after the pass (identical across engines by design).
+    pub cost: u64,
+}
+
+serde::impl_serde_struct!(ClosureIter {
+    iteration,
+    on_ms,
+    off_ms,
+    skipped_items,
+    skip_ratio,
+    active_clusters,
+    moves,
+    cost
+});
+
+/// The closures-on vs closures-off comparison for one family.
+#[derive(Clone, Debug)]
+pub struct FamilyClosures {
+    /// `"categorical"`, `"numeric"` or `"mixed"`.
+    pub family: String,
+    /// The LSH scheme exercised.
+    pub lsh: String,
+    /// Items fitted.
+    pub n_items: usize,
+    /// Iterations both runs executed.
+    pub iterations: usize,
+    /// Summed assign time of the closures-on run, seconds.
+    pub on_assign_s: f64,
+    /// Summed assign time of the closures-off run, seconds.
+    pub off_assign_s: f64,
+    /// `off_assign_s / on_assign_s` — what skipping bought.
+    pub assign_speedup: f64,
+    /// Total items skipped across all passes.
+    pub skipped_total: usize,
+    /// `skipped_total / (n_items × iterations)` — overall skipped fraction.
+    pub skip_ratio_overall: f64,
+    /// The identity guard: whether the two runs were byte-identical
+    /// (assignments, per-iteration moves / cost / candidate volume / active
+    /// clusters, convergence).
+    pub identical: bool,
+    /// The per-iteration series.
+    pub series: Vec<ClosureIter>,
+}
+
+serde::impl_serde_struct!(FamilyClosures {
+    family,
+    lsh,
+    n_items,
+    iterations,
+    on_assign_s,
+    off_assign_s,
+    assign_speedup,
+    skipped_total,
+    skip_ratio_overall,
+    identical,
+    series
+});
+
+/// The full `BENCH_closures.json` payload.
+#[derive(Clone, Debug)]
+pub struct ClosuresReport {
+    /// Experiment marker.
+    pub experiment: String,
+    /// Host context; no axis is swept — `threads` records the fixed count.
+    pub env: BenchEnv,
+    /// Per-family comparisons.
+    pub families: Vec<FamilyClosures>,
+    /// Conjunction of every family's identity guard.
+    pub identical: bool,
+}
+
+serde::impl_serde_struct!(ClosuresReport {
+    experiment,
+    env,
+    families,
+    identical
+});
+
+/// True iff the two runs are byte-identical on every surface the closure
+/// engine promises to preserve (wall-clock and the skip counter itself are
+/// the only legitimate differences).
+fn runs_identical(on: &ClusterRun, off: &ClusterRun) -> bool {
+    let trajectory = |run: &ClusterRun| -> Vec<(usize, usize, u64, u64, usize)> {
+        run.summary
+            .iterations
+            .iter()
+            .map(|s| {
+                (
+                    s.iteration,
+                    s.moves,
+                    s.cost,
+                    s.avg_candidates.to_bits(),
+                    s.active_clusters,
+                )
+            })
+            .collect()
+    };
+    on.assignments == off.assignments
+        && on.summary.converged == off.summary.converged
+        && trajectory(on) == trajectory(off)
+        && off.summary.iterations.iter().all(|s| s.skipped_items == 0)
+}
+
+fn compare(family: &str, lsh_name: &str, on: ClusterRun, off: ClusterRun) -> FamilyClosures {
+    let n_items = on.assignments.len();
+    let identical = runs_identical(&on, &off);
+    let series: Vec<ClosureIter> = on
+        .summary
+        .iterations
+        .iter()
+        .zip(&off.summary.iterations)
+        .map(|(a, b)| ClosureIter {
+            iteration: a.iteration,
+            on_ms: a.duration.as_secs_f64() * 1e3,
+            off_ms: b.duration.as_secs_f64() * 1e3,
+            skipped_items: a.skipped_items,
+            skip_ratio: a.skipped_items as f64 / n_items.max(1) as f64,
+            active_clusters: a.active_clusters,
+            moves: a.moves,
+            cost: a.cost,
+        })
+        .collect();
+    let on_assign_s: f64 = series.iter().map(|s| s.on_ms).sum::<f64>() / 1e3;
+    let off_assign_s: f64 = series.iter().map(|s| s.off_ms).sum::<f64>() / 1e3;
+    let skipped_total: usize = series.iter().map(|s| s.skipped_items).sum();
+    let iterations = series.len();
+    FamilyClosures {
+        family: family.to_owned(),
+        lsh: lsh_name.to_owned(),
+        n_items,
+        iterations,
+        on_assign_s,
+        off_assign_s,
+        assign_speedup: if on_assign_s > 0.0 {
+            off_assign_s / on_assign_s
+        } else {
+            1.0
+        },
+        skipped_total,
+        skip_ratio_overall: skipped_total as f64 / (n_items.max(1) * iterations.max(1)) as f64,
+        identical,
+        series,
+    }
+}
+
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+/// Runs the full experiment and returns the report.
+pub fn run(settings: &ClosuresSettings) -> ClosuresReport {
+    let (n_items, n_clusters, n_attrs, dim) = if settings.quick {
+        (3_000, 40, 16, 8)
+    } else {
+        (20_000, 120, 32, 16)
+    };
+    let seed = settings.seed;
+    let dataset: Dataset = generate(&DatgenConfig::new(n_items, n_clusters, n_attrs).seed(seed));
+    let labels: Vec<u32> = dataset.labels().expect("datgen labels").to_vec();
+    let numeric = numeric_blobs(&labels, dim);
+    let mixed = MixedDataset::new(&dataset, &numeric);
+    let max_iter = 25;
+
+    let spec_base = |lsh: Lsh, closures: bool| {
+        ClusterSpec::new(n_clusters)
+            .lsh(lsh)
+            .seed(seed)
+            .threads(settings.threads)
+            .closures(closures)
+            .max_iterations(max_iter)
+    };
+    let minhash = Lsh::MinHash { bands: 20, rows: 5 };
+    let simhash = Lsh::SimHash { bands: 8, rows: 16 };
+    let union = Lsh::Union {
+        bands: 20,
+        rows: 5,
+        sim_bands: 8,
+        sim_rows: 16,
+    };
+
+    let mut families = Vec::new();
+
+    eprintln!("# closures: categorical (MinHash 20b5r, k={n_clusters}, n={n_items})");
+    let on = Clusterer::new(spec_base(minhash, true))
+        .fit(&dataset)
+        .expect("categorical fit");
+    let off = Clusterer::new(spec_base(minhash, false))
+        .fit(&dataset)
+        .expect("categorical fit");
+    families.push(compare("categorical", "MinHash 20b5r", on, off));
+
+    eprintln!("# closures: numeric (SimHash 8b16r)");
+    let on = Clusterer::new(spec_base(simhash, true))
+        .fit(&numeric)
+        .expect("numeric fit");
+    let off = Clusterer::new(spec_base(simhash, false))
+        .fit(&numeric)
+        .expect("numeric fit");
+    families.push(compare("numeric", "SimHash 8b16r", on, off));
+
+    eprintln!("# closures: mixed (MinHash ∪ SimHash)");
+    let on = Clusterer::new(spec_base(union, true))
+        .fit(&mixed)
+        .expect("mixed fit");
+    let off = Clusterer::new(spec_base(union, false))
+        .fit(&mixed)
+        .expect("mixed fit");
+    families.push(compare("mixed", "Union 20b5r + 8b16r", on, off));
+
+    let identical = families.iter().all(|f| f.identical);
+    ClosuresReport {
+        experiment: "cluster-closures".into(),
+        env: BenchEnv::capture(settings.quick, seed).threads(&[settings.threads]),
+        families,
+        identical,
+    }
+}
+
+impl ClosuresReport {
+    /// Writes the report as pretty JSON to `path`.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        crate::env::write_report(self, path)
+    }
+
+    /// Renders an aligned text summary (one table per family).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cluster closures  ({}, identity guard: {})",
+            self.env.banner(),
+            if self.identical { "ok" } else { "DIVERGED" }
+        );
+        for family in &self.families {
+            let _ = writeln!(
+                out,
+                "\n[{}] {}  (n={}, {:.2}x assign speedup, {:.0}% skipped overall{})",
+                family.family,
+                family.lsh,
+                family.n_items,
+                family.assign_speedup,
+                family.skip_ratio_overall * 100.0,
+                if family.identical { "" } else { ", DIVERGED" }
+            );
+            let _ = writeln!(
+                out,
+                "{:>6}  {:>9}  {:>9}  {:>9}  {:>7}  {:>7}  {:>7}",
+                "iter", "on (ms)", "off (ms)", "skipped", "skip %", "active", "moves"
+            );
+            for s in &family.series {
+                let _ = writeln!(
+                    out,
+                    "{:>6}  {:>9.3}  {:>9.3}  {:>9}  {:>6.1}%  {:>7}  {:>7}",
+                    s.iteration,
+                    s.on_ms,
+                    s.off_ms,
+                    s.skipped_items,
+                    s.skip_ratio * 100.0,
+                    s.active_clusters,
+                    s.moves
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_skips_work_and_stays_identical() {
+        let report = run(&ClosuresSettings {
+            quick: true,
+            threads: 2,
+            seed: 7,
+        });
+        assert!(report.identical, "closure engine diverged");
+        assert_eq!(report.families.len(), 3);
+        for family in &report.families {
+            assert!(
+                family.skipped_total > 0,
+                "{}: closures never skipped",
+                family.family
+            );
+            assert!(family.iterations >= 2, "{}: one-pass fit", family.family);
+            // The whole point: the re-evaluated fraction collapses after the
+            // early passes, so the last recorded pass skips more than the
+            // first.
+            let first = family.series.first().unwrap();
+            let last = family.series.last().unwrap();
+            assert!(
+                last.skip_ratio >= first.skip_ratio,
+                "{}: skip ratio fell ({:.2} -> {:.2})",
+                family.family,
+                first.skip_ratio,
+                last.skip_ratio
+            );
+        }
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ClosuresReport = serde_json::from_str(&json).unwrap();
+        assert!(back.identical);
+        assert_eq!(back.families.len(), 3);
+        assert!(report.render().contains("identity guard: ok"));
+    }
+}

@@ -26,6 +26,10 @@ pub struct BenchEnv {
     /// Server worker-pool sizes swept (`ServerConfig::workers`); empty if
     /// the experiment serves nothing.
     pub workers: Vec<usize>,
+    /// Chunk-scheduling disciplines swept (`"contiguous"` /
+    /// `"interleaved"`, the Jacobi engine's two worker schedules); empty if
+    /// the experiment pins one.
+    pub scheduling: Vec<String>,
 }
 
 serde::impl_serde_struct!(BenchEnv {
@@ -34,7 +38,8 @@ serde::impl_serde_struct!(BenchEnv {
     seed,
     threads,
     shards,
-    workers
+    workers,
+    scheduling
 });
 
 impl BenchEnv {
@@ -48,6 +53,7 @@ impl BenchEnv {
             threads: Vec::new(),
             shards: Vec::new(),
             workers: Vec::new(),
+            scheduling: Vec::new(),
         }
     }
 
@@ -66,6 +72,12 @@ impl BenchEnv {
     /// Records the swept server worker-pool sizes.
     pub fn workers(mut self, workers: &[usize]) -> Self {
         self.workers = workers.to_vec();
+        self
+    }
+
+    /// Records the swept chunk-scheduling disciplines.
+    pub fn scheduling(mut self, scheduling: &[&str]) -> Self {
+        self.scheduling = scheduling.iter().map(|s| (*s).to_owned()).collect();
         self
     }
 
@@ -94,7 +106,8 @@ mod tests {
         let env = BenchEnv::capture(true, 7)
             .threads(&[1, 2])
             .shards(&[1, 2, 4])
-            .workers(&[]);
+            .workers(&[])
+            .scheduling(&["contiguous", "interleaved"]);
         let json = serde_json::to_string(&env).unwrap();
         let back: BenchEnv = serde_json::from_str(&json).unwrap();
         assert_eq!(back.host_cpus, env.host_cpus);
@@ -103,6 +116,7 @@ mod tests {
         assert_eq!(back.threads, vec![1, 2]);
         assert_eq!(back.shards, vec![1, 2, 4]);
         assert!(back.workers.is_empty());
+        assert_eq!(back.scheduling, vec!["contiguous", "interleaved"]);
         assert!(env.banner().contains("quick: true"));
     }
 }

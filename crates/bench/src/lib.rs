@@ -22,6 +22,9 @@
 //! * [`artifact`] — the persistence experiment behind
 //!   `BENCH_artifact.json` (v1 JSON vs v2 flat binary load latency,
 //!   hot-reload percentiles under load, cache-hit vs refit wall time),
+//! * [`closures`] — the cluster-closure experiment behind
+//!   `BENCH_closures.json` (per-iteration assign wall-time and skip ratio,
+//!   closures on vs off, with a byte-identity guard),
 //! * [`mod@env`] — the shared [`env::BenchEnv`] header every `BENCH_*.json`
 //!   artifact embeds, so the report schemas stop drifting,
 //! * [`table`] — a tiny fixed-width table printer.
@@ -39,6 +42,7 @@
 
 pub mod ablate;
 pub mod artifact;
+pub mod closures;
 pub mod env;
 pub mod figures;
 pub mod minibatch;

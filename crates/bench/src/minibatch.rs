@@ -292,12 +292,14 @@ pub fn run(settings: &MiniBatchSettings) -> MiniBatchReport {
             batch_size: 256,
             n_steps: 30,
             refresh_every: 5,
+            closures: true,
         }
     } else {
         MiniBatchParams {
             batch_size: 512,
             n_steps: 60,
             refresh_every: 10,
+            closures: true,
         }
     };
     let seed = settings.seed;

@@ -7,7 +7,10 @@
 //! workload per family (categorical / numeric / mixed / streaming
 //! refinement) is fitted at each thread count through the **facade**
 //! (`ClusterSpec.threads`), so the experiment exercises exactly the wiring a
-//! user gets, and the result is written as `BENCH_threads.json`.
+//! user gets, and the result is written as `BENCH_threads.json`. The batch
+//! families additionally sweep the engine's two chunk-scheduling disciplines
+//! (`ClusterSpec::interleaved`: contiguous vs strided worker chunks — same
+//! results, different load balance), recorded per series as `scheduling`.
 //!
 //! Speedups are reported on the mean per-iteration time of the shortlisted
 //! phase (the assignment passes dominate it; setup — initial full pass plus
@@ -84,13 +87,18 @@ serde::impl_serde_struct!(ThreadRun {
     speedup_vs_serial
 });
 
-/// All thread counts for one family.
+/// All thread counts for one family under one chunk-scheduling discipline.
 #[derive(Clone, Debug)]
 pub struct FamilyScaling {
     /// `"categorical"`, `"numeric"`, `"mixed"` or `"streaming-refine"`.
     pub family: String,
     /// The LSH scheme exercised.
     pub lsh: String,
+    /// Chunk-scheduling discipline of the Jacobi engine this series ran
+    /// under: `"contiguous"` or `"interleaved"` (`ClusterSpec::interleaved`).
+    /// The batch families are swept under both; streaming refinement pins
+    /// contiguous (the spec knob does not reach the inserter).
+    pub scheduling: String,
     /// The thread count every `speedup_vs_serial` is measured against
     /// (1 unless the swept list omitted a serial run).
     pub baseline_threads: usize,
@@ -101,6 +109,7 @@ pub struct FamilyScaling {
 serde::impl_serde_struct!(FamilyScaling {
     family,
     lsh,
+    scheduling,
     baseline_threads,
     runs
 });
@@ -224,64 +233,82 @@ pub fn run(settings: &ThreadsSettings) -> ThreadsReport {
 
     let mut families = Vec::new();
 
-    eprintln!("# threads: categorical (MinHash 20b5r, k={n_clusters}, n={n_items})");
-    let (runs, baseline_threads) = sweep(&settings.threads, |t| {
-        let spec = ClusterSpec::new(n_clusters)
-            .lsh(Lsh::MinHash { bands: 20, rows: 5 })
-            .seed(seed)
-            .threads(t)
-            .max_iterations(max_iter);
-        Clusterer::new(spec)
-            .fit(&dataset)
-            .expect("categorical fit")
-            .summary
-    });
-    families.push(FamilyScaling {
-        family: "categorical".into(),
-        lsh: "MinHash 20b5r".into(),
-        baseline_threads,
-        runs,
-    });
+    // The three batch families sweep threads × scheduling: the interleaved
+    // series re-runs the same fits under the strided worker schedule, so the
+    // artifact shows what load-balancing buys (results are byte-identical —
+    // only the timings differ).
+    for interleaved in [false, true] {
+        let sched = if interleaved {
+            "interleaved"
+        } else {
+            "contiguous"
+        };
 
-    eprintln!("# threads: numeric (SimHash 8b16r)");
-    let (runs, baseline_threads) = sweep(&settings.threads, |t| {
-        let spec = ClusterSpec::new(n_clusters)
-            .lsh(Lsh::SimHash { bands: 8, rows: 16 })
-            .seed(seed)
-            .threads(t)
-            .max_iterations(max_iter);
-        Clusterer::new(spec)
-            .fit(&numeric)
-            .expect("numeric fit")
-            .summary
-    });
-    families.push(FamilyScaling {
-        family: "numeric".into(),
-        lsh: "SimHash 8b16r".into(),
-        baseline_threads,
-        runs,
-    });
+        eprintln!("# threads: categorical (MinHash 20b5r, k={n_clusters}, n={n_items}, {sched})");
+        let (runs, baseline_threads) = sweep(&settings.threads, |t| {
+            let spec = ClusterSpec::new(n_clusters)
+                .lsh(Lsh::MinHash { bands: 20, rows: 5 })
+                .seed(seed)
+                .threads(t)
+                .interleaved(interleaved)
+                .max_iterations(max_iter);
+            Clusterer::new(spec)
+                .fit(&dataset)
+                .expect("categorical fit")
+                .summary
+        });
+        families.push(FamilyScaling {
+            family: "categorical".into(),
+            lsh: "MinHash 20b5r".into(),
+            scheduling: sched.into(),
+            baseline_threads,
+            runs,
+        });
 
-    eprintln!("# threads: mixed (MinHash ∪ SimHash)");
-    let (runs, baseline_threads) = sweep(&settings.threads, |t| {
-        let spec = ClusterSpec::new(n_clusters)
-            .lsh(Lsh::Union {
-                bands: 20,
-                rows: 5,
-                sim_bands: 8,
-                sim_rows: 16,
-            })
-            .seed(seed)
-            .threads(t)
-            .max_iterations(max_iter);
-        Clusterer::new(spec).fit(&mixed).expect("mixed fit").summary
-    });
-    families.push(FamilyScaling {
-        family: "mixed".into(),
-        lsh: "Union 20b5r + 8b16r".into(),
-        baseline_threads,
-        runs,
-    });
+        eprintln!("# threads: numeric (SimHash 8b16r, {sched})");
+        let (runs, baseline_threads) = sweep(&settings.threads, |t| {
+            let spec = ClusterSpec::new(n_clusters)
+                .lsh(Lsh::SimHash { bands: 8, rows: 16 })
+                .seed(seed)
+                .threads(t)
+                .interleaved(interleaved)
+                .max_iterations(max_iter);
+            Clusterer::new(spec)
+                .fit(&numeric)
+                .expect("numeric fit")
+                .summary
+        });
+        families.push(FamilyScaling {
+            family: "numeric".into(),
+            lsh: "SimHash 8b16r".into(),
+            scheduling: sched.into(),
+            baseline_threads,
+            runs,
+        });
+
+        eprintln!("# threads: mixed (MinHash ∪ SimHash, {sched})");
+        let (runs, baseline_threads) = sweep(&settings.threads, |t| {
+            let spec = ClusterSpec::new(n_clusters)
+                .lsh(Lsh::Union {
+                    bands: 20,
+                    rows: 5,
+                    sim_bands: 8,
+                    sim_rows: 16,
+                })
+                .seed(seed)
+                .threads(t)
+                .interleaved(interleaved)
+                .max_iterations(max_iter);
+            Clusterer::new(spec).fit(&mixed).expect("mixed fit").summary
+        });
+        families.push(FamilyScaling {
+            family: "mixed".into(),
+            lsh: "Union 20b5r + 8b16r".into(),
+            scheduling: sched.into(),
+            baseline_threads,
+            runs,
+        });
+    }
 
     eprintln!("# threads: streaming refinement");
     let (runs, baseline_threads) = sweep(&settings.threads, |t| {
@@ -313,6 +340,8 @@ pub fn run(settings: &ThreadsSettings) -> ThreadsReport {
                 moves,
                 avg_candidates: 0.0,
                 cost: 0,
+                skipped_items: 0,
+                active_clusters: 0,
             });
             if moves == 0 {
                 break;
@@ -327,13 +356,16 @@ pub fn run(settings: &ThreadsSettings) -> ThreadsReport {
     families.push(FamilyScaling {
         family: "streaming-refine".into(),
         lsh: "MinHash 16b2r (growing)".into(),
+        scheduling: "contiguous".into(),
         baseline_threads,
         runs,
     });
 
     ThreadsReport {
         experiment: "thread-scaling".into(),
-        env: BenchEnv::capture(settings.quick, seed).threads(&settings.threads),
+        env: BenchEnv::capture(settings.quick, seed)
+            .threads(&settings.threads)
+            .scheduling(&["contiguous", "interleaved"]),
         workload: Workload {
             n_items,
             n_clusters,
@@ -364,9 +396,10 @@ impl ThreadsReport {
         for family in &self.families {
             let _ = writeln!(
                 out,
-                "\n[{}] {}  (speedup baseline: {} thread{})",
+                "\n[{}] {}  ({}, speedup baseline: {} thread{})",
                 family.family,
                 family.lsh,
+                family.scheduling,
                 family.baseline_threads,
                 if family.baseline_threads == 1 {
                     ""

@@ -302,6 +302,7 @@ mod tests {
             assignments,
             std::time::Duration::ZERO,
             &StopPolicy::default(),
+            true,
         );
         assert!(run.summary.converged);
         // Blob purity: same-blob items share clusters.

@@ -43,8 +43,14 @@ pub trait CentroidModel {
     /// Restricted search over `candidates`; `None` iff the slice is empty.
     fn best_among(&self, item: u32, candidates: &[ClusterId]) -> Option<(ClusterId, f64)>;
 
-    /// Recomputes all centroids from `assignments`.
-    fn update_centroids(&mut self, assignments: &[ClusterId]);
+    /// Recomputes all centroids from `assignments` and reports which
+    /// clusters' centroid values actually **changed** — the seed of the next
+    /// iteration's [`ActivitySet`]. A cluster whose recomputed centroid
+    /// equals its previous value (including empty clusters, which keep their
+    /// centroid) must come back inactive, or the closure engine loses its
+    /// skipping power; a cluster that changed must come back active, or
+    /// byte-identity breaks.
+    fn update_centroids(&mut self, assignments: &[ClusterId]) -> ActivitySet;
 
     /// Like [`Self::update_centroids`], but free to fan the recomputation
     /// over `threads` workers. Implementations must stay **deterministic**:
@@ -52,9 +58,13 @@ pub trait CentroidModel {
     /// recompute cluster-by-cluster, which is bit-identical to the serial
     /// update at any thread count). The default delegates to the serial
     /// update.
-    fn update_centroids_parallel(&mut self, assignments: &[ClusterId], threads: usize) {
+    fn update_centroids_parallel(
+        &mut self,
+        assignments: &[ClusterId],
+        threads: usize,
+    ) -> ActivitySet {
         let _ = threads;
-        self.update_centroids(assignments);
+        self.update_centroids(assignments)
     }
 
     /// Captures the current centroid state for [`Self::restore_centroids`].
@@ -122,6 +132,127 @@ serde::impl_serde_struct!(StopPolicy {
     stop_on_cost_increase
 });
 
+/// Which clusters are **active** — their centroid moved, or an item moved in
+/// or out of them — going into an assignment pass. The heart of the
+/// cluster-closure engine ("Fast Approximate K-Means via Cluster Closures"):
+/// an item whose cached candidate shortlist touches no active cluster cannot
+/// change its answer, so the pass skips it wholesale while staying
+/// **byte-identical** to full re-evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActivitySet {
+    active: Vec<bool>,
+    count: usize,
+}
+
+impl ActivitySet {
+    /// All `k` clusters active — the first iteration's state (every centroid
+    /// was just initialised or refreshed, nothing can be skipped).
+    pub fn all(k: usize) -> Self {
+        Self {
+            active: vec![true; k],
+            count: k,
+        }
+    }
+
+    /// No cluster active.
+    pub fn none(k: usize) -> Self {
+        Self {
+            active: vec![false; k],
+            count: 0,
+        }
+    }
+
+    /// Rebuilds a set from the active cluster ids of [`Self::to_clusters`]
+    /// (the shard wire form). Out-of-range ids are ignored.
+    pub fn from_clusters(k: usize, clusters: &[u32]) -> Self {
+        let mut set = Self::none(k);
+        for &c in clusters {
+            if (c as usize) < k {
+                set.mark(ClusterId(c));
+            }
+        }
+        set
+    }
+
+    /// Number of clusters the set ranges over.
+    pub fn k(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Marks `cluster` active (idempotent).
+    pub fn mark(&mut self, cluster: ClusterId) {
+        let slot = &mut self.active[cluster.idx()];
+        if !*slot {
+            *slot = true;
+            self.count += 1;
+        }
+    }
+
+    /// Whether `cluster` is active.
+    pub fn is_active(&self, cluster: ClusterId) -> bool {
+        self.active[cluster.idx()]
+    }
+
+    /// Number of active clusters.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether any of `clusters` is active — the per-item skip test. An
+    /// empty slice has no active member, and an item whose shortlist is
+    /// empty is always skippable (the legacy pass keeps its assignment on an
+    /// empty shortlist too).
+    pub fn any_active_in(&self, clusters: &[ClusterId]) -> bool {
+        clusters.iter().any(|&c| self.active[c.idx()])
+    }
+
+    /// The active cluster ids in ascending order (the shard wire form).
+    pub fn to_clusters(&self) -> Vec<u32> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(c, _)| c as u32)
+            .collect()
+    }
+}
+
+/// Per-item cached shortlists for the closure engine. An entry is the exact
+/// candidate list the provider returned the last time the item was
+/// re-evaluated; while every cached cluster stays inactive, a fresh query
+/// would return the same list (the index's bucketing is static and no
+/// co-bucketed item has moved), so the cache substitutes for the query.
+pub struct ShortlistCache {
+    pub(crate) lists: Vec<Vec<ClusterId>>,
+    pub(crate) valid: Vec<bool>,
+}
+
+impl ShortlistCache {
+    /// An empty (all-invalid) cache for `n` items.
+    pub fn new(n: usize) -> Self {
+        Self {
+            lists: vec![Vec::new(); n],
+            valid: vec![false; n],
+        }
+    }
+
+    /// Invalidates every entry (after a full-assignment reset, e.g. a shard
+    /// worker's `AssignFull`), keeping the allocated lists for reuse.
+    pub fn invalidate_all(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+    }
+
+    /// Number of items the cache covers.
+    pub fn len(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Whether the cache covers zero items.
+    pub fn is_empty(&self) -> bool {
+        self.lists.is_empty()
+    }
+}
+
 /// What one assignment pass did — returned by [`assign_once`] and
 /// [`assign_full`] so callers can drive their own convergence logic.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -129,8 +260,13 @@ pub struct AssignOutcome {
     /// Items that changed cluster during the pass.
     pub moves: usize,
     /// Summed shortlist sizes over all items (for `avg_candidates`; equals
-    /// `n × k` for a full-search pass).
+    /// `n × k` for a full-search pass). Skipped items contribute their
+    /// cached shortlist length — exactly what a fresh query would have
+    /// returned — so the average is identical with closures on or off.
     pub shortlist_total: usize,
+    /// Items whose re-evaluation the closure engine skipped (`0` for
+    /// closure-free passes).
+    pub skipped: usize,
 }
 
 /// One **shortlisted assignment pass** (Algorithm 2's modified assignment
@@ -172,6 +308,67 @@ pub fn assign_once<M: CentroidModel, P: ShortlistProvider>(
     outcome
 }
 
+/// [`assign_once`] with cluster-closure skipping: an item whose cached
+/// shortlist touches no active cluster keeps its assignment without being
+/// re-shortlisted or re-scored — **byte-identical** to the plain pass.
+///
+/// Why identity holds for the Gauss–Seidel pass: an item's fresh shortlist
+/// (content *and* order) and its candidate distances can only differ from
+/// its cached evaluation if (a) a cached cluster's centroid changed, or
+/// (b) some co-bucketed item changed cluster since the cache was filled.
+/// (a) is covered because centroid changes are marked active by
+/// `update_centroids`. For (b), consider the *first* co-bucketed move after
+/// the cache fill: the moving item's old cluster at that moment is one the
+/// cached shortlist already contains (a co-bucketed item's cluster appears
+/// in the shortlist), and both endpoints of every move are marked active —
+/// by the previous pass's endpoint diff in `drive`, or by `live` below
+/// when the move happens *earlier in the same pass* (Gauss–Seidel makes
+/// moves visible to later items immediately, hence the live marking).
+/// Either way the skip test fails and the item is re-evaluated before any
+/// stale answer could be returned.
+pub fn assign_once_closures<M: CentroidModel, P: ShortlistProvider>(
+    model: &M,
+    provider: &mut P,
+    assignments: &mut [ClusterId],
+    activity: &ActivitySet,
+    cache: &mut ShortlistCache,
+) -> AssignOutcome {
+    assert_eq!(
+        assignments.len(),
+        model.n_items(),
+        "one starting assignment per item"
+    );
+    assert_eq!(cache.len(), assignments.len(), "one cache entry per item");
+    let mut outcome = AssignOutcome::default();
+    let mut live = activity.clone();
+    for item in 0..assignments.len() as u32 {
+        let slot = item as usize;
+        if cache.valid[slot] && !live.any_active_in(&cache.lists[slot]) {
+            outcome.shortlist_total += cache.lists[slot].len();
+            outcome.skipped += 1;
+            continue;
+        }
+        provider.shortlist(item, &mut cache.lists[slot]);
+        cache.valid[slot] = true;
+        outcome.shortlist_total += cache.lists[slot].len();
+        let current = assignments[slot];
+        let chosen = match model.best_among(item, &cache.lists[slot]) {
+            Some((c, _)) => c,
+            None => current,
+        };
+        if chosen != current {
+            assignments[slot] = chosen;
+            outcome.moves += 1;
+            provider.record_assignment(item, chosen);
+            // Later items of this pass see the move through the provider's
+            // references; both endpoints go active immediately.
+            live.mark(current);
+            live.mark(chosen);
+        }
+    }
+    outcome
+}
+
 /// One **full-search assignment pass** over all `k` centroids — the
 /// baseline step every family shares, and the initial pass of every
 /// accelerated run (the paper's step 2).
@@ -192,6 +389,7 @@ pub fn assign_full<M: CentroidModel>(model: &M, assignments: &mut [ClusterId]) -
     AssignOutcome {
         moves,
         shortlist_total: assignments.len() * model.k(),
+        skipped: 0,
     }
 }
 
@@ -216,13 +414,21 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
     assignments: Vec<ClusterId>,
     setup: std::time::Duration,
     config: &StopPolicy,
+    closures: bool,
 ) -> AcceleratedRun {
+    let mut cache = ShortlistCache::new(model.n_items());
     drive(
         model,
         assignments,
         setup,
         config,
-        |model, assignments| assign_once(model, provider, assignments),
+        |model, assignments, activity| {
+            if closures {
+                assign_once_closures(model, provider, assignments, activity, &mut cache)
+            } else {
+                assign_once(model, provider, assignments)
+            }
+        },
         |model, assignments| model.update_centroids(assignments),
     )
 }
@@ -245,13 +451,21 @@ pub fn fit<M: CentroidModel, P: ShortlistProvider>(
 ///
 /// Both stops report `converged: true`; only exhausting `max_iterations`
 /// reports `false`.
+///
+/// The driver also owns the **activity dataflow** of the closure engine:
+/// each `pass` receives the [`ActivitySet`] for this iteration (all `k`
+/// clusters on iteration 1); the next iteration's set is what `update`
+/// reports changed, unioned with both endpoints of every move the pass made
+/// (diffed here from the pre-pass assignments — O(n) compares, negligible
+/// against the pass itself, and always computed so `active_clusters` is
+/// recorded identically with closures on or off).
 pub(crate) fn drive<M: CentroidModel>(
     model: &mut M,
     mut assignments: Vec<ClusterId>,
     setup: std::time::Duration,
     config: &StopPolicy,
-    mut pass: impl FnMut(&M, &mut Vec<ClusterId>) -> AssignOutcome,
-    mut update: impl FnMut(&mut M, &[ClusterId]),
+    mut pass: impl FnMut(&M, &mut Vec<ClusterId>, &ActivitySet) -> AssignOutcome,
+    mut update: impl FnMut(&mut M, &[ClusterId]) -> ActivitySet,
 ) -> AcceleratedRun {
     assert_eq!(
         assignments.len(),
@@ -268,15 +482,26 @@ pub(crate) fn drive<M: CentroidModel>(
     // it is O(k·m) against the pass's O(n·m·shortlist).
     let mut prev_assignments: Vec<ClusterId> = Vec::new();
     let mut prev_centroids: Option<M::Snapshot> = None;
+    let mut activity = ActivitySet::all(model.k());
+    let mut pre_pass: Vec<ClusterId> = Vec::new();
     for iteration in 1..=config.max_iterations {
         let t = Instant::now();
         if config.stop_on_cost_increase {
             prev_assignments.clone_from(&assignments);
             prev_centroids = Some(model.snapshot_centroids());
         }
-        let outcome = pass(model, &mut assignments);
+        pre_pass.clone_from(&assignments);
+        let active_clusters = activity.count();
+        let outcome = pass(model, &mut assignments, &activity);
         let moves = outcome.moves;
-        update(model, &assignments);
+        let mut next_activity = update(model, &assignments);
+        for (&old, &new) in pre_pass.iter().zip(&assignments) {
+            if old != new {
+                next_activity.mark(old);
+                next_activity.mark(new);
+            }
+        }
+        activity = next_activity;
         let cost = model.total_cost(&assignments);
         iterations.push(IterationStats {
             iteration,
@@ -288,6 +513,8 @@ pub(crate) fn drive<M: CentroidModel>(
                 outcome.shortlist_total as f64 / n as f64
             },
             cost: cost as u64,
+            skipped_items: outcome.skipped,
+            active_clusters,
         });
         if config.stop_on_no_moves && moves == 0 {
             converged = true;
@@ -365,7 +592,7 @@ mod tests {
                 .min_by_key(|&(c, d)| (d, c))
                 .map(|(c, d)| (c, d as f64))
         }
-        fn update_centroids(&mut self, assignments: &[ClusterId]) {
+        fn update_centroids(&mut self, assignments: &[ClusterId]) -> ActivitySet {
             let k = self.k();
             let mut sums = vec![0i64; k];
             let mut counts = vec![0i64; k];
@@ -373,11 +600,17 @@ mod tests {
                 sums[c.idx()] += self.items[i];
                 counts[c.idx()] += 1;
             }
+            let mut activity = ActivitySet::none(k);
             for c in 0..k {
                 if counts[c] > 0 {
-                    self.centroids[c] = sums[c] / counts[c];
+                    let new = sums[c] / counts[c];
+                    if new != self.centroids[c] {
+                        activity.mark(ClusterId(c as u32));
+                    }
+                    self.centroids[c] = new;
                 }
             }
+            activity
         }
         fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
             assignments
@@ -435,6 +668,7 @@ mod tests {
             start,
             Duration::ZERO,
             &StopPolicy::default(),
+            true,
         );
         assert!(run.summary.converged);
         assert_eq!(run.assignments[..3], [ClusterId(0); 3]);
@@ -455,6 +689,7 @@ mod tests {
             start.clone(),
             Duration::ZERO,
             &StopPolicy::default(),
+            true,
         );
         assert_eq!(run.assignments, start);
         assert_eq!(run.summary.n_iterations(), 1); // 0 moves → immediate stop
@@ -471,6 +706,7 @@ mod tests {
             vec![ClusterId(0); 6],
             Duration::ZERO,
             &StopPolicy::default(),
+            true,
         );
         for s in &run.summary.iterations {
             assert_eq!(s.avg_candidates, 2.0);
@@ -488,6 +724,7 @@ mod tests {
             vec![ClusterId(0); 6],
             Duration::ZERO,
             &cfg,
+            true,
         );
         assert_eq!(run.summary.n_iterations(), 1);
         assert!(!run.summary.converged);
@@ -504,6 +741,7 @@ mod tests {
             vec![ClusterId(0); 6],
             setup,
             &StopPolicy::default(),
+            true,
         );
         assert!(run.summary.total_time() >= setup);
         assert_eq!(run.summary.setup, setup);
@@ -526,6 +764,7 @@ mod tests {
             start.clone(),
             Duration::ZERO,
             &StopPolicy::default(),
+            true,
         );
         assert_eq!(run.assignments, start);
     }
@@ -553,6 +792,7 @@ mod tests {
             vec![ClusterId(0); 6],
             Duration::ZERO,
             &StopPolicy::default(),
+            true,
         );
         let total_moves: usize = run.summary.iterations.iter().map(|s| s.moves).sum();
         assert_eq!(provider.records, total_moves);
@@ -632,7 +872,9 @@ mod tests {
         fn best_among(&self, item: u32, _candidates: &[ClusterId]) -> Option<(ClusterId, f64)> {
             Some(self.best_full(item))
         }
-        fn update_centroids(&mut self, _assignments: &[ClusterId]) {}
+        fn update_centroids(&mut self, _assignments: &[ClusterId]) -> ActivitySet {
+            ActivitySet::none(self.k())
+        }
         fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
             // The scripted cost was stashed by the pass via the assignment.
             let _ = assignments;
@@ -651,7 +893,7 @@ mod tests {
             vec![ClusterId(0)],
             Duration::ZERO,
             &StopPolicy::default(),
-            |model, assignments| {
+            |model, assignments, _activity| {
                 let (c, d) = model.best_full(0);
                 let moved = assignments[0] != c;
                 assignments[0] = c;
@@ -659,9 +901,10 @@ mod tests {
                 AssignOutcome {
                     moves: usize::from(moved),
                     shortlist_total: 4,
+                    skipped: 0,
                 }
             },
-            |_, _| {},
+            |model, _| ActivitySet::none(model.k()),
         );
         assert!(run.summary.converged);
         assert_eq!(run.summary.n_iterations(), 3, "worse pass stays recorded");
@@ -689,7 +932,7 @@ mod tests {
             vec![ClusterId(0)],
             Duration::ZERO,
             &StopPolicy::default(),
-            |model, assignments| {
+            |model, assignments, _activity| {
                 let (c, d) = model.best_full(0);
                 let moved = assignments[0] != c;
                 assignments[0] = c;
@@ -697,12 +940,118 @@ mod tests {
                 AssignOutcome {
                     moves: usize::from(moved),
                     shortlist_total: 4,
+                    skipped: 0,
                 }
             },
-            |_, _| {},
+            |model, _| ActivitySet::none(model.k()),
         );
         assert!(run.summary.converged);
         assert_eq!(run.assignments, vec![ClusterId(2)]);
+    }
+
+    /// A provider handing each item a fixed scripted shortlist.
+    struct ScriptedProvider {
+        lists: Vec<Vec<ClusterId>>,
+    }
+
+    impl ShortlistProvider for ScriptedProvider {
+        fn shortlist(&mut self, item: u32, out: &mut Vec<ClusterId>) {
+            out.clear();
+            out.extend_from_slice(&self.lists[item as usize]);
+        }
+        fn record_assignment(&mut self, _item: u32, _cluster: ClusterId) {}
+    }
+
+    /// Three clusters; the far item's shortlist only references cluster 2,
+    /// which never moves after iteration 1 — so the closure pass must skip
+    /// it while producing a byte-identical run.
+    fn closure_fixture() -> (LineModel, ScriptedProvider, Vec<ClusterId>) {
+        let model = LineModel {
+            items: vec![0, 1, 2, 100, 101, 102, 1000],
+            centroids: vec![2, 100, 1000],
+        };
+        let near = vec![ClusterId(0)];
+        let both = vec![ClusterId(0), ClusterId(1)];
+        let far = vec![ClusterId(2)];
+        let provider = ScriptedProvider {
+            lists: vec![
+                near.clone(),
+                near.clone(),
+                near,
+                both.clone(),
+                both.clone(),
+                both,
+                far,
+            ],
+        };
+        let mut start = vec![ClusterId(0); 7];
+        start[6] = ClusterId(2);
+        (model, provider, start)
+    }
+
+    #[test]
+    fn closures_fit_is_byte_identical_to_plain_fit() {
+        let run_with = |closures: bool| {
+            let (mut model, mut provider, start) = closure_fixture();
+            let run = fit(
+                &mut model,
+                &mut provider,
+                start,
+                Duration::ZERO,
+                &StopPolicy::default(),
+                closures,
+            );
+            let trajectory: Vec<_> = run
+                .summary
+                .iterations
+                .iter()
+                .map(|s| (s.moves, s.cost, s.avg_candidates, s.active_clusters))
+                .collect();
+            (run.assignments, model.centroids, trajectory)
+        };
+        assert_eq!(run_with(true), run_with(false));
+    }
+
+    #[test]
+    fn closure_pass_skips_items_with_only_inactive_cached_clusters() {
+        let (mut model, mut provider, start) = closure_fixture();
+        let run = fit(
+            &mut model,
+            &mut provider,
+            start,
+            Duration::ZERO,
+            &StopPolicy::default(),
+            true,
+        );
+        assert!(run.summary.converged);
+        assert_eq!(run.summary.n_iterations(), 2);
+        // Iteration 1 evaluates everything (all clusters start active).
+        assert_eq!(run.summary.iterations[0].skipped_items, 0);
+        assert_eq!(run.summary.iterations[0].active_clusters, 3);
+        // By iteration 2 only clusters 0 and 1 moved, so the far item —
+        // whose cached shortlist is exactly [2] — is skipped.
+        assert_eq!(run.summary.iterations[1].skipped_items, 1);
+        assert_eq!(run.summary.iterations[1].active_clusters, 2);
+        // And `avg_candidates` still counts its cached shortlist.
+        assert_eq!(run.summary.iterations[1].avg_candidates, 10.0 / 7.0);
+    }
+
+    #[test]
+    fn activity_set_marks_and_reports() {
+        let mut set = ActivitySet::none(5);
+        assert_eq!(set.count(), 0);
+        assert!(!set.any_active_in(&[ClusterId(0), ClusterId(4)]));
+        set.mark(ClusterId(3));
+        set.mark(ClusterId(3)); // idempotent
+        assert_eq!(set.count(), 1);
+        assert!(set.is_active(ClusterId(3)));
+        assert!(set.any_active_in(&[ClusterId(1), ClusterId(3)]));
+        assert!(!set.any_active_in(&[]));
+        assert_eq!(set.to_clusters(), vec![3]);
+        let back = ActivitySet::from_clusters(5, &set.to_clusters());
+        assert_eq!(back, set);
+        assert_eq!(ActivitySet::all(4).count(), 4);
+        assert_eq!(ActivitySet::all(4).to_clusters(), vec![0, 1, 2, 3]);
     }
 
     #[test]
@@ -716,6 +1065,7 @@ mod tests {
             vec![],
             Duration::ZERO,
             &StopPolicy::default(),
+            true,
         );
     }
 }

@@ -12,7 +12,7 @@
 //! The driver, instrumentation, and convergence logic are *identical* to
 //! MH-K-Modes, which is the point: the framework is algorithm-agnostic.
 
-use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
+use crate::framework::{self, ActivitySet, CentroidModel, ShortlistProvider, StopPolicy};
 use lshclust_categorical::ClusterId;
 use lshclust_kmodes::kmeans::{kmeans_initial_centroids, sq_euclidean, KMeansInit, NumericDataset};
 use lshclust_kmodes::modes::group_by_cluster;
@@ -106,7 +106,7 @@ impl CentroidModel for KMeansModel<'_> {
         best
     }
 
-    fn update_centroids(&mut self, assignments: &[ClusterId]) {
+    fn update_centroids(&mut self, assignments: &[ClusterId]) -> ActivitySet {
         let dim = self.data.dim();
         let mut sums = vec![0.0f64; self.k * dim];
         let mut counts = vec![0u32; self.k];
@@ -119,17 +119,30 @@ impl CentroidModel for KMeansModel<'_> {
                 *s += x;
             }
         }
+        let mut activity = ActivitySet::none(self.k);
         for c in 0..self.k {
             if counts[c] == 0 {
                 continue; // empty cluster keeps its centroid
             }
             for d in 0..dim {
-                self.centroids[c * dim + d] = sums[c * dim + d] / f64::from(counts[c]);
+                let new = sums[c * dim + d] / f64::from(counts[c]);
+                // Bit-level comparison: the activity set must flag any change
+                // the distance kernel could observe (±0.0 compares equal but
+                // behaves identically in arithmetic, so `!=` suffices).
+                if self.centroids[c * dim + d] != new {
+                    activity.mark(ClusterId(c as u32));
+                }
+                self.centroids[c * dim + d] = new;
             }
         }
+        activity
     }
 
-    fn update_centroids_parallel(&mut self, assignments: &[ClusterId], threads: usize) {
+    fn update_centroids_parallel(
+        &mut self,
+        assignments: &[ClusterId],
+        threads: usize,
+    ) -> ActivitySet {
         if threads <= 1 {
             return self.update_centroids(assignments);
         }
@@ -162,11 +175,16 @@ impl CentroidModel for KMeansModel<'_> {
                 Some(sum)
             },
         );
+        let mut activity = ActivitySet::none(k);
         for (c, mean) in new_means.iter().enumerate() {
             if let Some(mean) = mean {
+                if self.centroids[c * dim..(c + 1) * dim] != mean[..] {
+                    activity.mark(ClusterId(c as u32));
+                }
                 self.centroids[c * dim..(c + 1) * dim].copy_from_slice(mean);
             }
         }
+        activity
     }
 
     fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
@@ -502,6 +520,11 @@ pub struct MhKMeansConfig {
     /// Gauss–Seidel pass; `> 1` runs the Jacobi parallel engine of
     /// [`crate::parallel`].
     pub threads: usize,
+    /// Cluster-closure incremental assignment (byte-identical results;
+    /// `false` is the escape hatch).
+    pub closures: bool,
+    /// Interleaved parallel chunk scheduling (identical results; bench axis).
+    pub interleaved: bool,
 }
 
 impl MhKMeansConfig {
@@ -515,12 +538,26 @@ impl MhKMeansConfig {
             init: KMeansInit::RandomItems,
             seed: 0,
             threads: 1,
+            closures: true,
+            interleaved: false,
         }
     }
 
     /// Sets the number of assignment threads (`0` clamps to `1`).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Enables/disables cluster-closure incremental assignment.
+    pub fn closures(mut self, yes: bool) -> Self {
+        self.closures = yes;
+        self
+    }
+
+    /// Selects interleaved vs contiguous parallel chunk scheduling.
+    pub fn interleaved(mut self, yes: bool) -> Self {
+        self.interleaved = yes;
         self
     }
 }
@@ -571,7 +608,14 @@ pub fn mh_kmeans_from(
     let mut provider = SimHashProvider::new(index);
     let setup = setup_start.elapsed();
     let run = if config.threads <= 1 {
-        framework::fit(&mut model, &mut provider, assignments, setup, &config.stop)
+        framework::fit(
+            &mut model,
+            &mut provider,
+            assignments,
+            setup,
+            &config.stop,
+            config.closures,
+        )
     } else {
         crate::parallel::parallel_fit(
             &mut model,
@@ -580,6 +624,8 @@ pub fn mh_kmeans_from(
             setup,
             &config.stop,
             config.threads,
+            config.closures,
+            config.interleaved,
         )
     };
     MhKMeansResult {

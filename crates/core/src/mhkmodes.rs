@@ -12,7 +12,7 @@
 //!    every move → mode recomputation, until no item moves or the cost stops
 //!    improving.
 
-use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
+use crate::framework::{self, ActivitySet, CentroidModel, ShortlistProvider, StopPolicy};
 use lshclust_categorical::{ClusterId, Dataset, ValueId};
 use lshclust_kmodes::assign::{best_cluster_among, best_cluster_full};
 use lshclust_kmodes::cost::total_cost;
@@ -46,6 +46,14 @@ pub struct MhKModesConfig {
     /// Assignment-pass threads. `1` reproduces the paper's single-threaded
     /// setup; `> 1` uses the Jacobi-style parallel pass of [`crate::parallel`].
     pub threads: usize,
+    /// Cluster-closure incremental assignment: skip re-evaluating items whose
+    /// cached shortlist touches no active cluster. Byte-identical results
+    /// either way; `false` is the `--no-closures` escape hatch.
+    pub closures: bool,
+    /// Interleaved (round-robin) chunk scheduling for the parallel assignment
+    /// pass instead of contiguous chunks. Identical results; exists so the
+    /// bench can sweep the schedule axis.
+    pub interleaved: bool,
 }
 
 impl MhKModesConfig {
@@ -60,6 +68,8 @@ impl MhKModesConfig {
             query_mode: QueryMode::ScanBuckets,
             include_self: true,
             threads: 1,
+            closures: true,
+            interleaved: false,
         }
     }
 
@@ -104,6 +114,18 @@ impl MhKModesConfig {
     /// `lshclust::ClusterSpec::threads`.
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Enables/disables cluster-closure incremental assignment.
+    pub fn closures(mut self, yes: bool) -> Self {
+        self.closures = yes;
+        self
+    }
+
+    /// Selects interleaved vs contiguous parallel chunk scheduling.
+    pub fn interleaved(mut self, yes: bool) -> Self {
+        self.interleaved = yes;
         self
     }
 }
@@ -176,11 +198,23 @@ impl CentroidModel for KModesModel<'_> {
             .map(|(c, d)| (c, f64::from(d)))
     }
 
-    fn update_centroids(&mut self, assignments: &[ClusterId]) {
+    fn update_centroids(&mut self, assignments: &[ClusterId]) -> ActivitySet {
+        let old = self.modes.clone();
         self.modes.recompute(self.dataset, assignments);
+        let mut activity = ActivitySet::none(self.k());
+        for c in 0..self.k() {
+            if self.modes.mode(c) != old.mode(c) {
+                activity.mark(ClusterId(c as u32));
+            }
+        }
+        activity
     }
 
-    fn update_centroids_parallel(&mut self, assignments: &[ClusterId], threads: usize) {
+    fn update_centroids_parallel(
+        &mut self,
+        assignments: &[ClusterId],
+        threads: usize,
+    ) -> ActivitySet {
         if threads <= 1 {
             return self.update_centroids(assignments);
         }
@@ -203,11 +237,16 @@ impl CentroidModel for KModesModel<'_> {
                 Some(mode)
             },
         );
+        let mut activity = ActivitySet::none(k);
         for (c, mode) in new_modes.iter().enumerate() {
             if let Some(mode) = mode {
+                if self.modes.mode(c) != mode.as_slice() {
+                    activity.mark(ClusterId(c as u32));
+                }
                 self.modes.set_mode(ClusterId(c as u32), mode);
             }
         }
+        activity
     }
 
     fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
@@ -349,7 +388,14 @@ impl MhKModes {
 
         // Step 4+: shortlisted iterations.
         let run = if cfg.threads <= 1 {
-            framework::fit(&mut model, &mut provider, assignments, setup, &cfg.stop)
+            framework::fit(
+                &mut model,
+                &mut provider,
+                assignments,
+                setup,
+                &cfg.stop,
+                cfg.closures,
+            )
         } else {
             crate::parallel::parallel_fit(
                 &mut model,
@@ -358,6 +404,8 @@ impl MhKModes {
                 setup,
                 &cfg.stop,
                 cfg.threads,
+                cfg.closures,
+                cfg.interleaved,
             )
         };
 

@@ -13,7 +13,7 @@
 //!
 //! The driver is the unchanged [`crate::framework::fit`].
 
-use crate::framework::{self, CentroidModel, ShortlistProvider, StopPolicy};
+use crate::framework::{self, ActivitySet, CentroidModel, ShortlistProvider, StopPolicy};
 use crate::mhkmeans::{SimHashIndex, SimHashProvider};
 use crate::mhkmodes::MinHashProvider;
 use lshclust_categorical::{ClusterId, ValueId};
@@ -114,11 +114,28 @@ impl CentroidModel for KPrototypesModel<'_> {
         best
     }
 
-    fn update_centroids(&mut self, assignments: &[ClusterId]) {
+    fn update_centroids(&mut self, assignments: &[ClusterId]) -> ActivitySet {
+        let old = self.prototypes.clone();
         self.prototypes.recompute(self.data, assignments);
+        let k = self.k();
+        let dim = self.prototypes.dim();
+        let mut activity = ActivitySet::none(k);
+        for c in 0..k {
+            if self.prototypes.modes.mode(c) != old.modes.mode(c)
+                || self.prototypes.means[c * dim..(c + 1) * dim]
+                    != old.means[c * dim..(c + 1) * dim]
+            {
+                activity.mark(ClusterId(c as u32));
+            }
+        }
+        activity
     }
 
-    fn update_centroids_parallel(&mut self, assignments: &[ClusterId], threads: usize) {
+    fn update_centroids_parallel(
+        &mut self,
+        assignments: &[ClusterId],
+        threads: usize,
+    ) -> ActivitySet {
         if threads <= 1 {
             return self.update_centroids(assignments);
         }
@@ -153,11 +170,18 @@ impl CentroidModel for KPrototypesModel<'_> {
                 Some((mode, mean))
             },
         );
+        let mut activity = ActivitySet::none(k);
         for (c, update) in new.iter().enumerate() {
             let Some((mode, mean)) = update else { continue };
+            if self.prototypes.modes.mode(c) != mode.as_slice()
+                || self.prototypes.means[c * dim..(c + 1) * dim] != mean[..]
+            {
+                activity.mark(ClusterId(c as u32));
+            }
             self.prototypes.modes.set_mode(ClusterId(c as u32), mode);
             self.prototypes.means[c * dim..(c + 1) * dim].copy_from_slice(mean);
         }
+        activity
     }
 
     fn total_cost(&self, assignments: &[ClusterId]) -> f64 {
@@ -263,6 +287,11 @@ pub struct MhKPrototypesConfig {
     /// Gauss–Seidel pass; `> 1` runs the Jacobi parallel engine of
     /// [`crate::parallel`] over the union shortlists.
     pub threads: usize,
+    /// Cluster-closure incremental assignment (byte-identical results;
+    /// `false` is the escape hatch).
+    pub closures: bool,
+    /// Interleaved parallel chunk scheduling (identical results; bench axis).
+    pub interleaved: bool,
 }
 
 impl MhKPrototypesConfig {
@@ -279,12 +308,26 @@ impl MhKPrototypesConfig {
             stop: StopPolicy::default(),
             seed: 0,
             threads: 1,
+            closures: true,
+            interleaved: false,
         }
     }
 
     /// Sets the number of assignment threads (`0` clamps to `1`).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Enables/disables cluster-closure incremental assignment.
+    pub fn closures(mut self, yes: bool) -> Self {
+        self.closures = yes;
+        self
+    }
+
+    /// Selects interleaved vs contiguous parallel chunk scheduling.
+    pub fn interleaved(mut self, yes: bool) -> Self {
+        self.interleaved = yes;
         self
     }
 }
@@ -355,7 +398,14 @@ pub fn mh_kprototypes_from(
     let setup = setup_start.elapsed();
 
     let run = if config.threads <= 1 {
-        framework::fit(&mut model, &mut provider, assignments, setup, &config.stop)
+        framework::fit(
+            &mut model,
+            &mut provider,
+            assignments,
+            setup,
+            &config.stop,
+            config.closures,
+        )
     } else {
         crate::parallel::parallel_fit(
             &mut model,
@@ -364,6 +414,8 @@ pub fn mh_kprototypes_from(
             setup,
             &config.stop,
             config.threads,
+            config.closures,
+            config.interleaved,
         )
     };
     MhKPrototypesResult {

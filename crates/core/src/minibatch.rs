@@ -68,19 +68,31 @@ pub struct MiniBatchParams {
     /// at step 1; `0` means never refresh after that). Irrelevant without an
     /// LSH scheme.
     pub refresh_every: usize,
+    /// Cluster-closure reuse of batch assignments: a re-sampled item keeps
+    /// its cached decision when no cluster in its cached shortlist has
+    /// changed since — byte-identical either way. Irrelevant without an
+    /// LSH scheme.
+    pub closures: bool,
 }
 
 impl MiniBatchParams {
     /// Index refresh cadence used when the caller does not pick one.
     pub const DEFAULT_REFRESH_EVERY: usize = 8;
 
-    /// A schedule with the default refresh cadence.
+    /// A schedule with the default refresh cadence and closures enabled.
     pub fn new(batch_size: usize, n_steps: usize) -> Self {
         Self {
             batch_size,
             n_steps,
             refresh_every: Self::DEFAULT_REFRESH_EVERY,
+            closures: true,
         }
+    }
+
+    /// Enables/disables cluster-closure assignment reuse.
+    pub fn closures(mut self, yes: bool) -> Self {
+        self.closures = yes;
+        self
     }
 }
 
@@ -96,8 +108,11 @@ pub trait MiniBatchModel: CentroidModel {
     fn make_sketch(&self) -> Self::Sketch;
 
     /// Folds `item` into `cluster`'s accumulator and nudges that cluster's
-    /// centroid in place. Must be deterministic in call order.
-    fn absorb(&mut self, sketch: &mut Self::Sketch, item: u32, cluster: ClusterId);
+    /// centroid in place. Must be deterministic in call order. Returns
+    /// whether the cluster's centroid **value** actually changed — absorbing
+    /// a value that merely reinforces the current mode leaves it in place —
+    /// which is what the cluster-closure reuse cache keys invalidation on.
+    fn absorb(&mut self, sketch: &mut Self::Sketch, item: u32, cluster: ClusterId) -> bool;
 }
 
 impl MiniBatchModel for KModesModel<'_> {
@@ -109,10 +124,12 @@ impl MiniBatchModel for KModesModel<'_> {
         FrequencySketch::for_dataset(self.k(), self.dataset_ref())
     }
 
-    fn absorb(&mut self, sketch: &mut FrequencySketch, item: u32, cluster: ClusterId) {
+    fn absorb(&mut self, sketch: &mut FrequencySketch, item: u32, cluster: ClusterId) -> bool {
         let row = self.dataset_ref().row(item as usize);
         let mode = sketch.absorb(cluster, row);
+        let changed = self.modes().of(cluster) != mode;
         self.modes_mut().set_mode(cluster, mode);
+        changed
     }
 }
 
@@ -125,16 +142,20 @@ impl MiniBatchModel for KMeansModel<'_> {
         vec![0; self.k()]
     }
 
-    fn absorb(&mut self, counts: &mut Vec<u64>, item: u32, cluster: ClusterId) {
+    fn absorb(&mut self, counts: &mut Vec<u64>, item: u32, cluster: ClusterId) -> bool {
         let data = self.data_ref();
         let row = data.row(item as usize);
         let dim = data.dim();
         counts[cluster.idx()] += 1;
         let eta = 1.0 / counts[cluster.idx()] as f64;
         let centroid = &mut self.centroids_mut()[cluster.idx() * dim..(cluster.idx() + 1) * dim];
+        let mut changed = false;
         for (c, &x) in centroid.iter_mut().zip(row) {
-            *c += eta * (x - *c);
+            let new = *c + eta * (x - *c);
+            changed |= new != *c;
+            *c = new;
         }
+        changed
     }
 }
 
@@ -155,7 +176,7 @@ impl MiniBatchModel for KPrototypesModel<'_> {
         }
     }
 
-    fn absorb(&mut self, sketch: &mut PrototypeSketch, item: u32, cluster: ClusterId) {
+    fn absorb(&mut self, sketch: &mut PrototypeSketch, item: u32, cluster: ClusterId) -> bool {
         let data = self.data_ref();
         let row = data.categorical.row(item as usize);
         let point = data.numeric.row(item as usize);
@@ -163,12 +184,16 @@ impl MiniBatchModel for KPrototypesModel<'_> {
         let eta = 1.0 / sketch.counts[cluster.idx()] as f64;
         let mode = sketch.freq.absorb(cluster, row);
         let prototypes = self.prototypes_mut();
+        let mut changed = prototypes.modes.of(cluster) != mode;
         prototypes.modes.set_mode(cluster, mode);
         let dim = prototypes.dim();
         let mean = &mut prototypes.means[cluster.idx() * dim..(cluster.idx() + 1) * dim];
         for (m, &x) in mean.iter_mut().zip(point) {
-            *m += eta * (x - *m);
+            let new = *m + eta * (x - *m);
+            changed |= new != *m;
+            *m = new;
         }
+        changed
     }
 }
 
@@ -458,12 +483,57 @@ pub struct MiniBatchProfile {
     pub fallbacks: usize,
 }
 
+/// One item's cached batch decision for the cluster-closure reuse path.
+#[derive(Clone, Default)]
+struct BatchCache {
+    /// Which index refresh the cached shortlist was read under (`0` = never
+    /// evaluated; epochs start at 1).
+    epoch: u32,
+    /// The step whose frozen centroids the decision was computed against.
+    eval_step: u64,
+    /// The shortlist the centroid index returned (constant within an epoch —
+    /// item band keys never change and centroid buckets only move on
+    /// refresh).
+    shortlist: Vec<ClusterId>,
+    /// The restricted-search winner.
+    chosen: u32,
+}
+
+/// How one batch slot was decided.
+#[derive(Clone, Default)]
+struct BatchDecision {
+    chosen: u32,
+    searched: u32,
+    /// Empty shortlist → full `k`-search (never cached: its decision reads
+    /// every centroid, so any absorb anywhere could change it).
+    fallback: bool,
+    /// The fresh shortlist to cache (`None` for reused, fallback, or
+    /// closure-disabled decisions).
+    cache: Option<Vec<ClusterId>>,
+    /// Reused straight from the cache without touching the index or model.
+    reused: bool,
+}
+
 /// The shared step loop: sample → (refresh →) assign frozen batch → absorb.
 /// Appends one [`IterationStats`] row per step (`moves` counts absorbed
 /// items, `avg_candidates` the mean searched-cluster count — `k` whenever an
 /// item fell back to full search — and `cost` is a placeholder 0 that
 /// [`finish`] later backfills with the run's cost: mini-batch steps do
 /// not pay the `O(n·m)` objective evaluation).
+///
+/// ## Cluster-closure reuse (`MiniBatchParams::closures`)
+///
+/// A re-sampled item may keep its cached decision iff (a) the centroid index
+/// has not been refreshed since (same epoch — within an epoch the index is
+/// frozen, so the cached shortlist **is** what a fresh query would return),
+/// and (b) no cluster in that shortlist has had its centroid *value* change
+/// since the step the decision was computed (`last_changed[c] < eval_step`;
+/// an absorb that merely reinforces the current mode does not count). Under
+/// those conditions a fresh restricted search would scan the identical
+/// shortlist against identical centroids — same winner, same searched count
+/// — so the fit is byte-identical with reuse on or off. Absorbs always run
+/// (reused items still nudge their cluster), keeping the centroid trajectory
+/// itself untouched by the cache.
 fn run_steps<M, S>(
     model: &mut M,
     mut shortlister: Option<S>,
@@ -480,10 +550,22 @@ where
     let k = model.k();
     let b = params.batch_size.clamp(1, n.max(1));
     let n_steps = params.n_steps.max(1);
+    let closures = params.closures && shortlister.is_some();
     let mut rng = StdRng::seed_from_u64(seed ^ BATCH_SAMPLING_SALT);
     let mut sketch = model.make_sketch();
     let mut batch: Vec<u32> = Vec::with_capacity(b);
     let mut profile = MiniBatchProfile::default();
+    // Closure-reuse state: per-item cached decisions, the refresh epoch they
+    // were read under, and the last step each cluster's centroid value
+    // changed.
+    let mut cache: Vec<BatchCache> = if closures {
+        vec![BatchCache::default(); n]
+    } else {
+        Vec::new()
+    };
+    let mut last_changed: Vec<u64> = vec![0; k];
+    let mut epoch: u32 = 0;
+    let mut changed_this_step: Vec<bool> = vec![false; k];
     for step in 1..=n_steps {
         let t = Instant::now();
         if let Some(s) = shortlister.as_mut() {
@@ -491,28 +573,61 @@ where
                 let t_refresh = Instant::now();
                 s.refresh(&*model);
                 profile.refresh += t_refresh.elapsed();
+                epoch += 1;
             }
         }
         batch.clear();
         batch.extend((0..b).map(|_| rng.random_range(0..n) as u32));
         // Jacobi-within-batch: every decision reads the frozen centroids and
-        // index, so the fan-out below cannot change the outcome.
+        // index (and the frozen reuse cache — written only after the batch),
+        // so the fan-out below cannot change the outcome.
         let t_assign = Instant::now();
         let frozen: &M = &*model;
         let batch_ref: &[u32] = &batch;
-        let assigned: Vec<(u32, u32, bool)> = match shortlister.as_ref() {
+        let cache_ref: &[BatchCache] = &cache;
+        let last_changed_ref: &[u64] = &last_changed;
+        let assigned: Vec<BatchDecision> = match shortlister.as_ref() {
             Some(s) => chunked_map(
                 b,
                 threads,
                 || (s.make_scratch(), Vec::new()),
                 |i, (scratch, out): &mut (S::Scratch, Vec<ClusterId>)| {
                     let item = batch_ref[i as usize];
+                    if closures {
+                        let slot = &cache_ref[item as usize];
+                        if slot.epoch == epoch
+                            && slot
+                                .shortlist
+                                .iter()
+                                .all(|c| last_changed_ref[c.idx()] < slot.eval_step)
+                        {
+                            return BatchDecision {
+                                chosen: slot.chosen,
+                                searched: slot.shortlist.len() as u32,
+                                fallback: false,
+                                cache: None,
+                                reused: true,
+                            };
+                        }
+                    }
                     s.shortlist_into(item, scratch, out);
                     match frozen.best_among(item, out) {
-                        Some((c, _)) => (c.0, out.len() as u32, false),
+                        Some((c, _)) => BatchDecision {
+                            chosen: c.0,
+                            searched: out.len() as u32,
+                            fallback: false,
+                            cache: closures.then(|| out.clone()),
+                            reused: false,
+                        },
                         // Empty shortlist: no centroid collided — fall back
                         // to full search so every batch item lands somewhere.
-                        None => (frozen.best_full(item).0 .0, k as u32, true),
+                        None => BatchDecision {
+                            chosen: frozen.best_full(item).0 .0,
+                            searched: k as u32,
+                            fallback: true,
+                            cache: None,
+                            reused: false,
+                        },
                     }
                 },
             ),
@@ -520,31 +635,55 @@ where
                 b,
                 threads,
                 || (),
-                |i, _| {
-                    (
-                        frozen.best_full(batch_ref[i as usize]).0 .0,
-                        k as u32,
-                        false,
-                    )
+                |i, _| BatchDecision {
+                    chosen: frozen.best_full(batch_ref[i as usize]).0 .0,
+                    searched: k as u32,
+                    fallback: false,
+                    cache: None,
+                    reused: false,
                 },
             ),
         };
         profile.assign += t_assign.elapsed();
-        let searched: usize = assigned.iter().map(|&(_, len, _)| len as usize).sum();
-        profile.fallbacks += assigned.iter().filter(|&&(_, _, fb)| fb).count();
+        let searched: usize = assigned.iter().map(|d| d.searched as usize).sum();
+        profile.fallbacks += assigned.iter().filter(|d| d.fallback).count();
+        let skipped = assigned.iter().filter(|d| d.reused).count();
         // Nudges apply serially in batch order — the one deliberately
         // sequential piece, shared by every thread count.
         let t_absorb = Instant::now();
-        for (&item, &(c, _, _)) in batch.iter().zip(&assigned) {
-            model.absorb(&mut sketch, item, ClusterId(c));
+        changed_this_step.iter_mut().for_each(|c| *c = false);
+        for (&item, d) in batch.iter().zip(&assigned) {
+            if model.absorb(&mut sketch, item, ClusterId(d.chosen)) {
+                changed_this_step[d.chosen as usize] = true;
+            }
         }
         profile.absorb += t_absorb.elapsed();
+        // Record fresh decisions, then the step's centroid changes — in that
+        // order, so a decision cached at step `t` whose cluster changed at
+        // `t` (its own absorb included) is invalid from `t + 1` on.
+        if closures {
+            for (&item, d) in batch.iter().zip(&assigned) {
+                let Some(fresh) = &d.cache else { continue };
+                let slot = &mut cache[item as usize];
+                slot.epoch = epoch;
+                slot.eval_step = step as u64;
+                slot.shortlist.clone_from(fresh);
+                slot.chosen = d.chosen;
+            }
+        }
+        for (c, changed) in changed_this_step.iter().enumerate() {
+            if *changed {
+                last_changed[c] = step as u64;
+            }
+        }
         steps_out.push(IterationStats {
             iteration: step,
             duration: t.elapsed(),
             moves: b,
             avg_candidates: searched as f64 / b as f64,
             cost: 0,
+            skipped_items: skipped,
+            active_clusters: changed_this_step.iter().filter(|c| **c).count(),
         });
     }
     profile
@@ -582,6 +721,8 @@ fn finish<M: CentroidModel + Sync>(
         moves: 0,
         avg_candidates: model.k() as f64,
         cost,
+        skipped_items: 0,
+        active_clusters: 0,
     });
     assignments
 }
@@ -891,6 +1032,7 @@ mod tests {
             batch_size: batch,
             n_steps: steps,
             refresh_every: 4,
+            closures: true,
         }
     }
 
@@ -953,6 +1095,74 @@ mod tests {
             assert_eq!(one.assignments, other.assignments, "threads={threads}");
             assert_eq!(one.modes, other.modes, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn closure_reuse_is_byte_identical_for_kmodes() {
+        let ds = blob_dataset(4, 8, 6);
+        let run = |closures| {
+            minibatch_mh_kmodes(
+                &ds,
+                4,
+                InitMethod::RandomItems,
+                7,
+                Some(Banding::new(8, 2)),
+                &MiniBatchParams {
+                    batch_size: 16,
+                    n_steps: 40,
+                    refresh_every: 16,
+                    closures,
+                },
+                2,
+            )
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.assignments, off.assignments);
+        assert_eq!(on.modes, off.modes);
+        // Trajectory identical except for the skip counter itself.
+        for (a, b) in on.summary.iterations.iter().zip(&off.summary.iterations) {
+            assert_eq!(a.moves, b.moves);
+            assert_eq!(a.avg_candidates, b.avg_candidates);
+            assert_eq!(a.cost, b.cost);
+            assert_eq!(a.active_clusters, b.active_clusters);
+            assert_eq!(b.skipped_items, 0);
+        }
+        // Once the blob modes stabilise, re-sampled items actually reuse.
+        assert!(
+            on.summary.total_skipped() > 0,
+            "expected some reuse: {:?}",
+            on.summary
+                .iterations
+                .iter()
+                .map(|s| s.skipped_items)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn closure_reuse_is_byte_identical_for_kmeans() {
+        let data = blob_numeric(3, 10, 4);
+        let run = |closures| {
+            minibatch_mh_kmeans(
+                &data,
+                3,
+                KMeansInit::PlusPlus,
+                2,
+                Some((4, 8)),
+                &MiniBatchParams {
+                    batch_size: 12,
+                    n_steps: 25,
+                    refresh_every: 8,
+                    closures,
+                },
+                2,
+            )
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.assignments, off.assignments);
+        assert_eq!(on.centroids, off.centroids, "means must be bit-identical");
     }
 
     #[test]
@@ -1041,6 +1251,7 @@ mod tests {
                 batch_size: 0,
                 n_steps: 0,
                 refresh_every: 0,
+                closures: true,
             },
             1,
         );
@@ -1062,6 +1273,7 @@ mod tests {
                 batch_size: 8,
                 n_steps: 10,
                 refresh_every: 0,
+                closures: true,
             },
             1,
         );

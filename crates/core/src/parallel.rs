@@ -23,7 +23,8 @@
 //! serial and the parallel path run through `framework::drive`.
 
 use crate::framework::{
-    self, AcceleratedRun, AssignOutcome, CentroidModel, ShortlistProvider, StopPolicy,
+    self, AcceleratedRun, ActivitySet, AssignOutcome, CentroidModel, ShortlistCache,
+    ShortlistProvider, StopPolicy,
 };
 use lshclust_categorical::{ClusterId, Dataset, PresentElements};
 use lshclust_minhash::hashfn::MixHashFamily;
@@ -56,9 +57,15 @@ pub trait SyncShortlistProvider: ShortlistProvider + Sync {
 /// [`CentroidModel::update_centroids_parallel`]. Works with any
 /// [`SyncShortlistProvider`] — MinHash, SimHash, or the mixed-data union.
 ///
+/// `closures` enables the cluster-closure active-set engine
+/// ([`jacobi_assign_closures`]); `interleaved` picks the strided worker
+/// schedule over the contiguous one (same output either way). Both default
+/// paths are byte-identical to each other and to the closure-free pass.
+///
 /// `threads` is clamped to at least 1; with 1 thread the pass is still
 /// Jacobi (computed inline, no spawning), so results at any `threads >= 1`
 /// through this entry point are identical.
+#[allow(clippy::too_many_arguments)]
 pub fn parallel_fit<M, P>(
     model: &mut M,
     provider: &mut P,
@@ -66,20 +73,38 @@ pub fn parallel_fit<M, P>(
     setup: std::time::Duration,
     config: &StopPolicy,
     threads: usize,
+    closures: bool,
+    interleaved: bool,
 ) -> AcceleratedRun
 where
     M: CentroidModel + Sync,
     P: SyncShortlistProvider,
 {
     let threads = threads.max(1);
+    let mut cache = ShortlistCache::new(model.n_items());
     framework::drive(
         model,
         assignments,
         setup,
         config,
-        |model, assignments| {
-            let (new_assignments, shortlist_total) =
-                jacobi_assign(model, &*provider, assignments, threads);
+        |model, assignments, activity| {
+            let (new_assignments, shortlist_total, skipped) = if closures {
+                jacobi_assign_closures(
+                    model,
+                    &*provider,
+                    assignments,
+                    activity,
+                    &mut cache,
+                    threads,
+                    interleaved,
+                )
+            } else if interleaved {
+                let (a, total) = jacobi_assign_interleaved(model, &*provider, assignments, threads);
+                (a, total, 0)
+            } else {
+                let (a, total) = jacobi_assign(model, &*provider, assignments, threads);
+                (a, total, 0)
+            };
             let mut moves = 0usize;
             for (item, (&old, &new)) in assignments.iter().zip(&new_assignments).enumerate() {
                 if old != new {
@@ -91,6 +116,7 @@ where
             AssignOutcome {
                 moves,
                 shortlist_total,
+                skipped,
             }
         },
         |model, assignments| model.update_centroids_parallel(assignments, threads),
@@ -134,6 +160,145 @@ where
     (new_assignments, shortlist_total)
 }
 
+/// One Jacobi pass under the **cluster-closure active set**: items whose
+/// cached shortlist touches no active cluster keep their assignment without
+/// a fresh query; the rest are re-shortlisted (their fresh lists written
+/// straight into the cache) and re-scored in parallel. Returns
+/// `(new assignments, shortlist_total, skipped)`.
+///
+/// Why identity holds for the Jacobi pass: every per-item decision reads the
+/// index state frozen at pass start (reference updates land *after* the
+/// pass), so unlike the Gauss–Seidel pass no within-pass marking is needed —
+/// the incoming `activity` (centroid changes ∪ both endpoints of the
+/// previous pass's moves, per `framework::drive`) already covers everything
+/// that could change a cached item's fresh shortlist or its distances.
+/// Skipped items contribute their cached shortlist length to the total, so
+/// `avg_candidates` is byte-identical with closures on or off.
+///
+/// The output is independent of the thread count *and* of the schedule
+/// (`interleaved` strides the re-evaluated items over the workers the way
+/// [`chunked_map_interleaved`] strides all items; contiguous chunks
+/// otherwise) — each re-evaluated item's result is pure in the frozen state.
+pub fn jacobi_assign_closures<M, P>(
+    model: &M,
+    provider: &P,
+    assignments: &[ClusterId],
+    activity: &ActivitySet,
+    cache: &mut ShortlistCache,
+    threads: usize,
+    interleaved: bool,
+) -> (Vec<ClusterId>, usize, usize)
+where
+    M: CentroidModel + Sync,
+    P: SyncShortlistProvider,
+{
+    let n = assignments.len();
+    assert_eq!(cache.len(), n, "one cache entry per item");
+    let framework::ShortlistCache { lists, valid } = cache;
+    let mut new_assignments = assignments.to_vec();
+    let mut shortlist_total = 0usize;
+    let mut skipped = 0usize;
+    // Split items into skipped (cached answer provably unchanged) and todo.
+    let mut todo: Vec<u32> = Vec::new();
+    for item in 0..n {
+        if valid[item] && !activity.any_active_in(&lists[item]) {
+            shortlist_total += lists[item].len();
+            skipped += 1;
+        } else {
+            todo.push(item as u32);
+        }
+    }
+    if todo.is_empty() {
+        return (new_assignments, shortlist_total, skipped);
+    }
+    // Disjoint `&mut` cache entries for the todo items (ascending order), so
+    // workers write fresh shortlists straight into the cache without copies.
+    let mut entries: Vec<&mut Vec<ClusterId>> = Vec::with_capacity(todo.len());
+    let mut rest: &mut [Vec<ClusterId>] = lists;
+    let mut base = 0usize;
+    for &item in &todo {
+        let (_, tail) = rest.split_at_mut(item as usize - base);
+        let (slot, tail) = tail.split_first_mut().expect("todo item in range");
+        entries.push(slot);
+        rest = tail;
+        base = item as usize + 1;
+    }
+    let threads = threads.max(1).min(todo.len());
+    let results: Vec<(u32, u32)> = if threads <= 1 {
+        let mut scratch = provider.make_scratch();
+        todo.iter()
+            .zip(entries)
+            .map(|(&item, out)| {
+                provider.shortlist_into(item, &mut scratch, out);
+                let chosen = match model.best_among(item, out) {
+                    Some((c, _)) => c,
+                    None => assignments[item as usize],
+                };
+                (chosen.0, out.len() as u32)
+            })
+            .collect()
+    } else {
+        // Deal the todo items to worker buckets — contiguous runs, or
+        // round-robin under the interleaved schedule — remembering each
+        // item's position in `todo` so results scatter back in item order.
+        let chunk = todo.len().div_ceil(threads);
+        let worker_of = |pos: usize| {
+            if interleaved {
+                pos % threads
+            } else {
+                pos / chunk
+            }
+        };
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); threads];
+        let mut items: Vec<Vec<u32>> = vec![Vec::new(); threads];
+        let mut buckets: Vec<Vec<&mut Vec<ClusterId>>> = (0..threads).map(|_| Vec::new()).collect();
+        for (pos, (&item, entry)) in todo.iter().zip(entries).enumerate() {
+            let w = worker_of(pos);
+            positions[w].push(pos);
+            items[w].push(item);
+            buckets[w].push(entry);
+        }
+        let per_worker: Vec<Vec<(u32, u32)>> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .iter()
+                .zip(buckets)
+                .map(|(worker_items, worker_entries)| {
+                    scope.spawn(move |_| {
+                        let mut scratch = provider.make_scratch();
+                        worker_items
+                            .iter()
+                            .zip(worker_entries)
+                            .map(|(&item, out)| {
+                                provider.shortlist_into(item, &mut scratch, out);
+                                let chosen = match model.best_among(item, out) {
+                                    Some((c, _)) => c,
+                                    None => assignments[item as usize],
+                                };
+                                (chosen.0, out.len() as u32)
+                            })
+                            .collect::<Vec<(u32, u32)>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("jacobi_assign_closures worker panicked");
+        let mut results = vec![(0u32, 0u32); todo.len()];
+        for (worker_positions, worker_results) in positions.iter().zip(per_worker) {
+            for (&pos, value) in worker_positions.iter().zip(worker_results) {
+                results[pos] = value;
+            }
+        }
+        results
+    };
+    for (&item, (c, len)) in todo.iter().zip(results) {
+        new_assignments[item as usize] = ClusterId(c);
+        shortlist_total += len as usize;
+        valid[item as usize] = true;
+    }
+    (new_assignments, shortlist_total, skipped)
+}
+
 /// One **full-search assignment pass** fanned over `threads` workers — the
 /// parallel twin of [`framework::assign_full`], used for the setup phase
 /// (the paper's step 2: the initial assignment over all `k` clusters before
@@ -170,6 +335,7 @@ pub fn assign_full_parallel<M: CentroidModel + Sync>(
     AssignOutcome {
         moves,
         shortlist_total: assignments.len() * model.k(),
+        skipped: 0,
     }
 }
 
@@ -754,6 +920,68 @@ mod tests {
         for threads in [1usize, 2, 3, 8, 64] {
             let strided = jacobi_assign_interleaved(&model, &provider, &initial, threads);
             assert_eq!(strided, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn jacobi_closures_match_full_reevaluation_pass_for_pass() {
+        use crate::framework::{ActivitySet, CentroidModel, ShortlistCache};
+        use crate::mhkmodes::{KModesModel, MinHashProvider};
+        use lshclust_kmodes::init::{initial_modes, InitMethod};
+        let ds = blob_dataset(5, 8, 8);
+        let k = 5usize;
+        let modes = initial_modes(&ds, k, InitMethod::RandomItems, 5);
+        let initial: Vec<ClusterId> = (0..ds.n_items() as u32)
+            .map(|i| ClusterId(i % k as u32))
+            .collect();
+        let index = LshIndexBuilder::new(Banding::new(10, 2))
+            .seed(11)
+            .build(&ds, &initial);
+        let provider = MinHashProvider::new(index, k, true);
+        for threads in [1usize, 2, 3, 8] {
+            for interleaved in [false, true] {
+                let mut model = KModesModel::new(&ds, modes.clone());
+                let mut assignments = initial.clone();
+                let mut cache = ShortlistCache::new(ds.n_items());
+                let mut activity = ActivitySet::all(k);
+                let mut total_skipped = 0usize;
+                for pass in 0..6 {
+                    let (on, on_total, skipped) = jacobi_assign_closures(
+                        &model,
+                        &provider,
+                        &assignments,
+                        &activity,
+                        &mut cache,
+                        threads,
+                        interleaved,
+                    );
+                    let (off, off_total) = jacobi_assign(&model, &provider, &assignments, 2);
+                    assert_eq!(
+                        on, off,
+                        "threads={threads} interleaved={interleaved} pass={pass}"
+                    );
+                    assert_eq!(
+                        on_total, off_total,
+                        "threads={threads} interleaved={interleaved} pass={pass}"
+                    );
+                    total_skipped += skipped;
+                    // Rebuild the drive loop's activity: update-changed
+                    // clusters plus both endpoints of every move.
+                    let mut next = model.update_centroids(&on);
+                    for (old, new) in assignments.iter().zip(&on) {
+                        if old != new {
+                            next.mark(*old);
+                            next.mark(*new);
+                        }
+                    }
+                    activity = next;
+                    assignments = on;
+                }
+                assert!(
+                    total_skipped > 0,
+                    "closure path never skipped (threads={threads} interleaved={interleaved})"
+                );
+            }
         }
     }
 

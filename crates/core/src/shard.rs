@@ -55,7 +55,9 @@
 //! multi-process transport over the same [`ShardRequest`]/[`ShardReply`]
 //! types.
 
-use crate::framework::{self, AssignOutcome, CentroidModel, ShortlistProvider};
+use crate::framework::{
+    self, ActivitySet, AssignOutcome, CentroidModel, ShortlistCache, ShortlistProvider,
+};
 use crate::mhkmeans::{KMeansModel, MhKMeansConfig, MhKMeansResult, SimHashIndex};
 use crate::mhkmodes::{KModesModel, MhKModesConfig, MhKModesResult};
 use crate::mhkprototypes::{
@@ -531,6 +533,9 @@ pub struct ShardInit {
     pub threads: usize,
     /// K-Prototypes mixing weight (ignored unless mixed).
     pub gamma: f64,
+    /// Cluster-closure incremental assignment: workers skip items whose
+    /// cached shortlist touches no broadcast-active cluster.
+    pub closures: bool,
     /// Categorical side (present for categorical and mixed fits).
     pub categorical: Option<CatShardInit>,
     /// Numeric side (present for numeric and mixed fits).
@@ -541,6 +546,7 @@ serde::impl_serde_struct!(ShardInit {
     k,
     threads,
     gamma,
+    closures,
     categorical,
     numeric
 });
@@ -618,6 +624,9 @@ pub struct ShardUpdate {
     pub moves: u64,
     /// Summed shortlist sizes over the shard's items.
     pub shortlist_total: u64,
+    /// Items whose re-evaluation the cluster-closure active set skipped
+    /// (`0` with closures off and on full-assignment rounds).
+    pub skipped: u64,
     /// Fresh digests of the shard's indexes (one per index; mixed fits
     /// carry `[minhash, simhash]`).
     pub digests: Vec<KeyDigest>,
@@ -629,6 +638,7 @@ serde::impl_serde_struct!(ShardUpdate {
     assignments,
     moves,
     shortlist_total,
+    skipped,
     digests,
     sketch
 });
@@ -654,6 +664,12 @@ pub enum ShardRequest {
         /// Merged digests, one per index (`[minhash]`, `[simhash]`, or
         /// `[minhash, simhash]` for mixed).
         digests: Vec<KeyDigest>,
+        /// The **global** active clusters for this pass (ascending ids):
+        /// clusters whose centroid changed in the last update, plus both
+        /// endpoints of every move in the previous pass. Workers with
+        /// closures enabled skip items whose cached shortlist avoids all of
+        /// them; ignored otherwise.
+        active: Vec<u32>,
     },
     /// Terminate (multi-process workers exit their loop).
     Shutdown,
@@ -667,11 +683,16 @@ impl Serialize for ShardRequest {
                 "AssignFull".to_owned(),
                 Value::Object(vec![("centroids".to_owned(), centroids.to_value())]),
             )]),
-            ShardRequest::Pass { centroids, digests } => Value::Object(vec![(
+            ShardRequest::Pass {
+                centroids,
+                digests,
+                active,
+            } => Value::Object(vec![(
                 "Pass".to_owned(),
                 Value::Object(vec![
                     ("centroids".to_owned(), centroids.to_value()),
                     ("digests".to_owned(), digests.to_value()),
+                    ("active".to_owned(), active.to_value()),
                 ]),
             )]),
             ShardRequest::Shutdown => Value::String("Shutdown".to_owned()),
@@ -710,6 +731,7 @@ impl Deserialize for ShardRequest {
                 Ok(ShardRequest::Pass {
                     centroids: serde::field(fields, "centroids", "ShardRequest::Pass")?,
                     digests: serde::field(fields, "digests", "ShardRequest::Pass")?,
+                    active: serde::field(fields, "active", "ShardRequest::Pass")?,
                 })
             }
             other => Err(SerdeError(format!(
@@ -905,9 +927,13 @@ pub struct ShardWorker {
     k: usize,
     threads: usize,
     gamma: f64,
+    closures: bool,
     categorical: Option<CatSide>,
     numeric: Option<NumSide>,
     assignments: Vec<ClusterId>,
+    /// Per-item cached shortlists for the cluster-closure skip; reset on
+    /// every `AssignFull` (the indexes it reads are rebuilt there).
+    cache: ShortlistCache,
 }
 
 impl ShardWorker {
@@ -937,9 +963,11 @@ impl ShardWorker {
             k: init.k,
             threads: init.threads.max(1),
             gamma: init.gamma,
+            closures: init.closures,
             categorical,
             numeric,
             assignments: vec![ClusterId(0); n],
+            cache: ShortlistCache::new(n),
         })
     }
 
@@ -954,7 +982,11 @@ impl ShardWorker {
         let result = match request {
             ShardRequest::Init(_) => Err(ShardError("worker already initialised".into())),
             ShardRequest::AssignFull { centroids } => self.assign_full(centroids),
-            ShardRequest::Pass { centroids, digests } => self.pass(centroids, &digests),
+            ShardRequest::Pass {
+                centroids,
+                digests,
+                active,
+            } => self.pass(centroids, &digests, &active),
             ShardRequest::Shutdown => return ShardReply::Done,
         };
         match result {
@@ -963,7 +995,7 @@ impl ShardWorker {
         }
     }
 
-    fn update(&self, moves: u64, shortlist_total: u64) -> ShardUpdate {
+    fn update(&self, moves: u64, shortlist_total: u64, skipped: u64) -> ShardUpdate {
         let mut digests = Vec::new();
         if let Some(cat) = &self.categorical {
             digests.push(cat.digest());
@@ -975,6 +1007,7 @@ impl ShardWorker {
             assignments: self.assignments.clone(),
             moves,
             shortlist_total,
+            skipped,
             digests,
             sketch: self
                 .categorical
@@ -1007,75 +1040,131 @@ impl ShardWorker {
             }
             _ => return Err(ShardError("centroid set disagrees with modality".into())),
         }
-        Ok(self.update(0, 0))
+        // The indexes the cached shortlists were read from no longer exist.
+        self.cache.invalidate_all();
+        Ok(self.update(0, 0, 0))
     }
 
     fn pass(
         &mut self,
         centroids: CentroidSet,
         digests: &[KeyDigest],
+        active: &[u32],
     ) -> Result<ShardUpdate, ShardError> {
-        let (new_assignments, shortlist_total) = match (&self.categorical, &self.numeric, centroids)
-        {
-            (Some(cat), None, CentroidSet::Modes(modes)) => {
-                check_modes(&modes, self.k, cat.dataset.n_attrs())?;
-                let [digest] = digests else {
-                    return Err(ShardError("categorical pass expects one digest".into()));
-                };
-                if cat.index.is_none() {
-                    return Err(ShardError("pass before assign_full".into()));
+        // With closures on, items whose cached shortlist avoids every
+        // broadcast-active cluster keep their assignment without a digest
+        // query — the same skip rule, against the same global activity, as
+        // the unsharded engine, so the pass stays byte-identical. The cache
+        // lives next to the per-shard indexes: shard-local items, global
+        // cluster ids.
+        let closures = self.closures;
+        let activity = ActivitySet::from_clusters(self.k, active);
+        let cache = &mut self.cache;
+        let (new_assignments, shortlist_total, skipped) =
+            match (&self.categorical, &self.numeric, centroids) {
+                (Some(cat), None, CentroidSet::Modes(modes)) => {
+                    check_modes(&modes, self.k, cat.dataset.n_attrs())?;
+                    let [digest] = digests else {
+                        return Err(ShardError("categorical pass expects one digest".into()));
+                    };
+                    if cat.index.is_none() {
+                        return Err(ShardError("pass before assign_full".into()));
+                    }
+                    let provider =
+                        DigestShortlistProvider::new(digest, cat.n_bands(), &cat.band_keys);
+                    let model = KModesModel::new(&cat.dataset, modes);
+                    if closures {
+                        parallel::jacobi_assign_closures(
+                            &model,
+                            &provider,
+                            &self.assignments,
+                            &activity,
+                            cache,
+                            self.threads,
+                            true,
+                        )
+                    } else {
+                        let (a, total) = parallel::jacobi_assign_interleaved(
+                            &model,
+                            &provider,
+                            &self.assignments,
+                            self.threads,
+                        );
+                        (a, total, 0)
+                    }
                 }
-                let provider = DigestShortlistProvider::new(digest, cat.n_bands(), &cat.band_keys);
-                let model = KModesModel::new(&cat.dataset, modes);
-                parallel::jacobi_assign_interleaved(
-                    &model,
-                    &provider,
-                    &self.assignments,
-                    self.threads,
-                )
-            }
-            (None, Some(num), CentroidSet::Means { k, dim, values }) => {
-                check_means(k, dim, &values, self.k, num.data.dim())?;
-                let [digest] = digests else {
-                    return Err(ShardError("numeric pass expects one digest".into()));
-                };
-                if num.index.is_none() {
-                    return Err(ShardError("pass before assign_full".into()));
+                (None, Some(num), CentroidSet::Means { k, dim, values }) => {
+                    check_means(k, dim, &values, self.k, num.data.dim())?;
+                    let [digest] = digests else {
+                        return Err(ShardError("numeric pass expects one digest".into()));
+                    };
+                    if num.index.is_none() {
+                        return Err(ShardError("pass before assign_full".into()));
+                    }
+                    let provider =
+                        DigestShortlistProvider::new(digest, num.bands as usize, &num.band_keys);
+                    let model = KMeansModel::new(&num.data, values, k);
+                    if closures {
+                        parallel::jacobi_assign_closures(
+                            &model,
+                            &provider,
+                            &self.assignments,
+                            &activity,
+                            cache,
+                            self.threads,
+                            true,
+                        )
+                    } else {
+                        let (a, total) = parallel::jacobi_assign_interleaved(
+                            &model,
+                            &provider,
+                            &self.assignments,
+                            self.threads,
+                        );
+                        (a, total, 0)
+                    }
                 }
-                let provider =
-                    DigestShortlistProvider::new(digest, num.bands as usize, &num.band_keys);
-                let model = KMeansModel::new(&num.data, values, k);
-                parallel::jacobi_assign_interleaved(
-                    &model,
-                    &provider,
-                    &self.assignments,
-                    self.threads,
-                )
-            }
-            (Some(cat), Some(num), CentroidSet::Prototypes(prototypes)) => {
-                check_prototypes(&prototypes, self.k, cat.dataset.n_attrs(), num.data.dim())?;
-                let [cat_digest, sim_digest] = digests else {
-                    return Err(ShardError("mixed pass expects two digests".into()));
-                };
-                if cat.index.is_none() || num.index.is_none() {
-                    return Err(ShardError("pass before assign_full".into()));
+                (Some(cat), Some(num), CentroidSet::Prototypes(prototypes)) => {
+                    check_prototypes(&prototypes, self.k, cat.dataset.n_attrs(), num.data.dim())?;
+                    let [cat_digest, sim_digest] = digests else {
+                        return Err(ShardError("mixed pass expects two digests".into()));
+                    };
+                    if cat.index.is_none() || num.index.is_none() {
+                        return Err(ShardError("pass before assign_full".into()));
+                    }
+                    // MinHash first, SimHash second — the unsharded union order.
+                    let provider = UnionProvider::new(
+                        DigestShortlistProvider::new(cat_digest, cat.n_bands(), &cat.band_keys),
+                        DigestShortlistProvider::new(
+                            sim_digest,
+                            num.bands as usize,
+                            &num.band_keys,
+                        ),
+                    );
+                    let mixed = MixedDataset::new(&cat.dataset, &num.data);
+                    let model = KPrototypesModel::new(&mixed, prototypes, self.gamma);
+                    if closures {
+                        parallel::jacobi_assign_closures(
+                            &model,
+                            &provider,
+                            &self.assignments,
+                            &activity,
+                            cache,
+                            self.threads,
+                            true,
+                        )
+                    } else {
+                        let (a, total) = parallel::jacobi_assign_interleaved(
+                            &model,
+                            &provider,
+                            &self.assignments,
+                            self.threads,
+                        );
+                        (a, total, 0)
+                    }
                 }
-                // MinHash first, SimHash second — the unsharded union order.
-                let provider = UnionProvider::new(
-                    DigestShortlistProvider::new(cat_digest, cat.n_bands(), &cat.band_keys),
-                    DigestShortlistProvider::new(sim_digest, num.bands as usize, &num.band_keys),
-                );
-                let mixed = MixedDataset::new(&cat.dataset, &num.data);
-                let model = KPrototypesModel::new(&mixed, prototypes, self.gamma);
-                parallel::jacobi_assign_interleaved(
-                    &model,
-                    &provider,
-                    &self.assignments,
-                    self.threads,
-                )
-            }
-            _ => return Err(ShardError("centroid set disagrees with modality".into())),
-        };
+                _ => return Err(ShardError("centroid set disagrees with modality".into())),
+            };
         let moves = self
             .assignments
             .iter()
@@ -1095,7 +1184,7 @@ impl ShardWorker {
                 .expect("checked above")
                 .set_all_clusters(&self.assignments);
         }
-        Ok(self.update(moves, shortlist_total as u64))
+        Ok(self.update(moves, shortlist_total as u64, skipped as u64))
     }
 }
 
@@ -1264,6 +1353,7 @@ fn splice_updates(
 ) -> Result<AssignOutcome, ShardError> {
     let mut moves = 0usize;
     let mut shortlist_total = 0usize;
+    let mut skipped = 0usize;
     for (shard, u) in updates.iter().enumerate() {
         let range = plan.range(shard);
         if u.assignments.len() != range.len() {
@@ -1276,10 +1366,12 @@ fn splice_updates(
         assignments[range].copy_from_slice(&u.assignments);
         moves += u.moves as usize;
         shortlist_total += u.shortlist_total as usize;
+        skipped += u.skipped as usize;
     }
     Ok(AssignOutcome {
         moves,
         shortlist_total,
+        skipped,
     })
 }
 
@@ -1354,6 +1446,7 @@ pub fn shard_mh_kmodes_from(
                 k: cfg.k,
                 threads: cfg.threads,
                 gamma: 0.0,
+                closures: cfg.closures,
                 categorical: Some(CatShardInit {
                     n_attrs: dataset.n_attrs(),
                     values: flatten_cat_rows(dataset, range.clone()),
@@ -1390,7 +1483,7 @@ pub fn shard_mh_kmodes_from(
         assignments,
         setup,
         &cfg.stop,
-        |model, assignments| {
+        |model, assignments, activity| {
             let mut st = state.borrow_mut();
             if st.error.is_some() {
                 return AssignOutcome::default();
@@ -1398,6 +1491,7 @@ pub fn shard_mh_kmodes_from(
             let requests = broadcast(plan.n_shards(), || ShardRequest::Pass {
                 centroids: CentroidSet::Modes(model.modes().clone()),
                 digests: st.digests.clone(),
+                active: activity.to_clusters(),
             });
             match exchange(transport, &plan, requests, 1, true, assignments) {
                 Ok((outcome, digests, sketch)) => {
@@ -1412,8 +1506,21 @@ pub fn shard_mh_kmodes_from(
             }
         },
         |model, _assignments| {
+            // The merged sketch replays the exact same mode update the
+            // unsharded fit computes, so diffing old vs new modes yields the
+            // same ActivitySet the unsharded `update_centroids` reports.
             if let Some(sketch) = state.borrow_mut().sketch.take() {
+                let old = model.modes().clone();
                 sketch.apply(model.modes_mut());
+                let mut activity = ActivitySet::none(old.k());
+                for c in 0..old.k() {
+                    if model.modes().mode(c) != old.mode(c) {
+                        activity.mark(ClusterId(c as u32));
+                    }
+                }
+                activity
+            } else {
+                ActivitySet::none(model.k())
             }
         },
     );
@@ -1454,6 +1561,7 @@ pub fn shard_mh_kmeans_from(
                 k: cfg.k,
                 threads: cfg.threads,
                 gamma: 0.0,
+                closures: cfg.closures,
                 categorical: None,
                 numeric: Some(NumShardInit {
                     dim,
@@ -1490,7 +1598,7 @@ pub fn shard_mh_kmeans_from(
         assignments,
         setup,
         &cfg.stop,
-        |model, assignments| {
+        |model, assignments, activity| {
             let mut st = state.borrow_mut();
             if st.error.is_some() {
                 return AssignOutcome::default();
@@ -1498,6 +1606,7 @@ pub fn shard_mh_kmeans_from(
             let requests = broadcast(plan.n_shards(), || ShardRequest::Pass {
                 centroids: means_of(model, dim),
                 digests: st.digests.clone(),
+                active: activity.to_clusters(),
             });
             match exchange(transport, &plan, requests, 1, false, assignments) {
                 Ok((outcome, digests, _)) => {
@@ -1559,6 +1668,7 @@ pub fn shard_mh_kprototypes_from(
                 k: cfg.k,
                 threads: cfg.threads,
                 gamma: cfg.gamma,
+                closures: cfg.closures,
                 categorical: Some(CatShardInit {
                     n_attrs: data.categorical.n_attrs(),
                     values: flatten_cat_rows(data.categorical, range.clone()),
@@ -1599,7 +1709,7 @@ pub fn shard_mh_kprototypes_from(
         assignments,
         setup,
         &cfg.stop,
-        |model, assignments| {
+        |model, assignments, activity| {
             let mut st = state.borrow_mut();
             if st.error.is_some() {
                 return AssignOutcome::default();
@@ -1607,6 +1717,7 @@ pub fn shard_mh_kprototypes_from(
             let requests = broadcast(plan.n_shards(), || ShardRequest::Pass {
                 centroids: CentroidSet::Prototypes(model.prototypes().clone()),
                 digests: st.digests.clone(),
+                active: activity.to_clusters(),
             });
             match exchange(transport, &plan, requests, 2, true, assignments) {
                 Ok((outcome, digests, sketch)) => {
@@ -1622,7 +1733,9 @@ pub fn shard_mh_kprototypes_from(
         },
         |model, assignments| {
             if let Some(sketch) = state.borrow_mut().sketch.take() {
-                apply_prototype_update(model, &sketch, assignments, dim);
+                apply_prototype_update(model, &sketch, assignments, dim)
+            } else {
+                ActivitySet::none(model.k())
             }
         },
     );
@@ -1646,17 +1759,21 @@ fn means_of(model: &KMeansModel<'_>, dim: usize) -> CentroidSet {
 
 /// The mixed centroid update: modes from the merged sketch, means replayed
 /// over the full data in ascending member order — together bit-identical to
-/// `KPrototypesModel::update_centroids_parallel`.
+/// `KPrototypesModel::update_centroids_parallel`. Returns the clusters whose
+/// prototype (mode or mean) actually changed, matching the unsharded
+/// update's ActivitySet exactly since both compare against the same old and
+/// compute the same new values.
 fn apply_prototype_update(
     model: &mut KPrototypesModel<'_>,
     sketch: &ModeSketch,
     assignments: &[ClusterId],
     dim: usize,
-) {
+) -> ActivitySet {
     let data = model.data_ref();
     let groups = group_by_cluster(assignments, model.k());
     let k = model.k();
     let prototypes = model.prototypes_mut();
+    let old = prototypes.clone();
     sketch.apply(&mut prototypes.modes);
     let mut mean = vec![0.0f64; dim];
     for c in 0..k {
@@ -1675,6 +1792,15 @@ fn apply_prototype_update(
         }
         prototypes.means[c * dim..(c + 1) * dim].copy_from_slice(&mean);
     }
+    let mut activity = ActivitySet::none(k);
+    for c in 0..k {
+        if prototypes.modes.mode(c) != old.modes.mode(c)
+            || prototypes.means[c * dim..(c + 1) * dim] != old.means[c * dim..(c + 1) * dim]
+        {
+            activity.mark(ClusterId(c as u32));
+        }
+    }
+    activity
 }
 
 fn flatten_cat_rows(dataset: &Dataset, range: Range<usize>) -> Vec<ValueId> {
@@ -1905,6 +2031,7 @@ mod tests {
             assignments: vec![ClusterId(0), ClusterId(2)],
             moves: 1,
             shortlist_total: 9,
+            skipped: 4,
             digests: vec![KeyDigest {
                 entries: vec![DigestEntry {
                     band: 3,
@@ -1931,6 +2058,7 @@ mod tests {
                 values: vec![0.1 + 0.2, -7.5],
             },
             digests: update.digests.clone(),
+            active: vec![0],
         };
         let back = ShardRequest::from_value(&request.to_value()).unwrap();
         assert_eq!(back, request);
@@ -1958,6 +2086,7 @@ mod tests {
                     values: vec![0.0],
                 },
                 digests: vec![KeyDigest::default()],
+                active: vec![0],
             }))
             .unwrap();
         assert!(matches!(&replies[0], ShardReply::Error { .. }));

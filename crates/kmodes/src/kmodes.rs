@@ -154,6 +154,8 @@ impl KModes {
                 moves,
                 avg_candidates: cfg.k as f64,
                 cost,
+                skipped_items: 0,
+                active_clusters: 0,
             });
             // Convergence tests (paper: "no item has changed cluster, or the
             // cost has minimised"). The first pass moves everything from the

@@ -206,6 +206,7 @@ fn minibatch_params(spec: &ClusterSpec) -> Option<MiniBatchParams> {
             batch_size,
             n_steps,
             refresh_every,
+            closures: spec.closures,
         }),
     }
 }
@@ -341,6 +342,8 @@ impl Input for &Dataset {
                 query_mode: spec.query_mode.into(),
                 include_self: true,
                 threads: spec.threads.max(1),
+                closures: spec.closures,
+                interleaved: spec.interleaved,
             };
             let setup_start = Instant::now();
             let modes = match warm_modes {
@@ -433,6 +436,8 @@ impl Input for &Dataset {
                     query_mode: spec.query_mode.into(),
                     include_self: spec.include_self,
                     threads: spec.threads.max(1),
+                    closures: spec.closures,
+                    interleaved: spec.interleaved,
                 };
                 let estimator = MhKModes::new(config);
                 let result = match warm_modes {
@@ -488,6 +493,8 @@ impl Input for &NumericDataset {
                 init,
                 seed: spec.seed,
                 threads: spec.threads.max(1),
+                closures: spec.closures,
+                interleaved: spec.interleaved,
             };
             let setup_start = Instant::now();
             let centroids = match warm_centroids {
@@ -588,6 +595,8 @@ impl Input for &NumericDataset {
                     init,
                     seed: spec.seed,
                     threads: spec.threads.max(1),
+                    closures: spec.closures,
+                    interleaved: spec.interleaved,
                 };
                 let result = match warm_centroids {
                     Some(centroids) => mh_kmeans_from(self, &config, centroids, Instant::now()),
@@ -662,6 +671,8 @@ impl Input for &MixedDataset<'_> {
                 stop: spec.stop,
                 seed: spec.seed,
                 threads: spec.threads.max(1),
+                closures: spec.closures,
+                interleaved: spec.interleaved,
             };
             let setup_start = Instant::now();
             let prototypes = match warm_prototypes {
@@ -787,6 +798,8 @@ impl Input for &MixedDataset<'_> {
                     stop: spec.stop,
                     seed: spec.seed,
                     threads: spec.threads.max(1),
+                    closures: spec.closures,
+                    interleaved: spec.interleaved,
                 };
                 let result = match warm_prototypes {
                     Some((prototypes, _)) => {
@@ -832,6 +845,8 @@ fn aggregate_summary(
             moves: 0,
             avg_candidates: k as f64,
             cost: cost.round() as u64,
+            skipped_items: 0,
+            active_clusters: 0,
         }],
         converged,
         setup: Duration::ZERO,

@@ -101,6 +101,14 @@ impl ClusterRun {
             total_secs: self.summary.total_time().as_secs_f64(),
             final_cost: self.summary.final_cost(),
             best_cost: self.summary.best_cost(),
+            skip_ratios: {
+                let n = self.assignments.len().max(1) as f64;
+                self.summary
+                    .iterations
+                    .iter()
+                    .map(|s| s.skipped_items as f64 / n)
+                    .collect()
+            },
             summary: self.summary.clone(),
             index_stats: self.index_stats,
         }
@@ -129,6 +137,10 @@ pub struct RunReport {
     /// the trajectory may oscillate and the returned state is simply the
     /// last pass's (`final_cost`).
     pub best_cost: Option<u64>,
+    /// Per-iteration fraction of items the cluster-closure engine kept
+    /// without re-evaluation (`skipped_items / n_items`; all zeros when
+    /// closures are disabled — the exhaustive engine never skips).
+    pub skip_ratios: Vec<f64>,
     /// The full per-iteration series.
     pub summary: RunSummary,
     /// Index bucket statistics, when an index was built.
@@ -143,6 +155,7 @@ serde::impl_serde_struct!(RunReport {
     total_secs,
     final_cost,
     best_cost,
+    skip_ratios,
     summary,
     index_stats,
 });

@@ -359,11 +359,27 @@ pub struct ClusterSpec {
     /// byte-identical to `threads > 1` unsharded fits at equal seeds.
     /// `0` is normalised to `1` at the spec boundary.
     pub shards: usize,
+    /// Cluster-closure incremental re-assignment (default `true`). Each
+    /// iteration the engine tracks which centroids actually changed; items
+    /// whose cached candidate shortlist contains only unchanged clusters
+    /// keep their assignment without re-scoring — provably the same answer
+    /// full re-evaluation would return, so fits are byte-identical either
+    /// way (see `docs/ARCHITECTURE.md` § Incremental assignment). `false`
+    /// restores exhaustive per-pass re-evaluation (the `--no-closures` CLI
+    /// escape hatch); exact baselines (`Lsh::None`) ignore the flag.
+    pub closures: bool,
+    /// Chunk-scheduling discipline of the Jacobi parallel engine (default
+    /// `false` = contiguous chunks). `true` strides items round-robin over
+    /// the workers instead, which balances skewed per-item costs; results
+    /// are byte-identical either way (see `bench_threads`' scheduling
+    /// axis). Irrelevant at `threads == 1` and for exact baselines.
+    pub interleaved: bool,
 }
 
 // Hand-written (not `impl_serde_struct!`) for one reason: late-added fields
-// (`fit`, `shards`) must default when absent, so every spec JSON written
-// before they existed — saved model envelopes included — still parses.
+// (`fit`, `shards`, `closures`, `interleaved`) must default when absent, so
+// every spec JSON written before they existed — saved model envelopes
+// included — still parses.
 impl Serialize for ClusterSpec {
     fn to_value(&self) -> Value {
         Value::Object(vec![
@@ -379,6 +395,8 @@ impl Serialize for ClusterSpec {
             ("stream".to_owned(), self.stream.to_value()),
             ("fit".to_owned(), self.fit.to_value()),
             ("shards".to_owned(), self.shards.to_value()),
+            ("closures".to_owned(), self.closures.to_value()),
+            ("interleaved".to_owned(), self.interleaved.to_value()),
         ])
     }
 }
@@ -398,6 +416,16 @@ impl Deserialize for ClusterSpec {
                 .map_err(|e| SerdeError(format!("field `shards` of ClusterSpec: {}", e.0)))?,
             None => 1, // pre-`shards` spec JSON
         };
+        let closures = match entries.iter().find(|(key, _)| key == "closures") {
+            Some((_, value)) => bool::from_value(value)
+                .map_err(|e| SerdeError(format!("field `closures` of ClusterSpec: {}", e.0)))?,
+            None => true, // pre-`closures` spec JSON: default-on, byte-identical
+        };
+        let interleaved = match entries.iter().find(|(key, _)| key == "interleaved") {
+            Some((_, value)) => bool::from_value(value)
+                .map_err(|e| SerdeError(format!("field `interleaved` of ClusterSpec: {}", e.0)))?,
+            None => false, // pre-`interleaved` spec JSON: contiguous chunks
+        };
         Ok(Self {
             k: serde::field(entries, "k", "ClusterSpec")?,
             lsh: serde::field(entries, "lsh", "ClusterSpec")?,
@@ -411,6 +439,8 @@ impl Deserialize for ClusterSpec {
             stream: serde::field(entries, "stream", "ClusterSpec")?,
             fit,
             shards,
+            closures,
+            interleaved,
         })
     }
 }
@@ -433,6 +463,8 @@ impl ClusterSpec {
             stream: StreamOptions::default(),
             fit: Fit::Full,
             shards: 1,
+            closures: true,
+            interleaved: false,
         }
     }
 
@@ -600,6 +632,36 @@ impl ClusterSpec {
     /// ```
     pub fn shards(mut self, s: usize) -> Self {
         self.shards = s.max(1);
+        self
+    }
+
+    /// Enables or disables cluster-closure incremental re-assignment
+    /// (default on). Results are byte-identical either way; turning it off
+    /// forces every item through full shortlist re-scoring each pass.
+    ///
+    /// ```
+    /// use lshclust::ClusterSpec;
+    ///
+    /// assert!(ClusterSpec::new(4).closures);
+    /// assert!(!ClusterSpec::new(4).closures(false).closures);
+    /// ```
+    pub fn closures(mut self, yes: bool) -> Self {
+        self.closures = yes;
+        self
+    }
+
+    /// Selects interleaved (strided) vs contiguous chunk scheduling for the
+    /// Jacobi parallel engine (default contiguous). Byte-identical results
+    /// either way — this is a load-balancing knob, swept by `bench_threads`.
+    ///
+    /// ```
+    /// use lshclust::ClusterSpec;
+    ///
+    /// assert!(!ClusterSpec::new(4).interleaved);
+    /// assert!(ClusterSpec::new(4).interleaved(true).interleaved);
+    /// ```
+    pub fn interleaved(mut self, yes: bool) -> Self {
+        self.interleaved = yes;
         self
     }
 
@@ -901,6 +963,42 @@ mod tests {
 
         let back: ClusterSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back.shards, 4);
+    }
+
+    #[test]
+    fn spec_json_without_closures_field_defaults_to_on() {
+        // Same backward-compatibility contract as `fit`/`shards`: spec JSON
+        // written before closures existed parses with the (byte-identical)
+        // incremental engine enabled.
+        let spec = ClusterSpec::new(3).seed(9).closures(false);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"closures\":false"));
+        let legacy = json.replace(",\"closures\":false", "");
+        assert!(!legacy.contains("closures"), "surgery failed: {legacy}");
+        let back: ClusterSpec = serde_json::from_str(&legacy).unwrap();
+        assert!(back.closures);
+        assert_eq!(back.seed, 9);
+
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert!(!back.closures);
+    }
+
+    #[test]
+    fn spec_json_without_interleaved_field_defaults_to_contiguous() {
+        // Same backward-compatibility contract as the other late-added
+        // fields: spec JSON written before the scheduling knob existed
+        // parses with contiguous chunks.
+        let spec = ClusterSpec::new(3).seed(9).interleaved(true);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"interleaved\":true"));
+        let legacy = json.replace(",\"interleaved\":true", "");
+        assert!(!legacy.contains("interleaved"), "surgery failed: {legacy}");
+        let back: ClusterSpec = serde_json::from_str(&legacy).unwrap();
+        assert!(!back.interleaved);
+        assert_eq!(back.seed, 9);
+
+        let back: ClusterSpec = serde_json::from_str(&json).unwrap();
+        assert!(back.interleaved);
     }
 
     #[test]

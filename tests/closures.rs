@@ -1,0 +1,335 @@
+//! Cluster-closure incremental re-assignment through the facade:
+//! `ClusterSpec::closures(true)` (the default) must return **byte-identical**
+//! runs to `closures(false)` full re-evaluation — assignments, centroids,
+//! per-iteration moves / cost / candidate volume / active clusters — for
+//! every modality, thread count, and shard count; interact correctly with
+//! warm starts and mini-batch fits; actually skip work (the whole point);
+//! and keep parsing spec / envelope JSON written before the flag existed.
+//!
+//! The skip rule ("cached shortlist touches no active cluster → keep the
+//! previous assignment") is proven sound in `docs/ARCHITECTURE.md`
+//! § Incremental assignment; these tests pin the identity empirically across
+//! the full engine matrix so a regression in any layer (serial pass, Jacobi
+//! engine, shard protocol, mini-batch cache) trips a named assertion.
+
+use lshclust::{ClusterRun, ClusterSpec, Clusterer, Fit, FittedModel, Lsh, NumericDataset};
+use lshclust_categorical::Dataset;
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use lshclust_kmodes::kprototypes::MixedDataset;
+use proptest::prelude::*;
+
+fn categorical_fixture(seed: u64) -> Dataset {
+    generate(&DatgenConfig::new(240, 24, 16).seed(seed))
+}
+
+/// Loosely-ruled datgen blobs: most attributes free, so fits take several
+/// iterations to settle instead of converging on the first pass — the
+/// regime where closures actually skip work mid-run.
+fn noisy_fixture(seed: u64) -> Dataset {
+    let mut cfg = DatgenConfig::new(400, 24, 16).seed(seed);
+    cfg.rule_min_frac = 0.08;
+    cfg.rule_max_frac = 0.2;
+    generate(&cfg)
+}
+
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+const MINHASH: Lsh = Lsh::MinHash { bands: 12, rows: 2 };
+const SIMHASH: Lsh = Lsh::SimHash { bands: 8, rows: 12 };
+const UNION: Lsh = Lsh::Union {
+    bands: 12,
+    rows: 2,
+    sim_bands: 8,
+    sim_rows: 12,
+};
+
+fn spec_for(lsh: Lsh, seed: u64, threads: usize, shards: usize, closures: bool) -> ClusterSpec {
+    ClusterSpec::new(24)
+        .lsh(lsh)
+        .seed(seed)
+        .threads(threads)
+        .shards(shards)
+        .closures(closures)
+        .max_iterations(30)
+}
+
+/// Byte-identity across every observable surface except wall-clock and the
+/// skip counter itself (`skipped_items` is the one field that *should*
+/// differ: the closure run skips, the exhaustive run records zero).
+/// `active_clusters` is recorded identically by both engines.
+fn assert_runs_identical(on: &ClusterRun, off: &ClusterRun, label: &str) {
+    assert_eq!(on.assignments, off.assignments, "{label}: assignments");
+    assert_eq!(
+        on.centroids.modes(),
+        off.centroids.modes(),
+        "{label}: modes"
+    );
+    assert_eq!(
+        on.centroids.means(),
+        off.centroids.means(),
+        "{label}: means"
+    );
+    assert_eq!(
+        on.centroids.prototypes(),
+        off.centroids.prototypes(),
+        "{label}: prototypes"
+    );
+    assert_eq!(
+        on.summary.converged, off.summary.converged,
+        "{label}: converged"
+    );
+    assert_eq!(on.index_stats, off.index_stats, "{label}: stats");
+    let trajectory = |run: &ClusterRun| -> Vec<(usize, usize, u64, u64, usize)> {
+        run.summary
+            .iterations
+            .iter()
+            .map(|s| {
+                (
+                    s.iteration,
+                    s.moves,
+                    s.cost,
+                    s.avg_candidates.to_bits(),
+                    s.active_clusters,
+                )
+            })
+            .collect()
+    };
+    assert_eq!(trajectory(on), trajectory(off), "{label}: trajectory");
+    for s in &off.summary.iterations {
+        assert_eq!(s.skipped_items, 0, "{label}: exhaustive run never skips");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity, closures × threads × shards × modality.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn categorical_closure_fits_are_byte_identical() {
+    let dataset = noisy_fixture(5);
+    for threads in [1usize, 2, 4] {
+        for shards in [1usize, 2, 4] {
+            let on = Clusterer::new(spec_for(MINHASH, 5, threads, shards, true))
+                .fit(&dataset)
+                .unwrap();
+            let off = Clusterer::new(spec_for(MINHASH, 5, threads, shards, false))
+                .fit(&dataset)
+                .unwrap();
+            assert_runs_identical(&on, &off, &format!("categorical t={threads} s={shards}"));
+        }
+    }
+}
+
+#[test]
+fn numeric_closure_fits_are_byte_identical() {
+    let dataset = categorical_fixture(6);
+    let labels = dataset.labels().unwrap().to_vec();
+    let numeric = numeric_blobs(&labels, 6);
+    for threads in [1usize, 2, 4] {
+        for shards in [1usize, 2, 4] {
+            let on = Clusterer::new(spec_for(SIMHASH, 6, threads, shards, true))
+                .fit(&numeric)
+                .unwrap();
+            let off = Clusterer::new(spec_for(SIMHASH, 6, threads, shards, false))
+                .fit(&numeric)
+                .unwrap();
+            assert_runs_identical(&on, &off, &format!("numeric t={threads} s={shards}"));
+        }
+    }
+}
+
+#[test]
+fn mixed_closure_fits_are_byte_identical() {
+    let dataset = categorical_fixture(7);
+    let labels = dataset.labels().unwrap().to_vec();
+    let numeric = numeric_blobs(&labels, 6);
+    let mixed = MixedDataset::new(&dataset, &numeric);
+    for threads in [1usize, 2, 4] {
+        for shards in [1usize, 2, 4] {
+            let on = Clusterer::new(spec_for(UNION, 7, threads, shards, true))
+                .fit(&mixed)
+                .unwrap();
+            let off = Clusterer::new(spec_for(UNION, 7, threads, shards, false))
+                .fit(&mixed)
+                .unwrap();
+            assert_runs_identical(&on, &off, &format!("mixed t={threads} s={shards}"));
+        }
+    }
+}
+
+/// The engine must actually skip re-evaluations — identity alone could be
+/// trivially satisfied by never skipping anything. On a converging fit the
+/// active set shrinks, so later iterations skip most items, and the skip
+/// counts must decay toward "everything skipped" as moves hit zero.
+#[test]
+fn closure_runs_skip_work_and_exhaustive_runs_do_not() {
+    let dataset = noisy_fixture(5);
+    for (threads, shards) in [(1usize, 1usize), (2, 1), (2, 2)] {
+        let on = Clusterer::new(spec_for(MINHASH, 5, threads, shards, true))
+            .fit(&dataset)
+            .unwrap();
+        let total: usize = on.summary.iterations.iter().map(|s| s.skipped_items).sum();
+        assert!(total > 0, "t={threads} s={shards}: closures never skipped");
+        // A zero-move iteration leaves every centroid in place, so the
+        // following iteration (if any) can re-evaluate nothing.
+        let iters = &on.summary.iterations;
+        for pair in iters.windows(2) {
+            if pair[0].moves == 0 && pair[0].active_clusters == 0 {
+                assert_eq!(
+                    pair[1].skipped_items,
+                    dataset.n_items(),
+                    "t={threads} s={shards}: quiescent pass still re-evaluated items"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Warm starts and mini-batch fits.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn warm_started_closure_refits_are_byte_identical() {
+    let dataset = noisy_fixture(9);
+    let first = Clusterer::new(spec_for(MINHASH, 9, 2, 1, true))
+        .fit(&dataset)
+        .unwrap();
+    let on = spec_for(MINHASH, 9, 2, 1, true)
+        .warm_start(&first.model)
+        .fit(&dataset)
+        .unwrap();
+    let off = spec_for(MINHASH, 9, 2, 1, false)
+        .warm_start(&first.model)
+        .fit(&dataset)
+        .unwrap();
+    assert_runs_identical(&on, &off, "warm refit");
+}
+
+#[test]
+fn minibatch_closure_fits_are_byte_identical() {
+    let dataset = categorical_fixture(11);
+    let schedule = Fit::MiniBatch {
+        batch_size: 64,
+        n_steps: 60,
+        refresh_every: 16,
+    };
+    for threads in [1usize, 2] {
+        let on = Clusterer::new(spec_for(MINHASH, 11, threads, 1, true).fit(schedule))
+            .fit(&dataset)
+            .unwrap();
+        let off = Clusterer::new(spec_for(MINHASH, 11, threads, 1, false).fit(schedule))
+            .fit(&dataset)
+            .unwrap();
+        assert_eq!(
+            on.assignments, off.assignments,
+            "minibatch t={threads}: assignments"
+        );
+        assert_eq!(
+            on.centroids.modes(),
+            off.centroids.modes(),
+            "minibatch t={threads}: modes"
+        );
+        let per_step = |run: &ClusterRun| -> Vec<(usize, u64, usize)> {
+            run.summary
+                .iterations
+                .iter()
+                .map(|s| (s.moves, s.cost, s.active_clusters))
+                .collect()
+        };
+        assert_eq!(
+            per_step(&on),
+            per_step(&off),
+            "minibatch t={threads}: steps"
+        );
+        for s in &off.summary.iterations {
+            assert_eq!(s.skipped_items, 0, "minibatch off-run never reuses");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serde compatibility: specs and envelopes written before the flag existed.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pre_closures_spec_and_envelope_json_parse_with_closures_on() {
+    let spec = spec_for(MINHASH, 3, 2, 1, true);
+    let json = serde_json::to_string(&spec).unwrap();
+    assert!(json.contains("\"closures\":true"));
+    let legacy = json.replace(",\"closures\":true", "");
+    assert!(!legacy.contains("closures"), "surgery failed: {legacy}");
+    let back: ClusterSpec = serde_json::from_str(&legacy).unwrap();
+    assert!(back.closures, "legacy spec JSON must default closures on");
+
+    // Whole saved envelopes embed the spec; a pre-closures envelope must
+    // keep loading and re-fit with the (byte-identical) default engine.
+    // Surgery happens on the value tree (the envelope is pretty-printed,
+    // so string replacement would be indentation-fragile).
+    use serde::{Deserialize, Serialize, Value};
+    fn strip_closures(v: &mut Value) {
+        match v {
+            Value::Object(entries) => {
+                entries.retain(|(k, _)| k != "closures");
+                for (_, child) in entries.iter_mut() {
+                    strip_closures(child);
+                }
+            }
+            Value::Array(items) => {
+                for item in items.iter_mut() {
+                    strip_closures(item);
+                }
+            }
+            _ => {}
+        }
+    }
+    let dataset = categorical_fixture(3);
+    let run = Clusterer::new(spec).fit(&dataset).unwrap();
+    let mut tree = Serialize::to_value(&run.model);
+    strip_closures(&mut tree);
+    let model = <FittedModel as Deserialize>::from_value(&tree).unwrap();
+    assert!(
+        model.spec().closures,
+        "legacy envelope defaults closures on"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Property: identity is seed-independent, not a fixture accident.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn closure_identity_holds_for_arbitrary_seeds(
+        seed in 0u64..48,
+        threads in 1usize..4,
+    ) {
+        let dataset = noisy_fixture(seed);
+        let on = Clusterer::new(spec_for(MINHASH, seed, threads, 1, true))
+            .fit(&dataset)
+            .unwrap();
+        let off = Clusterer::new(spec_for(MINHASH, seed, threads, 1, false))
+            .fit(&dataset)
+            .unwrap();
+        prop_assert_eq!(&on.assignments, &off.assignments);
+        prop_assert_eq!(on.centroids.modes(), off.centroids.modes());
+        let costs = |run: &ClusterRun| -> Vec<u64> {
+            run.summary.iterations.iter().map(|s| s.cost).collect()
+        };
+        prop_assert_eq!(costs(&on), costs(&off));
+    }
+}

@@ -137,6 +137,7 @@ fn canopy_provider_clusters_comparable_to_lsh_provider() {
             max_iterations: 30,
             ..StopPolicy::default()
         },
+        true,
     );
     let canopy_purity = purity(&predictions(&run.assignments), &labels);
 
