@@ -5,8 +5,9 @@
 //! cluster fit      --input data.csv --k 1000 --model model.json [options]
 //! cluster predict  --model model.json --input new.csv [--output out.csv] [--threads N]
 //! cluster inspect  --model model.json
-//! cluster serve    --model model.json [--workers N] [--max-batch N] [--flush-us N]
-//!                  [--queue-depth N] [--threads N]
+//! cluster serve    --model model.json [--listen ADDR] [--workers N] [--max-batch N]
+//!                  [--flush-us N] [--fixed-flush] [--queue-depth N] [--deadline-ms N]
+//!                  [--hot-keys N] [--threads N]
 //! cluster artifact ls|verify|gc --dir DIR [--max-bytes N]
 //! cluster shard-worker
 //! ```
@@ -27,12 +28,15 @@
 //! evicts oldest-modified entries until the store fits the cap.
 //!
 //! `serve` runs a long-lived `ModelServer` daemon speaking newline-delimited
-//! JSON over stdin/stdout. One request object per line:
+//! JSON over stdin/stdout — or, with `--listen ADDR`, over a socket that
+//! accepts many concurrent clients (`host:port` for TCP; a filesystem path
+//! for a Unix-domain socket). One request object per line:
 //!
 //! ```text
 //!   {"predict": {"row": ["red", "large"]}, "id": 7}    categorical (strings)
 //!   {"predict": {"point": [0.5, 1.5]}}                 numeric
 //!   {"predict": {"row": [...], "point": [...]}}        mixed
+//!   {"predict": {...}, "deadline_ms": 5}               per-request deadline (0 = none)
 //!   {"reload": "model.json"}                           hot reload (control line)
 //!   {"stats": true}                                    server introspection
 //!   {"shutdown": true}                                 drain + exit (EOF works too)
@@ -41,7 +45,14 @@
 //! and one response per line, in request order: `{"id": 7, "ok": {"cluster":
 //! 3, "generation": 0}}` or `{"id": 7, "err": "..."}`. `reload` swaps the
 //! model without dropping queued requests — the control-line equivalent of a
-//! SIGHUP — and bumps the `generation` every response carries.
+//! SIGHUP — and bumps the `generation` every response carries (which also
+//! invalidates the server's hot-key prediction cache; size it with
+//! `--hot-keys N`, 0 to disable). `--deadline-ms N` sets the default
+//! per-request deadline; requests still queued when it lapses resolve
+//! `err` without being scored. `--fixed-flush` pins the coalescing window
+//! to `--flush-us` instead of the default load-adaptive window. The
+//! protocol itself lives in `lshclust::serve::proto`; the socket front in
+//! `lshclust::serve::socket`.
 //!
 //! `shard-worker` turns the process into one shard of a partitioned fit: a
 //! blocking NDJSON loop over stdin/stdout speaking the partial-update
@@ -154,6 +165,9 @@ struct ServeArgs {
     /// Overrides the model's per-batch fan-out thread count (applied to the
     /// initial load *and* re-applied on every hot reload).
     threads: Option<usize>,
+    /// Socket to listen on (`host:port` for TCP, a path for Unix domain);
+    /// absent = the single-client stdin/stdout loop.
+    listen: Option<String>,
 }
 
 enum Command {
@@ -165,7 +179,7 @@ enum Command {
     ShardWorker,
 }
 
-const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json [--v2]] [--cache-dir DIR] [--shards N [--worker-cmd CMD]] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--workers N] [--max-batch N] [--flush-us N] [--queue-depth N] [--threads N]\n  cluster artifact ls|verify|gc --dir DIR [--max-bytes N]\n  cluster shard-worker";
+const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json [--v2]] [--cache-dir DIR] [--shards N [--worker-cmd CMD]] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--listen ADDR] [--workers N] [--max-batch N] [--flush-us N] [--fixed-flush] [--queue-depth N] [--deadline-ms N] [--hot-keys N] [--threads N]\n  cluster artifact ls|verify|gc --dir DIR [--max-bytes N]\n  cluster shard-worker";
 
 fn parse_artifact(flags: impl IntoIterator<Item = String>) -> Result<ArtifactArgs, String> {
     let mut argv = flags.into_iter();
@@ -242,6 +256,7 @@ fn parse_serve(flags: impl IntoIterator<Item = String>) -> Result<ServeArgs, Str
         model: String::new(),
         config: lshclust::ServerConfig::default(),
         threads: None,
+        listen: None,
     };
     fn parse<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
     where
@@ -267,6 +282,17 @@ fn parse_serve(flags: impl IntoIterator<Item = String>) -> Result<ServeArgs, Str
             "--queue-depth" => {
                 args.config.queue_depth = parse("--queue-depth", value("--queue-depth")?)?;
             }
+            "--deadline-ms" => {
+                // Same convention as the protocol's `deadline_ms`: 0 = none.
+                let ms: u64 = parse("--deadline-ms", value("--deadline-ms")?)?;
+                args.config.default_deadline =
+                    (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--fixed-flush" => args.config.adaptive_flush = false,
+            "--hot-keys" => {
+                args.config.hot_keys = parse("--hot-keys", value("--hot-keys")?)?;
+            }
+            "--listen" => args.listen = Some(value("--listen")?),
             "--threads" => args.threads = Some(parse("--threads", value("--threads")?)?),
             other => return Err(format!("unknown argument {other}")),
         }
@@ -849,135 +875,19 @@ fn run_inspect(path: &str) -> Result<(), String> {
 }
 
 // ---- serve: the NDJSON daemon over a ModelServer ---------------------------
+//
+// The protocol itself (line parsing, deadline field, ordered replies) lives
+// in `lshclust::serve::proto`; the multi-client socket front in
+// `lshclust::serve::socket`. This binary only wires stdin/stdout or a
+// listener to them.
 
-/// Raw `Value` passthrough so a protocol line can be inspected field by
-/// field before committing to a shape.
-struct RawLine(serde::Value);
-
-impl serde::Deserialize for RawLine {
-    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
-        Ok(RawLine(v.clone()))
-    }
-}
-
-/// `Value` wrapper writable through the shim's `to_string`.
-struct OutValue(serde::Value);
-
-impl serde::Serialize for OutValue {
-    fn to_value(&self) -> serde::Value {
-        self.0.clone()
-    }
-}
-
-fn json_line(v: serde::Value) -> String {
-    serde_json::to_string(&OutValue(v)).expect("response serializes")
-}
-
-fn ok_response(id: Option<&serde::Value>, fields: Vec<(String, serde::Value)>) -> String {
-    let mut entries = Vec::new();
-    if let Some(id) = id {
-        entries.push(("id".to_owned(), id.clone()));
-    }
-    entries.push(("ok".to_owned(), serde::Value::Object(fields)));
-    json_line(serde::Value::Object(entries))
-}
-
-fn err_response(id: Option<&serde::Value>, message: &str) -> String {
-    let mut entries = Vec::new();
-    if let Some(id) = id {
-        entries.push(("id".to_owned(), id.clone()));
-    }
-    entries.push(("err".to_owned(), serde::Value::String(message.to_owned())));
-    json_line(serde::Value::Object(entries))
-}
-
-fn parse_str_row(v: &serde::Value) -> Result<Vec<String>, String> {
-    v.as_array()
-        .ok_or("`row` must be an array of strings")?
-        .iter()
-        .map(|s| {
-            s.as_str()
-                .map(str::to_owned)
-                .ok_or_else(|| "`row` must be an array of strings".to_owned())
-        })
-        .collect()
-}
-
-fn parse_point(v: &serde::Value) -> Result<Vec<f64>, String> {
-    v.as_array()
-        .ok_or("`point` must be an array of numbers")?
-        .iter()
-        .map(|x| {
-            x.as_f64()
-                .ok_or_else(|| "`point` must be an array of numbers".to_owned())
-        })
-        .collect()
-}
-
-/// Retries a submission while the queue is full. The daemon has exactly one
-/// producer — the stdin loop — so blocking it *is* the backpressure: piped
-/// batch input larger than `queue_depth` gets served in full instead of
-/// being load-shed with thousands of `QueueFull` errors (load shedding is
-/// for many independent callers; a pipe should just slow down).
-fn submit_with_backpressure(
-    mut submit: impl FnMut() -> Result<lshclust::PredictTicket, lshclust::ServeError>,
-) -> Result<lshclust::PredictTicket, String> {
-    loop {
-        match submit() {
-            Ok(ticket) => return Ok(ticket),
-            Err(lshclust::ServeError::QueueFull) => {
-                std::thread::sleep(std::time::Duration::from_micros(200));
-            }
-            Err(e) => return Err(e.to_string()),
-        }
-    }
-}
-
-/// Submits one `predict` payload; string rows — categorical and the
-/// categorical part of mixed requests — go through the server's serve-time
-/// encoding, so hot reloads apply to requests already queued.
-fn submit_predict(
-    server: &lshclust::ModelServer,
-    predict: &serde::Value,
-) -> Result<lshclust::PredictTicket, String> {
-    match (predict.get("row"), predict.get("point")) {
-        (Some(row), None) => {
-            let row = parse_str_row(row)?;
-            submit_with_backpressure(|| {
-                let refs: Vec<&str> = row.iter().map(String::as_str).collect();
-                server.submit_str_row(&refs)
-            })
-        }
-        (None, Some(point)) => {
-            let point = parse_point(point)?;
-            submit_with_backpressure(|| server.submit_point(point.clone()))
-        }
-        (Some(row), Some(point)) => {
-            let row = parse_str_row(row)?;
-            let point = parse_point(point)?;
-            // Serve-time encoding (like the row-only path): the categorical
-            // part is interpreted under the schema of the model snapshot
-            // that answers, so a reload can never mix schemas.
-            submit_with_backpressure(|| {
-                let refs: Vec<&str> = row.iter().map(String::as_str).collect();
-                server.submit_str_mixed(&refs, point.clone())
-            })
-        }
-        (None, None) => Err("predict needs `row` (strings) and/or `point` (numbers)".to_owned()),
-    }
-}
-
-/// What the printer thread emits, in request order: a ticket to wait on, or
-/// an already-rendered control response.
-enum Outgoing {
-    Ticket {
-        id: Option<serde::Value>,
-        ticket: lshclust::PredictTicket,
-    },
-    Line(String),
-}
+/// Writer waits are capped (`PredictTicket::wait_deadline`) so a wedged
+/// worker pool becomes an error line instead of a daemon that can never be
+/// shut down.
+const SERVE_WAIT_CAP: std::time::Duration = std::time::Duration::from_secs(30);
 
 fn run_serve(args: ServeArgs) -> Result<(), String> {
+    use lshclust::serve::proto::{render_reply, LineOutcome, ProtoEngine};
     use std::io::{BufRead, Write as _};
 
     let mut model = FittedModel::load(&args.model).map_err(|e| format!("{}: {e}", args.model))?;
@@ -986,37 +896,65 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
     }
     let config = args.config;
     eprintln!(
-        "serving {} model (k={}) from {}: {} workers, batches of up to {} ({}us flush), queue {}",
+        "serving {} model (k={}) from {}: {} workers, batches of up to {} ({}us {} flush), queue {}, hot-keys {}",
         model.modality(),
         model.k(),
         args.model,
         config.workers,
         config.max_batch,
         config.flush_latency.as_micros(),
+        if config.adaptive_flush {
+            "adaptive"
+        } else {
+            "fixed"
+        },
         config.queue_depth,
+        config.hot_keys,
     );
-    let server = lshclust::ModelServer::start(model, config);
-    let handle = server.handle();
+    let server = std::sync::Arc::new(lshclust::ModelServer::start(model, config));
+    let engine = ProtoEngine::new(std::sync::Arc::clone(&server), args.threads);
 
-    // One printer thread keeps responses in request order: tickets resolve
-    // FIFO, control lines ride the same channel.
-    let (tx, rx) = std::sync::mpsc::channel::<Outgoing>();
+    if let Some(listen) = &args.listen {
+        let options = lshclust::SocketOptions::default().wait_cap(SERVE_WAIT_CAP);
+        // A path (anything with a separator) means Unix domain; otherwise
+        // it parses as host:port TCP.
+        let socket = if listen.contains('/') {
+            #[cfg(unix)]
+            {
+                lshclust::SocketServer::bind_unix(std::path::Path::new(listen), engine, options)
+            }
+            #[cfg(not(unix))]
+            {
+                return Err(format!(
+                    "{listen}: unix-domain sockets are not available on this platform"
+                ));
+            }
+        } else {
+            lshclust::SocketServer::bind_tcp(listen, engine, options)
+        }
+        .map_err(|e| format!("{listen}: {e}"))?;
+        match socket.local_addr() {
+            Some(addr) => eprintln!("serve: listening on {addr}"),
+            None => eprintln!("serve: listening on {listen}"),
+        }
+        let report = socket.wait();
+        if let Ok(server) = std::sync::Arc::try_unwrap(server) {
+            server.shutdown();
+        }
+        eprintln!(
+            "serve: drained and shut down ({} connections, {} lines, {}/{} tickets resolved)",
+            report.connections, report.lines, report.tickets.resolved, report.tickets.submitted,
+        );
+        return Ok(());
+    }
+
+    // stdin front: one printer thread keeps responses in request order —
+    // tickets resolve FIFO, control lines ride the same channel.
+    let (tx, rx) = std::sync::mpsc::channel();
     let printer = std::thread::spawn(move || {
         let stdout = std::io::stdout();
         for item in rx {
-            let line = match item {
-                Outgoing::Ticket { id, ticket } => match ticket.wait() {
-                    Ok(p) => ok_response(
-                        id.as_ref(),
-                        vec![
-                            ("cluster".to_owned(), serde_json::to_value(&p.cluster.0)),
-                            ("generation".to_owned(), serde_json::to_value(&p.generation)),
-                        ],
-                    ),
-                    Err(e) => err_response(id.as_ref(), &e.to_string()),
-                },
-                Outgoing::Line(line) => line,
-            };
+            let line = render_reply(item, SERVE_WAIT_CAP);
             let mut out = stdout.lock();
             let _ = writeln!(out, "{line}");
             let _ = out.flush();
@@ -1026,104 +964,23 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let value = match serde_json::from_str::<RawLine>(trimmed) {
-            Ok(RawLine(v)) => v,
-            Err(e) => {
-                let _ = tx.send(Outgoing::Line(err_response(
-                    None,
-                    &format!("bad JSON: {e}"),
-                )));
-                continue;
+        match engine.handle_line(&line) {
+            LineOutcome::Ignore => {}
+            LineOutcome::Reply(out) => {
+                let _ = tx.send(out);
             }
-        };
-        let id = value.get("id").cloned();
-        if let Some(predict) = value.get("predict") {
-            let _ = tx.send(match submit_predict(&server, predict) {
-                Ok(ticket) => Outgoing::Ticket { id, ticket },
-                Err(e) => Outgoing::Line(err_response(id.as_ref(), &e)),
-            });
-        } else if let Some(reload) = value.get("reload") {
-            let response = match reload.as_str() {
-                // `load` sniffs the envelope, so `{"reload": path}` accepts
-                // v1 JSON and v2 binary artifacts alike — the v2 decode
-                // copies the index instead of re-hashing it, keeping the
-                // pre-swap pause short. Parse/validate completes before the
-                // handle's write lock is touched.
-                Some(path) => FittedModel::load(path)
-                    .map_err(|e| format!("{path}: {e}"))
-                    .map(|mut model| {
-                        // The operator's --threads override outlives hot
-                        // reloads; without this the artifact's own
-                        // spec.threads would silently take over.
-                        if let Some(threads) = args.threads {
-                            model.set_threads(threads);
-                        }
-                        handle.reload(model)
-                    })
-                    .map_or_else(
-                        |e| err_response(id.as_ref(), &e),
-                        |generation| {
-                            ok_response(
-                                id.as_ref(),
-                                vec![
-                                    ("reloaded".to_owned(), serde::Value::Bool(true)),
-                                    ("generation".to_owned(), serde_json::to_value(&generation)),
-                                ],
-                            )
-                        },
-                    ),
-                None => err_response(id.as_ref(), "reload takes a model artifact path string"),
-            };
-            let _ = tx.send(Outgoing::Line(response));
-        } else if value.get("stats").is_some() {
-            let model = server.model();
-            let response = ok_response(
-                id.as_ref(),
-                vec![
-                    (
-                        "generation".to_owned(),
-                        serde_json::to_value(&server.generation()),
-                    ),
-                    (
-                        "queue".to_owned(),
-                        serde_json::to_value(&server.queue_len()),
-                    ),
-                    (
-                        "modality".to_owned(),
-                        serde::Value::String(model.modality().to_owned()),
-                    ),
-                    ("k".to_owned(), serde_json::to_value(&model.k())),
-                    (
-                        "workers".to_owned(),
-                        serde_json::to_value(&server.config().workers),
-                    ),
-                    (
-                        "max_batch".to_owned(),
-                        serde_json::to_value(&server.config().max_batch),
-                    ),
-                ],
-            );
-            let _ = tx.send(Outgoing::Line(response));
-        } else if value.get("shutdown").is_some() {
-            let _ = tx.send(Outgoing::Line(ok_response(
-                id.as_ref(),
-                vec![("shutdown".to_owned(), serde::Value::Bool(true))],
-            )));
-            break;
-        } else {
-            let _ = tx.send(Outgoing::Line(err_response(
-                id.as_ref(),
-                "unknown request: expected `predict`, `reload`, `stats`, or `shutdown`",
-            )));
+            LineOutcome::Shutdown(out) => {
+                let _ = tx.send(out);
+                break;
+            }
         }
     }
     drop(tx);
     let _ = printer.join();
-    server.shutdown();
+    drop(engine);
+    if let Ok(server) = std::sync::Arc::try_unwrap(server) {
+        server.shutdown();
+    }
     eprintln!("serve: drained and shut down");
     Ok(())
 }
@@ -1394,6 +1251,7 @@ mod tests {
         let args = parse_serve(flags(&["--model", "m.json"])).unwrap();
         assert_eq!(args.config, lshclust::ServerConfig::default());
         assert_eq!(args.threads, None);
+        assert_eq!(args.listen, None);
         let args = parse_serve(flags(&[
             "--model",
             "m.json",
@@ -1412,6 +1270,33 @@ mod tests {
             lshclust::ServerConfig::default().max_batch
         );
         assert_eq!(args.threads, Some(2));
+    }
+
+    #[test]
+    fn serve_hardening_flags_parse() {
+        let args = parse_serve(flags(&[
+            "--model",
+            "m.json",
+            "--listen",
+            "127.0.0.1:7777",
+            "--deadline-ms",
+            "250",
+            "--fixed-flush",
+            "--hot-keys",
+            "512",
+        ]))
+        .unwrap();
+        assert_eq!(args.listen.as_deref(), Some("127.0.0.1:7777"));
+        assert_eq!(
+            args.config.default_deadline,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert!(!args.config.adaptive_flush);
+        assert_eq!(args.config.hot_keys, 512);
+
+        // --deadline-ms 0 pins "no deadline", mirroring the wire field.
+        let unbounded = parse_serve(flags(&["--model", "m.json", "--deadline-ms", "0"])).unwrap();
+        assert_eq!(unbounded.config.default_deadline, None);
     }
 
     #[test]
@@ -1437,7 +1322,8 @@ mod tests {
         let tickets: Vec<_> = (0..100)
             .map(|i| {
                 let row = ds.row(i % 4).to_vec();
-                submit_with_backpressure(|| server.submit_row(row.clone())).unwrap()
+                lshclust::serve::proto::submit_with_backpressure(|| server.submit_row(row.clone()))
+                    .unwrap()
             })
             .collect();
         for (i, t) in tickets.into_iter().enumerate() {

@@ -51,7 +51,7 @@ impl Default for ServeSettings {
     }
 }
 
-/// One (modality × workers × coalescing) measurement.
+/// One (modality × workers × coalescing-mode) measurement.
 #[derive(Clone, Debug)]
 pub struct ServeRun {
     /// Worker threads in the pool.
@@ -59,6 +59,9 @@ pub struct ServeRun {
     /// Whether micro-batch coalescing was on (`max_batch` 64, 200µs flush)
     /// or off (`max_batch` 1, zero flush — one row per call).
     pub coalesced: bool,
+    /// Whether the coalescing window was load-adaptive
+    /// ([`ServerConfig::adaptive_flush`]) rather than fixed at 200µs.
+    pub adaptive: bool,
     /// Total requests served.
     pub requests: usize,
     /// Wall-clock seconds for the whole request set.
@@ -68,15 +71,26 @@ pub struct ServeRun {
     /// This run's `rps` over the one-row-per-call run at the same worker
     /// count (1.0 for the single runs themselves).
     pub speedup_vs_single: f64,
+    /// Median request latency, microseconds (submit → resolved, under the
+    /// caller's pipeline window).
+    pub p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile (tail) request latency, microseconds.
+    pub p99_us: f64,
 }
 
 serde::impl_serde_struct!(ServeRun {
     workers,
     coalesced,
+    adaptive,
     requests,
     secs,
     rps,
-    speedup_vs_single
+    speedup_vs_single,
+    p50_us,
+    p95_us,
+    p99_us
 });
 
 /// All serving runs for one modality.
@@ -135,23 +149,48 @@ enum Query {
     Mixed(Vec<ValueId>, Vec<f64>),
 }
 
+/// Per-request latency percentiles (microseconds) of one measurement.
+struct Tail {
+    p50: f64,
+    p95: f64,
+    p99: f64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)] as f64
+}
+
 /// Drives `callers` threads through `requests_per_caller` submissions each
-/// (pipelined), returns wall-clock seconds. Panics on any serving error —
-/// the bench sizes its queue so load shedding cannot trigger.
+/// (pipelined), returns wall-clock seconds plus per-request latency
+/// percentiles (submit → resolved, measured at the caller). Panics on any
+/// serving error — the bench sizes its queue so load shedding cannot
+/// trigger.
 fn measure(
     model: &FittedModel,
     config: ServerConfig,
     callers: usize,
     requests_per_caller: usize,
     queries: &[Query],
-) -> f64 {
+) -> (f64, Tail) {
     let server = ModelServer::start(model.clone(), config);
+    let latencies = std::sync::Mutex::new(Vec::with_capacity(callers * requests_per_caller));
     let start = Instant::now();
     std::thread::scope(|scope| {
         for caller in 0..callers {
             let server = &server;
+            let latencies = &latencies;
             scope.spawn(move || {
+                let mut local: Vec<u64> = Vec::with_capacity(requests_per_caller);
                 let mut pending = VecDeque::with_capacity(PIPELINE_WINDOW);
+                let mut resolve = |pending: &mut VecDeque<(Instant, lshclust::PredictTicket)>| {
+                    let (submitted, ticket) = pending.pop_front().expect("non-empty");
+                    ticket.wait().expect("bench requests are well-formed");
+                    local.push(submitted.elapsed().as_micros() as u64);
+                };
                 for i in 0..requests_per_caller {
                     let query = &queries[(caller + i * callers) % queries.len()];
                     let ticket = match query.clone() {
@@ -160,24 +199,33 @@ fn measure(
                         Query::Mixed(row, point) => server.submit_mixed(row, point),
                     }
                     .expect("bench queue sized above the pipeline load");
-                    pending.push_back(ticket);
+                    pending.push_back((Instant::now(), ticket));
                     if pending.len() >= PIPELINE_WINDOW {
-                        let served = pending.pop_front().expect("non-empty");
-                        served.wait().expect("bench requests are well-formed");
+                        resolve(&mut pending);
                     }
                 }
-                for ticket in pending {
-                    ticket.wait().expect("bench requests are well-formed");
+                while !pending.is_empty() {
+                    resolve(&mut pending);
                 }
+                latencies.lock().expect("latency lock").extend(local);
             });
         }
     });
     let secs = start.elapsed().as_secs_f64();
     server.shutdown();
-    secs
+    let mut us = latencies.into_inner().expect("latency lock");
+    us.sort_unstable();
+    let tail = Tail {
+        p50: percentile(&us, 50.0),
+        p95: percentile(&us, 95.0),
+        p99: percentile(&us, 99.0),
+    };
+    (secs, tail)
 }
 
-/// Sweeps coalesced vs one-row-per-call at every worker count.
+/// Sweeps one-row-per-call vs fixed-window vs adaptive-window coalescing at
+/// every worker count. The hot-key cache is disabled throughout so the
+/// numbers isolate batching policy, not memoization.
 fn sweep(model: &FittedModel, settings: &ServeSettings, queries: &[Query]) -> Vec<ServeRun> {
     let total = settings.callers * settings.requests_per_caller;
     // Queue bound: the whole pipelined in-flight load plus slack, so the
@@ -185,48 +233,64 @@ fn sweep(model: &FittedModel, settings: &ServeSettings, queries: &[Query]) -> Ve
     let depth = (settings.callers * PIPELINE_WINDOW * 2).max(256);
     let mut runs = Vec::new();
     for &workers in &settings.workers {
-        let single = ServerConfig::default()
+        let base = ServerConfig::default()
             .workers(workers)
-            .max_batch(1)
-            .flush_latency(Duration::ZERO)
-            .queue_depth(depth);
-        let coalesced = ServerConfig::default()
-            .workers(workers)
-            .max_batch(64)
-            .flush_latency(Duration::from_micros(200))
-            .queue_depth(depth);
-        let single_secs = measure(
-            model,
-            single,
-            settings.callers,
-            settings.requests_per_caller,
-            queries,
-        );
-        let coalesced_secs = measure(
-            model,
-            coalesced,
-            settings.callers,
-            settings.requests_per_caller,
-            queries,
-        );
-        let single_rps = total as f64 / single_secs.max(1e-9);
-        let coalesced_rps = total as f64 / coalesced_secs.max(1e-9);
-        runs.push(ServeRun {
-            workers,
-            coalesced: false,
-            requests: total,
-            secs: single_secs,
-            rps: single_rps,
-            speedup_vs_single: 1.0,
-        });
-        runs.push(ServeRun {
-            workers,
-            coalesced: true,
-            requests: total,
-            secs: coalesced_secs,
-            rps: coalesced_rps,
-            speedup_vs_single: coalesced_rps / single_rps.max(1e-9),
-        });
+            .queue_depth(depth)
+            .hot_keys(0);
+        let modes = [
+            // (coalesced, adaptive, config)
+            (
+                false,
+                false,
+                base.max_batch(1)
+                    .flush_latency(Duration::ZERO)
+                    .adaptive_flush(false),
+            ),
+            (
+                true,
+                false,
+                base.max_batch(64)
+                    .flush_latency(Duration::from_micros(200))
+                    .adaptive_flush(false),
+            ),
+            (
+                true,
+                true,
+                base.max_batch(64)
+                    .flush_latency(Duration::from_micros(200))
+                    .adaptive_flush(true),
+            ),
+        ];
+        let mut single_rps = 0.0;
+        for (coalesced, adaptive, config) in modes {
+            let (secs, tail) = measure(
+                model,
+                config,
+                settings.callers,
+                settings.requests_per_caller,
+                queries,
+            );
+            let rps = total as f64 / secs.max(1e-9);
+            if !coalesced {
+                single_rps = rps;
+            }
+            runs.push(ServeRun {
+                workers,
+                coalesced,
+                adaptive,
+                requests: total,
+                secs,
+                rps,
+                speedup_vs_single: if coalesced {
+                    rps / single_rps.max(1e-9)
+                } else {
+                    1.0
+                },
+                p50_us: tail.p50,
+                p95_us: tail.p95,
+                p99_us: tail.p99,
+            });
+        }
     }
     runs
 }
@@ -360,18 +424,26 @@ impl ServeReport {
             let _ = writeln!(out, "\n[{}] {}", family.family, family.lsh);
             let _ = writeln!(
                 out,
-                "{:>8}  {:>10}  {:>10}  {:>12}  {:>10}",
-                "workers", "coalesced", "secs", "req/s", "speedup"
+                "{:>8}  {:>10}  {:>10}  {:>12}  {:>10}  {:>9}  {:>9}  {:>9}",
+                "workers", "mode", "secs", "req/s", "speedup", "p50us", "p95us", "p99us"
             );
             for r in &family.runs {
+                let mode = match (r.coalesced, r.adaptive) {
+                    (false, _) => "single",
+                    (true, false) => "fixed",
+                    (true, true) => "adaptive",
+                };
                 let _ = writeln!(
                     out,
-                    "{:>8}  {:>10}  {:>10.3}  {:>12.0}  {:>9.2}x",
+                    "{:>8}  {:>10}  {:>10.3}  {:>12.0}  {:>9.2}x  {:>9.0}  {:>9.0}  {:>9.0}",
                     r.workers,
-                    if r.coalesced { "yes" } else { "no" },
+                    mode,
                     r.secs,
                     r.rps,
-                    r.speedup_vs_single
+                    r.speedup_vs_single,
+                    r.p50_us,
+                    r.p95_us,
+                    r.p99_us
                 );
             }
         }

@@ -702,6 +702,84 @@ impl<T> MicroBatchQueue<T> {
     }
 }
 
+/// Consumer-side controller that scales a [`MicroBatchQueue`] flush window
+/// with observed load: the window **shrinks toward zero when the queue is
+/// shallow** (a lone request should not sit out a fixed coalescing delay)
+/// and **grows toward the configured maximum under load** (full batches are
+/// evidence that waiting buys real coalescing).
+///
+/// The signal is an exponential moving average of the *fill ratio* of the
+/// batches this consumer pops: `batch_len / max_batch`. Each pop feeds
+/// [`Self::observe`]; the next pop asks [`Self::window`] for the window to
+/// wait. A consumer that keeps popping full batches converges on the full
+/// window; one that keeps popping singletons converges on an immediate
+/// flush. The controller is deterministic in its observation sequence and
+/// holds no clock of its own, so it is unit-testable without sleeping.
+///
+/// This lives next to the queue (rather than inside it) because the window
+/// is a per-*consumer* policy: `pop_batch` takes whatever window the caller
+/// chose, and a fixed window — just passing `flush_latency` every time —
+/// remains available as the escape hatch.
+#[derive(Clone, Debug)]
+pub struct AdaptiveWindow {
+    /// EMA of observed batch fill in `0.0..=1.0`; starts empty-handed (0) so
+    /// the first requests after an idle stretch flush immediately.
+    fill: f64,
+}
+
+/// EMA weight of the newest observation. High enough that a load spike opens
+/// the window within a few batches; low enough that one straggler batch does
+/// not slam it shut.
+const ADAPTIVE_GAIN: f64 = 0.25;
+
+/// Fill levels below this round the window down to an immediate flush —
+/// `Duration::mul_f64` would otherwise produce sub-microsecond windows that
+/// cost a timed wait without buying any coalescing.
+const ADAPTIVE_FLOOR: f64 = 1.0 / 64.0;
+
+impl AdaptiveWindow {
+    /// A fresh controller (window starts at zero: shallow until proven
+    /// loaded).
+    pub fn new() -> Self {
+        Self { fill: 0.0 }
+    }
+
+    /// The flush window to pass to the next `pop_batch`, given the
+    /// configured maximum: `max` scaled by the load estimate, rounded down
+    /// to zero below the 1/64 fill floor.
+    pub fn window(&self, max: Duration) -> Duration {
+        if self.fill < ADAPTIVE_FLOOR {
+            Duration::ZERO
+        } else {
+            max.mul_f64(self.fill)
+        }
+    }
+
+    /// Feeds one popped batch into the load estimate. A singleton batch
+    /// counts as fill 0, not `1/max_batch`: one request means the window
+    /// bought no coalescing at all, so sustained singletons must converge
+    /// on an immediate flush rather than hover at the floor.
+    pub fn observe(&mut self, batch_len: usize, max_batch: usize) {
+        let ratio = if batch_len <= 1 {
+            0.0
+        } else {
+            (batch_len as f64 / max_batch.max(1) as f64).clamp(0.0, 1.0)
+        };
+        self.fill += ADAPTIVE_GAIN * (ratio - self.fill);
+    }
+
+    /// The current load estimate in `0.0..=1.0` (monitoring).
+    pub fn fill(&self) -> f64 {
+        self.fill
+    }
+}
+
+impl Default for AdaptiveWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1162,6 +1240,52 @@ mod tests {
         all.sort_unstable();
         let expected: Vec<u32> = (0..n_items).collect();
         assert_eq!(all, expected, "every item served exactly once");
+    }
+
+    #[test]
+    fn adaptive_window_starts_at_zero_and_grows_under_full_batches() {
+        let mut w = AdaptiveWindow::new();
+        let max = Duration::from_micros(200);
+        assert_eq!(w.window(max), Duration::ZERO, "idle start flushes at once");
+        for _ in 0..32 {
+            w.observe(64, 64); // full batches: sustained load
+        }
+        assert!(
+            w.window(max) > max.mul_f64(0.95),
+            "sustained full batches must open the window toward the max, got {:?}",
+            w.window(max)
+        );
+    }
+
+    #[test]
+    fn adaptive_window_decays_back_to_an_immediate_flush_when_shallow() {
+        let mut w = AdaptiveWindow::new();
+        for _ in 0..32 {
+            w.observe(64, 64);
+        }
+        for _ in 0..64 {
+            w.observe(1, 64); // singleton batches: the queue went shallow
+        }
+        assert_eq!(
+            w.window(Duration::from_micros(200)),
+            Duration::ZERO,
+            "sustained singletons must shrink the window to zero"
+        );
+    }
+
+    #[test]
+    fn adaptive_window_is_deterministic_in_its_observation_sequence() {
+        let mut a = AdaptiveWindow::new();
+        let mut b = AdaptiveWindow::new();
+        for i in 0..100 {
+            a.observe(i % 17, 16);
+            b.observe(i % 17, 16);
+        }
+        assert_eq!(a.fill(), b.fill());
+        assert_eq!(
+            a.window(Duration::from_micros(500)),
+            b.window(Duration::from_micros(500))
+        );
     }
 
     #[test]

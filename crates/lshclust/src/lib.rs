@@ -145,7 +145,12 @@ pub use model::{
     FittedModel, ModelError, PredictInput, MODEL_FORMAT, MODEL_VERSION, MODEL_VERSION_V2,
 };
 pub use run::{Centroids, ClusterRun, RunReport};
-pub use serve::{ModelHandle, ModelServer, PredictTicket, Prediction, ServeError, ServerConfig};
+pub use serve::proto::ProtoEngine;
+pub use serve::socket::{SocketOptions, SocketReport, SocketServer};
+pub use serve::{
+    HotKeyStats, ModelHandle, ModelServer, PredictTicket, Prediction, ServeError, ServerConfig,
+    TicketStats,
+};
 pub use spec::{ClusterSpec, Fit, Init, Lsh, Query, SpecError, StreamOptions};
 
 // The one iteration policy shared by every family.

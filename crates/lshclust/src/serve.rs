@@ -45,20 +45,26 @@
 //! server.shutdown();                                       // drains + joins
 //! ```
 
+pub mod proto;
+pub mod socket;
+
 use crate::model::{FittedModel, ModelError, ServeScratch};
 use lshclust_categorical::{ClusterId, ValueId};
-use lshclust_core::parallel::{chunked_map, MicroBatchQueue, QueuePushError};
+use lshclust_core::parallel::{chunked_map, AdaptiveWindow, MicroBatchQueue, QueuePushError};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::{mpsc, Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Shape of a [`ModelServer`]'s worker pool and micro-batching queue.
 ///
 /// All counts clamp to at least 1 at [`ModelServer::start`] (the workspace's
-/// `threads(0)` boundary rule). `max_batch: 1` or a zero `flush_latency`
-/// disables coalescing — every request is served as its own batch — which is
-/// the ablation mode `bench_serve` measures against.
+/// `threads(0)` boundary rule) except [`Self::hot_keys`], where 0 genuinely
+/// means "no cache". `max_batch: 1` or a zero `flush_latency` disables
+/// coalescing — every request is served as its own batch — which is the
+/// ablation mode `bench_serve` measures against.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServerConfig {
     /// Worker threads popping batches from the queue.
@@ -66,11 +72,29 @@ pub struct ServerConfig {
     /// Most requests coalesced into one batch.
     pub max_batch: usize,
     /// How long the first request of a batch waits for company before the
-    /// batch is flushed to a worker.
+    /// batch is flushed to a worker. With [`Self::adaptive_flush`] on (the
+    /// default) this is the **ceiling** of a load-scaled window; off, it is
+    /// the fixed window every batch waits.
     pub flush_latency: Duration,
     /// Most requests pending in the queue; submissions beyond it fail fast
     /// with [`ServeError::QueueFull`] instead of blocking the caller.
     pub queue_depth: usize,
+    /// Deadline applied to requests submitted without their own: a request
+    /// older than this when a worker reaches it resolves
+    /// [`ServeError::DeadlineExceeded`] instead of being scored. `None`
+    /// (the default) means requests wait as long as it takes.
+    pub default_deadline: Option<Duration>,
+    /// Scale the coalescing window with observed load (each worker's
+    /// [`AdaptiveWindow`]): near-zero latency when the queue is shallow,
+    /// growing toward [`Self::flush_latency`] under sustained load. `false`
+    /// is the fixed-window escape hatch (the pre-adaptive behaviour).
+    pub adaptive_flush: bool,
+    /// Capacity (entries) of the generation-keyed hot-key prediction cache;
+    /// `0` disables it. Identical requests recur heavily under skewed
+    /// (Zipfian) traffic, and a cache hit skips the shortlist probe and
+    /// scoring entirely while returning — by exact-payload construction —
+    /// the same answer the uncached path would.
+    pub hot_keys: usize,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +104,9 @@ impl Default for ServerConfig {
             max_batch: 64,
             flush_latency: Duration::from_micros(200),
             queue_depth: 1024,
+            default_deadline: None,
+            adaptive_flush: true,
+            hot_keys: 1024,
         }
     }
 }
@@ -109,6 +136,25 @@ impl ServerConfig {
         self
     }
 
+    /// Sets the default per-request deadline (`None` = unbounded).
+    pub fn default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+
+    /// Turns load-adaptive flush latency on or off (`false` = the fixed
+    /// window escape hatch).
+    pub fn adaptive_flush(mut self, adaptive: bool) -> Self {
+        self.adaptive_flush = adaptive;
+        self
+    }
+
+    /// Sets the hot-key cache capacity (`0` disables the cache).
+    pub fn hot_keys(mut self, entries: usize) -> Self {
+        self.hot_keys = entries;
+        self
+    }
+
     fn normalized(mut self) -> Self {
         self.workers = self.workers.max(1);
         self.max_batch = self.max_batch.max(1);
@@ -128,6 +174,9 @@ pub enum ServeError {
     Model(ModelError),
     /// The serving side went away without answering (a worker panicked).
     Disconnected,
+    /// The request's deadline passed before a worker reached it; it was
+    /// skipped, not scored.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ServeError {
@@ -137,6 +186,7 @@ impl fmt::Display for ServeError {
             ServeError::ShutDown => write!(f, "server is shut down"),
             ServeError::Model(e) => write!(f, "model rejected the request: {e}"),
             ServeError::Disconnected => write!(f, "serving side disconnected without a reply"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline passed before serving"),
         }
     }
 }
@@ -171,6 +221,7 @@ pub struct Prediction {
 /// One request's payload. String rows stay raw until serving time so they
 /// are encoded under the schema of the model snapshot that actually answers
 /// them (which may be newer than the one live at submit time).
+#[derive(Clone)]
 enum Payload {
     Row(Vec<ValueId>),
     Point(Vec<f64>),
@@ -181,6 +232,10 @@ enum Payload {
 
 struct Request {
     payload: Payload,
+    /// Absolute point past which this request must not be scored; `None`
+    /// waits forever. Resolved at submit time from the per-request override
+    /// or [`ServerConfig::default_deadline`].
+    deadline: Option<Instant>,
     reply: mpsc::Sender<Result<Prediction, ServeError>>,
 }
 
@@ -209,6 +264,19 @@ impl PredictTicket {
             Ok(result) => Some(result),
             Err(mpsc::TryRecvError::Empty) => None,
             Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+
+    /// Blocks at most `timeout` for the request to be served; `None` means
+    /// it is still in flight (the ticket stays waitable). A dead serving
+    /// side resolves to `Some(Err(ServeError::Disconnected))` — this is the
+    /// variant CLI writer loops use so a wedged worker pool can never block
+    /// a caller forever.
+    pub fn wait_deadline(&self, timeout: Duration) -> Option<Result<Prediction, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::Disconnected)),
         }
     }
 }
@@ -298,6 +366,203 @@ impl ModelHandle {
     }
 }
 
+/// Observable counters of the hot-key cache (see
+/// [`ModelServer::hot_key_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HotKeyStats {
+    /// Requests answered straight from the cache (no shortlist probe, no
+    /// scoring).
+    pub hits: u64,
+    /// Requests that went through the full predict path (including every
+    /// request when the cache is disabled).
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// Ticket accounting (see [`ModelServer::ticket_stats`]): with the server
+/// drained, `submitted == resolved` — anything else means an orphaned
+/// ticket, which the fault-injection suite treats as a hard failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TicketStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests replied to (served, failed, deadline-skipped, or failed by
+    /// a panicking worker — every accepted request ends up here).
+    pub resolved: u64,
+}
+
+/// Exact-query memo from payload to cluster, keyed by model generation.
+///
+/// **Why exact payloads and not just band signatures:** two distinct rows
+/// can share a band signature yet have different nearest centroids, so a
+/// signature-keyed map could serve the wrong cluster. Keying by the full
+/// payload (hash + stored-copy equality check, `f64` compared by bits)
+/// makes a hit *by construction* return exactly what the uncached path
+/// computed for that payload on this generation — byte-identical answers.
+///
+/// **Invalidation:** every entry belongs to the generation recorded in the
+/// guarded state. A lookup or insert under a *newer* generation wipes the
+/// map first; one under an *older* generation (an in-flight batch racing a
+/// reload) is refused so stale answers can never be cached or served.
+///
+/// String payloads are cached too: encoding is deterministic under a fixed
+/// schema, and the generation guard pins the schema.
+struct HotKeyCache {
+    capacity: usize,
+    state: Mutex<HotKeyState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct HotKeyState {
+    generation: u64,
+    map: HashMap<u64, (Payload, ClusterId)>,
+}
+
+impl HotKeyCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(HotKeyState {
+                generation: 0,
+                map: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Aligns `state` to `generation`; `false` means the caller runs on an
+    /// older snapshot than the cache has seen and must not touch the map.
+    fn align(state: &mut HotKeyState, generation: u64) -> bool {
+        if state.generation < generation {
+            state.map.clear();
+            state.generation = generation;
+        }
+        state.generation == generation
+    }
+
+    fn lookup(&self, generation: u64, payload: &Payload) -> Option<ClusterId> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let key = payload_key(payload);
+        let mut state = self.state.lock().expect("hot-key lock");
+        let hit = if Self::align(&mut state, generation) {
+            match state.map.get(&key) {
+                Some((stored, cluster)) if payload_eq(stored, payload) => Some(*cluster),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        drop(state);
+        match hit {
+            Some(cluster) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cluster)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, generation: u64, payload: &Payload, cluster: ClusterId) {
+        if self.capacity == 0 {
+            return;
+        }
+        let key = payload_key(payload);
+        let mut state = self.state.lock().expect("hot-key lock");
+        if !Self::align(&mut state, generation) {
+            return; // older snapshot than the cache: never poison it
+        }
+        if state.map.len() >= self.capacity && !state.map.contains_key(&key) {
+            // Wholesale reset at capacity: hot keys repopulate in a few
+            // requests, and it keeps the map allocation bounded without
+            // tracking recency.
+            state.map.clear();
+        }
+        state.map.insert(key, (payload.clone(), cluster));
+    }
+
+    fn stats(&self) -> HotKeyStats {
+        HotKeyStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.state.lock().expect("hot-key lock").map.len(),
+        }
+    }
+}
+
+/// FNV-1a over the payload's modality tag and content (`f64` by bit
+/// pattern, matching [`payload_eq`]).
+fn payload_key(payload: &Payload) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    struct Fnv(u64);
+    impl Fnv {
+        fn word(&mut self, word: u64) {
+            for byte in word.to_le_bytes() {
+                self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        }
+        fn str(&mut self, s: &str) {
+            for &byte in s.as_bytes() {
+                self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+            self.word(s.len() as u64);
+        }
+    }
+    let mut h = Fnv(OFFSET);
+    match payload {
+        Payload::Row(row) => {
+            h.word(1);
+            row.iter().for_each(|v| h.word(u64::from(v.0)));
+        }
+        Payload::Point(point) => {
+            h.word(2);
+            point.iter().for_each(|x| h.word(x.to_bits()));
+        }
+        Payload::Mixed(row, point) => {
+            h.word(3);
+            row.iter().for_each(|v| h.word(u64::from(v.0)));
+            h.word(row.len() as u64);
+            point.iter().for_each(|x| h.word(x.to_bits()));
+        }
+        Payload::StrRow(row) => {
+            h.word(4);
+            row.iter().for_each(|s| h.str(s));
+        }
+        Payload::StrMixed(row, point) => {
+            h.word(5);
+            row.iter().for_each(|s| h.str(s));
+            h.word(row.len() as u64);
+            point.iter().for_each(|x| h.word(x.to_bits()));
+        }
+    }
+    h.0
+}
+
+/// Exact payload equality with `f64` compared by bit pattern (`NaN`s with
+/// identical bits are "the same request"; `0.0 != -0.0` — stricter than
+/// `==`, which is the safe direction for a cache key).
+fn payload_eq(a: &Payload, b: &Payload) -> bool {
+    fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+    match (a, b) {
+        (Payload::Row(a), Payload::Row(b)) => a == b,
+        (Payload::Point(a), Payload::Point(b)) => bits_eq(a, b),
+        (Payload::Mixed(ar, ap), Payload::Mixed(br, bp)) => ar == br && bits_eq(ap, bp),
+        (Payload::StrRow(a), Payload::StrRow(b)) => a == b,
+        (Payload::StrMixed(ar, ap), Payload::StrMixed(br, bp)) => ar == br && bits_eq(ap, bp),
+        _ => false,
+    }
+}
+
 /// The long-lived serving front over a [`FittedModel`]: a worker pool fed by
 /// a micro-batching request queue, with atomic hot reload and graceful
 /// draining shutdown. See the [module docs](self) for the full lifecycle.
@@ -306,6 +571,9 @@ pub struct ModelServer {
     queue: Arc<MicroBatchQueue<Request>>,
     workers: Vec<JoinHandle<()>>,
     config: ServerConfig,
+    cache: Arc<HotKeyCache>,
+    submitted: AtomicU64,
+    resolved: Arc<AtomicU64>,
 }
 
 impl ModelServer {
@@ -314,12 +582,15 @@ impl ModelServer {
         let config = config.normalized();
         let handle = ModelHandle::new(model);
         let queue = Arc::new(MicroBatchQueue::new(config.queue_depth));
+        let cache = Arc::new(HotKeyCache::new(config.hot_keys));
+        let resolved = Arc::new(AtomicU64::new(0));
         let workers = (0..config.workers)
             .map(|_| {
                 let queue = Arc::clone(&queue);
                 let handle = handle.clone();
-                let (max_batch, flush_latency) = (config.max_batch, config.flush_latency);
-                std::thread::spawn(move || worker_loop(&queue, &handle, max_batch, flush_latency))
+                let cache = Arc::clone(&cache);
+                let resolved = Arc::clone(&resolved);
+                std::thread::spawn(move || worker_loop(&queue, &handle, &cache, &resolved, config))
             })
             .collect();
         Self {
@@ -327,6 +598,9 @@ impl ModelServer {
             queue,
             workers,
             config,
+            cache,
+            submitted: AtomicU64::new(0),
+            resolved,
         }
     }
 
@@ -362,10 +636,41 @@ impl ModelServer {
         self.queue.len()
     }
 
-    fn submit(&self, payload: Payload) -> Result<PredictTicket, ServeError> {
+    /// Hit/miss/occupancy counters of the hot-key cache (all zero when
+    /// `hot_keys: 0`; `misses` still counts served requests).
+    pub fn hot_key_stats(&self) -> HotKeyStats {
+        self.cache.stats()
+    }
+
+    /// Submitted-vs-resolved ticket counters. After a drain (shutdown or
+    /// `close_intake` + quiesce) the two must be equal; the fault-injection
+    /// suite asserts exactly that to prove no injected fault leaks tickets.
+    pub fn ticket_stats(&self) -> TicketStats {
+        // resolved first: a request resolving between the two loads can at
+        // worst make resolved look smaller (never larger) than submitted.
+        let resolved = self.resolved.load(Ordering::Acquire);
+        TicketStats {
+            submitted: self.submitted.load(Ordering::Acquire),
+            resolved,
+        }
+    }
+
+    fn submit(
+        &self,
+        payload: Payload,
+        deadline: Option<Duration>,
+    ) -> Result<PredictTicket, ServeError> {
+        let deadline = deadline.map(|d| Instant::now() + d);
         let (reply, rx) = mpsc::channel();
-        match self.queue.push(Request { payload, reply }) {
-            Ok(()) => Ok(PredictTicket { rx }),
+        match self.queue.push(Request {
+            payload,
+            deadline,
+            reply,
+        }) {
+            Ok(()) => {
+                self.submitted.fetch_add(1, Ordering::Release);
+                Ok(PredictTicket { rx })
+            }
             Err(QueuePushError::Full(_)) => Err(ServeError::QueueFull),
             Err(QueuePushError::Closed(_)) => Err(ServeError::ShutDown),
         }
@@ -374,12 +679,32 @@ impl ModelServer {
     /// Submits one encoded categorical row (values under the model's
     /// training schema).
     pub fn submit_row(&self, row: Vec<ValueId>) -> Result<PredictTicket, ServeError> {
-        self.submit(Payload::Row(row))
+        self.submit(Payload::Row(row), self.config.default_deadline)
+    }
+
+    /// [`Self::submit_row`] with an explicit deadline (`None` = wait
+    /// forever), overriding [`ServerConfig::default_deadline`].
+    pub fn submit_row_deadline(
+        &self,
+        row: Vec<ValueId>,
+        deadline: Option<Duration>,
+    ) -> Result<PredictTicket, ServeError> {
+        self.submit(Payload::Row(row), deadline)
     }
 
     /// Submits one numeric point.
     pub fn submit_point(&self, point: Vec<f64>) -> Result<PredictTicket, ServeError> {
-        self.submit(Payload::Point(point))
+        self.submit(Payload::Point(point), self.config.default_deadline)
+    }
+
+    /// [`Self::submit_point`] with an explicit deadline (`None` = wait
+    /// forever), overriding [`ServerConfig::default_deadline`].
+    pub fn submit_point_deadline(
+        &self,
+        point: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<PredictTicket, ServeError> {
+        self.submit(Payload::Point(point), deadline)
     }
 
     /// Submits one mixed item (encoded categorical part + numeric part).
@@ -388,16 +713,38 @@ impl ModelServer {
         row: Vec<ValueId>,
         point: Vec<f64>,
     ) -> Result<PredictTicket, ServeError> {
-        self.submit(Payload::Mixed(row, point))
+        self.submit(Payload::Mixed(row, point), self.config.default_deadline)
+    }
+
+    /// [`Self::submit_mixed`] with an explicit deadline (`None` = wait
+    /// forever), overriding [`ServerConfig::default_deadline`].
+    pub fn submit_mixed_deadline(
+        &self,
+        row: Vec<ValueId>,
+        point: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<PredictTicket, ServeError> {
+        self.submit(Payload::Mixed(row, point), deadline)
     }
 
     /// Submits one raw string row; it is encoded at **serving** time under
     /// the schema of whichever model snapshot answers it, so reloads apply
     /// to queued string rows too.
     pub fn submit_str_row(&self, row: &[&str]) -> Result<PredictTicket, ServeError> {
-        self.submit(Payload::StrRow(
-            row.iter().map(|s| (*s).to_owned()).collect(),
-        ))
+        self.submit_str_row_deadline(row, self.config.default_deadline)
+    }
+
+    /// [`Self::submit_str_row`] with an explicit deadline (`None` = wait
+    /// forever), overriding [`ServerConfig::default_deadline`].
+    pub fn submit_str_row_deadline(
+        &self,
+        row: &[&str],
+        deadline: Option<Duration>,
+    ) -> Result<PredictTicket, ServeError> {
+        self.submit(
+            Payload::StrRow(row.iter().map(|s| (*s).to_owned()).collect()),
+            deadline,
+        )
     }
 
     /// Submits one raw string row plus a numeric part (mixed models); like
@@ -409,10 +756,21 @@ impl ModelServer {
         row: &[&str],
         point: Vec<f64>,
     ) -> Result<PredictTicket, ServeError> {
-        self.submit(Payload::StrMixed(
-            row.iter().map(|s| (*s).to_owned()).collect(),
-            point,
-        ))
+        self.submit_str_mixed_deadline(row, point, self.config.default_deadline)
+    }
+
+    /// [`Self::submit_str_mixed`] with an explicit deadline (`None` = wait
+    /// forever), overriding [`ServerConfig::default_deadline`].
+    pub fn submit_str_mixed_deadline(
+        &self,
+        row: &[&str],
+        point: Vec<f64>,
+        deadline: Option<Duration>,
+    ) -> Result<PredictTicket, ServeError> {
+        self.submit(
+            Payload::StrMixed(row.iter().map(|s| (*s).to_owned()).collect(), point),
+            deadline,
+        )
     }
 
     /// Submit-and-wait convenience for [`Self::submit_row`].
@@ -480,24 +838,52 @@ impl Drop for ModelServer {
 /// only amortizes over batches with real work in them.
 const FAN_OUT_MIN_BATCH: usize = 17;
 
+/// How a single popped request resolved inside a batch.
+#[derive(Clone)]
+enum Served {
+    /// Served through the full predict path (cacheable on success).
+    Scored(Result<ClusterId, ModelError>),
+    /// Answered from the hot-key cache (already known correct for this
+    /// generation; re-inserting would be a wasted lock).
+    CacheHit(ClusterId),
+    /// Deadline already passed at pop time: skipped, not scored.
+    Expired,
+}
+
 /// One worker: pop a coalesced batch, snapshot the model, serve it — inline
 /// with a reused worker-local scratch for small batches, fanned over the
 /// model's `spec.threads` (one scratch per thread) for large ones — and
-/// reply per request. A panic while serving fails that batch's tickets with
+/// reply per request. Expired requests are skipped (never scored), cache
+/// hits skip scoring, and fresh scored answers populate the cache. A panic
+/// while serving fails that batch's tickets with
 /// [`ServeError::Disconnected`] and keeps the worker alive, so requests
 /// still in the queue are never orphaned. Exits when the queue is closed
 /// and drained.
 fn worker_loop(
     queue: &MicroBatchQueue<Request>,
     handle: &ModelHandle,
-    max_batch: usize,
-    flush_latency: Duration,
+    cache: &HotKeyCache,
+    resolved: &AtomicU64,
+    config: ServerConfig,
 ) {
     let mut batch: Vec<Request> = Vec::new();
     // Worker-local scratch reused across batches, keyed by the generation it
     // was built against (a reload can change k, schema, even modality).
     let mut cached: Option<(u64, ServeScratch)> = None;
-    while queue.pop_batch(&mut batch, max_batch, flush_latency) {
+    // Per-worker flush-window controller: each worker sees its own share of
+    // the load, which is exactly the signal its window should follow.
+    let mut window = AdaptiveWindow::new();
+    loop {
+        let flush = if config.adaptive_flush {
+            window.window(config.flush_latency)
+        } else {
+            config.flush_latency
+        };
+        if !queue.pop_batch(&mut batch, config.max_batch, flush) {
+            break;
+        }
+        window.observe(batch.len(), config.max_batch);
+        let now = Instant::now();
         let (generation, model) = handle.snapshot();
         let threads = model.spec().threads;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -506,7 +892,16 @@ fn worker_loop(
                     batch.len(),
                     threads,
                     || model.serve_scratch(),
-                    |i, scratch| Some(serve_one(&model, &batch[i as usize].payload, scratch)),
+                    |i, scratch| {
+                        Some(serve_request(
+                            &model,
+                            cache,
+                            generation,
+                            now,
+                            &batch[i as usize],
+                            scratch,
+                        ))
+                    },
                 )
                 .into_iter()
                 .map(|slot| slot.expect("chunked_map fills every slot"))
@@ -523,19 +918,29 @@ fn worker_loop(
                 };
                 batch
                     .iter()
-                    .map(|request| serve_one(&model, &request.payload, scratch))
+                    .map(|request| serve_request(&model, cache, generation, now, request, scratch))
                     .collect()
             }
         }));
         match outcome {
             Ok(results) => {
-                for (request, result) in batch.drain(..).zip(results) {
-                    let reply = result
-                        .map(|cluster| Prediction {
+                for (request, served) in batch.drain(..).zip(results) {
+                    let reply = match served {
+                        Served::Scored(Ok(cluster)) => {
+                            cache.insert(generation, &request.payload, cluster);
+                            Ok(Prediction {
+                                cluster,
+                                generation,
+                            })
+                        }
+                        Served::CacheHit(cluster) => Ok(Prediction {
                             cluster,
                             generation,
-                        })
-                        .map_err(ServeError::Model);
+                        }),
+                        Served::Scored(Err(e)) => Err(ServeError::Model(e)),
+                        Served::Expired => Err(ServeError::DeadlineExceeded),
+                    };
+                    resolved.fetch_add(1, Ordering::Release);
                     // The caller may have dropped its ticket; its business.
                     let _ = request.reply.send(reply);
                 }
@@ -547,11 +952,32 @@ fn worker_loop(
                 // requests still in the queue would hang forever.
                 cached = None;
                 for request in batch.drain(..) {
+                    resolved.fetch_add(1, Ordering::Release);
                     let _ = request.reply.send(Err(ServeError::Disconnected));
                 }
             }
         }
     }
+}
+
+/// Serves one popped request: deadline check first (an expired request must
+/// not burn scoring work), then the hot-key cache, then the full predict
+/// path.
+fn serve_request(
+    model: &FittedModel,
+    cache: &HotKeyCache,
+    generation: u64,
+    now: Instant,
+    request: &Request,
+    scratch: &mut ServeScratch,
+) -> Served {
+    if request.deadline.is_some_and(|deadline| deadline <= now) {
+        return Served::Expired;
+    }
+    if let Some(cluster) = cache.lookup(generation, &request.payload) {
+        return Served::CacheHit(cluster);
+    }
+    Served::Scored(serve_one(model, &request.payload, scratch))
 }
 
 fn serve_one(
@@ -705,11 +1131,143 @@ mod tests {
                 max_batch: 0,
                 flush_latency: Duration::ZERO,
                 queue_depth: 0,
+                default_deadline: None,
+                adaptive_flush: true,
+                hot_keys: 0,
             },
         );
         assert_eq!(server.config().workers, 1);
         assert_eq!(server.config().max_batch, 1);
         assert_eq!(server.config().queue_depth, 1);
+        assert_eq!(server.config().hot_keys, 0, "0 means disabled, not 1");
+        server.shutdown();
+    }
+
+    #[test]
+    fn hot_key_cache_serves_repeats_without_rescoring() {
+        let (run, ds) = categorical_model(5);
+        let server = ModelServer::start(
+            run.model.clone(),
+            ServerConfig::default().workers(1).hot_keys(64),
+        );
+        let row = ds.row(0).to_vec();
+        let first = server.predict_row(row.clone()).unwrap();
+        let second = server.predict_row(row.clone()).unwrap();
+        assert_eq!(first, second);
+        let stats = server.hot_key_stats();
+        assert!(stats.hits >= 1, "repeat request should hit: {stats:?}");
+        assert!(stats.entries >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn hot_key_cache_refuses_stale_generations() {
+        let cache = HotKeyCache::new(8);
+        let payload = Payload::Point(vec![1.0, 2.0]);
+        cache.insert(0, &payload, ClusterId(3));
+        assert_eq!(cache.lookup(0, &payload), Some(ClusterId(3)));
+        // A newer generation wipes the map on first contact …
+        assert_eq!(cache.lookup(1, &payload), None);
+        // … and an older (in-flight pre-reload) snapshot can neither read
+        // nor poison it.
+        assert_eq!(cache.lookup(0, &payload), None);
+        cache.insert(0, &payload, ClusterId(9));
+        assert_eq!(cache.lookup(1, &payload), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn hot_key_cache_distinguishes_colliding_payload_kinds() {
+        // Same numbers, different modality/value paths must never alias.
+        let a = Payload::Point(vec![1.0]);
+        let b = Payload::Mixed(vec![], vec![1.0]);
+        assert!(!payload_eq(&a, &b));
+        let cache = HotKeyCache::new(8);
+        cache.insert(0, &a, ClusterId(1));
+        assert_eq!(cache.lookup(0, &b), None);
+        // -0.0 and 0.0 compare equal as f64 but are different bit patterns;
+        // the cache must treat them as distinct keys (stricter is safe).
+        let zero = Payload::Point(vec![0.0]);
+        let negzero = Payload::Point(vec![-0.0]);
+        cache.insert(0, &zero, ClusterId(2));
+        assert!(!payload_eq(&zero, &negzero));
+    }
+
+    #[test]
+    fn hot_key_cache_capacity_resets_wholesale() {
+        let cache = HotKeyCache::new(2);
+        cache.insert(0, &Payload::Point(vec![1.0]), ClusterId(1));
+        cache.insert(0, &Payload::Point(vec![2.0]), ClusterId(2));
+        assert_eq!(cache.stats().entries, 2);
+        // Third distinct key clears the map and inserts itself.
+        cache.insert(0, &Payload::Point(vec![3.0]), ClusterId(3));
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(
+            cache.lookup(0, &Payload::Point(vec![3.0])),
+            Some(ClusterId(3))
+        );
+    }
+
+    #[test]
+    fn expired_on_arrival_requests_resolve_deadline_exceeded() {
+        let (run, ds) = categorical_model(6);
+        let server = ModelServer::start(
+            run.model.clone(),
+            // A long flush window guarantees the deadline lapses while the
+            // request is still queued.
+            ServerConfig::default()
+                .workers(1)
+                .flush_latency(Duration::from_millis(80))
+                .adaptive_flush(false),
+        );
+        let ticket = server
+            .submit_row_deadline(ds.row(0).to_vec(), Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(ticket.wait(), Err(ServeError::DeadlineExceeded));
+        // The skip is per-request: an undeadlined submit still serves.
+        assert!(server.predict_row(ds.row(0).to_vec()).is_ok());
+        // Both tickets have been waited on, so both are resolved — the
+        // deadline skip still counts as a resolution, never a leak.
+        let stats = server.ticket_stats();
+        assert_eq!((stats.submitted, stats.resolved), (2, 2));
+        server.shutdown();
+    }
+
+    #[test]
+    fn ticket_stats_balance_after_drain() {
+        let (run, ds) = categorical_model(7);
+        let server = ModelServer::start(run.model, ServerConfig::default().workers(2));
+        let tickets: Vec<_> = (0..ds.n_items())
+            .map(|i| server.submit_row(ds.row(i).to_vec()).unwrap())
+            .collect();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let stats = server.ticket_stats();
+        assert_eq!(stats.submitted, ds.n_items() as u64);
+        assert_eq!(stats.resolved, stats.submitted, "no orphaned tickets");
+        server.shutdown();
+    }
+
+    #[test]
+    fn wait_deadline_times_out_then_still_resolves() {
+        let (run, ds) = categorical_model(8);
+        let server = ModelServer::start(
+            run.model.clone(),
+            ServerConfig::default()
+                .workers(1)
+                .flush_latency(Duration::from_millis(60))
+                .adaptive_flush(false),
+        );
+        let ticket = server.submit_row(ds.row(0).to_vec()).unwrap();
+        // First poll lands inside the coalescing window: still in flight.
+        assert_eq!(ticket.wait_deadline(Duration::from_millis(1)), None);
+        // A bounded wait long past the window must resolve.
+        let served = ticket
+            .wait_deadline(Duration::from_secs(10))
+            .expect("resolves after the flush window")
+            .expect("healthy serve");
+        assert_eq!(served.cluster, run.assignments[0]);
         server.shutdown();
     }
 }

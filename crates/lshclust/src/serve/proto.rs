@@ -1,0 +1,467 @@
+//! The NDJSON serving protocol, transport-agnostic.
+//!
+//! One request per line, one response per line, in request order:
+//!
+//! ```text
+//! → {"predict": {"row": ["a","b"]}, "id": 1}
+//! ← {"id": 1, "ok": {"cluster": 0, "generation": 0}}
+//! → {"predict": {"point": [0.5]}, "deadline_ms": 5}
+//! ← {"ok": {"cluster": 1, "generation": 0}}          (or {"err": "request deadline passed …"})
+//! → {"reload": "model.bin", "id": "r1"}
+//! ← {"id": "r1", "ok": {"reloaded": true, "generation": 1}}
+//! → {"stats": true}
+//! ← {"ok": {"generation": 1, "queue": 0, …, "cache_hits": 42, …}}
+//! → {"shutdown": true}
+//! ← {"ok": {"shutdown": true}}
+//! ```
+//!
+//! The same [`ProtoEngine`] drives both fronts: the single-client stdin
+//! daemon (`cluster serve`) and every connection of the socket transport
+//! ([`super::socket`]). Keeping it here — instead of inside the CLI — is
+//! what lets the fault-injection tests speak the real protocol against a
+//! real in-process server.
+//!
+//! Deadline field semantics (`deadline_ms`, top level, next to `id`):
+//! **absent** → the server's [`ServerConfig::default_deadline`]; **`0`** →
+//! explicitly unbounded (pinned by test); **`n`** → `n` milliseconds from
+//! submission. Legacy clients that never send the field keep working
+//! unchanged.
+
+use super::{ModelServer, PredictTicket, ServeError, ServerConfig};
+use crate::model::FittedModel;
+use serde::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Renders `v` as one NDJSON line (no trailing newline).
+fn json_line(v: Value) -> String {
+    struct OutValue(Value);
+    impl serde::Serialize for OutValue {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+    serde_json::to_string(&OutValue(v)).expect("response serializes")
+}
+
+/// Renders a success response: `{"id": …, "ok": {fields…}}` (the `id` is
+/// echoed only when the request carried one).
+pub fn ok_response(id: Option<&Value>, fields: Vec<(String, Value)>) -> String {
+    let mut entries = Vec::new();
+    if let Some(id) = id {
+        entries.push(("id".to_owned(), id.clone()));
+    }
+    entries.push(("ok".to_owned(), Value::Object(fields)));
+    json_line(Value::Object(entries))
+}
+
+/// Renders a failure response: `{"id": …, "err": "message"}`.
+pub fn err_response(id: Option<&Value>, message: &str) -> String {
+    let mut entries = Vec::new();
+    if let Some(id) = id {
+        entries.push(("id".to_owned(), id.clone()));
+    }
+    entries.push(("err".to_owned(), Value::String(message.to_owned())));
+    json_line(Value::Object(entries))
+}
+
+fn parse_str_row(v: &Value) -> Result<Vec<String>, String> {
+    v.as_array()
+        .ok_or("`row` must be an array of strings")?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| "`row` must be an array of strings".to_owned())
+        })
+        .collect()
+}
+
+fn parse_point(v: &Value) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or("`point` must be an array of numbers")?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| "`point` must be an array of numbers".to_owned())
+        })
+        .collect()
+}
+
+/// A parsed `deadline_ms` field (see the [module docs](self) for the
+/// wire-level semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlineSpec {
+    /// Field absent: use [`ServerConfig::default_deadline`].
+    Default,
+    /// `deadline_ms: 0`: explicitly unbounded, overriding any default.
+    Unbounded,
+    /// `deadline_ms: n` (n > 0): expire `n` milliseconds after submission.
+    After(Duration),
+}
+
+impl DeadlineSpec {
+    /// Reads the top-level `deadline_ms` field of a request line.
+    pub fn parse(request: &Value) -> Result<Self, String> {
+        match request.get("deadline_ms") {
+            None => Ok(DeadlineSpec::Default),
+            Some(v) => match v.as_u64() {
+                Some(0) => Ok(DeadlineSpec::Unbounded),
+                Some(ms) => Ok(DeadlineSpec::After(Duration::from_millis(ms))),
+                None => Err("`deadline_ms` must be a non-negative integer".to_owned()),
+            },
+        }
+    }
+
+    /// The concrete per-request deadline under `config`.
+    pub fn resolve(self, config: &ServerConfig) -> Option<Duration> {
+        match self {
+            DeadlineSpec::Default => config.default_deadline,
+            DeadlineSpec::Unbounded => None,
+            DeadlineSpec::After(d) => Some(d),
+        }
+    }
+}
+
+/// Retries a submission while the queue is full. A protocol front has one
+/// producer per connection — blocking it *is* the backpressure: piped batch
+/// input larger than `queue_depth` gets served in full instead of being
+/// load-shed with thousands of `QueueFull` errors (load shedding is for
+/// many independent callers; a pipe should just slow down).
+pub fn submit_with_backpressure(
+    mut submit: impl FnMut() -> Result<PredictTicket, ServeError>,
+) -> Result<PredictTicket, String> {
+    loop {
+        match submit() {
+            Ok(ticket) => return Ok(ticket),
+            Err(ServeError::QueueFull) => {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// Submits one `predict` payload; string rows — categorical and the
+/// categorical part of mixed requests — go through the server's serve-time
+/// encoding, so hot reloads apply to requests already queued.
+pub fn submit_predict(
+    server: &ModelServer,
+    predict: &Value,
+    deadline: Option<Duration>,
+) -> Result<PredictTicket, String> {
+    match (predict.get("row"), predict.get("point")) {
+        (Some(row), None) => {
+            let row = parse_str_row(row)?;
+            submit_with_backpressure(|| {
+                let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+                server.submit_str_row_deadline(&refs, deadline)
+            })
+        }
+        (None, Some(point)) => {
+            let point = parse_point(point)?;
+            submit_with_backpressure(|| server.submit_point_deadline(point.clone(), deadline))
+        }
+        (Some(row), Some(point)) => {
+            let row = parse_str_row(row)?;
+            let point = parse_point(point)?;
+            // Serve-time encoding (like the row-only path): the categorical
+            // part is interpreted under the schema of the model snapshot
+            // that answers, so a reload can never mix schemas.
+            submit_with_backpressure(|| {
+                let refs: Vec<&str> = row.iter().map(String::as_str).collect();
+                server.submit_str_mixed_deadline(&refs, point.clone(), deadline)
+            })
+        }
+        (None, None) => Err("predict needs `row` (strings) and/or `point` (numbers)".to_owned()),
+    }
+}
+
+/// One ordered reply slot: either a ticket still being served or an
+/// already-rendered control line. Writer loops render these FIFO so
+/// responses leave in request order even though workers finish out of
+/// order.
+pub enum Outgoing {
+    /// A pending prediction; render with [`render_reply`].
+    Ticket {
+        /// The request's `id`, echoed into the response.
+        id: Option<Value>,
+        /// The waitable half of the submitted request.
+        ticket: PredictTicket,
+    },
+    /// A response that is already a complete line.
+    Line(String),
+}
+
+/// Resolves one [`Outgoing`] into its response line. Ticket waits are
+/// bounded by `wait_cap` ([`PredictTicket::wait_deadline`]) so a wedged
+/// worker pool turns into an error response instead of a writer blocked
+/// forever — the satellite fix this PR ships. Deadline-skipped requests
+/// render as `err` lines like any other serve failure.
+pub fn render_reply(out: Outgoing, wait_cap: Duration) -> String {
+    match out {
+        Outgoing::Ticket { id, ticket } => match ticket.wait_deadline(wait_cap) {
+            Some(Ok(p)) => ok_response(
+                id.as_ref(),
+                vec![
+                    ("cluster".to_owned(), serde_json::to_value(&p.cluster.0)),
+                    ("generation".to_owned(), serde_json::to_value(&p.generation)),
+                ],
+            ),
+            Some(Err(e)) => err_response(id.as_ref(), &e.to_string()),
+            None => err_response(
+                id.as_ref(),
+                &format!(
+                    "no reply within {}ms (serving stalled)",
+                    wait_cap.as_millis()
+                ),
+            ),
+        },
+        Outgoing::Line(line) => line,
+    }
+}
+
+/// What a protocol line asks the front to do next.
+pub enum LineOutcome {
+    /// Enqueue this reply and keep reading.
+    Reply(Outgoing),
+    /// Enqueue this reply, then begin shutdown (a `{"shutdown": true}`
+    /// request).
+    Shutdown(Outgoing),
+    /// Nothing to do (blank line).
+    Ignore,
+}
+
+/// The transport-agnostic request handler: parses one NDJSON line and turns
+/// it into an ordered reply. Clone-cheap (`Arc` inside); the socket
+/// transport hands one to every connection.
+#[derive(Clone)]
+pub struct ProtoEngine {
+    server: Arc<ModelServer>,
+    /// Operator `--threads` override, re-applied on every reload so the
+    /// artifact's own `spec.threads` can't silently take over.
+    threads_override: Option<usize>,
+}
+
+impl ProtoEngine {
+    /// Wraps `server`; `threads_override` is re-applied to reloaded models.
+    pub fn new(server: Arc<ModelServer>, threads_override: Option<usize>) -> Self {
+        Self {
+            server,
+            threads_override,
+        }
+    }
+
+    /// The served model server.
+    pub fn server(&self) -> &Arc<ModelServer> {
+        &self.server
+    }
+
+    /// Handles one raw protocol line.
+    pub fn handle_line(&self, line: &str) -> LineOutcome {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            return LineOutcome::Ignore;
+        }
+        let value = match serde_json::parse(trimmed) {
+            Ok(v) => v,
+            Err(e) => {
+                return LineOutcome::Reply(Outgoing::Line(err_response(
+                    None,
+                    &format!("bad JSON: {e}"),
+                )));
+            }
+        };
+        let id = value.get("id").cloned();
+        if let Some(predict) = value.get("predict") {
+            let submitted = DeadlineSpec::parse(&value)
+                .map(|spec| spec.resolve(self.server.config()))
+                .and_then(|deadline| submit_predict(&self.server, predict, deadline));
+            LineOutcome::Reply(match submitted {
+                Ok(ticket) => Outgoing::Ticket { id, ticket },
+                Err(e) => Outgoing::Line(err_response(id.as_ref(), &e)),
+            })
+        } else if let Some(reload) = value.get("reload") {
+            LineOutcome::Reply(Outgoing::Line(self.handle_reload(id.as_ref(), reload)))
+        } else if value.get("stats").is_some() {
+            LineOutcome::Reply(Outgoing::Line(self.render_stats(id.as_ref())))
+        } else if value.get("shutdown").is_some() {
+            LineOutcome::Shutdown(Outgoing::Line(ok_response(
+                id.as_ref(),
+                vec![("shutdown".to_owned(), Value::Bool(true))],
+            )))
+        } else {
+            LineOutcome::Reply(Outgoing::Line(err_response(
+                id.as_ref(),
+                "unknown request: expected `predict`, `reload`, `stats`, or `shutdown`",
+            )))
+        }
+    }
+
+    fn handle_reload(&self, id: Option<&Value>, reload: &Value) -> String {
+        match reload.as_str() {
+            // `load` sniffs the envelope, so `{"reload": path}` accepts v1
+            // JSON and v2 binary artifacts alike — the v2 decode copies the
+            // index instead of re-hashing it, keeping the pre-swap pause
+            // short. Parse/validate completes before the handle's write
+            // lock is touched, and the generation bump invalidates the
+            // hot-key cache as a side effect.
+            Some(path) => FittedModel::load(path)
+                .map_err(|e| format!("{path}: {e}"))
+                .map(|mut model| {
+                    if let Some(threads) = self.threads_override {
+                        model.set_threads(threads);
+                    }
+                    self.server.handle().reload(model)
+                })
+                .map_or_else(
+                    |e| err_response(id, &e),
+                    |generation| {
+                        ok_response(
+                            id,
+                            vec![
+                                ("reloaded".to_owned(), Value::Bool(true)),
+                                ("generation".to_owned(), serde_json::to_value(&generation)),
+                            ],
+                        )
+                    },
+                ),
+            None => err_response(id, "reload takes a model artifact path string"),
+        }
+    }
+
+    fn render_stats(&self, id: Option<&Value>) -> String {
+        let server = &self.server;
+        let model = server.model();
+        let cache = server.hot_key_stats();
+        let tickets = server.ticket_stats();
+        ok_response(
+            id,
+            vec![
+                (
+                    "generation".to_owned(),
+                    serde_json::to_value(&server.generation()),
+                ),
+                (
+                    "queue".to_owned(),
+                    serde_json::to_value(&server.queue_len()),
+                ),
+                (
+                    "modality".to_owned(),
+                    Value::String(model.modality().to_owned()),
+                ),
+                ("k".to_owned(), serde_json::to_value(&model.k())),
+                (
+                    "workers".to_owned(),
+                    serde_json::to_value(&server.config().workers),
+                ),
+                (
+                    "max_batch".to_owned(),
+                    serde_json::to_value(&server.config().max_batch),
+                ),
+                ("cache_hits".to_owned(), serde_json::to_value(&cache.hits)),
+                (
+                    "cache_misses".to_owned(),
+                    serde_json::to_value(&cache.misses),
+                ),
+                (
+                    "cache_entries".to_owned(),
+                    serde_json::to_value(&cache.entries),
+                ),
+                (
+                    "submitted".to_owned(),
+                    serde_json::to_value(&tickets.submitted),
+                ),
+                (
+                    "resolved".to_owned(),
+                    serde_json::to_value(&tickets.resolved),
+                ),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ClusterSpec, Clusterer, Lsh, NumericDataset};
+
+    fn engine() -> ProtoEngine {
+        let data = NumericDataset::new(1, vec![0.0, 0.2, 0.4, 9.0, 9.2, 9.4]);
+        let spec = ClusterSpec::new(2).lsh(Lsh::SimHash { bands: 8, rows: 2 });
+        let run = Clusterer::new(spec).fit(&data).unwrap();
+        let server = Arc::new(ModelServer::start(
+            run.model,
+            ServerConfig::default().workers(1),
+        ));
+        ProtoEngine::new(server, None)
+    }
+
+    fn reply_line(engine: &ProtoEngine, line: &str) -> String {
+        match engine.handle_line(line) {
+            LineOutcome::Reply(out) | LineOutcome::Shutdown(out) => {
+                render_reply(out, Duration::from_secs(10))
+            }
+            LineOutcome::Ignore => panic!("expected a reply for {line:?}"),
+        }
+    }
+
+    #[test]
+    fn predict_reload_stats_shutdown_round_trip() {
+        let engine = engine();
+        let ok = reply_line(&engine, r#"{"predict": {"point": [0.1]}, "id": 7}"#);
+        assert!(ok.contains(r#""id":7"#) && ok.contains("cluster"), "{ok}");
+        let stats = reply_line(&engine, r#"{"stats": true}"#);
+        for field in ["cache_hits", "submitted", "resolved", "queue"] {
+            assert!(stats.contains(field), "missing {field}: {stats}");
+        }
+        assert!(matches!(
+            engine.handle_line(r#"{"shutdown": true}"#),
+            LineOutcome::Shutdown(_)
+        ));
+        assert!(matches!(engine.handle_line("   "), LineOutcome::Ignore));
+    }
+
+    #[test]
+    fn malformed_lines_answer_with_err_not_panic() {
+        let engine = engine();
+        for bad in [
+            "{not json",
+            r#"{"predict": {}}"#,
+            r#"{"predict": {"row": [1]}}"#,
+            r#"{"predict": {"point": ["x"]}}"#,
+            r#"{"frobnicate": 1}"#,
+            r#"{"reload": 42}"#,
+            r#"{"predict": {"point": [0.1]}, "deadline_ms": -3}"#,
+            r#"{"predict": {"point": [0.1]}, "deadline_ms": "soon"}"#,
+        ] {
+            let reply = reply_line(&engine, bad);
+            assert!(reply.contains(r#""err""#), "{bad} => {reply}");
+        }
+    }
+
+    #[test]
+    fn deadline_field_semantics_are_absent_default_zero_unbounded() {
+        let absent = serde_json::parse(r#"{"predict": {"point": [0.1]}}"#).unwrap();
+        assert_eq!(DeadlineSpec::parse(&absent).unwrap(), DeadlineSpec::Default);
+        let zero = serde_json::parse(r#"{"deadline_ms": 0}"#).unwrap();
+        assert_eq!(DeadlineSpec::parse(&zero).unwrap(), DeadlineSpec::Unbounded);
+        let five = serde_json::parse(r#"{"deadline_ms": 5}"#).unwrap();
+        assert_eq!(
+            DeadlineSpec::parse(&five).unwrap(),
+            DeadlineSpec::After(Duration::from_millis(5))
+        );
+
+        // Resolution against a config default: absent inherits, 0 pins off.
+        let config = ServerConfig::default().default_deadline(Some(Duration::from_millis(50)));
+        assert_eq!(
+            DeadlineSpec::Default.resolve(&config),
+            Some(Duration::from_millis(50))
+        );
+        assert_eq!(DeadlineSpec::Unbounded.resolve(&config), None);
+        assert_eq!(
+            DeadlineSpec::After(Duration::from_millis(5)).resolve(&config),
+            Some(Duration::from_millis(5))
+        );
+    }
+}

@@ -10,9 +10,13 @@
 //!   drains every accepted request, and submits after shutdown fail.
 
 use lshclust::serve::{ModelServer, ServeError, ServerConfig};
-use lshclust::{ClusterSpec, Clusterer, DatasetBuilder, Lsh, NumericDataset};
+use lshclust::{
+    ClusterId, ClusterSpec, Clusterer, DatasetBuilder, FittedModel, Lsh, NumericDataset,
+};
 use lshclust_kmodes::kprototypes::MixedDataset;
-use std::time::Duration;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
 fn categorical_blobs(groups: usize, per_group: usize, n_attrs: usize) -> lshclust::Dataset {
     let mut b = DatasetBuilder::anonymous(n_attrs);
@@ -443,4 +447,342 @@ fn set_threads_zero_clamps_to_one_like_every_other_boundary() {
     model.set_threads(3);
     let reloaded = lshclust::FittedModel::from_json(&model.to_json()).unwrap();
     assert_eq!(reloaded.spec().threads, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline semantics
+// ---------------------------------------------------------------------------
+
+#[test]
+fn expired_on_arrival_requests_are_never_scored() {
+    let ds = categorical_blobs(2, 6, 4);
+    let run = Clusterer::new(ClusterSpec::new(2).lsh(Lsh::MinHash { bands: 8, rows: 2 }))
+        .fit(&ds)
+        .unwrap();
+    // Cache enabled so the hit/miss counters witness every trip through the
+    // scoring path; a long fixed flush guarantees the deadline has passed by
+    // the time the worker pops the batch.
+    let server = ModelServer::start(
+        run.model.clone(),
+        ServerConfig::default()
+            .workers(1)
+            .max_batch(64)
+            .flush_latency(Duration::from_millis(30))
+            .adaptive_flush(false)
+            .hot_keys(64),
+    );
+    let tickets: Vec<_> = (0..6)
+        .map(|i| {
+            server
+                .submit_row_deadline(ds.row(i).to_vec(), Some(Duration::ZERO))
+                .unwrap()
+        })
+        .collect();
+    for t in tickets {
+        match t.wait() {
+            Err(ServeError::DeadlineExceeded) => {}
+            other => panic!("expired-on-arrival must resolve DeadlineExceeded, got {other:?}"),
+        }
+    }
+    // An expired request replies before the cache lookup, so neither counter
+    // moved: nothing was scored, nothing was cached.
+    let cache = server.hot_key_stats();
+    assert_eq!((cache.hits, cache.misses, cache.entries), (0, 0, 0));
+    let tickets = server.ticket_stats();
+    assert_eq!(
+        (tickets.submitted, tickets.resolved),
+        (6, 6),
+        "deadline skips still resolve their tickets"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn default_deadline_covers_plain_submits_and_explicit_none_overrides_it() {
+    let ds = categorical_blobs(2, 5, 4);
+    let run = Clusterer::new(ClusterSpec::new(2).lsh(Lsh::MinHash { bands: 8, rows: 2 }))
+        .fit(&ds)
+        .unwrap();
+    let server = ModelServer::start(
+        run.model.clone(),
+        ServerConfig::default()
+            .workers(1)
+            .max_batch(16)
+            .flush_latency(Duration::from_millis(10))
+            .adaptive_flush(false)
+            .default_deadline(Some(Duration::ZERO)),
+    );
+    // Plain submits inherit the (instantly-expired) config default...
+    match server.predict_row(ds.row(0).to_vec()) {
+        Err(ServeError::DeadlineExceeded) => {}
+        other => panic!("config default deadline must apply, got {other:?}"),
+    }
+    // ...and an explicit `None` opts a single request out of it entirely.
+    let served = server
+        .submit_row_deadline(ds.row(0).to_vec(), None)
+        .unwrap()
+        .wait()
+        .expect("deadline-exempt request is served");
+    assert_eq!(served.cluster, run.model.predict_one(ds.row(0)).unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn saturated_queue_resolves_deadlined_tickets_promptly() {
+    let ds = categorical_blobs(2, 6, 4);
+    let run = Clusterer::new(ClusterSpec::new(2).lsh(Lsh::MinHash { bands: 8, rows: 2 }))
+        .fit(&ds)
+        .unwrap();
+    // One worker parked in a long fixed flush window while the queue fills:
+    // deadlined requests sit in the queue past their deadline, and the pop
+    // must resolve them as DeadlineExceeded instead of scoring stale work.
+    let server = ModelServer::start(
+        run.model.clone(),
+        ServerConfig::default()
+            .workers(1)
+            .max_batch(64)
+            .flush_latency(Duration::from_millis(150))
+            .adaptive_flush(false)
+            .queue_depth(256),
+    );
+    let started = Instant::now();
+    let deadlined: Vec<_> = (0..24)
+        .map(|i| {
+            server
+                .submit_row_deadline(
+                    ds.row(i % ds.n_items()).to_vec(),
+                    Some(Duration::from_millis(2)),
+                )
+                .unwrap()
+        })
+        .collect();
+    let exempt = server
+        .submit_row_deadline(ds.row(0).to_vec(), None)
+        .unwrap();
+    let mut expired = 0usize;
+    for t in deadlined {
+        match t.wait() {
+            Err(ServeError::DeadlineExceeded) => expired += 1,
+            Ok(_) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(
+        expired > 0,
+        "a 2ms deadline under a 150ms flush must expire"
+    );
+    // Deadlined tickets resolve at the same pop as the rest of the batch —
+    // nothing hangs for anything like the wait-cap timescale.
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "deadlined tickets must resolve promptly, took {:?}",
+        started.elapsed()
+    );
+    // The same batch still serves requests that carried no deadline.
+    let served = exempt.wait().expect("deadline-free request is served");
+    assert_eq!(served.cluster, run.model.predict_one(ds.row(0)).unwrap());
+    let tickets = server.ticket_stats();
+    assert_eq!(tickets.submitted, tickets.resolved);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Hot-key cache: byte-identity properties
+// ---------------------------------------------------------------------------
+
+/// Fixtures are fitted once per process: proptest cases then only pay for
+/// server startup and queries, not refits.
+struct CatFixture {
+    ds: lshclust::Dataset,
+    model: FittedModel,
+    expected: Vec<ClusterId>,
+}
+
+fn cat_fixture() -> &'static CatFixture {
+    static FIX: OnceLock<CatFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let ds = categorical_blobs(4, 8, 6);
+        let spec = ClusterSpec::new(4)
+            .lsh(Lsh::MinHash { bands: 10, rows: 2 })
+            .seed(5);
+        let run = Clusterer::new(spec).fit(&ds).unwrap();
+        let expected = run.model.predict(&ds).unwrap();
+        CatFixture {
+            ds,
+            model: run.model,
+            expected,
+        }
+    })
+}
+
+struct NumFixture {
+    data: NumericDataset,
+    model: FittedModel,
+    expected: Vec<ClusterId>,
+}
+
+fn num_fixture() -> &'static NumFixture {
+    static FIX: OnceLock<NumFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let data = numeric_blobs(3, 10, 4);
+        let spec = ClusterSpec::new(3)
+            .lsh(Lsh::SimHash { bands: 6, rows: 4 })
+            .seed(2);
+        let run = Clusterer::new(spec).fit(&data).unwrap();
+        let expected = run.model.predict(&data).unwrap();
+        NumFixture {
+            data,
+            model: run.model,
+            expected,
+        }
+    })
+}
+
+struct MixedFixture {
+    cat: lshclust::Dataset,
+    num: NumericDataset,
+    model: FittedModel,
+    expected: Vec<ClusterId>,
+}
+
+fn mixed_fixture() -> &'static MixedFixture {
+    static FIX: OnceLock<MixedFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let cat = categorical_blobs(3, 8, 4);
+        let num = numeric_blobs(3, 8, 3);
+        let data = MixedDataset::new(&cat, &num);
+        let spec = ClusterSpec::new(3)
+            .lsh(Lsh::Union {
+                bands: 10,
+                rows: 2,
+                sim_bands: 4,
+                sim_rows: 8,
+            })
+            .seed(3);
+        let run = Clusterer::new(spec).fit(&data).unwrap();
+        let expected = run.model.predict(&data).unwrap();
+        MixedFixture {
+            cat,
+            num,
+            model: run.model,
+            expected,
+        }
+    })
+}
+
+fn cached_pair(model: &FittedModel) -> (ModelServer, ModelServer) {
+    let cached = ModelServer::start(model.clone(), coalescing_config().hot_keys(512));
+    let uncached = ModelServer::start(model.clone(), coalescing_config().hot_keys(0));
+    (cached, uncached)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For any query sequence (replayed twice so every key repeats), the
+    /// cached server, the uncached server, and serial `predict` agree
+    /// byte-for-byte — and the second pass is answered from the cache.
+    #[test]
+    fn cached_and_uncached_categorical_serving_agree(
+        indices in prop::collection::vec(0usize..32, 8..40),
+    ) {
+        let fix = cat_fixture();
+        let (cached, uncached) = cached_pair(&fix.model);
+        for pass in 0..2 {
+            for &i in &indices {
+                let a = cached.predict_row(fix.ds.row(i).to_vec()).unwrap();
+                let b = uncached.predict_row(fix.ds.row(i).to_vec()).unwrap();
+                prop_assert_eq!(a.cluster, fix.expected[i], "pass {} row {}", pass, i);
+                prop_assert_eq!(b.cluster, fix.expected[i], "pass {} row {}", pass, i);
+            }
+        }
+        let stats = cached.hot_key_stats();
+        prop_assert!(
+            stats.hits >= indices.len() as u64,
+            "second pass must be cache hits: {} hits for {} repeats",
+            stats.hits, indices.len()
+        );
+        prop_assert_eq!(uncached.hot_key_stats(), Default::default(), "hot_keys(0) disables");
+        cached.shutdown();
+        uncached.shutdown();
+    }
+
+    #[test]
+    fn cached_and_uncached_numeric_serving_agree(
+        indices in prop::collection::vec(0usize..30, 8..40),
+    ) {
+        let fix = num_fixture();
+        let (cached, uncached) = cached_pair(&fix.model);
+        for pass in 0..2 {
+            for &i in &indices {
+                let a = cached.predict_point(fix.data.row(i).to_vec()).unwrap();
+                let b = uncached.predict_point(fix.data.row(i).to_vec()).unwrap();
+                prop_assert_eq!(a.cluster, fix.expected[i], "pass {} point {}", pass, i);
+                prop_assert_eq!(b.cluster, fix.expected[i], "pass {} point {}", pass, i);
+            }
+        }
+        prop_assert!(cached.hot_key_stats().hits >= indices.len() as u64);
+        cached.shutdown();
+        uncached.shutdown();
+    }
+
+    #[test]
+    fn cached_and_uncached_mixed_serving_agree(
+        indices in prop::collection::vec(0usize..24, 8..40),
+    ) {
+        let fix = mixed_fixture();
+        let (cached, uncached) = cached_pair(&fix.model);
+        for pass in 0..2 {
+            for &i in &indices {
+                let a = cached
+                    .predict_mixed(fix.cat.row(i).to_vec(), fix.num.row(i).to_vec())
+                    .unwrap();
+                let b = uncached
+                    .predict_mixed(fix.cat.row(i).to_vec(), fix.num.row(i).to_vec())
+                    .unwrap();
+                prop_assert_eq!(a.cluster, fix.expected[i], "pass {} item {}", pass, i);
+                prop_assert_eq!(b.cluster, fix.expected[i], "pass {} item {}", pass, i);
+            }
+        }
+        prop_assert!(cached.hot_key_stats().hits >= indices.len() as u64);
+        cached.shutdown();
+        uncached.shutdown();
+    }
+
+    /// A reload must invalidate the cache: after the generation bump, every
+    /// answer matches the *new* model's serial predict even for keys the old
+    /// generation had cached.
+    #[test]
+    fn reload_invalidates_the_hot_key_cache(
+        indices in prop::collection::vec(0usize..24, 8..30),
+    ) {
+        static V2: OnceLock<(FittedModel, Vec<ClusterId>)> = OnceLock::new();
+        let fix = cat_fixture();
+        let (v2, v2_expected) = V2.get_or_init(|| {
+            let spec = ClusterSpec::new(4)
+                .lsh(Lsh::MinHash { bands: 10, rows: 2 })
+                .seed(17);
+            let run = Clusterer::new(spec).fit(&fix.ds).unwrap();
+            let expected = run.model.predict(&fix.ds).unwrap();
+            (run.model, expected)
+        });
+        let server = ModelServer::start(fix.model.clone(), coalescing_config().hot_keys(512));
+        // Populate the cache with generation-0 answers for these exact keys.
+        for &i in &indices {
+            let served = server.predict_row(fix.ds.row(i).to_vec()).unwrap();
+            prop_assert_eq!(served.cluster, fix.expected[i]);
+        }
+        prop_assert_eq!(server.reload(v2.clone()), 1);
+        // The same keys must now answer from the new model — a stale hit
+        // would surface wherever the two fits disagree.
+        for &i in &indices {
+            let served = server.predict_row(fix.ds.row(i).to_vec()).unwrap();
+            prop_assert_eq!(served.generation, 1u64);
+            prop_assert_eq!(
+                served.cluster, v2_expected[i],
+                "stale cache hit at row {} after reload", i
+            );
+        }
+        server.shutdown();
+    }
 }
