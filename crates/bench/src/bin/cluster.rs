@@ -5,9 +5,9 @@
 //! cluster fit      --input data.csv --k 1000 --model model.json [options]
 //! cluster predict  --model model.json --input new.csv [--output out.csv] [--threads N]
 //! cluster inspect  --model model.json
-//! cluster serve    --model model.json [--listen ADDR] [--workers N] [--max-batch N]
-//!                  [--flush-us N] [--fixed-flush] [--queue-depth N] [--deadline-ms N]
-//!                  [--hot-keys N] [--threads N]
+//! cluster serve    --model model.json [--listen ADDR] [--allow-remote-shutdown]
+//!                  [--workers N] [--max-batch N] [--flush-us N] [--fixed-flush]
+//!                  [--queue-depth N] [--deadline-ms N] [--hot-keys N] [--threads N]
 //! cluster artifact ls|verify|gc --dir DIR [--max-bytes N]
 //! cluster shard-worker
 //! ```
@@ -41,6 +41,12 @@
 //!   {"stats": true}                                    server introspection
 //!   {"shutdown": true}                                 drain + exit (EOF works too)
 //! ```
+//!
+//! `shutdown` stops the whole daemon, so a `--listen` address that is not
+//! loopback refuses it (answering `err`) unless `--allow-remote-shutdown`
+//! is given — an exposed TCP listener must not hand every network peer an
+//! unauthenticated kill switch. Stdin, Unix-socket, and loopback fronts
+//! always honor it.
 //!
 //! and one response per line, in request order: `{"id": 7, "ok": {"cluster":
 //! 3, "generation": 0}}` or `{"id": 7, "err": "..."}`. `reload` swaps the
@@ -168,6 +174,10 @@ struct ServeArgs {
     /// Socket to listen on (`host:port` for TCP, a path for Unix domain);
     /// absent = the single-client stdin/stdout loop.
     listen: Option<String>,
+    /// Honor `{"shutdown": true}` even on a non-loopback TCP listener.
+    /// Off by default: an exposed listener must not give every peer on the
+    /// network an unauthenticated kill switch.
+    allow_remote_shutdown: bool,
 }
 
 enum Command {
@@ -179,7 +189,7 @@ enum Command {
     ShardWorker,
 }
 
-const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json [--v2]] [--cache-dir DIR] [--shards N [--worker-cmd CMD]] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--listen ADDR] [--workers N] [--max-batch N] [--flush-us N] [--fixed-flush] [--queue-depth N] [--deadline-ms N] [--hot-keys N] [--threads N]\n  cluster artifact ls|verify|gc --dir DIR [--max-bytes N]\n  cluster shard-worker";
+const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json [--v2]] [--cache-dir DIR] [--shards N [--worker-cmd CMD]] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--listen ADDR] [--allow-remote-shutdown] [--workers N] [--max-batch N] [--flush-us N] [--fixed-flush] [--queue-depth N] [--deadline-ms N] [--hot-keys N] [--threads N]\n    ({\"shutdown\": true} is refused on non-loopback TCP listeners unless --allow-remote-shutdown is given)\n  cluster artifact ls|verify|gc --dir DIR [--max-bytes N]\n  cluster shard-worker";
 
 fn parse_artifact(flags: impl IntoIterator<Item = String>) -> Result<ArtifactArgs, String> {
     let mut argv = flags.into_iter();
@@ -257,6 +267,7 @@ fn parse_serve(flags: impl IntoIterator<Item = String>) -> Result<ServeArgs, Str
         config: lshclust::ServerConfig::default(),
         threads: None,
         listen: None,
+        allow_remote_shutdown: false,
     };
     fn parse<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
     where
@@ -293,6 +304,7 @@ fn parse_serve(flags: impl IntoIterator<Item = String>) -> Result<ServeArgs, Str
                 args.config.hot_keys = parse("--hot-keys", value("--hot-keys")?)?;
             }
             "--listen" => args.listen = Some(value("--listen")?),
+            "--allow-remote-shutdown" => args.allow_remote_shutdown = true,
             "--threads" => args.threads = Some(parse("--threads", value("--threads")?)?),
             other => return Err(format!("unknown argument {other}")),
         }
@@ -930,6 +942,23 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
                 ));
             }
         } else {
+            // A non-loopback TCP listener is reachable by untrusted peers;
+            // unless the operator opted in, refuse the protocol's shutdown
+            // request there — otherwise any client could kill the daemon.
+            use std::net::ToSocketAddrs as _;
+            let remote_exposed = listen
+                .to_socket_addrs()
+                .map(|mut addrs| addrs.any(|a| !a.ip().is_loopback()))
+                .unwrap_or(false);
+            let engine = if remote_exposed && !args.allow_remote_shutdown {
+                eprintln!(
+                    "serve: {listen} is not loopback; {{\"shutdown\"}} requests will be refused \
+                     (pass --allow-remote-shutdown to accept them)"
+                );
+                engine.allow_shutdown(false)
+            } else {
+                engine
+            };
             lshclust::SocketServer::bind_tcp(listen, engine, options)
         }
         .map_err(|e| format!("{listen}: {e}"))?;
@@ -1293,6 +1322,17 @@ mod tests {
         );
         assert!(!args.config.adaptive_flush);
         assert_eq!(args.config.hot_keys, 512);
+        // Remote shutdown stays opt-in.
+        assert!(!args.allow_remote_shutdown);
+        let opted = parse_serve(flags(&[
+            "--model",
+            "m.json",
+            "--listen",
+            "0.0.0.0:7777",
+            "--allow-remote-shutdown",
+        ]))
+        .unwrap();
+        assert!(opted.allow_remote_shutdown);
 
         // --deadline-ms 0 pins "no deadline", mirroring the wire field.
         let unbounded = parse_serve(flags(&["--model", "m.json", "--deadline-ms", "0"])).unwrap();

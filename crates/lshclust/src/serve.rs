@@ -646,8 +646,10 @@ impl ModelServer {
     /// `close_intake` + quiesce) the two must be equal; the fault-injection
     /// suite asserts exactly that to prove no injected fault leaks tickets.
     pub fn ticket_stats(&self) -> TicketStats {
-        // resolved first: a request resolving between the two loads can at
-        // worst make resolved look smaller (never larger) than submitted.
+        // `submitted` is counted before a request becomes visible to
+        // workers (see submit()), and `resolved` is loaded first here, so a
+        // snapshot can at worst under-report resolved — it can never show
+        // resolved > submitted.
         let resolved = self.resolved.load(Ordering::Acquire);
         TicketStats {
             submitted: self.submitted.load(Ordering::Acquire),
@@ -662,17 +664,25 @@ impl ModelServer {
     ) -> Result<PredictTicket, ServeError> {
         let deadline = deadline.map(|d| Instant::now() + d);
         let (reply, rx) = mpsc::channel();
+        // Count before the push: a worker can pop and resolve the request
+        // the instant it lands in the queue, and its submission must already
+        // be visible by then (`resolved > submitted` must never be
+        // observable). Rejected pushes undo the count.
+        self.submitted.fetch_add(1, Ordering::Release);
         match self.queue.push(Request {
             payload,
             deadline,
             reply,
         }) {
-            Ok(()) => {
-                self.submitted.fetch_add(1, Ordering::Release);
-                Ok(PredictTicket { rx })
+            Ok(()) => Ok(PredictTicket { rx }),
+            Err(QueuePushError::Full(_)) => {
+                self.submitted.fetch_sub(1, Ordering::Release);
+                Err(ServeError::QueueFull)
             }
-            Err(QueuePushError::Full(_)) => Err(ServeError::QueueFull),
-            Err(QueuePushError::Closed(_)) => Err(ServeError::ShutDown),
+            Err(QueuePushError::Closed(_)) => {
+                self.submitted.fetch_sub(1, Ordering::Release);
+                Err(ServeError::ShutDown)
+            }
         }
     }
 

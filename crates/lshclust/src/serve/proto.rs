@@ -26,6 +26,12 @@
 //! explicitly unbounded (pinned by test); **`n`** → `n` milliseconds from
 //! submission. Legacy clients that never send the field keep working
 //! unchanged.
+//!
+//! `{"shutdown": true}` stops the whole server, so fronts exposed to
+//! untrusted peers can refuse it ([`ProtoEngine::allow_shutdown`]): the
+//! request then answers with `err` and serving continues. The CLI keeps
+//! shutdown enabled for stdin, Unix sockets, and loopback TCP, and
+//! requires `--allow-remote-shutdown` for anything else.
 
 use super::{ModelServer, PredictTicket, ServeError, ServerConfig};
 use crate::model::FittedModel;
@@ -241,15 +247,31 @@ pub struct ProtoEngine {
     /// Operator `--threads` override, re-applied on every reload so the
     /// artifact's own `spec.threads` can't silently take over.
     threads_override: Option<usize>,
+    /// Whether `{"shutdown": true}` is honored on this front. `true` for
+    /// trusted fronts (stdin, Unix socket, loopback TCP); the CLI sets
+    /// `false` for non-loopback TCP listeners unless the operator passes
+    /// `--allow-remote-shutdown`, so exposing `--listen` to a network
+    /// does not hand every peer an unauthenticated kill switch.
+    allow_shutdown: bool,
 }
 
 impl ProtoEngine {
     /// Wraps `server`; `threads_override` is re-applied to reloaded models.
+    /// Shutdown requests are honored by default ([`Self::allow_shutdown`]).
     pub fn new(server: Arc<ModelServer>, threads_override: Option<usize>) -> Self {
         Self {
             server,
             threads_override,
+            allow_shutdown: true,
         }
+    }
+
+    /// Sets whether `{"shutdown": true}` stops the server on this front;
+    /// when disabled the request is answered with an `err` line and serving
+    /// continues (stop the daemon from a trusted front or by signal).
+    pub fn allow_shutdown(mut self, allow: bool) -> Self {
+        self.allow_shutdown = allow;
+        self
     }
 
     /// The served model server.
@@ -286,10 +308,17 @@ impl ProtoEngine {
         } else if value.get("stats").is_some() {
             LineOutcome::Reply(Outgoing::Line(self.render_stats(id.as_ref())))
         } else if value.get("shutdown").is_some() {
-            LineOutcome::Shutdown(Outgoing::Line(ok_response(
-                id.as_ref(),
-                vec![("shutdown".to_owned(), Value::Bool(true))],
-            )))
+            if self.allow_shutdown {
+                LineOutcome::Shutdown(Outgoing::Line(ok_response(
+                    id.as_ref(),
+                    vec![("shutdown".to_owned(), Value::Bool(true))],
+                )))
+            } else {
+                LineOutcome::Reply(Outgoing::Line(err_response(
+                    id.as_ref(),
+                    "shutdown is disabled on this listener (serve with --allow-remote-shutdown to enable)",
+                )))
+            }
         } else {
             LineOutcome::Reply(Outgoing::Line(err_response(
                 id.as_ref(),
@@ -438,6 +467,25 @@ mod tests {
             let reply = reply_line(&engine, bad);
             assert!(reply.contains(r#""err""#), "{bad} => {reply}");
         }
+    }
+
+    #[test]
+    fn shutdown_can_be_disallowed_per_front() {
+        let engine = engine().allow_shutdown(false);
+        let reply = reply_line(&engine, r#"{"shutdown": true, "id": 3}"#);
+        assert!(
+            reply.contains(r#""err""#) && reply.contains("disabled"),
+            "{reply}"
+        );
+        // The refusal answers without stopping: predicts still serve.
+        let ok = reply_line(&engine, r#"{"predict": {"point": [0.1]}}"#);
+        assert!(ok.contains("cluster"), "{ok}");
+        // Re-enabling restores the normal shutdown outcome.
+        let engine = engine.allow_shutdown(true);
+        assert!(matches!(
+            engine.handle_line(r#"{"shutdown": true}"#),
+            LineOutcome::Shutdown(_)
+        ));
     }
 
     #[test]

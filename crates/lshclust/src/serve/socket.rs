@@ -37,6 +37,7 @@
 
 use super::proto::{err_response, render_reply, LineOutcome, Outgoing, ProtoEngine};
 use super::{HotKeyStats, TicketStats};
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
@@ -190,10 +191,13 @@ struct Shared {
     stopped: Condvar,
     connections: AtomicU64,
     lines: AtomicU64,
-    /// Read-half clones of live connections, so the drain can force
-    /// blocked readers to EOF.
-    conns: Mutex<Vec<Stream>>,
-    /// Per-connection thread handles, joined by the drain.
+    /// Read-half clones of live connections keyed by connection id, so the
+    /// drain can force blocked readers to EOF. Each connection removes its
+    /// own entry (closing the clone) when it ends — a long-lived daemon
+    /// must not accumulate one fd per past client.
+    conns: Mutex<HashMap<u64, Stream>>,
+    /// Live connection thread handles; finished ones are reaped by the
+    /// accept loop, the rest joined by the drain.
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -230,15 +234,32 @@ impl SocketServer {
         Self::spawn(Listener::Tcp(listener), engine, options, local_addr)
     }
 
-    /// Binds a Unix-domain listener on `path` (removing a stale socket
-    /// file first) and starts accepting clients.
+    /// Binds a Unix-domain listener on `path` and starts accepting clients.
+    ///
+    /// A leftover socket file from a crashed server is removed, but only
+    /// after probing it: if something still answers on `path` this fails
+    /// with `AddrInUse` instead of silently deleting the live socket out
+    /// from under the running server (which would leave it serving nobody).
     #[cfg(unix)]
     pub fn bind_unix(
         path: &std::path::Path,
         engine: ProtoEngine,
         options: SocketOptions,
     ) -> io::Result<SocketServer> {
-        let _ = std::fs::remove_file(path);
+        match UnixStream::connect(path) {
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::AddrInUse,
+                    format!("a server is already listening on {}", path.display()),
+                ));
+            }
+            // Nothing there: bind directly.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            // Stale file (typically ConnectionRefused): safe to reclaim.
+            Err(_) => {
+                let _ = std::fs::remove_file(path);
+            }
+        }
         let listener = UnixListener::bind(path)?;
         Self::spawn(Listener::Unix(listener), engine, options, None)
     }
@@ -261,7 +282,7 @@ impl SocketServer {
             stopped: Condvar::new(),
             connections: AtomicU64::new(0),
             lines: AtomicU64::new(0),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
             threads: Mutex::new(Vec::new()),
         });
         let accept = {
@@ -283,6 +304,16 @@ impl SocketServer {
     /// The protocol engine (and through it the [`super::ModelServer`]).
     pub fn engine(&self) -> &ProtoEngine {
         &self.shared.engine
+    }
+
+    /// Connections still tracked by the server (racy by nature — for
+    /// monitoring and tests). Ended connections leave both registries
+    /// promptly, so this does NOT grow with the total connection count:
+    /// the fault suite asserts it returns to zero after clients disconnect.
+    pub fn live_connections(&self) -> usize {
+        let conns = self.shared.conns.lock().expect("conn registry").len();
+        let threads = self.shared.threads.lock().expect("thread registry").len();
+        conns.max(threads)
     }
 
     /// Blocks until a client requests `{"shutdown": true}`, then runs the
@@ -311,17 +342,21 @@ impl SocketServer {
         // Lame duck: queued work keeps draining, new submits fail ShutDown.
         server.close_intake();
         // Force blocked readers to EOF; their writers then flush what was
-        // accepted and exit on the closed channel.
-        for stream in self.shared.conns.lock().expect("conn registry").drain(..) {
+        // accepted and exit on the closed channel. Collect outside the lock
+        // so exiting connections (which remove their own entries) never
+        // contend with the join loop.
+        let streams: Vec<Stream> = {
+            let mut conns = self.shared.conns.lock().expect("conn registry");
+            conns.drain().map(|(_, stream)| stream).collect()
+        };
+        for stream in streams {
             stream.shutdown(Shutdown::Read);
         }
-        for handle in self
-            .shared
-            .threads
-            .lock()
-            .expect("thread registry")
-            .drain(..)
-        {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut threads = self.shared.threads.lock().expect("thread registry");
+            threads.drain(..).collect()
+        };
+        for handle in handles {
             let _ = handle.join();
         }
         // Quiesce: connection threads are gone, so `submitted` is final;
@@ -358,6 +393,7 @@ fn accept_loop(listener: Listener, shared: &Arc<Shared>) {
         if shared.stopping() {
             break;
         }
+        reap_finished(shared);
         let accepted = match &listener {
             Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
             #[cfg(unix)]
@@ -365,15 +401,19 @@ fn accept_loop(listener: Listener, shared: &Arc<Shared>) {
         };
         match accepted {
             Ok(stream) => {
-                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let id = shared.connections.fetch_add(1, Ordering::Relaxed);
                 let read_half = match stream.try_clone() {
                     Ok(clone) => clone,
                     Err(_) => continue,
                 };
-                shared.conns.lock().expect("conn registry").push(read_half);
+                shared
+                    .conns
+                    .lock()
+                    .expect("conn registry")
+                    .insert(id, read_half);
                 let handle = {
                     let shared = Arc::clone(shared);
-                    std::thread::spawn(move || serve_connection(stream, &shared))
+                    std::thread::spawn(move || serve_connection(id, stream, &shared))
                 };
                 shared.threads.lock().expect("thread registry").push(handle);
             }
@@ -390,17 +430,45 @@ fn accept_loop(listener: Listener, shared: &Arc<Shared>) {
     }
 }
 
+/// Joins connection threads that have already ended, so a long-lived daemon
+/// serving many short-lived clients does not accumulate a handle per past
+/// connection. Runs on every accept-loop tick (~5ms when idle); each
+/// connection's fd-holding registry entry is removed by the connection
+/// itself in [`serve_connection`].
+fn reap_finished(shared: &Shared) {
+    let finished: Vec<JoinHandle<()>> = {
+        let mut threads = shared.threads.lock().expect("thread registry");
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < threads.len() {
+            if threads[i].is_finished() {
+                done.push(threads.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        done
+    };
+    for handle in finished {
+        let _ = handle.join();
+    }
+}
+
 /// One connection: read NDJSON lines (capped), hand them to the engine,
 /// queue replies to the writer thread. Runs on the per-connection thread
-/// spawned by the accept loop.
-fn serve_connection(stream: Stream, shared: &Arc<Shared>) {
+/// spawned by the accept loop; on exit it removes its registry entry so
+/// the dup'ed read-half fd closes with the connection, not at shutdown.
+fn serve_connection(id: u64, stream: Stream, shared: &Arc<Shared>) {
     stream.set_timeouts(
         Some(Duration::from_millis(100)),
         shared.options.write_timeout,
     );
     let write_half = match stream.try_clone() {
         Ok(clone) => clone,
-        Err(_) => return,
+        Err(_) => {
+            shared.conns.lock().expect("conn registry").remove(&id);
+            return;
+        }
     };
     let (tx, rx) = mpsc::channel::<Outgoing>();
     let wait_cap = shared.options.wait_cap;
@@ -412,6 +480,7 @@ fn serve_connection(stream: Stream, shared: &Arc<Shared>) {
     read_lines(stream, shared, &tx);
     drop(tx); // writer drains remaining replies, then exits
     let _ = writer.join();
+    shared.conns.lock().expect("conn registry").remove(&id);
 }
 
 /// The writer half: renders replies FIFO and writes them. A write failure
@@ -472,7 +541,12 @@ fn read_lines(mut stream: Stream, shared: &Arc<Shared>, tx: &mpsc::Sender<Outgoi
                 discarding = false;
             } else {
                 pending.extend_from_slice(&chunk[..pos]);
-                if !handle_line(shared, tx, &pending) {
+                if pending.len() > shared.options.max_line_bytes {
+                    // The cap applies to complete lines too, not just the
+                    // residual between reads — an over-cap line whose
+                    // newline arrives in the same chunk is still rejected.
+                    let _ = tx.send(oversized_reply(shared.options.max_line_bytes));
+                } else if !handle_line(shared, tx, &pending) {
                     break 'read;
                 }
                 pending.clear();
@@ -484,13 +558,7 @@ fn read_lines(mut stream: Stream, shared: &Arc<Shared>, tx: &mpsc::Sender<Outgoi
         }
         pending.extend_from_slice(chunk);
         if pending.len() > shared.options.max_line_bytes {
-            let _ = tx.send(Outgoing::Line(err_response(
-                None,
-                &format!(
-                    "line exceeds {} bytes; discarded to next newline",
-                    shared.options.max_line_bytes
-                ),
-            )));
+            let _ = tx.send(oversized_reply(shared.options.max_line_bytes));
             pending.clear();
             discarding = true;
         }
@@ -501,6 +569,14 @@ fn read_lines(mut stream: Stream, shared: &Arc<Shared>, tx: &mpsc::Sender<Outgoi
     if !discarding && !pending.is_empty() {
         let _ = handle_line(shared, tx, &pending);
     }
+}
+
+/// The `err` reply for a line past [`SocketOptions::max_line_bytes`].
+fn oversized_reply(max_line_bytes: usize) -> Outgoing {
+    Outgoing::Line(err_response(
+        None,
+        &format!("line exceeds {max_line_bytes} bytes; discarded to next newline"),
+    ))
 }
 
 /// Routes one complete line through the engine; `false` stops the reader

@@ -196,6 +196,12 @@ fn oversized_lines_are_discarded_and_the_connection_survives() {
     client.send_raw(huge.as_bytes());
     let err = client.expect_err();
     assert!(err.contains("exceeds 256 bytes"), "{err}");
+    // A complete over-cap line arriving in one read, newline included, is
+    // rejected too — the cap is on the line, not on the read residual.
+    let over = format!("{{\"predict\":{{\"row\":[\"{}\"]}}}}\n", "y".repeat(300));
+    client.send_raw(over.as_bytes());
+    let err = client.expect_err();
+    assert!(err.contains("exceeds 256 bytes"), "{err}");
     // The next well-formed line on the same connection is served normally.
     client.send(&predict_line(fix, 3, 9));
     client.expect_cluster(fix, 3, 9);
@@ -240,6 +246,41 @@ fn half_written_lines_and_mid_request_disconnects_leak_nothing() {
         "mid-request disconnects must not orphan tickets: {:?}",
         report.tickets
     );
+}
+
+/// A long-lived daemon serving many short-lived clients must not leak one
+/// fd (or thread handle) per past connection: ended connections leave the
+/// server's registries promptly, not at shutdown.
+#[test]
+fn short_lived_connections_are_pruned_from_the_registries() {
+    let fix = fixture();
+    let (socket, addr) = start_server(coalescing_config(), SocketOptions::default());
+
+    for round in 0..32u64 {
+        let mut client = Client::connect(addr);
+        let i = (round as usize) % fix.rows.len();
+        client.send(&predict_line(fix, i, round));
+        client.expect_cluster(fix, i, round);
+        // Dropping the client closes its socket; the server-side reader
+        // sees EOF within its read-timeout tick and the connection ends.
+    }
+
+    // Readers notice EOF within ~100ms; the accept loop reaps finished
+    // threads on its ~5ms idle tick. Poll instead of sleeping a fixed
+    // amount so the test is fast when the server is.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while socket.live_connections() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        socket.live_connections(),
+        0,
+        "ended connections must be pruned, not held until shutdown"
+    );
+
+    let report = socket.shutdown();
+    assert_eq!(report.connections, 32);
+    assert_eq!(report.tickets.submitted, report.tickets.resolved);
 }
 
 #[test]
@@ -304,6 +345,50 @@ fn client_requested_shutdown_unblocks_wait_and_drains() {
         // EOF (Ok(0)) or a timeout error both prove nobody is serving.
         assert!(!matches!(reader.read_line(&mut line), Ok(n) if n > 0));
     }
+}
+
+/// Starting a second daemon on an in-use Unix socket path must not delete
+/// the live socket out from under the first; only a genuinely stale file
+/// (nothing answering) is reclaimed.
+#[cfg(unix)]
+#[test]
+fn bind_unix_refuses_a_live_socket_and_reclaims_a_stale_one() {
+    use std::os::unix::net::UnixStream;
+
+    let fix = fixture();
+    let path = std::env::temp_dir().join(format!("lshclust-fault-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let engine = |config: ServerConfig| {
+        ProtoEngine::new(
+            Arc::new(ModelServer::start(fix.model.clone(), config)),
+            None,
+        )
+    };
+    let first =
+        SocketServer::bind_unix(&path, engine(coalescing_config()), SocketOptions::default())
+            .expect("first bind");
+    // Second bind on the same path: refused, and the first keeps serving.
+    match SocketServer::bind_unix(&path, engine(coalescing_config()), SocketOptions::default()) {
+        Ok(_) => panic!("second bind must fail while the first server is live"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::AddrInUse, "{e}"),
+    }
+    let mut stream = UnixStream::connect(&path).expect("first server still reachable");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(b"{\"stats\":true}\n").unwrap();
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"ok\""), "{reply}");
+    let _ = first.shutdown();
+
+    // The file is now stale (nothing answers): a fresh bind reclaims it.
+    let third =
+        SocketServer::bind_unix(&path, engine(coalescing_config()), SocketOptions::default())
+            .expect("stale socket file is reclaimed");
+    let _ = third.shutdown();
+    let _ = std::fs::remove_file(&path);
 }
 
 /// The soak satellite, in-process: four concurrent clients mixing predicts,
