@@ -1,0 +1,65 @@
+//! `bench_sim` — the similarity-workloads experiment behind
+//! `BENCH_sim.json`.
+//!
+//! ```text
+//! bench_sim [--quick] [--seed N] [--threads N] [--out FILE]
+//!
+//!   --quick       CI-sized workload (seconds instead of minutes)
+//!   --seed N      master seed (default 42)
+//!   --threads N   verification threads for every join (default 4)
+//!   --out FILE    where to write the JSON report (default BENCH_sim.json)
+//! ```
+//!
+//! Measures candidate-pair volume and verify wall-time against the
+//! brute-force all-pairs join, plus recall against the exact result, per
+//! modality and size. Exits non-zero if any measured recall falls below the
+//! committed floor (`lshclust_bench::sim::RECALL_FLOOR`), so CI can run it
+//! as a shortlist-quality regression gate, not just a benchmark.
+
+use lshclust_bench::sim::{run, SimSettings, RECALL_FLOOR};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_sim [--quick] [--seed N] [--threads N] [--out FILE]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut settings = SimSettings::default();
+    let mut out = "BENCH_sim.json".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => settings.quick = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => settings.seed = s,
+                None => return usage(),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t > 0 => settings.threads = t,
+                _ => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let report = run(&settings);
+    print!("{}", report.render());
+    if let Err(e) = report.write_json(&out) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {out}");
+    if report.min_recall < RECALL_FLOOR {
+        eprintln!(
+            "error: recall gate tripped — measured {:.4} under the committed floor {RECALL_FLOOR}",
+            report.min_recall
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

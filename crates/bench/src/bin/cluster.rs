@@ -2,13 +2,20 @@
 //! `lshclust` facade, with a train/serve split:
 //!
 //! ```text
-//! cluster fit      --input data.csv --k 1000 --model model.json [options]
-//! cluster predict  --model model.json --input new.csv [--output out.csv] [--threads N]
-//! cluster inspect  --model model.json
-//! cluster serve    --model model.json [--listen ADDR] [--allow-remote-shutdown]
-//!                  [--workers N] [--max-batch N] [--flush-us N] [--fixed-flush]
-//!                  [--queue-depth N] [--deadline-ms N] [--hot-keys N] [--threads N]
-//! cluster artifact ls|verify|gc --dir DIR [--max-bytes N]
+//! cluster fit       --input data.csv --k 1000 --model model.json [options]
+//! cluster predict   --model model.json --input new.csv [--output out.csv] [--threads N]
+//! cluster inspect   --model model.json
+//! cluster serve     --model model.json [--listen ADDR] [--allow-remote-shutdown]
+//!                   [--workers N] [--max-batch N] [--flush-us N] [--fixed-flush]
+//!                   [--queue-depth N] [--deadline-ms N] [--hot-keys N] [--threads N]
+//!                   [--stats-every N]
+//! cluster dedup     --input data.csv --threshold T [--bands B] [--rows R]
+//!                   [--seed N] [--threads N] [--output FILE] [--ndjson]
+//! cluster join      --input data.csv --threshold T [--max-pairs N] [--bands B]
+//!                   [--rows R] [--seed N] [--threads N] [--output FILE] [--ndjson]
+//! cluster hierarchy --model model.json [--bands B --rows R] [--sim-bands B]
+//!                   [--sim-rows R] [--seed N] [--threads N] [--output FILE] [--ndjson]
+//! cluster artifact  ls|verify|gc --dir DIR [--max-bytes N]
 //! cluster shard-worker
 //! ```
 //!
@@ -60,6 +67,23 @@
 //! protocol itself lives in `lshclust::serve::proto`; the socket front in
 //! `lshclust::serve::socket`.
 //!
+//! `--stats-every N` additionally pushes the `{"stats"}` payload as an
+//! unsolicited NDJSON line after every N predict requests, so dashboards
+//! tail the stream instead of polling; off by default (`0`).
+//!
+//! `dedup` and `join` run the similarity workloads of `lshclust::sim` over a
+//! categorical CSV: MinHash bucket collisions nominate candidate pairs and
+//! the exact matching distance verifies each one against `--threshold`, so
+//! every emitted pair is a true pair (precision 1.0 by construction — the
+//! index can only *miss* pairs). `dedup` groups the verified pairs into
+//! duplicate components; `join` emits all pairs closest-first (capped by
+//! `--max-pairs`). Both write `a,b,distance` CSV (`--output`, default
+//! stdout) or, with `--ndjson`, the full report as one JSON line.
+//! `hierarchy` merges a fitted model's k centroids bottom-up into a
+//! dendrogram (`merge,a,b,height` CSV or JSON) — exact full pair search by
+//! default, LSH-shortlisted when `--bands` is given. All three are
+//! byte-identical at any `--threads` count.
+//!
 //! `shard-worker` turns the process into one shard of a partitioned fit: a
 //! blocking NDJSON loop over stdin/stdout speaking the partial-update
 //! protocol of `lshclust::shard` (see `docs/ARCHITECTURE.md § Sharded
@@ -107,7 +131,7 @@
 //! Invoking with flags directly (`cluster --input … --k …`) still works and
 //! behaves as `fit`.
 
-use lshclust::{ClusterSpec, Clusterer, Fit, FittedModel, Lsh, RunSummary};
+use lshclust::{ClusterSpec, Clusterer, Fit, FittedModel, Lsh, RunSummary, Sim, SimSpec};
 use lshclust_categorical::io::read_csv;
 use lshclust_categorical::{AttrId, Dataset, ValueId, NOT_PRESENT};
 use lshclust_metrics::{normalized_mutual_information, purity};
@@ -178,6 +202,42 @@ struct ServeArgs {
     /// Off by default: an exposed listener must not give every peer on the
     /// network an unauthenticated kill switch.
     allow_remote_shutdown: bool,
+    /// Push the `{"stats"}` payload as an unsolicited NDJSON line after
+    /// every N predict requests (0 = off, the default).
+    stats_every: u64,
+}
+
+/// Shared grammar of `cluster dedup` and `cluster join` (the only
+/// difference: `--max-pairs` is join-only).
+struct SimArgs {
+    input: String,
+    threshold: f64,
+    bands: u32,
+    rows: u32,
+    seed: u64,
+    threads: usize,
+    /// Join output cap (rejected by `dedup`).
+    max_pairs: Option<usize>,
+    /// Pairs CSV destination; absent = stdout.
+    output: Option<String>,
+    /// Emit the full report as one JSON line instead of CSV.
+    ndjson: bool,
+    quiet: bool,
+}
+
+struct HierarchyArgs {
+    model: String,
+    /// `0` (the default) selects the exact full pair search; any other
+    /// value shortlists each merge step through the model's LSH family.
+    bands: u32,
+    rows: u32,
+    /// SimHash half of the union scheme for mixed models.
+    sim_bands: u32,
+    sim_rows: u32,
+    seed: u64,
+    threads: usize,
+    output: Option<String>,
+    ndjson: bool,
 }
 
 enum Command {
@@ -185,11 +245,106 @@ enum Command {
     Predict(PredictArgs),
     Inspect { model: String },
     Serve(ServeArgs),
+    Dedup(SimArgs),
+    Join(SimArgs),
+    Hierarchy(HierarchyArgs),
     Artifact(ArtifactArgs),
     ShardWorker,
 }
 
-const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json [--v2]] [--cache-dir DIR] [--shards N [--worker-cmd CMD]] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--listen ADDR] [--allow-remote-shutdown] [--workers N] [--max-batch N] [--flush-us N] [--fixed-flush] [--queue-depth N] [--deadline-ms N] [--hot-keys N] [--threads N]\n    ({\"shutdown\": true} is refused on non-loopback TCP listeners unless --allow-remote-shutdown is given)\n  cluster artifact ls|verify|gc --dir DIR [--max-bytes N]\n  cluster shard-worker";
+const USAGE: &str = "usage:\n  cluster fit --input data.csv --k N [--model model.json [--v2]] [--cache-dir DIR] [--shards N [--worker-cmd CMD]] [options]\n  cluster predict --model model.json --input new.csv [--output out.csv] [--threads N]\n  cluster inspect --model model.json\n  cluster serve --model model.json [--listen ADDR] [--allow-remote-shutdown] [--workers N] [--max-batch N] [--flush-us N] [--fixed-flush] [--queue-depth N] [--deadline-ms N] [--hot-keys N] [--threads N] [--stats-every N]\n    ({\"shutdown\": true} is refused on non-loopback TCP listeners unless --allow-remote-shutdown is given)\n  cluster dedup --input data.csv --threshold T [--bands B] [--rows R] [--seed N] [--threads N] [--output FILE] [--ndjson]\n  cluster join --input data.csv --threshold T [--max-pairs N] [--bands B] [--rows R] [--seed N] [--threads N] [--output FILE] [--ndjson]\n  cluster hierarchy --model model.json [--bands B --rows R] [--sim-bands B] [--sim-rows R] [--seed N] [--threads N] [--output FILE] [--ndjson]\n  cluster artifact ls|verify|gc --dir DIR [--max-bytes N]\n  cluster shard-worker";
+
+fn parse_sim(flags: impl IntoIterator<Item = String>, join: bool) -> Result<SimArgs, String> {
+    let mut argv = flags.into_iter();
+    let mut args = SimArgs {
+        input: String::new(),
+        threshold: f64::NAN,
+        bands: 16,
+        rows: 2,
+        seed: 0,
+        threads: 1,
+        max_pairs: None,
+        output: None,
+        ndjson: false,
+        quiet: false,
+    };
+    fn parse<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse().map_err(|e| format!("{name}: {e}"))
+    }
+    let mut input = None;
+    let mut threshold = None;
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--input" => input = Some(value("--input")?),
+            "--threshold" => threshold = Some(parse("--threshold", value("--threshold")?)?),
+            "--bands" => args.bands = parse("--bands", value("--bands")?)?,
+            "--rows" => args.rows = parse("--rows", value("--rows")?)?,
+            "--seed" => args.seed = parse("--seed", value("--seed")?)?,
+            "--threads" => args.threads = parse("--threads", value("--threads")?)?,
+            "--max-pairs" if join => {
+                args.max_pairs = Some(parse("--max-pairs", value("--max-pairs")?)?)
+            }
+            "--output" => args.output = Some(value("--output")?),
+            "--ndjson" => args.ndjson = true,
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    args.input = input.ok_or("--input is required")?;
+    args.threshold = threshold.ok_or("--threshold is required")?;
+    if args.threshold.is_nan() || args.threshold < 0.0 {
+        return Err("--threshold must be a non-negative number".to_owned());
+    }
+    if args.bands == 0 {
+        return Err("--bands 0 has no candidate source; dedup/join need LSH".to_owned());
+    }
+    args.threads = args.threads.max(1);
+    Ok(args)
+}
+
+fn parse_hierarchy(flags: impl IntoIterator<Item = String>) -> Result<HierarchyArgs, String> {
+    let mut argv = flags.into_iter();
+    let mut args = HierarchyArgs {
+        model: String::new(),
+        bands: 0,
+        rows: 2,
+        sim_bands: 8,
+        sim_rows: 8,
+        seed: 0,
+        threads: 1,
+        output: None,
+        ndjson: false,
+    };
+    fn parse<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        v.parse().map_err(|e| format!("{name}: {e}"))
+    }
+    let mut model = None;
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--model" => model = Some(value("--model")?),
+            "--bands" => args.bands = parse("--bands", value("--bands")?)?,
+            "--rows" => args.rows = parse("--rows", value("--rows")?)?,
+            "--sim-bands" => args.sim_bands = parse("--sim-bands", value("--sim-bands")?)?,
+            "--sim-rows" => args.sim_rows = parse("--sim-rows", value("--sim-rows")?)?,
+            "--seed" => args.seed = parse("--seed", value("--seed")?)?,
+            "--threads" => args.threads = parse("--threads", value("--threads")?)?,
+            "--output" => args.output = Some(value("--output")?),
+            "--ndjson" => args.ndjson = true,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    args.model = model.ok_or("--model is required")?;
+    args.threads = args.threads.max(1);
+    Ok(args)
+}
 
 fn parse_artifact(flags: impl IntoIterator<Item = String>) -> Result<ArtifactArgs, String> {
     let mut argv = flags.into_iter();
@@ -268,6 +423,7 @@ fn parse_serve(flags: impl IntoIterator<Item = String>) -> Result<ServeArgs, Str
         threads: None,
         listen: None,
         allow_remote_shutdown: false,
+        stats_every: 0,
     };
     fn parse<T: std::str::FromStr>(name: &str, v: String) -> Result<T, String>
     where
@@ -305,6 +461,9 @@ fn parse_serve(flags: impl IntoIterator<Item = String>) -> Result<ServeArgs, Str
             }
             "--listen" => args.listen = Some(value("--listen")?),
             "--allow-remote-shutdown" => args.allow_remote_shutdown = true,
+            "--stats-every" => {
+                args.stats_every = parse("--stats-every", value("--stats-every")?)?;
+            }
             "--threads" => args.threads = Some(parse("--threads", value("--threads")?)?),
             other => return Err(format!("unknown argument {other}")),
         }
@@ -320,6 +479,9 @@ fn parse_command() -> Result<Command, String> {
         Some("fit") => Ok(Command::Fit(Box::new(parse_fit(argv)?))),
         Some("predict") => Ok(Command::Predict(parse_predict(argv)?)),
         Some("serve") => Ok(Command::Serve(parse_serve(argv)?)),
+        Some("dedup") => Ok(Command::Dedup(parse_sim(argv, false)?)),
+        Some("join") => Ok(Command::Join(parse_sim(argv, true)?)),
+        Some("hierarchy") => Ok(Command::Hierarchy(parse_hierarchy(argv)?)),
         Some("artifact") => Ok(Command::Artifact(parse_artifact(argv)?)),
         Some("shard-worker") => match argv.next() {
             None => Ok(Command::ShardWorker),
@@ -886,6 +1048,156 @@ fn run_inspect(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---- similarity workloads: dedup / join / hierarchy ------------------------
+
+/// Renders command output to `--output FILE` or stdout.
+fn emit(path: Option<&String>, text: &str) -> Result<(), String> {
+    match path {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            std::io::stdout()
+                .flush()
+                .map_err(|e| format!("stdout: {e}"))
+        }
+    }
+}
+
+fn pairs_csv(pairs: &[lshclust::PairRecord]) -> String {
+    let mut out = String::from("a,b,distance\n");
+    for p in pairs {
+        out.push_str(&format!("{},{},{}\n", p.a, p.b, p.distance));
+    }
+    out
+}
+
+fn sim_spec(args: &SimArgs) -> SimSpec {
+    let mut spec = SimSpec::new(args.threshold)
+        .lsh(Lsh::MinHash {
+            bands: args.bands,
+            rows: args.rows,
+        })
+        .seed(args.seed)
+        .threads(args.threads);
+    if let Some(cap) = args.max_pairs {
+        spec = spec.max_pairs(cap);
+    }
+    spec
+}
+
+fn run_dedup(args: SimArgs) -> Result<(), String> {
+    let dataset = load_csv(&args.input)?;
+    let report = Sim::new(sim_spec(&args))
+        .dedup(&dataset)
+        .map_err(|e| e.to_string())?;
+    if !args.quiet {
+        let all = report.n_items * report.n_items.saturating_sub(1) / 2;
+        eprintln!(
+            "{}: {} items, {} candidate pairs (of {} total), {} verified <= {}, {} duplicates",
+            args.input,
+            report.n_items,
+            report.candidate_pairs,
+            all,
+            report.pairs.len(),
+            report.threshold,
+            report.n_duplicates,
+        );
+    }
+    let text = if args.ndjson {
+        let mut line = serde_json::to_string(&report).expect("report serializes");
+        line.push('\n');
+        line
+    } else {
+        pairs_csv(&report.pairs)
+    };
+    emit(args.output.as_ref(), &text)
+}
+
+fn run_join(args: SimArgs) -> Result<(), String> {
+    let dataset = load_csv(&args.input)?;
+    let report = Sim::new(sim_spec(&args))
+        .join(&dataset)
+        .map_err(|e| e.to_string())?;
+    if !args.quiet {
+        eprintln!(
+            "{}: {} items, {} candidate pairs, {} matched <= {}, emitting {}{}",
+            args.input,
+            report.n_items,
+            report.candidate_pairs,
+            report.matched,
+            report.threshold,
+            report.pairs.len(),
+            if report.capped { " (capped)" } else { "" },
+        );
+    }
+    let text = if args.ndjson {
+        let mut line = serde_json::to_string(&report).expect("report serializes");
+        line.push('\n');
+        line
+    } else {
+        pairs_csv(&report.pairs)
+    };
+    emit(args.output.as_ref(), &text)
+}
+
+fn run_hierarchy(args: HierarchyArgs) -> Result<(), String> {
+    let model = FittedModel::load(&args.model).map_err(|e| format!("{}: {e}", args.model))?;
+    // `--bands 0` (the default) is the exact full pair search; otherwise the
+    // scheme family follows the model's modality.
+    let lsh = if args.bands == 0 {
+        Lsh::None
+    } else {
+        match model.modality() {
+            "categorical" => Lsh::MinHash {
+                bands: args.bands,
+                rows: args.rows,
+            },
+            "numeric" => Lsh::SimHash {
+                bands: args.bands,
+                rows: args.rows,
+            },
+            _ => Lsh::Union {
+                bands: args.bands,
+                rows: args.rows,
+                sim_bands: args.sim_bands,
+                sim_rows: args.sim_rows,
+            },
+        }
+    };
+    let spec = SimSpec::new(0.0)
+        .lsh(lsh)
+        .seed(args.seed)
+        .threads(args.threads);
+    let dendro = Sim::new(spec)
+        .hierarchy(&model)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "{}: {} model, {} leaves, {} merges ({}), {} shortlist-fallback steps",
+        args.model,
+        model.modality(),
+        dendro.k,
+        dendro.merges.len(),
+        if args.bands == 0 {
+            "exact full search".to_owned()
+        } else {
+            format!("shortlisted, {} bands", args.bands)
+        },
+        dendro.fallback_steps,
+    );
+    let text = if args.ndjson {
+        let mut line = serde_json::to_string(&dendro).expect("dendrogram serializes");
+        line.push('\n');
+        line
+    } else {
+        let mut out = String::from("merge,a,b,height\n");
+        for (i, m) in dendro.merges.iter().enumerate() {
+            out.push_str(&format!("{},{},{},{}\n", i, m.a, m.b, m.height));
+        }
+        out
+    };
+    emit(args.output.as_ref(), &text)
+}
+
 // ---- serve: the NDJSON daemon over a ModelServer ---------------------------
 //
 // The protocol itself (line parsing, deadline field, ordered replies) lives
@@ -924,7 +1236,8 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
         config.hot_keys,
     );
     let server = std::sync::Arc::new(lshclust::ModelServer::start(model, config));
-    let engine = ProtoEngine::new(std::sync::Arc::clone(&server), args.threads);
+    let engine = ProtoEngine::new(std::sync::Arc::clone(&server), args.threads)
+        .stats_every(args.stats_every);
 
     if let Some(listen) = &args.listen {
         let options = lshclust::SocketOptions::default().wait_cap(SERVE_WAIT_CAP);
@@ -997,6 +1310,11 @@ fn run_serve(args: ServeArgs) -> Result<(), String> {
             LineOutcome::Ignore => {}
             LineOutcome::Reply(out) => {
                 let _ = tx.send(out);
+                // Periodic stats push (`--stats-every`): ordered through the
+                // same printer so it lands between responses.
+                if let Some(stats) = engine.take_due_stats() {
+                    let _ = tx.send(lshclust::serve::proto::Outgoing::Line(stats));
+                }
             }
             LineOutcome::Shutdown(out) => {
                 let _ = tx.send(out);
@@ -1027,6 +1345,9 @@ fn main() -> ExitCode {
         Command::Predict(args) => run_predict(args),
         Command::Inspect { model } => run_inspect(&model),
         Command::Serve(args) => run_serve(args),
+        Command::Dedup(args) => run_dedup(args),
+        Command::Join(args) => run_join(args),
+        Command::Hierarchy(args) => run_hierarchy(args),
         Command::Artifact(args) => run_artifact(args),
         Command::ShardWorker => {
             let stdin = std::io::stdin();
@@ -1322,8 +1643,11 @@ mod tests {
         );
         assert!(!args.config.adaptive_flush);
         assert_eq!(args.config.hot_keys, 512);
-        // Remote shutdown stays opt-in.
+        // Remote shutdown stays opt-in; the stats push stays off.
         assert!(!args.allow_remote_shutdown);
+        assert_eq!(args.stats_every, 0);
+        let pushing = parse_serve(flags(&["--model", "m.json", "--stats-every", "100"])).unwrap();
+        assert_eq!(pushing.stats_every, 100);
         let opted = parse_serve(flags(&[
             "--model",
             "m.json",
@@ -1411,6 +1735,86 @@ mod tests {
         assert!(parse_artifact(flags(&["gc", "--dir", "d"])).is_err());
         assert!(parse_artifact(flags(&["ls", "--dir", "d", "--max-bytes", "1"])).is_err());
         assert!(parse_artifact(flags(&["frob", "--dir", "d"])).is_err());
+    }
+
+    #[test]
+    fn sim_flags_parse_and_validate() {
+        let args = parse_sim(
+            flags(&[
+                "--input",
+                "x.csv",
+                "--threshold",
+                "1.5",
+                "--bands",
+                "24",
+                "--rows",
+                "1",
+                "--seed",
+                "9",
+                "--threads",
+                "4",
+            ]),
+            false,
+        )
+        .unwrap();
+        assert_eq!(args.threshold, 1.5);
+        assert_eq!((args.bands, args.rows), (24, 1));
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.max_pairs, None);
+
+        // --max-pairs is join-only.
+        let join = parse_sim(
+            flags(&["--input", "x.csv", "--threshold", "1", "--max-pairs", "10"]),
+            true,
+        )
+        .unwrap();
+        assert_eq!(join.max_pairs, Some(10));
+        assert!(parse_sim(
+            flags(&["--input", "x.csv", "--threshold", "1", "--max-pairs", "10"]),
+            false,
+        )
+        .is_err());
+
+        // --threshold is required and must be a non-negative number.
+        assert!(parse_sim(flags(&["--input", "x.csv"]), false).is_err());
+        assert!(parse_sim(flags(&["--input", "x.csv", "--threshold", "-1"]), false).is_err());
+        assert!(parse_sim(flags(&["--input", "x.csv", "--threshold", "NaN"]), false).is_err());
+        // --bands 0 has no candidate source.
+        assert!(parse_sim(
+            flags(&["--input", "x.csv", "--threshold", "1", "--bands", "0"]),
+            false,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn hierarchy_flags_default_to_exact_search() {
+        let args = parse_hierarchy(flags(&["--model", "m.json"])).unwrap();
+        assert_eq!(args.bands, 0, "--bands 0 = exact full pair search");
+        assert_eq!(args.threads, 1);
+        let args = parse_hierarchy(flags(&[
+            "--model",
+            "m.json",
+            "--bands",
+            "12",
+            "--rows",
+            "1",
+            "--sim-bands",
+            "6",
+            "--sim-rows",
+            "4",
+            "--threads",
+            "3",
+        ]))
+        .unwrap();
+        assert_eq!((args.bands, args.rows), (12, 1));
+        assert_eq!((args.sim_bands, args.sim_rows), (6, 4));
+        assert_eq!(args.threads, 3);
+        assert!(
+            parse_hierarchy(flags(&["--bands", "4"])).is_err(),
+            "--model is required"
+        );
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`closures`] — the cluster-closure experiment behind
 //!   `BENCH_closures.json` (per-iteration assign wall-time and skip ratio,
 //!   closures on vs off, with a byte-identity guard),
+//! * [`sim`] — the similarity-workloads experiment behind `BENCH_sim.json`
+//!   (candidate-pair volume and verify time vs brute-force all-pairs, plus
+//!   recall against the exact join, with a committed recall floor),
 //! * [`mod@env`] — the shared [`env::BenchEnv`] header every `BENCH_*.json`
 //!   artifact embeds, so the report schemas stop drifting,
 //! * [`table`] — a tiny fixed-width table printer.
@@ -49,6 +52,7 @@ pub mod minibatch;
 pub mod scale;
 pub mod serve;
 pub mod shard;
+pub mod sim;
 pub mod synthetic;
 pub mod table;
 pub mod textexp;

@@ -1,0 +1,341 @@
+//! Similarity-workloads experiment: what bucket-collision candidate
+//! generation saves over brute-force all-pairs, and what it loses.
+//!
+//! The `lshclust::sim` engines (dedup / self-join / hierarchy) share one
+//! candidate core: items colliding in at least one LSH band bucket become
+//! candidate pairs, and only candidates are exact-verified against the
+//! threshold. Precision is 1.0 by construction — verification uses the
+//! modality's real distance kernel — so the two empirical questions are
+//! **volume** (how many of the `n·(n−1)/2` pairs did the buckets nominate?)
+//! and **recall** (how many true pairs did the buckets miss?). This
+//! experiment measures both, per modality and size, against the brute-force
+//! join run with the same threshold and tie-order. The artifact
+//! (`BENCH_sim.json`) is the evidence for the candidate-volume claims in
+//! `docs/ARCHITECTURE.md` § Similarity workloads.
+//!
+//! The `bench_sim` binary doubles as a regression gate: it exits non-zero
+//! when any measured recall falls below [`RECALL_FLOOR`], the committed
+//! floor CI enforces.
+
+use crate::env::BenchEnv;
+use lshclust::{Lsh, MixedDataset, NumericDataset, Sim, SimSpec};
+use lshclust_categorical::Dataset;
+use lshclust_datagen::datgen::{generate, DatgenConfig};
+use std::path::Path;
+use std::time::Instant;
+
+/// The committed recall floor the `bench_sim` binary enforces. The measured
+/// recall on the default seeds sits at 1.0 (see `BENCH_sim.json`); the floor
+/// leaves room for small fixture drift without letting a real shortlist
+/// regression slide.
+pub const RECALL_FLOOR: f64 = 0.95;
+
+/// Settings of a similarity-workloads run.
+#[derive(Clone, Debug)]
+pub struct SimSettings {
+    /// Shrinks the workload for CI smoke runs.
+    pub quick: bool,
+    /// Verification threads for every join.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SimSettings {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            threads: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// One (family, size) measurement: candidate volume, verify wall-time, and
+/// recall, all against the brute-force join on the same data.
+#[derive(Clone, Debug)]
+pub struct SimPoint {
+    /// `"categorical"`, `"numeric"` or `"mixed"`.
+    pub family: String,
+    /// The LSH scheme generating candidates.
+    pub lsh: String,
+    /// Items scanned.
+    pub n_items: usize,
+    /// The distance threshold pairs were verified against.
+    pub threshold: f64,
+    /// `n·(n−1)/2` — what brute force verifies.
+    pub all_pairs: usize,
+    /// Distinct pairs the buckets nominated — what LSH verifies.
+    pub candidate_pairs: usize,
+    /// `candidate_pairs / all_pairs` — the volume LSH left standing.
+    pub candidate_fraction: f64,
+    /// True pairs at or under the threshold (brute-force count).
+    pub exact_matched: usize,
+    /// Pairs the LSH join found (all exact-verified, so ⊆ the true set).
+    pub lsh_matched: usize,
+    /// `lsh_matched / exact_matched` (1.0 when there is nothing to find).
+    pub recall: f64,
+    /// Candidate generation + verification wall-time, milliseconds.
+    pub lsh_ms: f64,
+    /// Brute-force all-pairs wall-time, milliseconds.
+    pub brute_ms: f64,
+    /// `brute_ms / lsh_ms` — what candidate generation bought.
+    pub speedup: f64,
+}
+
+serde::impl_serde_struct!(SimPoint {
+    family,
+    lsh,
+    n_items,
+    threshold,
+    all_pairs,
+    candidate_pairs,
+    candidate_fraction,
+    exact_matched,
+    lsh_matched,
+    recall,
+    lsh_ms,
+    brute_ms,
+    speedup
+});
+
+/// The full `BENCH_sim.json` payload.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Experiment marker.
+    pub experiment: String,
+    /// Host context; `threads` records the fixed verification fan-out.
+    pub env: BenchEnv,
+    /// The committed floor the binary enforces.
+    pub recall_floor: f64,
+    /// Per-(family, size) measurements.
+    pub points: Vec<SimPoint>,
+    /// The worst recall across every point — the gated number.
+    pub min_recall: f64,
+}
+
+serde::impl_serde_struct!(SimReport {
+    experiment,
+    env,
+    recall_floor,
+    points,
+    min_recall
+});
+
+/// Centered blobs: the `- 50` spreads the blob directions across the whole
+/// sphere instead of packing them into the positive orthant, which is what
+/// gives SimHash (an *angular* hash) something to discriminate on.
+fn numeric_blobs(labels: &[u32], dim: usize) -> NumericDataset {
+    let data: Vec<f64> = labels
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &l)| {
+            (0..dim).map(move |d| {
+                let h = lshclust_minhash::hashfn::mix64(u64::from(l) ^ ((d as u64) << 40));
+                (h % 100) as f64 - 50.0 + ((i * 13 + d) as f64 * 0.37).sin() * 0.1
+            })
+        })
+        .collect();
+    NumericDataset::new(dim, data)
+}
+
+/// Runs one family at one size: timed LSH join, timed brute-force join,
+/// volumes and recall off the two reports.
+fn measure<D: lshclust::SimInput + ?Sized>(
+    family: &str,
+    lsh_name: &str,
+    spec: SimSpec,
+    data: &D,
+) -> SimPoint {
+    let sim = Sim::new(spec);
+    let t = Instant::now();
+    let join = sim.join(data).expect("sim join");
+    let lsh_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let exact = sim.join_exact(data);
+    let brute_ms = t.elapsed().as_secs_f64() * 1e3;
+    let n = join.n_items;
+    let all_pairs = n * n.saturating_sub(1) / 2;
+    let recall = if exact.matched == 0 {
+        1.0
+    } else {
+        join.matched as f64 / exact.matched as f64
+    };
+    SimPoint {
+        family: family.to_owned(),
+        lsh: lsh_name.to_owned(),
+        n_items: n,
+        threshold: sim.spec().threshold,
+        all_pairs,
+        candidate_pairs: join.candidate_pairs,
+        candidate_fraction: join.candidate_pairs as f64 / all_pairs.max(1) as f64,
+        exact_matched: exact.matched,
+        lsh_matched: join.matched,
+        recall,
+        lsh_ms,
+        brute_ms,
+        speedup: if lsh_ms > 0.0 { brute_ms / lsh_ms } else { 1.0 },
+    }
+}
+
+/// Runs the full experiment and returns the report.
+pub fn run(settings: &SimSettings) -> SimReport {
+    // Sized like the other experiments: the full run sweeps 5k and 20k rows
+    // (the paper's mid sizes), quick mode stays CI-fast.
+    let sizes: &[usize] = if settings.quick {
+        &[1_000, 3_000]
+    } else {
+        &[5_000, 20_000]
+    };
+    let n_attrs = 16;
+    let dim = 8;
+    let seed = settings.seed;
+    let minhash = Lsh::MinHash { bands: 16, rows: 2 };
+    let simhash = Lsh::SimHash { bands: 8, rows: 16 };
+    let union = Lsh::Union {
+        bands: 16,
+        rows: 2,
+        sim_bands: 8,
+        sim_rows: 16,
+    };
+    let spec = |lsh: Lsh, threshold: f64| {
+        SimSpec::new(threshold)
+            .lsh(lsh)
+            .seed(seed)
+            .threads(settings.threads)
+    };
+
+    let mut points = Vec::new();
+    for &n in sizes {
+        // ~50-row planted groups: near-duplicate structure at every size.
+        let n_clusters = (n / 50).max(2);
+        let dataset: Dataset = generate(&DatgenConfig::new(n, n_clusters, n_attrs).seed(seed));
+        let labels: Vec<u32> = dataset.labels().expect("datgen labels").to_vec();
+        let numeric = numeric_blobs(&labels, dim);
+        let mixed = MixedDataset::new(&dataset, &numeric);
+
+        eprintln!("# sim: categorical (MinHash 16b2r, n={n})");
+        points.push(measure(
+            "categorical",
+            "MinHash 16b2r",
+            spec(minhash, 3.0),
+            &dataset,
+        ));
+        eprintln!("# sim: numeric (SimHash 8b16r, n={n})");
+        points.push(measure(
+            "numeric",
+            "SimHash 8b16r",
+            spec(simhash, 1.0),
+            &numeric,
+        ));
+        eprintln!("# sim: mixed (MinHash ∪ SimHash, n={n})");
+        points.push(measure(
+            "mixed",
+            "Union 16b2r + 8b16r",
+            spec(union, 4.0),
+            &mixed,
+        ));
+    }
+
+    let min_recall = points.iter().map(|p| p.recall).fold(1.0_f64, f64::min);
+    SimReport {
+        experiment: "similarity-workloads".into(),
+        env: BenchEnv::capture(settings.quick, seed).threads(&[settings.threads]),
+        recall_floor: RECALL_FLOOR,
+        points,
+        min_recall,
+    }
+}
+
+impl SimReport {
+    /// Writes the report as pretty JSON to `path`.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        crate::env::write_report(self, path)
+    }
+
+    /// Renders an aligned text summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "similarity workloads  ({}, min recall {:.4}, floor {:.2})",
+            self.env.banner(),
+            self.min_recall,
+            self.recall_floor
+        );
+        let _ = writeln!(
+            out,
+            "{:>12}  {:>7}  {:>12}  {:>12}  {:>7}  {:>8}  {:>9}  {:>9}  {:>7}",
+            "family",
+            "n",
+            "all pairs",
+            "candidates",
+            "cand %",
+            "recall",
+            "lsh (ms)",
+            "brute",
+            "speedup"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:>12}  {:>7}  {:>12}  {:>12}  {:>6.2}%  {:>8.4}  {:>9.1}  {:>9.1}  {:>6.1}x",
+                p.family,
+                p.n_items,
+                p.all_pairs,
+                p.candidate_pairs,
+                p.candidate_fraction * 100.0,
+                p.recall,
+                p.lsh_ms,
+                p.brute_ms,
+                p.speedup
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_meets_the_recall_floor_and_round_trips() {
+        let report = run(&SimSettings {
+            quick: true,
+            threads: 2,
+            seed: 7,
+        });
+        assert_eq!(report.points.len(), 6, "2 sizes x 3 families");
+        assert!(
+            report.min_recall >= RECALL_FLOOR,
+            "recall {:.4} under the committed floor {RECALL_FLOOR}",
+            report.min_recall
+        );
+        for p in &report.points {
+            assert!(
+                p.candidate_pairs < p.all_pairs,
+                "{} n={}: candidates not below brute-force volume",
+                p.family,
+                p.n_items
+            );
+            assert!(
+                p.lsh_matched <= p.exact_matched,
+                "{} n={}: precision violated",
+                p.family,
+                p.n_items
+            );
+            assert!(
+                p.exact_matched > 0,
+                "{} n={}: nothing to find",
+                p.family,
+                p.n_items
+            );
+        }
+        let json = serde_json::to_string(&report).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.points.len(), report.points.len());
+        assert!(report.render().contains("similarity workloads"));
+    }
+}

@@ -26,6 +26,9 @@
 //!   shortlist: sampled batches are assigned through a periodically
 //!   refreshed LSH index over the *centroids*, for all three modalities
 //!   (the facade's `Fit::MiniBatch` discipline).
+//! * [`sim`] — the similarity-workloads candidate core: bucket-collision
+//!   candidate pairs over the same flat band-key buffers, exact-verified by
+//!   the modality's distance kernel (dedup / self-join in `lshclust::sim`).
 //!
 //! # Quickstart
 //!
@@ -77,6 +80,7 @@ pub mod mhkprototypes;
 pub mod minibatch;
 pub mod parallel;
 pub mod shard;
+pub mod sim;
 pub mod streaming;
 
 pub use framework::{

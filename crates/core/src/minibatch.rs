@@ -479,8 +479,12 @@ pub struct MiniBatchProfile {
     /// Sequential sketch absorption and centroid nudges.
     pub absorb: std::time::Duration,
     /// Batch items whose shortlist came back empty and fell back to full
-    /// search (always 0 without an LSH scheme).
+    /// search (always 0 without an LSH scheme). Counts reused fallback
+    /// decisions too, so the number matches the closure-disabled run.
     pub fallbacks: usize,
+    /// The subset of [`Self::fallbacks`] answered straight from the reuse
+    /// cache — the full `k`-searches the fallback cache saved.
+    pub fallback_reuses: usize,
 }
 
 /// One item's cached batch decision for the cluster-closure reuse path.
@@ -493,10 +497,15 @@ struct BatchCache {
     eval_step: u64,
     /// The shortlist the centroid index returned (constant within an epoch —
     /// item band keys never change and centroid buckets only move on
-    /// refresh).
+    /// refresh). Empty for a cached fallback decision.
     shortlist: Vec<ClusterId>,
-    /// The restricted-search winner.
+    /// The restricted-search (or, for a fallback, full-search) winner.
     chosen: u32,
+    /// Whether the cached decision was a full `k`-search fallback. Its
+    /// winner read *every* centroid, so reuse additionally requires that no
+    /// centroid at all has changed since `eval_step` — and the same epoch,
+    /// because a refreshed index could stop the shortlist coming back empty.
+    fallback: bool,
 }
 
 /// How one batch slot was decided.
@@ -504,11 +513,13 @@ struct BatchCache {
 struct BatchDecision {
     chosen: u32,
     searched: u32,
-    /// Empty shortlist → full `k`-search (never cached: its decision reads
-    /// every centroid, so any absorb anywhere could change it).
+    /// Empty shortlist → full `k`-search. Cached by epoch like any other
+    /// decision, but invalidated by *any* centroid change (the search read
+    /// every centroid).
     fallback: bool,
     /// The fresh shortlist to cache (`None` for reused, fallback, or
-    /// closure-disabled decisions).
+    /// closure-disabled decisions; fallbacks cache through the `fallback`
+    /// flag instead).
     cache: Option<Vec<ClusterId>>,
     /// Reused straight from the cache without touching the index or model.
     reused: bool,
@@ -534,6 +545,15 @@ struct BatchDecision {
 /// — so the fit is byte-identical with reuse on or off. Absorbs always run
 /// (reused items still nudge their cluster), keeping the centroid trajectory
 /// itself untouched by the cache.
+///
+/// Full-`k` **fallback** decisions (empty shortlist) cache under the same
+/// epoch key with a stricter invalidation: the full search read every
+/// centroid, so reuse requires that *no* centroid value has changed since
+/// `eval_step` (`max(last_changed) < eval_step`). Same epoch still matters —
+/// a refreshed index could return a non-empty shortlist, changing both the
+/// searched count and the search itself. When valid, the reused decision is
+/// exactly what the fresh path would recompute (same winner, `searched = k`,
+/// still counted as a fallback), so byte-identity is preserved.
 fn run_steps<M, S>(
     model: &mut M,
     mut shortlister: Option<S>,
@@ -586,6 +606,10 @@ where
         let batch_ref: &[u32] = &batch;
         let cache_ref: &[BatchCache] = &cache;
         let last_changed_ref: &[u64] = &last_changed;
+        // One scan serves every cached-fallback validity check this step:
+        // a fallback read all k centroids, so the latest change anywhere is
+        // its invalidation clock.
+        let max_changed = last_changed.iter().copied().max().unwrap_or(0);
         let assigned: Vec<BatchDecision> = match shortlister.as_ref() {
             Some(s) => chunked_map(
                 b,
@@ -595,19 +619,30 @@ where
                     let item = batch_ref[i as usize];
                     if closures {
                         let slot = &cache_ref[item as usize];
-                        if slot.epoch == epoch
-                            && slot
+                        if slot.epoch == epoch {
+                            if slot.fallback {
+                                if max_changed < slot.eval_step {
+                                    return BatchDecision {
+                                        chosen: slot.chosen,
+                                        searched: k as u32,
+                                        fallback: true,
+                                        cache: None,
+                                        reused: true,
+                                    };
+                                }
+                            } else if slot
                                 .shortlist
                                 .iter()
                                 .all(|c| last_changed_ref[c.idx()] < slot.eval_step)
-                        {
-                            return BatchDecision {
-                                chosen: slot.chosen,
-                                searched: slot.shortlist.len() as u32,
-                                fallback: false,
-                                cache: None,
-                                reused: true,
-                            };
+                            {
+                                return BatchDecision {
+                                    chosen: slot.chosen,
+                                    searched: slot.shortlist.len() as u32,
+                                    fallback: false,
+                                    cache: None,
+                                    reused: true,
+                                };
+                            }
                         }
                     }
                     s.shortlist_into(item, scratch, out);
@@ -647,6 +682,7 @@ where
         profile.assign += t_assign.elapsed();
         let searched: usize = assigned.iter().map(|d| d.searched as usize).sum();
         profile.fallbacks += assigned.iter().filter(|d| d.fallback).count();
+        profile.fallback_reuses += assigned.iter().filter(|d| d.fallback && d.reused).count();
         let skipped = assigned.iter().filter(|d| d.reused).count();
         // Nudges apply serially in batch order — the one deliberately
         // sequential piece, shared by every thread count.
@@ -663,12 +699,23 @@ where
         // `t` (its own absorb included) is invalid from `t + 1` on.
         if closures {
             for (&item, d) in batch.iter().zip(&assigned) {
-                let Some(fresh) = &d.cache else { continue };
                 let slot = &mut cache[item as usize];
-                slot.epoch = epoch;
-                slot.eval_step = step as u64;
-                slot.shortlist.clone_from(fresh);
-                slot.chosen = d.chosen;
+                if let Some(fresh) = &d.cache {
+                    slot.epoch = epoch;
+                    slot.eval_step = step as u64;
+                    slot.shortlist.clone_from(fresh);
+                    slot.chosen = d.chosen;
+                    slot.fallback = false;
+                } else if d.fallback && !d.reused {
+                    // A fresh full-`k` fallback: cache the verdict with an
+                    // empty shortlist; the `fallback` flag switches the reuse
+                    // check over to the all-centroids clock.
+                    slot.epoch = epoch;
+                    slot.eval_step = step as u64;
+                    slot.shortlist.clear();
+                    slot.chosen = d.chosen;
+                    slot.fallback = true;
+                }
             }
         }
         for (c, changed) in changed_this_step.iter().enumerate() {
@@ -1138,6 +1185,55 @@ mod tests {
                 .map(|s| s.skipped_items)
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn fallback_decisions_cache_and_stay_byte_identical() {
+        // Aggressive banding (2 bands x 16 rows) almost never lands a
+        // centroid in an item's buckets, so shortlists come back empty and
+        // most decisions are full-`k` fallbacks — the path satellite caching
+        // has to keep byte-identical.
+        let ds = blob_dataset(4, 8, 6);
+        let run = |closures| {
+            minibatch_mh_kmodes(
+                &ds,
+                4,
+                InitMethod::RandomItems,
+                7,
+                Some(Banding::new(2, 16)),
+                &MiniBatchParams {
+                    batch_size: 16,
+                    n_steps: 40,
+                    refresh_every: 16,
+                    closures,
+                },
+                2,
+            )
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.assignments, off.assignments);
+        assert_eq!(on.modes, off.modes);
+        // Reused fallbacks still count as fallbacks, so the profile agrees
+        // with the closure-disabled run.
+        assert_eq!(on.profile.fallbacks, off.profile.fallbacks);
+        for (a, b) in on.summary.iterations.iter().zip(&off.summary.iterations) {
+            assert_eq!(a.moves, b.moves);
+            assert_eq!(a.avg_candidates, b.avg_candidates);
+            assert_eq!(a.active_clusters, b.active_clusters);
+            assert_eq!(b.skipped_items, 0);
+        }
+        assert!(
+            on.profile.fallbacks > 0,
+            "banding was supposed to force fallbacks: {:?}",
+            on.profile
+        );
+        assert!(
+            on.profile.fallback_reuses > 0,
+            "expected cached fallback decisions to be reused: {:?}",
+            on.profile
+        );
+        assert_eq!(off.profile.fallback_reuses, 0);
     }
 
     #[test]

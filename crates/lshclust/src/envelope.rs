@@ -36,7 +36,7 @@ pub(crate) const MAGIC: [u8; 8] = *b"LSHM2BIN";
 /// Container version this build writes and accepts.
 pub(crate) const VERSION: u32 = 2;
 
-/// Sanity cap on the section count: the format defines nine section ids, so
+/// Sanity cap on the section count: the format defines ten section ids, so
 /// any table claiming more than this is corruption, and the cap bounds the
 /// table allocation long before `n_sections × 24` is trusted.
 pub(crate) const MAX_SECTIONS: u32 = 64;
@@ -67,6 +67,9 @@ pub(crate) const SEC_CAT_KEYS: u32 = 7;
 pub(crate) const SEC_NUM_KEYS: u32 = 8;
 /// Numeric index centring mean: `u64 dim`, then `dim` `f64` coordinates.
 pub(crate) const SEC_NUM_MEAN: u32 = 9;
+/// Centroid-linkage dendrogram (`lshclust::sim`): `u64 k, u64 n_merges,
+/// u64 fallback_steps`, then per merge `u32 a, u32 b, f64 height`.
+pub(crate) const SEC_DENDRO: u32 = 10;
 
 /// Human name of a section id, for error messages.
 pub(crate) fn section_name(id: u32) -> &'static str {
@@ -80,6 +83,7 @@ pub(crate) fn section_name(id: u32) -> &'static str {
         SEC_CAT_KEYS => "cat-band-keys",
         SEC_NUM_KEYS => "num-band-keys",
         SEC_NUM_MEAN => "num-index-mean",
+        SEC_DENDRO => "dendrogram",
         _ => "unknown",
     }
 }

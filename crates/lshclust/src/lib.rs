@@ -137,6 +137,7 @@ mod model;
 mod run;
 pub mod serve;
 pub mod shard;
+pub mod sim;
 mod spec;
 
 pub use artifact::{ArtifactError, ArtifactKey, ArtifactStore, CachedFit};
@@ -151,6 +152,7 @@ pub use serve::{
     HotKeyStats, ModelHandle, ModelServer, PredictTicket, Prediction, ServeError, ServerConfig,
     TicketStats,
 };
+pub use sim::{DedupReport, Dendrogram, JoinReport, Merge, PairRecord, Sim, SimInput, SimSpec};
 pub use spec::{ClusterSpec, Fit, Init, Lsh, Query, SpecError, StreamOptions};
 
 // The one iteration policy shared by every family.

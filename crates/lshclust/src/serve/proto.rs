@@ -36,6 +36,7 @@
 use super::{ModelServer, PredictTicket, ServeError, ServerConfig};
 use crate::model::FittedModel;
 use serde::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -253,6 +254,16 @@ pub struct ProtoEngine {
     /// `--allow-remote-shutdown`, so exposing `--listen` to a network
     /// does not hand every peer an unauthenticated kill switch.
     allow_shutdown: bool,
+    /// Push an unsolicited `{"stats": {…}}` line after every N predict
+    /// requests (`0` = off, the default). Fronts poll
+    /// [`Self::take_due_stats`] after each handled line.
+    stats_every: u64,
+    /// Predict requests handled, shared across clones so every connection
+    /// of a socket front counts toward the same cadence.
+    predicts: Arc<AtomicU64>,
+    /// Highest cadence milestone already pushed — what makes each push
+    /// fire exactly once even when connections race.
+    stats_pushed: Arc<AtomicU64>,
 }
 
 impl ProtoEngine {
@@ -263,6 +274,9 @@ impl ProtoEngine {
             server,
             threads_override,
             allow_shutdown: true,
+            stats_every: 0,
+            predicts: Arc::new(AtomicU64::new(0)),
+            stats_pushed: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -272,6 +286,37 @@ impl ProtoEngine {
     pub fn allow_shutdown(mut self, allow: bool) -> Self {
         self.allow_shutdown = allow;
         self
+    }
+
+    /// Enables the periodic stats push: after every `n` predict requests
+    /// the next [`Self::take_due_stats`] call returns an unsolicited
+    /// `{"stats": {…}}` line for the front to emit, so dashboards tail the
+    /// response stream instead of polling `{"stats": true}`. `0` (the
+    /// default) disables the push.
+    pub fn stats_every(mut self, n: u64) -> Self {
+        self.stats_every = n;
+        self
+    }
+
+    /// The unsolicited `{"stats": {…}}` line when the periodic push has
+    /// just come due, `None` otherwise. Fronts call this after each handled
+    /// line; the milestone bookkeeping guarantees one push per cadence
+    /// point across all clones of this engine.
+    pub fn take_due_stats(&self) -> Option<String> {
+        if self.stats_every == 0 {
+            return None;
+        }
+        let milestone = self.predicts.load(Ordering::Relaxed) / self.stats_every * self.stats_every;
+        if milestone == 0 {
+            return None;
+        }
+        let prev = self.stats_pushed.fetch_max(milestone, Ordering::Relaxed);
+        (prev < milestone).then(|| {
+            json_line(Value::Object(vec![(
+                "stats".to_owned(),
+                Value::Object(self.stats_fields()),
+            )]))
+        })
     }
 
     /// The served model server.
@@ -296,6 +341,7 @@ impl ProtoEngine {
         };
         let id = value.get("id").cloned();
         if let Some(predict) = value.get("predict") {
+            self.predicts.fetch_add(1, Ordering::Relaxed);
             let submitted = DeadlineSpec::parse(&value)
                 .map(|spec| spec.resolve(self.server.config()))
                 .and_then(|deadline| submit_predict(&self.server, predict, deadline));
@@ -360,53 +406,56 @@ impl ProtoEngine {
     }
 
     fn render_stats(&self, id: Option<&Value>) -> String {
+        ok_response(id, self.stats_fields())
+    }
+
+    /// The introspection payload shared by `{"stats": true}` responses and
+    /// the periodic push.
+    fn stats_fields(&self) -> Vec<(String, Value)> {
         let server = &self.server;
         let model = server.model();
         let cache = server.hot_key_stats();
         let tickets = server.ticket_stats();
-        ok_response(
-            id,
-            vec![
-                (
-                    "generation".to_owned(),
-                    serde_json::to_value(&server.generation()),
-                ),
-                (
-                    "queue".to_owned(),
-                    serde_json::to_value(&server.queue_len()),
-                ),
-                (
-                    "modality".to_owned(),
-                    Value::String(model.modality().to_owned()),
-                ),
-                ("k".to_owned(), serde_json::to_value(&model.k())),
-                (
-                    "workers".to_owned(),
-                    serde_json::to_value(&server.config().workers),
-                ),
-                (
-                    "max_batch".to_owned(),
-                    serde_json::to_value(&server.config().max_batch),
-                ),
-                ("cache_hits".to_owned(), serde_json::to_value(&cache.hits)),
-                (
-                    "cache_misses".to_owned(),
-                    serde_json::to_value(&cache.misses),
-                ),
-                (
-                    "cache_entries".to_owned(),
-                    serde_json::to_value(&cache.entries),
-                ),
-                (
-                    "submitted".to_owned(),
-                    serde_json::to_value(&tickets.submitted),
-                ),
-                (
-                    "resolved".to_owned(),
-                    serde_json::to_value(&tickets.resolved),
-                ),
-            ],
-        )
+        vec![
+            (
+                "generation".to_owned(),
+                serde_json::to_value(&server.generation()),
+            ),
+            (
+                "queue".to_owned(),
+                serde_json::to_value(&server.queue_len()),
+            ),
+            (
+                "modality".to_owned(),
+                Value::String(model.modality().to_owned()),
+            ),
+            ("k".to_owned(), serde_json::to_value(&model.k())),
+            (
+                "workers".to_owned(),
+                serde_json::to_value(&server.config().workers),
+            ),
+            (
+                "max_batch".to_owned(),
+                serde_json::to_value(&server.config().max_batch),
+            ),
+            ("cache_hits".to_owned(), serde_json::to_value(&cache.hits)),
+            (
+                "cache_misses".to_owned(),
+                serde_json::to_value(&cache.misses),
+            ),
+            (
+                "cache_entries".to_owned(),
+                serde_json::to_value(&cache.entries),
+            ),
+            (
+                "submitted".to_owned(),
+                serde_json::to_value(&tickets.submitted),
+            ),
+            (
+                "resolved".to_owned(),
+                serde_json::to_value(&tickets.resolved),
+            ),
+        ]
     }
 }
 
@@ -486,6 +535,42 @@ mod tests {
             engine.handle_line(r#"{"shutdown": true}"#),
             LineOutcome::Shutdown(_)
         ));
+    }
+
+    #[test]
+    fn stats_push_fires_once_per_cadence_point_and_is_off_by_default() {
+        // Off by default: no push no matter how many predicts.
+        let silent = engine();
+        let _ = reply_line(&silent, r#"{"predict": {"point": [0.1]}}"#);
+        assert_eq!(silent.take_due_stats(), None);
+
+        let pushing = engine().stats_every(2);
+        let _ = reply_line(&pushing, r#"{"predict": {"point": [0.1]}}"#);
+        assert_eq!(pushing.take_due_stats(), None, "1 of 2 predicts");
+        let _ = reply_line(&pushing, r#"{"predict": {"point": [9.1]}}"#);
+        let push = pushing.take_due_stats().expect("2nd predict comes due");
+        // Unsolicited shape: {"stats": {…}} — distinguishable from the
+        // {"ok": {…}} reply to an explicit {"stats": true} request.
+        assert!(push.starts_with(r#"{"stats":"#), "{push}");
+        for field in ["queue", "submitted", "resolved", "cache_hits"] {
+            assert!(push.contains(field), "missing {field}: {push}");
+        }
+        // The milestone is consumed: a re-poll (or a racing clone) stays
+        // quiet until the next cadence point …
+        assert_eq!(pushing.take_due_stats(), None);
+        assert_eq!(pushing.clone().take_due_stats(), None);
+        let _ = reply_line(&pushing, r#"{"predict": {"point": [0.1]}}"#);
+        assert_eq!(pushing.take_due_stats(), None, "3 of 4 predicts");
+        // … and a clone shares the counter (socket connections all feed the
+        // same cadence).
+        let _ = reply_line(&pushing.clone(), r#"{"predict": {"point": [9.1]}}"#);
+        assert!(pushing.take_due_stats().is_some(), "4th predict comes due");
+
+        // Control lines do not count as requests.
+        let counting = engine();
+        let counting = counting.stats_every(1);
+        let _ = reply_line(&counting, r#"{"stats": true}"#);
+        assert_eq!(counting.take_due_stats(), None);
     }
 
     #[test]

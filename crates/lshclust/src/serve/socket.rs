@@ -588,6 +588,11 @@ fn handle_line(shared: &Arc<Shared>, tx: &mpsc::Sender<Outgoing>, raw: &[u8]) ->
         LineOutcome::Ignore => true,
         LineOutcome::Reply(out) => {
             let _ = tx.send(out);
+            // Periodic stats push (`--stats-every`): rides the same ordered
+            // reply channel, so it lands between responses, never inside one.
+            if let Some(stats) = shared.engine.take_due_stats() {
+                let _ = tx.send(Outgoing::Line(stats));
+            }
             true
         }
         LineOutcome::Shutdown(out) => {

@@ -260,6 +260,66 @@ fn minibatch_closure_fits_are_byte_identical() {
     }
 }
 
+/// Fallback decisions cache too: aggressive banding (2 bands × 16 rows) makes
+/// the centroid shortlists come back empty, so nearly every batch decision is
+/// a full-`k` fallback. The reuse cache keys those by refresh epoch and
+/// invalidates them on *any* centroid change — and the fit must stay
+/// byte-identical to the closure-disabled run while still skipping work.
+#[test]
+fn minibatch_fallback_caching_is_byte_identical() {
+    let dataset = categorical_fixture(13);
+    let sparse = Lsh::MinHash { bands: 2, rows: 16 };
+    let schedule = Fit::MiniBatch {
+        batch_size: 64,
+        n_steps: 60,
+        refresh_every: 16,
+    };
+    for threads in [1usize, 2] {
+        let on = Clusterer::new(spec_for(sparse, 13, threads, 1, true).fit(schedule))
+            .fit(&dataset)
+            .unwrap();
+        let off = Clusterer::new(spec_for(sparse, 13, threads, 1, false).fit(schedule))
+            .fit(&dataset)
+            .unwrap();
+        assert_eq!(
+            on.assignments, off.assignments,
+            "fallback cache t={threads}: assignments"
+        );
+        assert_eq!(
+            on.centroids.modes(),
+            off.centroids.modes(),
+            "fallback cache t={threads}: modes"
+        );
+        let per_step = |run: &ClusterRun| -> Vec<(usize, u64, u64, usize)> {
+            run.summary
+                .iterations
+                .iter()
+                .map(|s| {
+                    (
+                        s.moves,
+                        s.cost,
+                        s.avg_candidates.to_bits(),
+                        s.active_clusters,
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            per_step(&on),
+            per_step(&off),
+            "fallback cache t={threads}: steps (avg_candidates must count reused fallbacks at k)"
+        );
+        let reused: usize = on.summary.iterations.iter().map(|s| s.skipped_items).sum();
+        assert!(
+            reused > 0,
+            "fallback cache t={threads}: expected cached full-k decisions to be reused"
+        );
+        for s in &off.summary.iterations {
+            assert_eq!(s.skipped_items, 0, "fallback off-run never reuses");
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Serde compatibility: specs and envelopes written before the flag existed.
 // ---------------------------------------------------------------------------
